@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one of the paper's figures,
+tables, or quantified claims (see DESIGN.md §4 for the experiment index).
+Each benchmark prints the same rows/series the paper reports, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the evaluation end to end.  Wall-clock timing of each
+experiment is recorded through pytest-benchmark (rounds=1: these are
+simulations, not microbenchmarks).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,51 @@
+"""ABL2 — ablation: CXL link interleaving (§3).
+
+Paper: CPUs interleave at 256 B granularity across CXL links; a Granite-
+Rapids-class socket aggregates 64 lanes (8 x8 links) into ≈240 GB/s.
+This bench measures achieved DMA bandwidth into the pool as the number
+of interleaved x8 links grows.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.cxl.link import LinkSpec
+from repro.cxl.pod import POOL_BASE, CxlPod, PodConfig
+from repro.sim import Simulator
+
+
+def interleave_experiment(transfer_bytes=8 << 20):
+    results = {}
+    for n_links in (1, 2, 4, 8):
+        sim = Simulator()
+        pod = CxlPod(sim, PodConfig(
+            n_hosts=1, n_mhds=n_links, mhd_capacity=1 << 26,
+            link_spec=LinkSpec(lanes=8),
+        ))
+        mem = pod.host("h0")
+
+        def dma():
+            t0 = sim.now
+            yield from mem.dma_write(POOL_BASE, bytes(transfer_bytes))
+            return sim.now - t0
+
+        p = sim.spawn(dma())
+        sim.run(until=p)
+        sim.run()
+        elapsed_ns = p.value
+        results[n_links] = transfer_bytes / elapsed_ns  # GB/s
+    return results
+
+
+def test_ablation_interleaving(benchmark):
+    results = run_once(benchmark, interleave_experiment)
+    banner("ABL2: pool DMA bandwidth vs interleaved x8 links "
+           "(30 GB/s each)")
+    print(f"{'links':>6} {'achieved':>10} {'ideal':>8} {'efficiency':>11}")
+    for n_links, gbps in results.items():
+        ideal = 30.0 * n_links
+        print(f"{n_links:>6} {gbps:>8.1f}GB/s {ideal:>6.0f}GB/s "
+              f"{gbps / ideal:>10.1%}")
+    # Near-linear scaling (paper: 64 lanes ~ 240 GB/s per socket).
+    assert results[1] > 0.9 * 30.0 * 0.95
+    for n_links, gbps in results.items():
+        assert gbps > 0.90 * 30.0 * n_links
+    assert results[8] > 6.5 * results[1]

@@ -1,0 +1,81 @@
+"""ABL6 — ablation: CXL pool access latency under link load.
+
+§4.1 worries that "CXL increases access latency by 2-3x compared to
+local DDR5" and must assess the impact of loaded links.  This ablation
+measures small-access latency through a x8 CXL link while background
+DMA consumes a growing fraction of the link's 30 GB/s — the classic
+loaded-latency curve: flat until ~60-70% utilization, then a queueing
+knee.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner, run_once
+from repro.cxl.link import LinkSpec
+from repro.cxl.pod import POOL_BASE, CxlPod, PodConfig
+from repro.sim import Interrupt, Simulator
+
+
+def loaded_latency_experiment(n_probes=300):
+    results = {}
+    for load_fraction in (0.0, 0.3, 0.6, 0.8, 0.9):
+        sim = Simulator(seed=8)
+        pod = CxlPod(sim, PodConfig(
+            n_hosts=1, n_mhds=1, mhd_capacity=1 << 26,
+            link_spec=LinkSpec(lanes=8),
+        ))
+        mem = pod.host("h0")
+        chunk = 4096
+        latencies = []
+        rng = sim.rng.stream("bg-arrivals")
+
+        def background():
+            # Poisson stream of 4 KiB DMA writes at the target fraction
+            # of the link's 30 GB/s.
+            if load_fraction == 0.0:
+                return
+                yield  # pragma: no cover
+            rate = load_fraction * 30.0  # bytes/ns
+            mean_gap = chunk / rate
+            try:
+                while True:
+                    yield sim.timeout(float(rng.exponential(mean_gap)))
+                    sim.spawn(
+                        mem.dma_write(POOL_BASE + 8192, bytes(chunk))
+                    )
+            except Interrupt:
+                return
+
+        def prober():
+            for _ in range(n_probes):
+                yield sim.timeout(float(rng.exponential(2_000.0)))
+                t0 = sim.now
+                yield from mem.dma_read(POOL_BASE, 64)
+                latencies.append(sim.now - t0)
+
+        bg = sim.spawn(background())
+        p = sim.spawn(prober())
+        sim.run(until=p)
+        if bg.is_alive:
+            bg.interrupt()
+        sim.run()
+        arr = np.asarray(latencies)
+        results[load_fraction] = (
+            float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
+        )
+    return results
+
+
+def test_ablation_loaded_latency(benchmark):
+    results = run_once(benchmark, loaded_latency_experiment)
+    banner("ABL6: 64 B pool access latency vs background link load "
+           "(x8, 30 GB/s)")
+    print(f"{'load':>6} {'p50':>9} {'p99':>9}")
+    for load, (p50, p99) in results.items():
+        print(f"{load:>5.0%} {p50:>7.0f}ns {p99:>7.0f}ns")
+    idle_p50 = results[0.0][0]
+    # Flat-then-knee shape: modest until 60%, pronounced tail at 90%.
+    assert results[0.3][0] < idle_p50 * 1.5
+    assert results[0.9][1] > results[0.0][1] * 1.5
+    p50s = [results[k][0] for k in (0.0, 0.3, 0.6, 0.8, 0.9)]
+    assert all(a <= b * 1.05 for a, b in zip(p50s, p50s[1:]))

@@ -1,0 +1,68 @@
+"""COST — §1/§3 cost claims: PCIe switches vs CXL pods.
+
+Paper: PCIe-switch pooling "easily reaches $80,000" per rack; MHD-based
+CXL pods cost about $600 per host and are already justified by memory
+pooling, making the marginal cost of PCIe pooling zero.  §2.2 adds the
+redundancy argument: pooled spares replace per-host redundant devices.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.analysis.costs import (
+    pooling_cost_comparison,
+    redundancy_savings,
+    stranding_capacity_savings,
+)
+
+
+def cost_experiment(n_hosts=32):
+    return {
+        "fabric": pooling_cost_comparison(n_hosts),
+        "redundancy": redundancy_savings(
+            n_hosts=n_hosts, device_failure_prob=0.01,
+            device_cost_usd=1_500.0,
+        ),
+        "stranding": stranding_capacity_savings(
+            stranded_unpooled=0.54, stranded_pooled=0.19,
+            fleet_device_cost_usd=1_000_000.0,
+        ),
+    }
+
+
+def test_cost_model(benchmark):
+    result = run_once(benchmark, cost_experiment)
+    fabric = result["fabric"]
+    redundancy = result["redundancy"]
+    stranding = result["stranding"]
+
+    banner("Cost comparison (rack of 32 hosts)")
+    print(f"PCIe switch deployment : "
+          f"${fabric['pcie_switch_rack_usd']:>10,.0f}  "
+          f"(paper: 'easily reaches $80,000')")
+    print(f"CXL pod, greenfield    : "
+          f"${fabric['cxl_pod_greenfield_rack_usd']:>10,.0f}  "
+          f"(${fabric['cxl_pod_greenfield_per_host_usd']:,.0f}/host; "
+          f"paper: ~$600/host)")
+    print(f"CXL pod, marginal      : "
+          f"${fabric['cxl_pod_marginal_rack_usd']:>10,.0f}  "
+          f"(pod already paid for by memory pooling)")
+    print(f"greenfield savings     : "
+          f"{fabric['greenfield_savings_factor']:.1f}x")
+
+    print("\nRedundant-device savings (one spare per host vs pooled "
+          "spares, p(fail)=1%):")
+    print(f"  unpooled spares: {redundancy['unpooled_spares']:.0f} "
+          f"(${redundancy['unpooled_cost_usd']:,.0f})")
+    print(f"  pooled spares  : {redundancy['pooled_spares']:.0f} "
+          f"(${redundancy['pooled_cost_usd']:,.0f})  -> "
+          f"{redundancy['savings_factor']:.0f}x fewer")
+
+    print("\nStranding-driven capacity savings (SSD 54% -> 19%):")
+    print(f"  capacity requirement shrinks by "
+          f"{stranding['capacity_saving_fraction']:.0%}")
+
+    assert 70_000 <= fabric["pcie_switch_rack_usd"] <= 120_000
+    assert fabric["cxl_pod_greenfield_per_host_usd"] == 600.0
+    assert fabric["cxl_pod_marginal_rack_usd"] == 0.0
+    assert fabric["greenfield_savings_factor"] > 4
+    assert redundancy["savings_factor"] >= 8
+    assert stranding["capacity_saving_fraction"] > 0.35

@@ -1,0 +1,62 @@
+"""FIG3 — Figure 3: UDP latency-throughput, CXL vs local buffers.
+
+Paper: with the server's TX/RX buffers moved from local DDR5 into the
+CXL memory pool, round-trip latency curves are nearly unchanged across
+payload sizes and offered loads, and saturation throughput is identical
+(two PCIe-5.0 x8 CXL links out-carry one 100 Gbps NIC).
+
+We sweep offered load for two payload sizes and both placements and
+print the latency-throughput series.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.datapath.placement import BufferPlacement
+from repro.datapath.udpbench import UdpBenchConfig, run_udp_point
+
+SWEEPS = {
+    1024: (2.0, 10.0, 25.0, 50.0),
+    4096: (10.0, 30.0, 60.0, 90.0),
+}
+
+
+def fig3_experiment():
+    curves = {}
+    for payload, loads in SWEEPS.items():
+        for placement in BufferPlacement:
+            config = UdpBenchConfig(
+                payload_bytes=payload, placement=placement,
+                n_requests=250, seed=11,
+            )
+            curves[(payload, placement)] = [
+                run_udp_point(config, load) for load in loads
+            ]
+    return curves
+
+
+def test_fig3_udp_latency_throughput(benchmark):
+    curves = run_once(benchmark, fig3_experiment)
+    banner("Figure 3: UDP latency-throughput (server buffers in "
+           "local DDR5 vs CXL pool)")
+    for payload in SWEEPS:
+        print(f"\npayload = {payload} B")
+        print(f"{'offered':>9} | {'local p50':>10} {'local Gbps':>11} | "
+              f"{'cxl p50':>10} {'cxl Gbps':>10} | {'p50 delta':>9}")
+        local = curves[(payload, BufferPlacement.LOCAL)]
+        cxl = curves[(payload, BufferPlacement.CXL)]
+        for lp, cp in zip(local, cxl):
+            delta = cp.rtt_p50_ns / lp.rtt_p50_ns - 1.0
+            print(f"{lp.offered_gbps:>8.0f}G | "
+                  f"{lp.rtt_p50_ns / 1000:>8.1f}us {lp.achieved_gbps:>10.1f} | "
+                  f"{cp.rtt_p50_ns / 1000:>8.1f}us {cp.achieved_gbps:>9.1f} | "
+                  f"{delta:>8.1%}")
+
+    # Shape assertions (paper: "negligible effects on network latency",
+    # "maximum throughput is also not affected").
+    for payload in SWEEPS:
+        local = curves[(payload, BufferPlacement.LOCAL)]
+        cxl = curves[(payload, BufferPlacement.CXL)]
+        # Below the knee (first point), CXL latency within ~12%.
+        assert cxl[0].rtt_p50_ns / local[0].rtt_p50_ns - 1.0 < 0.12
+        # At the highest offered load, achieved throughput within 12%.
+        assert (cxl[-1].achieved_gbps
+                >= 0.88 * local[-1].achieved_gbps)

@@ -1,0 +1,108 @@
+"""MIG — §5 "better host load balancing": live connection migration.
+
+Paper: TCP connections are pinned to their setup-time server; moving
+them normally needs programmable switches; "our virtual NIC approach
+could implement the transformations required to migrate connections
+seamlessly within the CXL pod."  This bench measures that claim's key
+number: the delivery blackout a peer observes while a live connection
+hops from one pooled NIC to another.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.core import PciePool
+from repro.datapath.transport import Connection
+from repro.orchestrator.migration import (
+    ConnectionMigrator,
+    serialize_state,
+)
+from repro.sim import Simulator
+
+
+def migration_experiment(n_before=10, n_after=10):
+    sim = Simulator(seed=41)
+    pool = PciePool(sim, n_hosts=4)
+    pool.add_nic("h0")
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    pool.start()
+    peer_vnic = pool.open_nic("h1")
+    vnic_1 = pool.open_nic("h2")
+    migrator = ConnectionMigrator(sim)
+    deliveries = []
+    timeline = {}
+    state_bytes = {}
+
+    def peer_main():
+        yield from peer_vnic.start()
+        sock = peer_vnic.stack.bind(7)
+        conn = Connection(sim, sock, vnic_1.mac, 9, name="peer")
+        for _ in range(n_before + n_after):
+            payload = yield from conn.recv()
+            deliveries.append((sim.now, payload))
+        conn.close()
+
+    def client_main():
+        yield from vnic_1.start()
+        sock1 = vnic_1.stack.bind(9)
+        conn = Connection(sim, sock1, peer_vnic.mac, 7, name="client")
+        for i in range(n_before):
+            yield from conn.send(f"pre-{i}".encode())
+            yield sim.timeout(50_000.0)
+        yield sim.timeout(500_000.0)
+
+        # The orchestrated move.
+        timeline["migration_start"] = sim.now
+        pool.orchestrator.ingest_load_report(
+            vnic_1.device_id, utilization=0.95, queue_depth=20,
+        )
+        vnic_2 = pool.open_nic("h2")
+        yield from vnic_2.start()
+        sock2 = vnic_2.stack.bind(9)
+        handle = migrator.migrate_to_socket(conn, sock2, name="moved")
+        state_bytes["size"] = len(
+            serialize_state(handle.connection.state)
+        )
+        moved = yield from handle.finish()
+        timeline["migration_done"] = sim.now
+        for i in range(n_after):
+            yield from moved.send(f"post-{i}".encode())
+            yield sim.timeout(50_000.0)
+        yield sim.timeout(2_000_000.0)
+        moved.close()
+
+    peer = sim.spawn(peer_main())
+    client = sim.spawn(client_main())
+    sim.run(until=client)
+    sim.run(until=peer)
+    # Blackout: gap between the last pre-move and first post-move
+    # delivery, minus the idle time the workload itself inserted.
+    pre_last = max(t for t, p in deliveries if p.startswith(b"pre"))
+    post_first = min(t for t, p in deliveries if p.startswith(b"post"))
+    result = {
+        "deliveries": len(deliveries),
+        "blackout_us": (post_first - pre_last) / 1000.0,
+        "handshake_us": (timeline["migration_done"]
+                         - timeline["migration_start"]) / 1000.0,
+        "state_bytes": state_bytes["size"],
+        "in_order": [p for _t, p in deliveries] == (
+            [f"pre-{i}".encode() for i in range(n_before)]
+            + [f"post-{i}".encode() for i in range(n_after)]
+        ),
+    }
+    pool.stop()
+    sim.run()
+    return result
+
+
+def test_connection_migration(benchmark):
+    result = run_once(benchmark, migration_experiment)
+    banner("§5: live connection migration between pooled NICs")
+    print(f"deliveries (all in order): {result['deliveries']} "
+          f"({result['in_order']})")
+    print(f"snapshot size            : {result['state_bytes']} B")
+    print(f"rebind handshake         : {result['handshake_us']:.1f} us")
+    print(f"peer-visible blackout    : {result['blackout_us']:.1f} us")
+    assert result["in_order"]
+    # The move is microseconds, not seconds: no reconnect, no reset.
+    assert result["handshake_us"] < 1000.0
+    assert result["state_bytes"] < 1024

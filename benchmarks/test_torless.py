@@ -1,0 +1,54 @@
+"""TOR — §5 "datacenter networks without ToRs".
+
+Paper: instead of oversubscribing at a (single- or dual-) ToR, provision
+enough pooled NICs per CXL pod and uplink them directly to the
+aggregation layer, sidestepping both ToR failures and NIC failures —
+"this would require high CXL pod reliability".
+
+This bench sweeps pod reliability and pooled-NIC count and prints the
+availability/cost frontier of the three designs.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.analysis.tor import dual_tor_rack, single_tor_rack, torless_rack
+
+
+def torless_experiment():
+    baselines = {
+        "single-tor": single_tor_rack(),
+        "dual-tor": dual_tor_rack(),
+    }
+    sweep = {}
+    for pod_avail in (0.999, 0.9999, 0.99999, 0.999999):
+        for n_nics in (4, 8):
+            sweep[(pod_avail, n_nics)] = torless_rack(
+                pod_availability=pod_avail, n_pooled_nics=n_nics,
+            )
+    return baselines, sweep
+
+
+def test_torless_design_space(benchmark):
+    baselines, sweep = run_once(benchmark, torless_experiment)
+    banner("§5: rack availability — ToR designs vs ToR-less CXL pods")
+    print(f"{'design':<28} {'availability':>13} {'min/yr down':>12} "
+          f"{'switch $':>10}")
+    for name, rack in baselines.items():
+        print(f"{name:<28} {rack.availability:>13.6f} "
+              f"{rack.downtime_minutes_per_year():>12.1f} "
+              f"{rack.switch_cost_usd:>10,.0f}")
+    for (pod_avail, n_nics), rack in sorted(sweep.items()):
+        label = f"tor-less pod={pod_avail} n={n_nics}"
+        print(f"{label:<28} {rack.availability:>13.6f} "
+              f"{rack.downtime_minutes_per_year():>12.1f} "
+              f"{rack.switch_cost_usd:>10,.0f}")
+
+    dual = baselines["dual-tor"]
+    # With a five-nines pod, ToR-less beats single-ToR outright and gets
+    # within minutes/year of dual-ToR at zero switch cost.
+    good = sweep[(0.99999, 8)]
+    assert good.availability > baselines["single-tor"].availability
+    assert (good.downtime_minutes_per_year()
+            - dual.downtime_minutes_per_year()) < 10.0
+    # With a flaky pod the design loses to dual-ToR: the paper's caveat.
+    flaky = sweep[(0.999, 8)]
+    assert flaky.availability < dual.availability

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""NIC pooling in a storage cluster (§5): harvesting idle NICs.
+
+Storage clusters are provisioned with a NIC per node, but access skew
+means a hot node saturates its NIC while its neighbours' NICs idle.
+With PCIe pooling, the hot node simply opens a *second* virtual NIC —
+physically its neighbour's — and serves reads over both.
+
+This example builds a two-node storage cluster plus a client, drives a
+skewed read workload at the hot node, and compares served throughput
+with one NIC versus with a harvested second NIC.
+
+Run:  python examples/storage_cluster.py
+"""
+
+import struct
+
+from repro.core import PciePool
+from repro.sim import Simulator
+
+_REQ = struct.Struct("<IId")  # block id, size, timestamp
+
+READ_SIZE = 8192
+N_REQUESTS = 60
+SERVER_PORT = 9000
+
+
+def run_scenario(harvest_second_nic: bool) -> float:
+    """Returns served throughput (Gbps) at the hot node."""
+    sim = Simulator(seed=77)
+    pool = PciePool(sim, n_hosts=3)
+    pool.add_nic("h0")       # hot storage node's own NIC
+    pool.add_nic("h1", n_vfs=2)  # neighbour: VFs to share
+    ssd = pool.add_ssd("h0")
+    pool.start()
+
+    vnics = [pool.open_nic("h0")]
+    if harvest_second_nic:
+        # The pool hands h0 its neighbour's NIC.
+        pool.orchestrator.ingest_load_report(
+            vnics[0].device_id, utilization=0.95, queue_depth=30,
+        )
+        vnics.append(pool.open_nic("h0"))
+    client_vnic = pool.open_nic("h2")
+    done = []
+
+    def server(vnic, port):
+        yield from vnic.start()
+        sock = vnic.stack.bind(port)
+        while True:
+            payload, src_mac, src_port = yield from sock.recv()
+            block_id, size, t0 = _REQ.unpack_from(payload, 0)
+            # Serve from "flash" (a fixed-latency block read keeps the
+            # example focused on the network path).
+            yield sim.timeout(25_000.0)
+            blob = _REQ.pack(block_id, size, t0) + bytes(size - _REQ.size)
+            yield from sock.sendto(blob, src_mac, src_port)
+
+    def client():
+        yield from client_vnic.start()
+        sock = client_vnic.stack.bind(1234)
+
+        def receiver():
+            for _ in range(N_REQUESTS):
+                payload, _mac, _port = yield from sock.recv()
+                _bid, _size, t0 = _REQ.unpack_from(payload, 0)
+                done.append(sim.now)
+
+        rx = sim.spawn(receiver())
+        for i in range(N_REQUESTS):
+            target = vnics[i % len(vnics)]
+            req = _REQ.pack(i, READ_SIZE, sim.now)
+            yield from sock.sendto(
+                req, target.mac, SERVER_PORT + (i % len(vnics))
+            )
+            yield sim.timeout(4_000.0)  # offered ~16 Gbps of reads
+        yield rx
+
+    for idx, vnic in enumerate(vnics):
+        sim.spawn(server(vnic, SERVER_PORT + idx), name=f"srv{idx}")
+    c = sim.spawn(client(), name="client")
+    sim.run(until=c)
+    elapsed_ns = done[-1] - (done[0] - 1)
+    served_gbps = (N_REQUESTS * READ_SIZE * 8.0) / elapsed_ns
+    pool.stop()
+    sim.run()
+    return served_gbps
+
+
+def main() -> None:
+    print("Storage node under skewed read load (8 KiB reads):")
+    single = run_scenario(harvest_second_nic=False)
+    double = run_scenario(harvest_second_nic=True)
+    print(f"  own NIC only          : {single:6.2f} Gbps served")
+    print(f"  + harvested pool NIC  : {double:6.2f} Gbps served "
+          f"({double / single:.2f}x)")
+    print()
+    print("The second NIC physically lives in the neighbour node; the "
+          "hot node reached it through shared CXL memory and a "
+          "forwarded doorbell — no recabling, no spare hardware.")
+
+
+if __name__ == "__main__":
+    main()

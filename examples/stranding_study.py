@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Stranding study: why pool PCIe devices at all? (§2.1, Figure 2)
+
+Packs a synthetic Azure-like VM mix onto a fleet and measures how much
+of each resource is stranded when hosts fill up along their binding
+dimension, then shows how provisioning-for-peak stranding falls as I/O
+is pooled across groups of N hosts.
+
+Run:  python examples/stranding_study.py
+"""
+
+from repro.cluster.provisioning import (
+    paper_sqrt_rule,
+    sample_host_io_demand,
+    stranding_vs_pool_size,
+)
+from repro.cluster.resources import DIMENSIONS
+from repro.cluster.stranding import run_unpooled
+from repro.cluster.vmtypes import AZURE_LIKE_CATALOG
+
+LABELS = {"cores": "CPU cores", "memory_gb": "Memory",
+          "ssd_gb": "SSD storage", "nic_gbps": "NIC bandwidth"}
+
+
+def main() -> None:
+    print("Part 1 - Figure 2: stranding at admission pressure")
+    print("-" * 56)
+    report = run_unpooled(AZURE_LIKE_CATALOG, n_hosts=48, seed=0)
+    for dim in DIMENSIONS:
+        bar = "#" * int(report[dim] * 40)
+        print(f"  {LABELS[dim]:<14} {report[dim]:6.1%} {bar}")
+    print(f"  (paper's Azure telemetry: SSD 54%, NIC 29% - the two "
+          f"most stranded)")
+
+    print()
+    print("Part 2 - §2.1: pooled I/O provisioning vs pool size N")
+    print("-" * 56)
+    demand = sample_host_io_demand(AZURE_LIKE_CATALOG,
+                                   n_samples=1000, seed=0)
+    ssd = stranding_vs_pool_size(demand.ssd_gb, quantile=98.0)
+    nic = stranding_vs_pool_size(demand.nic_gbps, quantile=98.0)
+    print(f"  {'N':>3} {'SSD stranded':>13} {'NIC stranded':>13} "
+          f"{'paper rule (SSD)':>17}")
+    for n in (1, 2, 4, 8, 16):
+        print(f"  {n:>3} {ssd[n]:>13.1%} {nic[n]:>13.1%} "
+              f"{paper_sqrt_rule(ssd[1], n):>17.1%}")
+    print()
+    reduction = ssd[1] / ssd[8]
+    print(f"  pooling across 8 hosts cuts SSD stranding {reduction:.1f}x "
+          f"(paper's arithmetic: {8 ** 0.5:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""``python -m repro`` — run the paper's experiments from the shell."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

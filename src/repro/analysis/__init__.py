@@ -1,0 +1,51 @@
+"""Analytics: queueing math, TCO models, rack availability.
+
+Backs the paper's quantitative side-claims: the √N pooling estimate
+(§2.1), the cost comparison against PCIe switches (§1/§3), redundancy
+savings from pooled spares (§2.2), and the ToR-less datacenter design
+space (§5).
+"""
+
+from repro.analysis.pod_availability import (
+    PodTopology,
+    availability_vs_lambda,
+    nines,
+)
+from repro.analysis.costs import (
+    CxlPodCost,
+    PcieSwitchCost,
+    pooling_cost_comparison,
+    redundancy_savings,
+)
+from repro.analysis.queueing import (
+    erlang_c,
+    offered_load_erlangs,
+    required_servers,
+    sqrt_staffing_servers,
+)
+from repro.analysis.stats import summarize
+from repro.analysis.tor import (
+    RackDesign,
+    dual_tor_rack,
+    single_tor_rack,
+    torless_rack,
+)
+
+__all__ = [
+    "CxlPodCost",
+    "PcieSwitchCost",
+    "PodTopology",
+    "RackDesign",
+    "availability_vs_lambda",
+    "nines",
+    "dual_tor_rack",
+    "erlang_c",
+    "offered_load_erlangs",
+    "pooling_cost_comparison",
+    "redundancy_savings",
+    "required_servers",
+    "single_tor_rack",
+    "sqrt_staffing_servers",
+    "summarize",
+    "torless_rack",
+]

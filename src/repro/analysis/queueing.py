@@ -1,0 +1,69 @@
+"""Erlang-C queueing and square-root staffing.
+
+The paper grounds its √N pooling estimate in classic multi-server
+queueing results [Whitt'92, Janssen & van Leeuwaarden'11]: serving an
+offered load of *a* Erlangs to a waiting-probability target requires
+roughly ``a + k·sqrt(a)`` servers, so the overprovisioning *fraction*
+shrinks like 1/sqrt(a) as load (≈ pool size) grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def offered_load_erlangs(arrival_rate: float, service_time: float) -> float:
+    """Offered load a = λ · E[S] in Erlangs."""
+    if arrival_rate < 0 or service_time < 0:
+        raise ValueError("arrival rate and service time must be >= 0")
+    return arrival_rate * service_time
+
+
+def erlang_c(n_servers: int, offered_load: float) -> float:
+    """Erlang-C: probability an arrival waits (M/M/n queue).
+
+    Computed with the standard numerically-stable recurrence on the
+    Erlang-B blocking probability.
+    """
+    if n_servers < 1:
+        raise ValueError(f"need >= 1 server, got {n_servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered load must be >= 0, got {offered_load}")
+    if offered_load >= n_servers:
+        return 1.0  # unstable queue: everyone waits
+    # Erlang-B recurrence: B(0) = 1; B(k) = a B(k-1) / (k + a B(k-1)).
+    blocking = 1.0
+    for k in range(1, n_servers + 1):
+        blocking = (offered_load * blocking) / (k + offered_load * blocking)
+    rho = offered_load / n_servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+def required_servers(offered_load: float,
+                     wait_probability_target: float = 0.1,
+                     max_servers: int = 100_000) -> int:
+    """Fewest servers keeping Erlang-C wait probability below target."""
+    if not 0.0 < wait_probability_target < 1.0:
+        raise ValueError("target must be in (0, 1)")
+    n = max(1, math.ceil(offered_load))
+    while n <= max_servers:
+        if erlang_c(n, offered_load) <= wait_probability_target:
+            return n
+        n += 1
+    raise RuntimeError(
+        f"no server count up to {max_servers} meets the target"
+    )
+
+
+def sqrt_staffing_servers(offered_load: float, beta: float = 1.0) -> int:
+    """Square-root safety staffing: n = ceil(a + beta*sqrt(a))."""
+    if offered_load < 0:
+        raise ValueError("offered load must be >= 0")
+    return math.ceil(offered_load + beta * math.sqrt(offered_load))
+
+
+def overprovision_fraction(offered_load: float, n_servers: int) -> float:
+    """Fraction of capacity beyond the mean load: (n - a) / n."""
+    if n_servers <= 0:
+        raise ValueError("need at least one server")
+    return max(0.0, (n_servers - offered_load) / n_servers)

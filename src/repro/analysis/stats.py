@@ -1,0 +1,38 @@
+"""Small statistics helpers shared by benches and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def summarize(samples, percentiles=(50, 90, 99)) -> dict[str, float]:
+    """Mean/min/max plus the requested percentiles of a sample set."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    out = {
+        "n": float(arr.size),
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+    for q in percentiles:
+        out[f"p{q:g}"] = float(np.percentile(arr, q))
+    return out
+
+
+def cdf_points(samples) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative fractions)."""
+    arr = np.sort(np.asarray(list(samples), dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF from no samples")
+    return arr, np.arange(1, arr.size + 1) / arr.size
+
+
+def geometric_mean(values) -> float:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric mean of no values")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))

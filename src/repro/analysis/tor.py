@@ -1,0 +1,118 @@
+"""ToR-less racks: availability and cost of §5's network design space.
+
+Three rack designs:
+
+* **single ToR** — every server's NIC uplinks through one top-of-rack
+  switch: the classic single point of failure;
+* **dual ToR** — two ToRs, each server dual-homed: no single point of
+  failure, but twice the switch cost;
+* **ToR-less** — no ToR at all: the rack's pooled NICs connect straight
+  to M aggregation switches, and any host reaches any NIC through the
+  CXL pod.  The rack is reachable while the pod works and at least one
+  (NIC, aggregation-uplink) pair survives.
+
+The model is steady-state availability from per-component failure
+probabilities (independent failures), which is how such designs are
+compared at first order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _require_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability, got {value}")
+
+
+@dataclass(frozen=True)
+class RackDesign:
+    """A rack networking design and its availability/cost figures."""
+
+    name: str
+    availability: float
+    switch_cost_usd: float
+    nic_count: int
+
+    @property
+    def unavailability(self) -> float:
+        return 1.0 - self.availability
+
+    def downtime_minutes_per_year(self) -> float:
+        return self.unavailability * 365.25 * 24 * 60
+
+
+def single_tor_rack(tor_availability: float = 0.9995,
+                    tor_cost_usd: float = 12_000.0,
+                    n_hosts: int = 32) -> RackDesign:
+    """One ToR: the rack is up iff the ToR is up."""
+    _require_prob("tor_availability", tor_availability)
+    return RackDesign(
+        name="single-tor",
+        availability=tor_availability,
+        switch_cost_usd=tor_cost_usd,
+        nic_count=n_hosts,
+    )
+
+
+def dual_tor_rack(tor_availability: float = 0.9995,
+                  tor_cost_usd: float = 12_000.0,
+                  n_hosts: int = 32) -> RackDesign:
+    """Two ToRs, dual-homed servers: up iff at least one ToR is up."""
+    _require_prob("tor_availability", tor_availability)
+    both_down = (1.0 - tor_availability) ** 2
+    return RackDesign(
+        name="dual-tor",
+        availability=1.0 - both_down,
+        switch_cost_usd=2 * tor_cost_usd,
+        nic_count=n_hosts,  # dual-homing shares each server NIC
+    )
+
+
+def torless_rack(nic_availability: float = 0.999,
+                 pod_availability: float = 0.99999,
+                 n_pooled_nics: int = 8,
+                 min_nics_for_service: int = 1,
+                 n_hosts: int = 32) -> RackDesign:
+    """No ToR: pooled NICs uplink straight to the aggregation layer.
+
+    The rack is reachable when the CXL pod is functional and at least
+    ``min_nics_for_service`` of the pooled NICs (with their independent
+    aggregation uplinks) are alive.  Pod availability is high because
+    MHD-based pods offer λ redundant paths (§5 "highly-available CXL
+    pods"); it is still modeled explicitly because the design leans on it.
+    """
+    _require_prob("nic_availability", nic_availability)
+    _require_prob("pod_availability", pod_availability)
+    if not 1 <= min_nics_for_service <= n_pooled_nics:
+        raise ValueError(
+            "min_nics_for_service must be in [1, n_pooled_nics]"
+        )
+    # P(at least k of n NICs alive), NICs independent.
+    from scipy import stats
+
+    alive = stats.binom(n_pooled_nics, nic_availability)
+    nics_ok = 1.0 - alive.cdf(min_nics_for_service - 1)
+    return RackDesign(
+        name="tor-less",
+        availability=pod_availability * nics_ok,
+        switch_cost_usd=0.0,
+        nic_count=n_pooled_nics,
+    )
+
+
+def compare_designs(**kwargs) -> list[RackDesign]:
+    """The §5 comparison table: all three designs, default parameters."""
+    return [
+        single_tor_rack(**{k: v for k, v in kwargs.items()
+                           if k in ("tor_availability", "tor_cost_usd",
+                                    "n_hosts")}),
+        dual_tor_rack(**{k: v for k, v in kwargs.items()
+                         if k in ("tor_availability", "tor_cost_usd",
+                                  "n_hosts")}),
+        torless_rack(**{k: v for k, v in kwargs.items()
+                        if k in ("nic_availability", "pod_availability",
+                                 "n_pooled_nics", "min_nics_for_service",
+                                 "n_hosts")}),
+    ]

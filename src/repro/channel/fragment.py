@@ -1,0 +1,92 @@
+"""Fragmentation: carry arbitrary-size payloads over 61 B ring slots.
+
+Ring slots are one cacheline; control-plane payloads that exceed one
+slot (migration state snapshots, bulk telemetry) are split into numbered
+fragments and reassembled on the far side.  The SPSC ring already
+guarantees ordered, lossless delivery, so the wire format only needs a
+stream id plus first/last markers.
+
+Fragment layout (within the 61 B slot payload)::
+
+    byte  0     : flags (bit0 = first fragment, bit1 = last fragment)
+    bytes 1..4  : stream id (LE u32)
+    bytes 5..60 : chunk (<= 56 B)
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.channel.ring import SLOT_PAYLOAD_BYTES, RingReceiver, RingSender
+
+_HDR = struct.Struct("<BI")
+CHUNK_BYTES = SLOT_PAYLOAD_BYTES - _HDR.size  # 56
+
+_FLAG_FIRST = 1
+_FLAG_LAST = 2
+
+
+class ReassemblyError(RuntimeError):
+    """Fragment stream violated the protocol (missing first/last)."""
+
+
+class FragmentSender:
+    """Sends arbitrary-size messages as fragment trains."""
+
+    def __init__(self, ring: RingSender):
+        self.ring = ring
+        self._next_stream = 1
+        self.messages_sent = 0
+
+    def send(self, payload: bytes):
+        """Process: fragment ``payload`` and push every chunk."""
+        stream_id = self._next_stream
+        self._next_stream = (self._next_stream + 1) & 0xFFFFFFFF or 1
+        chunks = [
+            payload[pos:pos + CHUNK_BYTES]
+            for pos in range(0, len(payload), CHUNK_BYTES)
+        ] or [b""]
+        last_index = len(chunks) - 1
+        for index, chunk in enumerate(chunks):
+            flags = (_FLAG_FIRST if index == 0 else 0) | (
+                _FLAG_LAST if index == last_index else 0
+            )
+            yield from self.ring.send(_HDR.pack(flags, stream_id) + chunk)
+        self.messages_sent += 1
+
+
+class FragmentReceiver:
+    """Reassembles fragment trains back into messages."""
+
+    def __init__(self, ring: RingReceiver):
+        self.ring = ring
+        self.messages_received = 0
+
+    def recv(self, poll_overhead_ns: float = 30.0):
+        """Process: receive one complete (reassembled) message."""
+        assembled = bytearray()
+        stream_id = None
+        while True:
+            slot = yield from self.ring.recv(poll_overhead_ns)
+            if len(slot) < _HDR.size:
+                raise ReassemblyError(
+                    f"fragment of {len(slot)} B shorter than header"
+                )
+            flags, sid = _HDR.unpack_from(slot, 0)
+            chunk = slot[_HDR.size:]
+            if stream_id is None:
+                if not flags & _FLAG_FIRST:
+                    raise ReassemblyError(
+                        f"stream {sid}: continuation fragment arrived "
+                        "before a first fragment"
+                    )
+                stream_id = sid
+            elif sid != stream_id or flags & _FLAG_FIRST:
+                raise ReassemblyError(
+                    f"interleaved fragment streams {stream_id} and {sid} "
+                    "on an SPSC ring"
+                )
+            assembled += chunk
+            if flags & _FLAG_LAST:
+                self.messages_received += 1
+                return bytes(assembled)

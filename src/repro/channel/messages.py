@@ -1,0 +1,213 @@
+"""Fixed-size wire formats for ring-channel messages.
+
+Every message encodes to at most 61 B so it fits one ring slot (one
+cacheline including the slot header).  The set mirrors what the datapath
+and orchestrator need to forward between hosts:
+
+* device-memory operations from remote hosts — MMIO reads/writes and
+  doorbell rings (§4.1 "event signaling and host-to-host communications");
+* control-plane traffic between agents and the orchestrator — heartbeats,
+  load reports, allocation commands (§4.2).
+
+All encodings are little-endian structs with a one-byte type tag.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.channel.ring import SLOT_PAYLOAD_BYTES
+
+_REGISTRY: dict[int, type] = {}
+
+
+def _register(cls):
+    """Class decorator: register a message type by its tag byte."""
+    tag = cls.TAG
+    if tag in _REGISTRY:
+        raise ValueError(
+            f"duplicate message tag {tag}: {cls.__name__} vs "
+            f"{_REGISTRY[tag].__name__}"
+        )
+    _REGISTRY[tag] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; subclasses define TAG, _FMT, and field order."""
+
+    TAG: ClassVar[int] = -1
+    _FMT: ClassVar[struct.Struct]
+
+    def encode(self) -> bytes:
+        fields = tuple(getattr(self, name) for name in self._fields())
+        payload = bytes([self.TAG]) + self._FMT.pack(*fields)
+        if len(payload) > SLOT_PAYLOAD_BYTES:
+            raise ValueError(
+                f"{type(self).__name__} encodes to {len(payload)} B "
+                f"> slot capacity {SLOT_PAYLOAD_BYTES} B"
+            )
+        return payload
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "Message":
+        return cls(*cls._FMT.unpack(body[:cls._FMT.size]))
+
+    @classmethod
+    def _fields(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in dataclasses.fields(cls))
+
+
+def decode_message(payload: bytes) -> Message:
+    """Decode a ring-slot payload back into its typed message."""
+    if not payload:
+        raise ValueError("empty message payload")
+    tag = payload[0]
+    cls = _REGISTRY.get(tag)
+    if cls is None:
+        raise ValueError(f"unknown message tag {tag}")
+    return cls.decode_body(payload[1:])
+
+
+# -- device memory operations (datapath) ------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class MmioWrite(Message):
+    """Write ``value`` to device BAR offset ``addr`` of device ``device_id``."""
+
+    TAG: ClassVar[int] = 1
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQQQ")
+
+    request_id: int
+    device_id: int
+    addr: int
+    value: int
+
+
+@_register
+@dataclass(frozen=True)
+class MmioRead(Message):
+    """Read 8 B from device BAR offset ``addr``; answered by MmioReadReply."""
+
+    TAG: ClassVar[int] = 2
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQQ")
+
+    request_id: int
+    device_id: int
+    addr: int
+
+
+@_register
+@dataclass(frozen=True)
+class MmioReadReply(Message):
+    TAG: ClassVar[int] = 3
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQ")
+
+    request_id: int
+    value: int
+
+
+@_register
+@dataclass(frozen=True)
+class Doorbell(Message):
+    """Ring a device doorbell: "descriptors up to ``index`` are posted".
+
+    The hot-path message: a remote host posts descriptors into shared CXL
+    memory, then sends one Doorbell so the owning host taps the device's
+    real MMIO doorbell register.
+    """
+
+    TAG: ClassVar[int] = 4
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQIQ")
+
+    request_id: int
+    device_id: int
+    queue_id: int
+    index: int
+
+
+@_register
+@dataclass(frozen=True)
+class Completion(Message):
+    """Generic acknowledgement carrying a status code."""
+
+    TAG: ClassVar[int] = 5
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQ")
+
+    request_id: int
+    status: int
+
+
+# -- control plane (orchestrator <-> agents) ----------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Agent liveness beacon with a coarse health flag."""
+
+    TAG: ClassVar[int] = 16
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQB")
+
+    request_id: int
+    timestamp_us: int
+    healthy: int
+
+
+@_register
+@dataclass(frozen=True)
+class LoadReport(Message):
+    """Per-device utilization report (per-mille to stay integer)."""
+
+    TAG: ClassVar[int] = 17
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQHH")
+
+    request_id: int
+    device_id: int
+    utilization_permille: int
+    queue_depth: int
+
+
+@_register
+@dataclass(frozen=True)
+class DeviceFailure(Message):
+    """Agent -> orchestrator: a device stopped responding."""
+
+    TAG: ClassVar[int] = 18
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQB")
+
+    request_id: int
+    device_id: int
+    reason: int
+
+
+@_register
+@dataclass(frozen=True)
+class AssignDevice(Message):
+    """Orchestrator -> agent: host now maps virtual device to phys device."""
+
+    TAG: ClassVar[int] = 19
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQQ")
+
+    request_id: int
+    virtual_id: int
+    device_id: int
+
+
+@_register
+@dataclass(frozen=True)
+class Migrate(Message):
+    """Orchestrator -> agent: move workload from one device to another."""
+
+    TAG: ClassVar[int] = 20
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQQ")
+
+    request_id: int
+    from_device: int
+    to_device: int

@@ -1,0 +1,235 @@
+"""SPSC ring buffer in shared CXL memory with 64 B cacheline slots.
+
+Wire layout of the shared region (all offsets cacheline-aligned)::
+
+    offset 0                 : receiver progress line (consumed count, 8 B LE)
+    offset 64 .. 64 + N*64   : N message slots
+
+Each slot is one cacheline::
+
+    byte  0      : sequence tag (1 + pass_number % 250; 0 = never written)
+    bytes 1..2   : payload length (LE)
+    bytes 3..63  : payload (<= 61 B)
+
+The sender writes a complete slot with a single non-temporal 64 B store —
+the tag and payload become visible at the device atomically, so a receiver
+can never observe a half-written message (matching the paper's "64 B slots
+sized to cacheline granularity").  The sequence tag encodes the ring pass,
+so slot reuse never looks like a new message and the receiver never
+re-consumes an old one.
+
+Flow control: the receiver periodically publishes its consumed count into
+the progress line; a sender that catches up with ``consumed + N`` polls
+that line until space opens.  No cross-host atomics are needed — single
+producer, single consumer, each variable written by exactly one side.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.cxl.address import CACHELINE_BYTES
+from repro.cxl.coherence import SharedRegion
+
+#: Maximum payload carried by one slot.
+SLOT_PAYLOAD_BYTES = CACHELINE_BYTES - 3
+#: Sequence tags cycle through 1..250 (0 means "never written").
+_SEQ_PERIOD = 250
+
+_HEADER = struct.Struct("<BH")
+_PROGRESS = struct.Struct("<Q")
+
+
+class RingFullError(RuntimeError):
+    """Raised by non-blocking sends when the ring has no free slot."""
+
+
+@dataclass(frozen=True)
+class RingLayout:
+    """Geometry of a ring within its shared region."""
+
+    n_slots: int
+
+    @property
+    def progress_offset(self) -> int:
+        return 0
+
+    def slot_offset(self, index: int) -> int:
+        return CACHELINE_BYTES * (1 + index)
+
+    @property
+    def region_bytes(self) -> int:
+        return CACHELINE_BYTES * (1 + self.n_slots)
+
+
+class RingChannel:
+    """Factory tying one shared allocation to a sender and a receiver."""
+
+    def __init__(self, sender_region: SharedRegion,
+                 receiver_region: SharedRegion, n_slots: int = 64):
+        if n_slots < 2:
+            raise ValueError(f"ring needs >= 2 slots, got {n_slots}")
+        layout = RingLayout(n_slots)
+        for region in (sender_region, receiver_region):
+            if region.size < layout.region_bytes:
+                raise ValueError(
+                    f"shared region of {region.size} B too small for "
+                    f"{n_slots}-slot ring ({layout.region_bytes} B)"
+                )
+        if sender_region.base != receiver_region.base:
+            raise ValueError(
+                "sender and receiver regions must map the same allocation"
+            )
+        self.layout = layout
+        self.sender = RingSender(sender_region, layout)
+        self.receiver = RingReceiver(receiver_region, layout)
+
+    @classmethod
+    def over_pod(cls, pod, sender_host: str, receiver_host: str,
+                 n_slots: int = 64, label: str = "") -> "RingChannel":
+        """Allocate pool memory and build a ring between two hosts."""
+        layout = RingLayout(n_slots)
+        alloc = pod.allocate(
+            layout.region_bytes,
+            owners=[sender_host, receiver_host],
+            label=label or f"ring:{sender_host}->{receiver_host}",
+        )
+        return cls(
+            SharedRegion(pod.host(sender_host), alloc),
+            SharedRegion(pod.host(receiver_host), alloc),
+            n_slots=n_slots,
+        )
+
+
+def _seq_for_pass(pass_number: int) -> int:
+    return 1 + pass_number % _SEQ_PERIOD
+
+
+class RingSender:
+    """Producer side: owns the head counter."""
+
+    def __init__(self, region: SharedRegion, layout: RingLayout):
+        self.region = region
+        self.layout = layout
+        self._head = 0          # messages sent
+        self._known_consumed = 0  # receiver progress we last observed
+        self.sent = 0
+
+    @property
+    def backlog(self) -> int:
+        """Messages in flight as of the last progress observation."""
+        return self._head - self._known_consumed
+
+    def send(self, payload: bytes, poll_interval_ns: float = 50.0):
+        """Process: enqueue ``payload`` (<= 61 B), blocking while full.
+
+        Safe for multiple sender *processes* on the same host: the slot
+        index is reserved synchronously before any yield, so concurrent
+        sends never write the same slot.
+        """
+        if len(payload) > SLOT_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload of {len(payload)} B exceeds slot capacity "
+                f"{SLOT_PAYLOAD_BYTES} B; use the fragmentation layer"
+            )
+        sim = self.region.memsys.sim
+        while True:
+            if self._head - self._known_consumed < self.layout.n_slots:
+                slot_number = self._head
+                self._head += 1  # reserve before yielding
+                break
+            yield from self._refresh_progress()
+            if self._head - self._known_consumed < self.layout.n_slots:
+                continue
+            yield sim.timeout(poll_interval_ns)
+        yield from self._write_slot(slot_number, payload)
+
+    def try_send(self, payload: bytes):
+        """Process: enqueue or raise :class:`RingFullError` (no blocking).
+
+        Refreshes the progress line once before giving up.
+        """
+        if len(payload) > SLOT_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload of {len(payload)} B exceeds slot capacity"
+            )
+        if self._head - self._known_consumed >= self.layout.n_slots:
+            yield from self._refresh_progress()
+            if self._head - self._known_consumed >= self.layout.n_slots:
+                raise RingFullError(
+                    f"ring full ({self.layout.n_slots} slots)"
+                )
+        slot_number = self._head
+        self._head += 1  # reserve before yielding
+        yield from self._write_slot(slot_number, payload)
+
+    def _write_slot(self, slot_number: int, payload: bytes):
+        index = slot_number % self.layout.n_slots
+        seq = _seq_for_pass(slot_number // self.layout.n_slots)
+        slot = bytearray(CACHELINE_BYTES)
+        _HEADER.pack_into(slot, 0, seq, len(payload))
+        slot[3:3 + len(payload)] = payload
+        # One NT store: tag + payload land atomically at the device.
+        yield from self.region.publish(
+            self.layout.slot_offset(index), bytes(slot)
+        )
+        self.sent += 1
+
+    def _refresh_progress(self):
+        raw = yield from self.region.consume_uncached(
+            self.layout.progress_offset, _PROGRESS.size
+        )
+        (consumed,) = _PROGRESS.unpack(raw)
+        self._known_consumed = max(self._known_consumed, consumed)
+
+
+class RingReceiver:
+    """Consumer side: owns the tail counter, publishes progress."""
+
+    def __init__(self, region: SharedRegion, layout: RingLayout,
+                 progress_every: int | None = None):
+        self.region = region
+        self.layout = layout
+        self._tail = 0
+        self.received = 0
+        # Publish progress every quarter ring by default: cheap enough to
+        # be negligible, frequent enough that senders rarely stall.
+        self.progress_every = progress_every or max(1, layout.n_slots // 4)
+
+    def try_recv(self):
+        """Process: poll the current slot once; returns payload or None."""
+        index = self._tail % self.layout.n_slots
+        expect = _seq_for_pass(self._tail // self.layout.n_slots)
+        raw = yield from self.region.consume_uncached(
+            self.layout.slot_offset(index), CACHELINE_BYTES
+        )
+        seq, length = _HEADER.unpack_from(raw, 0)
+        if seq != expect:
+            return None
+        payload = bytes(raw[3:3 + length])
+        self._tail += 1
+        self.received += 1
+        if self._tail % self.progress_every == 0:
+            yield from self._publish_progress()
+        return payload
+
+    def recv(self, poll_overhead_ns: float = 30.0):
+        """Process: busy-poll until a message arrives; returns payload.
+
+        ``poll_overhead_ns`` models the CPU work between polls (branch,
+        slot parse) on top of the CXL read itself.
+        """
+        sim = self.region.memsys.sim
+        while True:
+            payload = yield from self.try_recv()
+            if payload is not None:
+                return payload
+            yield sim.timeout(poll_overhead_ns)
+
+    def _publish_progress(self):
+        line = bytearray(CACHELINE_BYTES)
+        _PROGRESS.pack_into(line, 0, self._tail)
+        yield from self.region.publish(
+            self.layout.progress_offset, bytes(line)
+        )

@@ -1,0 +1,163 @@
+"""Request/response RPC over a pair of ring channels.
+
+An :class:`RpcEndpoint` owns the sending half of one ring and the
+receiving half of another (its peer holds the mirror halves).  Callers get
+synchronous-looking ``call()`` semantics inside simulation processes;
+a background dispatcher demultiplexes replies by request id and feeds
+unsolicited messages to registered handlers — this is how the local host's
+pooling agent services forwarded MMIO operations (§4.1) and how agents
+talk to the orchestrator (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.channel.messages import Message, decode_message
+from repro.channel.ring import RingReceiver, RingSender
+from repro.sim import FilterStore, Interrupt
+
+
+class RpcError(RuntimeError):
+    """Raised when an RPC cannot be completed."""
+
+
+class RpcEndpoint:
+    """One side of a bidirectional ring pair."""
+
+    def __init__(self, sim, name: str,
+                 tx: RingSender, rx: RingReceiver,
+                 poll_overhead_ns: float = 30.0):
+        self.sim = sim
+        self.name = name
+        self.tx = tx
+        self.rx = rx
+        # Datapath endpoints busy-poll (dedicated cores, sub-us latency);
+        # control-plane endpoints may poll lazily to spare CPU.
+        self.poll_overhead_ns = poll_overhead_ns
+        self._next_request_id = 1
+        self._replies = FilterStore(sim, name=f"{name}.replies")
+        self._handlers: dict[type, Callable] = {}
+        self._default_handler: Optional[Callable] = None
+        self._dispatcher = sim.spawn(
+            self._dispatch_loop(), name=f"rpc-dispatch:{name}"
+        )
+        self.calls_sent = 0
+        self.messages_handled = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    @classmethod
+    def pair(cls, pod, host_a: str, host_b: str, n_slots: int = 64,
+             label: str = "", poll_overhead_ns: float = 30.0
+             ) -> tuple["RpcEndpoint", "RpcEndpoint"]:
+        """Build two connected endpoints over freshly-allocated rings."""
+        from repro.channel.ring import RingChannel
+
+        tag = label or f"{host_a}<->{host_b}"
+        a_to_b = RingChannel.over_pod(
+            pod, host_a, host_b, n_slots, label=f"rpc:{tag}:fwd"
+        )
+        b_to_a = RingChannel.over_pod(
+            pod, host_b, host_a, n_slots, label=f"rpc:{tag}:rev"
+        )
+        ep_a = cls(pod.sim, f"{tag}@{host_a}", a_to_b.sender,
+                   b_to_a.receiver, poll_overhead_ns=poll_overhead_ns)
+        ep_b = cls(pod.sim, f"{tag}@{host_b}", b_to_a.sender,
+                   a_to_b.receiver, poll_overhead_ns=poll_overhead_ns)
+        return ep_a, ep_b
+
+    def on(self, message_type: type, handler: Callable) -> None:
+        """Register ``handler(message)`` for unsolicited messages.
+
+        The handler may be a plain function (side effects only) or a
+        generator function (run as a process per message).
+        """
+        self._handlers[message_type] = handler
+
+    def on_any(self, handler: Callable) -> None:
+        """Fallback handler for message types with no specific handler."""
+        self._default_handler = handler
+
+    def close(self) -> None:
+        """Stop the dispatcher (endpoint becomes send-only)."""
+        if self._dispatcher.is_alive:
+            self._dispatcher.interrupt(cause="endpoint closed")
+
+    # -- client side --------------------------------------------------------
+
+    def next_request_id(self) -> int:
+        rid = self._next_request_id
+        self._next_request_id += 1
+        return rid
+
+    def send(self, message: Message):
+        """Process: fire-and-forget a message."""
+        yield from self.tx.send(message.encode())
+        self.calls_sent += 1
+
+    def call(self, message: Message, timeout_ns: Optional[float] = None):
+        """Process: send ``message`` and wait for the matching reply.
+
+        Matching is by ``request_id``; the message must carry one.  Raises
+        :class:`RpcError` on timeout.
+        """
+        rid = message.request_id
+        yield from self.tx.send(message.encode())
+        self.calls_sent += 1
+        get = self._replies.get(lambda m: m.request_id == rid)
+        if timeout_ns is None:
+            reply = yield get
+            return reply
+        deadline = self.sim.timeout(timeout_ns)
+        result = yield get | deadline
+        if get in result:
+            return result[get]
+        # Withdraw the pending get so a late reply does not satisfy a
+        # waiter that already gave up.
+        if get in self._replies._gets:
+            self._replies._gets.remove(get)
+        raise RpcError(
+            f"{self.name}: rpc {type(message).__name__} "
+            f"(id={rid}) timed out after {timeout_ns} ns"
+        )
+
+    # -- dispatcher -----------------------------------------------------------
+
+    def _dispatch_loop(self):
+        try:
+            while True:
+                payload = yield from self.rx.recv(self.poll_overhead_ns)
+                message = decode_message(payload)
+                self.messages_handled += 1
+                handler = self._handlers.get(type(message))
+                if handler is not None:
+                    self._run_handler(handler, message)
+                elif self._awaited_reply(message):
+                    self._replies.put(message)
+                elif self._default_handler is not None:
+                    self._run_handler(self._default_handler, message)
+                else:
+                    # Unmatched message with no handler: park it in the
+                    # reply store in case a caller registers momentarily.
+                    self._replies.put(message)
+        except Interrupt:
+            return
+
+    def _run_handler(self, handler: Callable, message: Message) -> None:
+        result = handler(message)
+        if result is not None and hasattr(result, "send"):
+            self.sim.spawn(result, name=f"rpc-handler:{self.name}")
+
+    def _awaited_reply(self, message: Message) -> bool:
+        """True if some in-flight call() is waiting for this message."""
+        return any(
+            get.predicate is not None and get.predicate(message)
+            for get in self._replies._gets
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<RpcEndpoint {self.name!r} sent={self.calls_sent} "
+            f"handled={self.messages_handled}>"
+        )

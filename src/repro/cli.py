@@ -1,0 +1,185 @@
+"""Command-line front end: run the paper's experiments directly.
+
+Usage::
+
+    python -m repro fig2            # Figure 2: stranded resources
+    python -m repro fig3 [--payload 1024]
+    python -m repro fig4 [--messages 2000]
+    python -m repro sqrtn           # §2.1 pooling estimate
+    python -m repro cost            # §1/§3 dollars
+    python -m repro torless         # §5 rack availability
+    python -m repro list            # show available experiments
+
+Each command prints the same series the corresponding benchmark (and
+the paper's figure) reports.  For the full harness with assertions, run
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_fig2(args) -> None:
+    import numpy as np
+
+    from repro.cluster.resources import DIMENSIONS
+    from repro.cluster.stranding import run_unpooled
+    from repro.cluster.vmtypes import AZURE_LIKE_CATALOG
+
+    reports = [
+        run_unpooled(AZURE_LIKE_CATALOG, n_hosts=args.hosts, seed=s)
+        for s in range(args.seeds)
+    ]
+    print("Figure 2: stranded resources at admission pressure")
+    print(f"{'resource':<12} {'stranded':>9}   paper: SSD 54%, NIC 29%")
+    for dim in DIMENSIONS:
+        mean = float(np.mean([r.stranded[dim] for r in reports]))
+        print(f"{dim:<12} {mean:>9.1%}")
+
+
+def _cmd_sqrtn(args) -> None:
+    from repro.cluster.provisioning import (
+        paper_sqrt_rule,
+        sample_host_io_demand,
+        stranding_vs_pool_size,
+    )
+    from repro.cluster.vmtypes import AZURE_LIKE_CATALOG
+
+    demand = sample_host_io_demand(AZURE_LIKE_CATALOG,
+                                   n_samples=args.samples, seed=0)
+    for label, series in (("SSD", demand.ssd_gb),
+                          ("NIC", demand.nic_gbps)):
+        measured = stranding_vs_pool_size(series, quantile=98.0)
+        s1 = measured[1]
+        print(f"\n{label} stranding vs pool size (s1 = {s1:.1%}):")
+        print(f"{'N':>4} {'measured':>10} {'paper s/sqrt(N)':>16}")
+        for n in (1, 2, 4, 8, 16):
+            print(f"{n:>4} {measured[n]:>10.1%} "
+                  f"{paper_sqrt_rule(s1, n):>16.1%}")
+
+
+def _cmd_fig3(args) -> None:
+    from repro.datapath.placement import BufferPlacement
+    from repro.datapath.udpbench import UdpBenchConfig, run_udp_point
+
+    print(f"Figure 3: UDP latency-throughput, payload "
+          f"{args.payload} B (local vs CXL buffers)")
+    print(f"{'offered':>9} | {'local p50':>10} {'Gbps':>6} | "
+          f"{'cxl p50':>10} {'Gbps':>6}")
+    for load in args.loads:
+        row = {}
+        for placement in BufferPlacement:
+            config = UdpBenchConfig(
+                payload_bytes=args.payload, placement=placement,
+                n_requests=args.requests, seed=11,
+            )
+            row[placement] = run_udp_point(config, load)
+        lp = row[BufferPlacement.LOCAL]
+        cp = row[BufferPlacement.CXL]
+        print(f"{load:>8.0f}G | {lp.rtt_p50_ns / 1000:>8.1f}us "
+              f"{lp.achieved_gbps:>6.1f} | "
+              f"{cp.rtt_p50_ns / 1000:>8.1f}us "
+              f"{cp.achieved_gbps:>6.1f}")
+
+
+def _cmd_fig4(args) -> None:
+    from repro.channel.pingpong import run_pingpong
+    from repro.cxl.params import DEFAULT_TIMINGS
+
+    result = run_pingpong(n_messages=args.messages, seed=0)
+    print("Figure 4: one-way ring-channel message latency")
+    print(f"theoretical floor: {DEFAULT_TIMINGS.message_floor_ns:.0f} ns"
+          f"   paper median: ~600 ns")
+    for q in (10, 50, 90, 99):
+        print(f"  p{q:<4} {result.percentile(q):>6.0f} ns")
+
+
+def _cmd_cost(args) -> None:
+    from repro.analysis.costs import pooling_cost_comparison
+
+    table = pooling_cost_comparison(args.hosts)
+    print(f"Pooling fabric cost, rack of {args.hosts} hosts:")
+    print(f"  PCIe switches : ${table['pcie_switch_rack_usd']:>9,.0f} "
+          f"(paper: 'easily reaches $80,000')")
+    print(f"  CXL pod (new) : "
+          f"${table['cxl_pod_greenfield_rack_usd']:>9,.0f} "
+          f"(${table['cxl_pod_greenfield_per_host_usd']:,.0f}/host)")
+    print(f"  CXL pod (marginal): $0 — already paid for by memory "
+          f"pooling")
+
+
+def _cmd_torless(args) -> None:
+    from repro.analysis.pod_availability import PodTopology
+    from repro.analysis.tor import (
+        dual_tor_rack,
+        single_tor_rack,
+        torless_rack,
+    )
+
+    pod = PodTopology(lam=args.lam, data_copies=2)
+    designs = [
+        single_tor_rack(),
+        dual_tor_rack(),
+        torless_rack(pod_availability=pod.pod_availability(),
+                     n_pooled_nics=8),
+    ]
+    print(f"Rack designs (ToR-less uses a lambda={args.lam} pod, "
+          f"availability {pod.pod_availability():.6f}):")
+    print(f"{'design':<12} {'availability':>13} {'min/yr down':>12} "
+          f"{'switch $':>9}")
+    for design in designs:
+        print(f"{design.name:<12} {design.availability:>13.6f} "
+              f"{design.downtime_minutes_per_year():>12.1f} "
+              f"{design.switch_cost_usd:>9,.0f}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's experiments from the "
+                    "command line.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p = sub.add_parser("fig2", help="Figure 2: stranded resources")
+    p.add_argument("--hosts", type=int, default=48)
+    p.add_argument("--seeds", type=int, default=3)
+    p.set_defaults(fn=_cmd_fig2)
+
+    p = sub.add_parser("sqrtn", help="§2.1 sqrt(N) pooling estimate")
+    p.add_argument("--samples", type=int, default=1000)
+    p.set_defaults(fn=_cmd_sqrtn)
+
+    p = sub.add_parser("fig3", help="Figure 3: UDP latency-throughput")
+    p.add_argument("--payload", type=int, default=1024)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--loads", type=float, nargs="+",
+                   default=[2.0, 10.0, 25.0])
+    p.set_defaults(fn=_cmd_fig3)
+
+    p = sub.add_parser("fig4", help="Figure 4: message latency")
+    p.add_argument("--messages", type=int, default=2000)
+    p.set_defaults(fn=_cmd_fig4)
+
+    p = sub.add_parser("cost", help="§1/§3 cost comparison")
+    p.add_argument("--hosts", type=int, default=32)
+    p.set_defaults(fn=_cmd_cost)
+
+    p = sub.add_parser("torless", help="§5 rack availability")
+    p.add_argument("--lam", type=int, default=4)
+    p.set_defaults(fn=_cmd_torless)
+
+    sub.add_parser("list", help="list experiments")
+
+    args = parser.parse_args(argv)
+    if args.command is None or args.command == "list":
+        parser.print_help()
+        return 0
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

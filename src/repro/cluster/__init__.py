@@ -1,0 +1,40 @@
+"""Datacenter stranding substrate (§2.1, Figure 2).
+
+Reproduces the mechanism behind the paper's motivation: VM placement is a
+multi-dimensional bin-packing problem, hosts fill up along one dimension
+(typically cores or memory) and strand the others — in Azure's production
+fleet, 54% of SSD capacity and 29% of NIC bandwidth on average.
+
+We cannot use Azure's telemetry, so :mod:`repro.cluster.vmtypes` defines a
+synthetic Azure-like VM catalog calibrated so the *unpooled* baseline
+strands ≈54% SSD and ≈29% NIC; :mod:`repro.cluster.pooled` then pools the
+I/O dimensions across groups of N hosts (what PCIe pooling enables) and
+measures how stranding falls — the √N estimate of §2.1.
+"""
+
+from repro.cluster.host import Host, HostSpec
+from repro.cluster.pooled import PooledCluster
+from repro.cluster.resources import DIMENSIONS, ResourceVector
+from repro.cluster.scheduler import BestFit, Cluster, FirstFit, WorstFit
+from repro.cluster.stranding import StrandingReport, measure_stranding
+from repro.cluster.vmtypes import AZURE_LIKE_CATALOG, VmCatalog, VmType
+from repro.cluster.workload import VmRequest, VmStream
+
+__all__ = [
+    "AZURE_LIKE_CATALOG",
+    "BestFit",
+    "Cluster",
+    "DIMENSIONS",
+    "FirstFit",
+    "Host",
+    "HostSpec",
+    "PooledCluster",
+    "ResourceVector",
+    "StrandingReport",
+    "VmCatalog",
+    "VmRequest",
+    "VmStream",
+    "VmType",
+    "WorstFit",
+    "measure_stranding",
+]

@@ -1,0 +1,84 @@
+"""Hosts: capacity, placements, and per-host stranding arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cluster.resources import DIMENSIONS, ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.workload import VmRequest
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Capacity of one server.
+
+    Defaults model a contemporary two-socket cloud server: 96 cores,
+    768 GB DRAM, 8x1.92 TB local NVMe, one 100 Gbps NIC — the "dozen
+    SSDs over PCIe" + "at least one high-bandwidth NIC" shape from §1.
+    """
+
+    capacity: ResourceVector = field(default_factory=lambda: ResourceVector(
+        cores=96, memory_gb=768, ssd_gb=15360, nic_gbps=100,
+    ))
+
+
+class Host:
+    """One server holding VM placements."""
+
+    def __init__(self, host_id: str, spec: HostSpec = HostSpec()):
+        self.host_id = host_id
+        self.spec = spec
+        self.used = ResourceVector()
+        self._placements: dict[int, "VmRequest"] = {}
+
+    @property
+    def capacity(self) -> ResourceVector:
+        return self.spec.capacity
+
+    @property
+    def free(self) -> ResourceVector:
+        return self.capacity - self.used
+
+    @property
+    def n_vms(self) -> int:
+        return len(self._placements)
+
+    def fits(self, demand: ResourceVector) -> bool:
+        return (self.used + demand).fits_in(self.capacity)
+
+    def place(self, vm: "VmRequest") -> None:
+        if vm.vm_id in self._placements:
+            raise ValueError(f"vm {vm.vm_id} already on {self.host_id}")
+        if not self.fits(vm.demand):
+            raise ValueError(
+                f"vm {vm.vm_id} does not fit on {self.host_id}"
+            )
+        self._placements[vm.vm_id] = vm
+        self.used = self.used + vm.demand
+
+    def remove(self, vm_id: int) -> "VmRequest":
+        vm = self._placements.pop(vm_id, None)
+        if vm is None:
+            raise KeyError(f"vm {vm_id} not on {self.host_id}")
+        self.used = self.used - vm.demand
+        return vm
+
+    def utilization(self) -> dict[str, float]:
+        return self.used.utilization_of(self.capacity)
+
+    def stranded(self) -> dict[str, float]:
+        """Per-dimension stranded fraction (1 - utilization)."""
+        return {d: 1.0 - u for d, u in self.utilization().items()}
+
+    def binding_dimension(self) -> str:
+        """The dimension closest to exhaustion."""
+        util = self.utilization()
+        return max(DIMENSIONS, key=lambda d: util[d])
+
+    def __repr__(self) -> str:
+        util = self.utilization()
+        pretty = ", ".join(f"{d}={u:.0%}" for d, u in util.items())
+        return f"<Host {self.host_id} vms={self.n_vms} {pretty}>"

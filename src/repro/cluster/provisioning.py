@@ -1,0 +1,108 @@
+"""Provisioning-for-peak: the √N pooling estimate (§2.1, EST1).
+
+The paper's quantitative pooling claim is a queueing-theory estimate, not
+a packing result: providers provision each host's I/O hardware for its
+*peak* demand, so the average stranded fraction is the gap between the
+provisioned peak and the mean.  Aggregating N independent per-host
+demands concentrates the distribution (σ of the mean ∝ 1/√N), so a pod
+that pools I/O provisions much closer to the mean — "the fraction of
+stranded resources would decrease with √N … pooling across even just
+N = 8 servers would reduce SSD stranding from 54% to 19% and NIC
+stranding from 29% to 10%".
+
+This module reproduces that estimate two ways:
+
+* **Monte Carlo** — per-host I/O demand distributions are *measured* by
+  packing VMs (cores/memory only) onto hosts from the calibrated catalog,
+  then group demands are aggregated and capacity is set at a demand
+  quantile ("provision for the p99-ish peak").
+* **Analytic** — the paper's own 1/√N rule, plus the Erlang-style
+  square-root safety-staffing formula it references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.host import HostSpec
+from repro.cluster.vmtypes import VmCatalog
+from repro.cluster.workload import VmStream
+
+
+@dataclass(frozen=True)
+class IoDemandSample:
+    """Per-host unconstrained I/O demand (cores/memory-bound packing)."""
+
+    ssd_gb: np.ndarray
+    nic_gbps: np.ndarray
+
+
+def sample_host_io_demand(catalog: VmCatalog, n_samples: int = 2000,
+                          seed: int = 0, spec: HostSpec = HostSpec()
+                          ) -> IoDemandSample:
+    """Measure the distribution of per-host I/O demand.
+
+    Each sample packs one host with VMs from the catalog until its cores
+    and memory are exhausted (I/O ignored — this is *offered* demand),
+    then records the total SSD and NIC the packed VMs would want.
+    """
+    stream = VmStream(catalog, seed=seed)
+    capacity = spec.capacity
+    ssd, nic = [], []
+    for _ in range(n_samples):
+        cores = memory = total_ssd = total_nic = 0.0
+        misses = 0
+        while misses < 20:
+            vm = stream.next()
+            if (cores + vm.demand.cores <= capacity.cores
+                    and memory + vm.demand.memory_gb <= capacity.memory_gb):
+                cores += vm.demand.cores
+                memory += vm.demand.memory_gb
+                total_ssd += vm.demand.ssd_gb
+                total_nic += vm.demand.nic_gbps
+                misses = 0
+            else:
+                misses += 1
+        ssd.append(total_ssd)
+        nic.append(total_nic)
+    return IoDemandSample(np.asarray(ssd), np.asarray(nic))
+
+
+def stranding_vs_pool_size(demand: np.ndarray,
+                           pool_sizes=(1, 2, 4, 8, 16),
+                           quantile: float = 99.0,
+                           rng_seed: int = 0) -> dict[int, float]:
+    """Stranded fraction per pool size, provisioning at ``quantile``.
+
+    For pool size N: groups of N per-host demands are aggregated; the
+    provisioned capacity per pool is the ``quantile``-th percentile of
+    group demand; stranding = 1 - mean demand / provisioned capacity.
+    """
+    rng = np.random.default_rng(rng_seed)
+    mean = float(demand.mean())
+    out = {}
+    for n in pool_sizes:
+        groups = rng.choice(demand, size=(20_000, n), replace=True)
+        group_demand = groups.sum(axis=1)
+        provisioned = float(np.percentile(group_demand, quantile))
+        out[n] = 1.0 - (n * mean) / provisioned
+    return out
+
+
+def paper_sqrt_rule(stranding_at_1: float, n: int) -> float:
+    """The paper's back-of-envelope: stranding_N = stranding_1 / sqrt(N)."""
+    return stranding_at_1 / np.sqrt(n)
+
+
+def safety_staffing_stranding(stranding_at_1: float, n: int) -> float:
+    """Square-root safety staffing (Erlang-C flavored).
+
+    If capacity_1 = mu + k*sigma, then capacity_N = N*mu + k*sigma*sqrt(N)
+    and stranding_N = k*sigma*sqrt(N) / capacity_N.  Expressed purely in
+    terms of the N=1 stranding fraction s1 = k*sigma/(mu + k*sigma).
+    """
+    s1 = stranding_at_1
+    ratio = s1 / (1.0 - s1)          # k*sigma / mu
+    return ratio / (np.sqrt(n) + ratio)

@@ -1,0 +1,103 @@
+"""VM placement: the multi-dimensional bin-packing that causes stranding.
+
+The cluster admits VMs from a stream until placement pressure is reached
+(a run of consecutive admission failures), then stranding is measured.
+Placement policies are pluggable; production allocators are best-fit-like
+(Protean picks hosts that remain well-packed), and best-fit is what the
+Figure 2 calibration uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.cluster.host import Host, HostSpec
+from repro.cluster.workload import VmRequest, VmStream
+
+
+class PlacementPolicy(Protocol):
+    def choose(self, hosts: list[Host], vm: VmRequest) -> Optional[Host]:
+        """Pick a host for ``vm`` among those where it fits, or None."""
+        ...  # pragma: no cover
+
+
+class FirstFit:
+    """First host (by id order) where the VM fits."""
+
+    def choose(self, hosts: list[Host], vm: VmRequest) -> Optional[Host]:
+        for host in hosts:
+            if host.fits(vm.demand):
+                return host
+        return None
+
+
+class BestFit:
+    """Host left most tightly packed (highest binding utilization)."""
+
+    def choose(self, hosts: list[Host], vm: VmRequest) -> Optional[Host]:
+        best = None
+        best_score = -1.0
+        for host in hosts:
+            if not host.fits(vm.demand):
+                continue
+            score = (host.used + vm.demand).max_ratio(host.capacity)
+            if score > best_score:
+                best, best_score = host, score
+        return best
+
+
+class WorstFit:
+    """Host left least packed — spreads load (ablation baseline)."""
+
+    def choose(self, hosts: list[Host], vm: VmRequest) -> Optional[Host]:
+        best = None
+        best_score = 2.0
+        for host in hosts:
+            if not host.fits(vm.demand):
+                continue
+            score = (host.used + vm.demand).max_ratio(host.capacity)
+            if score < best_score:
+                best, best_score = host, score
+        return best
+
+
+class Cluster:
+    """A fleet of hosts plus a placement policy."""
+
+    def __init__(self, n_hosts: int, spec: HostSpec = HostSpec(),
+                 policy: Optional[PlacementPolicy] = None):
+        if n_hosts < 1:
+            raise ValueError("cluster needs at least one host")
+        self.hosts = [Host(f"host{i}", spec) for i in range(n_hosts)]
+        self.policy = policy or BestFit()
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, vm: VmRequest) -> bool:
+        """Try to place one VM; returns success."""
+        host = self.policy.choose(self.hosts, vm)
+        if host is None:
+            self.rejected += 1
+            return False
+        host.place(vm)
+        self.admitted += 1
+        return True
+
+    def fill(self, stream: VmStream,
+             stop_after_failures: int = 50,
+             max_vms: int = 1_000_000) -> None:
+        """Admit from ``stream`` until placement pressure.
+
+        Rejected VMs are dropped (no retry queue): the experiment
+        measures the state of a fleet at admission pressure, like the
+        production snapshots behind Figure 2.
+        """
+        consecutive_failures = 0
+        for _ in range(max_vms):
+            if consecutive_failures >= stop_after_failures:
+                return
+            vm = stream.next()
+            if self.admit(vm):
+                consecutive_failures = 0
+            else:
+                consecutive_failures += 1

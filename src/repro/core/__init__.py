@@ -1,0 +1,28 @@
+"""Public facade: software PCIe pooling over a CXL memory pool.
+
+:class:`~repro.core.pool.PciePool` assembles everything the paper
+describes into one object: the CXL pod (§3), the Ethernet fabric, the
+PCIe devices, a pooling agent per host, the orchestrator (§4.2), and the
+channel plumbing that forwards MMIO between hosts (§4.1).
+
+Typical usage::
+
+    from repro.core import PciePool
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    pool = PciePool(sim, n_hosts=4)
+    pool.add_nic("h0")            # only h0 and h1 own NICs...
+    pool.add_nic("h1")
+    pool.start()
+
+    vnic = pool.open_nic("h3")    # ...but h3 gets one from the pool
+
+``vnic.stack`` is a full UDP stack driving whichever physical NIC the
+orchestrator assigned; if that NIC fails, the orchestrator re-assigns and
+the virtual NIC transparently rebuilds on the replacement.
+"""
+
+from repro.core.pool import PciePool, VirtualNic
+
+__all__ = ["PciePool", "VirtualNic"]

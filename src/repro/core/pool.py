@@ -1,0 +1,323 @@
+"""PciePool: the assembled system, and VirtualNic, its user-facing handle."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.channel.rpc import RpcEndpoint
+from repro.cxl.link import LinkSpec
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.datapath.netstack import UdpStack
+from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.datapath.proxy import (
+    DeviceServer,
+    LocalDeviceHandle,
+    RemoteDeviceHandle,
+)
+from repro.orchestrator import (
+    Assignment,
+    Orchestrator,
+    PoolingAgent,
+    wire_control_channel,
+)
+from repro.pcie.accelerator import Accelerator, AcceleratorSpec
+from repro.pcie.fabric import EthernetSwitch
+from repro.pcie.nic import Nic, NicSpec
+from repro.pcie.physnic import PhysicalNic
+from repro.pcie.ssd import Ssd, SsdSpec
+from repro.sim import Simulator
+
+KIND_NIC = "nic"
+KIND_SSD = "ssd"
+KIND_ACCELERATOR = "accelerator"
+
+
+class PciePool:
+    """A CXL pod whose PCIe devices form one software-managed pool."""
+
+    def __init__(self, sim: Simulator, n_hosts: int = 4, n_mhds: int = 2,
+                 mhd_capacity: int = 1 << 28,
+                 link_spec: LinkSpec = LinkSpec(),
+                 orchestrator_host: Optional[str] = None,
+                 policy=None):
+        self.sim = sim
+        self.pod = CxlPod(sim, PodConfig(
+            n_hosts=n_hosts, n_mhds=n_mhds, mhd_capacity=mhd_capacity,
+            link_spec=link_spec, local_dram_bytes=256 << 20,
+        ))
+        self.fabric = EthernetSwitch(sim)
+        self.orchestrator = Orchestrator(sim, policy=policy)
+        self.orchestrator_host = orchestrator_host or self.pod.host_ids[0]
+        self.agents: dict[str, PoolingAgent] = {}
+        self._devices: dict[int, object] = {}
+        self._device_servers: dict[tuple[str, str], tuple] = {}
+        self._next_device_id = 1
+        self._next_mac = 0x02_00_00_00_00_01
+        self._started = False
+        self._vnics: list[VirtualNic] = []
+        self.orchestrator.on_migration(self._on_migration)
+        for host_id in self.pod.host_ids:
+            self._make_agent(host_id)
+
+    # -- construction -------------------------------------------------------------
+
+    def _make_agent(self, host_id: str) -> None:
+        orch_ep, agent_ep = RpcEndpoint.pair(
+            self.pod, self.orchestrator_host, host_id,
+            label=f"ctl:{host_id}",
+            # Control traffic is period-10ms telemetry: lazy polling at
+            # microsecond cadence costs nothing and saves polling CPU.
+            poll_overhead_ns=5_000.0,
+        )
+        wire_control_channel(self.orchestrator, orch_ep, host_id)
+        self.agents[host_id] = PoolingAgent(self.sim, host_id, agent_ep)
+        self._device_servers[("__ctl__", host_id)] = (orch_ep, agent_ep)
+
+    def add_nic(self, owner_host: str, spec: NicSpec = NicSpec(),
+                n_vfs: int = 1) -> PhysicalNic:
+        """Attach a new NIC to ``owner_host`` and pool its VFs.
+
+        With ``n_vfs > 1`` the NIC exposes SR-IOV-style virtual
+        functions: several hosts can borrow queue pairs of one physical
+        port, sharing its line rate.
+        """
+        base_id = self._next_device_id
+        self._next_device_id += n_vfs
+        base_mac = self._next_mac
+        self._next_mac += n_vfs
+        pnic = PhysicalNic(
+            self.sim, f"nic{base_id}@{owner_host}",
+            base_device_id=base_id, base_mac=base_mac,
+            n_vfs=n_vfs, spec=spec,
+        )
+        pnic.attach(self.pod.host(owner_host))
+        pnic.plug_into(self.fabric)
+        pnic.start()
+        for vf in pnic.vfs:
+            self._register(vf, owner_host, KIND_NIC)
+        return pnic
+
+    def add_ssd(self, owner_host: str, spec: SsdSpec = SsdSpec()) -> Ssd:
+        device_id = self._next_device_id
+        self._next_device_id += 1
+        ssd = Ssd(self.sim, f"ssd{device_id}@{owner_host}",
+                  device_id=device_id, spec=spec)
+        ssd.attach(self.pod.host(owner_host))
+        ssd.start()
+        self._register(ssd, owner_host, KIND_SSD)
+        return ssd
+
+    def add_accelerator(self, owner_host: str,
+                        spec: AcceleratorSpec = AcceleratorSpec()
+                        ) -> Accelerator:
+        device_id = self._next_device_id
+        self._next_device_id += 1
+        accel = Accelerator(self.sim, f"accel{device_id}@{owner_host}",
+                            device_id=device_id, spec=spec)
+        accel.attach(self.pod.host(owner_host))
+        accel.start()
+        self._register(accel, owner_host, KIND_ACCELERATOR)
+        return accel
+
+    def _register(self, device, owner_host: str, kind: str) -> None:
+        self._devices[device.device_id] = device
+        self.orchestrator.register_device(device.device_id, owner_host,
+                                          kind)
+        self.agents[owner_host].manage(device)
+
+    def start(self) -> None:
+        """Start the orchestrator and every agent."""
+        if self._started:
+            raise RuntimeError("pool already started")
+        self._started = True
+        self.orchestrator.start()
+        for agent in self.agents.values():
+            agent.start()
+
+    def stop(self) -> None:
+        self.orchestrator.stop()
+        for agent in self.agents.values():
+            agent.stop()
+        for vnic in self._vnics:
+            vnic._teardown()
+        for device in self._devices.values():
+            if hasattr(device, "stop"):
+                device.stop()
+        # Close every channel endpoint: their dispatcher loops busy-poll
+        # shared memory and would otherwise keep the simulation alive.
+        for wired in self._device_servers.values():
+            for item in wired:
+                if isinstance(item, RpcEndpoint):
+                    item.close()
+        self._started = False
+
+    # -- handles --------------------------------------------------------------------
+
+    def device(self, device_id: int):
+        dev = self._devices.get(device_id)
+        if dev is None:
+            raise KeyError(f"unknown device id {device_id}")
+        return dev
+
+    def owner_of(self, device_id: int) -> str:
+        for record in self.orchestrator.devices:
+            if record.device_id == device_id:
+                return record.owner_host
+        raise KeyError(f"unknown device id {device_id}")
+
+    def handle_for(self, borrower_host: str, device_id: int):
+        """A device handle usable from ``borrower_host``.
+
+        Local devices get plain MMIO handles; remote ones get ring-channel
+        forwarding, creating (and caching) the owner<->borrower channel
+        and device server on first use.
+        """
+        device = self.device(device_id)
+        owner = self.owner_of(device_id)
+        if owner == borrower_host:
+            return LocalDeviceHandle(device)
+        key = (owner, borrower_host)
+        wired = self._device_servers.get(key)
+        if wired is None:
+            owner_ep, borrower_ep = RpcEndpoint.pair(
+                self.pod, owner, borrower_host,
+                label=f"dev:{owner}->{borrower_host}",
+            )
+            server = DeviceServer(owner_ep)
+            self._device_servers[key] = (owner_ep, borrower_ep, server)
+            wired = self._device_servers[key]
+        server = wired[2]
+        if device_id not in server.exported_ids:
+            server.export(device)
+        return RemoteDeviceHandle(wired[1], device_id)
+
+    # -- virtual NICs ------------------------------------------------------------------
+
+    def open_nic(self, host_id: str, n_desc: int = 64) -> "VirtualNic":
+        """Allocate a NIC (local-first, else pooled) and build its stack."""
+        assignment = self.orchestrator.request_device(host_id, KIND_NIC)
+        vnic = VirtualNic(self, assignment, n_desc=n_desc)
+        self._vnics.append(vnic)
+        return vnic
+
+    def _on_migration(self, assignment: Assignment,
+                      old_device_id: Optional[int]) -> None:
+        if old_device_id is None:
+            return  # initial bind; open_nic builds the first stack itself
+        for vnic in self._vnics:
+            if vnic.assignment.virtual_id == assignment.virtual_id:
+                vnic._rebind()
+
+    def __repr__(self) -> str:
+        return (
+            f"<PciePool hosts={len(self.pod.hosts)} "
+            f"devices={len(self._devices)} vnics={len(self._vnics)}>"
+        )
+
+
+class VirtualNic:
+    """A host's NIC-shaped view onto whatever the pool assigned it.
+
+    Wraps a :class:`~repro.datapath.netstack.UdpStack` bound to the
+    currently-assigned physical NIC.  When the orchestrator migrates the
+    assignment (failover or load balancing) the stack is torn down and
+    rebuilt on the replacement device; ``on_rebind`` callbacks fire so the
+    application can re-bind its sockets.
+    """
+
+    def __init__(self, pool: PciePool, assignment: Assignment,
+                 n_desc: int = 64):
+        self.pool = pool
+        self.assignment = assignment
+        self.n_desc = n_desc
+        self.stack: Optional[UdpStack] = None
+        self.generation = 0
+        self.on_rebind: list[Callable[["VirtualNic"], None]] = []
+        self._mem: Optional[DriverMemory] = None
+        self._build()
+
+    @property
+    def host_id(self) -> str:
+        return self.assignment.borrower_host
+
+    @property
+    def device_id(self) -> int:
+        return self.assignment.device_id
+
+    @property
+    def mac(self) -> int:
+        return self.pool.device(self.device_id).mac
+
+    @property
+    def is_remote(self) -> bool:
+        return self.pool.owner_of(self.device_id) != self.host_id
+
+    def start(self):
+        """Process: configure the NIC and start the stack."""
+        yield from self.stack.start()
+
+    def close(self) -> None:
+        """Release the assignment and tear the stack down.
+
+        After closing, the orchestrator will not rebind this virtual NIC
+        on failover or rebalancing.
+        """
+        self._teardown()
+        self.pool.orchestrator.release(self.assignment.virtual_id)
+        if self in self.pool._vnics:
+            self.pool._vnics.remove(self)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _build(self) -> None:
+        pool = self.pool
+        device = pool.device(self.device_id)
+        owner = pool.owner_of(self.device_id)
+        handle = pool.handle_for(self.host_id, self.device_id)
+        # Ring geometry is dictated by the device: the driver's CQ seq
+        # tags and slot addressing must wrap exactly like the NIC's.
+        self.n_desc = device.spec.n_desc
+        if owner == self.host_id:
+            placement = BufferPlacement.LOCAL
+            owners = [self.host_id]
+        else:
+            placement = BufferPlacement.CXL
+            owners = sorted({self.host_id, owner})
+        self._mem = DriverMemory(
+            pool.pod.host(self.host_id), pool.pod, placement,
+            owners=owners,
+            label=f"vnic{self.assignment.virtual_id}.g{self.generation}",
+        )
+        self.stack = UdpStack(
+            pool.sim, pool.pod.host(self.host_id), handle, self._mem,
+            mac=device.mac, n_desc=self.n_desc,
+            name=f"vnic{self.assignment.virtual_id}@{self.host_id}",
+            tx_hint=device.tx_cq_hint, rx_hint=device.rx_cq_hint,
+        )
+
+    def _rebind(self) -> None:
+        """Rebuild on the newly-assigned device (called by the pool)."""
+        self._teardown()
+        self.generation += 1
+        self._build()
+        started = self.pool.sim.spawn(
+            self.stack.start(),
+            name=f"vnic-restart:{self.assignment.virtual_id}",
+        )
+        del started  # runs in background; callbacks fire immediately
+        for fn in self.on_rebind:
+            fn(self)
+
+    def _teardown(self) -> None:
+        if self.stack is not None:
+            self.stack.stop()
+        if self._mem is not None:
+            self._mem.release()
+            self._mem = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<VirtualNic v{self.assignment.virtual_id} "
+            f"host={self.host_id} device={self.device_id} "
+            f"gen{self.generation} {'remote' if self.is_remote else 'local'}>"
+        )

@@ -1,0 +1,120 @@
+"""Software coherence over non-coherent shared CXL memory.
+
+Today's pool devices lack CXL 3.0 Back-Invalidate, so the datapath must
+"implement its own software coherence" (§4.1): writers must push data out
+of their caches (non-temporal stores or explicit write-backs) and readers
+must not consume cached copies of lines another host may have rewritten.
+
+:class:`SharedRegion` packages that discipline behind two verbs:
+
+* ``publish(offset, data)`` — write-through to the device (NT stores);
+* ``consume(offset, size)`` — invalidate-then-load so the device copy,
+  not a stale cached copy, is returned.
+
+It also *detects misuse*: publishing with temporal stores or consuming
+through warm cache lines are the bugs the ablation (ABL1) demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.cxl.address import CACHELINE_BYTES, line_range
+from repro.cxl.allocator import Allocation
+from repro.cxl.memsys import HostMemorySystem
+
+
+class CoherenceError(RuntimeError):
+    """Raised on software-coherence discipline violations."""
+
+
+class SharedRegion:
+    """A host's view of one shared pool allocation, with safe verbs.
+
+    Every host sharing the allocation constructs its own ``SharedRegion``
+    over its own memory system; offsets are region-relative so the same
+    code runs on every host.
+    """
+
+    def __init__(self, memsys: HostMemorySystem, allocation: Allocation):
+        if memsys.host_id not in allocation.owners:
+            raise PermissionError(
+                f"host {memsys.host_id!r} does not own shared region "
+                f"{allocation.label or allocation.range!r}"
+            )
+        self.memsys = memsys
+        self.allocation = allocation
+        self.base = allocation.range.base
+        self.size = allocation.range.size
+
+    # -- safe (coherent) verbs --------------------------------------------------
+
+    def publish(self, offset: int, data: bytes):
+        """Process: write ``data`` so every host can observe it.
+
+        Uses non-temporal stores: the data lands at the device, never
+        lingering dirty in this host's cache.
+        """
+        addr = self._addr(offset, len(data))
+        yield from self.memsys.write_span(addr, data, nt=True)
+
+    def consume(self, offset: int, size: int):
+        """Process: read ``size`` bytes, guaranteed fresh from the device.
+
+        Invalidates any locally cached copies first, so a line rewritten
+        by another host (or by a DMA engine on another host) is re-fetched.
+        """
+        addr = self._addr(offset, size)
+        for base in line_range(addr, size):
+            yield from self.memsys.invalidate_line(base)
+        data = yield from self.memsys.read_span(addr, size)
+        return data
+
+    def consume_uncached(self, offset: int, size: int):
+        """Process: like :meth:`consume` but never installs cache lines.
+
+        Pollers use this: repeatedly consuming the same line would
+        otherwise thrash invalidate+fill for no benefit.
+        """
+        addr = self._addr(offset, size)
+        data = yield from self.memsys.read_span(addr, size, uncached=True)
+        return data
+
+    # -- unsafe verbs (for the ablation: what goes wrong without discipline) -----
+
+    def publish_unsafe(self, offset: int, data: bytes):
+        """Process: temporal-store write — data may sit dirty in cache.
+
+        Other hosts then read whatever the device still holds: the stale
+        value.  Exists to demonstrate the hazard (ABL1), not for use.
+        """
+        addr = self._addr(offset, len(data))
+        yield from self.memsys.write_span(addr, data, nt=False)
+
+    def consume_unsafe(self, offset: int, size: int):
+        """Process: cached read — may return a stale cached copy."""
+        addr = self._addr(offset, size)
+        data = yield from self.memsys.read_span(addr, size)
+        return data
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _addr(self, offset: int, size: int) -> int:
+        if offset < 0 or offset + size > self.size:
+            raise CoherenceError(
+                f"span [{offset}, {offset + size}) outside shared region "
+                f"of {self.size} B"
+            )
+        return self.base + offset
+
+    def line_addr(self, offset: int) -> int:
+        """Pod-global address of the line at ``offset`` (must be aligned)."""
+        if offset % CACHELINE_BYTES != 0:
+            raise CoherenceError(
+                f"offset {offset} not {CACHELINE_BYTES} B aligned"
+            )
+        return self._addr(offset, CACHELINE_BYTES)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SharedRegion host={self.memsys.host_id} "
+            f"label={self.allocation.label!r} size={self.size}>"
+        )

@@ -1,0 +1,118 @@
+"""Memory device models: CXL pool devices and host-local DDR5 DRAM.
+
+Devices store real bytes at cacheline granularity, so the functional
+behaviour of the datapath (what a DMA engine reads, what a remote CPU
+observes, whether stale data leaks) is testable, not just its timing.
+Unwritten lines read as zeros, like real DRAM after scrubbing.
+"""
+
+from __future__ import annotations
+
+from repro.cxl.address import CACHELINE_BYTES, AddressRange, line_base
+
+_ZERO_LINE = bytes(CACHELINE_BYTES)
+
+
+class MemoryMedium:
+    """Shared functional behaviour of byte-addressable memory devices."""
+
+    def __init__(self, capacity: int, name: str):
+        if capacity <= 0 or capacity % CACHELINE_BYTES != 0:
+            raise ValueError(
+                f"capacity must be a positive multiple of "
+                f"{CACHELINE_BYTES}, got {capacity}"
+            )
+        self.capacity = capacity
+        self.name = name
+        self._lines: dict[int, bytes] = {}
+
+    def _check(self, addr: int, size: int = CACHELINE_BYTES) -> None:
+        if addr < 0 or addr + size > self.capacity:
+            raise ValueError(
+                f"{self.name}: access [{addr:#x}, {addr + size:#x}) "
+                f"outside capacity {self.capacity:#x}"
+            )
+
+    # -- line granularity -------------------------------------------------
+
+    def read_line(self, addr: int) -> bytes:
+        """Read the 64 B cacheline at ``addr`` (must be line-aligned)."""
+        self._require_aligned(addr)
+        self._check(addr)
+        return self._lines.get(addr, _ZERO_LINE)
+
+    def write_line(self, addr: int, data: bytes) -> None:
+        """Write a full 64 B cacheline at ``addr``."""
+        self._require_aligned(addr)
+        self._check(addr)
+        if len(data) != CACHELINE_BYTES:
+            raise ValueError(
+                f"line write must be {CACHELINE_BYTES} B, got {len(data)}"
+            )
+        self._lines[addr] = bytes(data)
+
+    # -- arbitrary spans (DMA) ----------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``addr`` (any alignment)."""
+        self._check(addr, size)
+        out = bytearray()
+        cur = addr
+        remaining = size
+        while remaining > 0:
+            base = line_base(cur)
+            off = cur - base
+            take = min(CACHELINE_BYTES - off, remaining)
+            out += self._lines.get(base, _ZERO_LINE)[off:off + take]
+            cur += take
+            remaining -= take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at ``addr`` (any alignment)."""
+        self._check(addr, len(data))
+        cur = addr
+        pos = 0
+        while pos < len(data):
+            base = line_base(cur)
+            off = cur - base
+            take = min(CACHELINE_BYTES - off, len(data) - pos)
+            line = bytearray(self._lines.get(base, _ZERO_LINE))
+            line[off:off + take] = data[pos:pos + take]
+            self._lines[base] = bytes(line)
+            cur += take
+            pos += take
+
+    @staticmethod
+    def _require_aligned(addr: int) -> None:
+        if addr % CACHELINE_BYTES != 0:
+            raise ValueError(
+                f"address {addr:#x} is not {CACHELINE_BYTES} B aligned"
+            )
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of lines that have ever been written (for tests)."""
+        return len(self._lines) * CACHELINE_BYTES
+
+
+class CxlMemoryDevice(MemoryMedium):
+    """One CXL memory device (the media behind one or more CXL ports)."""
+
+    def __init__(self, capacity: int, name: str = "cxl-mem"):
+        super().__init__(capacity, name)
+        self.range = AddressRange(0, capacity)
+
+    def __repr__(self) -> str:
+        return f"<CxlMemoryDevice {self.name!r} {self.capacity >> 30}GiB>"
+
+
+class LocalDram(MemoryMedium):
+    """Host-local DDR5 DRAM (private to one host, never shared)."""
+
+    def __init__(self, capacity: int, host_id: str):
+        super().__init__(capacity, f"dram:{host_id}")
+        self.host_id = host_id
+
+    def __repr__(self) -> str:
+        return f"<LocalDram host={self.host_id} {self.capacity >> 30}GiB>"

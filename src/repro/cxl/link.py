@@ -1,0 +1,140 @@
+"""CXL link model: latency, serialization bandwidth, and failures.
+
+A link connects one host port to one CXL device port over the PCIe
+physical layer.  Two access classes are modeled:
+
+* **line ops** (64 B loads / NT stores from a CPU) — pay the load-to-use
+  or store-visibility latency; their serialization time is negligible but
+  is still accounted against the link's byte counters.
+* **bulk transfers** (DMA) — pay serialization (``size / bandwidth``) on a
+  FIFO link arbiter plus one propagation latency, so concurrent transfers
+  queue behind each other exactly like a loaded link.
+
+Links can be administratively or faultily taken down; accesses over a dead
+link raise :class:`LinkDownError`, which the failover machinery observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cxl.params import DEFAULT_BANDWIDTH, DEFAULT_TIMINGS, CxlTimings
+from repro.sim import Resource, Simulator
+from repro.sim.errors import SimError
+
+
+class LinkDownError(SimError):
+    """Raised when an access is attempted over a failed link."""
+
+    def __init__(self, link: "CxlLink"):
+        super().__init__(f"link {link.name} is down")
+        self.link = link
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static configuration of one CXL link."""
+
+    #: Lane count (x4 / x8 / x16).
+    lanes: int = 8
+    #: Sustained bandwidth in GB/s (== bytes/ns).  ``None`` looks the value
+    #: up from the default table for the lane count.
+    bandwidth_gbps: float | None = None
+
+    def resolved_bandwidth(self) -> float:
+        if self.bandwidth_gbps is not None:
+            return self.bandwidth_gbps
+        return DEFAULT_BANDWIDTH.for_width(self.lanes)
+
+
+class CxlLink:
+    """One host-port ↔ device-port CXL link."""
+
+    def __init__(self, sim: Simulator, spec: LinkSpec = LinkSpec(),
+                 timings: CxlTimings = DEFAULT_TIMINGS,
+                 name: str = "cxl-link"):
+        self.sim = sim
+        self.spec = spec
+        self.timings = timings
+        self.name = name
+        #: bytes/ns == GB/s
+        self.bandwidth = spec.resolved_bandwidth()
+        self._arbiter = Resource(sim, capacity=1, name=f"{name}.arbiter")
+        self.up = True
+        # Telemetry.
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.line_ops = 0
+        self.bulk_ops = 0
+
+    # -- health ----------------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the link down (fault injection)."""
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+
+    def _check_up(self) -> None:
+        if not self.up:
+            raise LinkDownError(self)
+
+    # -- latency-only line operations -------------------------------------
+
+    def load_latency(self) -> float:
+        """Load-to-use latency of one cacheline read over this link."""
+        self._check_up()
+        self.line_ops += 1
+        self.bytes_read += 64
+        return self.timings.cxl_load_ns
+
+    def store_latency(self) -> float:
+        """Visibility latency of one non-temporal cacheline store."""
+        self._check_up()
+        self.line_ops += 1
+        self.bytes_written += 64
+        return self.timings.cxl_store_ns
+
+    # -- bulk transfers ----------------------------------------------------
+
+    def transfer(self, size: int, write: bool):
+        """Process: move ``size`` bytes over the link (DMA semantics).
+
+        Yields until the transfer completes.  Serialization time queues
+        FIFO behind other bulk transfers; propagation latency is added
+        once at the end.
+        """
+        if size <= 0:
+            raise ValueError(f"transfer size must be positive, got {size}")
+        self._check_up()
+        with self._arbiter.request() as req:
+            yield req
+            self._check_up()
+            serialize_ns = size / self.bandwidth
+            yield self.sim.timeout(serialize_ns)
+        self._check_up()
+        # Propagation: writes are posted (store-visibility latency); reads
+        # pay the full load-to-use round trip.
+        prop = (self.timings.cxl_store_ns if write
+                else self.timings.cxl_load_ns)
+        yield self.sim.timeout(prop)
+        self.bulk_ops += 1
+        if write:
+            self.bytes_written += size
+        else:
+            self.bytes_read += size
+
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return (
+            f"<CxlLink {self.name!r} x{self.spec.lanes} "
+            f"{self.bandwidth:.0f}GB/s {state}>"
+        )

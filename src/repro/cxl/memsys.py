@@ -1,0 +1,424 @@
+"""Per-host memory system: routes accesses, applies timing, keeps caches.
+
+This is the layer CPU code (network stacks, agents, ring channels) and DMA
+engines talk to.  It routes each physical address either to the host's
+private DDR5 DRAM or — for addresses above :data:`repro.cxl.pod.POOL_BASE`
+— through the host's CXL links to the pod's MHDs, applying the latency
+model from :mod:`repro.cxl.params` along the way.
+
+All CPU-side operations are **generator processes** (``yield from`` them
+inside a simulation process).  The semantics that matter for correctness:
+
+* ``load_line`` may return *stale* data if the line is cached and another
+  host rewrote the pool — that is the non-coherence hazard;
+* ``store_line`` dirties the local cache only; the pool sees nothing;
+* ``store_line_nt`` makes data visible at the device after the CXL store
+  latency (posted: the issuing CPU does not stall for visibility);
+* ``dma_read``/``dma_write`` are device-initiated: coherent with *this*
+  host's cache (snooped, like PCIe on x86) but not with remote caches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cxl.address import CACHELINE_BYTES, line_range
+from repro.cxl.cache import CpuCache
+from repro.sim import AllOf
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cxl.pod import CxlPod, HostPort
+
+
+class HostMemorySystem:
+    """Memory interface of one host in the pod."""
+
+    def __init__(self, sim, pod: "CxlPod", port: "HostPort",
+                 cache: CpuCache | None = None):
+        self.sim = sim
+        self.pod = pod
+        self.port = port
+        self.host_id = port.host_id
+        self.cache = cache or CpuCache(port.host_id)
+        self.timings = pod.timings
+        # Simple bump allocator over local DRAM for driver structures and
+        # buffers (local placement baseline).  Address 0 is left unused so
+        # "0" can mean "unconfigured" in device BAR registers.
+        self._local_brk = CACHELINE_BYTES
+        # Store buffer: NT stores (and flushes) that have been issued but
+        # whose data has not yet reached the memory device.  This host's
+        # own reads see these entries (store forwarding, as on real CPUs);
+        # other hosts do not — they observe the device after the store
+        # latency, which is the whole point of the visibility model.
+        self._store_buffer: dict[int, tuple[int, bytes]] = {}
+        self._store_wid = 0
+
+    def alloc_local(self, size: int, label: str = "") -> int:
+        """Reserve ``size`` bytes of local DRAM; returns the base address.
+
+        A bump allocator is enough here: driver structures live for the
+        whole simulation.  Raises when local DRAM is exhausted.
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        aligned = ((size + CACHELINE_BYTES - 1)
+                   // CACHELINE_BYTES) * CACHELINE_BYTES
+        base = self._local_brk
+        if base + aligned > self.port.local_dram.capacity:
+            raise MemoryError(
+                f"{self.host_id}: local DRAM exhausted allocating "
+                f"{size} B for {label!r}"
+            )
+        self._local_brk = base + aligned
+        return base
+
+    # -- routing helpers -------------------------------------------------------
+
+    def _is_pool(self, addr: int) -> bool:
+        return self.pod.is_pool_address(addr)
+
+    def _link_for(self, addr: int):
+        mhd_idx, _media, _dev = self.pod.route(addr)
+        return self.port.links[mhd_idx]
+
+    def _medium_read_line(self, addr: int) -> bytes:
+        if self._is_pool(addr):
+            _idx, media, dev = self.pod.route(addr)
+            return media.read_line(dev)
+        return self.port.local_dram.read_line(addr)
+
+    def _medium_write_line(self, addr: int, data: bytes) -> None:
+        if self._is_pool(addr):
+            _idx, media, dev = self.pod.route(addr)
+            media.write_line(dev, data)
+        else:
+            self.port.local_dram.write_line(addr, data)
+
+    # -- CPU line operations -----------------------------------------------------
+
+    def load_line(self, addr: int):
+        """Process: cached 64 B load.  Returns the line's bytes.
+
+        A cache hit returns the cached copy even if the pool has newer
+        data — consumers of shared memory must use :meth:`invalidate_line`
+        or :meth:`load_line_uncached` first (software coherence).  This
+        host's own in-flight NT stores are forwarded (store forwarding).
+        """
+        yield self.sim.timeout(self.timings.cpu_issue_ns)
+        cached = self.cache.lookup(addr)
+        if cached is not None:
+            yield self.sim.timeout(self.timings.cache_hit_ns)
+            return cached
+        buffered = self._store_buffer.get(addr)
+        if buffered is not None:
+            # Store forwarding: own pending NT store, visible immediately.
+            yield self.sim.timeout(self.timings.cache_hit_ns)
+            return buffered[1]
+        data = self._medium_read_line(addr)  # sampled at issue time
+        yield self.sim.timeout(self._miss_latency(addr))
+        self._handle_evictions(self.cache.fill(addr, data))
+        return data
+
+    def store_line(self, addr: int, data: bytes):
+        """Process: cached (temporal) 64 B store — pool does NOT see it."""
+        yield self.sim.timeout(
+            self.timings.cpu_issue_ns + self.timings.cache_hit_ns
+        )
+        self._handle_evictions(self.cache.write(addr, data))
+
+    def store_line_nt(self, addr: int, data: bytes):
+        """Process: non-temporal 64 B store, posted to the device.
+
+        The issuing CPU pays only the issue cost; the data becomes visible
+        at the memory device after the CXL (or DDR) store latency.  Until
+        then it sits in this host's store buffer, where the host's own
+        reads (but nobody else's) can see it.
+        """
+        yield self.sim.timeout(self.timings.cpu_issue_ns)
+        self.cache.drop_clean(addr)
+        self._commit_nt(addr, bytes(data))
+
+    def flush_line(self, addr: int):
+        """Process: clwb — write back the line if dirty (keeps it cached)."""
+        yield self.sim.timeout(self.timings.cpu_issue_ns)
+        data = self.cache.take_dirty(addr)
+        if data is None:
+            return
+        # clwb retires once the data is accepted; visibility is posted.
+        self._commit_nt(addr, data)
+
+    def invalidate_line(self, addr: int):
+        """Process: drop the cached copy (forcing the next load to fetch).
+
+        Dirty data is written back first (clflush semantics) so local
+        modifications are not silently lost.
+        """
+        yield self.sim.timeout(self.timings.cpu_issue_ns)
+        dirty = self.cache.invalidate(addr)
+        if dirty is not None:
+            self._commit_nt(addr, dirty)
+
+    def load_line_uncached(self, addr: int):
+        """Process: 64 B load that bypasses the cache entirely.
+
+        The device state is sampled when the request is *issued* (a load
+        that starts before a concurrent store becomes visible misses it and
+        still pays full latency) — this is what makes a polling loop's
+        observed latency sit one full CXL read above the store-visibility
+        time, the "slightly above one write + one read" floor of Figure 4.
+        Own pending NT stores are forwarded; own *temporal* stores are
+        not — do not mix cached writes with uncached polls on one line.
+        """
+        buffered = self._store_buffer.get(addr)
+        data = (buffered[1] if buffered is not None
+                else self._medium_read_line(addr))
+        yield self.sim.timeout(
+            self.timings.cpu_issue_ns + self._miss_latency(addr)
+        )
+        return data
+
+    def _commit_nt(self, addr: int, data: bytes) -> None:
+        """Enter ``data`` into the store buffer and schedule visibility."""
+        self._store_wid += 1
+        wid = self._store_wid
+        self._store_buffer[addr] = (wid, data)
+        self.sim.spawn(
+            self._drain_store(addr, wid, data, self._store_latency(addr)),
+            name=f"nt-drain:{self.host_id}:{addr:#x}",
+        )
+
+    def _drain_store(self, addr: int, wid: int, data: bytes, delay: float):
+        yield self.sim.timeout(delay)
+        self._medium_write_line(addr, data)
+        entry = self._store_buffer.get(addr)
+        if entry is not None and entry[0] == wid:
+            del self._store_buffer[addr]
+
+    # -- convenience span operations (CPU, cached) -------------------------------
+
+    def write_span(self, addr: int, data: bytes, nt: bool = False):
+        """Process: store an arbitrary span line by line.
+
+        Only whole-line semantics are modeled: partial first/last lines are
+        read-modify-written functionally.  With ``nt=True`` every line is
+        pushed straight to the device (publish semantics).
+        """
+        pos = 0
+        for base in line_range(addr, len(data)):
+            off = max(addr - base, 0)
+            take = min(CACHELINE_BYTES - off, len(data) - pos)
+            # Pay the store cost first; merge partial lines at commit time
+            # (in this same resume) so interleaved writers to neighbouring
+            # fragments of one cacheline never lose each other's update.
+            if nt:
+                yield self.sim.timeout(self.timings.cpu_issue_ns)
+            else:
+                yield self.sim.timeout(
+                    self.timings.cpu_issue_ns + self.timings.cache_hit_ns
+                )
+            if off == 0 and take == CACHELINE_BYTES:
+                line = data[pos:pos + take]
+            else:
+                current = self._peek_line(base)
+                line = (current[:off] + data[pos:pos + take]
+                        + current[off + take:])
+            if nt:
+                self.cache.drop_clean(base)
+                self._commit_nt(base, bytes(line))
+            else:
+                self._handle_evictions(self.cache.write(base, line))
+            pos += take
+
+    def read_span(self, addr: int, size: int, uncached: bool = False):
+        """Process: load an arbitrary span line by line; returns bytes."""
+        out = bytearray()
+        for base in line_range(addr, size):
+            if uncached:
+                line = yield from self.load_line_uncached(base)
+            else:
+                line = yield from self.load_line(base)
+            start = max(addr - base, 0)
+            end = min(addr + size - base, CACHELINE_BYTES)
+            out += line[start:end]
+        return bytes(out)
+
+    def _peek_line(self, addr: int) -> bytes:
+        """Functional read for read-modify-write (this host's view).
+
+        Sees, in freshness order: this host's cache, its store buffer,
+        then the memory device.  Never sees other hosts' caches — that is
+        the hazard, not a bug.
+        """
+        cached = self.cache._lines.get(addr)
+        if cached is not None:
+            return cached[0]
+        buffered = self._store_buffer.get(addr)
+        if buffered is not None:
+            return buffered[1]
+        return self._medium_read_line(addr)
+
+    # -- bulk (memcpy-style) operations --------------------------------------
+
+    def _stream_time(self, addr: int, size: int) -> float:
+        """Pipelined streaming time for a bulk CPU copy of ``size`` bytes."""
+        if not self._is_pool(addr):
+            return size / self.timings.ddr5_bandwidth_gbps
+        offset = self.pod.pool_range.offset_of(addr)
+        per_link = self.pod.interleave.bytes_per_link(offset, size)
+        return max(
+            nbytes / self.port.links[idx].bandwidth
+            for idx, nbytes in per_link.items()
+        )
+
+    def write_bulk(self, addr: int, data: bytes, nt: bool = False):
+        """Process: streaming store of an arbitrary span (memcpy).
+
+        Pays one issue cost plus bandwidth-bound streaming time, then
+        commits every line atomically in a single resume.  This is how
+        payload buffers are filled; per-line :meth:`write_span` is for
+        small control structures.
+        """
+        size = len(data)
+        if size == 0:
+            return
+        yield self.sim.timeout(
+            self.timings.cpu_issue_ns + self._stream_time(addr, size)
+        )
+        pos = 0
+        for base in line_range(addr, size):
+            off = max(addr - base, 0)
+            take = min(CACHELINE_BYTES - off, size - pos)
+            if off == 0 and take == CACHELINE_BYTES:
+                line = data[pos:pos + take]
+            else:
+                current = self._peek_line(base)
+                line = (current[:off] + data[pos:pos + take]
+                        + current[off + take:])
+            if nt:
+                self.cache.drop_clean(base)
+                self._commit_nt(base, bytes(line))
+            else:
+                self._handle_evictions(self.cache.write(base, line))
+            pos += take
+
+    def read_bulk(self, addr: int, size: int, uncached: bool = False):
+        """Process: streaming load of an arbitrary span (memcpy).
+
+        Pays one leading-miss latency plus bandwidth-bound streaming time.
+        Data is assembled from this host's coherent view (cache unless
+        ``uncached``, store buffer, then device); lines are not installed
+        in the cache (streaming semantics).
+        """
+        if size == 0:
+            return b""
+        yield self.sim.timeout(
+            self.timings.cpu_issue_ns
+            + self._miss_latency(addr - addr % CACHELINE_BYTES)
+            + self._stream_time(addr, size)
+        )
+        out = bytearray()
+        for base in line_range(addr, size):
+            if uncached:
+                buffered = self._store_buffer.get(base)
+                line = (buffered[1] if buffered is not None
+                        else self._medium_read_line(base))
+            else:
+                line = self._peek_line(base)
+            start = max(addr - base, 0)
+            end = min(addr + size - base, CACHELINE_BYTES)
+            out += line[start:end]
+        return bytes(out)
+
+    # -- DMA (device-initiated on this host) ---------------------------------------
+
+    def dma_write(self, addr: int, data: bytes):
+        """Process: a locally-attached PCIe device writes ``data``.
+
+        Pool-bound spans are split over the host's CXL links at the pod's
+        interleave granularity and transferred in parallel.  This host's
+        cache is snooped (lines invalidated) like coherent PCIe DMA; remote
+        hosts' caches are NOT — the cross-host hazard the design works
+        around.
+        """
+        yield from self._dma(addr, len(data), write=True)
+        if self._is_pool(addr):
+            self.pod.pool_write(addr, data)
+        else:
+            self.port.local_dram.write(addr, data)
+        for base in line_range(addr, len(data)):
+            self.cache.drop_clean(base)
+
+    def dma_read(self, addr: int, size: int):
+        """Process: a locally-attached PCIe device reads ``size`` bytes.
+
+        Snoops this host's dirty cache lines (local DMA is coherent) but
+        sees only device data for lines dirtied on *other* hosts.
+        """
+        yield from self._dma(addr, size, write=False)
+        if self._is_pool(addr):
+            data = bytearray(self.pod.pool_read(addr, size))
+        else:
+            data = bytearray(self.port.local_dram.read(addr, size))
+        # Overlay this host's store buffer and dirty lines (snoop): local
+        # DMA is coherent with the issuing host, never with remote hosts.
+        dirty = self.cache.dirty_lines()
+        if dirty or self._store_buffer:
+            for base in line_range(addr, size):
+                buffered = self._store_buffer.get(base)
+                line = dirty.get(base, buffered[1] if buffered else None)
+                if line is None:
+                    continue
+                start = max(addr, base)
+                end = min(addr + size, base + CACHELINE_BYTES)
+                data[start - addr:end - addr] = (
+                    line[start - base:end - base]
+                )
+        return bytes(data)
+
+    def _dma(self, addr: int, size: int, write: bool):
+        if not self._is_pool(addr):
+            # Local DRAM: pay DDR bandwidth + store/load latency.
+            serialize = size / self.timings.ddr5_bandwidth_gbps
+            base_lat = (self.timings.ddr5_store_ns if write
+                        else self.timings.ddr5_load_ns)
+            yield self.sim.timeout(serialize + base_lat)
+            return
+        # Pool: split across links per the interleave map, in parallel.
+        offset = self.pod.pool_range.offset_of(addr)
+        per_link = self.pod.interleave.bytes_per_link(offset, size)
+        transfers = [
+            self.sim.spawn(
+                self.port.links[link_idx].transfer(nbytes, write=write),
+                name=f"dma:{self.host_id}:link{link_idx}",
+            )
+            for link_idx, nbytes in sorted(per_link.items())
+        ]
+        yield AllOf(self.sim, transfers)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _miss_latency(self, addr: int) -> float:
+        if self._is_pool(addr):
+            return self._link_for(addr).load_latency()
+        return self.timings.ddr5_load_ns
+
+    def _store_latency(self, addr: int) -> float:
+        if self._is_pool(addr):
+            return self._link_for(addr).store_latency()
+        return self.timings.ddr5_store_ns
+
+    def _delayed_line_write(self, addr: int, data: bytes, delay: float):
+        yield self.sim.timeout(delay)
+        self._medium_write_line(addr, data)
+
+    def _handle_evictions(self, evicted: list[tuple[int, bytes]]) -> None:
+        # Dirty evictions write back asynchronously (like a real WB cache).
+        for addr, data in evicted:
+            delay = self._store_latency(addr)
+            self.sim.spawn(
+                self._delayed_line_write(addr, data, delay),
+                name=f"evict-wb:{self.host_id}:{addr:#x}",
+            )
+
+    def __repr__(self) -> str:
+        return f"<HostMemorySystem {self.host_id}>"

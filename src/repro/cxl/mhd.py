@@ -1,0 +1,100 @@
+"""Multi-headed CXL memory devices (MHDs).
+
+An MHD is a CXL memory device with several CXL ports, each of which can be
+cabled directly to one host — the switch-less pod construction the paper
+expects to be deployed first (§3).  Commercial MHDs offer up to 20 ports;
+pods scale further by combining multiple MHDs (Octopus-style dense
+topologies), which is also how λ-redundant paths arise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cxl.device import CxlMemoryDevice
+from repro.cxl.link import CxlLink, LinkSpec
+from repro.cxl.params import DEFAULT_TIMINGS, CxlTimings
+from repro.sim import Simulator
+
+#: Port count of the largest MHD shipping today (§3 cites 20-port devices).
+MAX_MHD_PORTS = 20
+
+
+class MhdPortExhausted(RuntimeError):
+    """Raised when connecting more hosts than the MHD has ports."""
+
+
+class MultiHeadedDevice:
+    """A CXL memory device with up to :data:`MAX_MHD_PORTS` host ports."""
+
+    def __init__(self, sim: Simulator, capacity: int, n_ports: int,
+                 link_spec: LinkSpec = LinkSpec(),
+                 timings: CxlTimings = DEFAULT_TIMINGS,
+                 name: str = "mhd"):
+        if not 1 <= n_ports <= MAX_MHD_PORTS:
+            raise ValueError(
+                f"MHD port count must be in [1, {MAX_MHD_PORTS}], "
+                f"got {n_ports}"
+            )
+        self.sim = sim
+        self.name = name
+        self.n_ports = n_ports
+        self.link_spec = link_spec
+        self.timings = timings
+        self.memory = CxlMemoryDevice(capacity, name=f"{name}.media")
+        self._ports: dict[int, Optional[str]] = {
+            p: None for p in range(n_ports)
+        }
+        self._links: dict[str, CxlLink] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self.memory.capacity
+
+    @property
+    def free_ports(self) -> int:
+        return sum(1 for owner in self._ports.values() if owner is None)
+
+    def connect(self, host_id: str) -> CxlLink:
+        """Cable ``host_id`` to the next free port; returns the link."""
+        if host_id in self._links:
+            raise ValueError(f"host {host_id!r} already connected to {self.name}")
+        for port, owner in self._ports.items():
+            if owner is None:
+                self._ports[port] = host_id
+                link = CxlLink(
+                    self.sim, self.link_spec, self.timings,
+                    name=f"{self.name}.p{port}<->{host_id}",
+                )
+                self._links[host_id] = link
+                return link
+        raise MhdPortExhausted(
+            f"{self.name}: all {self.n_ports} ports in use"
+        )
+
+    def disconnect(self, host_id: str) -> None:
+        """Remove a host's cabling (e.g. decommissioning)."""
+        if host_id not in self._links:
+            raise KeyError(f"host {host_id!r} not connected to {self.name}")
+        del self._links[host_id]
+        for port, owner in self._ports.items():
+            if owner == host_id:
+                self._ports[port] = None
+                return
+
+    def link_of(self, host_id: str) -> CxlLink:
+        """The link connecting ``host_id`` to this MHD."""
+        link = self._links.get(host_id)
+        if link is None:
+            raise KeyError(f"host {host_id!r} not connected to {self.name}")
+        return link
+
+    @property
+    def connected_hosts(self) -> list[str]:
+        return sorted(self._links)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MHD {self.name!r} {self.capacity >> 30}GiB "
+            f"{self.n_ports - self.free_ports}/{self.n_ports} ports used>"
+        )

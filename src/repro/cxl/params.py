@@ -1,0 +1,87 @@
+"""Timing and bandwidth parameters for the memory hierarchy.
+
+All latency constants are in nanoseconds and derive from the measurements
+the paper cites:
+
+* Local DDR5 idle load-to-use ≈ 95 ns (typical two-socket server DRAM).
+* CXL idle load-to-use ≈ 2.15× local DDR5 on an Astera Leo controller
+  behind a PCIe-5.0 link [Sharma'24, Sun'23] → ≈ 204 ns.
+* A PCIe-5.0 x8 CXL link sustains ≈ 30 GB/s at a 2:1 read:write mix —
+  comparable to one DDR5-4800 channel (§3).
+
+The paper's Figure 4 notes the ring-channel median (~600 ns) sits slightly
+above the theoretical floor of one CXL write plus one CXL read; the
+``cpu_issue_ns`` and receiver polling interval (see
+:mod:`repro.channel.ring`) supply that "slightly above" gap in our model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CxlTimings:
+    """Latency constants (ns) for local DDR5 and pooled CXL memory."""
+
+    #: Idle load-to-use latency of local DDR5.
+    ddr5_load_ns: float = 95.0
+    #: DDR5 store (write into the local memory controller write queue).
+    ddr5_store_ns: float = 80.0
+    #: Multiplier for CXL idle load-to-use over local DDR5 (measured 2.15x).
+    cxl_latency_multiplier: float = 2.15
+    #: One-way propagation share of a CXL access.  A load pays the full
+    #: load-to-use latency; a posted (non-temporal) store pays roughly the
+    #: one-way cost before the data is globally visible at the device.
+    cxl_store_fraction: float = 1.0
+    #: Fixed CPU cost to issue a load/store (address generation, store
+    #: buffer drain for NT stores).
+    cpu_issue_ns: float = 10.0
+    #: Cost of an ``sfence`` draining write-combining buffers.  Note this
+    #: orders stores; it does not wait for device-side visibility — the
+    #: doorbell MMIO plus the device's descriptor fetch cover that window.
+    sfence_ns: float = 30.0
+    #: L1/L2 hit latency for cached lines.
+    cache_hit_ns: float = 4.0
+    #: Local DRAM bandwidth per host (one DDR5-4800 channel pair), bytes/ns
+    #: (= GB/s when expressed per ns).
+    ddr5_bandwidth_gbps: float = 60.0
+
+    @property
+    def cxl_load_ns(self) -> float:
+        """Idle CXL load-to-use latency (ns)."""
+        return self.ddr5_load_ns * self.cxl_latency_multiplier
+
+    @property
+    def cxl_store_ns(self) -> float:
+        """Latency until an NT store is visible at the CXL device (ns)."""
+        return self.cxl_load_ns * self.cxl_store_fraction
+
+    @property
+    def message_floor_ns(self) -> float:
+        """Theoretical message-passing floor: one CXL write + one read."""
+        return self.cxl_store_ns + self.cxl_load_ns
+
+
+#: Default timing model used throughout the repository.
+DEFAULT_TIMINGS = CxlTimings()
+
+
+@dataclass(frozen=True)
+class BandwidthTable:
+    """Per-link-width sustained CXL bandwidth (GB/s at 2:1 read:write)."""
+
+    by_width: dict[int, float] = field(
+        default_factory=lambda: {4: 15.0, 8: 30.0, 16: 60.0}
+    )
+
+    def for_width(self, lanes: int) -> float:
+        if lanes not in self.by_width:
+            raise ValueError(
+                f"unsupported link width x{lanes}; "
+                f"known: {sorted(self.by_width)}"
+            )
+        return self.by_width[lanes]
+
+
+DEFAULT_BANDWIDTH = BandwidthTable()

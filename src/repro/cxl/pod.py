@@ -1,0 +1,199 @@
+"""CXL pods: hosts within a rack sharing an MHD-based memory pool.
+
+A pod (§3) is built from one or more multi-headed devices.  Every host has
+one CXL link to every MHD; the pool's physical address space is interleaved
+across the MHDs at 256 B granularity, so bulk transfers aggregate the
+bandwidth of all links and the pod offers λ = ``n_mhds`` redundant devices
+(the dense-topology construction the paper cites for high availability).
+
+Pool addresses are *pod-global*: every host maps the pool at the same
+physical base (:data:`POOL_BASE`), so a pool pointer can be passed between
+hosts — exactly what the shared-memory datapath needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cxl.address import AddressRange, InterleaveMap, INTERLEAVE_BYTES
+from repro.cxl.allocator import Allocation, PoolAllocator
+from repro.cxl.device import CxlMemoryDevice, LocalDram
+from repro.cxl.link import CxlLink, LinkSpec
+from repro.cxl.memsys import HostMemorySystem
+from repro.cxl.mhd import MultiHeadedDevice
+from repro.cxl.params import DEFAULT_TIMINGS, CxlTimings
+from repro.sim import Simulator
+
+#: Host physical address where the pool window is mapped (identical on all
+#: hosts so pool pointers are portable across the pod).
+POOL_BASE = 1 << 40
+
+#: Default local DRAM per host: 4 GiB of modeled address space.
+DEFAULT_LOCAL_DRAM = 4 << 30
+
+
+@dataclass(frozen=True)
+class PodConfig:
+    """Static description of a CXL pod."""
+
+    n_hosts: int = 8
+    n_mhds: int = 2
+    mhd_capacity: int = 64 << 30
+    link_spec: LinkSpec = field(default_factory=LinkSpec)
+    timings: CxlTimings = DEFAULT_TIMINGS
+    interleave_bytes: int = INTERLEAVE_BYTES
+    local_dram_bytes: int = DEFAULT_LOCAL_DRAM
+
+    def __post_init__(self):
+        if self.n_hosts < 1:
+            raise ValueError("a pod needs at least one host")
+        if self.n_mhds < 1:
+            raise ValueError("a pod needs at least one MHD")
+
+    @property
+    def pool_capacity(self) -> int:
+        return self.n_mhds * self.mhd_capacity
+
+
+class HostPort:
+    """One host's attachment to the pod: its links, DRAM, and cache."""
+
+    def __init__(self, host_id: str, links: list[CxlLink],
+                 local_dram: LocalDram):
+        self.host_id = host_id
+        self.links = links
+        self.local_dram = local_dram
+
+    def __repr__(self) -> str:
+        up = sum(1 for link in self.links if link.up)
+        return f"<HostPort {self.host_id} links={up}/{len(self.links)} up>"
+
+
+class CxlPod:
+    """A rack-scale CXL pod: hosts + MHDs + pool address space."""
+
+    def __init__(self, sim: Simulator, config: PodConfig = PodConfig()):
+        self.sim = sim
+        self.config = config
+        self.timings = config.timings
+        self.mhds = [
+            MultiHeadedDevice(
+                sim, config.mhd_capacity,
+                n_ports=min(config.n_hosts, 20),
+                link_spec=config.link_spec,
+                timings=config.timings,
+                name=f"mhd{idx}",
+            )
+            for idx in range(config.n_mhds)
+        ]
+        self.interleave = InterleaveMap(
+            config.n_mhds, granularity=config.interleave_bytes
+        )
+        self.allocator = PoolAllocator(config.pool_capacity)
+        self._inner_allocs: dict[int, Allocation] = {}
+        self.pool_range = AddressRange(POOL_BASE, config.pool_capacity)
+        self.hosts: dict[str, HostMemorySystem] = {}
+        for idx in range(config.n_hosts):
+            self._attach(f"h{idx}")
+
+    # -- host attachment -----------------------------------------------------
+
+    def _attach(self, host_id: str) -> HostMemorySystem:
+        links = [mhd.connect(host_id) for mhd in self.mhds]
+        port = HostPort(
+            host_id, links,
+            LocalDram(self.config.local_dram_bytes, host_id),
+        )
+        memsys = HostMemorySystem(self.sim, self, port)
+        self.hosts[host_id] = memsys
+        return memsys
+
+    def host(self, host_id: str) -> HostMemorySystem:
+        """Memory system of ``host_id``."""
+        memsys = self.hosts.get(host_id)
+        if memsys is None:
+            raise KeyError(
+                f"unknown host {host_id!r}; pod hosts: {sorted(self.hosts)}"
+            )
+        return memsys
+
+    @property
+    def host_ids(self) -> list[str]:
+        return sorted(self.hosts, key=lambda h: (len(h), h))
+
+    # -- pool address routing -------------------------------------------------
+
+    def is_pool_address(self, addr: int) -> bool:
+        return self.pool_range.contains(addr)
+
+    def route(self, addr: int) -> tuple[int, CxlMemoryDevice, int]:
+        """Route a pool address to ``(mhd_index, media, device_addr)``.
+
+        The pool space is round-robin interleaved across MHDs at
+        ``interleave_bytes`` granularity.
+        """
+        offset = self.pool_range.offset_of(addr)
+        gran = self.interleave.granularity
+        block, within = divmod(offset, gran)
+        mhd_idx = block % self.config.n_mhds
+        device_addr = (block // self.config.n_mhds) * gran + within
+        return mhd_idx, self.mhds[mhd_idx].memory, device_addr
+
+    # -- functional pool access (no timing; used by media-side agents) --------
+
+    def pool_read(self, addr: int, size: int) -> bytes:
+        """Read pool bytes directly from the media (no cache, no timing)."""
+        out = bytearray()
+        for _link, chunk_addr, chunk_size in self._chunks(addr, size):
+            _idx, media, dev_addr = self.route(chunk_addr)
+            out += media.read(dev_addr, chunk_size)
+        return bytes(out)
+
+    def pool_write(self, addr: int, data: bytes) -> None:
+        """Write pool bytes directly to the media (no cache, no timing)."""
+        pos = 0
+        for _link, chunk_addr, chunk_size in self._chunks(addr, len(data)):
+            _idx, media, dev_addr = self.route(chunk_addr)
+            media.write(dev_addr, data[pos:pos + chunk_size])
+            pos += chunk_size
+
+    def _chunks(self, addr: int, size: int):
+        offset = self.pool_range.offset_of(addr)
+        if not self.pool_range.contains(addr, size):
+            raise ValueError(
+                f"pool span [{addr:#x}, {addr + size:#x}) exceeds pool"
+            )
+        return [
+            (link, self.pool_range.base + chunk_off, chunk_size)
+            for link, chunk_off, chunk_size
+            in self.interleave.split(offset, size)
+        ]
+
+    # -- allocation -------------------------------------------------------------
+
+    def allocate(self, size: int, owners, label: str = "") -> Allocation:
+        """Allocate pool memory.
+
+        The returned allocation's range uses pod-global (POOL_BASE-mapped)
+        addresses, directly usable by every owner's memory system.
+        """
+        inner = self.allocator.allocate(size, owners, label)
+        rebased = Allocation(
+            AddressRange(inner.range.base + POOL_BASE, inner.range.size),
+            inner.owners, inner.label,
+        )
+        self._inner_allocs[rebased.range.base] = inner
+        return rebased
+
+    def free(self, alloc: Allocation) -> None:
+        """Release pool memory allocated via :meth:`allocate`."""
+        inner = self._inner_allocs.pop(alloc.range.base, None)
+        if inner is None or inner.range.size != alloc.range.size:
+            raise ValueError(f"{alloc!r} is not a live pod allocation")
+        self.allocator.free(inner)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CxlPod hosts={len(self.hosts)} mhds={len(self.mhds)} "
+            f"pool={self.config.pool_capacity >> 30}GiB>"
+        )

@@ -1,0 +1,119 @@
+"""Mirrored volumes (RAID-1) over pooled SSDs: §2.2 applied to storage.
+
+Striping (:mod:`repro.datapath.striping`) buys bandwidth; mirroring buys
+*availability*: writes go to every replica, reads are served by any
+healthy one, and a dead SSD — or a dead owner host — degrades the
+volume instead of losing data.  Combined with the pool, the replicas
+naturally live behind *different* hosts, so the §2.2 failover story
+extends to storage: no per-host spare SSDs, just pool-wide redundancy.
+"""
+
+from __future__ import annotations
+
+from repro.pcie.device import DeviceFailedError
+from repro.sim import AllOf
+
+
+class MirrorDegradedError(RuntimeError):
+    """All replicas of a mirrored volume have failed."""
+
+
+class MirroredVolume:
+    """RAID-1 across N block clients (local or pooled SSDs)."""
+
+    def __init__(self, sim, replicas, name: str = "mirror"):
+        if not replicas:
+            raise ValueError("a mirror needs at least one replica")
+        self.sim = sim
+        self.replicas = list(replicas)
+        self.name = name
+        self._healthy = [True] * len(replicas)
+        self._read_rr = 0
+        self.reads_served = 0
+        self.writes_served = 0
+        self.failovers = 0
+
+    @property
+    def healthy_count(self) -> int:
+        return sum(self._healthy)
+
+    @property
+    def degraded(self) -> bool:
+        return self.healthy_count < len(self.replicas)
+
+    def write(self, lba: int, data: bytes):
+        """Process: write ``data`` to every healthy replica in parallel.
+
+        A replica that errors mid-write is marked unhealthy; the write
+        succeeds as long as one replica took it.
+        """
+        jobs = {}
+        for idx, replica in enumerate(self.replicas):
+            if not self._healthy[idx]:
+                continue
+            jobs[idx] = self.sim.spawn(
+                self._guarded_write(idx, replica, lba, data),
+                name=f"{self.name}.w{idx}",
+            )
+        if not jobs:
+            raise MirrorDegradedError(f"{self.name}: no healthy replicas")
+        results = yield AllOf(self.sim, list(jobs.values()))
+        if not any(results[j] for j in jobs.values()):
+            raise MirrorDegradedError(
+                f"{self.name}: every replica failed the write"
+            )
+        self.writes_served += 1
+
+    def read(self, lba: int, size: int):
+        """Process: read from a healthy replica, failing over on error."""
+        attempts = len(self.replicas)
+        for _ in range(attempts):
+            idx = self._pick_replica()
+            if idx is None:
+                break
+            try:
+                data = yield from self.replicas[idx].read(lba, size)
+            except (DeviceFailedError, IOError, RuntimeError):
+                self._mark_failed(idx)
+                continue
+            self.reads_served += 1
+            return data
+        raise MirrorDegradedError(f"{self.name}: no healthy replicas")
+
+    def mark_repaired(self, index: int):
+        """Process: re-admit a replaced replica (full resilver is the
+        caller's job — this model re-admits it as trusted)."""
+        if not 0 <= index < len(self.replicas):
+            raise IndexError(f"no replica {index}")
+        self._healthy[index] = True
+        yield self.sim.timeout(0.0)
+
+    # -- internals -----------------------------------------------------------
+
+    def _guarded_write(self, idx, replica, lba, data):
+        try:
+            yield from replica.write(lba, data)
+        except (DeviceFailedError, IOError, RuntimeError):
+            self._mark_failed(idx)
+            return False
+        return True
+
+    def _pick_replica(self):
+        n = len(self.replicas)
+        for offset in range(n):
+            idx = (self._read_rr + offset) % n
+            if self._healthy[idx]:
+                self._read_rr = (idx + 1) % n
+                return idx
+        return None
+
+    def _mark_failed(self, idx: int) -> None:
+        if self._healthy[idx]:
+            self._healthy[idx] = False
+            self.failovers += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<MirroredVolume {self.name!r} "
+            f"{self.healthy_count}/{len(self.replicas)} healthy>"
+        )

@@ -1,0 +1,282 @@
+"""A Junction-like userspace UDP stack with pluggable buffer placement.
+
+This is the software that §4.1's experiment modifies: an application-level
+network stack that owns its NIC queues outright (kernel bypass) and
+allocates TX/RX buffers either from local DRAM or from the CXL memory
+pool.  The stack is also the consumer of the MMIO-forwarding layer: hand
+it a :class:`~repro.datapath.proxy.RemoteDeviceHandle` and it drives a NIC
+attached to *another* host — the full PCIe-pooling datapath.
+
+Structure per stack instance:
+
+* a TX descriptor ring + completion queue + ``n_desc`` payload buffers;
+* an RX descriptor ring + completion queue + ``n_desc`` payload buffers,
+  kept posted to the NIC and reposted after each delivery;
+* background pollers for both completion queues;
+* a tiny UDP layer (src port, dst port, length) for socket demux.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.pcie.fabric import ETH_HEADER_BYTES, EthernetFrame
+from repro.pcie.nic import Nic, RX_QUEUE, TX_QUEUE
+from repro.pcie.rings import (
+    COMPLETION_BYTES,
+    DESCRIPTOR_BYTES,
+    CompletionEntry,
+    Descriptor,
+    seq_for_pass,
+)
+from repro.sim import Interrupt, Resource, Store
+
+#: src_port (u16), dst_port (u16), payload length (u32)
+_UDP = struct.Struct("<HHI")
+UDP_HEADER_BYTES = _UDP.size
+
+
+class UdpSocket:
+    """One bound UDP port."""
+
+    def __init__(self, stack: "UdpStack", port: int):
+        self.stack = stack
+        self.port = port
+        self._inbox = Store(stack.sim, name=f"udp:{port}")
+
+    def recv(self):
+        """Process: wait for the next datagram.
+
+        Returns ``(payload, src_mac, src_port)``.
+        """
+        item = yield self._inbox.get()
+        return item
+
+    def sendto(self, payload: bytes, dst_mac: int, dst_port: int):
+        """Process: send a datagram from this socket's port."""
+        yield from self.stack.sendto(payload, dst_mac, dst_port,
+                                     src_port=self.port)
+
+    def close(self) -> None:
+        self.stack._sockets.pop(self.port, None)
+
+
+class UdpStack:
+    """Userspace UDP over one NIC queue pair."""
+
+    def __init__(self, sim, memsys, handle, driver_mem: DriverMemory,
+                 mac: int, n_desc: int = 64, buf_bytes: int = 10240,
+                 poll_ns: float = 100.0, name: str = "udp-stack",
+                 tx_hint: Optional[Store] = None,
+                 rx_hint: Optional[Store] = None,
+                 sw_overhead_ns: float = 1800.0):
+        self.sim = sim
+        self.memsys = memsys
+        self.handle = handle
+        self.mem = driver_mem
+        self.mac = mac
+        # Optional completion hints (see Nic.tx_cq_hint): when provided,
+        # pollers sleep until a completion lands instead of spinning.
+        self._tx_hint = tx_hint
+        self._rx_hint = rx_hint
+        # Per-datagram software cost outside the memory system: protocol
+        # processing, scheduling, buffer management.  Calibrated so the
+        # end-to-end RTT matches a Junction-class kernel-bypass stack.
+        self.sw_overhead_ns = sw_overhead_ns
+        self.n_desc = n_desc
+        self.buf_bytes = buf_bytes
+        self.poll_ns = poll_ns
+        self.name = name
+        # Memory layout.
+        self.tx_ring = driver_mem.alloc(n_desc * DESCRIPTOR_BYTES, "tx-ring")
+        self.rx_ring = driver_mem.alloc(n_desc * DESCRIPTOR_BYTES, "rx-ring")
+        self.tx_cq = driver_mem.alloc(n_desc * COMPLETION_BYTES, "tx-cq")
+        self.rx_cq = driver_mem.alloc(n_desc * COMPLETION_BYTES, "rx-cq")
+        self.tx_bufs = driver_mem.alloc(n_desc * buf_bytes, "tx-bufs")
+        self.rx_bufs = driver_mem.alloc(n_desc * buf_bytes, "rx-bufs")
+        # Driver state.
+        self._tx_tail = 0
+        # Per-queue post lock: descriptors are 16 B (four share a
+        # cacheline), so concurrent senders would lose updates in the
+        # read-modify-write of the shared line, and doorbells must be
+        # rung in descriptor order.  A single-producer queue discipline —
+        # exactly what a real multi-threaded driver enforces — fixes both.
+        self._tx_lock = Resource(sim, capacity=1, name=f"{name}.txlock")
+        self._tx_credits = Store(sim, name=f"{name}.txcred")
+        for _ in range(n_desc):
+            self._tx_credits.put(None)
+        self._rx_tail = 0
+        self._sockets: dict[int, UdpSocket] = {}
+        self._pollers: list = []
+        self._started = False
+        # Telemetry.
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.datagrams_dropped_no_socket = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self):
+        """Process: configure the NIC rings and start the pollers."""
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        self._started = True
+        # Reset the NIC's queue heads: a driver taking over a (possibly
+        # previously-borrowed) device must not inherit stale ring state.
+        yield from self.handle.write_register(Nic.REG_RESET, 1)
+        for reg, addr in (
+            (Nic.REG_TX_RING, self.tx_ring),
+            (Nic.REG_RX_RING, self.rx_ring),
+            (Nic.REG_TX_CQ, self.tx_cq),
+            (Nic.REG_RX_CQ, self.rx_cq),
+        ):
+            yield from self.handle.write_register(reg, addr)
+        # Post the entire RX buffer pool.
+        for i in range(self.n_desc):
+            yield from self._post_rx(i)
+        yield from self.mem.fence()
+        yield from self.handle.ring_doorbell(RX_QUEUE, self._rx_tail)
+        self._pollers = [
+            self.sim.spawn(self._tx_cq_poller(), name=f"{self.name}.txcq"),
+            self.sim.spawn(self._rx_cq_poller(), name=f"{self.name}.rxcq"),
+        ]
+
+    def stop(self) -> None:
+        for poller in self._pollers:
+            if poller.is_alive:
+                poller.interrupt(cause="stack stopped")
+        self._pollers = []
+        self._started = False
+
+    # -- sockets ------------------------------------------------------------------
+
+    def bind(self, port: int) -> UdpSocket:
+        if port in self._sockets:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        sock = UdpSocket(self, port)
+        self._sockets[port] = sock
+        return sock
+
+    # -- TX path -----------------------------------------------------------------------
+
+    def sendto(self, payload: bytes, dst_mac: int, dst_port: int,
+               src_port: int = 0):
+        """Process: transmit one UDP datagram (blocks on TX credits)."""
+        header_total = ETH_HEADER_BYTES + UDP_HEADER_BYTES
+        if header_total + len(payload) > self.buf_bytes:
+            raise ValueError(
+                f"datagram of {len(payload)} B exceeds buffer size "
+                f"{self.buf_bytes - header_total} B"
+            )
+        yield self.sim.timeout(self.sw_overhead_ns)
+        yield self._tx_credits.get()
+        with self._tx_lock.request() as lock:
+            yield lock
+            slot = self._tx_tail % self.n_desc
+            self._tx_tail += 1
+            tail = self._tx_tail
+            buf = self.tx_bufs + slot * self.buf_bytes
+            datagram = _UDP.pack(src_port, dst_port, len(payload)) + payload
+            frame = EthernetFrame(dst_mac, self.mac, datagram).encode()
+            yield from self.mem.write(buf, frame)
+            desc_addr = self.tx_ring + slot * DESCRIPTOR_BYTES
+            yield from self.mem.write(
+                desc_addr, Descriptor(buf, len(frame)).encode()
+            )
+            yield from self.mem.fence()
+            yield from self.handle.ring_doorbell(TX_QUEUE, tail)
+        self.datagrams_sent += 1
+
+    def _tx_cq_poller(self):
+        head = 0
+        try:
+            while True:
+                entry = yield from self._poll_cq(
+                    self.tx_cq, head, self._tx_hint
+                )
+                head += 1
+                # Completion frees the slot for reuse.
+                self._tx_credits.put(None)
+        except Interrupt:
+            return
+
+    # -- RX path --------------------------------------------------------------------------
+
+    def _post_rx(self, slot: int):
+        buf = self.rx_bufs + slot * self.buf_bytes
+        desc_addr = self.rx_ring + slot * DESCRIPTOR_BYTES
+        yield from self.mem.write(
+            desc_addr, Descriptor(buf, self.buf_bytes).encode()
+        )
+        self._rx_tail += 1
+
+    def _rx_cq_poller(self):
+        head = 0
+        try:
+            while True:
+                entry = yield from self._poll_cq(
+                    self.rx_cq, head, self._rx_hint
+                )
+                head += 1
+                # Deliveries run concurrently (multi-core stack): the
+                # poller must not serialize per-datagram software cost.
+                self.sim.spawn(
+                    self._deliver_and_repost(entry),
+                    name=f"{self.name}.deliver",
+                )
+        except Interrupt:
+            return
+
+    def _deliver_and_repost(self, entry: CompletionEntry):
+        slot = entry.index % self.n_desc
+        if entry.status == CompletionEntry.STATUS_OK:
+            yield from self._deliver(slot, entry.length)
+        # Recycle the buffer.  Reposted descriptors are bit-identical to
+        # what the ring slot already holds, so concurrent reposts cannot
+        # corrupt each other, and the NIC treats doorbells as max().
+        yield from self._post_rx(slot)
+        yield from self.mem.fence()
+        yield from self.handle.ring_doorbell(RX_QUEUE, self._rx_tail)
+
+    def _deliver(self, slot: int, length: int):
+        yield self.sim.timeout(self.sw_overhead_ns)
+        buf = self.rx_bufs + slot * self.buf_bytes
+        raw = yield from self.mem.read(buf, length)
+        frame = EthernetFrame.decode(raw)
+        src_port, dst_port, payload_len = _UDP.unpack_from(frame.payload, 0)
+        payload = frame.payload[
+            UDP_HEADER_BYTES:UDP_HEADER_BYTES + payload_len
+        ]
+        sock = self._sockets.get(dst_port)
+        if sock is None:
+            self.datagrams_dropped_no_socket += 1
+            return
+        self.datagrams_received += 1
+        sock._inbox.put((payload, frame.src_mac, src_port))
+
+    # -- shared CQ polling -------------------------------------------------------------------
+
+    def _poll_cq(self, cq_base: int, head: int,
+                 hint: Optional[Store] = None):
+        expect = seq_for_pass(head // self.n_desc)
+        addr = cq_base + (head % self.n_desc) * COMPLETION_BYTES
+        if hint is not None:
+            # Hint-driven: sleep until a completion lands, then read it.
+            # Observes the same memory state as a busy poller, minus the
+            # simulated cost of idle poll iterations.
+            yield hint.get()
+        while True:
+            raw = yield from self.mem.read(addr, COMPLETION_BYTES)
+            entry = CompletionEntry.decode(raw)
+            if entry.seq == expect:
+                return entry
+            yield self.sim.timeout(self.poll_ns)
+
+    def __repr__(self) -> str:
+        return (
+            f"<UdpStack {self.name!r} host={self.memsys.host_id} "
+            f"placement={self.mem.placement.value} "
+            f"tx={self.datagrams_sent} rx={self.datagrams_received}>"
+        )

@@ -1,0 +1,198 @@
+"""MMIO forwarding: device handles and the owning host's device server.
+
+A driver needs three device-memory verbs: configure a register, read a
+register, ring a doorbell.  :class:`LocalDeviceHandle` maps them straight
+onto PCIe MMIO.  :class:`RemoteDeviceHandle` encodes them as ring-channel
+messages to the :class:`DeviceServer` running on the host the device is
+physically attached to (§4.1's "forward device memory operations from
+remote hosts to the local host").
+
+Doorbells are fire-and-forget (posted, like real MMIO writes); register
+configuration and reads are RPCs with completions.
+"""
+
+from __future__ import annotations
+
+from repro.channel.messages import (
+    Completion,
+    Doorbell,
+    MmioRead,
+    MmioReadReply,
+    MmioWrite,
+)
+from repro.channel.rpc import RpcEndpoint, RpcError
+from repro.pcie.device import DeviceFailedError, PcieDevice
+
+
+class LocalDeviceHandle:
+    """Driver-side handle for a device on this host: plain MMIO."""
+
+    def __init__(self, device: PcieDevice):
+        self.device = device
+        self.device_id = device.device_id
+
+    @property
+    def is_remote(self) -> bool:
+        return False
+
+    def write_register(self, offset: int, value: int):
+        """Process: MMIO register write."""
+        yield from self.device.mmio_write(offset, value)
+
+    def read_register(self, offset: int):
+        """Process: MMIO register read; returns the value."""
+        value = yield from self.device.mmio_read(offset)
+        return value
+
+    def ring_doorbell(self, queue_id: int, index: int):
+        """Process: posted doorbell write."""
+        yield from self.device.mmio_write(
+            self.device.doorbell_register(queue_id), index
+        )
+
+
+class RemoteDeviceHandle:
+    """Driver-side handle for a device on another pod host.
+
+    All verbs travel over the sub-µs CXL ring channel to the owner's
+    :class:`DeviceServer`.  A doorbell costs roughly one channel one-way
+    latency (~600 ns) instead of one MMIO write (~200 ns) — the modest
+    control-plane premium of pooling.
+    """
+
+    def __init__(self, endpoint: RpcEndpoint, device_id: int,
+                 rpc_timeout_ns: float = 2_000_000.0):
+        self.endpoint = endpoint
+        self.device_id = device_id
+        self.rpc_timeout_ns = rpc_timeout_ns
+
+    @property
+    def is_remote(self) -> bool:
+        return True
+
+    def write_register(self, offset: int, value: int):
+        """Process: forwarded register write, waits for the completion."""
+        reply = yield from self.endpoint.call(
+            MmioWrite(
+                request_id=self.endpoint.next_request_id(),
+                device_id=self.device_id, addr=offset, value=value,
+            ),
+            timeout_ns=self.rpc_timeout_ns,
+        )
+        if reply.status != 0:
+            raise DeviceGoneError(self.device_id, reply.status)
+
+    def read_register(self, offset: int):
+        """Process: forwarded register read; returns the value."""
+        reply = yield from self.endpoint.call(
+            MmioRead(
+                request_id=self.endpoint.next_request_id(),
+                device_id=self.device_id, addr=offset,
+            ),
+            timeout_ns=self.rpc_timeout_ns,
+        )
+        if isinstance(reply, Completion):
+            # The server answered with an error completion, not a value.
+            raise DeviceGoneError(self.device_id, reply.status)
+        return reply.value
+
+    def ring_doorbell(self, queue_id: int, index: int):
+        """Process: fire-and-forget forwarded doorbell."""
+        yield from self.endpoint.send(
+            Doorbell(
+                request_id=0, device_id=self.device_id,
+                queue_id=queue_id, index=index,
+            )
+        )
+
+
+class DeviceGoneError(RuntimeError):
+    """A forwarded operation was rejected: the device failed or moved."""
+
+    def __init__(self, device_id: int, status: int):
+        super().__init__(
+            f"device {device_id} rejected forwarded op (status={status})"
+        )
+        self.device_id = device_id
+        self.status = status
+
+
+class DeviceServer:
+    """Owner-host service applying forwarded device-memory operations.
+
+    One server per (owner host, peer host) ring-channel endpoint.  The
+    pooling agent (§4.2) runs one of these for every host that currently
+    borrows one of its devices.
+    """
+
+    STATUS_OK = 0
+    STATUS_FAILED_DEVICE = 1
+    STATUS_UNKNOWN_DEVICE = 2
+
+    def __init__(self, endpoint: RpcEndpoint):
+        self.endpoint = endpoint
+        self._devices: dict[int, PcieDevice] = {}
+        endpoint.on(MmioWrite, self._handle_write)
+        endpoint.on(MmioRead, self._handle_read)
+        endpoint.on(Doorbell, self._handle_doorbell)
+        self.forwarded_ops = 0
+
+    def export(self, device: PcieDevice) -> None:
+        """Make a locally-attached device reachable through this server."""
+        self._devices[device.device_id] = device
+
+    def withdraw(self, device_id: int) -> None:
+        self._devices.pop(device_id, None)
+
+    @property
+    def exported_ids(self) -> list[int]:
+        return sorted(self._devices)
+
+    # -- handlers (run as processes by the endpoint dispatcher) ----------------
+
+    def _handle_write(self, msg: MmioWrite):
+        device = self._devices.get(msg.device_id)
+        status = self.STATUS_OK
+        if device is None:
+            status = self.STATUS_UNKNOWN_DEVICE
+        else:
+            try:
+                yield from device.mmio_write(msg.addr, msg.value)
+                self.forwarded_ops += 1
+            except DeviceFailedError:
+                status = self.STATUS_FAILED_DEVICE
+        yield from self.endpoint.send(
+            Completion(request_id=msg.request_id, status=status)
+        )
+
+    def _handle_read(self, msg: MmioRead):
+        device = self._devices.get(msg.device_id)
+        if device is None:
+            yield from self.endpoint.send(
+                Completion(request_id=msg.request_id,
+                           status=self.STATUS_UNKNOWN_DEVICE)
+            )
+            return
+        try:
+            value = yield from device.mmio_read(msg.addr)
+        except DeviceFailedError:
+            yield from self.endpoint.send(
+                Completion(request_id=msg.request_id,
+                           status=self.STATUS_FAILED_DEVICE)
+            )
+            return
+        self.forwarded_ops += 1
+        yield from self.endpoint.send(
+            MmioReadReply(request_id=msg.request_id, value=value)
+        )
+
+    def _handle_doorbell(self, msg: Doorbell):
+        device = self._devices.get(msg.device_id)
+        if device is None or device.failed:
+            return  # posted write to a dead device: silently lost, like HW
+        try:
+            reg = device.doorbell_register(msg.queue_id)
+            yield from device.mmio_write(reg, msg.index)
+            self.forwarded_ops += 1
+        except (DeviceFailedError, ValueError):
+            return

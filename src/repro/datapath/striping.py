@@ -1,0 +1,98 @@
+"""Striped volumes over pooled SSDs (§5).
+
+"A storage server … could shift load across a large number of SSDs if it
+is writing a large amount of data requiring high storage bandwidth.
+This may behave like adaptive storage striping or RAID configurations."
+
+A :class:`StripedVolume` RAID-0s any set of block clients — local SSDs
+and pooled (remote) SSDs mix freely because they share the read/write
+interface.  Stripe units spread round-robin; large I/Os fan out across
+all member devices in parallel, so volume bandwidth scales with the
+member count rather than a single host's SSD slots.
+"""
+
+from __future__ import annotations
+
+from repro.sim import AllOf
+
+
+class StripedVolume:
+    """RAID-0 across N block devices with a fixed stripe unit."""
+
+    def __init__(self, sim, members, stripe_unit: int = 64 << 10,
+                 name: str = "stripe"):
+        if not members:
+            raise ValueError("a striped volume needs at least one member")
+        if stripe_unit <= 0:
+            raise ValueError(f"stripe unit must be positive, got "
+                             f"{stripe_unit}")
+        self.sim = sim
+        self.members = list(members)
+        self.stripe_unit = stripe_unit
+        self.name = name
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def width(self) -> int:
+        return len(self.members)
+
+    def _locate(self, lba: int) -> tuple[int, int]:
+        """Map a volume LBA to (member index, member LBA)."""
+        unit = lba // self.stripe_unit
+        within = lba % self.stripe_unit
+        member = unit % self.width
+        member_lba = (unit // self.width) * self.stripe_unit + within
+        return member, member_lba
+
+    def _chunks(self, lba: int, size: int):
+        """Split a span into per-member (member, member_lba, offset,
+        length) pieces, one per stripe-unit crossing."""
+        out = []
+        cur = lba
+        end = lba + size
+        while cur < end:
+            unit_end = cur - (cur % self.stripe_unit) + self.stripe_unit
+            piece_end = min(unit_end, end)
+            member, member_lba = self._locate(cur)
+            out.append((member, member_lba, cur - lba, piece_end - cur))
+            cur = piece_end
+        return out
+
+    def write(self, lba: int, data: bytes):
+        """Process: striped write; member I/Os run in parallel."""
+        jobs = [
+            self.sim.spawn(
+                self.members[member].write(
+                    member_lba, data[offset:offset + length]
+                ),
+                name=f"{self.name}.w{member}",
+            )
+            for member, member_lba, offset, length
+            in self._chunks(lba, len(data))
+        ]
+        yield AllOf(self.sim, jobs)
+        self.bytes_written += len(data)
+
+    def read(self, lba: int, size: int):
+        """Process: striped read; returns the reassembled bytes."""
+        chunks = self._chunks(lba, size)
+        jobs = [
+            self.sim.spawn(
+                self.members[member].read(member_lba, length),
+                name=f"{self.name}.r{member}",
+            )
+            for member, member_lba, _offset, length in chunks
+        ]
+        results = yield AllOf(self.sim, jobs)
+        out = bytearray(size)
+        for job, (_member, _mlba, offset, length) in zip(jobs, chunks):
+            out[offset:offset + length] = results[job]
+        self.bytes_read += size
+        return bytes(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"<StripedVolume {self.name!r} width={self.width} "
+            f"unit={self.stripe_unit}>"
+        )

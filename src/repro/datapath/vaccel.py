@@ -1,0 +1,130 @@
+"""Remote accelerator client: soft accelerator disaggregation (§5).
+
+Submits jobs to an accelerator attached to another pod host: job
+descriptors and input data go into shared CXL pool memory, the job
+doorbell is forwarded over the ring channel, and results are read back
+from the accelerator's output region in the pool.
+"""
+
+from __future__ import annotations
+
+from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.pcie.accelerator import Accelerator
+from repro.pcie.rings import (
+    COMPLETION_BYTES,
+    CompletionEntry,
+    Descriptor,
+    DESCRIPTOR_BYTES,
+    seq_for_pass,
+)
+
+
+class RemoteAcceleratorClient:
+    """Offload jobs to a pooled accelerator."""
+
+    def __init__(self, sim, memsys, handle, pod, owner_host: str,
+                 n_entries: int = 64, max_job_bytes: int = 64 << 10,
+                 name: str = "vaccel"):
+        self.sim = sim
+        self.memsys = memsys
+        self.handle = handle
+        self.n_entries = n_entries
+        self.max_job_bytes = max_job_bytes
+        self.name = name
+        self.mem = DriverMemory(
+            memsys, pod, BufferPlacement.CXL,
+            owners=sorted({memsys.host_id, owner_host}),
+            label=name,
+        )
+        self.ring_base = self.mem.alloc(n_entries * DESCRIPTOR_BYTES, "jobs")
+        self.cq_base = self.mem.alloc(n_entries * COMPLETION_BYTES, "cq")
+        self.in_base = self.mem.alloc(n_entries * max_job_bytes, "inputs")
+        self.out_base = self.mem.alloc(n_entries * 4096, "outputs")
+        self._tail = 0
+        self._cq_head = 0
+        self._configured = False
+        # Concurrent-submitter support (mirrors RemoteSsdClient): jobs
+        # complete out of order across the accelerator's contexts, so
+        # waiters are matched by submission index, and doorbells only
+        # expose contiguously-written job descriptors.
+        self._pending: dict[int, object] = {}
+        self._collector = None
+        self._ring_written: set[int] = set()
+        self._ring_ready = 0
+
+    def setup(self):
+        """Process: reset queue state and configure the accelerator's
+        rings to our pool memory (driver takeover semantics)."""
+        yield from self.handle.write_register(Accelerator.REG_RESET, 1)
+        yield from self.handle.write_register(
+            Accelerator.REG_JOB_RING, self.ring_base
+        )
+        yield from self.handle.write_register(
+            Accelerator.REG_CQ_RING, self.cq_base
+        )
+        yield from self.handle.write_register(
+            Accelerator.REG_OUT_BASE, self.out_base
+        )
+        self._configured = True
+
+    def run_job(self, kernel: int, data: bytes):
+        """Process: run one job; returns the result bytes.
+
+        Safe for concurrent submitters: each job owns a distinct input
+        slot and completions are matched by submission index.
+        """
+        if not self._configured:
+            raise RuntimeError(f"{self.name}: call setup() first")
+        if len(data) > self.max_job_bytes:
+            raise ValueError(
+                f"job of {len(data)} B exceeds max {self.max_job_bytes} B"
+            )
+        if self._tail - self._cq_head >= self.n_entries:
+            raise RuntimeError(f"{self.name}: job ring full")
+        index = self._tail
+        self._tail += 1
+        slot = index % self.n_entries
+        in_addr = self.in_base + slot * self.max_job_bytes
+        yield from self.mem.write(in_addr, data)
+        desc_addr = self.ring_base + slot * DESCRIPTOR_BYTES
+        yield from self.mem.write(
+            desc_addr,
+            Descriptor(in_addr, len(data), flags=kernel).encode(),
+        )
+        yield from self.mem.fence()
+        self._ring_written.add(index)
+        while self._ring_ready in self._ring_written:
+            self._ring_written.remove(self._ring_ready)
+            self._ring_ready += 1
+        yield from self.handle.ring_doorbell(0, self._ring_ready)
+        comp = yield from self._await(index)
+        if comp.status != CompletionEntry.STATUS_OK:
+            raise IOError(f"{self.name}: job failed (status={comp.status})")
+        out_addr = self.out_base + (comp.index % self.n_entries) * 4096
+        result = yield from self.mem.read(out_addr, min(comp.length, 4096))
+        return result
+
+    def _await(self, index: int):
+        waiter = self.sim.event(name=f"{self.name}.job{index}")
+        self._pending[index % (1 << 16)] = waiter
+        if self._collector is None or not self._collector.is_alive:
+            self._collector = self.sim.spawn(
+                self._collect(), name=f"{self.name}.collector"
+            )
+        comp = yield waiter
+        return comp
+
+    def _collect(self, poll_ns: float = 1_000.0):
+        while self._pending:
+            expect = seq_for_pass(self._cq_head // self.n_entries)
+            addr = (self.cq_base
+                    + (self._cq_head % self.n_entries) * COMPLETION_BYTES)
+            raw = yield from self.mem.read(addr, COMPLETION_BYTES)
+            entry = CompletionEntry.decode(raw)
+            if entry.seq != expect:
+                yield self.sim.timeout(poll_ns)
+                continue
+            self._cq_head += 1
+            waiter = self._pending.pop(entry.index, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(entry)

@@ -1,0 +1,55 @@
+"""The pooling orchestrator (§4.2): the control plane of the PCIe pool.
+
+One orchestrator instance runs as a management service on one host of the
+CXL pod; every host runs a :class:`~repro.orchestrator.agent.PoolingAgent`
+that monitors and configures its locally-attached devices.  Orchestrator
+and agents communicate exclusively over shared-memory ring channels — the
+same sub-µs mechanism the datapath uses for doorbells.
+
+Responsibilities reproduced from the paper:
+
+* **Allocation** — "the orchestrator first checks if the host has a local
+  PCIe device below a load threshold.  If not, [it] selects the least-
+  utilized device in the pod" (:mod:`repro.orchestrator.policy`).
+* **Monitoring** — agents stream utilization and health reports
+  (:mod:`repro.orchestrator.telemetry`).
+* **Failover & load balancing** — failed or overloaded devices get their
+  borrowers migrated to healthy, less-utilized devices
+  (:mod:`repro.orchestrator.failover`).
+"""
+
+from repro.orchestrator.agent import PoolingAgent, wire_control_channel
+from repro.orchestrator.migration import (
+    ConnectionMigrator,
+    deserialize_state,
+    serialize_state,
+)
+from repro.orchestrator.orchestrator import (
+    Assignment,
+    DeviceRecord,
+    NoDeviceAvailable,
+    Orchestrator,
+)
+from repro.orchestrator.policy import (
+    AllocationPolicy,
+    LocalFirstPolicy,
+    LeastUtilizedPolicy,
+)
+from repro.orchestrator.telemetry import DeviceTelemetry, TelemetryBoard
+
+__all__ = [
+    "AllocationPolicy",
+    "Assignment",
+    "ConnectionMigrator",
+    "deserialize_state",
+    "serialize_state",
+    "DeviceRecord",
+    "DeviceTelemetry",
+    "LeastUtilizedPolicy",
+    "LocalFirstPolicy",
+    "NoDeviceAvailable",
+    "Orchestrator",
+    "PoolingAgent",
+    "TelemetryBoard",
+    "wire_control_channel",
+]

@@ -1,0 +1,141 @@
+"""Per-host pooling agent (§4.2).
+
+Each host runs one agent.  It monitors the devices physically attached to
+its host — utilization via the devices' own counters, health via MMIO
+status reads, exactly what a userspace management daemon would do — and
+streams heartbeats, load reports, and failure events to the orchestrator
+over a shared-memory control channel.
+
+The message types on the wire are the 61-byte structs from
+:mod:`repro.channel.messages`; both ends fit comfortably in single ring
+slots, which is what makes "offload both roles to SmartNICs" (§4.2) a
+credible future step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channel.messages import (
+    DeviceFailure as DeviceFailureMsg,
+    Heartbeat,
+    LoadReport,
+)
+from repro.channel.rpc import RpcEndpoint
+from repro.pcie.device import DeviceFailedError, PcieDevice
+from repro.sim import Interrupt, Simulator
+
+#: Failure reasons carried in DeviceFailure messages.
+REASON_MMIO_TIMEOUT = 1
+REASON_STATUS_BAD = 2
+
+
+class PoolingAgent:
+    """Monitor + reporter for one host's local devices."""
+
+    def __init__(self, sim: Simulator, host_id: str,
+                 endpoint: RpcEndpoint,
+                 report_interval_ns: float = 10_000_000.0):
+        self.sim = sim
+        self.host_id = host_id
+        self.endpoint = endpoint
+        self.report_interval_ns = report_interval_ns
+        self._devices: dict[int, PcieDevice] = {}
+        self._reported_failed: set[int] = set()
+        self._loop = None
+        self.reports_sent = 0
+        self.failures_reported = 0
+
+    def manage(self, device: PcieDevice) -> None:
+        """Start monitoring a locally-attached device."""
+        if device.attached_host_id != self.host_id:
+            raise ValueError(
+                f"{device.name} is attached to {device.attached_host_id}, "
+                f"not {self.host_id}"
+            )
+        self._devices[device.device_id] = device
+
+    def unmanage(self, device_id: int) -> None:
+        self._devices.pop(device_id, None)
+
+    def start(self) -> None:
+        if self._loop is not None:
+            raise RuntimeError(f"agent {self.host_id} already started")
+        self._loop = self.sim.spawn(
+            self._monitor_loop(), name=f"agent:{self.host_id}"
+        )
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_alive:
+            self._loop.interrupt(cause="agent stopped")
+        self._loop = None
+
+    # -- monitoring ---------------------------------------------------------------
+
+    def _monitor_loop(self):
+        try:
+            while True:
+                yield from self._send_heartbeat()
+                for device in list(self._devices.values()):
+                    yield from self._check_device(device)
+                yield self.sim.timeout(self.report_interval_ns)
+        except Interrupt:
+            return
+
+    def _send_heartbeat(self):
+        yield from self.endpoint.send(Heartbeat(
+            request_id=0,
+            timestamp_us=int(self.sim.now / 1000.0),
+            healthy=1,
+        ))
+
+    def _check_device(self, device: PcieDevice):
+        healthy = yield from self._probe(device)
+        if not healthy:
+            if device.device_id not in self._reported_failed:
+                self._reported_failed.add(device.device_id)
+                self.failures_reported += 1
+                yield from self.endpoint.send(DeviceFailureMsg(
+                    request_id=0,
+                    device_id=device.device_id,
+                    reason=REASON_MMIO_TIMEOUT,
+                ))
+            return
+        self._reported_failed.discard(device.device_id)
+        utilization = device.utilization()
+        yield from self.endpoint.send(LoadReport(
+            request_id=0,
+            device_id=device.device_id,
+            utilization_permille=min(1000, int(utilization * 1000)),
+            queue_depth=0,
+        ))
+        self.reports_sent += 1
+
+    def _probe(self, device: PcieDevice):
+        """Process: health-check via an MMIO status read."""
+        try:
+            status = yield from device.mmio_read(PcieDevice.REG_STATUS)
+        except DeviceFailedError:
+            return False
+        return status == PcieDevice.STATUS_OK
+
+
+def wire_control_channel(orchestrator, endpoint: RpcEndpoint,
+                         host_id: str) -> None:
+    """Register the orchestrator-side handlers for one agent's channel."""
+
+    def on_heartbeat(_msg: Heartbeat) -> None:
+        orchestrator.ingest_heartbeat(host_id)
+
+    def on_load(msg: LoadReport) -> None:
+        orchestrator.ingest_load_report(
+            msg.device_id, msg.utilization_permille / 1000.0,
+            msg.queue_depth,
+        )
+
+    def on_failure(msg: DeviceFailureMsg) -> None:
+        orchestrator.ingest_device_failure(msg.device_id)
+
+    endpoint.on(Heartbeat, on_heartbeat)
+    endpoint.on(LoadReport, on_load)
+    endpoint.on(DeviceFailureMsg, on_failure)

@@ -1,0 +1,240 @@
+"""The orchestrator service: device registry, assignments, failover.
+
+Runs as a management process on one pod host.  State is symbolic — device
+ids, host ids, assignments — while the mechanics of *using* an assignment
+(building handles, stacks, rings) belong to :mod:`repro.core`.  Decisions:
+
+* allocation per :mod:`repro.orchestrator.policy`;
+* failure handling: on a device-failure report (or a dead agent), every
+  assignment on the affected device is migrated to a replacement chosen
+  by the same policy, and subscribers are notified;
+* periodic load balancing: if the utilization spread across devices of a
+  kind exceeds a threshold, one borrower is moved from the hottest to the
+  coldest device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.orchestrator.policy import AllocationPolicy, LocalFirstPolicy
+from repro.orchestrator.telemetry import TelemetryBoard
+from repro.sim import Interrupt, Simulator
+
+
+class NoDeviceAvailable(RuntimeError):
+    """No healthy device of the requested kind exists in the pod."""
+
+
+@dataclass
+class DeviceRecord:
+    """Registry entry for one physical device."""
+
+    device_id: int
+    owner_host: str
+    kind: str
+
+
+@dataclass
+class Assignment:
+    """A live virtual-device -> physical-device mapping."""
+
+    virtual_id: int
+    borrower_host: str
+    kind: str
+    device_id: int
+    since_ns: float
+    generation: int = 0  # bumped on every migration
+
+
+class Orchestrator:
+    """Control plane of one PCIe pool."""
+
+    def __init__(self, sim: Simulator,
+                 policy: Optional[AllocationPolicy] = None,
+                 heartbeat_timeout_ns: float = 50_000_000.0,
+                 rebalance_spread: float = 0.4):
+        self.sim = sim
+        self.policy = policy or LocalFirstPolicy()
+        self.board = TelemetryBoard()
+        self.heartbeat_timeout_ns = heartbeat_timeout_ns
+        self.rebalance_spread = rebalance_spread
+        self._records: dict[int, DeviceRecord] = {}
+        self._assignments: dict[int, Assignment] = {}
+        self._next_virtual_id = 1
+        #: subscribers notified as fn(assignment, old_device_id) whenever
+        #: an assignment is (re)bound; old_device_id None on first bind.
+        self._migration_subscribers: list[Callable] = []
+        self._monitor = None
+        # Counters for experiments.
+        self.migrations = 0
+        self.failovers = 0
+
+    # -- registry --------------------------------------------------------------
+
+    def register_device(self, device_id: int, owner_host: str,
+                        kind: str) -> None:
+        """Add a physical device to the pool."""
+        if device_id in self._records:
+            raise ValueError(f"device {device_id} already registered")
+        self._records[device_id] = DeviceRecord(device_id, owner_host, kind)
+        self.board.track(device_id, owner_host, kind)
+
+    def deregister_device(self, device_id: int) -> None:
+        self._records.pop(device_id, None)
+        self.board.forget(device_id)
+
+    @property
+    def devices(self) -> list[DeviceRecord]:
+        return [self._records[d] for d in sorted(self._records)]
+
+    # -- allocation ---------------------------------------------------------------
+
+    def _active_counts(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for assignment in self._assignments.values():
+            counts[assignment.device_id] = (
+                counts.get(assignment.device_id, 0) + 1
+            )
+        return counts
+
+    def request_device(self, host_id: str, kind: str) -> Assignment:
+        """Allocate a device of ``kind`` to ``host_id`` (§4.2 policy)."""
+        chosen = self.policy.choose(host_id, kind, self.board,
+                                    self._active_counts())
+        if chosen is None:
+            raise NoDeviceAvailable(
+                f"no healthy {kind!r} device available for {host_id!r}"
+            )
+        assignment = Assignment(
+            virtual_id=self._next_virtual_id,
+            borrower_host=host_id,
+            kind=kind,
+            device_id=chosen.device_id,
+            since_ns=self.sim.now,
+        )
+        self._next_virtual_id += 1
+        self._assignments[assignment.virtual_id] = assignment
+        self._notify(assignment, old_device_id=None)
+        return assignment
+
+    def release(self, virtual_id: int) -> None:
+        self._assignments.pop(virtual_id, None)
+
+    @property
+    def assignments(self) -> list[Assignment]:
+        return [self._assignments[v] for v in sorted(self._assignments)]
+
+    def assignments_on(self, device_id: int) -> list[Assignment]:
+        return [a for a in self.assignments if a.device_id == device_id]
+
+    def on_migration(self, fn: Callable) -> None:
+        """Subscribe to (re)bind events: ``fn(assignment, old_device_id)``."""
+        self._migration_subscribers.append(fn)
+
+    # -- telemetry ingestion (wired to control channels by the agent layer) -------
+
+    def ingest_load_report(self, device_id: int, utilization: float,
+                           queue_depth: int) -> None:
+        telemetry = self.board.get(device_id)
+        if telemetry is not None:
+            telemetry.observe(utilization, queue_depth, self.sim.now)
+
+    def ingest_heartbeat(self, host_id: str) -> None:
+        self.board.heartbeat(host_id, self.sim.now)
+
+    def ingest_device_failure(self, device_id: int) -> None:
+        """An agent reported a dead device: fail over its borrowers."""
+        if self.board.get(device_id) is None:
+            return
+        self.board.mark_unhealthy(device_id)
+        self._failover_device(device_id)
+
+    def ingest_device_repaired(self, device_id: int) -> None:
+        self.board.mark_healthy(device_id)
+
+    # -- failover & balancing ---------------------------------------------------------
+
+    def _failover_device(self, device_id: int) -> None:
+        for assignment in self.assignments_on(device_id):
+            chosen = self.policy.choose(
+                assignment.borrower_host, assignment.kind, self.board,
+                self._active_counts(),
+            )
+            if chosen is None:
+                # Nothing to fail over to; the assignment stays broken and
+                # will be retried when a device is repaired.
+                continue
+            old = assignment.device_id
+            assignment.device_id = chosen.device_id
+            assignment.since_ns = self.sim.now
+            assignment.generation += 1
+            self.failovers += 1
+            self._notify(assignment, old_device_id=old)
+
+    def rebalance_once(self, kind: str) -> bool:
+        """Move one borrower from the hottest to the coldest device.
+
+        Returns True if a migration was issued.
+        """
+        devices = self.board.devices(kind=kind, healthy_only=True)
+        if len(devices) < 2:
+            return False
+        hottest = max(devices, key=lambda t: t.utilization)
+        coldest = min(devices, key=lambda t: t.utilization)
+        if hottest.utilization - coldest.utilization < self.rebalance_spread:
+            return False
+        movable = self.assignments_on(hottest.device_id)
+        if not movable:
+            return False
+        assignment = movable[0]
+        old = assignment.device_id
+        assignment.device_id = coldest.device_id
+        assignment.since_ns = self.sim.now
+        assignment.generation += 1
+        self.migrations += 1
+        self._notify(assignment, old_device_id=old)
+        return True
+
+    # -- monitoring loop -----------------------------------------------------------------
+
+    def start(self, check_interval_ns: float = 10_000_000.0) -> None:
+        """Start the periodic monitor (dead agents, rebalancing)."""
+        if self._monitor is not None:
+            raise RuntimeError("orchestrator already started")
+        self._monitor = self.sim.spawn(
+            self._monitor_loop(check_interval_ns), name="orchestrator"
+        )
+
+    def stop(self) -> None:
+        if self._monitor is not None and self._monitor.is_alive:
+            self._monitor.interrupt(cause="orchestrator stopped")
+        self._monitor = None
+
+    def _monitor_loop(self, interval_ns: float):
+        try:
+            while True:
+                yield self.sim.timeout(interval_ns)
+                for host in self.board.stale_agents(
+                        self.sim.now, self.heartbeat_timeout_ns):
+                    for device_id in self.board.mark_host_down(host):
+                        self._failover_device(device_id)
+                for kind in {r.kind for r in self._records.values()}:
+                    self.rebalance_once(kind)
+        except Interrupt:
+            return
+
+    # -- internals ----------------------------------------------------------------------------
+
+    def _notify(self, assignment: Assignment,
+                old_device_id: Optional[int]) -> None:
+        for fn in self._migration_subscribers:
+            fn(assignment, old_device_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Orchestrator devices={len(self._records)} "
+            f"assignments={len(self._assignments)} "
+            f"failovers={self.failovers} migrations={self.migrations}>"
+        )

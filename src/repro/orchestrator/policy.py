@@ -1,0 +1,84 @@
+"""Allocation policies.
+
+The paper's allocation rule (§4.2): "the orchestrator first checks if the
+host has a local PCIe device that is below a load threshold.  If not, the
+orchestrator selects the least-utilized device in the pod to balance
+load."  :class:`LocalFirstPolicy` is that rule; :class:`LeastUtilizedPolicy`
+is the pure balancing variant used as an ablation baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.orchestrator.telemetry import DeviceTelemetry, TelemetryBoard
+
+
+class AllocationPolicy(Protocol):
+    """Chooses a device for a requesting host."""
+
+    def choose(self, host_id: str, kind: str, board: TelemetryBoard,
+               active_counts: Optional[dict[int, int]] = None
+               ) -> Optional[DeviceTelemetry]:
+        """Return the chosen device's telemetry, or None if none fits.
+
+        ``active_counts`` maps device id -> number of live assignments;
+        policies prefer unclaimed devices so borrowers spread across
+        queue pairs before doubling up.
+        """
+        ...  # pragma: no cover
+
+
+def _spread_key(active_counts: Optional[dict[int, int]]):
+    counts = active_counts or {}
+
+    def key(t: DeviceTelemetry):
+        return (counts.get(t.device_id, 0), t.utilization, t.device_id)
+
+    return key
+
+
+class LocalFirstPolicy:
+    """Local device below threshold first; otherwise least-utilized.
+
+    Within each group, devices with fewer active assignments win ties —
+    a fresh virtual function beats one that already has a driver.
+    """
+
+    def __init__(self, local_load_threshold: float = 0.7):
+        if not 0.0 < local_load_threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1], got {local_load_threshold}"
+            )
+        self.local_load_threshold = local_load_threshold
+
+    def choose(self, host_id: str, kind: str, board: TelemetryBoard,
+               active_counts: Optional[dict[int, int]] = None
+               ) -> Optional[DeviceTelemetry]:
+        candidates = board.devices(kind=kind, healthy_only=True)
+        if not candidates:
+            return None
+        key = _spread_key(active_counts)
+        local = [
+            t for t in candidates
+            if t.owner_host == host_id
+            and t.utilization < self.local_load_threshold
+        ]
+        if local:
+            return min(local, key=key)
+        return min(candidates, key=key)
+
+
+class LeastUtilizedPolicy:
+    """Always pick the pod-wide least-utilized healthy device."""
+
+    def choose(self, host_id: str, kind: str, board: TelemetryBoard,
+               active_counts: Optional[dict[int, int]] = None
+               ) -> Optional[DeviceTelemetry]:
+        candidates = board.devices(kind=kind, healthy_only=True)
+        if not candidates:
+            return None
+        counts = active_counts or {}
+        return min(candidates, key=lambda t: (
+            t.utilization, counts.get(t.device_id, 0), t.device_id,
+        ))

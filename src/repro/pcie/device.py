@@ -1,0 +1,189 @@
+"""Base PCIe device: BAR registers, MMIO, DMA plumbing, health state.
+
+The contract every concrete device (NIC, SSD, accelerator) inherits:
+
+* **MMIO** — 8 B register reads/writes into the device's BAR.  Posted
+  writes cost a few hundred ns; reads are split transactions costing
+  nearly a microsecond round trip.  Only the physically-attached host's
+  memory system is wired to the device, so remote hosts cannot call these
+  directly — they must forward through a ring channel (the whole point of
+  §4.1's host-to-host communication mechanism).
+* **DMA** — the device moves bytes via the attached host's
+  :class:`~repro.cxl.memsys.HostMemorySystem`, so targets in local DRAM
+  and in the CXL pool both work, each with its own timing.
+* **Health** — devices can be failed (fault injection) and reset; MMIO
+  against a failed device raises :class:`DeviceFailedError`, which is how
+  agents detect failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cxl.memsys import HostMemorySystem
+from repro.sim import Simulator
+
+#: PCIe MMIO posted-write latency (host -> device BAR), ns.
+MMIO_WRITE_NS = 200.0
+#: PCIe MMIO read round-trip latency, ns.
+MMIO_READ_NS = 900.0
+
+
+class DeviceFailedError(RuntimeError):
+    """Raised on operations against a failed device."""
+
+    def __init__(self, device: "PcieDevice"):
+        super().__init__(f"device {device.name} has failed")
+        self.device = device
+
+
+class MmioDecodeError(RuntimeError):
+    """Raised when an MMIO access hits no register."""
+
+
+@dataclass
+class Registers:
+    """A sparse 8-B-register BAR."""
+
+    regs: dict[int, int]
+
+    def read(self, offset: int) -> int:
+        if offset not in self.regs:
+            raise MmioDecodeError(f"no register at BAR offset {offset:#x}")
+        return self.regs[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        if offset not in self.regs:
+            raise MmioDecodeError(f"no register at BAR offset {offset:#x}")
+        self.regs[offset] = value
+
+
+class PcieDevice:
+    """Common machinery for PCIe devices."""
+
+    #: BAR offsets shared by all devices.
+    REG_STATUS = 0x00
+    REG_RESET = 0x08
+
+    STATUS_OK = 1
+    STATUS_FAILED = 0
+
+    def __init__(self, sim: Simulator, name: str, device_id: int):
+        self.sim = sim
+        self.name = name
+        self.device_id = device_id
+        self.bar = Registers({self.REG_STATUS: self.STATUS_OK,
+                              self.REG_RESET: 0})
+        self._host: Optional[HostMemorySystem] = None
+        self.failed = False
+        # Telemetry.
+        self.mmio_reads = 0
+        self.mmio_writes = 0
+        self.dma_bytes = 0
+
+    # -- attachment ---------------------------------------------------------
+
+    def attach(self, host: HostMemorySystem) -> None:
+        """Physically attach this device to ``host``'s PCIe root complex."""
+        if self._host is not None:
+            raise RuntimeError(
+                f"{self.name} is already attached to {self._host.host_id}"
+            )
+        self._host = host
+
+    def detach(self) -> None:
+        self._host = None
+
+    @property
+    def host(self) -> HostMemorySystem:
+        if self._host is None:
+            raise RuntimeError(f"{self.name} is not attached to any host")
+        return self._host
+
+    @property
+    def attached_host_id(self) -> Optional[str]:
+        return self._host.host_id if self._host else None
+
+    # -- health ---------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Fault injection: the device stops responding."""
+        self.failed = True
+        self.bar.regs[self.REG_STATUS] = self.STATUS_FAILED
+
+    def repair(self) -> None:
+        """Bring the device back (e.g. after physical replacement)."""
+        self.failed = False
+        self.bar.regs[self.REG_STATUS] = self.STATUS_OK
+        self.on_reset()
+
+    def _check_alive(self) -> None:
+        if self.failed:
+            raise DeviceFailedError(self)
+
+    # -- MMIO (attached host only) -----------------------------------------------
+
+    def mmio_read(self, offset: int):
+        """Process: read a BAR register (split transaction, ~1 us)."""
+        yield self.sim.timeout(MMIO_READ_NS)
+        self._check_alive()
+        self.mmio_reads += 1
+        return self.bar.read(offset)
+
+    def mmio_write(self, offset: int, value: int):
+        """Process: posted write to a BAR register (~200 ns).
+
+        Register side effects (doorbells!) run via :meth:`on_mmio_write`
+        after the write lands.
+        """
+        yield self.sim.timeout(MMIO_WRITE_NS)
+        self._check_alive()
+        self.mmio_writes += 1
+        self.bar.write(offset, value)
+        self.on_mmio_write(offset, value)
+
+    # -- DMA helpers (device-initiated, via the attached host) ---------------------
+
+    def dma_read(self, addr: int, size: int):
+        """Process: DMA-read ``size`` bytes from host/pool memory."""
+        self._check_alive()
+        data = yield from self.host.dma_read(addr, size)
+        self.dma_bytes += size
+        return data
+
+    def dma_write(self, addr: int, data: bytes):
+        """Process: DMA-write ``data`` to host/pool memory."""
+        self._check_alive()
+        yield from self.host.dma_write(addr, data)
+        self.dma_bytes += len(data)
+
+    # -- subclass hooks -------------------------------------------------------------
+
+    def on_mmio_write(self, offset: int, value: int) -> None:
+        """Side effects of register writes (override in subclasses)."""
+        if offset == self.REG_RESET and value:
+            self.bar.regs[self.REG_RESET] = 0
+            self.on_reset()
+
+    def on_reset(self) -> None:
+        """Device-specific reset behaviour (override in subclasses)."""
+
+    def utilization(self) -> float:
+        """Fraction of capacity in use (override; used by the orchestrator)."""
+        return 0.0
+
+    def doorbell_register(self, queue_id: int) -> int:
+        """BAR offset of the doorbell for ``queue_id`` (override).
+
+        Lets a forwarded :class:`~repro.channel.messages.Doorbell` message
+        be applied generically to any device type.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no doorbell for queue {queue_id}"
+        )
+
+    def __repr__(self) -> str:
+        host = self.attached_host_id or "unattached"
+        state = "FAILED" if self.failed else "ok"
+        return f"<{type(self).__name__} {self.name!r} @{host} {state}>"

@@ -1,0 +1,108 @@
+"""Physical NICs with SR-IOV-style virtual functions.
+
+Pooling a NIC among several hosts needs more than one queue pair: each
+borrower must own its descriptor rings, completion queues, and doorbells
+outright, or their drivers would fight over shared state.  Real NICs
+solve this with virtual functions (SR-IOV); a :class:`PhysicalNic`
+models exactly that:
+
+* each VF is a complete :class:`~repro.pcie.nic.Nic` (its own BAR, ring
+  state, engines, completion hints, and MAC address);
+* all VFs share the physical port: one wire arbiter means their
+  transmissions contend for the same line rate, and one fabric port
+  delivers frames to whichever VF owns the destination MAC;
+* a physical fault (:meth:`fail`) takes every VF down at once.
+
+The orchestrator pools *VFs*: they are what get assigned to hosts.
+"""
+
+from __future__ import annotations
+
+from repro.cxl.memsys import HostMemorySystem
+from repro.pcie.fabric import EthernetSwitch
+from repro.pcie.nic import Nic, NicSpec
+from repro.sim import Resource, Simulator
+
+
+class PhysicalNic:
+    """One physical port exposing ``n_vfs`` virtual functions."""
+
+    def __init__(self, sim: Simulator, name: str, base_device_id: int,
+                 base_mac: int, n_vfs: int = 1,
+                 spec: NicSpec = NicSpec()):
+        if n_vfs < 1:
+            raise ValueError(f"need at least one VF, got {n_vfs}")
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        # The shared egress arbiter: VFs contend for the port's rate.
+        self._wire = Resource(sim, capacity=1, name=f"{name}.wire")
+        self.vfs = [
+            Nic(sim, f"{name}.vf{i}", device_id=base_device_id + i,
+                mac=base_mac + i, spec=spec, wire=self._wire)
+            for i in range(n_vfs)
+        ]
+
+    # -- pass-through lifecycle -------------------------------------------
+
+    def attach(self, host: HostMemorySystem) -> None:
+        for vf in self.vfs:
+            vf.attach(host)
+
+    def plug_into(self, fabric: EthernetSwitch) -> None:
+        for vf in self.vfs:
+            vf.plug_into(fabric)
+
+    def start(self) -> None:
+        for vf in self.vfs:
+            vf.start()
+
+    def stop(self) -> None:
+        for vf in self.vfs:
+            vf.stop()
+
+    def fail(self) -> None:
+        """A physical fault (port, cable, card) kills every VF."""
+        for vf in self.vfs:
+            vf.fail()
+
+    def repair(self) -> None:
+        for vf in self.vfs:
+            vf.repair()
+
+    @property
+    def failed(self) -> bool:
+        return any(vf.failed for vf in self.vfs)
+
+    # -- convenience views ----------------------------------------------------
+
+    @property
+    def device_id(self) -> int:
+        """The first VF's id (single-VF NICs act like plain devices)."""
+        return self.vfs[0].device_id
+
+    @property
+    def mac(self) -> int:
+        return self.vfs[0].mac
+
+    @property
+    def attached_host_id(self):
+        return self.vfs[0].attached_host_id
+
+    @property
+    def frames_sent(self) -> int:
+        return sum(vf.frames_sent for vf in self.vfs)
+
+    @property
+    def frames_received(self) -> int:
+        return sum(vf.frames_received for vf in self.vfs)
+
+    def utilization(self) -> float:
+        return max(vf.utilization() for vf in self.vfs)
+
+    def __repr__(self) -> str:
+        state = "FAILED" if self.failed else "ok"
+        return (
+            f"<PhysicalNic {self.name!r} vfs={len(self.vfs)} {state} "
+            f"tx={self.frames_sent} rx={self.frames_received}>"
+        )

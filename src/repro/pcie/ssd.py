@@ -1,0 +1,242 @@
+"""NVMe-like SSD model: submission/completion queues, flash timing.
+
+The SSD follows the same memory-contract as the NIC: software writes
+16 B command descriptors into a submission ring in memory, rings the SQ
+doorbell (MMIO), and the device DMA-reads commands, moves data with DMA,
+and DMA-writes completion entries.  Placing the rings and data buffers in
+CXL pool memory therefore makes the SSD poolable exactly like a NIC —
+with more slack, since flash latencies dwarf the CXL overhead.
+
+Flash timing uses a simple but standard model: fixed media latency per
+operation class plus transfer time at the device's internal bandwidth,
+with a bounded number of parallel channels.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.pcie.device import PcieDevice
+from repro.pcie.rings import (
+    COMPLETION_BYTES,
+    CompletionEntry,
+    DescriptorRing,
+    seq_for_pass,
+)
+from repro.sim import Interrupt, Resource, Simulator, Store
+
+#: opcode (u8), pad (u8), pad (u16), length (u32), lba (u64), buffer (u64)
+_NVME_CMD = struct.Struct("<BBHIQQ")
+NVME_COMMAND_BYTES = _NVME_CMD.size  # 24
+
+
+@dataclass(frozen=True)
+class NvmeCommand:
+    """One submission-queue entry."""
+
+    OP_READ = 1
+    OP_WRITE = 2
+    OP_FLUSH = 3
+
+    opcode: int
+    length: int
+    lba: int
+    buffer_addr: int
+
+    def encode(self) -> bytes:
+        return _NVME_CMD.pack(self.opcode, 0, 0, self.length,
+                              self.lba, self.buffer_addr)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "NvmeCommand":
+        opcode, _p1, _p2, length, lba, buffer_addr = _NVME_CMD.unpack(
+            raw[:NVME_COMMAND_BYTES]
+        )
+        return cls(opcode, length, lba, buffer_addr)
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """Static SSD configuration (datacenter TLC class)."""
+
+    capacity: int = 1 << 38           # 256 GiB of addressable LBA space
+    read_latency_ns: float = 60_000.0   # media read
+    write_latency_ns: float = 16_000.0  # program into SLC cache
+    flush_latency_ns: float = 80_000.0
+    internal_bandwidth_gbps: float = 7.0  # bytes/ns
+    n_channels: int = 8               # parallel flash channels
+    n_sq_entries: int = 256
+    block_bytes: int = 4096
+
+
+class Ssd(PcieDevice):
+    """An NVMe-like SSD."""
+
+    REG_SQ_DB = 0x10
+    REG_SQ_RING = 0x18
+    REG_CQ_RING = 0x20
+
+    def __init__(self, sim: Simulator, name: str, device_id: int,
+                 spec: SsdSpec = SsdSpec()):
+        super().__init__(sim, name, device_id)
+        self.spec = spec
+        for reg in (self.REG_SQ_DB, self.REG_SQ_RING, self.REG_CQ_RING):
+            self.bar.regs[reg] = 0
+        self._doorbells = Store(sim, name=f"{name}.sqdb")
+        self._channels = Resource(sim, capacity=spec.n_channels,
+                                  name=f"{name}.channels")
+        self._media: dict[int, bytes] = {}  # lba-block -> data
+        self._sq_head = 0
+        self._cq_index = 0
+        self._engine = None
+        self.commands_completed = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self._busy_ns = 0.0
+        self._util_window_start = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._engine is not None:
+            raise RuntimeError(f"{self.name} already started")
+        self._engine = self.sim.spawn(
+            self._command_engine(), name=f"{self.name}.engine"
+        )
+
+    def stop(self) -> None:
+        if self._engine is not None and self._engine.is_alive:
+            self._engine.interrupt(cause="ssd stopped")
+        self._engine = None
+
+    def on_mmio_write(self, offset: int, value: int) -> None:
+        super().on_mmio_write(offset, value)
+        if offset == self.REG_SQ_DB:
+            self._doorbells.put(value)
+
+    def on_reset(self) -> None:
+        self._sq_head = 0
+        self._cq_index = 0
+
+    def doorbell_register(self, queue_id: int) -> int:
+        if queue_id == 0:
+            return self.REG_SQ_DB
+        raise ValueError(f"SSD has no queue {queue_id}")
+
+    # -- command engine ----------------------------------------------------------
+
+    def _command_engine(self):
+        try:
+            while True:
+                tail = yield self._doorbells.get()
+                if self.failed:
+                    continue
+                while self._sq_head < tail:
+                    index = self._sq_head
+                    self._sq_head += 1
+                    # Commands run concurrently across flash channels.
+                    self.sim.spawn(
+                        self._execute(index),
+                        name=f"{self.name}.cmd{index}",
+                    )
+        except Interrupt:
+            return
+
+    def _execute(self, index: int):
+        sq = DescriptorRing(
+            self.bar.regs[self.REG_SQ_RING], self.spec.n_sq_entries,
+            entry_bytes=NVME_COMMAND_BYTES,
+        )
+        raw = yield from self.dma_read(
+            sq.entry_addr(index), NVME_COMMAND_BYTES
+        )
+        cmd = NvmeCommand.decode(raw)
+        t0 = self.sim.now
+        with self._channels.request() as channel:
+            yield channel
+            status = yield from self._run_command(cmd)
+        self._busy_ns += self.sim.now - t0
+        yield from self._complete(index, status, cmd.length)
+
+    def _run_command(self, cmd: NvmeCommand):
+        spec = self.spec
+        if cmd.opcode == NvmeCommand.OP_FLUSH:
+            yield self.sim.timeout(spec.flush_latency_ns)
+            return CompletionEntry.STATUS_OK
+        if cmd.lba + cmd.length > spec.capacity:
+            return CompletionEntry.STATUS_ERROR
+        # internal_bandwidth is the device total; a command executing on
+        # one flash channel moves data at the per-channel share, so the
+        # full rate is only reached with channel-parallel command queues.
+        per_channel = spec.internal_bandwidth_gbps / spec.n_channels
+        transfer_ns = cmd.length / per_channel
+        if cmd.opcode == NvmeCommand.OP_READ:
+            yield self.sim.timeout(spec.read_latency_ns + transfer_ns)
+            data = self._media_read(cmd.lba, cmd.length)
+            yield from self.dma_write(cmd.buffer_addr, data)
+            self.bytes_read += cmd.length
+            return CompletionEntry.STATUS_OK
+        if cmd.opcode == NvmeCommand.OP_WRITE:
+            data = yield from self.dma_read(cmd.buffer_addr, cmd.length)
+            yield self.sim.timeout(spec.write_latency_ns + transfer_ns)
+            self._media_write(cmd.lba, data)
+            self.bytes_written += cmd.length
+            return CompletionEntry.STATUS_OK
+        return CompletionEntry.STATUS_ERROR
+
+    def _complete(self, index: int, status: int, length: int):
+        cq = DescriptorRing(
+            self.bar.regs[self.REG_CQ_RING], self.spec.n_sq_entries,
+            entry_bytes=COMPLETION_BYTES,
+        )
+        cq_index = self._cq_index
+        self._cq_index += 1
+        entry = CompletionEntry(
+            seq=seq_for_pass(cq_index // cq.n_entries),
+            status=status, index=index % (1 << 16), length=length,
+        )
+        yield from self.dma_write(cq.entry_addr(cq_index), entry.encode())
+        self.commands_completed += 1
+
+    # -- flash media (functional) ----------------------------------------------------
+
+    def _media_read(self, lba: int, length: int) -> bytes:
+        out = bytearray()
+        block = self.spec.block_bytes
+        cur = lba
+        while len(out) < length:
+            base = cur - cur % block
+            stored = self._media.get(base, bytes(block))
+            off = cur - base
+            take = min(block - off, length - len(out))
+            out += stored[off:off + take]
+            cur += take
+        return bytes(out)
+
+    def _media_write(self, lba: int, data: bytes) -> None:
+        block = self.spec.block_bytes
+        cur = lba
+        pos = 0
+        while pos < len(data):
+            base = cur - cur % block
+            stored = bytearray(self._media.get(base, bytes(block)))
+            off = cur - base
+            take = min(block - off, len(data) - pos)
+            stored[off:off + take] = data[pos:pos + take]
+            self._media[base] = bytes(stored)
+            cur += take
+            pos += take
+
+    # -- telemetry ----------------------------------------------------------------------
+
+    def utilization(self) -> float:
+        window = self.sim.now - self._util_window_start
+        if window <= 0:
+            return 0.0
+        # Normalize by channel-parallel capacity.
+        return min(1.0, self._busy_ns / (window * self.spec.n_channels))
+
+    def reset_utilization_window(self) -> None:
+        self._busy_ns = 0.0
+        self._util_window_start = self.sim.now

@@ -1,0 +1,39 @@
+"""Exception types used by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class StopSimulation(SimError):
+    """Raised internally to stop :meth:`Simulator.run` at a target event.
+
+    User code never needs to raise this; ``Simulator.run(until=event)``
+    installs a callback that raises it when ``event`` fires.
+    """
+
+    def __init__(self, event):
+        super().__init__(f"simulation stopped at event {event!r}")
+        self.event = event
+
+
+class Interrupt(SimError):
+    """Thrown *into* a process when another process interrupts it.
+
+    The interrupted process receives the exception at its current ``yield``
+    statement and may catch it to clean up or change course (e.g. a failover
+    handler interrupting an I/O wait when a NIC dies).
+
+    Attributes:
+        cause: arbitrary object describing why the interrupt happened.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(f"interrupted (cause={cause!r})")
+        self.cause = cause
+
+
+class DeadSimulationError(SimError):
+    """Raised when scheduling onto a simulator that has been shut down."""

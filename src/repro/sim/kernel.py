@@ -1,0 +1,147 @@
+"""The simulator: clock, event queue, and run loop.
+
+Simulated time is a ``float`` number of **nanoseconds**.  Determinism is
+guaranteed by the scheduling key ``(time, sequence_number)``: events
+scheduled for the same instant are processed in scheduling order, so a
+program that performs the same calls in the same order always produces the
+same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional, Union
+
+from repro.sim.errors import DeadSimulationError, SimError, StopSimulation
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rand import RandomStreams
+
+#: Type accepted by :meth:`Simulator.run`'s ``until`` parameter.
+Until = Union[None, int, float, Event]
+
+
+class Simulator:
+    """A discrete-event simulator with a nanosecond clock.
+
+    Args:
+        seed: master seed for :class:`~repro.sim.rand.RandomStreams`.
+              All stochastic models derive their randomness from this.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._dead = False
+        self.rng = RandomStreams(seed)
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event creation -------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a pending event owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value=value)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    # Alias familiar to simpy users.
+    process = spawn
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Insert a triggered event into the queue ``delay`` ns from now."""
+        if self._dead:
+            raise DeadSimulationError("simulator has been shut down")
+        if delay < 0:
+            raise SimError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process()
+
+    # -- run loop -------------------------------------------------------
+
+    def run(self, until: Until = None) -> Any:
+        """Run the simulation.
+
+        Args:
+            until:
+                * ``None`` — run until the event queue drains;
+                * a number — run until the clock reaches that time (ns);
+                * an :class:`Event` — run until that event is processed and
+                  return its value (re-raising its exception on failure).
+
+        Returns:
+            The value of ``until`` when it is an event, else ``None``.
+        """
+        if isinstance(until, Event):
+            if until.processed:
+                return until.value
+            until.add_callback(self._stop_on)
+            try:
+                while self._queue:
+                    self.step()
+            except StopSimulation as stop:
+                return stop.event.value
+            # Queue drained without the target firing: deadlock.
+            raise SimError(
+                f"simulation ran out of events before {until!r} fired"
+            )
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimError(
+                f"run(until={horizon}) is in the past (now={self._now})"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    @staticmethod
+    def _stop_on(event: Event) -> None:
+        if event._exception is not None:
+            event._defused = True
+            raise event._exception
+        raise StopSimulation(event)
+
+    def shutdown(self) -> None:
+        """Discard all pending events and reject further scheduling."""
+        self._queue.clear()
+        self._dead = True
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now}ns queued={len(self._queue)}>"

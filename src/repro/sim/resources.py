@@ -1,0 +1,139 @@
+"""Capacity-constrained resources.
+
+A :class:`Resource` models anything with a fixed number of slots — a DMA
+engine with N channels, a link arbiter, an accelerator with one execution
+context.  Processes ``yield resource.request()`` to acquire a slot and call
+``resource.release(req)`` (or use the request as a context manager) to give
+it back.
+
+:class:`PriorityResource` grants queued requests lowest-priority-value
+first (ties broken by arrival order), which the orchestrator uses to give
+control-plane traffic precedence over bulk transfers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.sim.errors import SimError
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """A pending acquisition of one resource slot.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ... hold the slot ...
+        # released automatically
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.sim, name=f"request:{resource.name}")
+        self.resource = resource
+        self.priority = priority
+        self._released = False
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class Preempted(SimError):
+    """Cause attached to interrupts raised by preemptive acquisition."""
+
+    def __init__(self, by: Request):
+        super().__init__(f"preempted by {by!r}")
+        self.by = by
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots, FIFO grant order."""
+
+    def __init__(self, sim, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: list[Request] = []
+        self._heap: list[tuple[float, int, Request]] = []
+        self._seq = 0
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return sum(1 for _, _, r in self._heap if not r.triggered)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Ask for one slot; the returned event fires when granted."""
+        req = Request(self, priority=self._key(priority))
+        heapq.heappush(self._heap, (req.priority, self._seq, req))
+        self._seq += 1
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously-granted slot."""
+        if request._released:
+            return
+        if request in self._users:
+            self._users.remove(request)
+            request._released = True
+            self._grant()
+        elif not request.triggered:
+            # Releasing an ungranted request == cancelling it.
+            self._cancel(request)
+        else:
+            raise SimError(f"{request!r} does not hold {self.name}")
+
+    # -- internals ------------------------------------------------------
+
+    def _key(self, priority: float) -> float:
+        return priority
+
+    def _cancel(self, request: Request) -> None:
+        if request.triggered:
+            raise SimError("cannot cancel a granted request; release it")
+        self._heap = [
+            (p, s, r) for (p, s, r) in self._heap if r is not request
+        ]
+        heapq.heapify(self._heap)
+
+    def _grant(self) -> None:
+        while self._heap and len(self._users) < self.capacity:
+            _p, _s, req = heapq.heappop(self._heap)
+            if req.triggered:
+                continue
+            self._users.append(req)
+            req.succeed(req)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name!r} {self.count}/{self.capacity}"
+            f" queued={self.queued}>"
+        )
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority.
+
+    Lower ``priority`` values are granted first; equal priorities keep FIFO
+    order via the internal sequence counter.
+    """

@@ -1,0 +1,77 @@
+"""Cost model tests: the paper's dollars."""
+
+import pytest
+
+from repro.analysis.costs import (
+    CxlPodCost,
+    PcieSwitchCost,
+    pooling_cost_comparison,
+    redundancy_savings,
+    spares_needed_pooled,
+    stranding_capacity_savings,
+)
+
+
+def test_switch_rack_cost_in_paper_band():
+    # "easily reaches $80,000" (§1).
+    assert 70_000 <= PcieSwitchCost().rack_total(32) <= 120_000
+
+
+def test_pod_is_600_per_host_greenfield():
+    pod = CxlPodCost(already_deployed_for_memory_pooling=False)
+    assert pod.per_host(32) == 600.0
+    assert pod.rack_total(32) == 19_200.0
+
+
+def test_pod_marginal_cost_zero():
+    assert CxlPodCost().rack_total(32) == 0.0
+
+
+def test_comparison_table():
+    table = pooling_cost_comparison(32)
+    assert table["pcie_switch_rack_usd"] > 4 * table[
+        "cxl_pod_greenfield_rack_usd"
+    ]
+    assert table["cxl_pod_marginal_rack_usd"] == 0.0
+    assert table["greenfield_savings_factor"] > 4
+
+
+def test_pooled_spares_far_fewer_than_per_host():
+    result = redundancy_savings(
+        n_hosts=32, device_failure_prob=0.01,
+    )
+    assert result["pooled_spares"] <= 4
+    assert result["unpooled_spares"] == 32
+    assert result["savings_factor"] >= 8
+
+
+def test_spares_scale_sublinearly_with_hosts():
+    small = spares_needed_pooled(8, 0.02)
+    large = spares_needed_pooled(64, 0.02)
+    assert large < 8 * max(1, small)
+
+
+def test_spares_validation():
+    with pytest.raises(ValueError):
+        spares_needed_pooled(8, 1.5)
+    with pytest.raises(ValueError):
+        spares_needed_pooled(8, 0.01, availability_target=1.0)
+
+
+def test_zero_failure_probability_needs_no_spares():
+    assert spares_needed_pooled(32, 0.0) == 0
+
+
+def test_stranding_capacity_savings():
+    # Going from 54% to 19% stranded cuts required SSD capacity ~43%.
+    result = stranding_capacity_savings(0.54, 0.19, 1_000_000.0)
+    assert result["capacity_saving_fraction"] == pytest.approx(
+        1 - (1 / 0.81) / (1 / 0.46), abs=1e-9
+    )
+    assert 0.40 <= result["capacity_saving_fraction"] <= 0.46
+    assert result["fleet_savings_usd"] > 0
+
+
+def test_stranding_savings_validation():
+    with pytest.raises(ValueError):
+        stranding_capacity_savings(1.0, 0.1, 100.0)

@@ -1,0 +1,71 @@
+"""Pod availability tests: lambda-redundant dense topologies (§5)."""
+
+import pytest
+
+from repro.analysis.pod_availability import (
+    PodTopology,
+    availability_vs_lambda,
+    nines,
+)
+from repro.analysis.tor import dual_tor_rack, torless_rack
+
+
+def test_single_path_availability_is_the_product():
+    t = PodTopology(lam=1, data_copies=1,
+                    mhd_availability=0.999, link_availability=0.999)
+    assert t.host_connectivity() == pytest.approx(0.999 * 0.999)
+
+
+def test_lambda_redundancy_multiplies_nines():
+    one = PodTopology(lam=1).host_connectivity()
+    four = PodTopology(lam=4).host_connectivity()
+    assert nines(four) > 2 * nines(one)
+
+
+def test_availability_monotone_in_lambda():
+    sweep = availability_vs_lambda(lams=(1, 2, 4, 8))
+    values = [sweep[l] for l in (1, 2, 4, 8)]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+def test_data_copies_guard_mhd_loss():
+    single = PodTopology(data_copies=1).data_availability()
+    double = PodTopology(data_copies=2).data_availability()
+    assert double > single
+    assert PodTopology(data_copies=2).capacity_overhead() == 1.0
+
+
+def test_pod_availability_combines_both_factors():
+    t = PodTopology()
+    assert t.pod_availability() == pytest.approx(
+        t.host_connectivity() * t.data_availability()
+    )
+
+
+def test_lambda_4_pod_supports_torless_racks():
+    """The §5 chain of reasoning, end to end: a lambda=4 dense pod is
+    available enough that the ToR-less rack beats dual-ToR economics."""
+    pod = PodTopology(lam=4, data_copies=2)
+    rack = torless_rack(pod_availability=pod.pod_availability(),
+                        n_pooled_nics=8)
+    dual = dual_tor_rack()
+    assert rack.switch_cost_usd == 0.0
+    # Within a handful of minutes/year of dual-ToR.
+    assert (rack.downtime_minutes_per_year()
+            - dual.downtime_minutes_per_year()) < 10.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PodTopology(n_mhds=0)
+    with pytest.raises(ValueError):
+        PodTopology(lam=9, n_mhds=8)
+    with pytest.raises(ValueError):
+        PodTopology(mhd_availability=1.2)
+    with pytest.raises(ValueError):
+        nines(1.0)
+
+
+def test_nines():
+    assert nines(0.999) == pytest.approx(3.0)
+    assert nines(0.99999) == pytest.approx(5.0)

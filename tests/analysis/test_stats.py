@@ -1,0 +1,35 @@
+"""Statistics helper tests."""
+
+import pytest
+
+from repro.analysis.stats import cdf_points, geometric_mean, summarize
+
+
+def test_summarize_basic():
+    s = summarize([1, 2, 3, 4, 5])
+    assert s["n"] == 5
+    assert s["mean"] == 3.0
+    assert s["min"] == 1.0
+    assert s["max"] == 5.0
+    assert s["p50"] == 3.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_cdf_points():
+    xs, ys = cdf_points([3, 1, 2])
+    assert list(xs) == [1, 2, 3]
+    assert ys[-1] == 1.0
+    with pytest.raises(ValueError):
+        cdf_points([])
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 100]) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        geometric_mean([1, 0])
+    with pytest.raises(ValueError):
+        geometric_mean([])

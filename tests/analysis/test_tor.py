@@ -1,0 +1,80 @@
+"""ToR-less rack availability tests (§5)."""
+
+import pytest
+
+from repro.analysis.tor import (
+    compare_designs,
+    dual_tor_rack,
+    single_tor_rack,
+    torless_rack,
+)
+
+
+def test_single_tor_availability_is_tor_availability():
+    rack = single_tor_rack(tor_availability=0.999)
+    assert rack.availability == 0.999
+
+
+def test_dual_tor_squares_the_failure_probability():
+    rack = dual_tor_rack(tor_availability=0.999)
+    assert rack.unavailability == pytest.approx(1e-6, rel=1e-6)
+    assert rack.switch_cost_usd == 2 * single_tor_rack().switch_cost_usd
+
+
+def test_torless_beats_single_tor():
+    torless = torless_rack()
+    single = single_tor_rack()
+    assert torless.availability > single.availability
+
+
+def test_torless_competitive_with_dual_tor_at_zero_switch_cost():
+    torless = torless_rack(n_pooled_nics=8)
+    dual = dual_tor_rack()
+    assert torless.switch_cost_usd == 0.0
+    # The ToR-less design is bounded by pod availability (its NIC-level
+    # redundancy contributes negligibly at 8 pooled NICs).
+    assert torless.unavailability == pytest.approx(1e-5, rel=0.01)
+    # With a five-nines pod it stays within ~2 minutes/year of dual-ToR.
+    assert (torless.downtime_minutes_per_year()
+            - dual.downtime_minutes_per_year()) < 10.0
+
+
+def test_torless_degrades_when_pod_is_fragile():
+    fragile = torless_rack(pod_availability=0.99)
+    robust = torless_rack(pod_availability=0.99999)
+    assert fragile.availability < robust.availability
+    # §5's caveat: "this would require high CXL pod reliability".
+    assert fragile.availability < dual_tor_rack().availability
+
+
+def test_more_pooled_nics_increase_availability():
+    few = torless_rack(n_pooled_nics=2)
+    many = torless_rack(n_pooled_nics=12)
+    assert many.availability >= few.availability
+
+
+def test_min_nics_for_service_raises_the_bar():
+    lax = torless_rack(n_pooled_nics=8, min_nics_for_service=1)
+    strict = torless_rack(n_pooled_nics=8, min_nics_for_service=6)
+    assert strict.availability < lax.availability
+
+
+def test_torless_validation():
+    with pytest.raises(ValueError):
+        torless_rack(nic_availability=1.5)
+    with pytest.raises(ValueError):
+        torless_rack(n_pooled_nics=4, min_nics_for_service=5)
+
+
+def test_downtime_minutes():
+    rack = single_tor_rack(tor_availability=0.9995)
+    assert rack.downtime_minutes_per_year() == pytest.approx(
+        0.0005 * 365.25 * 24 * 60
+    )
+
+
+def test_compare_designs_returns_all_three():
+    designs = compare_designs()
+    assert [d.name for d in designs] == [
+        "single-tor", "dual-tor", "tor-less"
+    ]

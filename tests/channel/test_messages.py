@@ -1,0 +1,65 @@
+"""Unit tests for message wire formats."""
+
+import pytest
+
+from repro.channel.messages import (
+    AssignDevice,
+    Completion,
+    DeviceFailure,
+    Doorbell,
+    Heartbeat,
+    LoadReport,
+    Migrate,
+    MmioRead,
+    MmioReadReply,
+    MmioWrite,
+    decode_message,
+)
+from repro.channel.ring import SLOT_PAYLOAD_BYTES
+
+ALL_MESSAGES = [
+    MmioWrite(request_id=7, device_id=3, addr=0x1000, value=0xdeadbeef),
+    MmioRead(request_id=8, device_id=3, addr=0x2000),
+    MmioReadReply(request_id=8, value=0xcafe),
+    Doorbell(request_id=9, device_id=1, queue_id=2, index=511),
+    Completion(request_id=9, status=0),
+    Heartbeat(request_id=1, timestamp_us=123456, healthy=1),
+    LoadReport(request_id=2, device_id=1, utilization_permille=750,
+               queue_depth=12),
+    DeviceFailure(request_id=3, device_id=1, reason=2),
+    AssignDevice(request_id=4, virtual_id=0, device_id=5),
+    Migrate(request_id=5, from_device=1, to_device=2),
+]
+
+
+@pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+def test_encode_decode_roundtrip(msg):
+    assert decode_message(msg.encode()) == msg
+
+
+@pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+def test_encodings_fit_one_slot(msg):
+    assert len(msg.encode()) <= SLOT_PAYLOAD_BYTES
+
+
+def test_tags_are_unique():
+    tags = [type(m).TAG for m in ALL_MESSAGES]
+    assert len(tags) == len(set(tags))
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(ValueError, match="unknown message tag"):
+        decode_message(bytes([255, 0, 0]))
+
+
+def test_empty_payload_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        decode_message(b"")
+
+
+def test_large_values_roundtrip():
+    msg = MmioWrite(
+        request_id=2**32 - 1, device_id=2**64 - 1,
+        addr=2**64 - 1, value=2**64 - 1,
+    )
+    assert decode_message(msg.encode()) == msg

@@ -1,0 +1,50 @@
+"""Churn tests: steady-state stranding matches the snapshot's shape."""
+
+import pytest
+
+from repro.cluster.churn import run_churn
+from repro.cluster.vmtypes import AZURE_LIKE_CATALOG
+
+
+@pytest.fixture(scope="module")
+def churn():
+    return run_churn(
+        AZURE_LIKE_CATALOG, n_hosts=32,
+        arrival_rate_per_hour=80.0, mean_lifetime_hours=8.0,
+        sim_hours=120.0, warmup_hours=40.0, seed=0,
+    )
+
+
+def test_fleet_is_at_pressure(churn):
+    # The arrival rate overdrives the fleet: rejections are real.
+    assert churn.rejection_rate > 0.05
+    assert churn.departures > 1000
+
+
+def test_ssd_and_nic_most_stranded_under_churn(churn):
+    order = sorted(churn.stranded, key=churn.stranded.get, reverse=True)
+    assert order[:2] == ["ssd_gb", "nic_gbps"]
+    assert churn.stranded["cores"] < 0.10
+
+
+def test_stranding_levels_in_band(churn):
+    # Churn fragments packing, so levels sit at or above the one-shot
+    # snapshot; both experiments support the same Figure 2 story.
+    assert 0.50 <= churn.stranded["ssd_gb"] <= 0.80
+    assert 0.22 <= churn.stranded["nic_gbps"] <= 0.45
+
+
+def test_determinism():
+    a = run_churn(AZURE_LIKE_CATALOG, n_hosts=8,
+                  arrival_rate_per_hour=30.0, sim_hours=30.0,
+                  warmup_hours=10.0, seed=5)
+    b = run_churn(AZURE_LIKE_CATALOG, n_hosts=8,
+                  arrival_rate_per_hour=30.0, sim_hours=30.0,
+                  warmup_hours=10.0, seed=5)
+    assert a.stranded == b.stranded
+    assert a.admitted == b.admitted
+
+
+def test_warmup_validation():
+    with pytest.raises(ValueError):
+        run_churn(AZURE_LIKE_CATALOG, sim_hours=10.0, warmup_hours=20.0)

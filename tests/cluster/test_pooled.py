@@ -1,0 +1,73 @@
+"""PodGroup / PooledCluster unit tests."""
+
+import pytest
+
+from repro.cluster.host import HostSpec
+from repro.cluster.pooled import PodGroup, PooledCluster
+from repro.cluster.resources import ResourceVector
+from repro.cluster.scheduler import Cluster
+from repro.cluster.workload import VmRequest
+
+SPEC = HostSpec(ResourceVector(cores=16, memory_gb=64,
+                               ssd_gb=1000, nic_gbps=10))
+
+
+def vm(vm_id, cores, mem, ssd, nic):
+    return VmRequest(vm_id, "t", ResourceVector(cores, mem, ssd, nic))
+
+
+def test_pooled_capacity_is_group_sum():
+    group = PodGroup("g", [
+        __import__("repro.cluster.host", fromlist=["Host"]).Host(
+            f"h{i}", SPEC) for i in range(4)
+    ])
+    assert group.pooled_capacity["ssd_gb"] == 4000
+    assert group.pooled_capacity["nic_gbps"] == 40
+
+
+def test_group_admits_io_beyond_single_host():
+    cluster = PooledCluster(4, group_size=4, spec=SPEC)
+    # SSD demand exceeds one host's 1000 GB but fits the 4000 GB pool.
+    assert cluster.admit(vm(0, 4, 16, 2500, 2))
+    assert cluster.groups[0].pooled_used["ssd_gb"] == 2500
+
+
+def test_group_rejects_when_pool_exhausted():
+    cluster = PooledCluster(2, group_size=2, spec=SPEC)
+    assert cluster.admit(vm(0, 2, 8, 1900, 1))
+    assert not cluster.admit(vm(1, 2, 8, 500, 1))  # pool has 100 left
+    assert cluster.rejected == 1
+
+
+def test_private_dims_still_per_host():
+    cluster = PooledCluster(2, group_size=2, spec=SPEC)
+    # Each host has 16 cores; a 20-core VM can never fit even though the
+    # group "has" 32.
+    assert not cluster.admit(vm(0, 20, 8, 0, 1))
+
+
+def test_host_records_only_private_demand():
+    cluster = PooledCluster(2, group_size=2, spec=SPEC)
+    cluster.admit(vm(0, 4, 16, 500, 2))
+    placed_host = next(h for h in cluster.hosts if h.n_vms)
+    assert placed_host.used.ssd_gb == 0  # pooled dims live at the group
+    assert placed_host.used.cores == 4
+
+
+def test_group_utilization_combines_views():
+    cluster = PooledCluster(2, group_size=2, spec=SPEC)
+    cluster.admit(vm(0, 8, 32, 1000, 5))
+    util = cluster.groups[0].utilization()
+    assert util["cores"] == pytest.approx(8 / 32)
+    assert util["ssd_gb"] == pytest.approx(1000 / 2000)
+
+
+def test_same_stream_pooled_admits_at_least_as_much():
+    from repro.cluster.vmtypes import AZURE_LIKE_CATALOG
+    from repro.cluster.workload import VmStream
+
+    unpooled = Cluster(8)
+    unpooled.fill(VmStream(AZURE_LIKE_CATALOG, seed=9))
+    pooled = PooledCluster(8, group_size=8)
+    pooled.fill(VmStream(AZURE_LIKE_CATALOG, seed=9))
+    assert pooled.admitted >= unpooled.admitted * 0.95

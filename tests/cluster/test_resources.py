@@ -1,0 +1,104 @@
+"""Tests for resource vectors and hosts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.host import Host, HostSpec
+from repro.cluster.resources import DIMENSIONS, ResourceVector
+from repro.cluster.workload import VmRequest
+
+
+def test_vector_arithmetic():
+    a = ResourceVector(2, 8, 100, 1)
+    b = ResourceVector(1, 4, 50, 0.5)
+    assert a + b == ResourceVector(3, 12, 150, 1.5)
+    assert a - b == ResourceVector(1, 4, 50, 0.5)
+    assert a * 2 == ResourceVector(4, 16, 200, 2)
+    assert 2 * a == a * 2
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        ResourceVector(cores=-1)
+    a = ResourceVector(1, 1, 1, 1)
+    with pytest.raises(ValueError):
+        _ = a - ResourceVector(2, 0, 0, 0)
+
+
+def test_fits_in():
+    cap = ResourceVector(96, 768, 15360, 100)
+    assert ResourceVector(96, 768, 15360, 100).fits_in(cap)
+    assert not ResourceVector(97, 0, 0, 0).fits_in(cap)
+
+
+def test_utilization_and_binding():
+    cap = ResourceVector(100, 100, 100, 100)
+    used = ResourceVector(50, 80, 10, 40)
+    util = used.utilization_of(cap)
+    assert util == {"cores": 0.5, "memory_gb": 0.8,
+                    "ssd_gb": 0.1, "nic_gbps": 0.4}
+    assert used.max_ratio(cap) == 0.8
+
+
+def test_zero_capacity_dimension_reports_zero_util():
+    cap = ResourceVector(10, 10, 0, 10)
+    used = ResourceVector(1, 1, 0, 1)
+    assert used.utilization_of(cap)["ssd_gb"] == 0.0
+
+
+def test_host_place_and_remove():
+    host = Host("h0")
+    vm = VmRequest(1, "D2s", ResourceVector(2, 8, 0, 1))
+    host.place(vm)
+    assert host.n_vms == 1
+    assert host.used.cores == 2
+    host.remove(1)
+    assert host.used == ResourceVector()
+    with pytest.raises(KeyError):
+        host.remove(1)
+
+
+def test_host_rejects_overflow_and_duplicates():
+    host = Host("h0", HostSpec(ResourceVector(2, 8, 0, 1)))
+    vm = VmRequest(1, "D2s", ResourceVector(2, 8, 0, 1))
+    host.place(vm)
+    with pytest.raises(ValueError):
+        host.place(vm)
+    with pytest.raises(ValueError):
+        host.place(VmRequest(2, "D2s", ResourceVector(1, 0, 0, 0)))
+
+
+def test_host_binding_dimension():
+    host = Host("h0", HostSpec(ResourceVector(10, 10, 10, 10)))
+    host.place(VmRequest(1, "x", ResourceVector(2, 9, 1, 1)))
+    assert host.binding_dimension() == "memory_gb"
+
+
+@given(st.lists(
+    st.tuples(
+        st.floats(0, 10), st.floats(0, 50),
+        st.floats(0, 500), st.floats(0, 5),
+    ),
+    max_size=30,
+))
+def test_property_host_accounting_is_exact(demands):
+    """Placing then removing everything restores a pristine host."""
+    host = Host("h0", HostSpec(ResourceVector(1e6, 1e6, 1e6, 1e6)))
+    vms = [
+        VmRequest(i, "t", ResourceVector(*d))
+        for i, d in enumerate(demands)
+    ]
+    for vm in vms:
+        host.place(vm)
+    total = ResourceVector()
+    for vm in vms:
+        total = total + vm.demand
+    for dim in DIMENSIONS:
+        assert getattr(host.used, dim) == pytest.approx(
+            getattr(total, dim)
+        )
+    for vm in vms:
+        host.remove(vm.vm_id)
+    for dim in DIMENSIONS:
+        assert getattr(host.used, dim) == pytest.approx(0.0, abs=1e-6)

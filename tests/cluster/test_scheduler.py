@@ -1,0 +1,137 @@
+"""Scheduler + catalog + stranding tests, including the Figure 2 shape."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.host import HostSpec
+from repro.cluster.resources import ResourceVector
+from repro.cluster.scheduler import BestFit, Cluster, FirstFit, WorstFit
+from repro.cluster.stranding import (
+    measure_stranding,
+    run_pooled,
+    run_unpooled,
+)
+from repro.cluster.vmtypes import AZURE_LIKE_CATALOG, VmCatalog, VmType
+from repro.cluster.workload import VmRequest, VmStream
+
+
+def test_catalog_sampling_matches_weights():
+    stream = VmStream(AZURE_LIKE_CATALOG, seed=0)
+    names = [stream.next().type_name for _ in range(4000)]
+    # The most common family must dominate the rarest by roughly the
+    # weight ratio (20 / 1.2 ~ 17x).
+    assert names.count("D2s_v5") > 8 * max(1, names.count("M16ms"))
+
+
+def test_catalog_validation():
+    with pytest.raises(ValueError):
+        VmCatalog([])
+    t = VmType("a", ResourceVector(1, 1, 0, 0), 1.0)
+    with pytest.raises(ValueError):
+        VmCatalog([t, t])
+    with pytest.raises(ValueError):
+        VmType("bad", ResourceVector(1, 1, 0, 0), 0)
+
+
+def test_stream_is_deterministic():
+    a = [vm.type_name for vm in VmStream(AZURE_LIKE_CATALOG, 7).take(100)]
+    b = [vm.type_name for vm in VmStream(AZURE_LIKE_CATALOG, 7).take(100)]
+    assert a == b
+
+
+def test_first_fit_picks_first_feasible():
+    cluster = Cluster(3, policy=FirstFit())
+    vm = VmRequest(0, "t", ResourceVector(96, 768, 0, 0))
+    assert cluster.admit(vm)
+    assert cluster.hosts[0].n_vms == 1
+
+
+def test_best_fit_packs_tightly():
+    spec = HostSpec(ResourceVector(10, 100, 100, 100))
+    cluster = Cluster(2, spec=spec, policy=BestFit())
+    cluster.admit(VmRequest(0, "t", ResourceVector(6, 10, 0, 0)))
+    # Best-fit puts the next 4-core VM on the already-loaded host.
+    cluster.admit(VmRequest(1, "t", ResourceVector(4, 10, 0, 0)))
+    assert cluster.hosts[0].n_vms == 2
+    assert cluster.hosts[1].n_vms == 0
+
+
+def test_worst_fit_spreads():
+    spec = HostSpec(ResourceVector(10, 100, 100, 100))
+    cluster = Cluster(2, spec=spec, policy=WorstFit())
+    cluster.admit(VmRequest(0, "t", ResourceVector(6, 10, 0, 0)))
+    cluster.admit(VmRequest(1, "t", ResourceVector(4, 10, 0, 0)))
+    assert cluster.hosts[0].n_vms == 1
+    assert cluster.hosts[1].n_vms == 1
+
+
+def test_admit_failure_counted():
+    spec = HostSpec(ResourceVector(1, 1, 1, 1))
+    cluster = Cluster(1, spec=spec)
+    assert not cluster.admit(VmRequest(0, "t", ResourceVector(2, 0, 0, 0)))
+    assert cluster.rejected == 1
+
+
+def test_fill_stops_at_pressure():
+    cluster = Cluster(4)
+    cluster.fill(VmStream(AZURE_LIKE_CATALOG, 0),
+                 stop_after_failures=25)
+    assert cluster.admitted > 0
+    assert cluster.rejected >= 25
+
+
+def test_figure2_shape_ssd_and_nic_most_stranded():
+    """The headline Figure 2 reproduction: SSD and NIC are the two most
+    stranded resources, at roughly Azure's reported levels."""
+    reports = [
+        run_unpooled(AZURE_LIKE_CATALOG, n_hosts=48, seed=s)
+        for s in range(3)
+    ]
+    mean = {
+        d: float(np.mean([r.stranded[d] for r in reports]))
+        for d in reports[0].stranded
+    }
+    assert 0.45 <= mean["ssd_gb"] <= 0.68          # paper: 54%
+    assert 0.22 <= mean["nic_gbps"] <= 0.40        # paper: 29%
+    order = sorted(mean, key=mean.get, reverse=True)
+    assert order[:2] == ["ssd_gb", "nic_gbps"]
+    assert mean["cores"] < 0.15                    # binding resource
+
+
+def test_pooled_cluster_validation():
+    from repro.cluster.pooled import PooledCluster
+
+    with pytest.raises(ValueError):
+        PooledCluster(n_hosts=10, group_size=4)
+
+
+def test_pooled_admits_vm_that_unpooled_rejects():
+    """A VM bigger than one host's SSD but smaller than the pod's pool."""
+    from repro.cluster.pooled import PooledCluster
+
+    spec = HostSpec(ResourceVector(96, 768, 1000, 100))
+    big_ssd_vm = VmRequest(0, "L", ResourceVector(8, 64, 1500, 8))
+    unpooled = Cluster(4, spec=spec)
+    assert not unpooled.admit(big_ssd_vm)
+    pooled = PooledCluster(4, group_size=4, spec=spec)
+    assert pooled.admit(big_ssd_vm)
+
+
+def test_measure_stranding_reports_metadata():
+    cluster = Cluster(4)
+    cluster.fill(VmStream(AZURE_LIKE_CATALOG, 0))
+    report = measure_stranding(cluster)
+    assert report.n_hosts == 4
+    assert report.group_size == 1
+    assert set(report.stranded) == {
+        "cores", "memory_gb", "ssd_gb", "nic_gbps"
+    }
+    assert "ssd_gb" in report.pretty()
+
+
+def test_pooled_stranding_not_worse_than_unpooled():
+    unpooled = run_unpooled(AZURE_LIKE_CATALOG, n_hosts=32, seed=0)
+    pooled = run_pooled(AZURE_LIKE_CATALOG, group_size=8,
+                        n_hosts=32, seed=0)
+    assert pooled["ssd_gb"] <= unpooled["ssd_gb"] + 0.05
+    assert pooled["nic_gbps"] <= unpooled["nic_gbps"] + 0.05

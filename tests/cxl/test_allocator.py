@@ -1,0 +1,120 @@
+"""Unit + property tests for the pool allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cxl.address import CACHELINE_BYTES
+from repro.cxl.allocator import AllocationError, PoolAllocator
+
+
+def test_allocate_rounds_to_cachelines():
+    alloc = PoolAllocator(1 << 20)
+    a = alloc.allocate(100, owners=["h0"])
+    assert a.range.size == 128
+    assert a.range.base % CACHELINE_BYTES == 0
+
+
+def test_shared_flag():
+    alloc = PoolAllocator(1 << 20)
+    private = alloc.allocate(64, owners=["h0"])
+    shared = alloc.allocate(64, owners=["h0", "h1"])
+    assert not private.shared
+    assert shared.shared
+
+
+def test_exhaustion_raises():
+    alloc = PoolAllocator(1024)
+    alloc.allocate(1024, owners=["h0"])
+    with pytest.raises(AllocationError):
+        alloc.allocate(64, owners=["h1"])
+
+
+def test_free_restores_capacity_and_coalesces():
+    alloc = PoolAllocator(1 << 12)
+    a = alloc.allocate(1 << 10, owners=["h0"])
+    b = alloc.allocate(1 << 10, owners=["h0"])
+    c = alloc.allocate(1 << 10, owners=["h0"])
+    alloc.free(a)
+    alloc.free(c)
+    alloc.free(b)  # middle free must coalesce with both neighbours
+    assert alloc.free_bytes == 1 << 12
+    big = alloc.allocate(1 << 12, owners=["h0"])  # only possible if coalesced
+    assert big.range.size == 1 << 12
+
+
+def test_double_free_rejected():
+    alloc = PoolAllocator(1 << 12)
+    a = alloc.allocate(64, owners=["h0"])
+    alloc.free(a)
+    with pytest.raises(AllocationError):
+        alloc.free(a)
+
+
+def test_find_and_check_access():
+    alloc = PoolAllocator(1 << 12)
+    a = alloc.allocate(256, owners=["h0", "h1"], label="ring")
+    assert alloc.find(a.range.base + 10) is a
+    assert alloc.find(a.range.end) is None
+    alloc.check_access("h0", a.range.base, 256)
+    with pytest.raises(PermissionError):
+        alloc.check_access("h2", a.range.base)
+    with pytest.raises(AllocationError):
+        alloc.check_access("h0", a.range.end + 64)
+
+
+def test_owner_bytes():
+    alloc = PoolAllocator(1 << 12)
+    alloc.allocate(128, owners=["h0"])
+    alloc.allocate(256, owners=["h0", "h1"])
+    assert alloc.owner_bytes("h0") == 384
+    assert alloc.owner_bytes("h1") == 256
+    assert alloc.owner_bytes("h2") == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PoolAllocator(100)
+    alloc = PoolAllocator(1 << 12)
+    with pytest.raises(ValueError):
+        alloc.allocate(0, owners=["h0"])
+    with pytest.raises(ValueError):
+        alloc.allocate(64, owners=[])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["alloc", "free"]),
+            st.integers(min_value=1, max_value=4096),
+        ),
+        max_size=60,
+    )
+)
+def test_property_no_overlap_and_conservation(ops):
+    """Arbitrary alloc/free sequences: allocations never overlap and
+    used + free always equals capacity."""
+    capacity = 1 << 16
+    alloc = PoolAllocator(capacity)
+    live = []
+    for op, size in ops:
+        if op == "alloc":
+            try:
+                a = alloc.allocate(size, owners=["h0"])
+                live.append(a)
+            except AllocationError:
+                pass
+        elif live:
+            victim = live.pop(size % len(live))
+            alloc.free(victim)
+        # Invariants after every operation:
+        assert alloc.used_bytes + alloc.free_bytes == capacity
+        ranges = sorted(
+            (a.range.base, a.range.end) for a in alloc.allocations
+        )
+        for (b1, e1), (b2, _e2) in zip(ranges, ranges[1:]):
+            assert e1 <= b2, "allocations overlap"
+        for a in alloc.allocations:
+            assert a.range.base % CACHELINE_BYTES == 0
+            assert a.range.end <= capacity

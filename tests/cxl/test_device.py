@@ -1,0 +1,78 @@
+"""Unit tests for memory media (CXL devices, local DRAM)."""
+
+import pytest
+
+from repro.cxl.device import CxlMemoryDevice, LocalDram
+
+
+def test_unwritten_memory_reads_zero():
+    dev = CxlMemoryDevice(1 << 20)
+    assert dev.read_line(0) == bytes(64)
+    assert dev.read(100, 10) == bytes(10)
+
+
+def test_line_write_read_roundtrip():
+    dev = CxlMemoryDevice(1 << 20)
+    data = bytes(range(64))
+    dev.write_line(128, data)
+    assert dev.read_line(128) == data
+
+
+def test_unaligned_line_access_rejected():
+    dev = CxlMemoryDevice(1 << 20)
+    with pytest.raises(ValueError):
+        dev.read_line(10)
+    with pytest.raises(ValueError):
+        dev.write_line(10, bytes(64))
+
+
+def test_partial_line_write_rejected():
+    dev = CxlMemoryDevice(1 << 20)
+    with pytest.raises(ValueError):
+        dev.write_line(0, b"short")
+
+
+def test_span_write_read_roundtrip_unaligned():
+    dev = CxlMemoryDevice(1 << 20)
+    payload = bytes(i % 251 for i in range(1000))
+    dev.write(37, payload)
+    assert dev.read(37, 1000) == payload
+
+
+def test_span_write_preserves_neighbours():
+    dev = CxlMemoryDevice(1 << 20)
+    dev.write_line(0, b"\xaa" * 64)
+    dev.write(10, b"\xbb" * 4)
+    line = dev.read_line(0)
+    assert line[:10] == b"\xaa" * 10
+    assert line[10:14] == b"\xbb" * 4
+    assert line[14:] == b"\xaa" * 50
+
+
+def test_out_of_bounds_rejected():
+    dev = CxlMemoryDevice(1 << 10)
+    with pytest.raises(ValueError):
+        dev.read(1 << 10, 1)
+    with pytest.raises(ValueError):
+        dev.write((1 << 10) - 4, bytes(8))
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        CxlMemoryDevice(100)  # not a cacheline multiple
+    with pytest.raises(ValueError):
+        CxlMemoryDevice(0)
+
+
+def test_resident_bytes_tracks_written_lines():
+    dev = CxlMemoryDevice(1 << 20)
+    assert dev.resident_bytes == 0
+    dev.write(0, bytes(200))  # touches 4 lines
+    assert dev.resident_bytes == 4 * 64
+
+
+def test_local_dram_is_per_host():
+    a = LocalDram(1 << 20, "h0")
+    b = LocalDram(1 << 20, "h1")
+    a.write(0, b"secret")
+    assert b.read(0, 6) == bytes(6)

@@ -1,0 +1,100 @@
+"""Unit tests for the CXL link model."""
+
+import pytest
+
+from repro.cxl.link import CxlLink, LinkDownError, LinkSpec
+from repro.cxl.params import DEFAULT_TIMINGS
+from repro.sim import Simulator
+
+
+def test_default_bandwidth_by_width():
+    assert LinkSpec(lanes=8).resolved_bandwidth() == 30.0
+    assert LinkSpec(lanes=16).resolved_bandwidth() == 60.0
+    assert LinkSpec(lanes=4).resolved_bandwidth() == 15.0
+
+
+def test_unknown_width_rejected():
+    with pytest.raises(ValueError):
+        LinkSpec(lanes=2).resolved_bandwidth()
+
+
+def test_line_latencies_match_timings():
+    sim = Simulator()
+    link = CxlLink(sim)
+    assert link.load_latency() == pytest.approx(DEFAULT_TIMINGS.cxl_load_ns)
+    assert link.store_latency() == pytest.approx(DEFAULT_TIMINGS.cxl_store_ns)
+
+
+def test_bulk_transfer_time_is_serialization_plus_propagation():
+    sim = Simulator()
+    link = CxlLink(sim, LinkSpec(lanes=8))  # 30 GB/s
+    size = 30_000  # bytes -> 1000 ns serialization
+
+    p = sim.spawn(link.transfer(size, write=True))
+    sim.run(until=p)
+    assert sim.now == pytest.approx(1000.0 + DEFAULT_TIMINGS.cxl_store_ns)
+
+
+def test_concurrent_transfers_queue_fifo():
+    sim = Simulator()
+    link = CxlLink(sim, LinkSpec(lanes=8))
+    done = []
+
+    def xfer(sim, link, tag):
+        yield from link.transfer(30_000, write=True)
+        done.append((tag, sim.now))
+
+    sim.spawn(xfer(sim, link, "a"))
+    sim.spawn(xfer(sim, link, "b"))
+    sim.run()
+    # Second transfer serializes behind the first: 2000ns + prop.
+    prop = DEFAULT_TIMINGS.cxl_store_ns
+    assert done[0] == ("a", pytest.approx(1000.0 + prop))
+    assert done[1] == ("b", pytest.approx(2000.0 + prop))
+
+
+def test_failed_link_raises():
+    sim = Simulator()
+    link = CxlLink(sim)
+    link.fail()
+    with pytest.raises(LinkDownError):
+        link.load_latency()
+
+    def xfer(sim, link):
+        yield from link.transfer(100, write=False)
+
+    p = sim.spawn(xfer(sim, link))
+    with pytest.raises(LinkDownError):
+        sim.run(until=p)
+
+
+def test_restore_brings_link_back():
+    sim = Simulator()
+    link = CxlLink(sim)
+    link.fail()
+    link.restore()
+    assert link.load_latency() > 0
+
+
+def test_byte_counters():
+    sim = Simulator()
+    link = CxlLink(sim)
+    link.load_latency()
+    link.store_latency()
+    assert link.bytes_read == 64
+    assert link.bytes_written == 64
+
+    def xfer(sim, link):
+        yield from link.transfer(1000, write=False)
+
+    p = sim.spawn(xfer(sim, link))
+    sim.run(until=p)
+    assert link.bytes_read == 1064
+    assert link.total_bytes == 1128
+
+
+def test_zero_size_transfer_rejected():
+    sim = Simulator()
+    link = CxlLink(sim)
+    with pytest.raises(ValueError):
+        next(link.transfer(0, write=True))

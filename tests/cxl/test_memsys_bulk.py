@@ -1,0 +1,202 @@
+"""Bulk (memcpy) operations and store-buffer forwarding tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cxl.params import DEFAULT_TIMINGS
+from repro.cxl.pod import POOL_BASE, CxlPod, PodConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def pod():
+    sim = Simulator()
+    return sim, CxlPod(sim, PodConfig(
+        n_hosts=2, n_mhds=2, mhd_capacity=1 << 26,
+    ))
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run(until=proc)
+    sim.run()
+    return proc.value
+
+
+def test_bulk_roundtrip_local_and_pool(pod):
+    sim, pod = pod
+    mem = pod.host("h0")
+    payload = bytes(i % 249 for i in range(5000))
+
+    def proc(addr):
+        yield from mem.write_bulk(addr, payload)
+        data = yield from mem.read_bulk(addr, len(payload))
+        return data
+
+    assert run(sim, proc(4096)) == payload            # local DRAM
+    assert run(sim, proc(POOL_BASE + 64)) == payload  # pool
+
+
+def test_bulk_unaligned_edges_preserve_neighbours(pod):
+    sim, pod = pod
+    mem = pod.host("h0")
+
+    def proc():
+        yield from mem.write_bulk(POOL_BASE, b"\xaa" * 192)
+        yield from mem.write_bulk(POOL_BASE + 50, b"\xbb" * 70)
+        data = yield from mem.read_bulk(POOL_BASE, 192)
+        return data
+
+    data = run(sim, proc())
+    assert data[:50] == b"\xaa" * 50
+    assert data[50:120] == b"\xbb" * 70
+    assert data[120:] == b"\xaa" * 72
+
+
+def test_bulk_write_time_is_bandwidth_bound(pod):
+    """A 64 KiB copy must cost ~size/bandwidth, not lines x latency."""
+    sim, pod = pod
+    mem = pod.host("h0")
+    size = 64 << 10
+
+    def proc():
+        t0 = sim.now
+        yield from mem.write_bulk(4096, bytes(size))
+        return sim.now - t0
+
+    elapsed = run(sim, proc())
+    per_line_model = (size / 64) * DEFAULT_TIMINGS.ddr5_store_ns
+    assert elapsed < per_line_model / 5
+    assert elapsed >= size / DEFAULT_TIMINGS.ddr5_bandwidth_gbps
+
+
+def test_bulk_nt_visible_to_other_host_after_drain(pod):
+    sim, pod = pod
+    h0, h1 = pod.host("h0"), pod.host("h1")
+    payload = b"bulk-published" * 10
+
+    def writer():
+        yield from h0.write_bulk(POOL_BASE, payload, nt=True)
+
+    def reader():
+        yield sim.timeout(50_000.0)
+        data = yield from h1.read_bulk(POOL_BASE, len(payload),
+                                       uncached=True)
+        return data
+
+    sim.spawn(writer())
+    p = sim.spawn(reader())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == payload
+
+
+def test_store_forwarding_sees_own_pending_nt_stores(pod):
+    sim, pod = pod
+    mem = pod.host("h0")
+
+    def proc():
+        yield from mem.store_line_nt(POOL_BASE, b"F" * 64)
+        # Immediately (before the ~200ns drain) read it back.
+        data = yield from mem.load_line_uncached(POOL_BASE)
+        return data, sim.now
+
+    data, t = run(sim, proc())
+    assert data == b"F" * 64
+    # The read returned before a full drain could have completed twice.
+    assert t < 3 * DEFAULT_TIMINGS.cxl_store_ns
+
+
+def test_store_buffer_invisible_to_other_hosts_until_drain(pod):
+    sim, pod = pod
+    h0, h1 = pod.host("h0"), pod.host("h1")
+    observations = []
+
+    def writer():
+        yield from h0.store_line_nt(POOL_BASE, b"X" * 64)
+
+    def fast_reader():
+        # Sample immediately: the NT store is still in h0's buffer.
+        data = yield from h1.load_line_uncached(POOL_BASE)
+        observations.append(("early", data[:1]))
+        yield sim.timeout(10_000.0)
+        data = yield from h1.load_line_uncached(POOL_BASE)
+        observations.append(("late", data[:1]))
+
+    sim.spawn(writer())
+    p = sim.spawn(fast_reader())
+    sim.run(until=p)
+    sim.run()
+    assert observations == [("early", b"\x00"), ("late", b"X")]
+
+
+def test_two_nt_stores_same_line_last_wins(pod):
+    sim, pod = pod
+    h0, h1 = pod.host("h0"), pod.host("h1")
+
+    def writer():
+        yield from h0.store_line_nt(POOL_BASE, b"1" * 64)
+        yield from h0.store_line_nt(POOL_BASE, b"2" * 64)
+
+    def reader():
+        yield sim.timeout(10_000.0)
+        data = yield from h1.load_line_uncached(POOL_BASE)
+        return data
+
+    sim.spawn(writer())
+    p = sim.spawn(reader())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == b"2" * 64
+
+
+def test_zero_size_bulk_ops(pod):
+    sim, pod = pod
+    mem = pod.host("h0")
+
+    def proc():
+        yield from mem.write_bulk(4096, b"")
+        data = yield from mem.read_bulk(4096, 0)
+        return data
+
+    assert run(sim, proc()) == b""
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2000),   # offset
+            st.binary(min_size=1, max_size=300),        # data
+            st.booleans(),                              # nt or cached
+            st.booleans(),                              # bulk or span
+        ),
+        min_size=1, max_size=10,
+    )
+)
+def test_property_single_host_read_your_writes(ops):
+    """Any mix of cached/NT, span/bulk writes from one host: its own
+    subsequent reads always see the union of its writes (per-byte last
+    writer wins)."""
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=1, n_mhds=2,
+                                mhd_capacity=1 << 26))
+    mem = pod.host("h0")
+    shadow = bytearray(4096)
+
+    def proc():
+        for offset, data, nt, bulk in ops:
+            addr = POOL_BASE + offset
+            if bulk:
+                yield from mem.write_bulk(addr, data, nt=nt)
+            else:
+                yield from mem.write_span(addr, data, nt=nt)
+            shadow[offset:offset + len(data)] = data
+        result = yield from mem.read_bulk(POOL_BASE, 4096)
+        return result
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == bytes(shadow)

@@ -1,0 +1,129 @@
+"""Unit tests for pods, MHDs, and pool address routing."""
+
+import pytest
+
+from repro.cxl.mhd import MhdPortExhausted, MultiHeadedDevice
+from repro.cxl.pod import POOL_BASE, CxlPod, PodConfig
+from repro.sim import Simulator
+
+
+def small_pod(n_hosts=4, n_mhds=2):
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(
+        n_hosts=n_hosts, n_mhds=n_mhds, mhd_capacity=1 << 26,
+    ))
+    return sim, pod
+
+
+def test_pod_creates_hosts_and_links():
+    _sim, pod = small_pod(n_hosts=4, n_mhds=3)
+    assert pod.host_ids == ["h0", "h1", "h2", "h3"]
+    for host_id in pod.host_ids:
+        memsys = pod.host(host_id)
+        assert len(memsys.port.links) == 3
+
+
+def test_unknown_host_rejected():
+    _sim, pod = small_pod()
+    with pytest.raises(KeyError):
+        pod.host("h99")
+
+
+def test_pool_capacity_is_sum_of_mhds():
+    _sim, pod = small_pod(n_mhds=2)
+    assert pod.config.pool_capacity == 2 << 26
+
+
+def test_route_interleaves_across_mhds():
+    _sim, pod = small_pod(n_mhds=2)
+    # Block 0 (first 256B) -> mhd0, block 1 -> mhd1, block 2 -> mhd0@256...
+    idx0, _m0, dev0 = pod.route(POOL_BASE)
+    idx1, _m1, dev1 = pod.route(POOL_BASE + 256)
+    idx2, _m2, dev2 = pod.route(POOL_BASE + 512)
+    assert (idx0, dev0) == (0, 0)
+    assert (idx1, dev1) == (1, 0)
+    assert (idx2, dev2) == (0, 256)
+
+
+def test_route_is_a_bijection_onto_device_space():
+    _sim, pod = small_pod(n_mhds=3)
+    seen = set()
+    for offset in range(0, 3 * 1024, 64):
+        idx, _media, dev = pod.route(POOL_BASE + offset)
+        key = (idx, dev)
+        assert key not in seen
+        seen.add(key)
+
+
+def test_pool_read_write_roundtrip_across_mhd_boundary():
+    _sim, pod = small_pod(n_mhds=2)
+    payload = bytes(i % 256 for i in range(1024))  # spans 4 interleave blocks
+    addr = POOL_BASE + 128
+    pod.pool_write(addr, payload)
+    assert pod.pool_read(addr, 1024) == payload
+    # The data must actually be split across both MHDs.
+    assert pod.mhds[0].memory.resident_bytes > 0
+    assert pod.mhds[1].memory.resident_bytes > 0
+
+
+def test_pool_span_out_of_bounds_rejected():
+    _sim, pod = small_pod()
+    with pytest.raises(ValueError):
+        pod.pool_read(POOL_BASE + pod.config.pool_capacity - 10, 20)
+
+
+def test_allocate_returns_pod_global_addresses():
+    _sim, pod = small_pod()
+    alloc = pod.allocate(4096, owners=["h0"])
+    assert alloc.range.base >= POOL_BASE
+    pod.free(alloc)
+    with pytest.raises(ValueError):
+        pod.free(alloc)
+
+
+def test_allocations_visible_to_all_owners():
+    sim, pod = small_pod()
+    alloc = pod.allocate(4096, owners=["h0", "h1"], label="shared")
+    pod.pool_write(alloc.range.base, b"ping")
+    assert pod.pool_read(alloc.range.base, 4) == b"ping"
+
+
+def test_mhd_port_exhaustion():
+    sim = Simulator()
+    mhd = MultiHeadedDevice(sim, 1 << 20, n_ports=2)
+    mhd.connect("a")
+    mhd.connect("b")
+    with pytest.raises(MhdPortExhausted):
+        mhd.connect("c")
+
+
+def test_mhd_duplicate_connect_rejected():
+    sim = Simulator()
+    mhd = MultiHeadedDevice(sim, 1 << 20, n_ports=2)
+    mhd.connect("a")
+    with pytest.raises(ValueError):
+        mhd.connect("a")
+
+
+def test_mhd_disconnect_frees_port():
+    sim = Simulator()
+    mhd = MultiHeadedDevice(sim, 1 << 20, n_ports=1)
+    mhd.connect("a")
+    mhd.disconnect("a")
+    mhd.connect("b")
+    assert mhd.connected_hosts == ["b"]
+    with pytest.raises(KeyError):
+        mhd.link_of("a")
+
+
+def test_mhd_port_count_limit():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        MultiHeadedDevice(sim, 1 << 20, n_ports=21)
+
+
+def test_pod_config_validation():
+    with pytest.raises(ValueError):
+        PodConfig(n_hosts=0)
+    with pytest.raises(ValueError):
+        PodConfig(n_mhds=0)

@@ -1,0 +1,151 @@
+"""Mirrored-volume tests: replication, read failover, degradation."""
+
+import pytest
+
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.datapath.mirroring import MirroredVolume, MirrorDegradedError
+from repro.datapath.proxy import LocalDeviceHandle
+from repro.datapath.vssd import RemoteSsdClient
+from repro.pcie.ssd import Ssd
+from repro.sim import Simulator
+
+
+def make_mirror(n_replicas=2):
+    sim = Simulator(seed=14)
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=2,
+                                mhd_capacity=1 << 28))
+    ssds, clients = [], []
+    for i in range(n_replicas):
+        ssd = Ssd(sim, f"ssd{i}", device_id=10 + i)
+        ssd.attach(pod.host("h0"))
+        ssd.start()
+        ssds.append(ssd)
+        clients.append(RemoteSsdClient(
+            sim, pod.host("h0"), LocalDeviceHandle(ssd), pod, "h0",
+            name=f"vssd{i}",
+        ))
+    volume = MirroredVolume(sim, clients)
+
+    def setup():
+        for client in clients:
+            yield from client.setup()
+
+    p = sim.spawn(setup())
+    sim.run(until=p)
+    return sim, volume, ssds, clients
+
+
+def test_write_replicates_to_all(pod2=None):
+    sim, volume, ssds, _clients = make_mirror(3)
+
+    def proc():
+        yield from volume.write(0, b"replicated-data!" * 8)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    for ssd in ssds:
+        assert ssd.bytes_written == 128
+
+
+def test_read_roundtrip_and_round_robin():
+    sim, volume, ssds, _clients = make_mirror(2)
+    payload = b"mirror-payload" * 20
+
+    def proc():
+        yield from volume.write(4096, payload)
+        a = yield from volume.read(4096, len(payload))
+        b = yield from volume.read(4096, len(payload))
+        return a, b
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == (payload, payload)
+    # Round-robin: both SSDs served one read each.
+    assert ssds[0].bytes_read == len(payload)
+    assert ssds[1].bytes_read == len(payload)
+
+
+def test_read_fails_over_when_replica_dies():
+    sim, volume, ssds, _clients = make_mirror(2)
+    payload = b"survives" * 16
+
+    def proc():
+        yield from volume.write(0, payload)
+        ssds[0].fail()
+        out = []
+        for _ in range(3):  # every read must still succeed
+            out.append((yield from volume.read(0, len(payload))))
+        return out
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == [payload] * 3
+    assert volume.degraded
+    assert volume.failovers == 1
+
+
+def test_write_succeeds_while_one_replica_left():
+    sim, volume, ssds, _clients = make_mirror(2)
+    ssds[1].fail()
+
+    def proc():
+        yield from volume.write(0, b"still-durable")
+        data = yield from volume.read(0, 13)
+        return data
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == b"still-durable"
+    assert volume.healthy_count == 1
+
+
+def test_all_replicas_dead_raises():
+    sim, volume, ssds, _clients = make_mirror(2)
+    for ssd in ssds:
+        ssd.fail()
+
+    def proc():
+        try:
+            yield from volume.write(0, b"x")
+        except MirrorDegradedError:
+            pass
+        else:
+            return "no-error"
+        try:
+            yield from volume.read(0, 1)
+        except MirrorDegradedError:
+            return "both-degraded"
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == "both-degraded"
+
+
+def test_repair_readmits_replica():
+    sim, volume, ssds, _clients = make_mirror(2)
+
+    def proc():
+        yield from volume.write(0, b"before")
+        ssds[0].fail()
+        yield from volume.read(0, 6)        # marks replica 0 unhealthy
+        ssds[0].repair()
+        yield from volume.mark_repaired(0)
+        yield from volume.write(0, b"after!")
+        return volume.healthy_count
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == 2
+    assert not volume.degraded or volume.healthy_count == 2
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        MirroredVolume(sim, [])

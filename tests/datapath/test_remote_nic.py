@@ -1,0 +1,194 @@
+"""End-to-end test of THE paper scenario (§4.1): a host with no NIC of its
+own sends and receives UDP through a NIC physically attached to another
+host, using shared CXL pool memory for all rings and buffers and a ring
+channel for doorbells."""
+
+import pytest
+
+from repro.channel.rpc import RpcEndpoint
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.datapath.netstack import UdpStack
+from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.datapath.proxy import (
+    DeviceServer,
+    LocalDeviceHandle,
+    RemoteDeviceHandle,
+)
+from repro.pcie.fabric import EthernetSwitch
+from repro.pcie.nic import Nic, NicSpec
+from repro.sim import Simulator
+
+NIC_A_MAC = 0xAA  # attached to h0, used by h2
+NIC_B_MAC = 0xBB  # attached to h1, used locally
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator(seed=1)
+    pod = CxlPod(sim, PodConfig(
+        n_hosts=3, n_mhds=2, mhd_capacity=1 << 27,
+        local_dram_bytes=32 << 20,
+    ))
+    switch = EthernetSwitch(sim)
+
+    nic_a = Nic(sim, "nic-a", device_id=1, mac=NIC_A_MAC,
+                spec=NicSpec(n_desc=64))
+    nic_a.attach(pod.host("h0"))
+    nic_a.plug_into(switch)
+    nic_a.start()
+
+    nic_b = Nic(sim, "nic-b", device_id=2, mac=NIC_B_MAC,
+                spec=NicSpec(n_desc=64))
+    nic_b.attach(pod.host("h1"))
+    nic_b.plug_into(switch)
+    nic_b.start()
+
+    # h0 exports nic-a to h2 over a ring-channel pair.
+    owner_ep, borrower_ep = RpcEndpoint.pair(pod, "h0", "h2")
+    server = DeviceServer(owner_ep)
+    server.export(nic_a)
+
+    # The borrower's stack: rings/buffers in the pool, doorbells forwarded.
+    remote_stack = UdpStack(
+        sim, pod.host("h2"),
+        RemoteDeviceHandle(borrower_ep, device_id=1),
+        DriverMemory(pod.host("h2"), pod, BufferPlacement.CXL,
+                     owners=["h0", "h2"], label="remote-stack"),
+        mac=NIC_A_MAC, n_desc=64, name="stack-h2",
+        tx_hint=nic_a.tx_cq_hint, rx_hint=nic_a.rx_cq_hint,
+    )
+    # h1's conventional local stack.
+    local_stack = UdpStack(
+        sim, pod.host("h1"),
+        LocalDeviceHandle(nic_b),
+        DriverMemory(pod.host("h1"), pod, BufferPlacement.LOCAL,
+                     label="local-stack"),
+        mac=NIC_B_MAC, n_desc=64, name="stack-h1",
+        tx_hint=nic_b.tx_cq_hint, rx_hint=nic_b.rx_cq_hint,
+    )
+    yield sim, pod, (nic_a, nic_b), (remote_stack, local_stack), server
+    remote_stack.stop()
+    local_stack.stop()
+    nic_a.stop()
+    nic_b.stop()
+    owner_ep.close()
+    borrower_ep.close()
+    sim.run()
+
+
+def test_nicless_host_sends_through_pooled_nic(world):
+    sim, pod, (nic_a, nic_b), (remote_stack, local_stack), server = world
+    received = {}
+
+    def h1_main():
+        yield from local_stack.start()
+        sock = local_stack.bind(7)
+        payload, src_mac, src_port = yield from sock.recv()
+        received.update(payload=payload, src_mac=src_mac,
+                        src_port=src_port)
+
+    def h2_main():
+        yield from remote_stack.start()
+        sock = remote_stack.bind(8)
+        yield from sock.sendto(b"sent via a NIC I do not have",
+                               NIC_B_MAC, 7)
+
+    r = sim.spawn(h1_main())
+    sim.spawn(h2_main())
+    sim.run(until=r)
+    assert received["payload"] == b"sent via a NIC I do not have"
+    assert received["src_mac"] == NIC_A_MAC
+    assert received["src_port"] == 8
+    # The frame really left through nic-a (attached to h0, driven by h2).
+    assert nic_a.frames_sent == 1
+    assert nic_b.frames_received == 1
+
+
+def test_bidirectional_udp_between_remote_and_local_stacks(world):
+    sim, pod, nics, (remote_stack, local_stack), server = world
+    transcript = []
+
+    def h1_main():
+        yield from local_stack.start()
+        sock = local_stack.bind(7)
+        for _ in range(3):
+            payload, src_mac, src_port = yield from sock.recv()
+            transcript.append(("h1<-", payload))
+            yield from sock.sendto(b"ack:" + payload, src_mac, src_port)
+
+    def h2_main():
+        yield from remote_stack.start()
+        sock = remote_stack.bind(8)
+        for i in range(3):
+            msg = f"req-{i}".encode()
+            yield from sock.sendto(msg, NIC_B_MAC, 7)
+            payload, _mac, _port = yield from sock.recv()
+            transcript.append(("h2<-", payload))
+        return "done"
+
+    sim.spawn(h1_main())
+    p = sim.spawn(h2_main())
+    sim.run(until=p)
+    assert p.value == "done"
+    assert transcript == [
+        ("h1<-", b"req-0"), ("h2<-", b"ack:req-0"),
+        ("h1<-", b"req-1"), ("h2<-", b"ack:req-1"),
+        ("h1<-", b"req-2"), ("h2<-", b"ack:req-2"),
+    ]
+
+
+def test_remote_rtt_overhead_is_bounded(world):
+    """The borrowed-NIC RTT pays a doorbell-forwarding premium but must
+    stay in the same order of magnitude as a local-NIC RTT."""
+    sim, pod, nics, (remote_stack, local_stack), server = world
+    rtts = []
+
+    def h1_main():
+        yield from local_stack.start()
+        sock = local_stack.bind(7)
+        while True:
+            payload, src_mac, src_port = yield from sock.recv()
+            yield from sock.sendto(payload, src_mac, src_port)
+
+    def h2_main():
+        yield from remote_stack.start()
+        sock = remote_stack.bind(8)
+        for _ in range(5):
+            t0 = sim.now
+            yield from sock.sendto(b"ping", NIC_B_MAC, 7)
+            yield from sock.recv()
+            rtts.append(sim.now - t0)
+        return "done"
+
+    sim.spawn(h1_main())
+    p = sim.spawn(h2_main())
+    sim.run(until=p)
+    mean_rtt = sum(rtts) / len(rtts)
+    # Local RTT in this model is ~11-12 us; the forwarded-doorbell path
+    # should land within 2x of that, far from RDMA-for-SSD territory.
+    assert mean_rtt < 25_000.0
+
+
+def test_frames_flow_through_pool_memory(world):
+    """TX buffers really live in the pool: the NIC's DMA traffic crosses
+    h0's CXL links even though the sender runs on h2."""
+    sim, pod, (nic_a, _nic_b), (remote_stack, local_stack), server = world
+    h0_links = pod.host("h0").port.links
+    bytes_before = sum(l.total_bytes for l in h0_links)
+
+    def h1_main():
+        yield from local_stack.start()
+        local_stack.bind(7)
+        yield sim.timeout(3_000_000.0)
+
+    def h2_main():
+        yield from remote_stack.start()
+        sock = remote_stack.bind(8)
+        yield from sock.sendto(bytes(4096), NIC_B_MAC, 7)
+        yield sim.timeout(1_000_000.0)
+
+    sim.spawn(h1_main())
+    p = sim.spawn(h2_main())
+    sim.run(until=p)
+    bytes_after = sum(l.total_bytes for l in h0_links)
+    assert bytes_after - bytes_before >= 4096

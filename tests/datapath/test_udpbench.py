@@ -1,0 +1,51 @@
+"""Sanity tests for the Figure 3 harness (full sweeps live in benchmarks/)."""
+
+import pytest
+
+from repro.datapath.placement import BufferPlacement
+from repro.datapath.udpbench import UdpBenchConfig, run_udp_point
+
+
+@pytest.fixture(scope="module")
+def low_load_points():
+    points = {}
+    for placement in BufferPlacement:
+        cfg = UdpBenchConfig(payload_bytes=1024, placement=placement,
+                             n_requests=120, seed=3)
+        points[placement] = run_udp_point(cfg, offered_gbps=2.0)
+    return points
+
+
+def test_all_requests_complete_at_low_load(low_load_points):
+    for placement, point in low_load_points.items():
+        assert point.completed == point.offered_requests, placement
+
+
+def test_achieved_tracks_offered_at_low_load(low_load_points):
+    for point in low_load_points.values():
+        assert point.achieved_gbps == pytest.approx(2.0, rel=0.2)
+
+
+def test_cxl_latency_overhead_small(low_load_points):
+    local = low_load_points[BufferPlacement.LOCAL]
+    cxl = low_load_points[BufferPlacement.CXL]
+    overhead = cxl.rtt_p50_ns / local.rtt_p50_ns - 1.0
+    # Paper: "within 5%" on real hardware; we accept <12% in simulation —
+    # the claim under test is "negligible", not the exact percentage.
+    assert 0.0 <= overhead < 0.12
+
+
+def test_latency_flat_below_knee(low_load_points):
+    for point in low_load_points.values():
+        assert point.rtt_p99_ns < 3 * point.rtt_p50_ns
+
+
+def test_saturation_unchanged_by_placement():
+    results = {}
+    for placement in BufferPlacement:
+        cfg = UdpBenchConfig(payload_bytes=4096, placement=placement,
+                             n_requests=150, seed=4)
+        results[placement] = run_udp_point(cfg, offered_gbps=90.0)
+    local = results[BufferPlacement.LOCAL]
+    cxl = results[BufferPlacement.CXL]
+    assert cxl.achieved_gbps == pytest.approx(local.achieved_gbps, rel=0.1)

@@ -1,0 +1,170 @@
+"""Failure injection across the stack: links, devices, agents.
+
+The paper's flexibility argument (§1, §5) rests on software handling
+failures that hardware switches handle with redundant silicon.  These
+tests inject the failures and check the system's observable behaviour.
+"""
+
+import pytest
+
+from repro.core import PciePool
+from repro.cxl.link import LinkDownError
+from repro.cxl.pod import POOL_BASE, CxlPod, PodConfig
+from repro.sim import Simulator
+
+
+def test_link_failure_mid_dma_raises():
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=1, n_mhds=1,
+                                mhd_capacity=1 << 26))
+    mem = pod.host("h0")
+
+    def dma():
+        try:
+            yield from mem.dma_write(POOL_BASE, bytes(1 << 20))
+        except LinkDownError:
+            return "link-down"
+        return "completed"
+
+    def saboteur():
+        yield sim.timeout(5_000.0)  # mid-transfer (takes ~35 us)
+        mem.port.links[0].fail()
+
+    p = sim.spawn(dma())
+    sim.spawn(saboteur())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == "link-down"
+
+
+def test_link_restore_allows_new_transfers():
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=1, n_mhds=1,
+                                mhd_capacity=1 << 26))
+    mem = pod.host("h0")
+    mem.port.links[0].fail()
+    mem.port.links[0].restore()
+
+    def dma():
+        yield from mem.dma_write(POOL_BASE, b"recovered")
+        data = yield from mem.dma_read(POOL_BASE, 9)
+        return data
+
+    p = sim.spawn(dma())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == b"recovered"
+
+
+def test_dead_agent_triggers_host_down_failover():
+    """An agent that stops heartbeating takes its host's devices out of
+    the pool; borrowers are migrated automatically by the monitor."""
+    sim = Simulator(seed=17)
+    pool = PciePool(sim, n_hosts=3)
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    pool.orchestrator.heartbeat_timeout_ns = 25_000_000.0
+    pool.start()
+    vnic = pool.open_nic("h2")
+    first_device = vnic.device_id
+    first_owner = pool.owner_of(first_device)
+
+    def scenario():
+        yield sim.timeout(15_000_000.0)  # heartbeats flowing
+        pool.agents[first_owner].stop()  # the owner's agent dies
+        yield sim.timeout(120_000_000.0)
+
+    p = sim.spawn(scenario())
+    sim.run(until=p)
+    assert vnic.device_id != first_device
+    assert pool.orchestrator.failovers >= 1
+    # The dead host's device is out of the candidate set.
+    telemetry = pool.orchestrator.board.get(first_device)
+    assert not telemetry.healthy
+    pool.stop()
+    sim.run()
+
+
+def test_device_repair_returns_it_to_the_pool():
+    sim = Simulator(seed=18)
+    pool = PciePool(sim, n_hosts=2)
+    nic = pool.add_nic("h0")
+    pool.start()
+    pool.orchestrator.ingest_device_failure(nic.device_id)
+    from repro.orchestrator import NoDeviceAvailable
+
+    with pytest.raises(NoDeviceAvailable):
+        pool.orchestrator.request_device("h1", "nic")
+    nic.repair()
+    pool.orchestrator.ingest_device_repaired(nic.device_id)
+    assignment = pool.orchestrator.request_device("h1", "nic")
+    assert assignment.device_id == nic.device_id
+    pool.stop()
+    sim.run()
+
+
+def test_failed_device_with_no_replacement_keeps_borrower_parked():
+    sim = Simulator(seed=19)
+    pool = PciePool(sim, n_hosts=2)
+    nic = pool.add_nic("h0")
+    pool.start()
+    vnic = pool.open_nic("h1")
+    pool.orchestrator.ingest_device_failure(nic.device_id)
+    # No failover happened (nothing to fail over to); the assignment
+    # still points at the broken device, awaiting repair.
+    assert pool.orchestrator.failovers == 0
+    assert vnic.device_id == nic.device_id
+    assert vnic.generation == 0
+    pool.stop()
+    sim.run()
+
+
+def test_repeated_failovers_walk_through_devices():
+    """Kill the assigned NIC three times; the vnic hops each time."""
+    sim = Simulator(seed=20)
+    pool = PciePool(sim, n_hosts=4)
+    for _ in range(4):
+        pool.add_nic("h0")
+    pool.start()
+    vnic = pool.open_nic("h3")
+    visited = [vnic.device_id]
+
+    def scenario():
+        for _ in range(3):
+            pool.orchestrator.ingest_device_failure(vnic.device_id)
+            yield sim.timeout(1_000_000.0)
+            visited.append(vnic.device_id)
+
+    p = sim.spawn(scenario())
+    sim.run(until=p)
+    assert len(set(visited)) == 4  # never revisited a dead device
+    assert vnic.generation == 3
+    pool.stop()
+    sim.run()
+
+
+def test_mhd_link_failure_only_degrades_one_host():
+    """One host's CXL link dying must not affect other hosts' pool
+    access — MHD ports are independent."""
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=3, n_mhds=1,
+                                mhd_capacity=1 << 26))
+    pod.host("h1").port.links[0].fail()
+
+    def victim():
+        try:
+            yield from pod.host("h1").load_line_uncached(POOL_BASE)
+        except LinkDownError:
+            return "down"
+
+    def bystander():
+        data = yield from pod.host("h2").load_line_uncached(POOL_BASE)
+        return data
+
+    v = sim.spawn(victim())
+    b = sim.spawn(bystander())
+    sim.run(until=v)
+    sim.run(until=b)
+    sim.run()
+    assert v.value == "down"
+    assert b.value == bytes(64)

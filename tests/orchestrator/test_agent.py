@@ -1,0 +1,81 @@
+"""Agent tests: monitoring, reporting, and failure detection over real
+control channels in shared CXL memory."""
+
+import pytest
+
+from repro.channel.rpc import RpcEndpoint
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.orchestrator import Orchestrator, PoolingAgent, wire_control_channel
+from repro.pcie.nic import Nic
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def wired():
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=1, mhd_capacity=1 << 26))
+    orchestrator = Orchestrator(sim)
+    orch_ep, agent_ep = RpcEndpoint.pair(pod, "h0", "h1", label="ctl")
+    wire_control_channel(orchestrator, orch_ep, "h1")
+    agent = PoolingAgent(sim, "h1", agent_ep,
+                         report_interval_ns=1_000_000.0)
+    nic = Nic(sim, "nic1", device_id=1, mac=0xa)
+    nic.attach(pod.host("h1"))
+    orchestrator.register_device(1, "h1", "nic")
+    agent.manage(nic)
+    yield sim, orchestrator, agent, nic
+    agent.stop()
+    orch_ep.close()
+    agent_ep.close()
+    sim.run()
+
+
+def test_agent_heartbeats_reach_orchestrator(wired):
+    sim, orchestrator, agent, _nic = wired
+    agent.start()
+    sim.run(until=sim.timeout(5_000_000.0))
+    assert orchestrator.board.last_heartbeat("h1") is not None
+
+
+def test_agent_load_reports_update_telemetry(wired):
+    sim, orchestrator, agent, nic = wired
+    agent.start()
+    sim.run(until=sim.timeout(5_000_000.0))
+    telemetry = orchestrator.board.get(1)
+    assert telemetry.last_report_ns > 0
+    assert agent.reports_sent >= 3
+
+
+def test_agent_detects_and_reports_device_failure(wired):
+    sim, orchestrator, agent, nic = wired
+    agent.start()
+    sim.run(until=sim.timeout(2_000_000.0))
+    assert orchestrator.board.get(1).healthy
+    nic.fail()
+    sim.run(until=sim.timeout(8_000_000.0))
+    assert not orchestrator.board.get(1).healthy
+    assert agent.failures_reported == 1
+
+
+def test_failure_reported_once_until_recovery(wired):
+    sim, orchestrator, agent, nic = wired
+    agent.start()
+    nic.fail()
+    sim.run(until=sim.timeout(10_000_000.0))
+    assert agent.failures_reported == 1  # not re-reported every interval
+    nic.repair()
+    orchestrator.ingest_device_repaired(1)
+    sim.run(until=sim.timeout(15_000_000.0))
+    nic.fail()
+    sim.run(until=sim.timeout(25_000_000.0))
+    assert agent.failures_reported == 2
+
+
+def test_agent_rejects_foreign_device(wired):
+    sim, _orch, agent, _nic = wired
+    pod2 = CxlPod(sim, PodConfig(n_hosts=1, n_mhds=1,
+                                 mhd_capacity=1 << 26))
+    foreign = Nic(sim, "nic9", device_id=9, mac=0xf)
+    foreign.attach(pod2.host("h0"))
+    with pytest.raises(ValueError):
+        agent.manage(foreign)

@@ -1,0 +1,180 @@
+"""Connection migration tests (§5): live connections move inside the pod."""
+
+import pytest
+
+from repro.channel.fragment import FragmentReceiver, FragmentSender
+from repro.channel.ring import RingChannel
+from repro.core import PciePool
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.datapath.transport import Connection, ConnectionState
+from repro.orchestrator.migration import (
+    ConnectionMigrator,
+    deserialize_state,
+    serialize_state,
+)
+from repro.sim import Simulator
+
+
+def test_state_serialization_roundtrip():
+    state = ConnectionState(
+        peer_mac=0xA1B2, peer_port=443, local_port=5000,
+        next_seq=17, send_base=14,
+        unacked={14: b"segment-14", 15: b"", 16: b"sixteen"},
+        recv_next=9,
+        reorder={11: b"early", 12: b"also-early"},
+    )
+    restored = deserialize_state(serialize_state(state))
+    assert restored == state
+
+
+def test_state_ships_over_fragment_channel():
+    """A snapshot crosses hosts through shared CXL memory."""
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=1,
+                                mhd_capacity=1 << 26))
+    ring = RingChannel.over_pod(pod, "h0", "h1", n_slots=8)
+    migrator = ConnectionMigrator(sim)
+    state = ConnectionState(
+        peer_mac=0xBB, peer_port=80, local_port=1234,
+        next_seq=100, send_base=97,
+        unacked={97: b"x" * 40, 98: b"y" * 40, 99: b"z" * 40},
+        recv_next=55,
+    )
+
+    def source():
+        yield from migrator.ship_state(
+            state, FragmentSender(ring.sender)
+        )
+
+    def destination():
+        received = yield from migrator.receive_state(
+            FragmentReceiver(ring.receiver)
+        )
+        return received
+
+    sim.spawn(source())
+    p = sim.spawn(destination())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == state
+    assert migrator.cross_host_moves == 1
+
+
+def test_live_connection_migrates_between_nics():
+    """The §5 scenario end to end: h2's connection to h1 moves from one
+    pooled NIC to another mid-stream; the peer keeps receiving in order
+    and learns the new L2 address from the REBIND handshake."""
+    sim = Simulator(seed=31)
+    pool = PciePool(sim, n_hosts=4)
+    pool.add_nic("h0")
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    pool.start()
+    peer_vnic = pool.open_nic("h1")
+    vnic_1 = pool.open_nic("h2")          # first pooled NIC
+    migrator = ConnectionMigrator(sim)
+    received = []
+
+    def peer_main():
+        yield from peer_vnic.start()
+        sock = peer_vnic.stack.bind(7)
+        conn = Connection(sim, sock, vnic_1.mac, 9, name="peer")
+        for _ in range(6):
+            received.append((yield from conn.recv()))
+        conn.close()
+
+    def client_main():
+        yield from vnic_1.start()
+        sock1 = vnic_1.stack.bind(9)
+        conn = Connection(sim, sock1, peer_vnic.mac, 7, name="client")
+        for i in range(3):
+            yield from conn.send(f"pre-{i}".encode())
+        yield sim.timeout(2_000_000.0)
+
+        # Orchestrated move: the current device is reported hot, so the
+        # next allocation lands on a different physical NIC, and the
+        # live connection migrates onto it.
+        pool.orchestrator.ingest_load_report(
+            vnic_1.device_id, utilization=0.9, queue_depth=8,
+        )
+        vnic_2 = pool.open_nic("h2")
+        assert vnic_2.device_id != vnic_1.device_id
+        yield from vnic_2.start()
+        sock2 = vnic_2.stack.bind(9)
+        handle = migrator.migrate_to_socket(conn, sock2, name="moved")
+        moved = yield from handle.finish()
+        for i in range(3):
+            yield from moved.send(f"post-{i}".encode())
+        yield sim.timeout(3_000_000.0)
+        moved.close()
+
+    peer = sim.spawn(peer_main())
+    client = sim.spawn(client_main())
+    sim.run(until=client)
+    sim.run(until=peer)
+    assert received == [b"pre-0", b"pre-1", b"pre-2",
+                        b"post-0", b"post-1", b"post-2"]
+    assert migrator.local_moves == 1
+    pool.stop()
+    sim.run()
+
+
+def test_migration_with_unacked_segments_retransmits():
+    """Segments in flight at snapshot time are replayed from the new NIC
+    and still delivered exactly once, in order."""
+    sim = Simulator(seed=32)
+    pool = PciePool(sim, n_hosts=4)
+    pool.add_nic("h0")
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    pool.start()
+    peer_vnic = pool.open_nic("h1")
+    vnic_1 = pool.open_nic("h2")
+    migrator = ConnectionMigrator(sim)
+    received = []
+
+    def peer_main():
+        yield from peer_vnic.start()
+        sock = peer_vnic.stack.bind(7)
+        conn = Connection(sim, sock, vnic_1.mac, 9, name="peer")
+        for _ in range(4):
+            received.append((yield from conn.recv()))
+        conn.close()
+
+    def client_main():
+        yield from vnic_1.start()
+        sock1 = vnic_1.stack.bind(9)
+        conn = Connection(sim, sock1, peer_vnic.mac, 7,
+                          rto_ns=1e9, name="client")
+        yield from conn.send(b"delivered-before")
+        yield sim.timeout(1_000_000.0)
+        # Kill the assigned NIC, then immediately queue more data: these
+        # segments cannot be delivered by the dead device.
+        pool.device(vnic_1.device_id).fail()
+        for i in range(2):
+            sim.spawn(conn.send(f"inflight-{i}".encode()))
+        yield sim.timeout(500_000.0)
+        assert conn.inflight >= 2
+        # Retire the dead virtual NIC (the connection is leaving it),
+        # report the failure, and allocate a fresh one: unacked
+        # segments replay from there.
+        failed_device = vnic_1.device_id
+        vnic_1.close()
+        pool.orchestrator.ingest_device_failure(failed_device)
+        vnic_2 = pool.open_nic("h2")
+        yield from vnic_2.start()
+        sock2 = vnic_2.stack.bind(9)
+        handle = migrator.migrate_to_socket(conn, sock2, name="moved")
+        moved = yield from handle.finish()
+        yield from moved.send(b"after-migration")
+        yield sim.timeout(3_000_000.0)
+        moved.close()
+
+    peer = sim.spawn(peer_main())
+    client = sim.spawn(client_main())
+    sim.run(until=client)
+    sim.run(until=peer)
+    assert received == [b"delivered-before", b"inflight-0",
+                        b"inflight-1", b"after-migration"]
+    pool.stop()
+    sim.run()

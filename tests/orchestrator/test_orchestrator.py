@@ -1,0 +1,133 @@
+"""Orchestrator unit tests: assignments, failover, rebalancing."""
+
+import pytest
+
+from repro.orchestrator import NoDeviceAvailable, Orchestrator
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def orch():
+    sim = Simulator()
+    orchestrator = Orchestrator(sim)
+    orchestrator.register_device(1, "h0", "nic")
+    orchestrator.register_device(2, "h1", "nic")
+    orchestrator.register_device(3, "h1", "ssd")
+    return sim, orchestrator
+
+
+def test_request_assigns_local_device(orch):
+    _sim, orchestrator = orch
+    a = orchestrator.request_device("h0", "nic")
+    assert a.device_id == 1
+    assert a.borrower_host == "h0"
+
+
+def test_nicless_host_gets_pooled_device(orch):
+    _sim, orchestrator = orch
+    a = orchestrator.request_device("h3", "nic")
+    assert a.device_id in (1, 2)
+
+
+def test_no_device_of_kind_raises(orch):
+    _sim, orchestrator = orch
+    with pytest.raises(NoDeviceAvailable):
+        orchestrator.request_device("h0", "gpu")
+
+
+def test_release_removes_assignment(orch):
+    _sim, orchestrator = orch
+    a = orchestrator.request_device("h0", "nic")
+    orchestrator.release(a.virtual_id)
+    assert orchestrator.assignments == []
+
+
+def test_duplicate_registration_rejected(orch):
+    _sim, orchestrator = orch
+    with pytest.raises(ValueError):
+        orchestrator.register_device(1, "h9", "nic")
+
+
+def test_failure_migrates_assignments(orch):
+    _sim, orchestrator = orch
+    a = orchestrator.request_device("h2", "nic")
+    original = a.device_id
+    events = []
+    orchestrator.on_migration(
+        lambda assignment, old: events.append((assignment.device_id, old))
+    )
+    orchestrator.ingest_device_failure(original)
+    assert a.device_id != original
+    assert a.generation == 1
+    assert orchestrator.failovers == 1
+    assert events == [(a.device_id, original)]
+
+
+def test_failure_with_no_replacement_keeps_assignment(orch):
+    _sim, orchestrator = orch
+    a = orchestrator.request_device("h2", "ssd")
+    orchestrator.ingest_device_failure(3)  # the only SSD
+    assert a.device_id == 3  # stuck, retried when repaired
+    assert orchestrator.failovers == 0
+
+
+def test_repair_restores_eligibility(orch):
+    _sim, orchestrator = orch
+    orchestrator.ingest_device_failure(1)
+    orchestrator.ingest_device_failure(2)
+    with pytest.raises(NoDeviceAvailable):
+        orchestrator.request_device("h0", "nic")
+    orchestrator.ingest_device_repaired(1)
+    a = orchestrator.request_device("h0", "nic")
+    assert a.device_id == 1
+
+
+def test_rebalance_moves_borrower_from_hot_to_cold(orch):
+    _sim, orchestrator = orch
+    a = orchestrator.request_device("h2", "nic")
+    # Make the assigned device hot, the other cold.
+    hot, cold = a.device_id, 3 - a.device_id
+    orchestrator.ingest_load_report(hot, 0.9, 10)
+    orchestrator.ingest_load_report(cold, 0.1, 0)
+    moved = orchestrator.rebalance_once("nic")
+    assert moved
+    assert a.device_id == cold
+    assert orchestrator.migrations == 1
+
+
+def test_rebalance_noop_below_spread(orch):
+    _sim, orchestrator = orch
+    orchestrator.request_device("h2", "nic")
+    orchestrator.ingest_load_report(1, 0.5, 0)
+    orchestrator.ingest_load_report(2, 0.4, 0)
+    assert not orchestrator.rebalance_once("nic")
+
+
+def test_rebalance_needs_two_devices(orch):
+    _sim, orchestrator = orch
+    assert not orchestrator.rebalance_once("ssd")
+
+
+def test_monitor_fails_over_on_dead_agent(orch):
+    sim, orchestrator = orch
+    a = orchestrator.request_device("h2", "nic")
+    victim_owner = orchestrator.devices[a.device_id - 1].owner_host
+    other = "h1" if victim_owner == "h0" else "h0"
+    orchestrator.heartbeat_timeout_ns = 1_000_000.0
+    orchestrator.start(check_interval_ns=500_000.0)
+    # Both agents beat once; then the victim goes silent.
+    orchestrator.ingest_heartbeat(victim_owner)
+    orchestrator.ingest_heartbeat(other)
+
+    def keep_other_alive():
+        for _ in range(10):
+            yield sim.timeout(400_000.0)
+            orchestrator.ingest_heartbeat(other)
+
+    p = sim.spawn(keep_other_alive())
+    sim.run(until=p)
+    orchestrator.stop()
+    sim.run()
+    # The device owned by the silent host was failed over.
+    assert a.device_id != 1 or victim_owner != "h0"
+    assert orchestrator.failovers >= 1

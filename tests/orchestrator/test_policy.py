@@ -1,0 +1,90 @@
+"""Allocation policy tests: the §4.2 decision rule."""
+
+import pytest
+
+from repro.orchestrator.policy import LeastUtilizedPolicy, LocalFirstPolicy
+from repro.orchestrator.telemetry import TelemetryBoard
+
+
+def board_with(*entries):
+    board = TelemetryBoard()
+    for device_id, owner, util in entries:
+        t = board.track(device_id, owner, "nic")
+        t.utilization = util
+    return board
+
+
+def test_local_device_below_threshold_preferred():
+    board = board_with((1, "h0", 0.5), (2, "h1", 0.0))
+    chosen = LocalFirstPolicy(local_load_threshold=0.7).choose(
+        "h0", "nic", board
+    )
+    assert chosen.device_id == 1  # local wins even though h1's is idle
+
+
+def test_overloaded_local_device_skipped():
+    board = board_with((1, "h0", 0.9), (2, "h1", 0.2))
+    chosen = LocalFirstPolicy(local_load_threshold=0.7).choose(
+        "h0", "nic", board
+    )
+    assert chosen.device_id == 2  # least-utilized in the pod
+
+
+def test_least_utilized_breaks_ties_by_id():
+    board = board_with((5, "h1", 0.2), (3, "h2", 0.2))
+    chosen = LocalFirstPolicy().choose("h0", "nic", board)
+    assert chosen.device_id == 3
+
+
+def test_unhealthy_devices_never_chosen():
+    board = board_with((1, "h0", 0.0), (2, "h1", 0.5))
+    board.mark_unhealthy(1)
+    chosen = LocalFirstPolicy().choose("h0", "nic", board)
+    assert chosen.device_id == 2
+
+
+def test_no_devices_returns_none():
+    board = TelemetryBoard()
+    assert LocalFirstPolicy().choose("h0", "nic", board) is None
+
+
+def test_kind_filter():
+    board = TelemetryBoard()
+    board.track(1, "h0", "nic")
+    board.track(2, "h0", "ssd")
+    chosen = LocalFirstPolicy().choose("h0", "ssd", board)
+    assert chosen.device_id == 2
+
+
+def test_least_utilized_policy_ignores_locality():
+    board = board_with((1, "h0", 0.5), (2, "h1", 0.1))
+    chosen = LeastUtilizedPolicy().choose("h0", "nic", board)
+    assert chosen.device_id == 2
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        LocalFirstPolicy(local_load_threshold=0.0)
+    with pytest.raises(ValueError):
+        LocalFirstPolicy(local_load_threshold=1.5)
+
+
+def test_telemetry_board_host_down():
+    board = board_with((1, "h0", 0.0), (2, "h0", 0.0), (3, "h1", 0.0))
+    affected = board.mark_host_down("h0")
+    assert affected == [1, 2]
+    assert [t.device_id for t in board.devices(healthy_only=True)] == [3]
+
+
+def test_telemetry_duplicate_track_rejected():
+    board = TelemetryBoard()
+    board.track(1, "h0", "nic")
+    with pytest.raises(ValueError):
+        board.track(1, "h0", "nic")
+
+
+def test_stale_agent_detection():
+    board = TelemetryBoard()
+    board.heartbeat("h0", now=0.0)
+    board.heartbeat("h1", now=90.0)
+    assert board.stale_agents(now=100.0, timeout_ns=50.0) == ["h0"]

@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for PCIe device tests.
+
+The helpers here play the role of a minimal local driver: they lay out
+descriptor rings in the host's local DRAM, post descriptors with ordinary
+cached stores (local DMA snoops the cache, so no flushing is needed), ring
+doorbells via MMIO, and poll completion queues.
+"""
+
+import pytest
+
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.pcie.rings import (
+    COMPLETION_BYTES,
+    CompletionEntry,
+    Descriptor,
+    seq_for_pass,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def pod2():
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=2, mhd_capacity=1 << 26))
+    return sim, pod
+
+
+class LocalDriver:
+    """Test-only driver for one descriptor ring + completion queue."""
+
+    def __init__(self, memsys, ring_base: int, cq_base: int,
+                 n_entries: int):
+        self.memsys = memsys
+        self.ring_base = ring_base
+        self.cq_base = cq_base
+        self.n_entries = n_entries
+        self.tail = 0
+        self.cq_head = 0
+
+    def post(self, desc: Descriptor):
+        """Process: write one descriptor at the current tail."""
+        addr = self.ring_base + (self.tail % self.n_entries) * 16
+        yield from self.memsys.write_span(addr, desc.encode())
+        self.tail += 1
+
+    def poll_completion(self, poll_ns: float = 100.0):
+        """Process: busy-poll the CQ until the next entry is valid."""
+        sim = self.memsys.sim
+        expect = seq_for_pass(self.cq_head // self.n_entries)
+        addr = self.cq_base + (self.cq_head % self.n_entries) * COMPLETION_BYTES
+        while True:
+            raw = yield from self.memsys.read_span(
+                addr, COMPLETION_BYTES, uncached=True
+            )
+            entry = CompletionEntry.decode(raw)
+            if entry.seq == expect:
+                self.cq_head += 1
+                return entry
+            yield sim.timeout(poll_ns)

@@ -1,0 +1,158 @@
+"""Accelerator tests: job flow, kernels, utilization accounting."""
+
+import zlib
+
+from repro.pcie.accelerator import (
+    KERNEL_COMPRESS,
+    KERNEL_DECOMPRESS,
+    KERNEL_FHE_MULT,
+    Accelerator,
+)
+from repro.pcie.rings import (
+    COMPLETION_BYTES,
+    CompletionEntry,
+    Descriptor,
+    seq_for_pass,
+)
+
+JOB_RING = 0x10_000
+CQ_RING = 0x20_000
+OUT_BASE = 0x80_000
+IN_BUF = 0x200_000
+
+
+class AccelDriver:
+    def __init__(self, memsys, accel):
+        self.memsys = memsys
+        self.accel = accel
+        self.tail = 0
+        self.cq_head = 0
+
+    def submit(self, kind: int, data: bytes, slot: int):
+        addr = IN_BUF + slot * 8192
+        yield from self.memsys.write_span(addr, data)
+        ring_addr = JOB_RING + (self.tail % self.accel.spec.n_desc) * 16
+        desc = Descriptor(addr, len(data), flags=kind)
+        yield from self.memsys.write_span(ring_addr, desc.encode())
+        self.tail += 1
+        yield from self.accel.mmio_write(Accelerator.REG_JOB_DB, self.tail)
+
+    def wait(self):
+        n = self.accel.spec.n_desc
+        sim = self.memsys.sim
+        expect = seq_for_pass(self.cq_head // n)
+        addr = CQ_RING + (self.cq_head % n) * COMPLETION_BYTES
+        while True:
+            raw = yield from self.memsys.read_span(
+                addr, COMPLETION_BYTES, uncached=True
+            )
+            entry = CompletionEntry.decode(raw)
+            if entry.seq == expect:
+                self.cq_head += 1
+                return entry
+            yield sim.timeout(500.0)
+
+    def read_output(self, index: int, length: int):
+        addr = OUT_BASE + (index % self.accel.spec.n_desc) * 4096
+        data = yield from self.memsys.read_span(addr, length, uncached=True)
+        return data
+
+
+def make_accel(pod2, host="h0"):
+    sim, pod = pod2
+    accel = Accelerator(sim, "accel0", device_id=200)
+    accel.attach(pod.host(host))
+    accel.bar.regs[Accelerator.REG_JOB_RING] = JOB_RING
+    accel.bar.regs[Accelerator.REG_CQ_RING] = CQ_RING
+    accel.bar.regs[Accelerator.REG_OUT_BASE] = OUT_BASE
+    accel.start()
+    return sim, pod, accel, AccelDriver(pod.host(host), accel)
+
+
+def test_compress_job_produces_real_compression(pod2):
+    sim, pod, accel, drv = make_accel(pod2)
+    data = b"abcd" * 256  # highly compressible
+
+    def proc():
+        yield from drv.submit(KERNEL_COMPRESS, data, slot=0)
+        comp = yield from drv.wait()
+        out = yield from drv.read_output(comp.index, comp.length)
+        return out
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert zlib.decompress(p.value) == data
+    assert len(p.value) < len(data)
+    accel.stop()
+    sim.run()
+
+
+def test_compress_decompress_chain(pod2):
+    sim, pod, accel, drv = make_accel(pod2)
+    data = bytes(range(256)) * 4
+
+    def proc():
+        yield from drv.submit(KERNEL_COMPRESS, data, slot=0)
+        comp = yield from drv.wait()
+        compressed = yield from drv.read_output(comp.index, comp.length)
+        yield from drv.submit(KERNEL_DECOMPRESS, compressed, slot=1)
+        comp2 = yield from drv.wait()
+        out = yield from drv.read_output(comp2.index, comp2.length)
+        return out
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == data
+    assert accel.jobs_completed == 2
+    accel.stop()
+    sim.run()
+
+
+def test_fhe_kernel_is_deterministic(pod2):
+    sim, pod, accel, drv = make_accel(pod2)
+    data = b"\x00\x01\x02"
+
+    def proc():
+        yield from drv.submit(KERNEL_FHE_MULT, data, slot=0)
+        comp = yield from drv.wait()
+        out = yield from drv.read_output(comp.index, comp.length)
+        return out
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == bytes((b * 3 + 7) % 256 for b in data)
+    accel.stop()
+    sim.run()
+
+
+def test_job_latency_includes_fixed_cost(pod2):
+    sim, pod, accel, drv = make_accel(pod2)
+
+    def proc():
+        t0 = sim.now
+        yield from drv.submit(KERNEL_FHE_MULT, b"x", slot=0)
+        yield from drv.wait()
+        return sim.now - t0
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value >= accel.spec.fixed_ns
+    accel.stop()
+    sim.run()
+
+
+def test_utilization_rises_under_load(pod2):
+    sim, pod, accel, drv = make_accel(pod2)
+    accel.reset_utilization_window()
+
+    def proc():
+        for i in range(6):
+            yield from drv.submit(KERNEL_FHE_MULT, bytes(4096), slot=i)
+        for _ in range(6):
+            yield from drv.wait()
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert accel.utilization() > 0.2
+    accel.stop()
+    sim.run()

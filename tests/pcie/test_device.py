@@ -1,0 +1,123 @@
+"""Unit tests for the base PCIe device: MMIO, attachment, health."""
+
+import pytest
+
+from repro.pcie.device import (
+    MMIO_READ_NS,
+    MMIO_WRITE_NS,
+    DeviceFailedError,
+    MmioDecodeError,
+    PcieDevice,
+)
+
+
+def make_device(pod2):
+    sim, pod = pod2
+    dev = PcieDevice(sim, "dev0", device_id=1)
+    dev.attach(pod.host("h0"))
+    return sim, pod, dev
+
+
+def test_attach_detach(pod2):
+    sim, pod, dev = make_device(pod2)
+    assert dev.attached_host_id == "h0"
+    with pytest.raises(RuntimeError):
+        dev.attach(pod.host("h1"))
+    dev.detach()
+    assert dev.attached_host_id is None
+    with pytest.raises(RuntimeError):
+        _ = dev.host
+
+
+def test_mmio_read_status(pod2):
+    sim, _pod, dev = make_device(pod2)
+
+    def proc():
+        value = yield from dev.mmio_read(PcieDevice.REG_STATUS)
+        return value, sim.now
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    value, t = p.value
+    assert value == PcieDevice.STATUS_OK
+    assert t == pytest.approx(MMIO_READ_NS)
+
+
+def test_mmio_write_latency(pod2):
+    sim, _pod, dev = make_device(pod2)
+    dev.bar.regs[0x100] = 0
+
+    def proc():
+        yield from dev.mmio_write(0x100, 42)
+        return sim.now
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == pytest.approx(MMIO_WRITE_NS)
+    assert dev.bar.regs[0x100] == 42
+
+
+def test_mmio_unknown_register_rejected(pod2):
+    sim, _pod, dev = make_device(pod2)
+
+    def proc():
+        try:
+            yield from dev.mmio_read(0xdead)
+        except MmioDecodeError:
+            return "decode-error"
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == "decode-error"
+
+
+def test_failed_device_rejects_mmio(pod2):
+    sim, _pod, dev = make_device(pod2)
+    dev.fail()
+
+    def proc():
+        try:
+            yield from dev.mmio_read(PcieDevice.REG_STATUS)
+        except DeviceFailedError:
+            return "failed"
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == "failed"
+
+
+def test_repair_restores_device(pod2):
+    sim, _pod, dev = make_device(pod2)
+    dev.fail()
+    dev.repair()
+    assert not dev.failed
+    assert dev.bar.regs[PcieDevice.REG_STATUS] == PcieDevice.STATUS_OK
+
+
+def test_reset_register_triggers_on_reset(pod2):
+    sim, _pod, dev = make_device(pod2)
+    called = []
+    dev.on_reset = lambda: called.append(True)
+
+    def proc():
+        yield from dev.mmio_write(PcieDevice.REG_RESET, 1)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert called == [True]
+    assert dev.bar.regs[PcieDevice.REG_RESET] == 0  # self-clearing
+
+
+def test_dma_roundtrip_local(pod2):
+    sim, _pod, dev = make_device(pod2)
+    payload = b"dma-payload" * 5
+
+    def proc():
+        yield from dev.dma_write(8192, payload)
+        data = yield from dev.dma_read(8192, len(payload))
+        return data
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == payload
+    assert dev.dma_bytes == 2 * len(payload)

@@ -1,0 +1,247 @@
+"""NIC tests: TX/RX engines, completions, drops, failure behaviour."""
+
+import pytest
+
+from repro.pcie.fabric import EthernetFrame, EthernetSwitch
+from repro.pcie.nic import Nic, NicSpec
+from repro.pcie.rings import CompletionEntry, Descriptor
+from tests.pcie.conftest import LocalDriver
+
+# Local-DRAM layout for the driver structures (per host).
+TX_RING = 0x10_000
+RX_RING = 0x20_000
+TX_CQ = 0x30_000
+RX_CQ = 0x40_000
+TX_BUF = 0x100_000
+RX_BUF = 0x200_000
+
+
+def setup_nic(sim, pod, host_id, mac, switch, n_desc=32):
+    nic = Nic(sim, f"nic-{host_id}", device_id=mac, mac=mac,
+              spec=NicSpec(n_desc=n_desc))
+    nic.attach(pod.host(host_id))
+    nic.plug_into(switch)
+    nic.bar.regs[Nic.REG_TX_RING] = TX_RING
+    nic.bar.regs[Nic.REG_RX_RING] = RX_RING
+    nic.bar.regs[Nic.REG_TX_CQ] = TX_CQ
+    nic.bar.regs[Nic.REG_RX_CQ] = RX_CQ
+    nic.start()
+    mem = pod.host(host_id)
+    tx = LocalDriver(mem, TX_RING, TX_CQ, n_desc)
+    rx = LocalDriver(mem, RX_RING, RX_CQ, n_desc)
+    return nic, tx, rx
+
+
+def post_rx_buffers(rx, nic, count, buf_bytes=2048):
+    """Process: post `count` RX buffers and ring the RX doorbell."""
+    for i in range(count):
+        yield from rx.post(Descriptor(RX_BUF + i * buf_bytes, buf_bytes))
+    yield from nic.mmio_write(Nic.REG_RX_DB, rx.tail)
+
+
+def send_frame(tx, nic, mem, dst_mac, payload, buf_slot=0):
+    """Process: write a frame into a TX buffer, post it, ring doorbell."""
+    frame = EthernetFrame(dst_mac, nic.mac, payload).encode()
+    addr = TX_BUF + buf_slot * 4096
+    yield from mem.write_span(addr, frame)
+    yield from tx.post(Descriptor(addr, len(frame)))
+    yield from nic.mmio_write(Nic.REG_TX_DB, tx.tail)
+
+
+def test_frame_travels_between_hosts(pod2):
+    sim, pod = pod2
+    switch = EthernetSwitch(sim)
+    nic_a, tx_a, _rx_a = setup_nic(sim, pod, "h0", mac=0xa, switch=switch)
+    nic_b, _tx_b, rx_b = setup_nic(sim, pod, "h1", mac=0xb, switch=switch)
+    payload = b"hello over the wire"
+
+    def sender():
+        yield from send_frame(tx_a, nic_a, pod.host("h0"), 0xb, payload)
+        comp = yield from tx_a.poll_completion()
+        return comp
+
+    def receiver():
+        yield from post_rx_buffers(rx_b, nic_b, 4)
+        comp = yield from rx_b.poll_completion()
+        data = yield from pod.host("h1").read_span(
+            RX_BUF, comp.length, uncached=True
+        )
+        return EthernetFrame.decode(data)
+
+    s = sim.spawn(sender())
+    r = sim.spawn(receiver())
+    sim.run(until=r)
+    frame = r.value
+    assert frame.payload == payload
+    assert frame.src_mac == 0xa and frame.dst_mac == 0xb
+    sim.run(until=s)
+    assert s.value.status == CompletionEntry.STATUS_OK
+    assert nic_a.frames_sent == 1
+    assert nic_b.frames_received == 1
+    nic_a.stop()
+    nic_b.stop()
+    sim.run()
+
+
+def test_multiple_frames_in_order(pod2):
+    sim, pod = pod2
+    switch = EthernetSwitch(sim)
+    nic_a, tx_a, _ = setup_nic(sim, pod, "h0", mac=0xa, switch=switch)
+    nic_b, _, rx_b = setup_nic(sim, pod, "h1", mac=0xb, switch=switch)
+    n = 10
+
+    def sender():
+        for i in range(n):
+            yield from send_frame(
+                tx_a, nic_a, pod.host("h0"), 0xb,
+                f"frame-{i}".encode(), buf_slot=i,
+            )
+        for _ in range(n):
+            yield from tx_a.poll_completion()
+
+    def receiver():
+        yield from post_rx_buffers(rx_b, nic_b, n)
+        out = []
+        for _ in range(n):
+            comp = yield from rx_b.poll_completion()
+            frame_addr = RX_BUF + comp.index * 2048
+            raw = yield from pod.host("h1").read_span(
+                frame_addr, comp.length, uncached=True
+            )
+            out.append(EthernetFrame.decode(raw).payload.decode())
+        return out
+
+    sim.spawn(sender())
+    r = sim.spawn(receiver())
+    sim.run(until=r)
+    assert r.value == [f"frame-{i}" for i in range(n)]
+    nic_a.stop()
+    nic_b.stop()
+    sim.run()
+
+
+def test_no_rx_buffer_drops_frame(pod2):
+    sim, pod = pod2
+    switch = EthernetSwitch(sim)
+    nic_a, tx_a, _ = setup_nic(sim, pod, "h0", mac=0xa, switch=switch)
+    nic_b, _, _rx_b = setup_nic(sim, pod, "h1", mac=0xb, switch=switch)
+
+    def sender():
+        yield from send_frame(tx_a, nic_a, pod.host("h0"), 0xb, b"lost")
+        yield from tx_a.poll_completion()
+        yield sim.timeout(50_000.0)
+
+    p = sim.spawn(sender())
+    sim.run(until=p)
+    assert nic_b.frames_dropped_no_buffer == 1
+    assert nic_b.frames_received == 0
+    nic_a.stop()
+    nic_b.stop()
+    sim.run()
+
+
+def test_unknown_mac_dropped_at_switch(pod2):
+    sim, pod = pod2
+    switch = EthernetSwitch(sim)
+    nic_a, tx_a, _ = setup_nic(sim, pod, "h0", mac=0xa, switch=switch)
+
+    def sender():
+        yield from send_frame(tx_a, nic_a, pod.host("h0"), 0xdead, b"void")
+        yield from tx_a.poll_completion()
+        yield sim.timeout(50_000.0)
+
+    p = sim.spawn(sender())
+    sim.run(until=p)
+    assert switch.frames_dropped == 1
+    nic_a.stop()
+    sim.run()
+
+
+def test_oversized_frame_rejected_with_error_completion(pod2):
+    sim, pod = pod2
+    switch = EthernetSwitch(sim)
+    nic_a, tx_a, _ = setup_nic(sim, pod, "h0", mac=0xa, switch=switch)
+
+    def sender():
+        # Post a descriptor claiming a frame larger than the MTU.
+        yield from tx_a.post(Descriptor(TX_BUF, 20_000))
+        yield from nic_a.mmio_write(Nic.REG_TX_DB, tx_a.tail)
+        comp = yield from tx_a.poll_completion()
+        return comp
+
+    p = sim.spawn(sender())
+    sim.run(until=p)
+    assert p.value.status == CompletionEntry.STATUS_ERROR
+    assert nic_a.frames_sent == 0
+    nic_a.stop()
+    sim.run()
+
+
+def test_failed_nic_drops_arriving_frames(pod2):
+    sim, pod = pod2
+    switch = EthernetSwitch(sim)
+    nic_a, tx_a, _ = setup_nic(sim, pod, "h0", mac=0xa, switch=switch)
+    nic_b, _, rx_b = setup_nic(sim, pod, "h1", mac=0xb, switch=switch)
+
+    def scenario():
+        yield from post_rx_buffers(rx_b, nic_b, 4)
+        nic_b.fail()
+        yield from send_frame(tx_a, nic_a, pod.host("h0"), 0xb, b"x")
+        yield from tx_a.poll_completion()
+        yield sim.timeout(50_000.0)
+
+    p = sim.spawn(scenario())
+    sim.run(until=p)
+    assert nic_b.frames_received == 0
+    assert switch.frames_dropped == 1  # switch sees the dead port
+    nic_a.stop()
+    nic_b.stop()
+    sim.run()
+
+
+def test_wire_serialization_sets_pace(pod2):
+    """Back-to-back big frames: throughput is bounded by the 12.5 B/ns
+    line rate, not by the simulator."""
+    sim, pod = pod2
+    switch = EthernetSwitch(sim)
+    nic_a, tx_a, _ = setup_nic(sim, pod, "h0", mac=0xa, switch=switch)
+    nic_b, _, rx_b = setup_nic(sim, pod, "h1", mac=0xb, switch=switch)
+    size = 8000
+    n = 5
+
+    def sender():
+        for i in range(n):
+            yield from send_frame(
+                tx_a, nic_a, pod.host("h0"), 0xb, bytes(size), buf_slot=i
+            )
+        t0 = sim.now
+        for _ in range(n):
+            yield from tx_a.poll_completion()
+        return sim.now
+
+    def receiver():
+        yield from post_rx_buffers(rx_b, nic_b, n, buf_bytes=8192)
+        for _ in range(n):
+            yield from rx_b.poll_completion()
+        return sim.now
+
+    s = sim.spawn(sender())
+    r = sim.spawn(receiver())
+    sim.run(until=r)
+    sim.run(until=s)
+    wire_time_per_frame = size / 12.5
+    assert r.value >= n * wire_time_per_frame  # cannot beat line rate
+    nic_a.stop()
+    nic_b.stop()
+    sim.run()
+
+
+def test_frame_decode_validation():
+    with pytest.raises(ValueError):
+        EthernetFrame.decode(b"short")
+
+
+def test_frame_encode_decode_roundtrip():
+    f = EthernetFrame(0xaa, 0xbb, b"payload")
+    assert EthernetFrame.decode(f.encode()) == f
+    assert f.size == 16 + 7

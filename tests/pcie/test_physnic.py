@@ -1,0 +1,121 @@
+"""PhysicalNic / SR-IOV VF tests: sharing one port safely."""
+
+import pytest
+
+from repro.core import PciePool
+from repro.pcie.physnic import PhysicalNic
+from repro.pcie.nic import NicSpec
+from repro.sim import Simulator
+
+
+def test_vfs_have_distinct_ids_and_macs():
+    sim = Simulator()
+    pnic = PhysicalNic(sim, "nic", base_device_id=10, base_mac=0x100,
+                       n_vfs=4)
+    ids = [vf.device_id for vf in pnic.vfs]
+    macs = [vf.mac for vf in pnic.vfs]
+    assert ids == [10, 11, 12, 13]
+    assert macs == [0x100, 0x101, 0x102, 0x103]
+
+
+def test_needs_at_least_one_vf():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PhysicalNic(sim, "nic", 1, 0x1, n_vfs=0)
+
+
+def test_physical_failure_kills_all_vfs():
+    sim = Simulator()
+    pnic = PhysicalNic(sim, "nic", 1, 0x1, n_vfs=3)
+    pnic.fail()
+    assert all(vf.failed for vf in pnic.vfs)
+    pnic.repair()
+    assert not pnic.failed
+
+
+def test_two_hosts_share_one_physical_nic():
+    """Both borrowers of one physical port exchange traffic through
+    their own VFs simultaneously."""
+    sim = Simulator(seed=51)
+    pool = PciePool(sim, n_hosts=4)
+    pool.add_nic("h0", n_vfs=2)   # the shared physical port
+    pool.add_nic("h1")            # the peer's own NIC
+    pool.start()
+    peer = pool.open_nic("h1")
+    borrower_a = pool.open_nic("h2")
+    borrower_b = pool.open_nic("h3")
+    # Both borrowers got VFs of the same physical NIC, but different VFs.
+    assert borrower_a.device_id != borrower_b.device_id
+    assert {borrower_a.device_id, borrower_b.device_id} == {1, 2}
+    got = []
+
+    def peer_main():
+        yield from peer.start()
+        sock = peer.stack.bind(7)
+        for _ in range(4):
+            payload, _mac, _port = yield from sock.recv()
+            got.append(payload)
+
+    def borrower_main(vnic, tag):
+        yield from vnic.start()
+        sock = vnic.stack.bind(9)
+        for i in range(2):
+            yield from sock.sendto(f"{tag}-{i}".encode(), peer.mac, 7)
+            yield sim.timeout(10_000.0)
+
+    p = sim.spawn(peer_main())
+    sim.spawn(borrower_main(borrower_a, "a"))
+    sim.spawn(borrower_main(borrower_b, "b"))
+    sim.run(until=p)
+    assert sorted(got) == [b"a-0", b"a-1", b"b-0", b"b-1"]
+    pool.stop()
+    sim.run()
+
+
+def test_vfs_share_wire_bandwidth():
+    """Two VFs transmitting together cannot exceed one port's rate."""
+    sim = Simulator(seed=52)
+    pool = PciePool(sim, n_hosts=3)
+    pool.add_nic("h0", n_vfs=2, spec=NicSpec(n_desc=64))
+    pool.add_nic("h1")
+    pool.start()
+    peer = pool.open_nic("h1")
+    a = pool.open_nic("h2")
+    b = pool.open_nic("h0")  # the owner itself uses the other VF
+    assert {a.device_id, b.device_id} == {1, 2}
+    n, size = 20, 8192
+    received = []
+
+    def peer_main():
+        yield from peer.start()
+        sock = peer.stack.bind(7)
+        for _ in range(2 * n):
+            yield from sock.recv()
+            received.append(sim.now)
+
+    def blaster(vnic):
+        yield from vnic.start()
+        sock = vnic.stack.bind(9)
+        for i in range(n):
+            yield from sock.sendto(bytes(size), peer.mac, 7)
+
+    p = sim.spawn(peer_main())
+    sim.spawn(blaster(a))
+    sim.spawn(blaster(b))
+    sim.run(until=p)
+    elapsed = received[-1] - received[0]
+    achieved_gbps = (2 * n - 1) * size * 8.0 / elapsed
+    # One 100 Gbps port shared by both VFs: aggregate must respect it.
+    assert achieved_gbps <= 100.0
+    pool.stop()
+    sim.run()
+
+
+def test_convenience_views_aggregate():
+    sim = Simulator()
+    pnic = PhysicalNic(sim, "nic", 1, 0x1, n_vfs=2)
+    assert pnic.device_id == 1
+    assert pnic.mac == 0x1
+    assert pnic.frames_sent == 0
+    assert pnic.utilization() == 0.0
+    assert "vfs=2" in repr(pnic)

@@ -1,0 +1,67 @@
+"""Ring/descriptor codec unit tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pcie.rings import (
+    COMPLETION_BYTES,
+    DESCRIPTOR_BYTES,
+    CompletionEntry,
+    Descriptor,
+    DescriptorRing,
+    seq_for_pass,
+)
+
+
+def test_descriptor_roundtrip():
+    d = Descriptor(addr=1 << 45, length=9000, flags=3)
+    assert Descriptor.decode(d.encode()) == d
+    assert len(d.encode()) == DESCRIPTOR_BYTES
+
+
+def test_completion_roundtrip():
+    c = CompletionEntry(seq=7, status=1, index=65535, length=1 << 20,
+                        value=42)
+    assert CompletionEntry.decode(c.encode()) == c
+    assert len(c.encode()) == COMPLETION_BYTES
+
+
+def test_decode_tolerates_trailing_bytes():
+    d = Descriptor(addr=4096, length=64)
+    assert Descriptor.decode(d.encode() + b"junk") == d
+
+
+def test_seq_for_pass_never_zero():
+    for k in range(0, 600):
+        assert 1 <= seq_for_pass(k) <= 250
+
+
+def test_seq_differs_between_adjacent_passes():
+    for k in range(0, 300):
+        assert seq_for_pass(k) != seq_for_pass(k + 1)
+
+
+def test_ring_geometry_wraps():
+    ring = DescriptorRing(0x1000, 8)
+    assert ring.entry_addr(0) == 0x1000
+    assert ring.entry_addr(7) == 0x1000 + 7 * 16
+    assert ring.entry_addr(8) == 0x1000  # wrap
+    assert ring.size_bytes == 128
+    assert ring.seq_of(0) == 1
+    assert ring.seq_of(8) == 2
+
+
+def test_ring_validation():
+    with pytest.raises(ValueError):
+        DescriptorRing(0, 0)
+
+
+@given(
+    addr=st.integers(min_value=0, max_value=2**64 - 1),
+    length=st.integers(min_value=0, max_value=2**32 - 1),
+    flags=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_descriptor_codec_total(addr, length, flags):
+    d = Descriptor(addr, length, flags)
+    assert Descriptor.decode(d.encode()) == d

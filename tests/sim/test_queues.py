@@ -1,0 +1,146 @@
+"""Unit tests for Store / FilterStore."""
+
+import pytest
+
+from repro.sim import FilterStore, Simulator, Store
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim, store):
+        for i in range(3):
+            yield store.put(i)
+            yield sim.timeout(1.0)
+
+    def consumer(sim, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.spawn(producer(sim, store))
+    sim.spawn(consumer(sim, store))
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    times = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        times.append((item, sim.now))
+
+    def producer(sim, store):
+        yield sim.timeout(25.0)
+        yield store.put("late")
+
+    sim.spawn(consumer(sim, store))
+    sim.spawn(producer(sim, store))
+    sim.run()
+    assert times == [("late", 25.0)]
+
+
+def test_store_put_blocks_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    events = []
+
+    def producer(sim, store):
+        yield store.put("a")
+        events.append(("put-a", sim.now))
+        yield store.put("b")
+        events.append(("put-b", sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(40.0)
+        item = yield store.get()
+        events.append((f"got-{item}", sim.now))
+
+    sim.spawn(producer(sim, store))
+    sim.spawn(consumer(sim, store))
+    sim.run()
+    assert ("put-a", 0.0) in events
+    assert ("put-b", 40.0) in events  # unblocked by the get
+
+
+def test_try_get_nonblocking():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("x")
+    sim.run()
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_len_reports_stored_items():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(4):
+        store.put(i)
+    sim.run()
+    assert len(store) == 4
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_filter_store_matches_predicate():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer(sim, store):
+        yield store.put(1)
+        yield store.put(3)
+        yield store.put(4)
+
+    sim.spawn(consumer(sim, store))
+    sim.spawn(producer(sim, store))
+    sim.run()
+    assert got == [4]
+    assert list(store.items) == [1, 3]
+
+
+def test_filter_store_tag_matched_completion():
+    # Models "wait for completion of my request id" semantics.
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = {}
+
+    def waiter(sim, store, want):
+        item = yield store.get(lambda c: c["id"] == want)
+        got[want] = sim.now
+
+    def completer(sim, store):
+        yield sim.timeout(10.0)
+        yield store.put({"id": 2})
+        yield sim.timeout(10.0)
+        yield store.put({"id": 1})
+
+    sim.spawn(waiter(sim, store, 1))
+    sim.spawn(waiter(sim, store, 2))
+    sim.spawn(completer(sim, store))
+    sim.run()
+    assert got == {2: 10.0, 1: 20.0}
+
+
+def test_filter_store_none_predicate_matches_any():
+    sim = Simulator()
+    store = FilterStore(sim)
+    store.put("anything")
+    ev = store.get()
+    sim.run()
+    assert ev.value == "anything"

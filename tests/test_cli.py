@@ -1,0 +1,60 @@
+"""CLI smoke tests: every subcommand runs and prints its series."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_help_lists_experiments(capsys):
+    rc, out = run_cli(capsys, "list")
+    assert rc == 0
+    assert "fig2" in out and "fig4" in out and "torless" in out
+
+
+def test_no_command_prints_help(capsys):
+    rc, out = run_cli(capsys)
+    assert rc == 0
+    assert "fig3" in out
+
+
+def test_fig2(capsys):
+    rc, out = run_cli(capsys, "fig2", "--hosts", "16", "--seeds", "1")
+    assert rc == 0
+    assert "ssd_gb" in out and "%" in out
+
+
+def test_fig4(capsys):
+    rc, out = run_cli(capsys, "fig4", "--messages", "200")
+    assert rc == 0
+    assert "p50" in out and "ns" in out
+
+
+def test_sqrtn(capsys):
+    rc, out = run_cli(capsys, "sqrtn", "--samples", "200")
+    assert rc == 0
+    assert "SSD stranding" in out and "NIC stranding" in out
+
+
+def test_cost(capsys):
+    rc, out = run_cli(capsys, "cost")
+    assert rc == 0
+    assert "PCIe switches" in out and "$0" in out
+
+
+def test_torless(capsys):
+    rc, out = run_cli(capsys, "torless", "--lam", "4")
+    assert rc == 0
+    assert "tor-less" in out
+
+
+def test_fig3_small(capsys):
+    rc, out = run_cli(capsys, "fig3", "--payload", "1024",
+                      "--requests", "60", "--loads", "2.0")
+    assert rc == 0
+    assert "cxl" in out.lower()
