@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Chaos demo: a seeded fault campaign against a self-healing pool.
+
+Builds a 4-host pod with three pooled NICs and three borrowers, then
+lets :class:`repro.faults.ChaosCampaign` generate a deterministic fault
+schedule — device flaps, CXL link flaps, a pooling-agent crash, and an
+orchestrator crash+restart — and runs it with
+:class:`repro.faults.FaultInjector`.  The injector only breaks
+hardware; everything you see heal (failovers, repair rebinds, state
+reconstruction after the orchestrator restart) is the control plane
+doing its job.  Re-run with the same seed and the fault log is
+bit-identical.
+
+Run:  python examples/chaos_demo.py
+"""
+
+from repro.core import PciePool
+from repro.faults import ChaosCampaign, ChaosConfig, FaultInjector
+from repro.sim import Simulator
+
+
+def main() -> None:
+    sim = Simulator(seed=42)
+    pool = PciePool(sim, n_hosts=4,
+                    ctl_poll_ns=200_000.0, dev_poll_ns=50_000.0)
+    pool.add_nic("h0")
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    pool.start()
+
+    vnics = {host: pool.open_nic(host) for host in ("h1", "h2", "h3")}
+
+    def bring_up():
+        for vnic in vnics.values():
+            yield from vnic.start()
+
+    sim.run(until=sim.spawn(bring_up(), name="bring-up"))
+
+    config = ChaosConfig(
+        duration_ns=4_000_000_000.0,    # 4 sim-seconds
+        device_flaps=3, link_flaps=2,
+        agent_crashes=1, orchestrator_restarts=1,
+        min_down_ns=20_000_000.0, max_down_ns=100_000_000.0,
+        settle_ns=1_000_000_000.0,
+    )
+    schedule = ChaosCampaign(pool, config).schedule()
+    print(f"campaign: {len(schedule)} faults over "
+          f"{config.duration_ns / 1e9:.0f} sim-seconds\n")
+
+    injector = FaultInjector(pool)
+    injector.run(schedule)
+    sim.run(until=sim.timeout(config.duration_ns - sim.now))
+
+    print("fault log (what the injector broke):")
+    for event in injector.log:
+        print(f"  [{event.at_ns / 1e6:8.2f} ms] {event.fault:<18} "
+              f"{event.target:<12} {event.action}")
+    print(f"  signature: {injector.log.signature()[:16]}… "
+          "(same seed => same log)")
+
+    orch = pool.orchestrator
+    telemetry = pool.export_control_plane_telemetry()
+    print("\nhow the control plane healed:")
+    print(f"  failovers                {orch.failovers}")
+    print(f"  repair rebinds           {orch.repair_rebinds}")
+    print(f"  orchestrator epoch       {orch.epoch} "
+          "(bumped once per restart)")
+    print(f"  stale events fenced      {orch.stale_epoch_drops}")
+    print(f"  rpc retries              {telemetry['rpc.retries']:.0f} "
+          f"(backoff {telemetry['rpc.backoff_ns'] / 1e6:.2f} ms)")
+    print(f"  degraded assignments     {orch.degraded_assignments}")
+    for host, vnic in vnics.items():
+        print(f"  {host}: {vnic!r}")
+    assert orch.degraded_assignments == 0
+    print("\nevery borrower ended on a healthy device - nothing was "
+          "permanently broken.")
+    pool.stop()
+    sim.run()
+
+
+if __name__ == "__main__":
+    main()

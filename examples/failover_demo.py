@@ -13,6 +13,7 @@ Run:  python examples/failover_demo.py
 """
 
 from repro.core import PciePool
+from repro.faults import DeviceCrash, FaultInjector, FaultSchedule
 from repro.sim import Simulator
 
 
@@ -41,16 +42,23 @@ def main() -> None:
             received.append(payload)
             print(f"[{sim.now / 1e6:8.2f} ms] h1 <- {payload!r}")
 
+    injector = FaultInjector(pool)
+
     def client_main():
         yield from vnic.start()
         sock = vnic.stack.bind(9)
         yield from sock.sendto(b"message-1", peer.mac, 7)
         yield sim.timeout(5_000_000.0)
 
+        # Kill the borrowed NIC through the fault subsystem: a one-entry
+        # schedule, fired relative to now.  The injector only breaks the
+        # hardware — detection and recovery are the control plane's job.
         victim = pool.device(vnic.device_id)
         print(f"[{sim.now / 1e6:8.2f} ms] FAULT INJECTION: "
               f"{victim.name} dies")
-        victim.fail()
+        injector.run(FaultSchedule((
+            DeviceCrash(device_id=vnic.device_id, at_ns=sim.now),
+        )))
 
         while vnic.generation == 0:   # wait for the failover
             yield sim.timeout(500_000.0)
@@ -67,6 +75,10 @@ def main() -> None:
     print(f"\ndelivered: {received}")
     print(f"failovers executed by the orchestrator: "
           f"{pool.orchestrator.failovers}")
+    print("fault log:")
+    for event in injector.log:
+        print(f"  [{event.at_ns / 1e6:8.2f} ms] {event.fault} "
+              f"{event.target} {event.action}")
     assert received == [b"message-1", b"message-2 (after failover)"]
     print("traffic resumed on the replacement device - no spare NIC "
           "was ever installed in h2.")

@@ -146,6 +146,19 @@ class Completion(Message):
 
 # -- control plane (orchestrator <-> agents) ----------------------------------
 
+#: Wire encoding of device kinds (one byte).  0 is reserved for kinds the
+#: encoder does not know; the decoder maps it back to ``"unknown"``.
+KIND_CODES: dict[str, int] = {"nic": 1, "ssd": 2, "accelerator": 3}
+_KIND_NAMES: dict[int, str] = {v: k for k, v in KIND_CODES.items()}
+
+
+def kind_code(kind: str) -> int:
+    return KIND_CODES.get(kind, 0)
+
+
+def kind_name(code: int) -> str:
+    return _KIND_NAMES.get(code, "unknown")
+
 
 @_register
 @dataclass(frozen=True)
@@ -153,11 +166,12 @@ class Heartbeat(Message):
     """Agent liveness beacon with a coarse health flag."""
 
     TAG: ClassVar[int] = 16
-    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQB")
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQBB")
 
     request_id: int
     timestamp_us: int
     healthy: int
+    epoch: int = 0
 
 
 @_register
@@ -166,25 +180,33 @@ class LoadReport(Message):
     """Per-device utilization report (per-mille to stay integer)."""
 
     TAG: ClassVar[int] = 17
-    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQHH")
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQHHB")
 
     request_id: int
     device_id: int
     utilization_permille: int
     queue_depth: int
+    epoch: int = 0
 
 
 @_register
 @dataclass(frozen=True)
 class DeviceFailure(Message):
-    """Agent -> orchestrator: a device stopped responding."""
+    """Agent -> orchestrator: a device stopped responding.
+
+    Carries the orchestrator epoch the agent last synced to: a restarted
+    orchestrator fences failure events stamped with a pre-crash epoch,
+    because the failure they describe may have been repaired while the
+    orchestrator was down (current state arrives via DeviceAnnounce).
+    """
 
     TAG: ClassVar[int] = 18
-    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQB")
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQBB")
 
     request_id: int
     device_id: int
     reason: int
+    epoch: int = 0
 
 
 @_register
@@ -211,3 +233,65 @@ class Migrate(Message):
     request_id: int
     from_device: int
     to_device: int
+
+
+# -- self-healing control plane (orchestrator restart / agent resync) ---------
+
+
+@_register
+@dataclass(frozen=True)
+class Resync(Message):
+    """Orchestrator -> agent: "I restarted as ``epoch``; re-report".
+
+    The agent answers by re-announcing its device inventory and the
+    assignments it has adopted, then acks with a Completion.  Agents are
+    the source of truth across orchestrator restarts (§4.2).
+    """
+
+    TAG: ClassVar[int] = 21
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IB")
+
+    request_id: int
+    epoch: int
+
+
+@_register
+@dataclass(frozen=True)
+class DeviceAnnounce(Message):
+    """Agent -> orchestrator: declarative "this device exists, state X".
+
+    Unlike DeviceFailure this is idempotent current-state, so it is never
+    epoch-fenced: a restarted orchestrator rebuilds its registry from
+    these, and a repaired device is healed by a ``healthy=1`` announce.
+    The owning host is implied by the control channel the message rides.
+    """
+
+    TAG: ClassVar[int] = 22
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQBBB")
+
+    request_id: int
+    device_id: int
+    kind_code: int
+    healthy: int
+    epoch: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class AssignmentReport(Message):
+    """Agent -> orchestrator: a live assignment this host borrows.
+
+    Replayed on resync so a restarted orchestrator reconstructs its
+    assignment table; the generation lets it ignore reports older than
+    what it already knows (fence against stale duplicates).
+    """
+
+    TAG: ClassVar[int] = 23
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IIQBIB")
+
+    request_id: int
+    virtual_id: int
+    device_id: int
+    kind_code: int
+    generation: int
+    epoch: int = 0

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 from repro.cxl.address import CACHELINE_BYTES
 from repro.cxl.coherence import SharedRegion
+from repro.cxl.link import LinkDownError
 
 #: Maximum payload carried by one slot.
 SLOT_PAYLOAD_BYTES = CACHELINE_BYTES - 3
@@ -115,6 +116,14 @@ class RingSender:
         self._head = 0          # messages sent
         self._known_consumed = 0  # receiver progress we last observed
         self.sent = 0
+        # Link-flap tolerance: a slot index is reserved *before* the NT
+        # store, so abandoning a send would leave an unwritten hole that
+        # wedges the receiver's FIFO seq expectations.  Instead, the store
+        # of the reserved slot is retried across short link outages (like
+        # a PCIe replay buffer, but at flap timescales).
+        self.link_retry_poll_ns = 100_000.0
+        self.max_link_retries = 20_000
+        self.link_retries = 0
 
     @property
     def backlog(self) -> int:
@@ -139,7 +148,12 @@ class RingSender:
                 slot_number = self._head
                 self._head += 1  # reserve before yielding
                 break
-            yield from self._refresh_progress()
+            try:
+                yield from self._refresh_progress()
+            except LinkDownError:
+                self.link_retries += 1
+                yield sim.timeout(self.link_retry_poll_ns)
+                continue
             if self._head - self._known_consumed < self.layout.n_slots:
                 continue
             yield sim.timeout(poll_interval_ns)
@@ -170,10 +184,21 @@ class RingSender:
         slot = bytearray(CACHELINE_BYTES)
         _HEADER.pack_into(slot, 0, seq, len(payload))
         slot[3:3 + len(payload)] = payload
-        # One NT store: tag + payload land atomically at the device.
-        yield from self.region.publish(
-            self.layout.slot_offset(index), bytes(slot)
-        )
+        sim = self.region.memsys.sim
+        attempts = 0
+        while True:
+            try:
+                # One NT store: tag + payload land atomically at the device.
+                yield from self.region.publish(
+                    self.layout.slot_offset(index), bytes(slot)
+                )
+                break
+            except LinkDownError:
+                attempts += 1
+                if attempts > self.max_link_retries:
+                    raise
+                self.link_retries += 1
+                yield sim.timeout(self.link_retry_poll_ns)
         self.sent += 1
 
     def _refresh_progress(self):
@@ -196,9 +221,16 @@ class RingReceiver:
         # Publish progress every quarter ring by default: cheap enough to
         # be negligible, frequent enough that senders rarely stall.
         self.progress_every = progress_every or max(1, layout.n_slots // 4)
+        # A progress publish that hit a dead link is deferred, not lost:
+        # the flag keeps the publish owed until a later poll succeeds, so
+        # a flap can never deadlock a sender waiting for ring space.
+        self._progress_dirty = False
+        self.deferred_progress = 0
 
     def try_recv(self):
         """Process: poll the current slot once; returns payload or None."""
+        if self._progress_dirty:
+            yield from self._flush_progress()
         index = self._tail % self.layout.n_slots
         expect = _seq_for_pass(self._tail // self.layout.n_slots)
         raw = yield from self.region.consume_uncached(
@@ -211,7 +243,8 @@ class RingReceiver:
         self._tail += 1
         self.received += 1
         if self._tail % self.progress_every == 0:
-            yield from self._publish_progress()
+            self._progress_dirty = True
+            yield from self._flush_progress()
         return payload
 
     def recv(self, poll_overhead_ns: float = 30.0):
@@ -226,6 +259,13 @@ class RingReceiver:
             if payload is not None:
                 return payload
             yield sim.timeout(poll_overhead_ns)
+
+    def _flush_progress(self):
+        try:
+            yield from self._publish_progress()
+            self._progress_dirty = False
+        except LinkDownError:
+            self.deferred_progress += 1
 
     def _publish_progress(self):
         line = bytearray(CACHELINE_BYTES)

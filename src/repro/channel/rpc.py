@@ -11,10 +11,12 @@ talk to the orchestrator (§4.2).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Optional
 
 from repro.channel.messages import Message, decode_message
 from repro.channel.ring import RingReceiver, RingSender
+from repro.cxl.link import LinkDownError
 from repro.sim import FilterStore, Interrupt
 
 
@@ -27,7 +29,8 @@ class RpcEndpoint:
 
     def __init__(self, sim, name: str,
                  tx: RingSender, rx: RingReceiver,
-                 poll_overhead_ns: float = 30.0):
+                 poll_overhead_ns: float = 30.0,
+                 link_down_backoff_ns: float = 100_000.0):
         self.sim = sim
         self.name = name
         self.tx = tx
@@ -35,8 +38,11 @@ class RpcEndpoint:
         # Datapath endpoints busy-poll (dedicated cores, sub-us latency);
         # control-plane endpoints may poll lazily to spare CPU.
         self.poll_overhead_ns = poll_overhead_ns
+        # How long the dispatcher sleeps after a poll hit a dead link.
+        self.link_down_backoff_ns = link_down_backoff_ns
         self._next_request_id = 1
         self._replies = FilterStore(sim, name=f"{name}.replies")
+        self._abandoned: set[int] = set()
         self._handlers: dict[type, Callable] = {}
         self._default_handler: Optional[Callable] = None
         self._dispatcher = sim.spawn(
@@ -44,6 +50,13 @@ class RpcEndpoint:
         )
         self.calls_sent = 0
         self.messages_handled = 0
+        # Self-healing telemetry (aggregated by the pool into the board).
+        self.retries = 0
+        self.backoff_ns_total = 0.0
+        self.calls_timed_out = 0
+        self.calls_gave_up = 0
+        self.late_replies_dropped = 0
+        self.link_errors = 0
 
     # -- wiring -----------------------------------------------------------
 
@@ -114,25 +127,113 @@ class RpcEndpoint:
         if get in result:
             return result[get]
         # Withdraw the pending get so a late reply does not satisfy a
-        # waiter that already gave up.
+        # waiter that already gave up, and remember the request id: a
+        # straggler reply must be dropped rather than parked, or it could
+        # be mis-matched to a future request reusing the same id.
         if get in self._replies._gets:
             self._replies._gets.remove(get)
+        self._abandoned.add(rid)
+        self.calls_timed_out += 1
+        self._purge_abandoned()
         raise RpcError(
             f"{self.name}: rpc {type(message).__name__} "
             f"(id={rid}) timed out after {timeout_ns} ns"
         )
+
+    def call_with_retry(self, message: Message, timeout_ns: float,
+                        max_attempts: int = 5,
+                        backoff_base_ns: float = 100_000.0,
+                        backoff_cap_ns: float = 5_000_000.0):
+        """Process: ``call()`` with exponential backoff and jitter.
+
+        Retries transport-level failures (timeouts, dead links) with a
+        fresh request id per attempt; application-level error replies are
+        returned/raised untouched.  Backoff doubles per attempt up to
+        ``backoff_cap_ns``, plus uniform jitter from a deterministic named
+        stream so concurrent retriers de-synchronize reproducibly.
+        """
+        rng = self.sim.rng.stream(f"rpc-retry:{self.name}")
+        last_error: Optional[Exception] = None
+        for attempt in range(max_attempts):
+            if attempt:
+                delay = min(backoff_cap_ns,
+                            backoff_base_ns * (2 ** (attempt - 1)))
+                delay += float(rng.uniform(0.0, delay))
+                self.retries += 1
+                self.backoff_ns_total += delay
+                yield self.sim.timeout(delay)
+            attempt_msg = dataclasses.replace(
+                message, request_id=self.next_request_id()
+            )
+            try:
+                reply = yield from self.call(attempt_msg,
+                                             timeout_ns=timeout_ns)
+                return reply
+            except (RpcError, LinkDownError) as exc:
+                last_error = exc
+        self.calls_gave_up += 1
+        raise RpcError(
+            f"{self.name}: rpc {type(message).__name__} failed after "
+            f"{max_attempts} attempts"
+        ) from last_error
+
+    def send_with_retry(self, message: Message, max_attempts: int = 5,
+                        backoff_base_ns: float = 100_000.0,
+                        backoff_cap_ns: float = 5_000_000.0):
+        """Process: fire-and-forget with backoff across link outages."""
+        rng = self.sim.rng.stream(f"rpc-retry:{self.name}")
+        last_error: Optional[Exception] = None
+        for attempt in range(max_attempts):
+            if attempt:
+                delay = min(backoff_cap_ns,
+                            backoff_base_ns * (2 ** (attempt - 1)))
+                delay += float(rng.uniform(0.0, delay))
+                self.retries += 1
+                self.backoff_ns_total += delay
+                yield self.sim.timeout(delay)
+            try:
+                yield from self.send(message)
+                return
+            except LinkDownError as exc:
+                last_error = exc
+        self.calls_gave_up += 1
+        raise RpcError(
+            f"{self.name}: send {type(message).__name__} failed after "
+            f"{max_attempts} attempts"
+        ) from last_error
+
+    def _purge_abandoned(self) -> None:
+        """Drop parked replies whose caller already gave up."""
+        stale = [m for m in self._replies.items
+                 if getattr(m, "request_id", 0) in self._abandoned]
+        for message in stale:
+            self._replies.items.remove(message)
+            self._abandoned.discard(message.request_id)
+            self.late_replies_dropped += 1
 
     # -- dispatcher -----------------------------------------------------------
 
     def _dispatch_loop(self):
         try:
             while True:
-                payload = yield from self.rx.recv(self.poll_overhead_ns)
+                try:
+                    payload = yield from self.rx.recv(self.poll_overhead_ns)
+                except LinkDownError:
+                    # The CXL path under the ring is flapping.  Keep the
+                    # dispatcher alive and re-poll after a backoff — the
+                    # channel memory is still intact on the MHD.
+                    self.link_errors += 1
+                    yield self.sim.timeout(self.link_down_backoff_ns)
+                    continue
                 message = decode_message(payload)
                 self.messages_handled += 1
                 handler = self._handlers.get(type(message))
                 if handler is not None:
                     self._run_handler(handler, message)
+                elif getattr(message, "request_id", 0) in self._abandoned:
+                    # Straggler reply to a call that already timed out.
+                    self._abandoned.discard(message.request_id)
+                    self.late_replies_dropped += 1
                 elif self._awaited_reply(message):
                     self._replies.put(message)
                 elif self._default_handler is not None:

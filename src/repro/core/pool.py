@@ -4,12 +4,14 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.channel.rpc import RpcEndpoint
-from repro.cxl.link import LinkSpec
+from repro.channel.messages import Resync
+from repro.channel.rpc import RpcEndpoint, RpcError
+from repro.cxl.link import LinkDownError, LinkSpec
 from repro.cxl.pod import CxlPod, PodConfig
 from repro.datapath.netstack import UdpStack
 from repro.datapath.placement import BufferPlacement, DriverMemory
 from repro.datapath.proxy import (
+    DeviceGoneError,
     DeviceServer,
     LocalDeviceHandle,
     RemoteDeviceHandle,
@@ -21,6 +23,7 @@ from repro.orchestrator import (
     wire_control_channel,
 )
 from repro.pcie.accelerator import Accelerator, AcceleratorSpec
+from repro.pcie.device import DeviceFailedError
 from repro.pcie.fabric import EthernetSwitch
 from repro.pcie.nic import Nic, NicSpec
 from repro.pcie.physnic import PhysicalNic
@@ -39,8 +42,15 @@ class PciePool:
                  mhd_capacity: int = 1 << 28,
                  link_spec: LinkSpec = LinkSpec(),
                  orchestrator_host: Optional[str] = None,
-                 policy=None):
+                 policy=None,
+                 ctl_poll_ns: float = 5_000.0,
+                 dev_poll_ns: float = 30.0):
         self.sim = sim
+        # Polling cadences for the two channel classes.  Long chaos
+        # campaigns relax these to keep the event budget sane; latency
+        # benchmarks keep the defaults.
+        self.ctl_poll_ns = ctl_poll_ns
+        self.dev_poll_ns = dev_poll_ns
         self.pod = CxlPod(sim, PodConfig(
             n_hosts=n_hosts, n_mhds=n_mhds, mhd_capacity=mhd_capacity,
             link_spec=link_spec, local_dram_bytes=256 << 20,
@@ -50,6 +60,10 @@ class PciePool:
         self.orchestrator_host = orchestrator_host or self.pod.host_ids[0]
         self.agents: dict[str, PoolingAgent] = {}
         self._devices: dict[int, object] = {}
+        #: Physical topology (device -> attached host).  Kept pool-side so
+        #: handles can be built even while the orchestrator's registry is
+        #: down or being reconstructed.
+        self._owners: dict[int, str] = {}
         self._device_servers: dict[tuple[str, str], tuple] = {}
         self._next_device_id = 1
         self._next_mac = 0x02_00_00_00_00_01
@@ -67,7 +81,7 @@ class PciePool:
             label=f"ctl:{host_id}",
             # Control traffic is period-10ms telemetry: lazy polling at
             # microsecond cadence costs nothing and saves polling CPU.
-            poll_overhead_ns=5_000.0,
+            poll_overhead_ns=self.ctl_poll_ns,
         )
         wire_control_channel(self.orchestrator, orch_ep, host_id)
         self.agents[host_id] = PoolingAgent(self.sim, host_id, agent_ep)
@@ -121,6 +135,7 @@ class PciePool:
 
     def _register(self, device, owner_host: str, kind: str) -> None:
         self._devices[device.device_id] = device
+        self._owners[device.device_id] = owner_host
         self.orchestrator.register_device(device.device_id, owner_host,
                                           kind)
         self.agents[owner_host].manage(device)
@@ -160,10 +175,10 @@ class PciePool:
         return dev
 
     def owner_of(self, device_id: int) -> str:
-        for record in self.orchestrator.devices:
-            if record.device_id == device_id:
-                return record.owner_host
-        raise KeyError(f"unknown device id {device_id}")
+        owner = self._owners.get(device_id)
+        if owner is None:
+            raise KeyError(f"unknown device id {device_id}")
+        return owner
 
     def handle_for(self, borrower_host: str, device_id: int):
         """A device handle usable from ``borrower_host``.
@@ -182,6 +197,7 @@ class PciePool:
             owner_ep, borrower_ep = RpcEndpoint.pair(
                 self.pod, owner, borrower_host,
                 label=f"dev:{owner}->{borrower_host}",
+                poll_overhead_ns=self.dev_poll_ns,
             )
             server = DeviceServer(owner_ep)
             self._device_servers[key] = (owner_ep, borrower_ep, server)
@@ -202,11 +218,97 @@ class PciePool:
 
     def _on_migration(self, assignment: Assignment,
                       old_device_id: Optional[int]) -> None:
+        # The borrower's agent adopts every (re)bind: it is the durable
+        # copy replayed to a restarted orchestrator.
+        agent = self.agents.get(assignment.borrower_host)
+        if agent is not None:
+            agent.adopt_assignment(
+                assignment.virtual_id, assignment.device_id,
+                assignment.kind, assignment.generation,
+            )
         if old_device_id is None:
             return  # initial bind; open_nic builds the first stack itself
         for vnic in self._vnics:
             if vnic.assignment.virtual_id == assignment.virtual_id:
+                # After an orchestrator restart the table holds fresh
+                # Assignment objects; re-point the vnic before rebinding.
+                vnic.assignment = assignment
                 vnic._rebind()
+
+    # -- fault injection & recovery (driven by repro.faults) -----------------
+
+    def crash_agent(self, host_id: str) -> None:
+        """The pooling agent daemon on ``host_id`` dies (soft state lost)."""
+        self.agents[host_id].crash()
+
+    def restart_agent(self, host_id: str) -> None:
+        """Restart a crashed agent: re-scan the bus, re-learn adoptions.
+
+        Mirrors what a restarted daemon does on a real host: enumerate
+        locally-attached devices, read back the borrowed-device table from
+        the driver layer, then resume reporting with an immediate
+        declarative announce.
+        """
+        agent = self.agents[host_id]
+        for device_id, owner in sorted(self._owners.items()):
+            if owner == host_id:
+                agent.manage(self._devices[device_id])
+        for vnic in self._vnics:
+            a = vnic.assignment
+            if a.borrower_host == host_id:
+                agent.adopt_assignment(a.virtual_id, a.device_id, a.kind,
+                                       a.generation)
+        agent.start()
+        self.sim.spawn(agent.announce(),
+                       name=f"agent-reannounce:{host_id}")
+
+    def crash_orchestrator(self) -> None:
+        """The orchestrator process dies; its soft state is lost."""
+        self.orchestrator.crash()
+
+    def restart_orchestrator(self):
+        """Process: restart the orchestrator and resync every agent.
+
+        The new incarnation starts with an empty table in a new epoch and
+        asks each agent (Resync RPC, retried) to replay its inventory and
+        adopted assignments.  An agent that cannot be reached now is
+        covered by its periodic announce.
+        """
+        self.orchestrator.restart()
+        for host_id in self.pod.host_ids:
+            orch_ep = self._device_servers[("__ctl__", host_id)][0]
+            try:
+                yield from orch_ep.call_with_retry(
+                    Resync(request_id=0, epoch=self.orchestrator.epoch),
+                    timeout_ns=2_000_000.0,
+                )
+            except RpcError:
+                continue  # periodic announce is the backstop
+
+    def export_control_plane_telemetry(self) -> dict[str, float]:
+        """Aggregate endpoint retry counters into the telemetry board."""
+        totals = {
+            "rpc.retries": 0.0,
+            "rpc.backoff_ns": 0.0,
+            "rpc.timeouts": 0.0,
+            "rpc.gave_up": 0.0,
+            "rpc.late_replies_dropped": 0.0,
+            "rpc.link_errors": 0.0,
+        }
+        for wired in self._device_servers.values():
+            for item in wired:
+                if not isinstance(item, RpcEndpoint):
+                    continue
+                totals["rpc.retries"] += item.retries
+                totals["rpc.backoff_ns"] += item.backoff_ns_total
+                totals["rpc.timeouts"] += item.calls_timed_out
+                totals["rpc.gave_up"] += item.calls_gave_up
+                totals["rpc.late_replies_dropped"] += (
+                    item.late_replies_dropped)
+                totals["rpc.link_errors"] += item.link_errors
+        for name, value in totals.items():
+            self.orchestrator.board.set_gauge(name, value)
+        return totals
 
     def __repr__(self) -> str:
         return (
@@ -232,6 +334,7 @@ class VirtualNic:
         self.n_desc = n_desc
         self.stack: Optional[UdpStack] = None
         self.generation = 0
+        self.start_failures = 0
         self.on_rebind: list[Callable[["VirtualNic"], None]] = []
         self._mem: Optional[DriverMemory] = None
         self._build()
@@ -264,6 +367,9 @@ class VirtualNic:
         """
         self._teardown()
         self.pool.orchestrator.release(self.assignment.virtual_id)
+        agent = self.pool.agents.get(self.host_id)
+        if agent is not None:
+            agent.abandon_assignment(self.assignment.virtual_id)
         if self in self.pool._vnics:
             self.pool._vnics.remove(self)
 
@@ -300,13 +406,34 @@ class VirtualNic:
         self._teardown()
         self.generation += 1
         self._build()
-        started = self.pool.sim.spawn(
-            self.stack.start(),
+        self.pool.sim.spawn(
+            self._guarded_start(self.stack),
             name=f"vnic-restart:{self.assignment.virtual_id}",
         )
-        del started  # runs in background; callbacks fire immediately
         for fn in self.on_rebind:
             fn(self)
+
+    def _guarded_start(self, stack: UdpStack):
+        """Process: start a rebuilt stack without crashing the sim.
+
+        A rebind can race the very fault that caused it: the replacement
+        device may die (give up — the orchestrator will migrate again
+        and a fresh rebind supersedes this one) or a link may still be
+        flapping (keep retrying the bring-up until it sticks).
+        """
+        for _ in range(200):
+            try:
+                yield from stack.start()
+                return
+            except (DeviceGoneError, DeviceFailedError):
+                self.start_failures += 1
+                return
+            except (LinkDownError, RpcError):
+                self.start_failures += 1
+                stack.stop()  # reset driver state for the retry
+                if self.stack is not stack:
+                    return  # a newer rebind owns the vnic now
+                yield self.pool.sim.timeout(5_000_000.0)
 
     def _teardown(self) -> None:
         if self.stack is not None:

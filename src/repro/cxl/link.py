@@ -66,15 +66,24 @@ class CxlLink:
         self.bytes_written = 0
         self.line_ops = 0
         self.bulk_ops = 0
+        self.times_failed = 0
+        self.downtime_ns = 0.0
+        self._down_since: float | None = None
 
     # -- health ----------------------------------------------------------
 
     def fail(self) -> None:
         """Take the link down (fault injection)."""
+        if self.up:
+            self.times_failed += 1
+            self._down_since = self.sim.now
         self.up = False
 
     def restore(self) -> None:
         """Bring the link back up."""
+        if not self.up and self._down_since is not None:
+            self.downtime_ns += self.sim.now - self._down_since
+            self._down_since = None
         self.up = True
 
     def _check_up(self) -> None:

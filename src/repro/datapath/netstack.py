@@ -21,7 +21,11 @@ from __future__ import annotations
 import struct
 from typing import Optional
 
+from repro.channel.rpc import RpcError
+from repro.cxl.link import LinkDownError
 from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.datapath.proxy import DeviceGoneError
+from repro.pcie.device import DeviceFailedError
 from repro.pcie.fabric import ETH_HEADER_BYTES, EthernetFrame
 from repro.pcie.nic import Nic, RX_QUEUE, TX_QUEUE
 from repro.pcie.rings import (
@@ -111,10 +115,16 @@ class UdpStack:
         self._sockets: dict[int, UdpSocket] = {}
         self._pollers: list = []
         self._started = False
+        # Fault tolerance: CQ pollers and repost paths survive link flaps
+        # by backing off and retrying instead of dying.
+        self.fault_retry_ns = 100_000.0
+        self.fault_retry_limit = 200
         # Telemetry.
         self.datagrams_sent = 0
         self.datagrams_received = 0
         self.datagrams_dropped_no_socket = 0
+        self.datagrams_dropped_fault = 0
+        self.link_retries = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -123,6 +133,11 @@ class UdpStack:
         if self._started:
             raise RuntimeError(f"{self.name} already started")
         self._started = True
+        # Zero the driver tails: start() may be re-entered (after stop())
+        # when a previous bring-up died mid-flap, and the REG_RESET below
+        # zeroes the device-side heads to match.
+        self._tx_tail = 0
+        self._rx_tail = 0
         # Reset the NIC's queue heads: a driver taking over a (possibly
         # previously-borrowed) device must not inherit stale ring state.
         yield from self.handle.write_register(Nic.REG_RESET, 1)
@@ -180,12 +195,23 @@ class UdpStack:
             buf = self.tx_bufs + slot * self.buf_bytes
             datagram = _UDP.pack(src_port, dst_port, len(payload)) + payload
             frame = EthernetFrame(dst_mac, self.mac, datagram).encode()
-            yield from self.mem.write(buf, frame)
             desc_addr = self.tx_ring + slot * DESCRIPTOR_BYTES
-            yield from self.mem.write(
-                desc_addr, Descriptor(buf, len(frame)).encode()
-            )
-            yield from self.mem.fence()
+            # The descriptor slot is reserved above, so the writes must be
+            # retried across a link flap: abandoning them would leave a
+            # garbage descriptor that the NIC later fetches.
+            for attempt in range(self.fault_retry_limit + 1):
+                try:
+                    yield from self.mem.write(buf, frame)
+                    yield from self.mem.write(
+                        desc_addr, Descriptor(buf, len(frame)).encode()
+                    )
+                    yield from self.mem.fence()
+                    break
+                except LinkDownError:
+                    if attempt >= self.fault_retry_limit:
+                        raise
+                    self.link_retries += 1
+                    yield self.sim.timeout(self.fault_retry_ns)
             yield from self.handle.ring_doorbell(TX_QUEUE, tail)
         self.datagrams_sent += 1
 
@@ -232,13 +258,32 @@ class UdpStack:
     def _deliver_and_repost(self, entry: CompletionEntry):
         slot = entry.index % self.n_desc
         if entry.status == CompletionEntry.STATUS_OK:
-            yield from self._deliver(slot, entry.length)
+            try:
+                yield from self._deliver(slot, entry.length)
+            except LinkDownError:
+                # Buffer unreadable mid-flap: the datagram is lost, like a
+                # frame dropped on a real wire.  The buffer still recycles.
+                self.datagrams_dropped_fault += 1
         # Recycle the buffer.  Reposted descriptors are bit-identical to
         # what the ring slot already holds, so concurrent reposts cannot
         # corrupt each other, and the NIC treats doorbells as max().
-        yield from self._post_rx(slot)
-        yield from self.mem.fence()
-        yield from self.handle.ring_doorbell(RX_QUEUE, self._rx_tail)
+        # Retried across flaps: a leaked RX slot would slowly starve the
+        # NIC of buffers.
+        reposted = False
+        for _ in range(self.fault_retry_limit):
+            try:
+                if not reposted:
+                    yield from self._post_rx(slot)
+                    reposted = True
+                yield from self.mem.fence()
+                yield from self.handle.ring_doorbell(RX_QUEUE,
+                                                     self._rx_tail)
+                return
+            except (LinkDownError, RpcError, DeviceGoneError,
+                    DeviceFailedError):
+                self.link_retries += 1
+                yield self.sim.timeout(self.fault_retry_ns)
+        self.datagrams_dropped_fault += 1
 
     def _deliver(self, slot: int, length: int):
         yield self.sim.timeout(self.sw_overhead_ns)
@@ -264,11 +309,18 @@ class UdpStack:
         addr = cq_base + (head % self.n_desc) * COMPLETION_BYTES
         if hint is not None:
             # Hint-driven: sleep until a completion lands, then read it.
-            # Observes the same memory state as a busy poller, minus the
+            # Observes the same memory state as a poller, minus the
             # simulated cost of idle poll iterations.
             yield hint.get()
         while True:
-            raw = yield from self.mem.read(addr, COMPLETION_BYTES)
+            try:
+                raw = yield from self.mem.read(addr, COMPLETION_BYTES)
+            except LinkDownError:
+                # CQ memory unreachable mid-flap: back off and re-poll
+                # rather than killing the poller (and with it the stack).
+                self.link_retries += 1
+                yield self.sim.timeout(self.fault_retry_ns)
+                continue
             entry = CompletionEntry.decode(raw)
             if entry.seq == expect:
                 return entry

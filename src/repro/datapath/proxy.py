@@ -21,6 +21,7 @@ from repro.channel.messages import (
     MmioWrite,
 )
 from repro.channel.rpc import RpcEndpoint, RpcError
+from repro.cxl.link import LinkDownError
 from repro.pcie.device import DeviceFailedError, PcieDevice
 
 
@@ -61,10 +62,15 @@ class RemoteDeviceHandle:
     """
 
     def __init__(self, endpoint: RpcEndpoint, device_id: int,
-                 rpc_timeout_ns: float = 2_000_000.0):
+                 rpc_timeout_ns: float = 2_000_000.0,
+                 rpc_max_attempts: int = 4):
         self.endpoint = endpoint
         self.device_id = device_id
         self.rpc_timeout_ns = rpc_timeout_ns
+        # Transport-level retries (timeout / link flap); application-level
+        # rejections (DeviceGoneError) are never retried here — the
+        # orchestrator owns that decision.
+        self.rpc_max_attempts = rpc_max_attempts
 
     @property
     def is_remote(self) -> bool:
@@ -72,24 +78,26 @@ class RemoteDeviceHandle:
 
     def write_register(self, offset: int, value: int):
         """Process: forwarded register write, waits for the completion."""
-        reply = yield from self.endpoint.call(
+        reply = yield from self.endpoint.call_with_retry(
             MmioWrite(
-                request_id=self.endpoint.next_request_id(),
+                request_id=0,
                 device_id=self.device_id, addr=offset, value=value,
             ),
             timeout_ns=self.rpc_timeout_ns,
+            max_attempts=self.rpc_max_attempts,
         )
         if reply.status != 0:
             raise DeviceGoneError(self.device_id, reply.status)
 
     def read_register(self, offset: int):
         """Process: forwarded register read; returns the value."""
-        reply = yield from self.endpoint.call(
+        reply = yield from self.endpoint.call_with_retry(
             MmioRead(
-                request_id=self.endpoint.next_request_id(),
+                request_id=0,
                 device_id=self.device_id, addr=offset,
             ),
             timeout_ns=self.rpc_timeout_ns,
+            max_attempts=self.rpc_max_attempts,
         )
         if isinstance(reply, Completion):
             # The server answered with an error completion, not a value.
@@ -98,7 +106,7 @@ class RemoteDeviceHandle:
 
     def ring_doorbell(self, queue_id: int, index: int):
         """Process: fire-and-forget forwarded doorbell."""
-        yield from self.endpoint.send(
+        yield from self.endpoint.send_with_retry(
             Doorbell(
                 request_id=0, device_id=self.device_id,
                 queue_id=queue_id, index=index,
@@ -136,6 +144,7 @@ class DeviceServer:
         endpoint.on(MmioRead, self._handle_read)
         endpoint.on(Doorbell, self._handle_doorbell)
         self.forwarded_ops = 0
+        self.replies_lost = 0
 
     def export(self, device: PcieDevice) -> None:
         """Make a locally-attached device reachable through this server."""
@@ -150,6 +159,14 @@ class DeviceServer:
 
     # -- handlers (run as processes by the endpoint dispatcher) ----------------
 
+    def _reply(self, message):
+        """Process: best-effort reply; a lost reply becomes a client
+        timeout + retry rather than a dead handler process."""
+        try:
+            yield from self.endpoint.send_with_retry(message)
+        except (RpcError, LinkDownError):
+            self.replies_lost += 1
+
     def _handle_write(self, msg: MmioWrite):
         device = self._devices.get(msg.device_id)
         status = self.STATUS_OK
@@ -161,14 +178,14 @@ class DeviceServer:
                 self.forwarded_ops += 1
             except DeviceFailedError:
                 status = self.STATUS_FAILED_DEVICE
-        yield from self.endpoint.send(
+        yield from self._reply(
             Completion(request_id=msg.request_id, status=status)
         )
 
     def _handle_read(self, msg: MmioRead):
         device = self._devices.get(msg.device_id)
         if device is None:
-            yield from self.endpoint.send(
+            yield from self._reply(
                 Completion(request_id=msg.request_id,
                            status=self.STATUS_UNKNOWN_DEVICE)
             )
@@ -176,13 +193,13 @@ class DeviceServer:
         try:
             value = yield from device.mmio_read(msg.addr)
         except DeviceFailedError:
-            yield from self.endpoint.send(
+            yield from self._reply(
                 Completion(request_id=msg.request_id,
                            status=self.STATUS_FAILED_DEVICE)
             )
             return
         self.forwarded_ops += 1
-        yield from self.endpoint.send(
+        yield from self._reply(
             MmioReadReply(request_id=msg.request_id, value=value)
         )
 

@@ -1,0 +1,106 @@
+"""ChaosCampaign: seeded random fault schedules for soak testing.
+
+Draws every fault time, target, and outage length from one named stream
+of the simulator's :class:`~repro.sim.rand.RandomStreams`, so a campaign
+is fully determined by ``(simulator seed, stream name, config, pool
+topology)`` — two runs with the same seed inject the exact same chaos.
+
+Layout of a campaign window::
+
+    |-- warmup --|------------ active chaos ------------|-- settle --|
+    0        5% of T      (flaps, crashes, restarts)   T-settle     T
+
+Device and link flaps land anywhere in the active window and may
+overlap.  The agent crash and the orchestrator restart get disjoint
+sub-windows (agent early, orchestrator late) so the two recovery paths
+are each exercised cleanly.  The settle tail gives the control plane
+time to drain the pending-repair queue before assertions run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.spec import (
+    AgentCrash,
+    DeviceFlap,
+    FaultSchedule,
+    LinkFlap,
+    OrchestratorCrash,
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of one campaign."""
+
+    #: Total campaign length (ns).
+    duration_ns: float = 10_000_000_000.0
+    #: How many of each fault class to inject.
+    device_flaps: int = 6
+    link_flaps: int = 4
+    agent_crashes: int = 1
+    orchestrator_restarts: int = 1
+    #: Outage-length range for flaps and crash-to-restart delays (ns).
+    min_down_ns: float = 5_000_000.0
+    max_down_ns: float = 50_000_000.0
+    #: Quiet tail with no new faults, so recovery can complete (ns).
+    settle_ns: float = 1_500_000_000.0
+
+
+class ChaosCampaign:
+    """Generates a deterministic :class:`FaultSchedule` for one pool."""
+
+    def __init__(self, pool, config: ChaosConfig = ChaosConfig(),
+                 stream: str = "chaos"):
+        self.pool = pool
+        self.config = config
+        self.stream = stream
+
+    def schedule(self) -> FaultSchedule:
+        cfg = self.config
+        rng = self.pool.sim.rng.stream(self.stream)
+        start = 0.05 * cfg.duration_ns
+        end = max(start, cfg.duration_ns - cfg.settle_ns)
+        span = end - start
+        device_ids = sorted(self.pool._devices)
+        host_ids = list(self.pool.pod.host_ids)
+
+        def down_ns() -> float:
+            return float(rng.uniform(cfg.min_down_ns, cfg.max_down_ns))
+
+        faults: list = []
+        for _ in range(cfg.device_flaps):
+            if not device_ids:
+                break
+            device_id = device_ids[int(rng.integers(len(device_ids)))]
+            faults.append(DeviceFlap(
+                device_id=device_id,
+                at_ns=start + float(rng.uniform(0.0, span)),
+                down_ns=down_ns(),
+            ))
+        for _ in range(cfg.link_flaps):
+            host_id = host_ids[int(rng.integers(len(host_ids)))]
+            links = self.pool.pod.host(host_id).port.links
+            faults.append(LinkFlap(
+                host_id=host_id,
+                at_ns=start + float(rng.uniform(0.0, span)),
+                down_ns=down_ns(),
+                link_index=int(rng.integers(len(links))),
+            ))
+        for _ in range(cfg.agent_crashes):
+            host_id = host_ids[int(rng.integers(len(host_ids)))]
+            faults.append(AgentCrash(
+                host_id=host_id,
+                at_ns=start + float(rng.uniform(0.25, 0.40)) * span,
+                restart_after_ns=down_ns(),
+            ))
+        for _ in range(cfg.orchestrator_restarts):
+            faults.append(OrchestratorCrash(
+                at_ns=start + float(rng.uniform(0.55, 0.70)) * span,
+                restart_after_ns=down_ns(),
+            ))
+        return FaultSchedule(tuple(faults))
+
+    def __repr__(self) -> str:
+        return f"<ChaosCampaign stream={self.stream!r} {self.config}>"

@@ -1,0 +1,134 @@
+"""FaultInjector: apply fault schedules to a live pool on the sim clock.
+
+The injector only touches *mechanism*: it fails devices and links and
+kills daemon processes.  It never talks to the orchestrator on the
+victims' behalf — detection and recovery must come from the control
+plane itself (agent probes, heartbeat timeouts, the pending-repair
+queue, Resync).  That separation is what makes the chaos tests honest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.log import FaultLog
+from repro.faults.spec import (
+    AgentCrash,
+    DeviceCrash,
+    DeviceFlap,
+    FaultSchedule,
+    LinkFlap,
+    OrchestratorCrash,
+)
+
+
+class FaultInjector:
+    """Applies faults to one :class:`~repro.core.PciePool`."""
+
+    def __init__(self, pool, log: Optional[FaultLog] = None):
+        self.pool = pool
+        self.sim = pool.sim
+        self.log = log if log is not None else FaultLog()
+
+    # -- primitive verbs (immediate, also usable directly from tests) -------
+
+    def crash_device(self, device_id: int) -> None:
+        self.pool.device(device_id).fail()
+        self.log.record(self.sim.now, "DeviceCrash",
+                        f"device:{device_id}", "fail")
+
+    def repair_device(self, device_id: int) -> None:
+        self.pool.device(device_id).repair()
+        self.log.record(self.sim.now, "DeviceCrash",
+                        f"device:{device_id}", "repair")
+
+    def _links(self, host_id: str, link_index: Optional[int]):
+        links = self.pool.pod.host(host_id).port.links
+        if link_index is None:
+            return list(enumerate(links))
+        return [(link_index, links[link_index])]
+
+    def take_link_down(self, host_id: str,
+                       link_index: Optional[int] = None) -> None:
+        for idx, link in self._links(host_id, link_index):
+            link.fail()
+            self.log.record(self.sim.now, "LinkFlap",
+                            f"link:{host_id}/{idx}", "down")
+
+    def bring_link_up(self, host_id: str,
+                      link_index: Optional[int] = None) -> None:
+        for idx, link in self._links(host_id, link_index):
+            link.restore()
+            self.log.record(self.sim.now, "LinkFlap",
+                            f"link:{host_id}/{idx}", "up")
+
+    def crash_agent(self, host_id: str) -> None:
+        self.pool.crash_agent(host_id)
+        self.log.record(self.sim.now, "AgentCrash",
+                        f"agent:{host_id}", "crash")
+
+    def restart_agent(self, host_id: str) -> None:
+        self.pool.restart_agent(host_id)
+        self.log.record(self.sim.now, "AgentCrash",
+                        f"agent:{host_id}", "restart")
+
+    def crash_orchestrator(self) -> None:
+        self.pool.crash_orchestrator()
+        self.log.record(self.sim.now, "OrchestratorCrash",
+                        "orchestrator", "crash")
+
+    def restart_orchestrator(self):
+        """Process: restart + resync (delegates to the pool)."""
+        self.log.record(self.sim.now, "OrchestratorCrash",
+                        "orchestrator", "restart")
+        yield from self.pool.restart_orchestrator()
+
+    # -- schedule execution --------------------------------------------------
+
+    def run(self, schedule: FaultSchedule) -> list:
+        """Spawn one driver process per fault; returns the processes.
+
+        Each driver sleeps until its fault's ``at_ns``, applies it, then
+        (if the spec says so) sleeps again and undoes it.  Drivers are
+        independent, so overlapping faults compose naturally.
+        """
+        procs = []
+        for index, fault in enumerate(schedule.sorted()):
+            procs.append(self.sim.spawn(
+                self._drive(fault),
+                name=f"fault:{index}:{type(fault).__name__}",
+            ))
+        return procs
+
+    def _drive(self, fault):
+        delay = fault.at_ns - self.sim.now
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        if isinstance(fault, DeviceCrash):
+            self.crash_device(fault.device_id)
+            if fault.repair_after_ns is not None:
+                yield self.sim.timeout(fault.repair_after_ns)
+                self.repair_device(fault.device_id)
+        elif isinstance(fault, DeviceFlap):
+            self.crash_device(fault.device_id)
+            yield self.sim.timeout(fault.down_ns)
+            self.repair_device(fault.device_id)
+        elif isinstance(fault, LinkFlap):
+            self.take_link_down(fault.host_id, fault.link_index)
+            yield self.sim.timeout(fault.down_ns)
+            self.bring_link_up(fault.host_id, fault.link_index)
+        elif isinstance(fault, AgentCrash):
+            self.crash_agent(fault.host_id)
+            if fault.restart_after_ns is not None:
+                yield self.sim.timeout(fault.restart_after_ns)
+                self.restart_agent(fault.host_id)
+        elif isinstance(fault, OrchestratorCrash):
+            self.crash_orchestrator()
+            if fault.restart_after_ns is not None:
+                yield self.sim.timeout(fault.restart_after_ns)
+                yield from self.restart_orchestrator()
+        else:
+            raise TypeError(f"unknown fault spec {fault!r}")
+
+    def __repr__(self) -> str:
+        return f"<FaultInjector events={len(self.log)}>"

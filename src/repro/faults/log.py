@@ -1,0 +1,75 @@
+"""Append-only record of injected faults, for assertions and replay.
+
+Every action the :class:`~repro.faults.injector.FaultInjector` takes is
+recorded as a :class:`FaultEvent`.  Two runs with the same simulator seed
+and the same schedule must produce byte-identical logs — the
+:meth:`FaultLog.signature` digest is how the chaos tests check that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One applied fault action."""
+
+    #: Simulation time the action was applied.
+    at_ns: float
+    #: Fault class name (``"DeviceCrash"``, ``"LinkFlap"``, ...).
+    fault: str
+    #: What was hit: ``device:<id>``, ``link:<host>/<idx>``,
+    #: ``agent:<host>``, or ``orchestrator``.
+    target: str
+    #: What was done: ``fail``/``repair``, ``down``/``up``,
+    #: ``crash``/``restart``.
+    action: str
+
+    def line(self) -> str:
+        return f"{self.at_ns!r}|{self.fault}|{self.target}|{self.action}"
+
+
+class FaultLog:
+    """Ordered log of every injected fault action."""
+
+    def __init__(self) -> None:
+        self._events: list[FaultEvent] = []
+
+    def record(self, at_ns: float, fault: str, target: str,
+               action: str) -> FaultEvent:
+        event = FaultEvent(at_ns, fault, target, action)
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        return list(self._events)
+
+    def for_target(self, target: str) -> list[FaultEvent]:
+        return [e for e in self._events if e.target == target]
+
+    def actions(self, action: str) -> list[FaultEvent]:
+        return [e for e in self._events if e.action == action]
+
+    def signature(self) -> str:
+        """Deterministic digest of the full log (time, target, action).
+
+        Uses ``repr`` of the float timestamp, so two logs match only if
+        every action landed at the exact same simulated instant.
+        """
+        digest = hashlib.sha256()
+        for event in self._events:
+            digest.update(event.line().encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return f"<FaultLog events={len(self._events)}>"

@@ -1,0 +1,109 @@
+"""Declarative fault descriptions.
+
+A fault spec says *what* breaks and *when*; the
+:class:`~repro.faults.injector.FaultInjector` owns *how*.  All specs are
+frozen dataclasses so schedules are hashable, comparable, and printable —
+a chaos campaign is fully described by its spec list.
+
+Times are absolute simulation timestamps (ns).  ``*_after_ns`` delays are
+relative to the fault's own ``at_ns``; ``None`` means "never", i.e. the
+fault is permanent for the rest of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class DeviceCrash:
+    """A PCIe device stops responding; optionally repaired later."""
+
+    device_id: int
+    at_ns: float
+    repair_after_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DeviceFlap:
+    """A short device outage: fail at ``at_ns``, repair ``down_ns`` later."""
+
+    device_id: int
+    at_ns: float
+    down_ns: float
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """A CXL link outage on one host port.
+
+    ``link_index`` selects one of the host's MHD links; ``None`` takes
+    every link of the port down (the host is cut off from pool memory
+    entirely — rings, DMA buffers, everything).
+    """
+
+    host_id: str
+    at_ns: float
+    down_ns: float
+    link_index: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AgentCrash:
+    """The pooling-agent daemon on a host dies, losing its soft state."""
+
+    host_id: str
+    at_ns: float
+    restart_after_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class OrchestratorCrash:
+    """The orchestrator process dies; restarted ``restart_after_ns`` later.
+
+    A permanent orchestrator loss (``restart_after_ns=None``) leaves the
+    pool running headless: existing datapaths keep working, but no new
+    failovers happen.
+    """
+
+    at_ns: float
+    restart_after_ns: Optional[float] = None
+
+
+Fault = Union[DeviceCrash, DeviceFlap, LinkFlap, AgentCrash,
+              OrchestratorCrash]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered bundle of faults to inject in one run."""
+
+    faults: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def sorted(self) -> tuple:
+        """Faults by start time (stable for equal timestamps)."""
+        return tuple(sorted(self.faults, key=lambda f: f.at_ns))
+
+    @property
+    def window_ns(self) -> float:
+        """Time of the last scheduled *start* (not counting repairs)."""
+        if not self.faults:
+            return 0.0
+        return max(f.at_ns for f in self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __repr__(self) -> str:
+        kinds: dict[str, int] = {}
+        for f in self.faults:
+            kinds[type(f).__name__] = kinds.get(type(f).__name__, 0) + 1
+        body = " ".join(f"{k}x{v}" for k, v in sorted(kinds.items()))
+        return f"<FaultSchedule {len(self.faults)} faults: {body}>"

@@ -6,6 +6,13 @@ status reads, exactly what a userspace management daemon would do — and
 streams heartbeats, load reports, and failure events to the orchestrator
 over a shared-memory control channel.
 
+The agent is also the durable half of the control plane: it remembers the
+assignments its host has *adopted* (borrowed devices in active use) and
+its device inventory, and re-reports both whenever the orchestrator asks
+(Resync after an orchestrator restart) and periodically as a declarative
+announce, so a restarted orchestrator reconstructs its entire state from
+agents — "agents are the source of truth".
+
 The message types on the wire are the 61-byte structs from
 :mod:`repro.channel.messages`; both ends fit comfortably in single ring
 slots, which is what makes "offload both roles to SmartNICs" (§4.2) a
@@ -14,14 +21,19 @@ credible future step.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.channel.messages import (
+    AssignmentReport,
+    Completion,
+    DeviceAnnounce,
     DeviceFailure as DeviceFailureMsg,
     Heartbeat,
     LoadReport,
+    Resync,
+    kind_code,
+    kind_name,
 )
-from repro.channel.rpc import RpcEndpoint
+from repro.channel.rpc import RpcEndpoint, RpcError
+from repro.cxl.link import LinkDownError
 from repro.pcie.device import DeviceFailedError, PcieDevice
 from repro.sim import Interrupt, Simulator
 
@@ -30,21 +42,40 @@ REASON_MMIO_TIMEOUT = 1
 REASON_STATUS_BAD = 2
 
 
+def _kind_of(device: PcieDevice) -> str:
+    """Wire kind of a device, derived from its concrete class."""
+    return type(device).__name__.lower()
+
+
 class PoolingAgent:
     """Monitor + reporter for one host's local devices."""
 
     def __init__(self, sim: Simulator, host_id: str,
                  endpoint: RpcEndpoint,
-                 report_interval_ns: float = 10_000_000.0):
+                 report_interval_ns: float = 10_000_000.0,
+                 announce_every: int = 10):
         self.sim = sim
         self.host_id = host_id
         self.endpoint = endpoint
         self.report_interval_ns = report_interval_ns
+        # Declarative re-announce cadence (in report intervals): the
+        # eventual-consistency backstop if a Resync or failure event is
+        # lost to an outage.
+        self.announce_every = announce_every
+        #: Last orchestrator epoch this agent synced to (via Resync).
+        self.epoch = 0
         self._devices: dict[int, PcieDevice] = {}
         self._reported_failed: set[int] = set()
+        #: Assignments this host borrows: vid -> (device_id, kind, gen).
+        self._adopted: dict[int, tuple[int, str, int]] = {}
         self._loop = None
         self.reports_sent = 0
         self.failures_reported = 0
+        self.recoveries_reported = 0
+        self.resyncs = 0
+        self.send_failures = 0
+        self.link_errors = 0
+        endpoint.on(Resync, self._on_resync)
 
     def manage(self, device: PcieDevice) -> None:
         """Start monitoring a locally-attached device."""
@@ -58,6 +89,20 @@ class PoolingAgent:
     def unmanage(self, device_id: int) -> None:
         self._devices.pop(device_id, None)
 
+    # -- assignment adoption (borrower-side source of truth) ----------------
+
+    def adopt_assignment(self, virtual_id: int, device_id: int, kind: str,
+                         generation: int) -> None:
+        """Remember an assignment this host borrows (for resync replay)."""
+        self._adopted[virtual_id] = (device_id, kind, generation)
+
+    def abandon_assignment(self, virtual_id: int) -> None:
+        self._adopted.pop(virtual_id, None)
+
+    @property
+    def adopted_assignments(self) -> dict[int, tuple[int, str, int]]:
+        return dict(self._adopted)
+
     def start(self) -> None:
         if self._loop is not None:
             raise RuntimeError(f"agent {self.host_id} already started")
@@ -70,44 +115,105 @@ class PoolingAgent:
             self._loop.interrupt(cause="agent stopped")
         self._loop = None
 
+    def crash(self) -> None:
+        """Fault injection: the agent daemon dies, losing soft state.
+
+        A restarted daemon re-scans its bus (``manage``), re-learns its
+        adoptions from the pool layer, and re-announces — see
+        :meth:`repro.core.PciePool.restart_agent`.
+        """
+        self.stop()
+        self._devices = {}
+        self._reported_failed = set()
+        self._adopted = {}
+
     # -- monitoring ---------------------------------------------------------------
 
     def _monitor_loop(self):
+        ticks = 0
         try:
             while True:
-                yield from self._send_heartbeat()
-                for device in list(self._devices.values()):
-                    yield from self._check_device(device)
+                try:
+                    yield from self._send_heartbeat()
+                    for device in list(self._devices.values()):
+                        yield from self._check_device(device)
+                    if ticks % self.announce_every == 0:
+                        yield from self.announce()
+                except LinkDownError:
+                    # Control channel unreachable this tick; report again
+                    # next interval (retry layers already backed off).
+                    self.link_errors += 1
+                except RpcError:
+                    self.send_failures += 1
+                ticks += 1
                 yield self.sim.timeout(self.report_interval_ns)
         except Interrupt:
             return
 
+    def announce(self):
+        """Process: declaratively re-report inventory and adoptions."""
+        for device in sorted(self._devices.values(),
+                             key=lambda d: d.device_id):
+            yield from self.endpoint.send_with_retry(DeviceAnnounce(
+                request_id=0,
+                device_id=device.device_id,
+                kind_code=kind_code(_kind_of(device)),
+                healthy=0 if device.failed else 1,
+                epoch=self.epoch,
+            ))
+        for virtual_id in sorted(self._adopted):
+            device_id, kind, generation = self._adopted[virtual_id]
+            yield from self.endpoint.send_with_retry(AssignmentReport(
+                request_id=0,
+                virtual_id=virtual_id,
+                device_id=device_id,
+                kind_code=kind_code(kind),
+                generation=generation,
+                epoch=self.epoch,
+            ))
+
     def _send_heartbeat(self):
-        yield from self.endpoint.send(Heartbeat(
+        yield from self.endpoint.send_with_retry(Heartbeat(
             request_id=0,
             timestamp_us=int(self.sim.now / 1000.0),
             healthy=1,
+            epoch=self.epoch,
         ))
 
     def _check_device(self, device: PcieDevice):
         healthy = yield from self._probe(device)
         if not healthy:
             if device.device_id not in self._reported_failed:
-                self._reported_failed.add(device.device_id)
-                self.failures_reported += 1
-                yield from self.endpoint.send(DeviceFailureMsg(
+                # Report first, then mark: a send that dies mid-outage is
+                # retried on the next tick instead of being lost.
+                yield from self.endpoint.send_with_retry(DeviceFailureMsg(
                     request_id=0,
                     device_id=device.device_id,
                     reason=REASON_MMIO_TIMEOUT,
+                    epoch=self.epoch,
                 ))
+                self._reported_failed.add(device.device_id)
+                self.failures_reported += 1
             return
-        self._reported_failed.discard(device.device_id)
+        if device.device_id in self._reported_failed:
+            # The device recovered: announce it healthy so the
+            # orchestrator can retry assignments parked on its repair.
+            yield from self.endpoint.send_with_retry(DeviceAnnounce(
+                request_id=0,
+                device_id=device.device_id,
+                kind_code=kind_code(_kind_of(device)),
+                healthy=1,
+                epoch=self.epoch,
+            ))
+            self._reported_failed.discard(device.device_id)
+            self.recoveries_reported += 1
         utilization = device.utilization()
-        yield from self.endpoint.send(LoadReport(
+        yield from self.endpoint.send_with_retry(LoadReport(
             request_id=0,
             device_id=device.device_id,
             utilization_permille=min(1000, int(utilization * 1000)),
             queue_depth=0,
+            epoch=self.epoch,
         ))
         self.reports_sent += 1
 
@@ -119,12 +225,39 @@ class PoolingAgent:
             return False
         return status == PcieDevice.STATUS_OK
 
+    # -- resync (orchestrator restart) --------------------------------------
+
+    def _on_resync(self, msg: Resync):
+        """Process: adopt the new epoch and replay everything we know."""
+        self.epoch = msg.epoch
+        self.resyncs += 1
+        try:
+            yield from self._send_heartbeat()
+            yield from self.announce()
+            yield from self.endpoint.send_with_retry(
+                Completion(request_id=msg.request_id, status=0)
+            )
+        except (RpcError, LinkDownError):
+            # The orchestrator's call_with_retry will re-issue the Resync;
+            # the periodic announce covers the rest.
+            self.send_failures += 1
+
 
 def wire_control_channel(orchestrator, endpoint: RpcEndpoint,
                          host_id: str) -> None:
     """Register the orchestrator-side handlers for one agent's channel."""
 
-    def on_heartbeat(_msg: Heartbeat) -> None:
+    def dropped(msg) -> bool:
+        """Epoch fence: discard pre-crash event notifications."""
+        if orchestrator.down:
+            orchestrator.dropped_while_down += 1
+            return True
+        if getattr(msg, "epoch", orchestrator.epoch) != orchestrator.epoch:
+            orchestrator.stale_epoch_drops += 1
+            return True
+        return False
+
+    def on_heartbeat(msg: Heartbeat) -> None:
         orchestrator.ingest_heartbeat(host_id)
 
     def on_load(msg: LoadReport) -> None:
@@ -134,8 +267,27 @@ def wire_control_channel(orchestrator, endpoint: RpcEndpoint,
         )
 
     def on_failure(msg: DeviceFailureMsg) -> None:
+        # Failure *events* are epoch-fenced: one stamped before an
+        # orchestrator crash may describe a device repaired during the
+        # outage.  Current state arrives via (unfenced) announces.
+        if dropped(msg):
+            return
         orchestrator.ingest_device_failure(msg.device_id)
+
+    def on_announce(msg: DeviceAnnounce) -> None:
+        orchestrator.ingest_device_announce(
+            host_id, msg.device_id, kind_name(msg.kind_code),
+            bool(msg.healthy),
+        )
+
+    def on_assignment(msg: AssignmentReport) -> None:
+        orchestrator.ingest_assignment_report(
+            host_id, msg.virtual_id, msg.device_id,
+            kind_name(msg.kind_code), msg.generation,
+        )
 
     endpoint.on(Heartbeat, on_heartbeat)
     endpoint.on(LoadReport, on_load)
     endpoint.on(DeviceFailureMsg, on_failure)
+    endpoint.on(DeviceAnnounce, on_announce)
+    endpoint.on(AssignmentReport, on_assignment)

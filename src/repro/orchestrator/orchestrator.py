@@ -67,9 +67,21 @@ class Orchestrator:
         #: an assignment is (re)bound; old_device_id None on first bind.
         self._migration_subscribers: list[Callable] = []
         self._monitor = None
+        self._check_interval_ns = 10_000_000.0
+        #: virtual ids whose failover found no target; retried on device
+        #: repair, on new registrations, and every monitor tick.
+        self._pending_repair: set[int] = set()
+        #: restart generation, stamped into Resync and fenced against
+        #: pre-crash DeviceFailure events (wraps at the wire's one byte).
+        self.epoch = 0
+        #: True between crash() and restart(): all ingestion is dropped.
+        self.down = False
         # Counters for experiments.
         self.migrations = 0
         self.failovers = 0
+        self.repair_rebinds = 0
+        self.stale_epoch_drops = 0
+        self.dropped_while_down = 0
 
     # -- registry --------------------------------------------------------------
 
@@ -80,6 +92,9 @@ class Orchestrator:
             raise ValueError(f"device {device_id} already registered")
         self._records[device_id] = DeviceRecord(device_id, owner_host, kind)
         self.board.track(device_id, owner_host, kind)
+        # New capacity may unblock assignments stranded by a failed
+        # failover.
+        self._retry_pending_repairs()
 
     def deregister_device(self, device_id: int) -> None:
         self._records.pop(device_id, None)
@@ -121,10 +136,30 @@ class Orchestrator:
 
     def release(self, virtual_id: int) -> None:
         self._assignments.pop(virtual_id, None)
+        if virtual_id in self._pending_repair:
+            self._pending_repair.discard(virtual_id)
+            self._publish_degraded()
 
     @property
     def assignments(self) -> list[Assignment]:
         return [self._assignments[v] for v in sorted(self._assignments)]
+
+    @property
+    def degraded_assignments(self) -> int:
+        """Assignments currently parked on the pending-repair queue."""
+        return len(self._pending_repair)
+
+    def assignment_table(self) -> dict[int, tuple[str, str, int]]:
+        """Snapshot ``{virtual_id: (borrower, kind, device_id)}``.
+
+        Generation is deliberately excluded: it is bookkeeping that may
+        legitimately advance across an orchestrator restart, while the
+        mapping itself must survive (the restart acceptance criterion).
+        """
+        return {
+            a.virtual_id: (a.borrower_host, a.kind, a.device_id)
+            for a in self._assignments.values()
+        }
 
     def assignments_on(self, device_id: int) -> list[Assignment]:
         return [a for a in self.assignments if a.device_id == device_id]
@@ -137,41 +172,162 @@ class Orchestrator:
 
     def ingest_load_report(self, device_id: int, utilization: float,
                            queue_depth: int) -> None:
+        if self.down:
+            self.dropped_while_down += 1
+            return
         telemetry = self.board.get(device_id)
         if telemetry is not None:
             telemetry.observe(utilization, queue_depth, self.sim.now)
 
     def ingest_heartbeat(self, host_id: str) -> None:
+        if self.down:
+            self.dropped_while_down += 1
+            return
         self.board.heartbeat(host_id, self.sim.now)
 
     def ingest_device_failure(self, device_id: int) -> None:
         """An agent reported a dead device: fail over its borrowers."""
+        if self.down:
+            self.dropped_while_down += 1
+            return
         if self.board.get(device_id) is None:
             return
         self.board.mark_unhealthy(device_id)
         self._failover_device(device_id)
 
     def ingest_device_repaired(self, device_id: int) -> None:
+        if self.down:
+            self.dropped_while_down += 1
+            return
         self.board.mark_healthy(device_id)
+        # The promised repair retry: assignments stranded with no failover
+        # target get another chance now that capacity returned.
+        self._retry_pending_repairs()
+
+    def ingest_device_announce(self, host_id: str, device_id: int,
+                               kind: str, healthy: bool) -> None:
+        """Declarative device report from an agent (resync/recovery path).
+
+        Registers the device if this orchestrator incarnation has never
+        seen it, and reconciles its health with the agent's view.
+        """
+        if self.down:
+            self.dropped_while_down += 1
+            return
+        if device_id not in self._records:
+            self._records[device_id] = DeviceRecord(device_id, host_id,
+                                                    kind)
+            self.board.track(device_id, host_id, kind)
+        if healthy:
+            self.board.mark_healthy(device_id)
+            self._retry_pending_repairs()
+        else:
+            self.board.mark_unhealthy(device_id)
+            self._failover_device(device_id)
+
+    def ingest_assignment_report(self, host_id: str, virtual_id: int,
+                                 device_id: int, kind: str,
+                                 generation: int) -> None:
+        """Adopt a borrower-reported assignment (orchestrator restart).
+
+        Agents are the source of truth across restarts: each borrower
+        re-reports the assignments it holds and the table is rebuilt.
+        Reports at or below an already-known generation are ignored, so
+        replays and stale duplicates cannot roll the table back.
+        """
+        if self.down:
+            self.dropped_while_down += 1
+            return
+        existing = self._assignments.get(virtual_id)
+        if existing is not None:
+            if generation > existing.generation:
+                existing.device_id = device_id
+                existing.generation = generation
+            return
+        assignment = Assignment(
+            virtual_id=virtual_id,
+            borrower_host=host_id,
+            kind=kind,
+            device_id=device_id,
+            since_ns=self.sim.now,
+            generation=generation,
+        )
+        self._assignments[virtual_id] = assignment
+        self._next_virtual_id = max(self._next_virtual_id, virtual_id + 1)
+        telemetry = self.board.get(device_id)
+        if telemetry is not None and not telemetry.healthy:
+            # The device died while we were down: fail the adopted
+            # assignment over immediately.
+            self._failover_assignment(assignment)
 
     # -- failover & balancing ---------------------------------------------------------
 
     def _failover_device(self, device_id: int) -> None:
         for assignment in self.assignments_on(device_id):
+            self._failover_assignment(assignment)
+
+    def _failover_assignment(self, assignment: Assignment) -> None:
+        chosen = self.policy.choose(
+            assignment.borrower_host, assignment.kind, self.board,
+            self._active_counts(),
+        )
+        if chosen is None or chosen.device_id == assignment.device_id:
+            # Nothing to fail over to: park the assignment on the
+            # pending-repair queue; it is retried when a device is
+            # repaired or registered.
+            self._pending_repair.add(assignment.virtual_id)
+            self._publish_degraded()
+            return
+        old = assignment.device_id
+        assignment.device_id = chosen.device_id
+        assignment.since_ns = self.sim.now
+        assignment.generation += 1
+        self.failovers += 1
+        self._pending_repair.discard(assignment.virtual_id)
+        self._publish_degraded()
+        self._notify(assignment, old_device_id=old)
+
+    def _retry_pending_repairs(self) -> int:
+        """Re-place parked assignments; returns how many were healed."""
+        healed = 0
+        for virtual_id in sorted(self._pending_repair):
+            assignment = self._assignments.get(virtual_id)
+            if assignment is None:
+                self._pending_repair.discard(virtual_id)
+                continue
+            telemetry = self.board.get(assignment.device_id)
+            if telemetry is not None and telemetry.healthy:
+                # The original device came back.  Rebind in place (same
+                # device, new generation) so the borrower rebuilds its
+                # datapath on the repaired hardware.
+                assignment.since_ns = self.sim.now
+                assignment.generation += 1
+                self.repair_rebinds += 1
+                self._pending_repair.discard(virtual_id)
+                healed += 1
+                self._notify(assignment,
+                             old_device_id=assignment.device_id)
+                continue
             chosen = self.policy.choose(
                 assignment.borrower_host, assignment.kind, self.board,
                 self._active_counts(),
             )
-            if chosen is None:
-                # Nothing to fail over to; the assignment stays broken and
-                # will be retried when a device is repaired.
+            if chosen is None or chosen.device_id == assignment.device_id:
                 continue
             old = assignment.device_id
             assignment.device_id = chosen.device_id
             assignment.since_ns = self.sim.now
             assignment.generation += 1
             self.failovers += 1
+            self._pending_repair.discard(virtual_id)
+            healed += 1
             self._notify(assignment, old_device_id=old)
+        self._publish_degraded()
+        return healed
+
+    def _publish_degraded(self) -> None:
+        self.board.set_gauge("degraded_assignments",
+                             len(self._pending_repair))
 
     def rebalance_once(self, kind: str) -> bool:
         """Move one borrower from the hottest to the coldest device.
@@ -203,6 +359,7 @@ class Orchestrator:
         """Start the periodic monitor (dead agents, rebalancing)."""
         if self._monitor is not None:
             raise RuntimeError("orchestrator already started")
+        self._check_interval_ns = check_interval_ns
         self._monitor = self.sim.spawn(
             self._monitor_loop(check_interval_ns), name="orchestrator"
         )
@@ -212,6 +369,35 @@ class Orchestrator:
             self._monitor.interrupt(cause="orchestrator stopped")
         self._monitor = None
 
+    def crash(self) -> None:
+        """Fault injection: the orchestrator process dies.
+
+        All soft state — registry, assignment table, telemetry — is lost;
+        ingestion drops everything until :meth:`restart`.  The virtual id
+        counter survives (ids must stay unique across incarnations; think
+        of it as coming from durable storage or a coordination service).
+        """
+        self.stop()
+        self.down = True
+        self._records = {}
+        self._assignments = {}
+        self._pending_repair = set()
+        self.board = TelemetryBoard()
+
+    def restart(self) -> None:
+        """Come back up in a new epoch with an empty table.
+
+        State is reconstructed from agent re-reports (DeviceAnnounce /
+        AssignmentReport), solicited by a Resync broadcast — see
+        :meth:`repro.core.PciePool.restart_orchestrator`.
+        """
+        if not self.down:
+            raise RuntimeError("orchestrator is not down")
+        self.down = False
+        self.epoch = (self.epoch + 1) % 256
+        self._publish_degraded()
+        self.start(self._check_interval_ns)
+
     def _monitor_loop(self, interval_ns: float):
         try:
             while True:
@@ -220,6 +406,10 @@ class Orchestrator:
                         self.sim.now, self.heartbeat_timeout_ns):
                     for device_id in self.board.mark_host_down(host):
                         self._failover_device(device_id)
+                # Safety net: event-driven retries (repair, registration)
+                # can race an outage, so sweep the pending queue each tick.
+                if self._pending_repair:
+                    self._retry_pending_repairs()
                 for kind in {r.kind for r in self._records.values()}:
                     self.rebalance_once(kind)
         except Interrupt:

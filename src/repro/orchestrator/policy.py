@@ -29,6 +29,24 @@ class AllocationPolicy(Protocol):
         ...  # pragma: no cover
 
 
+#: Kinds whose assignment is exclusive.  A NIC VF's descriptor rings are
+#: programmed by exactly one driver; a second borrower would reset the
+#: queues out from under the first.  SSDs and accelerators are served
+#: request-by-request through the owner's device server and multiplex
+#: fine.
+EXCLUSIVE_KINDS = frozenset({"nic"})
+
+
+def _placeable(kind: str, candidates: list[DeviceTelemetry],
+               active_counts: Optional[dict[int, int]],
+               exclusive_kinds: frozenset,
+               ) -> list[DeviceTelemetry]:
+    if kind not in exclusive_kinds:
+        return candidates
+    counts = active_counts or {}
+    return [t for t in candidates if counts.get(t.device_id, 0) == 0]
+
+
 def _spread_key(active_counts: Optional[dict[int, int]]):
     counts = active_counts or {}
 
@@ -45,17 +63,21 @@ class LocalFirstPolicy:
     a fresh virtual function beats one that already has a driver.
     """
 
-    def __init__(self, local_load_threshold: float = 0.7):
+    def __init__(self, local_load_threshold: float = 0.7,
+                 exclusive_kinds: frozenset = EXCLUSIVE_KINDS):
         if not 0.0 < local_load_threshold <= 1.0:
             raise ValueError(
                 f"threshold must be in (0, 1], got {local_load_threshold}"
             )
         self.local_load_threshold = local_load_threshold
+        self.exclusive_kinds = exclusive_kinds
 
     def choose(self, host_id: str, kind: str, board: TelemetryBoard,
                active_counts: Optional[dict[int, int]] = None
                ) -> Optional[DeviceTelemetry]:
-        candidates = board.devices(kind=kind, healthy_only=True)
+        candidates = _placeable(kind,
+                                board.devices(kind=kind, healthy_only=True),
+                                active_counts, self.exclusive_kinds)
         if not candidates:
             return None
         key = _spread_key(active_counts)
@@ -72,10 +94,15 @@ class LocalFirstPolicy:
 class LeastUtilizedPolicy:
     """Always pick the pod-wide least-utilized healthy device."""
 
+    def __init__(self, exclusive_kinds: frozenset = EXCLUSIVE_KINDS):
+        self.exclusive_kinds = exclusive_kinds
+
     def choose(self, host_id: str, kind: str, board: TelemetryBoard,
                active_counts: Optional[dict[int, int]] = None
                ) -> Optional[DeviceTelemetry]:
-        candidates = board.devices(kind=kind, healthy_only=True)
+        candidates = _placeable(kind,
+                                board.devices(kind=kind, healthy_only=True),
+                                active_counts, self.exclusive_kinds)
         if not candidates:
             return None
         counts = active_counts or {}

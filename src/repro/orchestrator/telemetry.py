@@ -37,6 +37,24 @@ class TelemetryBoard:
     def __init__(self):
         self._devices: dict[int, DeviceTelemetry] = {}
         self._agent_heartbeat_ns: dict[str, float] = {}
+        self._counters: dict[str, float] = {}
+
+    # -- named counters / gauges -------------------------------------------
+
+    def bump(self, name: str, delta: float = 1.0) -> None:
+        """Increment a named counter (created at zero on first use)."""
+        self._counters[name] = self._counters.get(name, 0.0) + delta
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a named gauge to an absolute value."""
+        self._counters[name] = float(value)
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return dict(self._counters)
 
     # -- devices ---------------------------------------------------------
 

@@ -81,6 +81,10 @@ class PcieDevice:
         self.mmio_reads = 0
         self.mmio_writes = 0
         self.dma_bytes = 0
+        self.failures = 0
+        self.repairs = 0
+        self.failed_at_ns: Optional[float] = None
+        self.downtime_ns = 0.0
 
     # -- attachment ---------------------------------------------------------
 
@@ -109,11 +113,19 @@ class PcieDevice:
 
     def fail(self) -> None:
         """Fault injection: the device stops responding."""
+        if not self.failed:
+            self.failures += 1
+            self.failed_at_ns = self.sim.now
         self.failed = True
         self.bar.regs[self.REG_STATUS] = self.STATUS_FAILED
 
     def repair(self) -> None:
         """Bring the device back (e.g. after physical replacement)."""
+        if self.failed:
+            self.repairs += 1
+            if self.failed_at_ns is not None:
+                self.downtime_ns += self.sim.now - self.failed_at_ns
+            self.failed_at_ns = None
         self.failed = False
         self.bar.regs[self.REG_STATUS] = self.STATUS_OK
         self.on_reset()

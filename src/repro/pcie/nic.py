@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.pcie.device import PcieDevice
+from repro.cxl.link import LinkDownError
+from repro.pcie.device import DeviceFailedError, PcieDevice
 from repro.pcie.fabric import EthernetFrame, EthernetSwitch
 from repro.pcie.rings import (
     COMPLETION_BYTES,
@@ -104,10 +105,17 @@ class Nic(PcieDevice):
         self._tx_cq_index = 0
         self._rx_cq_index = 0
         self._engines: list = []
+        # PCIe-replay-style tolerance for CXL link flaps: a descriptor or
+        # completion DMA that hits a dead link is retried at this cadence
+        # instead of crashing the engine (rings may live in pool memory).
+        self.link_retry_ns = 100_000.0
+        self.link_retry_limit = 200
         # Telemetry.
         self.frames_sent = 0
         self.frames_received = 0
         self.frames_dropped_no_buffer = 0
+        self.frames_dropped_fault = 0
+        self.dma_link_retries = 0
         self.bytes_sent = 0
         self.bytes_received = 0
         self._busy_ns = 0.0
@@ -192,21 +200,41 @@ class Nic(PcieDevice):
         except Interrupt:
             return
 
+    def _dma_retry(self, op, *args):
+        """Process: DMA with bounded replay across short link outages."""
+        attempts = 0
+        while True:
+            try:
+                result = yield from op(*args)
+                return result
+            except LinkDownError:
+                attempts += 1
+                if attempts > self.link_retry_limit:
+                    raise
+                self.dma_link_retries += 1
+                yield self.sim.timeout(self.link_retry_ns)
+
     def _transmit_one(self, index: int, pipe_slot):
         try:
             ring = self._ring(self.REG_TX_RING)
             t0 = self.sim.now
-            raw_desc = yield from self.dma_read(
-                ring.entry_addr(index), DESCRIPTOR_BYTES
+            raw_desc = yield from self._dma_retry(
+                self.dma_read, ring.entry_addr(index), DESCRIPTOR_BYTES
             )
             desc = Descriptor.decode(raw_desc)
-            if desc.length > self.spec.mtu:
+            if desc.length <= 0 or desc.length > self.spec.mtu:
+                # Garbage or oversize descriptor (e.g. a slot a faulted
+                # driver never finished writing): error-complete it so the
+                # CQ sequence stays gapless.
                 yield from self._complete(
                     self.REG_TX_CQ, "_tx_cq_index", index,
-                    status=CompletionEntry.STATUS_ERROR, length=desc.length,
+                    status=CompletionEntry.STATUS_ERROR,
+                    length=max(0, desc.length),
                 )
                 return
-            payload = yield from self.dma_read(desc.addr, desc.length)
+            payload = yield from self._dma_retry(
+                self.dma_read, desc.addr, desc.length
+            )
             yield self.sim.timeout(self.spec.pipeline_ns)
             # Wire egress is the one serial stage: line rate.
             with self._wire.request() as wire:
@@ -224,6 +252,10 @@ class Nic(PcieDevice):
                 self.REG_TX_CQ, "_tx_cq_index", index,
                 status=CompletionEntry.STATUS_OK, length=desc.length,
             )
+        except (DeviceFailedError, LinkDownError):
+            # The device died (or the link never came back) mid-frame:
+            # drop it.  The control plane rebuilds the datapath.
+            self.frames_dropped_fault += 1
         finally:
             self._tx_pipe.release(pipe_slot)
 
@@ -268,8 +300,8 @@ class Nic(PcieDevice):
     def _receive_one(self, raw: bytes, index: int, pipe_slot):
         try:
             ring = self._ring(self.REG_RX_RING)
-            raw_desc = yield from self.dma_read(
-                ring.entry_addr(index), DESCRIPTOR_BYTES
+            raw_desc = yield from self._dma_retry(
+                self.dma_read, ring.entry_addr(index), DESCRIPTOR_BYTES
             )
             desc = Descriptor.decode(raw_desc)
             if len(raw) > desc.length:
@@ -280,13 +312,15 @@ class Nic(PcieDevice):
                 )
                 return
             yield self.sim.timeout(self.spec.pipeline_ns)
-            yield from self.dma_write(desc.addr, raw)
+            yield from self._dma_retry(self.dma_write, desc.addr, raw)
             self.frames_received += 1
             self.bytes_received += len(raw)
             yield from self._complete(
                 self.REG_RX_CQ, "_rx_cq_index", index,
                 status=CompletionEntry.STATUS_OK, length=len(raw),
             )
+        except (DeviceFailedError, LinkDownError):
+            self.frames_dropped_fault += 1
         finally:
             self._rx_pipe.release(pipe_slot)
 
@@ -305,7 +339,11 @@ class Nic(PcieDevice):
             index=desc_index % (1 << 16),
             length=length,
         )
-        yield from self.dma_write(cq.entry_addr(cq_index), entry.encode())
+        # The completion write is retried hard: a lost entry would leave a
+        # seq hole that wedges the driver's CQ poller forever.
+        yield from self._dma_retry(
+            self.dma_write, cq.entry_addr(cq_index), entry.encode()
+        )
         hint = (self.tx_cq_hint if cq_reg == self.REG_TX_CQ
                 else self.rx_cq_hint)
         hint.put(cq_index)

@@ -114,6 +114,15 @@ class Event:
         else:
             self.callbacks.append(fn)
 
+    def abandoned(self) -> None:
+        """Hook: the last waiter detached before the event triggered.
+
+        Called when an interrupt removes the final callback of a pending
+        event.  Sources holding the event in a wait queue (e.g.
+        :class:`~repro.sim.queues.Store`) override this to withdraw it, so
+        a dead waiter can never consume an item meant for a live one.
+        """
+
     def _process(self) -> None:
         """Invoke callbacks.  Called by the simulator exactly once."""
         callbacks, self.callbacks = self.callbacks, None

@@ -74,6 +74,11 @@ class Process(Event):
                 waited.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if not waited.callbacks and not waited.triggered:
+                # No live waiter left: let the event's source withdraw it
+                # (a Store removes the stale get/put so it cannot swallow
+                # an item meant for a later consumer).
+                waited.abandoned()
         self._waiting_on = None
         self._step(event)
 

@@ -22,6 +22,15 @@ class StorePut(Event):
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.sim, name="store-put")
         self.item = item
+        self._store = store
+
+    def abandoned(self) -> None:
+        # Waiter interrupted while blocked on a full store: withdraw the
+        # pending put so the item is not inserted on a dead one's behalf.
+        try:
+            self._store._puts.remove(self)
+        except ValueError:
+            pass
 
 
 class StoreGet(Event):
@@ -29,6 +38,17 @@ class StoreGet(Event):
                  predicate: Optional[Callable[[Any], bool]] = None):
         super().__init__(store.sim, name="store-get")
         self.predicate = predicate
+        self._store = store
+
+    def abandoned(self) -> None:
+        # Waiter interrupted while blocked on an empty store: withdraw the
+        # get so it cannot swallow an item meant for a live consumer (the
+        # classic stale-waiter leak: a torn-down driver's CQ poller would
+        # otherwise eat its replacement's wakeup hint).
+        try:
+            self._store._gets.remove(self)
+        except ValueError:
+            pass
 
 
 class Store:

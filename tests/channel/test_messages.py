@@ -4,7 +4,9 @@ import pytest
 
 from repro.channel.messages import (
     AssignDevice,
+    AssignmentReport,
     Completion,
+    DeviceAnnounce,
     DeviceFailure,
     Doorbell,
     Heartbeat,
@@ -13,7 +15,10 @@ from repro.channel.messages import (
     MmioRead,
     MmioReadReply,
     MmioWrite,
+    Resync,
     decode_message,
+    kind_code,
+    kind_name,
 )
 from repro.channel.ring import SLOT_PAYLOAD_BYTES
 
@@ -23,12 +28,17 @@ ALL_MESSAGES = [
     MmioReadReply(request_id=8, value=0xcafe),
     Doorbell(request_id=9, device_id=1, queue_id=2, index=511),
     Completion(request_id=9, status=0),
-    Heartbeat(request_id=1, timestamp_us=123456, healthy=1),
+    Heartbeat(request_id=1, timestamp_us=123456, healthy=1, epoch=3),
     LoadReport(request_id=2, device_id=1, utilization_permille=750,
-               queue_depth=12),
-    DeviceFailure(request_id=3, device_id=1, reason=2),
+               queue_depth=12, epoch=3),
+    DeviceFailure(request_id=3, device_id=1, reason=2, epoch=3),
     AssignDevice(request_id=4, virtual_id=0, device_id=5),
     Migrate(request_id=5, from_device=1, to_device=2),
+    Resync(request_id=6, epoch=4),
+    DeviceAnnounce(request_id=7, device_id=2, kind_code=1, healthy=1,
+                   epoch=4),
+    AssignmentReport(request_id=8, virtual_id=11, device_id=2,
+                     kind_code=1, generation=5, epoch=4),
 ]
 
 
@@ -55,6 +65,19 @@ def test_unknown_tag_rejected():
 def test_empty_payload_rejected():
     with pytest.raises(ValueError, match="empty"):
         decode_message(b"")
+
+
+def test_epoch_defaults_to_zero():
+    assert Heartbeat(request_id=1, timestamp_us=0, healthy=1).epoch == 0
+    assert DeviceFailure(request_id=1, device_id=1, reason=1).epoch == 0
+
+
+def test_kind_codes_roundtrip():
+    for kind in ("nic", "ssd", "accelerator"):
+        assert kind_name(kind_code(kind)) == kind
+    assert kind_code("toaster") == 0
+    assert kind_name(0) == "unknown"
+    assert kind_name(250) == "unknown"
 
 
 def test_large_values_roundtrip():

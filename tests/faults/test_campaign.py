@@ -1,0 +1,97 @@
+"""ChaosCampaign: seeded schedules are valid, in-window, deterministic."""
+
+from repro.core import PciePool
+from repro.faults import (
+    AgentCrash,
+    ChaosCampaign,
+    ChaosConfig,
+    DeviceFlap,
+    LinkFlap,
+    OrchestratorCrash,
+)
+from repro.sim import Simulator
+
+CFG = ChaosConfig(
+    duration_ns=1_000_000_000.0,
+    device_flaps=5,
+    link_flaps=3,
+    agent_crashes=1,
+    orchestrator_restarts=1,
+    min_down_ns=1_000_000.0,
+    max_down_ns=10_000_000.0,
+    settle_ns=200_000_000.0,
+)
+
+
+def make_pool(seed):
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=3)
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    return pool
+
+
+def test_schedule_matches_config_counts():
+    schedule = ChaosCampaign(make_pool(1), CFG).schedule()
+    by_type = {}
+    for fault in schedule:
+        by_type.setdefault(type(fault), []).append(fault)
+    assert len(by_type[DeviceFlap]) == 5
+    assert len(by_type[LinkFlap]) == 3
+    assert len(by_type[AgentCrash]) == 1
+    assert len(by_type[OrchestratorCrash]) == 1
+
+
+def test_faults_land_in_the_active_window():
+    schedule = ChaosCampaign(make_pool(2), CFG).schedule()
+    start = 0.05 * CFG.duration_ns
+    end = CFG.duration_ns - CFG.settle_ns
+    for fault in schedule:
+        assert start <= fault.at_ns <= end
+
+
+def test_agent_crash_precedes_orchestrator_restart():
+    """The two daemon faults get disjoint sub-windows so each recovery
+    path is exercised without the other mid-flight."""
+    for seed in range(5):
+        schedule = ChaosCampaign(make_pool(seed), CFG).schedule()
+        agent = next(f for f in schedule if isinstance(f, AgentCrash))
+        orch = next(f for f in schedule
+                    if isinstance(f, OrchestratorCrash))
+        assert agent.at_ns + agent.restart_after_ns < orch.at_ns
+
+
+def test_targets_and_outages_are_valid():
+    pool = make_pool(3)
+    schedule = ChaosCampaign(pool, CFG).schedule()
+    device_ids = set(pool._devices)
+    host_ids = set(pool.pod.host_ids)
+    for fault in schedule:
+        if isinstance(fault, DeviceFlap):
+            assert fault.device_id in device_ids
+            assert CFG.min_down_ns <= fault.down_ns <= CFG.max_down_ns
+        elif isinstance(fault, LinkFlap):
+            assert fault.host_id in host_ids
+            links = pool.pod.host(fault.host_id).port.links
+            assert 0 <= fault.link_index < len(links)
+        elif isinstance(fault, AgentCrash):
+            assert fault.host_id in host_ids
+
+
+def test_same_seed_identical_schedule():
+    a = ChaosCampaign(make_pool(7), CFG).schedule()
+    b = ChaosCampaign(make_pool(7), CFG).schedule()
+    assert a.faults == b.faults
+
+
+def test_different_seed_different_schedule():
+    a = ChaosCampaign(make_pool(7), CFG).schedule()
+    b = ChaosCampaign(make_pool(8), CFG).schedule()
+    assert a.faults != b.faults
+
+
+def test_stream_name_isolates_draws():
+    pool = make_pool(9)
+    a = ChaosCampaign(pool, CFG, stream="chaos-a").schedule()
+    b = ChaosCampaign(pool, CFG, stream="chaos-b").schedule()
+    assert a.faults != b.faults

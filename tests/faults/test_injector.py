@@ -1,0 +1,140 @@
+"""FaultInjector: schedules drive real pool state, deterministically."""
+
+from repro.core import PciePool
+from repro.faults import (
+    AgentCrash,
+    DeviceCrash,
+    DeviceFlap,
+    FaultInjector,
+    FaultSchedule,
+    LinkFlap,
+    OrchestratorCrash,
+)
+from repro.sim import Simulator
+
+
+def make_pool(seed=0, n_hosts=2):
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=n_hosts)
+    pnic = pool.add_nic("h0")
+    pool.start()
+    # The pool registers (and the injector targets) the VF, not the
+    # physical function wrapper.
+    return sim, pool, pool.device(pnic.device_id)
+
+
+def test_device_flap_fails_then_repairs():
+    sim, pool, nic = make_pool()
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        DeviceFlap(device_id=nic.device_id, at_ns=1_000_000.0,
+                   down_ns=2_000_000.0),
+    )))
+    sim.run(until=sim.timeout(500_000.0))
+    assert not nic.failed
+    sim.run(until=sim.timeout(1_000_000.0))  # now at 1.5 ms
+    assert nic.failed
+    sim.run(until=sim.timeout(2_000_000.0))  # now at 3.5 ms
+    assert not nic.failed
+    assert nic.failures == 1 and nic.repairs == 1
+    actions = [(e.at_ns, e.action) for e in injector.log]
+    assert actions == [(1_000_000.0, "fail"), (3_000_000.0, "repair")]
+    pool.stop()
+    sim.run()
+
+
+def test_permanent_device_crash_never_repairs():
+    sim, pool, nic = make_pool()
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        DeviceCrash(device_id=nic.device_id, at_ns=1_000_000.0),
+    )))
+    sim.run(until=sim.timeout(50_000_000.0))
+    assert nic.failed
+    assert [e.action for e in injector.log] == ["fail"]
+    pool.stop()
+    sim.run()
+
+
+def test_link_flap_single_and_all_links():
+    sim, pool, _nic = make_pool()
+    links = pool.pod.host("h1").port.links
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        LinkFlap(host_id="h1", at_ns=1_000_000.0, down_ns=1_000_000.0,
+                 link_index=0),
+        LinkFlap(host_id="h1", at_ns=5_000_000.0, down_ns=1_000_000.0),
+    )))
+    sim.run(until=sim.timeout(1_500_000.0))
+    assert not links[0].up
+    assert all(link.up for link in links[1:])
+    sim.run(until=sim.timeout(4_000_000.0))  # 5.5 ms: all-links flap
+    assert all(not link.up for link in links)
+    sim.run(until=sim.timeout(2_000_000.0))
+    assert all(link.up for link in links)
+    # One down/up pair per link touched.
+    downs = injector.log.actions("down")
+    ups = injector.log.actions("up")
+    assert len(downs) == len(ups) == 1 + len(links)
+    pool.stop()
+    sim.run()
+
+
+def test_agent_crash_and_restart_resumes_reporting():
+    sim, pool, nic = make_pool()
+    agent = pool.agents["h0"]
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        AgentCrash(host_id="h0", at_ns=5_000_000.0,
+                   restart_after_ns=10_000_000.0),
+    )))
+    sim.run(until=sim.timeout(10_000_000.0))  # mid-outage
+    reports_mid = agent.reports_sent
+    assert agent.adopted_assignments == {}
+    sim.run(until=sim.timeout(40_000_000.0))
+    assert agent.reports_sent > reports_mid  # reporting resumed
+    assert nic.device_id in agent._devices  # bus re-scan re-managed it
+    assert [e.action for e in injector.log] == ["crash", "restart"]
+    pool.stop()
+    sim.run()
+
+
+def test_orchestrator_crash_and_restart_bumps_epoch():
+    sim, pool, _nic = make_pool()
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        OrchestratorCrash(at_ns=5_000_000.0,
+                          restart_after_ns=10_000_000.0),
+    )))
+    sim.run(until=sim.timeout(10_000_000.0))
+    assert pool.orchestrator.down
+    sim.run(until=sim.timeout(60_000_000.0))
+    assert not pool.orchestrator.down
+    assert pool.orchestrator.epoch == 1
+    # Resync repopulated the registry from the owning agent.
+    assert [r.device_id for r in pool.orchestrator.devices] == [1]
+    pool.stop()
+    sim.run()
+
+
+def scenario_signature(seed):
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=2)
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    pool.start()
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        DeviceFlap(device_id=1, at_ns=2_000_000.0, down_ns=3_000_000.0),
+        LinkFlap(host_id="h1", at_ns=4_000_000.0, down_ns=2_000_000.0,
+                 link_index=0),
+        DeviceFlap(device_id=2, at_ns=6_000_000.0, down_ns=1_000_000.0),
+    )))
+    sim.run(until=sim.timeout(30_000_000.0))
+    pool.stop()
+    sim.run()
+    return injector.log.signature()
+
+
+def test_same_seed_same_fault_log():
+    assert scenario_signature(42) == scenario_signature(42)

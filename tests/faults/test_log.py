@@ -1,0 +1,67 @@
+"""FaultLog: ordering, filtering, and deterministic signatures."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultEvent, FaultLog
+
+
+def filled():
+    log = FaultLog()
+    log.record(100.0, "DeviceCrash", "device:1", "fail")
+    log.record(200.0, "LinkFlap", "link:h0/0", "down")
+    log.record(300.0, "LinkFlap", "link:h0/0", "up")
+    log.record(400.0, "DeviceCrash", "device:1", "repair")
+    return log
+
+
+def test_events_preserve_order():
+    log = filled()
+    assert [e.action for e in log] == ["fail", "down", "up", "repair"]
+    assert len(log) == 4
+
+
+def test_filter_by_target_and_action():
+    log = filled()
+    assert [e.at_ns for e in log.for_target("device:1")] == [100.0, 400.0]
+    assert [e.target for e in log.actions("down")] == ["link:h0/0"]
+
+
+def test_events_are_frozen():
+    log = filled()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        log.events[0].action = "tampered"
+
+
+def test_signature_identical_for_identical_logs():
+    assert filled().signature() == filled().signature()
+
+
+def test_signature_changes_with_any_field():
+    base = filled().signature()
+    for mutation in (
+        lambda log: log.record(500.0, "DeviceCrash", "device:2", "fail"),
+        lambda log: None,  # shorter log
+    ):
+        log = FaultLog()
+        log.record(100.0, "DeviceCrash", "device:1", "fail")
+        log.record(200.0, "LinkFlap", "link:h0/0", "down")
+        log.record(300.0, "LinkFlap", "link:h0/0", "up")
+        mutation(log)
+        assert log.signature() != base
+
+
+def test_signature_sensitive_to_timestamps():
+    a = FaultLog()
+    a.record(100.0, "DeviceCrash", "device:1", "fail")
+    b = FaultLog()
+    b.record(100.5, "DeviceCrash", "device:1", "fail")
+    assert a.signature() != b.signature()
+
+
+def test_record_returns_the_event():
+    log = FaultLog()
+    event = log.record(1.0, "AgentCrash", "agent:h0", "crash")
+    assert event == FaultEvent(1.0, "AgentCrash", "agent:h0", "crash")
+    assert log.events == [event]

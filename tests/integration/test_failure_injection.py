@@ -131,6 +131,10 @@ def test_repeated_failovers_walk_through_devices():
 
     def scenario():
         for _ in range(3):
+            # Fail the hardware too: a bare failure *report* against a
+            # healthy device would be reconciled back to healthy by the
+            # owning agent's next declarative announce.
+            pool.device(vnic.device_id).fail()
             pool.orchestrator.ingest_device_failure(vnic.device_id)
             yield sim.timeout(1_000_000.0)
             visited.append(vnic.device_id)

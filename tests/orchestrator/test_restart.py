@@ -1,0 +1,158 @@
+"""Orchestrator crash/restart: state reconstruction from agent reports,
+epoch fencing of stale events, and id uniqueness across incarnations."""
+
+import pytest
+
+from repro.channel.messages import DeviceFailure
+from repro.channel.rpc import RpcEndpoint
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.orchestrator import Orchestrator, wire_control_channel
+from repro.sim import Simulator
+
+
+def build():
+    sim = Simulator(seed=21)
+    orch = Orchestrator(sim)
+    orch.register_device(1, "h0", "nic")
+    orch.register_device(2, "h1", "nic")
+    a1 = orch.request_device("h2", "nic")
+    a2 = orch.request_device("h3", "nic")
+    return sim, orch, a1, a2
+
+
+def replay(orch, table, generations):
+    """What agents do on Resync: announce devices, re-report adoptions."""
+    orch.ingest_device_announce("h0", 1, "nic", healthy=True)
+    orch.ingest_device_announce("h1", 2, "nic", healthy=True)
+    for vid, (borrower, kind, device_id) in table.items():
+        orch.ingest_assignment_report(borrower, vid, device_id, kind,
+                                      generations[vid])
+
+
+def test_crash_wipes_soft_state_but_keeps_id_counter():
+    _sim, orch, a1, a2 = build()
+    next_before = orch._next_virtual_id
+    orch.crash()
+    assert orch.down
+    assert orch.assignments == []
+    assert orch.devices == []
+    assert orch._next_virtual_id == next_before
+
+
+def test_ingestion_dropped_while_down():
+    _sim, orch, _a1, _a2 = build()
+    orch.crash()
+    orch.ingest_heartbeat("h0")
+    orch.ingest_device_failure(1)
+    orch.ingest_device_announce("h0", 1, "nic", healthy=True)
+    orch.ingest_assignment_report("h2", 1, 1, "nic", 0)
+    assert orch.dropped_while_down == 4
+    assert orch.assignments == []
+
+
+def test_restart_requires_crash_first():
+    _sim, orch, _a1, _a2 = build()
+    with pytest.raises(RuntimeError, match="not down"):
+        orch.restart()
+
+
+def test_replayed_reports_reconstruct_the_table():
+    _sim, orch, a1, a2 = build()
+    table = orch.assignment_table()
+    generations = {a.virtual_id: a.generation for a in orch.assignments}
+    orch.crash()
+    orch.restart()
+    assert orch.epoch == 1
+    replay(orch, table, generations)
+    assert orch.assignment_table() == table
+    orch.stop()
+
+
+def test_replay_is_idempotent():
+    _sim, orch, a1, a2 = build()
+    table = orch.assignment_table()
+    generations = {a.virtual_id: a.generation for a in orch.assignments}
+    orch.crash()
+    orch.restart()
+    replay(orch, table, generations)
+    replay(orch, table, generations)  # duplicate replay (retried sends)
+    assert orch.assignment_table() == table
+    assert len(orch.assignments) == len(table)
+    orch.stop()
+
+
+def test_stale_generation_report_cannot_roll_back():
+    _sim, orch, a1, _a2 = build()
+    orch.ingest_assignment_report("h2", a1.virtual_id, 2, "nic",
+                                  generation=5)
+    assert a1.device_id == 2
+    # An older duplicate arrives afterwards: ignored.
+    orch.ingest_assignment_report("h2", a1.virtual_id, 1, "nic",
+                                  generation=3)
+    assert a1.device_id == 2
+    assert a1.generation == 5
+
+
+def test_virtual_ids_unique_across_incarnations():
+    _sim, orch, a1, a2 = build()
+    table = orch.assignment_table()
+    generations = {a.virtual_id: a.generation for a in orch.assignments}
+    orch.crash()
+    orch.restart()
+    replay(orch, table, generations)
+    # NIC assignment is exclusive, so give the new request its own VF.
+    orch.register_device(3, "h1", "nic")
+    a3 = orch.request_device("h2", "nic")
+    assert a3.virtual_id not in table
+    orch.stop()
+
+
+def test_adopted_assignment_on_dead_device_fails_over():
+    _sim, orch, _a1, _a2 = build()
+    orch.crash()
+    orch.restart()
+    orch.ingest_device_announce("h0", 1, "nic", healthy=False)
+    orch.ingest_device_announce("h1", 2, "nic", healthy=True)
+    orch.ingest_assignment_report("h2", 1, 1, "nic", 0)
+    # The device died during the outage: the adopted assignment must be
+    # failed over immediately, not trusted blindly.
+    assert orch.assignment_table()[1][2] == 2
+    assert orch.failovers == 1
+    orch.stop()
+
+
+def test_pre_crash_failure_event_is_epoch_fenced():
+    sim = Simulator(seed=22)
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=1,
+                                mhd_capacity=1 << 26))
+    orch = Orchestrator(sim)
+    orch_ep, agent_ep = RpcEndpoint.pair(pod, "h0", "h1", label="ctl")
+    wire_control_channel(orch, orch_ep, "h1")
+    orch.register_device(1, "h1", "nic")
+    orch.crash()
+    orch.restart()  # epoch is now 1
+    # The registry was wiped; the agent's announce re-registers it.
+    orch.ingest_device_announce("h1", 1, "nic", healthy=True)
+
+    def stale_sender():
+        # A failure event stamped with the pre-crash epoch 0: the device
+        # may have been repaired during the outage, so it must be fenced.
+        yield from agent_ep.send(DeviceFailure(
+            request_id=0, device_id=1, reason=1, epoch=0,
+        ))
+        yield sim.timeout(1_000_000.0)
+        yield from agent_ep.send(DeviceFailure(
+            request_id=0, device_id=1, reason=1, epoch=1,
+        ))
+        yield sim.timeout(1_000_000.0)
+
+    drops_before = orch.stale_epoch_drops
+    p = sim.spawn(stale_sender())
+    sim.run(until=p)
+    assert orch.stale_epoch_drops == drops_before + 1
+    # The current-epoch event went through.
+    assert not orch.board.get(1).healthy
+    orch.stop()
+    orch_ep.close()
+    agent_ep.close()
+    sim.run()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import FilterStore, Simulator, Store
+from repro.sim import FilterStore, Interrupt, Simulator, Store
 
 
 def test_store_fifo_order():
@@ -144,3 +144,96 @@ def test_filter_store_none_predicate_matches_any():
     ev = store.get()
     sim.run()
     assert ev.value == "anything"
+
+
+def test_interrupted_getter_does_not_swallow_items():
+    # The stale-waiter leak: a consumer interrupted while blocked on
+    # get() must be withdrawn from the wait queue, or the next put()
+    # hands its item to the dead process and live consumers starve.
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def doomed(sim, store):
+        try:
+            yield store.get()
+            got.append("doomed")  # pragma: no cover
+        except Interrupt:
+            pass
+
+    def survivor(sim, store):
+        item = yield store.get()
+        got.append(item)
+
+    def driver(sim, store, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt(cause="torn down")
+        yield sim.timeout(1.0)
+        yield store.put("payload")
+
+    victim = sim.spawn(doomed(sim, store))
+    sim.spawn(survivor(sim, store))
+    sim.spawn(driver(sim, store, victim))
+    sim.run()
+    assert got == ["payload"]
+    assert not store._gets
+
+
+def test_interrupted_putter_withdraws_pending_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put("occupant")
+    got = []
+
+    def doomed(sim, store):
+        try:
+            yield store.put("from-the-grave")
+            got.append("doomed")  # pragma: no cover
+        except Interrupt:
+            pass
+
+    def driver(sim, store, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt(cause="torn down")
+        yield sim.timeout(1.0)
+        got.append(store.try_get())
+        yield sim.timeout(1.0)
+        got.append(store.try_get())
+
+    victim = sim.spawn(doomed(sim, store))
+    sim.spawn(driver(sim, store, victim))
+    sim.run()
+    # Only the original occupant comes out; the dead putter's item and
+    # its queued put are both gone.
+    assert got == ["occupant", None]
+    assert not store._puts
+
+
+def test_interrupted_filter_getter_is_withdrawn():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def doomed(sim, store):
+        try:
+            yield store.get(lambda item: item == "match")
+            got.append("doomed")  # pragma: no cover
+        except Interrupt:
+            pass
+
+    def survivor(sim, store):
+        item = yield store.get(lambda item: item == "match")
+        got.append(item)
+
+    def driver(sim, store, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt(cause="torn down")
+        yield sim.timeout(1.0)
+        yield store.put("match")
+
+    victim = sim.spawn(doomed(sim, store))
+    sim.spawn(survivor(sim, store))
+    sim.spawn(driver(sim, store, victim))
+    sim.run()
+    assert got == ["match"]
+    assert not store._gets
