@@ -29,7 +29,7 @@ def coherence_experiment(n_records=300):
         stale = 0
         fresh = 0
 
-        def writer():
+        def writer(mode=mode):
             for version in range(1, n_records + 1):
                 record = _REC.pack(version, version * 7)
                 if mode == "disciplined":
@@ -38,7 +38,7 @@ def coherence_experiment(n_records=300):
                     yield from writer_region.publish_unsafe(0, record)
                 yield sim.timeout(5_000.0)
 
-        def reader():
+        def reader(mode=mode):
             nonlocal stale, fresh
             last_seen = 0
             for _ in range(n_records):

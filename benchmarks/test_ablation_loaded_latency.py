@@ -29,7 +29,7 @@ def loaded_latency_experiment(n_probes=300):
         latencies = []
         rng = sim.rng.stream("bg-arrivals")
 
-        def background():
+        def background(load_fraction=load_fraction):
             # Poisson stream of 4 KiB DMA writes at the target fraction
             # of the link's 30 GB/s.
             if load_fraction == 0.0:

@@ -19,7 +19,9 @@ crash+restart — and asserts that
 
 from repro.core import PciePool
 from repro.faults import ChaosCampaign, ChaosConfig, FaultInjector, FaultLog
-from repro.faults.spec import FaultSchedule, LinkFlap, OrchestratorCrash
+from repro.faults.spec import (
+    FaultSchedule, LinkFlap, MhdCrash, MhdDegrade, OrchestratorCrash,
+)
 from repro.sim import Simulator
 
 from .conftest import banner, run_once
@@ -187,4 +189,201 @@ def test_chaos_campaign_self_heals(benchmark):
     assert rerun["signature"] == result["signature"]
     assert rerun["events"] == result["events"]
     check(rerun)
+    print("determinism          same-seed rerun: fault log identical")
+
+
+# -- memory-RAS soaks: MHD loss at λ=1, degraded mode at λ=0 ----------------
+
+MHD_SEED = 23
+
+MHD_CONFIG = ChaosConfig(
+    duration_ns=6_000_000_000.0,
+    device_flaps=0,                 # isolate the memory-side story
+    link_flaps=0,
+    agent_crashes=0,
+    orchestrator_restarts=0,
+    min_down_ns=20_000_000.0,
+    max_down_ns=120_000_000.0,
+    settle_ns=2_000_000_000.0,
+    mhd_crashes=1,                  # permanent: λ=1 must absorb it
+    mhd_degrades=1,
+    mem_poisons=3,
+)
+
+
+def run_ras_campaign(seed: int, n_mhds: int) -> dict:
+    """One memory-RAS soak; λ = n_mhds - 1 spare failure domains."""
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=4, n_mhds=n_mhds,
+                    ctl_poll_ns=200_000.0, dev_poll_ns=50_000.0)
+    pool.add_nic("h0")
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    pool.start()
+
+    vnics = {host: pool.open_nic(host) for host in TRAFFIC_HOSTS}
+
+    def bring_up():
+        for vnic in vnics.values():
+            yield from vnic.start()
+
+    sim.run(until=sim.spawn(bring_up(), name="bring-up"))
+
+    schedule = ChaosCampaign(pool, MHD_CONFIG).schedule()
+    crashes = [f for f in schedule if isinstance(f, MhdCrash)]
+
+    # Snapshot the table just before the (first) MHD dies; with no MHD
+    # crash in the schedule (λ=0) snapshot mid-window instead.
+    snap_at = (min(f.at_ns for f in crashes) - 1_000_000.0 if crashes
+               else 0.5 * MHD_CONFIG.duration_ns)
+    pre_crash_table: dict = {}
+
+    def watcher():
+        yield sim.timeout(snap_at - sim.now)
+        pre_crash_table.update(pool.orchestrator.assignment_table())
+
+    sim.spawn(watcher(), name="table-watcher")
+
+    log = FaultLog()
+    FaultInjector(pool, log=log).run(schedule)
+    sim.run(until=sim.timeout(MHD_CONFIG.duration_ns - sim.now))
+
+    final_table = pool.orchestrator.assignment_table()
+    degraded = pool.orchestrator.degraded_assignments
+    dead_mhds = [f.mhd_index for f in crashes]
+
+    received: dict[str, bytes] = {}
+
+    def traffic_ring():
+        socks = {h: vnics[h].stack.bind(7) for h in TRAFFIC_HOSTS}
+        for i, host in enumerate(TRAFFIC_HOSTS):
+            nxt = TRAFFIC_HOSTS[(i + 1) % len(TRAFFIC_HOSTS)]
+            yield from socks[host].sendto(
+                f"alive:{host}".encode(), vnics[nxt].mac, 7)
+        for host in TRAFFIC_HOSTS:
+            payload, _mac, _port = yield from socks[host].recv()
+            received[host] = payload
+
+    sim.run(until=sim.spawn(traffic_ring(), name="traffic-ring"))
+
+    from repro.channel.rpc import RpcEndpoint
+    live_footprints = [
+        ep.mhd_footprint()
+        for wired in pool._device_servers.values()
+        for ep in wired if isinstance(ep, RpcEndpoint)
+    ]
+    result = {
+        "signature": log.signature(),
+        "events": [e.line() for e in log],
+        "pre_crash_table": dict(pre_crash_table),
+        "final_table": final_table,
+        "degraded": degraded,
+        "received": dict(received),
+        "ras": pool.export_ras_telemetry(),
+        "dead_mhds": dead_mhds,
+        "live_footprints": live_footprints,
+        "channels_rebuilt": pool.channels_rebuilt,
+        "mhd_failures_seen": pool.orchestrator.mhd_failures_seen,
+        "failovers": pool.orchestrator.failovers,
+        "link_bandwidth_ok": all(
+            not link.degraded
+            for mhd in pool.pod.mhds for link in mhd.links),
+    }
+    pool.stop()
+    sim.run()
+    return result
+
+
+def check_ras(result: dict, expect_crash: bool) -> None:
+    # Zero lost assignments: the pre-crash table survives intact.
+    assert result["pre_crash_table"], "watcher never snapshotted"
+    for vid, (borrower, kind, _dev) in result["pre_crash_table"].items():
+        assert vid in result["final_table"], f"vid {vid} lost to MHD crash"
+        post_borrower, post_kind, _post_dev = result["final_table"][vid]
+        assert (post_borrower, post_kind) == (borrower, kind)
+    assert result["degraded"] == 0
+    # Traffic still flows end-to-end with exact payloads — corruption
+    # that slipped past the integrity layer would surface right here.
+    prev = {TRAFFIC_HOSTS[(i + 1) % len(TRAFFIC_HOSTS)]: h
+            for i, h in enumerate(TRAFFIC_HOSTS)}
+    for host in TRAFFIC_HOSTS:
+        assert result["received"][host] == f"alive:{prev[host]}".encode()
+    # Zero undetected corruption: every poisoned line is accounted for —
+    # either scrubbed by a later write or still resident (and it would
+    # raise, not return garbage, if read).
+    ras = result["ras"]
+    assert ras["ras.poisons_injected"] == MHD_CONFIG.mem_poisons
+    assert ras["ras.poisons_injected"] == (
+        ras["ras.poisons_scrubbed"] + ras["ras.poisoned_resident"])
+    if expect_crash:
+        assert result["dead_mhds"], "λ=1 schedule must include an MhdCrash"
+        assert result["mhd_failures_seen"] == len(set(result["dead_mhds"]))
+        assert result["channels_rebuilt"] > 0
+        # Every surviving channel re-homed onto healthy media.
+        for footprint in result["live_footprints"]:
+            assert not (footprint & set(result["dead_mhds"]))
+        assert ras["ras.mhds_down_now"] == len(set(result["dead_mhds"]))
+    else:
+        assert not result["dead_mhds"]  # λ=0: campaign refuses the crash
+        assert ras["ras.mhds_down_now"] == 0
+    # Degrades were injected and fully restored by campaign end.
+    assert result["link_bandwidth_ok"]
+
+
+def test_mhd_loss_soak_lambda1(benchmark):
+    """λ=1: a permanent MHD crash plus poison and throttling — zero lost
+    assignments, zero undetected corruption."""
+    result = run_once(benchmark, run_ras_campaign, MHD_SEED, 2)
+
+    banner(f"MHD-loss soak: λ=1, permanent crash (seed={MHD_SEED})")
+    for line in result["events"]:
+        at_ns, fault, target, action = line.split("|")
+        print(f"  [{float(at_ns) / 1e6:9.2f} ms] {fault:<18} "
+              f"{target:<16} {action}")
+    print(f"{'channels rebuilt':<24}{result['channels_rebuilt']}")
+    print(f"{'host failovers':<24}{result['failovers']}")
+    ras = result["ras"]
+    print(f"{'poison accounting':<24}"
+          f"{ras['ras.poisons_injected']:.0f} injected = "
+          f"{ras['ras.poisons_scrubbed']:.0f} scrubbed + "
+          f"{ras['ras.poisoned_resident']:.0f} resident")
+    print(f"{'detected slot losses':<24}"
+          f"{ras['ring.poison_hits']:.0f} poison, "
+          f"{ras['ring.crc_rejects']:.0f} crc, "
+          f"{ras['rpc.slot_corruptions']:.0f} rpc-visible")
+    print(f"{'assignments preserved':<24}{len(result['pre_crash_table'])}"
+          f"/{len(result['pre_crash_table'])} across MHD loss")
+
+    check_ras(result, expect_crash=True)
+
+    rerun = run_ras_campaign(MHD_SEED, 2)
+    assert rerun["signature"] == result["signature"]
+    assert rerun["events"] == result["events"]
+    check_ras(rerun, expect_crash=True)
+    print("determinism          same-seed rerun: fault log identical")
+
+
+def test_degraded_mode_soak_lambda0(benchmark):
+    """λ=0: one MHD, no spare failure domain.  The campaign refuses to
+    draw a fatal crash; throttling and poison degrade bandwidth but
+    never lose data."""
+    result = run_once(benchmark, run_ras_campaign, MHD_SEED, 1)
+
+    banner(f"Degraded-mode soak: λ=0, single MHD (seed={MHD_SEED})")
+    for line in result["events"]:
+        at_ns, fault, target, action = line.split("|")
+        print(f"  [{float(at_ns) / 1e6:9.2f} ms] {fault:<18} "
+              f"{target:<16} {action}")
+    ras = result["ras"]
+    print(f"{'poison accounting':<24}"
+          f"{ras['ras.poisons_injected']:.0f} injected = "
+          f"{ras['ras.poisons_scrubbed']:.0f} scrubbed + "
+          f"{ras['ras.poisoned_resident']:.0f} resident")
+    print(f"{'bandwidth restored':<24}{result['link_bandwidth_ok']}")
+
+    check_ras(result, expect_crash=False)
+
+    rerun = run_ras_campaign(MHD_SEED, 1)
+    assert rerun["signature"] == result["signature"]
+    check_ras(rerun, expect_crash=False)
     print("determinism          same-seed rerun: fault log identical")

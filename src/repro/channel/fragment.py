@@ -1,4 +1,4 @@
-"""Fragmentation: carry arbitrary-size payloads over 61 B ring slots.
+"""Fragmentation: carry arbitrary-size payloads over 57 B ring slots.
 
 Ring slots are one cacheline; control-plane payloads that exceed one
 slot (migration state snapshots, bulk telemetry) are split into numbered
@@ -6,11 +6,11 @@ fragments and reassembled on the far side.  The SPSC ring already
 guarantees ordered, lossless delivery, so the wire format only needs a
 stream id plus first/last markers.
 
-Fragment layout (within the 61 B slot payload)::
+Fragment layout (within the 57 B slot payload)::
 
     byte  0     : flags (bit0 = first fragment, bit1 = last fragment)
     bytes 1..4  : stream id (LE u32)
-    bytes 5..60 : chunk (<= 56 B)
+    bytes 5..56 : chunk (<= 52 B)
 """
 
 from __future__ import annotations
@@ -20,7 +20,7 @@ import struct
 from repro.channel.ring import SLOT_PAYLOAD_BYTES, RingReceiver, RingSender
 
 _HDR = struct.Struct("<BI")
-CHUNK_BYTES = SLOT_PAYLOAD_BYTES - _HDR.size  # 56
+CHUNK_BYTES = SLOT_PAYLOAD_BYTES - _HDR.size  # 52
 
 _FLAG_FIRST = 1
 _FLAG_LAST = 2

@@ -1,7 +1,7 @@
 """Fixed-size wire formats for ring-channel messages.
 
-Every message encodes to at most 61 B so it fits one ring slot (one
-cacheline including the slot header).  The set mirrors what the datapath
+Every message encodes to at most 57 B so it fits one ring slot (one
+cacheline including the slot header and its CRC).  The set mirrors what the datapath
 and orchestrator need to forward between hosts:
 
 * device-memory operations from remote hosts — MMIO reads/writes and

@@ -85,7 +85,7 @@ def run_pingpong(n_messages: int = 2000, seed: int = 0,
     rng = sim.rng.stream("pingpong-jitter")
 
     def client(sim):
-        for i in range(n_messages):
+        for _ in range(n_messages):
             stamp = _STAMP.pack(sim.now)
             yield from ping.sender.send(stamp)
             yield from pong.receiver.recv(poll_overhead_ns)

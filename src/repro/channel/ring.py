@@ -9,7 +9,8 @@ Each slot is one cacheline::
 
     byte  0      : sequence tag (1 + pass_number % 250; 0 = never written)
     bytes 1..2   : payload length (LE)
-    bytes 3..63  : payload (<= 61 B)
+    bytes 3..6   : CRC32 over bytes 0..2 + payload (LE)
+    bytes 7..63  : payload (<= 57 B)
 
 The sender writes a complete slot with a single non-temporal 64 B store —
 the tag and payload become visible at the device atomically, so a receiver
@@ -17,6 +18,16 @@ can never observe a half-written message (matching the paper's "64 B slots
 sized to cacheline granularity").  The sequence tag encodes the ring pass,
 so slot reuse never looks like a new message and the receiver never
 re-consumes an old one.
+
+Memory RAS: the per-slot CRC makes corruption *detectable* — a torn write
+(e.g. an interleaved layout splitting a slot across devices, or a partial
+media scrub) or any bit damage fails the CRC and surfaces as
+:class:`SlotCorruptionError` instead of a silently-garbled message.  A
+poisoned slot line surfaces the same way (the media refuses the read).
+Either way the receiver *advances past* the damaged slot and counts it;
+end-to-end recovery is the sender's job — RPC callers retransmit with a
+fresh request id (see :meth:`repro.channel.rpc.RpcEndpoint.call_with_retry`),
+and the sender's next pass over the slot scrubs the poison by overwriting.
 
 Flow control: the receiver periodically publishes its consumed count into
 the progress line; a sender that catches up with ``consumed + N`` polls
@@ -27,23 +38,64 @@ producer, single consumer, each variable written by exactly one side.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 
 from repro.cxl.address import CACHELINE_BYTES
 from repro.cxl.coherence import SharedRegion
+from repro.cxl.device import PoisonedMemoryError
 from repro.cxl.link import LinkDownError
+from repro.sim.errors import SimError
 
+#: seq tag, payload length, CRC32 of (tag, length, payload).
+_HEADER = struct.Struct("<BHI")
 #: Maximum payload carried by one slot.
-SLOT_PAYLOAD_BYTES = CACHELINE_BYTES - 3
+SLOT_PAYLOAD_BYTES = CACHELINE_BYTES - _HEADER.size
 #: Sequence tags cycle through 1..250 (0 means "never written").
 _SEQ_PERIOD = 250
 
-_HEADER = struct.Struct("<BH")
 _PROGRESS = struct.Struct("<Q")
+
+
+def _slot_crc(seq: int, payload: bytes) -> int:
+    return zlib.crc32(bytes((seq,)) + len(payload).to_bytes(2, "little")
+                      + payload)
 
 
 class RingFullError(RuntimeError):
     """Raised by non-blocking sends when the ring has no free slot."""
+
+
+class ChannelRetiredError(LinkDownError):
+    """The ring's backing memory was freed; this half is permanently dead.
+
+    Subclasses :class:`LinkDownError` so every existing containment site
+    (RPC retry loops, dispatcher backoff, netstack fault paths) treats a
+    retired channel like a dead link.  Raising — instead of silently
+    writing — matters: after a channel rebuild the old allocation may
+    already back someone else's ring, and a stale in-flight sender would
+    otherwise scribble CRC-valid frames into recycled memory.
+    """
+
+    def __init__(self, ring_name: str):
+        SimError.__init__(self, f"ring {ring_name}: channel retired")
+        self.link = None
+
+
+class SlotCorruptionError(SimError):
+    """A ring slot was damaged in pool memory (poison or failed CRC).
+
+    The damage was *detected* — the message is lost but never delivered
+    corrupt.  The receiver has already advanced past the slot when this
+    raises; callers recover end-to-end (RPC retransmit).
+    """
+
+    def __init__(self, ring_name: str, slot_number: int, reason: str):
+        super().__init__(
+            f"ring {ring_name}: slot {slot_number} corrupt ({reason})"
+        )
+        self.slot_number = slot_number
+        self.reason = reason
 
 
 @dataclass(frozen=True)
@@ -85,22 +137,39 @@ class RingChannel:
         self.layout = layout
         self.sender = RingSender(sender_region, layout)
         self.receiver = RingReceiver(receiver_region, layout)
+        #: Filled in by :meth:`over_pod` for recovery bookkeeping.
+        self.alloc = None
+        self.mhd_index: int | None = None
+
+    def retire(self) -> None:
+        """Permanently kill both halves (called before freeing memory)."""
+        self.sender.retired = True
+        self.receiver.retired = True
 
     @classmethod
     def over_pod(cls, pod, sender_host: str, receiver_host: str,
                  n_slots: int = 64, label: str = "") -> "RingChannel":
-        """Allocate pool memory and build a ring between two hosts."""
+        """Allocate pool memory and build a ring between two hosts.
+
+        λ-redundant placement: the ring is *confined* to a single healthy
+        MHD (round-robin across devices), so losing one MHD kills only the
+        channels that lived on it — never all of them at once — and the
+        survivors carry the recovery traffic.
+        """
         layout = RingLayout(n_slots)
-        alloc = pod.allocate(
+        alloc = pod.allocate_confined(
             layout.region_bytes,
             owners=[sender_host, receiver_host],
             label=label or f"ring:{sender_host}->{receiver_host}",
         )
-        return cls(
+        channel = cls(
             SharedRegion(pod.host(sender_host), alloc),
             SharedRegion(pod.host(receiver_host), alloc),
             n_slots=n_slots,
         )
+        channel.alloc = alloc
+        channel.mhd_index = pod.mhd_of(alloc.range.base)
+        return channel
 
 
 def _seq_for_pass(pass_number: int) -> int:
@@ -124,6 +193,10 @@ class RingSender:
         self.link_retry_poll_ns = 100_000.0
         self.max_link_retries = 20_000
         self.link_retries = 0
+        # RAS telemetry: poisoned progress line observed (and scrubbed).
+        self.poison_hits = 0
+        #: Set when the channel's memory is freed: all sends must fail.
+        self.retired = False
 
     @property
     def backlog(self) -> int:
@@ -131,7 +204,7 @@ class RingSender:
         return self._head - self._known_consumed
 
     def send(self, payload: bytes, poll_interval_ns: float = 50.0):
-        """Process: enqueue ``payload`` (<= 61 B), blocking while full.
+        """Process: enqueue ``payload`` (<= 57 B), blocking while full.
 
         Safe for multiple sender *processes* on the same host: the slot
         index is reserved synchronously before any yield, so concurrent
@@ -144,6 +217,8 @@ class RingSender:
             )
         sim = self.region.memsys.sim
         while True:
+            if self.retired:
+                raise ChannelRetiredError(self.region.memsys.host_id)
             if self._head - self._known_consumed < self.layout.n_slots:
                 slot_number = self._head
                 self._head += 1  # reserve before yielding
@@ -168,6 +243,8 @@ class RingSender:
             raise ValueError(
                 f"payload of {len(payload)} B exceeds slot capacity"
             )
+        if self.retired:
+            raise ChannelRetiredError(self.region.memsys.host_id)
         if self._head - self._known_consumed >= self.layout.n_slots:
             yield from self._refresh_progress()
             if self._head - self._known_consumed >= self.layout.n_slots:
@@ -182,11 +259,14 @@ class RingSender:
         index = slot_number % self.layout.n_slots
         seq = _seq_for_pass(slot_number // self.layout.n_slots)
         slot = bytearray(CACHELINE_BYTES)
-        _HEADER.pack_into(slot, 0, seq, len(payload))
-        slot[3:3 + len(payload)] = payload
+        _HEADER.pack_into(slot, 0, seq, len(payload),
+                          _slot_crc(seq, payload))
+        slot[_HEADER.size:_HEADER.size + len(payload)] = payload
         sim = self.region.memsys.sim
         attempts = 0
         while True:
+            if self.retired:
+                raise ChannelRetiredError(self.region.memsys.host_id)
             try:
                 # One NT store: tag + payload land atomically at the device.
                 yield from self.region.publish(
@@ -202,9 +282,22 @@ class RingSender:
         self.sent += 1
 
     def _refresh_progress(self):
-        raw = yield from self.region.consume_uncached(
-            self.layout.progress_offset, _PROGRESS.size
-        )
+        try:
+            raw = yield from self.region.consume_uncached(
+                self.layout.progress_offset, _PROGRESS.size
+            )
+        except PoisonedMemoryError:
+            # The progress line itself is poisoned.  Scrub it with our own
+            # conservative view of the consumed count (the receiver only
+            # ever publishes larger values, and both sides take the max),
+            # so a full-ring sender can never deadlock on a poisoned line.
+            self.poison_hits += 1
+            line = bytearray(CACHELINE_BYTES)
+            _PROGRESS.pack_into(line, 0, self._known_consumed)
+            yield from self.region.publish(
+                self.layout.progress_offset, bytes(line)
+            )
+            return
         (consumed,) = _PROGRESS.unpack(raw)
         self._known_consumed = max(self._known_consumed, consumed)
 
@@ -226,26 +319,66 @@ class RingReceiver:
         # a flap can never deadlock a sender waiting for ring space.
         self._progress_dirty = False
         self.deferred_progress = 0
+        #: Set when the channel's memory is freed: all receives must fail.
+        self.retired = False
+        # RAS telemetry: detected-and-discarded slots.
+        self.poison_hits = 0
+        self.crc_rejects = 0
+        self.lost_slots = 0
 
     def try_recv(self):
-        """Process: poll the current slot once; returns payload or None."""
+        """Process: poll the current slot once; returns payload or None.
+
+        Raises :class:`SlotCorruptionError` when the current slot is
+        damaged (poisoned line or CRC mismatch).  The slot has already
+        been consumed (tail advanced, loss counted) when that happens, so
+        the ring keeps flowing; the *message* is lost and must be
+        recovered end-to-end (RPC retransmit).
+        """
+        if self.retired:
+            raise ChannelRetiredError(self.region.memsys.host_id)
         if self._progress_dirty:
             yield from self._flush_progress()
         index = self._tail % self.layout.n_slots
         expect = _seq_for_pass(self._tail // self.layout.n_slots)
-        raw = yield from self.region.consume_uncached(
-            self.layout.slot_offset(index), CACHELINE_BYTES
-        )
-        seq, length = _HEADER.unpack_from(raw, 0)
+        slot_number = self._tail
+        try:
+            raw = yield from self.region.consume_uncached(
+                self.layout.slot_offset(index), CACHELINE_BYTES
+            )
+        except PoisonedMemoryError as exc:
+            # The media refused the read: uncorrectable damage, detected.
+            # Advance past the slot — the sender's next pass overwrites
+            # (and thereby scrubs) the line.
+            self.poison_hits += 1
+            yield from self._consume_damaged()
+            raise SlotCorruptionError(
+                self.region.memsys.host_id, slot_number, "poisoned line"
+            ) from exc
+        seq, length, crc = _HEADER.unpack_from(raw, 0)
         if seq != expect:
             return None
-        payload = bytes(raw[3:3 + length])
+        payload = bytes(raw[_HEADER.size:_HEADER.size + length])
+        if length > SLOT_PAYLOAD_BYTES or _slot_crc(seq, payload) != crc:
+            self.crc_rejects += 1
+            yield from self._consume_damaged()
+            raise SlotCorruptionError(
+                self.region.memsys.host_id, slot_number, "CRC mismatch"
+            )
         self._tail += 1
         self.received += 1
         if self._tail % self.progress_every == 0:
             self._progress_dirty = True
             yield from self._flush_progress()
         return payload
+
+    def _consume_damaged(self):
+        """Advance past a damaged slot, keeping flow control honest."""
+        self._tail += 1
+        self.lost_slots += 1
+        if self._tail % self.progress_every == 0:
+            self._progress_dirty = True
+            yield from self._flush_progress()
 
     def recv(self, poll_overhead_ns: float = 30.0):
         """Process: busy-poll until a message arrives; returns payload.

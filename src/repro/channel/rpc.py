@@ -15,7 +15,7 @@ import dataclasses
 from typing import Callable, Optional
 
 from repro.channel.messages import Message, decode_message
-from repro.channel.ring import RingReceiver, RingSender
+from repro.channel.ring import RingReceiver, RingSender, SlotCorruptionError
 from repro.cxl.link import LinkDownError
 from repro.sim import FilterStore, Interrupt
 
@@ -57,6 +57,17 @@ class RpcEndpoint:
         self.calls_gave_up = 0
         self.late_replies_dropped = 0
         self.link_errors = 0
+        # Integrity telemetry: detected-and-contained corruption.  Every
+        # reply crosses the same CRC-checked slots as the request, so a
+        # call that returns has been verified end-to-end; a corrupt
+        # request or reply lands here and the caller's retransmit (fresh
+        # request id) recovers it.
+        self.slot_corruptions = 0
+        self.decode_errors = 0
+        #: The two :class:`~repro.channel.ring.RingChannel` objects under
+        #: this endpoint when built via :meth:`pair` (recovery bookkeeping:
+        #: which MHD the channel lives on, and its pool allocation).
+        self.rings: tuple = ()
 
     # -- wiring -----------------------------------------------------------
 
@@ -78,7 +89,14 @@ class RpcEndpoint:
                    b_to_a.receiver, poll_overhead_ns=poll_overhead_ns)
         ep_b = cls(pod.sim, f"{tag}@{host_b}", b_to_a.sender,
                    a_to_b.receiver, poll_overhead_ns=poll_overhead_ns)
+        ep_a.rings = (a_to_b, b_to_a)
+        ep_b.rings = (a_to_b, b_to_a)
         return ep_a, ep_b
+
+    def mhd_footprint(self) -> set:
+        """MHD indices this endpoint's rings live on (failure domains)."""
+        return {ring.mhd_index for ring in self.rings
+                if ring.mhd_index is not None}
 
     def on(self, message_type: type, handler: Callable) -> None:
         """Register ``handler(message)`` for unsolicited messages.
@@ -225,7 +243,20 @@ class RpcEndpoint:
                     self.link_errors += 1
                     yield self.sim.timeout(self.link_down_backoff_ns)
                     continue
-                message = decode_message(payload)
+                except SlotCorruptionError:
+                    # Poison or a failed CRC ate one message.  The loss is
+                    # detected and counted; the peer's retransmit (fresh
+                    # request id) recovers the exchange end-to-end.
+                    self.slot_corruptions += 1
+                    continue
+                try:
+                    message = decode_message(payload)
+                except (ValueError, IndexError):
+                    # A CRC-valid slot that still fails to decode means
+                    # the *sender* wrote garbage (or a version skew) —
+                    # drop it rather than kill the dispatcher.
+                    self.decode_errors += 1
+                    continue
                 self.messages_handled += 1
                 handler = self._handlers.get(type(message))
                 if handler is not None:

@@ -55,7 +55,7 @@ class VmCatalog:
     def expected_demand(self) -> ResourceVector:
         """Probability-weighted mean demand vector."""
         mean = ResourceVector()
-        for t, p in zip(self.types, self._probabilities):
+        for t, p in zip(self.types, self._probabilities, strict=True):
             mean = mean + t.demand * float(p)
         return mean
 

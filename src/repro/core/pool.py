@@ -6,6 +6,7 @@ from typing import Callable, Optional
 
 from repro.channel.messages import Resync
 from repro.channel.rpc import RpcEndpoint, RpcError
+from repro.cxl.device import PoisonedMemoryError
 from repro.cxl.link import LinkDownError, LinkSpec
 from repro.cxl.pod import CxlPod, PodConfig
 from repro.datapath.netstack import UdpStack
@@ -28,7 +29,7 @@ from repro.pcie.fabric import EthernetSwitch
 from repro.pcie.nic import Nic, NicSpec
 from repro.pcie.physnic import PhysicalNic
 from repro.pcie.ssd import Ssd, SsdSpec
-from repro.sim import Simulator
+from repro.sim import Interrupt, Simulator
 
 KIND_NIC = "nic"
 KIND_SSD = "ssd"
@@ -44,7 +45,8 @@ class PciePool:
                  orchestrator_host: Optional[str] = None,
                  policy=None,
                  ctl_poll_ns: float = 5_000.0,
-                 dev_poll_ns: float = 30.0):
+                 dev_poll_ns: float = 30.0,
+                 mhd_probe_ns: float = 10_000_000.0):
         self.sim = sim
         # Polling cadences for the two channel classes.  Long chaos
         # campaigns relax these to keep the event budget sane; latency
@@ -69,6 +71,23 @@ class PciePool:
         self._next_mac = 0x02_00_00_00_00_01
         self._started = False
         self._vnics: list[VirtualNic] = []
+        # Memory RAS: MHD liveness probing + channel re-establishment.
+        # The probe cadence must be well under the heartbeat timeout so a
+        # dead MHD's control channels are rebuilt before stale heartbeats
+        # trigger a wave of spurious host failovers.
+        self.mhd_probe_ns = mhd_probe_ns
+        self._mhd_monitor = None
+        self._mhd_down: set[int] = set()
+        self.channels_rebuilt = 0
+        # Integrity counters of endpoints retired during channel rebuilds
+        # (their live counters vanish with the endpoint objects).
+        self._retired_integrity: dict[str, float] = {
+            "rpc.slot_corruptions": 0.0,
+            "rpc.decode_errors": 0.0,
+            "ring.poison_hits": 0.0,
+            "ring.crc_rejects": 0.0,
+            "ring.lost_slots": 0.0,
+        }
         self.orchestrator.on_migration(self._on_migration)
         for host_id in self.pod.host_ids:
             self._make_agent(host_id)
@@ -141,16 +160,22 @@ class PciePool:
         self.agents[owner_host].manage(device)
 
     def start(self) -> None:
-        """Start the orchestrator and every agent."""
+        """Start the orchestrator, every agent, and the MHD monitor."""
         if self._started:
             raise RuntimeError("pool already started")
         self._started = True
         self.orchestrator.start()
         for agent in self.agents.values():
             agent.start()
+        self._mhd_monitor = self.sim.spawn(
+            self._mhd_monitor_loop(), name="mhd-monitor"
+        )
 
     def stop(self) -> None:
         self.orchestrator.stop()
+        if self._mhd_monitor is not None and self._mhd_monitor.is_alive:
+            self._mhd_monitor.interrupt(cause="pool stopped")
+        self._mhd_monitor = None
         for agent in self.agents.values():
             agent.stop()
         for vnic in self._vnics:
@@ -262,6 +287,24 @@ class PciePool:
         self.sim.spawn(agent.announce(),
                        name=f"agent-reannounce:{host_id}")
 
+    def crash_mhd(self, mhd_index: int) -> None:
+        """A pool memory device dies: every host loses that failure domain."""
+        self.pod.fail_mhd(mhd_index)
+
+    def repair_mhd(self, mhd_index: int) -> None:
+        self.pod.repair_mhd(mhd_index)
+
+    def degrade_mhd(self, mhd_index: int, factor: float) -> None:
+        """Collapse every link of one MHD to ``factor`` of its bandwidth."""
+        self.pod.degrade_mhd(mhd_index, factor)
+
+    def restore_mhd_bandwidth(self, mhd_index: int) -> None:
+        self.pod.restore_mhd_bandwidth(mhd_index)
+
+    def poison_memory(self, addr: int, n_lines: int = 1) -> None:
+        """Poison pool cachelines (uncorrectable media error)."""
+        self.pod.poison(addr, n_lines)
+
     def crash_orchestrator(self) -> None:
         """The orchestrator process dies; its soft state is lost."""
         self.orchestrator.crash()
@@ -284,6 +327,151 @@ class PciePool:
                 )
             except RpcError:
                 continue  # periodic announce is the backstop
+
+    # -- memory RAS: MHD liveness + channel re-establishment ------------------
+
+    def _mhd_monitor_loop(self):
+        """Process: probe every MHD and re-home channels off dead ones.
+
+        Detection is heartbeat-over-a-surviving-MHD: the probe itself is
+        an uncached load issued from the orchestrator host, so as long as
+        one MHD survives, the monitor keeps running and can observe the
+        others' deaths.
+        """
+        memsys = self.pod.host(self.orchestrator_host)
+        try:
+            while True:
+                yield self.sim.timeout(self.mhd_probe_ns)
+                for idx in range(len(self.pod.mhds)):
+                    alive = yield from self._probe_mhd(memsys, idx)
+                    if not alive and idx not in self._mhd_down:
+                        self._mhd_down.add(idx)
+                        self.orchestrator.ingest_mhd_failure(idx)
+                        self._recover_from_mhd_loss(idx)
+                    elif alive and idx in self._mhd_down:
+                        self._mhd_down.discard(idx)
+                        self.orchestrator.ingest_mhd_repair(idx)
+        except Interrupt:
+            return
+
+    def _probe_mhd(self, memsys, idx: int):
+        """Process: one uncached read against an MHD's RAS window."""
+        try:
+            yield from memsys.load_line_uncached(self.pod.ras_probe_addr(idx))
+        except PoisonedMemoryError:
+            return True  # the device answered; the line is merely poisoned
+        except LinkDownError:
+            return False
+        return True
+
+    def _recover_from_mhd_loss(self, dead_mhd: int) -> None:
+        """Re-establish everything that lived on a crashed MHD.
+
+        Control channels are rebuilt in place (the agent swaps endpoints
+        and resumes heartbeats); device channels are torn down and lazily
+        recreated by the vNIC rebinds; vNICs whose rings or buffers
+        touched the dead device are rebuilt on healthy media.  In-flight
+        RPCs on dead channels are recovered end-to-end: every control and
+        datapath caller retransmits idempotent requests with fresh ids.
+        """
+        rebind_vnics: dict[int, VirtualNic] = {}
+        for key in sorted(self._device_servers):
+            wired = self._device_servers[key]
+            endpoints = [x for x in wired if isinstance(x, RpcEndpoint)]
+            if not any(dead_mhd in ep.mhd_footprint() for ep in endpoints):
+                continue
+            if key[0] == "__ctl__":
+                self._rebuild_ctl_channel(key[1])
+                continue
+            owner, borrower = key
+            for ep in endpoints:
+                self._accumulate_integrity(ep)
+                ep.close()
+            self._free_channel_memory(endpoints[0])
+            del self._device_servers[key]
+            self.channels_rebuilt += 1
+            for vnic in self._vnics:
+                if (vnic.host_id == borrower
+                        and self.owner_of(vnic.device_id) == owner):
+                    rebind_vnics[vnic.assignment.virtual_id] = vnic
+        # Buffers: any vNIC whose driver memory striped over the dead MHD
+        # must re-place its rings and payload buffers on healthy media.
+        for vnic in self._vnics:
+            if vnic._mem is not None and dead_mhd in vnic._mem.mhd_footprint():
+                rebind_vnics[vnic.assignment.virtual_id] = vnic
+        for virtual_id in sorted(rebind_vnics):
+            rebind_vnics[virtual_id]._rebind()
+
+    def _rebuild_ctl_channel(self, host_id: str) -> None:
+        """Re-pair one agent's control channel on healthy media."""
+        old = self._device_servers[("__ctl__", host_id)]
+        for item in old:
+            if isinstance(item, RpcEndpoint):
+                self._accumulate_integrity(item)
+                item.close()
+        self._free_channel_memory(old[0])
+        orch_ep, agent_ep = RpcEndpoint.pair(
+            self.pod, self.orchestrator_host, host_id,
+            label=f"ctl:{host_id}",
+            poll_overhead_ns=self.ctl_poll_ns,
+        )
+        wire_control_channel(self.orchestrator, orch_ep, host_id)
+        self.agents[host_id].rebind_endpoint(agent_ep)
+        self._device_servers[("__ctl__", host_id)] = (orch_ep, agent_ep)
+        self.channels_rebuilt += 1
+
+    def _free_channel_memory(self, endpoint: RpcEndpoint) -> None:
+        """Return a retired channel's ring allocations to the pool.
+
+        Rings are retired first: a stale in-flight sender (a server
+        handler mid-reply, a caller mid-retry) now fails like a dead
+        link instead of writing into memory the allocator may already
+        have handed to a rebuilt channel.
+        """
+        for ring in endpoint.rings:
+            ring.retire()
+            if ring.alloc is not None:
+                try:
+                    self.pod.free(ring.alloc)
+                except ValueError:
+                    pass  # already freed by a prior rebuild
+                ring.alloc = None
+
+    def _accumulate_integrity(self, ep: RpcEndpoint) -> None:
+        acc = self._retired_integrity
+        acc["rpc.slot_corruptions"] += ep.slot_corruptions
+        acc["rpc.decode_errors"] += ep.decode_errors
+        acc["ring.poison_hits"] += ep.rx.poison_hits + ep.tx.poison_hits
+        acc["ring.crc_rejects"] += ep.rx.crc_rejects
+        acc["ring.lost_slots"] += ep.rx.lost_slots
+
+    def export_ras_telemetry(self) -> dict[str, float]:
+        """Aggregate RAS/integrity counters into the telemetry board.
+
+        Combines media-level poison accounting (from the pod), ring-level
+        detection counters (live endpoints + those retired by rebuilds),
+        and the recovery plane's own actions.
+        """
+        totals = dict(self._retired_integrity)
+        for wired in self._device_servers.values():
+            for item in wired:
+                if not isinstance(item, RpcEndpoint):
+                    continue
+                totals["rpc.slot_corruptions"] += item.slot_corruptions
+                totals["rpc.decode_errors"] += item.decode_errors
+                totals["ring.poison_hits"] += (
+                    item.rx.poison_hits + item.tx.poison_hits)
+                totals["ring.crc_rejects"] += item.rx.crc_rejects
+                totals["ring.lost_slots"] += item.rx.lost_slots
+        for name, value in self.pod.ras_counters().items():
+            totals[f"ras.{name}"] = float(value)
+        totals["ras.stores_dropped"] = float(sum(
+            memsys.stores_dropped for memsys in self.pod.hosts.values()))
+        totals["ras.channels_rebuilt"] = float(self.channels_rebuilt)
+        totals["ras.mhds_down_now"] = float(len(self._mhd_down))
+        for name, value in totals.items():
+            self.orchestrator.board.set_gauge(name, value)
+        return totals
 
     def export_control_plane_telemetry(self) -> dict[str, float]:
         """Aggregate endpoint retry counters into the telemetry board."""

@@ -4,13 +4,32 @@ Devices store real bytes at cacheline granularity, so the functional
 behaviour of the datapath (what a DMA engine reads, what a remote CPU
 observes, whether stale data leaks) is testable, not just its timing.
 Unwritten lines read as zeros, like real DRAM after scrubbing.
+
+Memory RAS: a line can be *poisoned* (uncorrectable ECC error).  Reading
+a poisoned line raises :class:`PoisonedMemoryError` — the media never
+hands out silently-corrupt bytes, matching CXL's poison-on-read
+semantics.  Any full or partial write to a poisoned line scrubs it
+(overwrite-to-clear), and every transition is counted so RAS soaks can
+prove the accounting identity ``injected == scrubbed + resident``.
 """
 
 from __future__ import annotations
 
 from repro.cxl.address import CACHELINE_BYTES, AddressRange, line_base
+from repro.sim.errors import SimError
 
 _ZERO_LINE = bytes(CACHELINE_BYTES)
+
+
+class PoisonedMemoryError(SimError):
+    """Raised when a read touches a poisoned (uncorrectable) cacheline."""
+
+    def __init__(self, medium: "MemoryMedium", addr: int):
+        super().__init__(
+            f"{medium.name}: poisoned line at device address {addr:#x}"
+        )
+        self.medium = medium
+        self.addr = addr
 
 
 class MemoryMedium:
@@ -25,6 +44,33 @@ class MemoryMedium:
         self.capacity = capacity
         self.name = name
         self._lines: dict[int, bytes] = {}
+        #: Line-base addresses whose contents are uncorrectably corrupt.
+        self.poisoned_lines: set[int] = set()
+        # RAS telemetry.
+        self.poisons_injected = 0
+        self.poison_reads = 0
+        self.poisons_scrubbed = 0
+
+    # -- RAS: poison ------------------------------------------------------
+
+    def poison(self, addr: int) -> None:
+        """Mark the line containing ``addr`` as uncorrectably corrupt."""
+        base = line_base(addr)
+        self._check(base)
+        if base not in self.poisoned_lines:
+            self.poisoned_lines.add(base)
+            self.poisons_injected += 1
+
+    def _scrub(self, base: int) -> None:
+        """A write to a poisoned line clears the poison (overwrite-to-clear)."""
+        if base in self.poisoned_lines:
+            self.poisoned_lines.discard(base)
+            self.poisons_scrubbed += 1
+
+    def _check_poison(self, base: int) -> None:
+        if base in self.poisoned_lines:
+            self.poison_reads += 1
+            raise PoisonedMemoryError(self, base)
 
     def _check(self, addr: int, size: int = CACHELINE_BYTES) -> None:
         if addr < 0 or addr + size > self.capacity:
@@ -39,7 +85,22 @@ class MemoryMedium:
         """Read the 64 B cacheline at ``addr`` (must be line-aligned)."""
         self._require_aligned(addr)
         self._check(addr)
+        self._check_poison(addr)
         return self._lines.get(addr, _ZERO_LINE)
+
+    def clear_line(self, addr: int) -> None:
+        """Zero the 64 B cacheline at ``addr`` (must be line-aligned).
+
+        Management-path scrub used when pool memory is (re)allocated:
+        clears poison and drops resident contents, so a recycled region
+        can never replay a previous owner's bytes — stale-but-CRC-valid
+        ring slots in reused channel memory would otherwise decode as
+        fresh messages.
+        """
+        self._require_aligned(addr)
+        self._check(addr)
+        self._scrub(addr)
+        self._lines.pop(addr, None)
 
     def write_line(self, addr: int, data: bytes) -> None:
         """Write a full 64 B cacheline at ``addr``."""
@@ -49,6 +110,7 @@ class MemoryMedium:
             raise ValueError(
                 f"line write must be {CACHELINE_BYTES} B, got {len(data)}"
             )
+        self._scrub(addr)
         self._lines[addr] = bytes(data)
 
     # -- arbitrary spans (DMA) ----------------------------------------------
@@ -63,6 +125,7 @@ class MemoryMedium:
             base = line_base(cur)
             off = cur - base
             take = min(CACHELINE_BYTES - off, remaining)
+            self._check_poison(base)
             out += self._lines.get(base, _ZERO_LINE)[off:off + take]
             cur += take
             remaining -= take
@@ -77,6 +140,12 @@ class MemoryMedium:
             base = line_base(cur)
             off = cur - base
             take = min(CACHELINE_BYTES - off, len(data) - pos)
+            # A partial overwrite of a poisoned line scrubs it: the stale
+            # remainder of the line was unreadable anyway, so it reads as
+            # zeros afterwards rather than resurrecting corrupt bytes.
+            if base in self.poisoned_lines:
+                self._scrub(base)
+                self._lines.pop(base, None)
             line = bytearray(self._lines.get(base, _ZERO_LINE))
             line[off:off + take] = data[pos:pos + take]
             self._lines[base] = bytes(line)
@@ -94,6 +163,11 @@ class MemoryMedium:
     def resident_bytes(self) -> int:
         """Bytes of lines that have ever been written (for tests)."""
         return len(self._lines) * CACHELINE_BYTES
+
+    @property
+    def poisoned_resident(self) -> int:
+        """Lines currently poisoned (injected and not yet scrubbed)."""
+        return len(self.poisoned_lines)
 
 
 class CxlMemoryDevice(MemoryMedium):

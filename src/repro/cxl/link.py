@@ -59,6 +59,8 @@ class CxlLink:
         self.name = name
         #: bytes/ns == GB/s
         self.bandwidth = spec.resolved_bandwidth()
+        #: Healthy bandwidth, restored after a degrade window ends.
+        self.nominal_bandwidth = self.bandwidth
         self._arbiter = Resource(sim, capacity=1, name=f"{name}.arbiter")
         self.up = True
         # Telemetry.
@@ -67,6 +69,7 @@ class CxlLink:
         self.line_ops = 0
         self.bulk_ops = 0
         self.times_failed = 0
+        self.times_degraded = 0
         self.downtime_ns = 0.0
         self._down_since: float | None = None
 
@@ -85,6 +88,27 @@ class CxlLink:
             self.downtime_ns += self.sim.now - self._down_since
             self._down_since = None
         self.up = True
+
+    def degrade(self, factor: float) -> None:
+        """Collapse the link's bandwidth to ``factor`` of nominal.
+
+        Models a retrained-at-lower-width or error-throttled link: the
+        link stays *up* (loads and stores succeed), but bulk transfers
+        serialize against the reduced bandwidth.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degrade factor must be in (0, 1], got {factor}")
+        if self.bandwidth == self.nominal_bandwidth and factor < 1.0:
+            self.times_degraded += 1
+        self.bandwidth = self.nominal_bandwidth * factor
+
+    def restore_bandwidth(self) -> None:
+        """End a degrade window: back to nominal bandwidth."""
+        self.bandwidth = self.nominal_bandwidth
+
+    @property
+    def degraded(self) -> bool:
+        return self.bandwidth < self.nominal_bandwidth
 
     def _check_up(self) -> None:
         if not self.up:

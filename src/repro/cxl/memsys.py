@@ -24,7 +24,11 @@ from typing import TYPE_CHECKING
 
 from repro.cxl.address import CACHELINE_BYTES, line_range
 from repro.cxl.cache import CpuCache
+from repro.cxl.device import PoisonedMemoryError
+from repro.cxl.link import LinkDownError
 from repro.sim import AllOf
+
+_ZERO_LINE = bytes(CACHELINE_BYTES)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.cxl.pod import CxlPod, HostPort
@@ -52,6 +56,11 @@ class HostMemorySystem:
         # latency, which is the whole point of the visibility model.
         self._store_buffer: dict[int, tuple[int, bytes]] = {}
         self._store_wid = 0
+        # RAS telemetry: posted writes (NT drains, dirty evictions) whose
+        # target device died before the data landed.  The writes are
+        # dropped — exactly what real posted stores to dead media do — and
+        # counted so soaks can prove no loss went unobserved.
+        self.stores_dropped = 0
 
     def alloc_local(self, size: int, label: str = "") -> int:
         """Reserve ``size`` bytes of local DRAM; returns the base address.
@@ -83,13 +92,15 @@ class HostMemorySystem:
 
     def _medium_read_line(self, addr: int) -> bytes:
         if self._is_pool(addr):
-            _idx, media, dev = self.pod.route(addr)
+            idx, media, dev = self.pod.route(addr)
+            self.pod.mhds[idx].check_alive()
             return media.read_line(dev)
         return self.port.local_dram.read_line(addr)
 
     def _medium_write_line(self, addr: int, data: bytes) -> None:
         if self._is_pool(addr):
-            _idx, media, dev = self.pod.route(addr)
+            idx, media, dev = self.pod.route(addr)
+            self.pod.mhds[idx].check_alive()
             media.write_line(dev, data)
         else:
             self.port.local_dram.write_line(addr, data)
@@ -189,7 +200,12 @@ class HostMemorySystem:
 
     def _drain_store(self, addr: int, wid: int, data: bytes, delay: float):
         yield self.sim.timeout(delay)
-        self._medium_write_line(addr, data)
+        try:
+            self._medium_write_line(addr, data)
+        except LinkDownError:
+            # Posted store to a device that died in flight: the write is
+            # lost (counted), never silently half-applied.
+            self.stores_dropped += 1
         entry = self._store_buffer.get(addr)
         if entry is not None and entry[0] == wid:
             del self._store_buffer[addr]
@@ -255,7 +271,13 @@ class HostMemorySystem:
         buffered = self._store_buffer.get(addr)
         if buffered is not None:
             return buffered[1]
-        return self._medium_read_line(addr)
+        try:
+            return self._medium_read_line(addr)
+        except PoisonedMemoryError:
+            # Read-modify-write of a poisoned line: the stale remainder is
+            # unreadable anyway and the impending write scrubs the line,
+            # so merge against zeros (the post-scrub contents).
+            return _ZERO_LINE
 
     # -- bulk (memcpy-style) operations --------------------------------------
 
@@ -264,7 +286,7 @@ class HostMemorySystem:
         if not self._is_pool(addr):
             return size / self.timings.ddr5_bandwidth_gbps
         offset = self.pod.pool_range.offset_of(addr)
-        per_link = self.pod.interleave.bytes_per_link(offset, size)
+        per_link = self.pod.span_bytes_per_link(offset, size)
         return max(
             nbytes / self.port.links[idx].bandwidth
             for idx, nbytes in per_link.items()
@@ -385,7 +407,7 @@ class HostMemorySystem:
             return
         # Pool: split across links per the interleave map, in parallel.
         offset = self.pod.pool_range.offset_of(addr)
-        per_link = self.pod.interleave.bytes_per_link(offset, size)
+        per_link = self.pod.span_bytes_per_link(offset, size)
         transfers = [
             self.sim.spawn(
                 self.port.links[link_idx].transfer(nbytes, write=write),
@@ -409,12 +431,23 @@ class HostMemorySystem:
 
     def _delayed_line_write(self, addr: int, data: bytes, delay: float):
         yield self.sim.timeout(delay)
-        self._medium_write_line(addr, data)
+        try:
+            self._medium_write_line(addr, data)
+        except LinkDownError:
+            # Dirty eviction racing a device crash: drop, count.
+            self.stores_dropped += 1
 
     def _handle_evictions(self, evicted: list[tuple[int, bytes]]) -> None:
         # Dirty evictions write back asynchronously (like a real WB cache).
         for addr, data in evicted:
-            delay = self._store_latency(addr)
+            try:
+                delay = self._store_latency(addr)
+            except LinkDownError:
+                # Evicting a line whose device is gone: the writeback has
+                # nowhere to go.  Must not blow up the (unrelated) access
+                # that triggered the eviction.
+                self.stores_dropped += 1
+                continue
             self.sim.spawn(
                 self._delayed_line_write(addr, data, delay),
                 name=f"evict-wb:{self.host_id}:{addr:#x}",

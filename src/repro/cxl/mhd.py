@@ -12,9 +12,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cxl.device import CxlMemoryDevice
-from repro.cxl.link import CxlLink, LinkSpec
+from repro.cxl.link import CxlLink, LinkDownError, LinkSpec
 from repro.cxl.params import DEFAULT_TIMINGS, CxlTimings
 from repro.sim import Simulator
+from repro.sim.errors import SimError
 
 #: Port count of the largest MHD shipping today (§3 cites 20-port devices).
 MAX_MHD_PORTS = 20
@@ -22,6 +23,21 @@ MAX_MHD_PORTS = 20
 
 class MhdPortExhausted(RuntimeError):
     """Raised when connecting more hosts than the MHD has ports."""
+
+
+class MhdFailedError(LinkDownError):
+    """Raised when an access targets a failed (crashed) MHD.
+
+    Subclasses :class:`LinkDownError` deliberately: from a host's point of
+    view a dead MHD is indistinguishable from all of its links being down,
+    so every retry/containment site that already survives link flaps also
+    contains MHD loss without modification.
+    """
+
+    def __init__(self, mhd: "MultiHeadedDevice"):
+        SimError.__init__(self, f"MHD {mhd.name} has failed")
+        self.link = None
+        self.mhd = mhd
 
 
 class MultiHeadedDevice:
@@ -46,10 +62,47 @@ class MultiHeadedDevice:
             p: None for p in range(n_ports)
         }
         self._links: dict[str, CxlLink] = {}
+        #: True while the whole device is crashed (all heads unreachable).
+        self.failed = False
+        self.times_failed = 0
 
     @property
     def capacity(self) -> int:
         return self.memory.capacity
+
+    # -- RAS: whole-device failure domain ---------------------------------
+
+    def fail(self) -> None:
+        """Crash the whole device: media unreachable from every head."""
+        if not self.failed:
+            self.failed = True
+            self.times_failed += 1
+        for link in self._links.values():
+            link.fail()
+
+    def repair(self) -> None:
+        """Bring a crashed device back (media contents survive)."""
+        self.failed = False
+        for link in self._links.values():
+            link.restore()
+
+    def degrade(self, factor: float) -> None:
+        """Collapse bandwidth on every head (link-level throttling)."""
+        for link in self._links.values():
+            link.degrade(factor)
+
+    def restore_bandwidth(self) -> None:
+        for link in self._links.values():
+            link.restore_bandwidth()
+
+    def check_alive(self) -> None:
+        if self.failed:
+            raise MhdFailedError(self)
+
+    @property
+    def links(self) -> list[CxlLink]:
+        """Every connected head's link, in host-id order."""
+        return [self._links[h] for h in sorted(self._links)]
 
     @property
     def free_ports(self) -> int:

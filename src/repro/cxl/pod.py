@@ -9,20 +9,38 @@ bandwidth of all links and the pod offers λ = ``n_mhds`` redundant devices
 Pool addresses are *pod-global*: every host maps the pool at the same
 physical base (:data:`POOL_BASE`), so a pool pointer can be passed between
 hosts — exactly what the shared-memory datapath needs.
+
+Memory RAS layout (§5): interleaving stripes every allocation across all
+MHDs, which aggregates bandwidth but makes *every* byte depend on *every*
+device — one MHD loss would take out every ring and buffer at once.  To
+give the pod λ-redundant failure domains, the top of each MHD is carved
+out as a *direct* (non-interleaved) RAS window::
+
+    pool offset 0 .. n_mhds * direct_offset      : interleaved region
+    then, per MHD m:  one window of ras_window_bytes, mapped 1:1 onto
+    device addresses [direct_offset, mhd_capacity)
+
+Channels and other critical control state allocate *confined* to a single
+MHD (round-robin across healthy devices), so an MHD crash kills only the
+channels that lived on it — the survivors keep the control plane up while
+the orchestrator rebuilds the dead ones elsewhere.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cxl.address import AddressRange, InterleaveMap, INTERLEAVE_BYTES
-from repro.cxl.allocator import Allocation, PoolAllocator
+from repro.cxl.address import (
+    AddressRange, CACHELINE_BYTES, InterleaveMap, INTERLEAVE_BYTES, line_base,
+)
+from repro.cxl.allocator import Allocation, AllocationError, PoolAllocator
 from repro.cxl.device import CxlMemoryDevice, LocalDram
-from repro.cxl.link import CxlLink, LinkSpec
+from repro.cxl.link import CxlLink, LinkDownError, LinkSpec
 from repro.cxl.memsys import HostMemorySystem
 from repro.cxl.mhd import MultiHeadedDevice
 from repro.cxl.params import DEFAULT_TIMINGS, CxlTimings
 from repro.sim import Simulator
+from repro.sim.errors import SimError
 
 #: Host physical address where the pool window is mapped (identical on all
 #: hosts so pool pointers are portable across the pod).
@@ -30,6 +48,25 @@ POOL_BASE = 1 << 40
 
 #: Default local DRAM per host: 4 GiB of modeled address space.
 DEFAULT_LOCAL_DRAM = 4 << 30
+
+
+class PartialPoolWriteError(LinkDownError):
+    """A multi-chunk pool write failed after some chunks already landed.
+
+    Subclasses :class:`LinkDownError` so every existing containment site
+    survives it; callers that retry on link failure rewrite the full span,
+    which is the correct recovery for a torn write.
+    """
+
+    def __init__(self, addr: int, written: int, total: int):
+        SimError.__init__(
+            self,
+            f"pool write at {addr:#x} torn: {written}/{total} bytes landed"
+        )
+        self.link = None
+        self.addr = addr
+        self.written = written
+        self.total = total
 
 
 @dataclass(frozen=True)
@@ -43,16 +80,58 @@ class PodConfig:
     timings: CxlTimings = DEFAULT_TIMINGS
     interleave_bytes: int = INTERLEAVE_BYTES
     local_dram_bytes: int = DEFAULT_LOCAL_DRAM
+    #: Per-MHD direct (non-interleaved) RAS window carved from the top of
+    #: each device.  ``None`` picks a default; must be a positive multiple
+    #: of ``interleave_bytes`` smaller than ``mhd_capacity``.
+    ras_bytes_per_mhd: int | None = None
 
     def __post_init__(self):
         if self.n_hosts < 1:
             raise ValueError("a pod needs at least one host")
         if self.n_mhds < 1:
             raise ValueError("a pod needs at least one MHD")
+        if self.mhd_capacity % self.interleave_bytes != 0:
+            raise ValueError(
+                "mhd_capacity must be a multiple of the interleave "
+                f"granularity ({self.interleave_bytes})"
+            )
+        ras = self.ras_bytes_per_mhd
+        if ras is not None and (
+            ras <= 0
+            or ras >= self.mhd_capacity
+            or ras % self.interleave_bytes != 0
+        ):
+            raise ValueError(
+                f"ras_bytes_per_mhd must be a positive multiple of "
+                f"{self.interleave_bytes} below mhd_capacity, got {ras}"
+            )
 
     @property
     def pool_capacity(self) -> int:
         return self.n_mhds * self.mhd_capacity
+
+    @property
+    def ras_window_bytes(self) -> int:
+        """Resolved size of each MHD's direct RAS window."""
+        if self.ras_bytes_per_mhd is not None:
+            return self.ras_bytes_per_mhd
+        # Default: 1/8 of the device, capped at 16 MiB — plenty for
+        # channels while leaving the bulk of the media interleaved.
+        raw = min(self.mhd_capacity // 8, 16 << 20)
+        return max(
+            self.interleave_bytes,
+            (raw // self.interleave_bytes) * self.interleave_bytes,
+        )
+
+    @property
+    def direct_offset(self) -> int:
+        """Device-local address where each MHD's RAS window begins."""
+        return self.mhd_capacity - self.ras_window_bytes
+
+    @property
+    def interleaved_capacity(self) -> int:
+        """Pool bytes striped across all MHDs (below the RAS windows)."""
+        return self.n_mhds * self.direct_offset
 
 
 class HostPort:
@@ -89,8 +168,17 @@ class CxlPod:
         self.interleave = InterleaveMap(
             config.n_mhds, granularity=config.interleave_bytes
         )
-        self.allocator = PoolAllocator(config.pool_capacity)
-        self._inner_allocs: dict[int, Allocation] = {}
+        self.interleaved_capacity = config.interleaved_capacity
+        self.ras_window_bytes = config.ras_window_bytes
+        self.allocator = PoolAllocator(self.interleaved_capacity)
+        #: Per-MHD allocators over the direct RAS windows.
+        self._ras_allocators = [
+            PoolAllocator(self.ras_window_bytes)
+            for _ in range(config.n_mhds)
+        ]
+        #: alloc base -> (confining mhd index or None, inner allocation).
+        self._inner_allocs: dict[int, tuple[int | None, Allocation]] = {}
+        self._ras_rr = 0
         self.pool_range = AddressRange(POOL_BASE, config.pool_capacity)
         self.hosts: dict[str, HostMemorySystem] = {}
         for idx in range(config.n_hosts):
@@ -129,32 +217,95 @@ class CxlPod:
     def route(self, addr: int) -> tuple[int, CxlMemoryDevice, int]:
         """Route a pool address to ``(mhd_index, media, device_addr)``.
 
-        The pool space is round-robin interleaved across MHDs at
-        ``interleave_bytes`` granularity.
+        Below :attr:`interleaved_capacity` the pool space is round-robin
+        interleaved across MHDs at ``interleave_bytes`` granularity; above
+        it, each MHD's direct RAS window maps 1:1 onto the top of that
+        device's media.
         """
         offset = self.pool_range.offset_of(addr)
+        if offset >= self.interleaved_capacity:
+            rel = offset - self.interleaved_capacity
+            mhd_idx, within = divmod(rel, self.ras_window_bytes)
+            device_addr = self.config.direct_offset + within
+            return mhd_idx, self.mhds[mhd_idx].memory, device_addr
         gran = self.interleave.granularity
         block, within = divmod(offset, gran)
         mhd_idx = block % self.config.n_mhds
         device_addr = (block // self.config.n_mhds) * gran + within
         return mhd_idx, self.mhds[mhd_idx].memory, device_addr
 
+    def mhd_of(self, addr: int) -> int | None:
+        """The confining MHD of a pool address (None if interleaved)."""
+        offset = self.pool_range.offset_of(addr)
+        if offset < self.interleaved_capacity:
+            return None
+        return (offset - self.interleaved_capacity) // self.ras_window_bytes
+
+    def span_bytes_per_link(self, offset: int, size: int) -> dict[int, int]:
+        """Bytes moved per link for a pool span at ``offset`` (DMA split)."""
+        if offset + size <= self.interleaved_capacity:
+            return self.interleave.bytes_per_link(offset, size)
+        mhd_idx = self._ras_span_index(offset, size)
+        return {mhd_idx: size}
+
+    def _ras_span_index(self, offset: int, size: int) -> int:
+        """The single RAS window containing the span (or ValueError)."""
+        if offset < self.interleaved_capacity:
+            raise ValueError(
+                f"pool span at offset {offset:#x} straddles the "
+                "interleaved/direct boundary"
+            )
+        rel = offset - self.interleaved_capacity
+        first = rel // self.ras_window_bytes
+        last = (rel + size - 1) // self.ras_window_bytes
+        if first != last:
+            raise ValueError(
+                f"pool span at offset {offset:#x} (+{size}) crosses a "
+                "RAS window boundary"
+            )
+        return first
+
     # -- functional pool access (no timing; used by media-side agents) --------
 
     def pool_read(self, addr: int, size: int) -> bytes:
-        """Read pool bytes directly from the media (no cache, no timing)."""
+        """Read pool bytes directly from the media (no cache, no timing).
+
+        Raises :class:`~repro.cxl.mhd.MhdFailedError` before reading any
+        byte if any chunk targets a failed MHD; a poisoned line raises
+        :class:`~repro.cxl.device.PoisonedMemoryError` from the media.
+        """
+        chunks = self._chunks(addr, size)
+        routed = [self.route(chunk_addr) for _link, chunk_addr, _sz in chunks]
+        for mhd_idx, _media, _dev in routed:
+            self.mhds[mhd_idx].check_alive()
         out = bytearray()
-        for _link, chunk_addr, chunk_size in self._chunks(addr, size):
-            _idx, media, dev_addr = self.route(chunk_addr)
+        for (_link, _chunk_addr, chunk_size), (_idx, media, dev_addr) \
+                in zip(chunks, routed, strict=True):
             out += media.read(dev_addr, chunk_size)
         return bytes(out)
 
     def pool_write(self, addr: int, data: bytes) -> None:
-        """Write pool bytes directly to the media (no cache, no timing)."""
+        """Write pool bytes directly to the media (no cache, no timing).
+
+        Atomic with respect to MHD failure: every chunk's device is
+        health-checked *before* the first byte lands, so a write to a pod
+        with a dead MHD in its stripe fails cleanly with zero bytes
+        written.  If a chunk write still fails mid-loop (defensive), the
+        tear is reported explicitly as :class:`PartialPoolWriteError`
+        rather than surfacing as a silent partial update.
+        """
+        chunks = self._chunks(addr, len(data))
+        routed = [self.route(chunk_addr) for _link, chunk_addr, _sz in chunks]
+        for mhd_idx, _media, _dev in routed:
+            self.mhds[mhd_idx].check_alive()
         pos = 0
-        for _link, chunk_addr, chunk_size in self._chunks(addr, len(data)):
-            _idx, media, dev_addr = self.route(chunk_addr)
-            media.write(dev_addr, data[pos:pos + chunk_size])
+        for (_link, _chunk_addr, chunk_size), (mhd_idx, media, dev_addr) \
+                in zip(chunks, routed, strict=True):
+            try:
+                self.mhds[mhd_idx].check_alive()
+                media.write(dev_addr, data[pos:pos + chunk_size])
+            except LinkDownError as exc:
+                raise PartialPoolWriteError(addr, pos, len(data)) from exc
             pos += chunk_size
 
     def _chunks(self, addr: int, size: int):
@@ -163,34 +314,186 @@ class CxlPod:
             raise ValueError(
                 f"pool span [{addr:#x}, {addr + size:#x}) exceeds pool"
             )
+        if size == 0:
+            return []
+        if offset + size > self.interleaved_capacity:
+            # Direct RAS window: no interleaving, one chunk on one device.
+            mhd_idx = self._ras_span_index(offset, size)
+            return [(mhd_idx, addr, size)]
         return [
             (link, self.pool_range.base + chunk_off, chunk_size)
             for link, chunk_off, chunk_size
             in self.interleave.split(offset, size)
         ]
 
+    # -- RAS verbs (fault injection & recovery) -------------------------------
+
+    def _mhd(self, index: int) -> MultiHeadedDevice:
+        if not 0 <= index < len(self.mhds):
+            raise ValueError(
+                f"mhd index {index} out of range [0, {len(self.mhds)})"
+            )
+        return self.mhds[index]
+
+    def fail_mhd(self, index: int) -> None:
+        """Crash one MHD: media unreachable from every host."""
+        self._mhd(index).fail()
+
+    def repair_mhd(self, index: int) -> None:
+        """Bring a crashed MHD back (media contents survive)."""
+        self._mhd(index).repair()
+
+    def degrade_mhd(self, index: int, factor: float) -> None:
+        """Collapse bandwidth on every link of one MHD."""
+        self._mhd(index).degrade(factor)
+
+    def restore_mhd_bandwidth(self, index: int) -> None:
+        self._mhd(index).restore_bandwidth()
+
+    def poison(self, addr: int, n_lines: int = 1) -> None:
+        """Poison ``n_lines`` consecutive cachelines starting at ``addr``."""
+        base = line_base(addr)
+        for i in range(n_lines):
+            _idx, media, dev_addr = self.route(base + i * CACHELINE_BYTES)
+            media.poison(dev_addr)
+
+    @property
+    def healthy_mhds(self) -> list[int]:
+        return [i for i, mhd in enumerate(self.mhds) if not mhd.failed]
+
+    def ras_probe_addr(self, index: int) -> int:
+        """Pod-global address of the first line of one MHD's RAS window.
+
+        Liveness monitors read this line uncached: a healthy device
+        answers (a poisoned line still proves the device is alive), a
+        crashed one raises through the link layer.
+        """
+        self._mhd(index)
+        return (POOL_BASE + self.interleaved_capacity
+                + index * self.ras_window_bytes)
+
+    def ras_counters(self) -> dict[str, int]:
+        """Pod-wide RAS accounting, summed over all media."""
+        media = [mhd.memory for mhd in self.mhds]
+        return {
+            "poisons_injected": sum(m.poisons_injected for m in media),
+            "poison_reads": sum(m.poison_reads for m in media),
+            "poisons_scrubbed": sum(m.poisons_scrubbed for m in media),
+            "poisoned_resident": sum(m.poisoned_resident for m in media),
+            "mhd_failures": sum(mhd.times_failed for mhd in self.mhds),
+            "mhds_down": sum(1 for mhd in self.mhds if mhd.failed),
+        }
+
     # -- allocation -------------------------------------------------------------
 
-    def allocate(self, size: int, owners, label: str = "") -> Allocation:
+    def allocate(self, size: int, owners, label: str = "",
+                 mhd_index: int | None = None) -> Allocation:
         """Allocate pool memory.
 
         The returned allocation's range uses pod-global (POOL_BASE-mapped)
         addresses, directly usable by every owner's memory system.
+
+        With ``mhd_index`` the allocation is *confined* to one MHD's
+        direct RAS window instead of being interleaved.  Without it, the
+        allocation is interleaved — unless some MHD is currently failed,
+        in which case striping would touch dead media, so the allocation
+        automatically falls back to a healthy confined window (degraded
+        bandwidth, no dependence on the dead device).
         """
+        if mhd_index is None and any(mhd.failed for mhd in self.mhds):
+            mhd_index = self.pick_ras_mhd()
+        if mhd_index is not None:
+            return self.allocate_confined(size, owners, label, mhd_index)
         inner = self.allocator.allocate(size, owners, label)
         rebased = Allocation(
             AddressRange(inner.range.base + POOL_BASE, inner.range.size),
             inner.owners, inner.label,
         )
-        self._inner_allocs[rebased.range.base] = inner
+        self._inner_allocs[rebased.range.base] = (None, inner)
+        self._scrub_on_allocate(rebased.range)
         return rebased
+
+    def allocate_confined(self, size: int, owners, label: str = "",
+                          mhd_index: int | None = None) -> Allocation:
+        """Allocate from one MHD's direct RAS window (λ-redundant placement).
+
+        ``mhd_index=None`` picks the next healthy MHD round-robin, which
+        is how successive channel allocations spread across distinct
+        failure domains.
+        """
+        if mhd_index is None:
+            mhd_index = self.pick_ras_mhd()
+        self._mhd(mhd_index).check_alive()
+        inner = self._ras_allocators[mhd_index].allocate(size, owners, label)
+        base = (POOL_BASE + self.interleaved_capacity
+                + mhd_index * self.ras_window_bytes + inner.range.base)
+        rebased = Allocation(
+            AddressRange(base, inner.range.size), inner.owners, inner.label
+        )
+        self._inner_allocs[base] = (mhd_index, inner)
+        self._scrub_on_allocate(rebased.range)
+        return rebased
+
+    def _scrub_on_allocate(self, rng: AddressRange) -> None:
+        """Zero every line of a fresh allocation (allocation-time scrub).
+
+        Pool memory is recycled across channel rebuilds and vNIC
+        rebinds; without scrubbing, a new ring placed over a retired
+        one can replay stale-but-CRC-valid slots as fresh messages.
+        Clearing also scrubs any poison left in the freed region.  The
+        allocator only hands out healthy media (confined windows check
+        liveness; interleaving requires every MHD up), so the scrub
+        never touches a failed device.
+        """
+        for addr in range(rng.base, rng.base + rng.size, CACHELINE_BYTES):
+            _idx, media, dev_addr = self.route(addr)
+            media.clear_line(dev_addr)
+
+    def pick_ras_mhd(self) -> int:
+        """Next healthy MHD in round-robin order (λ-redundant spreading)."""
+        n = len(self.mhds)
+        for off in range(n):
+            idx = (self._ras_rr + off) % n
+            if not self.mhds[idx].failed:
+                self._ras_rr = (idx + 1) % n
+                return idx
+        raise AllocationError("all MHDs failed: no healthy failure domain")
 
     def free(self, alloc: Allocation) -> None:
         """Release pool memory allocated via :meth:`allocate`."""
-        inner = self._inner_allocs.pop(alloc.range.base, None)
-        if inner is None or inner.range.size != alloc.range.size:
+        entry = self._inner_allocs.pop(alloc.range.base, None)
+        if entry is None or entry[1].range.size != alloc.range.size:
             raise ValueError(f"{alloc!r} is not a live pod allocation")
-        self.allocator.free(inner)
+        mhd_index, inner = entry
+        if mhd_index is None:
+            self.allocator.free(inner)
+        else:
+            self._ras_allocators[mhd_index].free(inner)
+
+    def allocation_mhds(self, alloc: Allocation) -> set[int]:
+        """The MHDs an allocation's bytes live on (its failure domains)."""
+        idx = self.mhd_of(alloc.range.base)
+        if idx is not None:
+            return {idx}
+        # Interleaved: striped across every device in the pod.
+        return set(range(len(self.mhds)))
+
+    def ras_allocations(self) -> list[tuple[int, AddressRange, str]]:
+        """Live confined allocations as ``(mhd_index, pod_range, label)``.
+
+        Deterministically ordered by base address — fault campaigns draw
+        poison targets from this list.
+        """
+        out = []
+        for base in sorted(self._inner_allocs):
+            mhd_index, inner = self._inner_allocs[base]
+            if mhd_index is not None:
+                out.append((
+                    mhd_index,
+                    AddressRange(base, inner.range.size),
+                    inner.label,
+                ))
+        return out
 
     def __repr__(self) -> str:
         return (

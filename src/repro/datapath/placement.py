@@ -69,6 +69,18 @@ class DriverMemory:
             self.pod.free(alloc)
         self._allocations.clear()
 
+    def mhd_footprint(self) -> set[int]:
+        """MHD indices this driver's pool allocations depend on.
+
+        The recovery plane uses this to find vNICs whose rings or buffers
+        lived on a crashed device: they must be rebuilt on healthy media.
+        Local-DRAM placements return an empty set (no pool dependence).
+        """
+        out: set[int] = set()
+        for alloc in self._allocations:
+            out |= self.pod.allocation_mhds(alloc)
+        return out
+
     # -- access with placement-appropriate coherence ---------------------------
 
     #: Spans larger than one cacheline stream as bulk copies; control

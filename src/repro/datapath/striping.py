@@ -86,7 +86,8 @@ class StripedVolume:
         ]
         results = yield AllOf(self.sim, jobs)
         out = bytearray(size)
-        for job, (_member, _mlba, offset, length) in zip(jobs, chunks):
+        for job, (_member, _mlba, offset, length) in zip(jobs, chunks,
+                                                         strict=True):
             out[offset:offset + length] = results[job]
         self.bytes_read += size
         return bytes(out)

@@ -26,6 +26,9 @@ from repro.faults.spec import (
     DeviceFlap,
     FaultSchedule,
     LinkFlap,
+    MemPoison,
+    MhdCrash,
+    MhdDegrade,
     OrchestratorCrash,
 )
 
@@ -40,5 +43,8 @@ __all__ = [
     "FaultLog",
     "FaultSchedule",
     "LinkFlap",
+    "MemPoison",
+    "MhdCrash",
+    "MhdDegrade",
     "OrchestratorCrash",
 ]

@@ -26,6 +26,9 @@ from repro.faults.spec import (
     DeviceFlap,
     FaultSchedule,
     LinkFlap,
+    MemPoison,
+    MhdCrash,
+    MhdDegrade,
     OrchestratorCrash,
 )
 
@@ -46,6 +49,14 @@ class ChaosConfig:
     max_down_ns: float = 50_000_000.0
     #: Quiet tail with no new faults, so recovery can complete (ns).
     settle_ns: float = 1_500_000_000.0
+    #: Memory-RAS fault counts.  MHD crashes default to zero because
+    #: they are only survivable with λ ≥ 1 spare failure domains; soaks
+    #: that provision n_mhds ≥ 2 opt in explicitly.
+    mhd_crashes: int = 0
+    mhd_degrades: int = 1
+    mem_poisons: int = 2
+    #: Bandwidth multiplier applied by MhdDegrade faults.
+    degrade_factor: float = 0.1
 
 
 class ChaosCampaign:
@@ -100,7 +111,52 @@ class ChaosCampaign:
                 at_ns=start + float(rng.uniform(0.55, 0.70)) * span,
                 restart_after_ns=down_ns(),
             ))
+        # Memory-RAS draws come after every legacy loop, so adding them
+        # never perturbs the schedule an older seed produced.
+        n_mhds = self.pool.pod.config.n_mhds
+        for _ in range(cfg.mhd_crashes):
+            if n_mhds < 2:
+                break  # λ=0: a crash would take the whole pool down.
+            faults.append(MhdCrash(
+                mhd_index=int(rng.integers(n_mhds)),
+                at_ns=start + float(rng.uniform(0.45, 0.55)) * span,
+                repair_after_ns=None,
+            ))
+        for _ in range(cfg.mhd_degrades):
+            faults.append(MhdDegrade(
+                mhd_index=int(rng.integers(n_mhds)),
+                at_ns=start + float(rng.uniform(0.0, span)),
+                down_ns=down_ns(),
+                bandwidth_factor=cfg.degrade_factor,
+            ))
+        poison_targets = self._poison_targets()
+        for _ in range(cfg.mem_poisons):
+            if not poison_targets:
+                break
+            rng_range = poison_targets[int(rng.integers(
+                len(poison_targets)))]
+            line = int(rng.integers(rng_range.size // 64))
+            faults.append(MemPoison(
+                addr=rng_range.base + line * 64,
+                at_ns=start + float(rng.uniform(0.0, span)),
+                n_lines=1,
+            ))
         return FaultSchedule(tuple(faults))
+
+    def _poison_targets(self) -> list:
+        """Pool ranges eligible for MemPoison draws.
+
+        Restricted to control-channel ring allocations: their integrity
+        layer detects every hit and the RPC retry loop retransmits, so
+        poison there is always survivable.  (A poisoned *doorbell* slot
+        on a device channel could silently swallow a packet-send wakeup
+        — the netstack has no re-ring backstop — which would turn a
+        detectable media error into a livelock; real RAS policy is the
+        same: poison in un-protected regions is fatal, so campaigns
+        target the protected ones.)
+        """
+        return [r for _, r, label in self.pool.pod.ras_allocations()
+                if label.startswith("rpc:ctl:")]
 
     def __repr__(self) -> str:
         return f"<ChaosCampaign stream={self.stream!r} {self.config}>"

@@ -18,6 +18,9 @@ from repro.faults.spec import (
     DeviceFlap,
     FaultSchedule,
     LinkFlap,
+    MemPoison,
+    MhdCrash,
+    MhdDegrade,
     OrchestratorCrash,
 )
 
@@ -61,6 +64,31 @@ class FaultInjector:
             link.restore()
             self.log.record(self.sim.now, "LinkFlap",
                             f"link:{host_id}/{idx}", "up")
+
+    def crash_mhd(self, mhd_index: int) -> None:
+        self.pool.crash_mhd(mhd_index)
+        self.log.record(self.sim.now, "MhdCrash",
+                        f"mhd:{mhd_index}", "fail")
+
+    def repair_mhd(self, mhd_index: int) -> None:
+        self.pool.repair_mhd(mhd_index)
+        self.log.record(self.sim.now, "MhdCrash",
+                        f"mhd:{mhd_index}", "repair")
+
+    def degrade_mhd(self, mhd_index: int, factor: float) -> None:
+        self.pool.degrade_mhd(mhd_index, factor)
+        self.log.record(self.sim.now, "MhdDegrade",
+                        f"mhd:{mhd_index}", "degrade")
+
+    def restore_mhd(self, mhd_index: int) -> None:
+        self.pool.restore_mhd_bandwidth(mhd_index)
+        self.log.record(self.sim.now, "MhdDegrade",
+                        f"mhd:{mhd_index}", "restore")
+
+    def poison_memory(self, addr: int, n_lines: int = 1) -> None:
+        self.pool.poison_memory(addr, n_lines)
+        self.log.record(self.sim.now, "MemPoison",
+                        f"mem:{addr:#x}+{n_lines}", "poison")
 
     def crash_agent(self, host_id: str) -> None:
         self.pool.crash_agent(host_id)
@@ -127,6 +155,17 @@ class FaultInjector:
             if fault.restart_after_ns is not None:
                 yield self.sim.timeout(fault.restart_after_ns)
                 yield from self.restart_orchestrator()
+        elif isinstance(fault, MhdCrash):
+            self.crash_mhd(fault.mhd_index)
+            if fault.repair_after_ns is not None:
+                yield self.sim.timeout(fault.repair_after_ns)
+                self.repair_mhd(fault.mhd_index)
+        elif isinstance(fault, MhdDegrade):
+            self.degrade_mhd(fault.mhd_index, fault.bandwidth_factor)
+            yield self.sim.timeout(fault.down_ns)
+            self.restore_mhd(fault.mhd_index)
+        elif isinstance(fault, MemPoison):
+            self.poison_memory(fault.addr, fault.n_lines)
         else:
             raise TypeError(f"unknown fault spec {fault!r}")
 

@@ -21,10 +21,11 @@ class FaultEvent:
     #: Fault class name (``"DeviceCrash"``, ``"LinkFlap"``, ...).
     fault: str
     #: What was hit: ``device:<id>``, ``link:<host>/<idx>``,
-    #: ``agent:<host>``, or ``orchestrator``.
+    #: ``agent:<host>``, ``orchestrator``, ``mhd:<idx>``, or
+    #: ``mem:<addr>+<n_lines>``.
     target: str
     #: What was done: ``fail``/``repair``, ``down``/``up``,
-    #: ``crash``/``restart``.
+    #: ``crash``/``restart``, ``degrade``/``restore``, ``poison``.
     action: str
 
     def line(self) -> str:

@@ -71,8 +71,46 @@ class OrchestratorCrash:
     restart_after_ns: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class MhdCrash:
+    """A whole multi-headed device dies: every head link drops at once.
+
+    This is the paper's worst memory-side failure — all channels, rings,
+    and DMA buffers resident on that MHD become unreachable.  With λ ≥ 1
+    spare failure domains the control plane must rebuild them on healthy
+    media; ``repair_after_ns=None`` keeps the device dead forever.
+    """
+
+    mhd_index: int
+    at_ns: float
+    repair_after_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class MhdDegrade:
+    """Link-level bandwidth collapse on one MHD (thermal throttle,
+    retraining to fewer lanes).  Data stays reachable but slow; restored
+    to nominal ``down_ns`` later."""
+
+    mhd_index: int
+    at_ns: float
+    down_ns: float
+    bandwidth_factor: float = 0.1
+
+
+@dataclass(frozen=True)
+class MemPoison:
+    """Uncorrectable media error: ``n_lines`` cachelines at ``addr``
+    are marked poisoned.  Reads of a poisoned line raise; any write
+    scrubs it.  The integrity layer must detect every hit."""
+
+    addr: int
+    at_ns: float
+    n_lines: int = 1
+
+
 Fault = Union[DeviceCrash, DeviceFlap, LinkFlap, AgentCrash,
-              OrchestratorCrash]
+              OrchestratorCrash, MhdCrash, MhdDegrade, MemPoison]
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ its device inventory, and re-reports both whenever the orchestrator asks
 announce, so a restarted orchestrator reconstructs its entire state from
 agents — "agents are the source of truth".
 
-The message types on the wire are the 61-byte structs from
+The message types on the wire are the single-slot structs from
 :mod:`repro.channel.messages`; both ends fit comfortably in single ring
 slots, which is what makes "offload both roles to SmartNICs" (§4.2) a
 credible future step.
@@ -114,6 +114,23 @@ class PoolingAgent:
         if self._loop is not None and self._loop.is_alive:
             self._loop.interrupt(cause="agent stopped")
         self._loop = None
+
+    def rebind_endpoint(self, endpoint: RpcEndpoint) -> None:
+        """Swap to a rebuilt control channel (e.g. after an MHD crash).
+
+        The monitor loop is stopped first so no in-flight send keeps
+        retrying into the dead channel's memory, then restarted on the new
+        endpoint; adopted assignments and inventory survive untouched, so
+        the next tick resumes heartbeats and announces seamlessly.
+        """
+        running = self._loop is not None
+        if running:
+            self.stop()
+        self.endpoint.close()
+        self.endpoint = endpoint
+        endpoint.on(Resync, self._on_resync)
+        if running:
+            self.start()
 
     def crash(self) -> None:
         """Fault injection: the agent daemon dies, losing soft state.

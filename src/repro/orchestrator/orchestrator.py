@@ -82,6 +82,10 @@ class Orchestrator:
         self.repair_rebinds = 0
         self.stale_epoch_drops = 0
         self.dropped_while_down = 0
+        # Memory RAS: pool-device (MHD) failure domain accounting.
+        self.mhd_failures_seen = 0
+        self.mhd_repairs_seen = 0
+        self._mhds_down: set[int] = set()
 
     # -- registry --------------------------------------------------------------
 
@@ -202,6 +206,31 @@ class Orchestrator:
         self.board.mark_healthy(device_id)
         # The promised repair retry: assignments stranded with no failover
         # target get another chance now that capacity returned.
+        self._retry_pending_repairs()
+
+    def ingest_mhd_failure(self, mhd_index: int) -> None:
+        """A pool memory device (MHD) died — a *memory* failure domain.
+
+        The channel/placement recovery itself is the pool layer's job
+        (it owns the channels); the orchestrator records the event so the
+        availability state of the pod is queryable from one place.
+        """
+        if self.down:
+            self.dropped_while_down += 1
+            return
+        if mhd_index not in self._mhds_down:
+            self._mhds_down.add(mhd_index)
+            self.mhd_failures_seen += 1
+        self.board.set_gauge("mhd.down", float(len(self._mhds_down)))
+
+    def ingest_mhd_repair(self, mhd_index: int) -> None:
+        if self.down:
+            self.dropped_while_down += 1
+            return
+        if mhd_index in self._mhds_down:
+            self._mhds_down.discard(mhd_index)
+            self.mhd_repairs_seen += 1
+        self.board.set_gauge("mhd.down", float(len(self._mhds_down)))
         self._retry_pending_repairs()
 
     def ingest_device_announce(self, host_id: str, device_id: int,

@@ -9,6 +9,7 @@ from repro.channel.ring import (
     RingChannel,
     RingFullError,
     RingLayout,
+    SlotCorruptionError,
 )
 from repro.cxl.pod import CxlPod, PodConfig
 from repro.sim import Simulator
@@ -186,6 +187,128 @@ def test_mismatched_regions_rejected():
             SharedRegion(pod.host("h1"), b),
             n_slots=4,
         )
+
+
+# -- memory RAS: per-slot CRC, poison, λ-redundant placement ---------------
+
+
+def _slot_addr(ring, slot_number):
+    index = slot_number % ring.layout.n_slots
+    return ring.alloc.range.base + ring.layout.slot_offset(index)
+
+
+def test_bit_flip_fails_crc_and_is_counted():
+    sim, pod, ring = make_ring()
+
+    def sender(sim):
+        yield from ring.sender.send(b"payload-under-test")
+
+    def receiver(sim):
+        try:
+            yield from ring.receiver.recv()
+        except SlotCorruptionError as exc:
+            return exc.reason
+
+    s = sim.spawn(sender(sim))
+    sim.run(until=s)
+    sim.run()  # let the sender's NT store drain to the media
+    # Corrupt one payload byte in pool memory before the receiver reads:
+    # the slot's seq still matches, so only the CRC can catch it.
+    pod.pool_write(_slot_addr(ring, 0) + 7 + 3, b"\xff")
+    p = sim.spawn(receiver(sim))
+    sim.run(until=p)
+    sim.run()
+    assert p.value == "CRC mismatch"
+    assert ring.receiver.crc_rejects == 1
+    assert ring.receiver.lost_slots == 1
+
+
+def test_poisoned_slot_detected_and_skipped():
+    sim, pod, ring = make_ring()
+    outcome = []
+
+    def sender(sim):
+        yield from ring.sender.send(b"first")
+        pod.poison(_slot_addr(ring, 0))
+        yield from ring.sender.send(b"second")
+
+    def receiver(sim):
+        for _ in range(2):
+            try:
+                outcome.append((yield from ring.receiver.recv()))
+            except SlotCorruptionError as exc:
+                outcome.append(exc.reason)
+
+    s = sim.spawn(sender(sim))
+    sim.run(until=s)
+    r = sim.spawn(receiver(sim))
+    sim.run(until=r)
+    sim.run()
+    # The poisoned slot is a detected loss; the next message still flows.
+    assert outcome == ["poisoned line", b"second"]
+    assert ring.receiver.poison_hits == 1
+    assert ring.receiver.lost_slots == 1
+
+
+def test_sender_pass_scrubs_poisoned_slot():
+    """The sender's next lap overwrites (and thereby scrubs) a poisoned
+    slot, so one media error never wedges the ring permanently."""
+    sim, pod, ring = make_ring(n_slots=2)
+    n = 6
+    got = []
+
+    def sender(sim):
+        for i in range(n):
+            yield from ring.sender.send(bytes([i]))
+
+    def receiver(sim):
+        pod.poison(_slot_addr(ring, 0))
+        for _ in range(n):
+            try:
+                got.append((yield from ring.receiver.recv()))
+            except SlotCorruptionError:
+                got.append(None)
+
+    sim.spawn(sender(sim))
+    r = sim.spawn(receiver(sim))
+    sim.run(until=r)
+    sim.run()
+    assert got[0] is None                    # the poisoned first slot
+    assert got[1:] == [bytes([i]) for i in range(1, n)]
+    assert pod.ras_counters()["poisoned_resident"] == 0  # scrubbed
+
+
+def test_poisoned_progress_line_scrubbed_by_sender():
+    sim, pod, ring = make_ring(n_slots=2)
+
+    def proc():
+        yield from ring.sender.send(b"a")
+        yield from ring.sender.send(b"b")
+        # Ring now full; poison the progress line the sender must poll.
+        pod.poison(ring.alloc.range.base + ring.layout.progress_offset)
+        drain = sim.spawn(drain_two())
+        yield from ring.sender.send(b"c")
+        yield drain
+
+    def drain_two():
+        yield sim.timeout(10_000.0)
+        for _ in range(2):
+            yield from ring.receiver.recv()
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert ring.sender.poison_hits == 1
+    assert pod.ras_counters()["poisoned_resident"] == 0
+
+
+def test_over_pod_confines_rings_to_distinct_mhds():
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=2, mhd_capacity=1 << 26))
+    a = RingChannel.over_pod(pod, "h0", "h1", n_slots=4)
+    b = RingChannel.over_pod(pod, "h1", "h0", n_slots=4)
+    assert {a.mhd_index, b.mhd_index} == {0, 1}
+    assert pod.allocation_mhds(a.alloc) == {a.mhd_index}
 
 
 @settings(max_examples=20, deadline=None)

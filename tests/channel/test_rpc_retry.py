@@ -125,7 +125,7 @@ def test_backoff_delays_grow_and_jitter_is_deterministic():
     first = run_once()
     second = run_once()
     assert len(first) == 4
-    gaps = [b - a for a, b in zip(first, first[1:])]
+    gaps = [b - a for a, b in zip(first, first[1:], strict=False)]
     # Each gap = timeout + backoff(attempt); backoff doubles, so gaps
     # strictly grow.
     assert gaps == sorted(gaps)

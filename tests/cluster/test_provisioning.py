@@ -30,7 +30,7 @@ def test_stranding_decreases_monotonically_with_pool_size(demand):
     for series in (demand.ssd_gb, demand.nic_gbps):
         result = stranding_vs_pool_size(series, pool_sizes=(1, 2, 4, 8, 16))
         values = [result[n] for n in (1, 2, 4, 8, 16)]
-        assert all(a > b for a, b in zip(values, values[1:]))
+        assert all(a > b for a, b in zip(values, values[1:], strict=False))
 
 
 def test_pooling_8_hosts_substantially_reduces_stranding(demand):

@@ -113,7 +113,7 @@ def test_property_no_overlap_and_conservation(ops):
         ranges = sorted(
             (a.range.base, a.range.end) for a in alloc.allocations
         )
-        for (b1, e1), (b2, _e2) in zip(ranges, ranges[1:]):
+        for (_b1, e1), (b2, _e2) in zip(ranges, ranges[1:], strict=False):
             assert e1 <= b2, "allocations overlap"
         for a in alloc.allocations:
             assert a.range.base % CACHELINE_BYTES == 0

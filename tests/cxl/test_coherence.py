@@ -159,5 +159,5 @@ def test_property_publish_consume_is_write_read_consistent(chunks):
     sim.spawn(writer(w))
     p = sim.spawn(reader(r))
     sim.run()
-    for (off, data), got in zip(placed, p.value):
+    for (_off, data), got in zip(placed, p.value, strict=True):
         assert got == data

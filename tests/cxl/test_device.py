@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cxl.device import CxlMemoryDevice, LocalDram
+from repro.cxl.device import CxlMemoryDevice, LocalDram, PoisonedMemoryError
 
 
 def test_unwritten_memory_reads_zero():
@@ -69,6 +69,69 @@ def test_resident_bytes_tracks_written_lines():
     assert dev.resident_bytes == 0
     dev.write(0, bytes(200))  # touches 4 lines
     assert dev.resident_bytes == 4 * 64
+
+
+def test_poisoned_line_read_raises():
+    dev = CxlMemoryDevice(1 << 20)
+    dev.write_line(128, bytes(range(64)))
+    dev.poison(128)
+    with pytest.raises(PoisonedMemoryError):
+        dev.read_line(128)
+    with pytest.raises(PoisonedMemoryError):
+        dev.read(130, 4)  # span reads hit the same check
+    assert dev.poison_reads == 2
+
+
+def test_poison_hits_any_byte_of_the_line():
+    dev = CxlMemoryDevice(1 << 20)
+    dev.poison(100)  # mid-line address poisons the whole line
+    with pytest.raises(PoisonedMemoryError):
+        dev.read_line(64)
+    # ...but the neighbouring lines stay readable.
+    assert dev.read_line(0) == bytes(64)
+    assert dev.read_line(128) == bytes(64)
+
+
+def test_full_line_write_scrubs_poison():
+    dev = CxlMemoryDevice(1 << 20)
+    dev.poison(64)
+    dev.write_line(64, b"\xcc" * 64)
+    assert dev.read_line(64) == b"\xcc" * 64
+    assert dev.poisons_scrubbed == 1
+    assert dev.poisoned_resident == 0
+
+
+def test_partial_write_scrubs_without_resurrecting_bytes():
+    """The un-overwritten remainder of a scrubbed line reads as zeros,
+    never as the pre-poison content (which was declared corrupt)."""
+    dev = CxlMemoryDevice(1 << 20)
+    dev.write_line(0, b"\xaa" * 64)
+    dev.poison(0)
+    dev.write(4, b"\xbb" * 8)
+    line = dev.read_line(0)
+    assert line[4:12] == b"\xbb" * 8
+    assert line[:4] == bytes(4)
+    assert line[12:] == bytes(52)
+
+
+def test_poison_accounting_identity():
+    dev = CxlMemoryDevice(1 << 20)
+    for addr in (0, 64, 128, 192):
+        dev.poison(addr)
+    dev.poison(0)  # double-poison is idempotent
+    assert dev.poisons_injected == 4
+    dev.write_line(64, bytes(64))
+    dev.write(130, b"xy")
+    assert dev.poisons_injected == (
+        dev.poisons_scrubbed + dev.poisoned_resident
+    )
+    assert dev.poisoned_resident == 2
+
+
+def test_poison_out_of_bounds_rejected():
+    dev = CxlMemoryDevice(1 << 10)
+    with pytest.raises(ValueError):
+        dev.poison(1 << 10)
 
 
 def test_local_dram_is_per_host():

@@ -145,6 +145,112 @@ def test_repair_readmits_replica():
     assert not volume.degraded or volume.healthy_count == 2
 
 
+def test_degraded_reads_all_hit_survivor():
+    """With one replica down, every read is served by the survivor."""
+    sim, volume, ssds, _clients = make_mirror(2)
+    payload = b"degraded-read" * 4
+
+    def proc():
+        yield from volume.write(0, payload)
+        ssds[0].fail()
+        yield from volume.read(0, len(payload))   # detects the failure
+        for _ in range(4):
+            yield from volume.read(0, len(payload))
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert volume.degraded
+    assert ssds[0].bytes_read == 0
+    # Survivor served all 5 successful reads.
+    assert ssds[1].bytes_read == 5 * len(payload)
+    assert volume.reads_served == 5
+
+
+def test_repaired_replica_rejoins_read_rotation():
+    """After mark_repaired, round-robin reads use both replicas again."""
+    sim, volume, ssds, _clients = make_mirror(2)
+    payload = b"rotation" * 8
+
+    def proc():
+        yield from volume.write(0, payload)
+        ssds[0].fail()
+        yield from volume.read(0, len(payload))
+        ssds[0].repair()
+        yield from volume.mark_repaired(0)
+        # Resilver in this model = rewrite; then both serve reads.
+        yield from volume.write(0, payload)
+        before = [ssd.bytes_read for ssd in ssds]
+        for _ in range(4):
+            yield from volume.read(0, len(payload))
+        return [ssd.bytes_read - b for ssd, b in zip(ssds, before, strict=True)]
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert not volume.degraded
+    # Both replicas are back in the read rotation.  (ssd0's delta also
+    # includes the replayed command its failure aborted, so the bound is
+    # >=, not ==.)
+    assert all(delta >= 2 * len(payload) for delta in p.value)
+
+
+def test_repair_does_not_resilver_content():
+    """mark_repaired re-admits as trusted: stale data on the re-admitted
+    replica is the caller's problem, which the test pins down so the
+    contract stays explicit."""
+    sim, volume, ssds, _clients = make_mirror(2)
+
+    def proc():
+        yield from volume.write(0, b"v1-data!")
+        ssds[0].fail()
+        yield from volume.read(0, 8)
+        yield from volume.write(0, b"v2-data!")   # only replica 1 has v2
+        ssds[0].repair()
+        yield from volume.mark_repaired(0)
+        reads = []
+        for _ in range(2):
+            reads.append((yield from volume.read(0, 8)))
+        return reads
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    # One read returns stale v1 from the un-resilvered replica.
+    assert sorted(p.value) == [b"v1-data!", b"v2-data!"]
+
+
+def test_mark_repaired_validates_index():
+    sim, volume, _ssds, _clients = make_mirror(2)
+
+    def proc():
+        try:
+            yield from volume.mark_repaired(7)
+        except IndexError:
+            return "rejected"
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert p.value == "rejected"
+
+
+def test_failover_counted_once_per_replica_death():
+    sim, volume, ssds, _clients = make_mirror(3)
+
+    def proc():
+        yield from volume.write(0, b"counted!")
+        ssds[1].fail()
+        for _ in range(6):
+            yield from volume.read(0, 8)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert volume.failovers == 1
+    assert volume.healthy_count == 2
+
+
 def test_validation():
     sim = Simulator()
     with pytest.raises(ValueError):

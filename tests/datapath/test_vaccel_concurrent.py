@@ -46,7 +46,7 @@ def test_concurrent_jobs_all_complete_correctly():
     p = sim.spawn(main())
     sim.run(until=p)
     sim.run()
-    for data, compressed in zip(inputs, p.value):
+    for data, compressed in zip(inputs, p.value, strict=True):
         assert zlib.decompress(compressed) == data
     assert accel.jobs_completed == 12
     accel.stop()

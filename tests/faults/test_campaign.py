@@ -7,6 +7,9 @@ from repro.faults import (
     ChaosConfig,
     DeviceFlap,
     LinkFlap,
+    MemPoison,
+    MhdCrash,
+    MhdDegrade,
     OrchestratorCrash,
 )
 from repro.sim import Simulator
@@ -95,3 +98,69 @@ def test_stream_name_isolates_draws():
     a = ChaosCampaign(pool, CFG, stream="chaos-a").schedule()
     b = ChaosCampaign(pool, CFG, stream="chaos-b").schedule()
     assert a.faults != b.faults
+
+
+# -- memory-RAS fault draws -------------------------------------------------
+
+
+def test_ras_fault_counts_and_validity():
+    import dataclasses
+    cfg = dataclasses.replace(CFG, mhd_crashes=1, mhd_degrades=2,
+                              mem_poisons=3, degrade_factor=0.2)
+    pool = make_pool(4)
+    schedule = ChaosCampaign(pool, cfg).schedule()
+    crashes = [f for f in schedule if isinstance(f, MhdCrash)]
+    degrades = [f for f in schedule if isinstance(f, MhdDegrade)]
+    poisons = [f for f in schedule if isinstance(f, MemPoison)]
+    assert len(crashes) == 1 and len(degrades) == 2 and len(poisons) == 3
+    n_mhds = pool.pod.config.n_mhds
+    for fault in crashes + degrades:
+        assert 0 <= fault.mhd_index < n_mhds
+    for fault in degrades:
+        assert fault.bandwidth_factor == 0.2
+        assert cfg.min_down_ns <= fault.down_ns <= cfg.max_down_ns
+    assert all(f.repair_after_ns is None for f in crashes)  # permanent
+
+
+def test_mem_poison_targets_ctl_channel_allocations():
+    """Poison draws land inside control-channel rings, whose integrity
+    layer detects every hit — never inside unprotected device buffers."""
+    import dataclasses
+    cfg = dataclasses.replace(CFG, mem_poisons=4)
+    pool = make_pool(5)
+    ctl = [(rng.base, rng.base + rng.size)
+           for _idx, rng, label in pool.pod.ras_allocations()
+           if label.startswith("rpc:ctl:")]
+    assert ctl  # pool construction made the control channels
+    schedule = ChaosCampaign(pool, cfg).schedule()
+    poisons = [f for f in schedule if isinstance(f, MemPoison)]
+    assert len(poisons) == 4
+    for fault in poisons:
+        assert fault.addr % 64 == 0
+        assert any(lo <= fault.addr < hi for lo, hi in ctl)
+
+
+def test_mhd_crash_skipped_at_lambda_zero():
+    """n_mhds=1 has no spare failure domain: a crash would be fatal, so
+    the campaign refuses to draw one."""
+    import dataclasses
+    sim = Simulator(seed=6)
+    pool = PciePool(sim, n_hosts=2, n_mhds=1)
+    cfg = dataclasses.replace(CFG, mhd_crashes=3)
+    schedule = ChaosCampaign(pool, cfg).schedule()
+    assert not any(isinstance(f, MhdCrash) for f in schedule)
+    # Degrades and poisons are still fine at λ=0 (no data loss).
+    assert any(isinstance(f, MhdDegrade) for f in schedule)
+
+
+def test_ras_draws_do_not_perturb_legacy_schedule():
+    """New fault classes draw after every legacy loop, so a seed's
+    legacy faults are bit-identical whether or not RAS faults are on."""
+    import dataclasses
+    legacy_only = dataclasses.replace(
+        CFG, mhd_crashes=0, mhd_degrades=0, mem_poisons=0)
+    with_ras = dataclasses.replace(
+        CFG, mhd_crashes=1, mhd_degrades=2, mem_poisons=2)
+    a = ChaosCampaign(make_pool(11), legacy_only).schedule()
+    b = ChaosCampaign(make_pool(11), with_ras).schedule()
+    assert b.faults[:len(a.faults)] == a.faults

@@ -8,6 +8,9 @@ from repro.faults import (
     FaultInjector,
     FaultSchedule,
     LinkFlap,
+    MemPoison,
+    MhdCrash,
+    MhdDegrade,
     OrchestratorCrash,
 )
 from repro.sim import Simulator
@@ -117,6 +120,62 @@ def test_orchestrator_crash_and_restart_bumps_epoch():
     sim.run()
 
 
+def test_mhd_crash_and_repair():
+    sim, pool, _nic = make_pool()
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        MhdCrash(mhd_index=1, at_ns=1_000_000.0,
+                 repair_after_ns=2_000_000.0),
+    )))
+    sim.run(until=sim.timeout(1_500_000.0))
+    assert pool.pod.mhds[1].failed
+    assert pool.pod.healthy_mhds == [0]
+    sim.run(until=sim.timeout(2_000_000.0))
+    assert not pool.pod.mhds[1].failed
+    events = injector.log.for_target("mhd:1")
+    assert [e.action for e in events] == ["fail", "repair"]
+    assert all(e.fault == "MhdCrash" for e in events)
+    pool.stop()
+    sim.run()
+
+
+def test_mhd_degrade_collapses_and_restores_bandwidth():
+    sim, pool, _nic = make_pool()
+    mhd = pool.pod.mhds[0]
+    nominal = [link.bandwidth for link in mhd.links]
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        MhdDegrade(mhd_index=0, at_ns=1_000_000.0, down_ns=3_000_000.0,
+                   bandwidth_factor=0.25),
+    )))
+    sim.run(until=sim.timeout(2_000_000.0))
+    assert [link.bandwidth for link in mhd.links] == [
+        0.25 * bw for bw in nominal
+    ]
+    assert all(link.up for link in mhd.links)  # degraded, not dead
+    sim.run(until=sim.timeout(5_000_000.0))
+    assert [link.bandwidth for link in mhd.links] == nominal
+    events = injector.log.for_target("mhd:0")
+    assert [e.action for e in events] == ["degrade", "restore"]
+    pool.stop()
+    sim.run()
+
+
+def test_mem_poison_marks_line_and_logs_target():
+    sim, pool, _nic = make_pool()
+    _idx, rng, _label = pool.pod.ras_allocations()[0]
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        MemPoison(addr=rng.base, at_ns=1_000_000.0, n_lines=2),
+    )))
+    sim.run(until=sim.timeout(2_000_000.0))
+    assert pool.pod.ras_counters()["poisons_injected"] == 2
+    (event,) = injector.log.for_target(f"mem:{rng.base:#x}+2")
+    assert event.action == "poison"
+    pool.stop()
+    sim.run()
+
+
 def scenario_signature(seed):
     sim = Simulator(seed=seed)
     pool = PciePool(sim, n_hosts=2)
@@ -124,11 +183,14 @@ def scenario_signature(seed):
     pool.add_nic("h1")
     pool.start()
     injector = FaultInjector(pool)
+    target = pool.pod.ras_allocations()[0][1].base
     injector.run(FaultSchedule((
         DeviceFlap(device_id=1, at_ns=2_000_000.0, down_ns=3_000_000.0),
         LinkFlap(host_id="h1", at_ns=4_000_000.0, down_ns=2_000_000.0,
                  link_index=0),
         DeviceFlap(device_id=2, at_ns=6_000_000.0, down_ns=1_000_000.0),
+        MhdDegrade(mhd_index=0, at_ns=8_000_000.0, down_ns=2_000_000.0),
+        MemPoison(addr=target, at_ns=9_000_000.0),
     )))
     sim.run(until=sim.timeout(30_000_000.0))
     pool.stop()

@@ -96,7 +96,7 @@ def test_vfs_share_wire_bandwidth():
     def blaster(vnic):
         yield from vnic.start()
         sock = vnic.stack.bind(9)
-        for i in range(n):
+        for _ in range(n):
             yield from sock.sendto(bytes(size), peer.mac, 7)
 
     p = sim.spawn(peer_main())

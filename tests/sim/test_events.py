@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import AllOf, AnyOf, Simulator
+from repro.sim.errors import SimError
 
 
 def test_allof_waits_for_all():
@@ -68,7 +69,7 @@ def test_allof_propagates_failure():
 
 def test_condition_rejects_foreign_events():
     sim1, sim2 = Simulator(), Simulator()
-    with pytest.raises(Exception):
+    with pytest.raises(SimError):
         AllOf(sim1, [sim1.event(), sim2.event()])
 
 

@@ -16,7 +16,7 @@ def test_resource_grants_up_to_capacity():
             grants.append((tag, sim.now))
             yield sim.timeout(hold)
 
-    for idx, tag in enumerate(["a", "b", "c"]):
+    for tag in ("a", "b", "c"):
         sim.spawn(worker(sim, res, tag, hold=100.0))
     sim.run()
     # a, b start immediately; c waits for a slot at t=100.
