@@ -1,0 +1,90 @@
+"""OBS — tracing overhead guard and chaos determinism.
+
+The observability layer must be free when disabled and nearly free when
+enabled: spans are appended to a Python list off the simulated clock, so
+the *simulated* results are identical and only wall-clock pays.  The CI
+trace job runs the p50 guard below; the determinism check mirrors the
+chaos soak's bit-identical-log assertion with tracing switched on.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import banner, run_once
+from repro.channel.pingpong import run_pingpong
+from repro.core.pool import PciePool
+from repro.faults import ChaosCampaign, ChaosConfig, FaultInjector, FaultLog
+from repro.obs import runtime as _obs
+from repro.obs.trace import Tracer
+from repro.sim import Simulator
+
+N_MESSAGES = 1500
+
+
+def _timed_pingpong():
+    started = time.perf_counter()
+    result = run_pingpong(n_messages=N_MESSAGES, seed=0)
+    return result, time.perf_counter() - started
+
+
+def test_tracing_overhead_and_identical_results(benchmark):
+    baseline, base_wall = run_once(benchmark, _timed_pingpong)
+
+    tracer = Tracer()
+    _obs.enable_tracing(tracer)
+    try:
+        traced, traced_wall = _timed_pingpong()
+    finally:
+        _obs.disable_tracing()
+
+    banner("Observability: tracing overhead on the fig4 ping-pong")
+    print(f"{'':>12} {'p50 (sim ns)':>14} {'wall (s)':>10}")
+    print(f"{'disabled':>12} {baseline.median_ns:>14.0f} "
+          f"{base_wall:>10.3f}")
+    print(f"{'enabled':>12} {traced.median_ns:>14.0f} "
+          f"{traced_wall:>10.3f}")
+    print(f"spans recorded: {len(tracer.spans)}")
+
+    # Simulated time must be bit-identical — tracing never touches the
+    # clock.  (Stronger than the 10% CI guard, and implies it.)
+    assert np.array_equal(baseline.samples_ns, traced.samples_ns)
+    assert abs(traced.median_ns - baseline.median_ns) \
+        <= 0.10 * baseline.median_ns
+    # And the tracer actually saw the run.
+    assert len(tracer.by_name("pingpong.round")) == N_MESSAGES
+
+
+def test_chaos_fault_log_identical_with_tracing():
+    """A chaos soak's fault log must not change when tracing is on."""
+    config = ChaosConfig(
+        duration_ns=400_000_000.0,
+        device_flaps=3, link_flaps=2,
+        agent_crashes=0, orchestrator_restarts=0,
+        min_down_ns=5_000_000.0, max_down_ns=20_000_000.0,
+        settle_ns=100_000_000.0,
+        mhd_degrades=0, mem_poisons=1,
+    )
+
+    def run_soak():
+        sim = Simulator(seed=13)
+        pool = PciePool(sim, n_hosts=3,
+                        ctl_poll_ns=200_000.0, dev_poll_ns=50_000.0)
+        pool.add_nic("h0")
+        pool.add_nic("h1")
+        pool.start()
+        schedule = ChaosCampaign(pool, config).schedule()
+        log = FaultLog()
+        FaultInjector(pool, log=log).run(schedule)
+        sim.run(until=sim.timeout(config.duration_ns - sim.now))
+        pool.stop()
+        return log.signature(), [e.line() for e in log]
+
+    plain_sig, plain_lines = run_soak()
+    _obs.enable_tracing(Tracer())
+    try:
+        traced_sig, traced_lines = run_soak()
+    finally:
+        _obs.disable_tracing()
+    assert plain_lines and plain_lines == traced_lines
+    assert plain_sig == traced_sig

@@ -21,6 +21,8 @@ import numpy as np
 from repro.channel.ring import RingChannel
 from repro.cxl.link import LinkSpec
 from repro.cxl.pod import CxlPod, PodConfig
+from repro.obs import runtime as _obs
+from repro.obs.context import unwrap_trace, wrap_trace
 from repro.sim import Simulator
 
 _STAMP = struct.Struct("<d")
@@ -83,12 +85,28 @@ def run_pingpong(n_messages: int = 2000, seed: int = 0,
     pong = RingChannel.over_pod(pod, "h1", "h0", n_slots=16, label="pong")
     one_way: list[float] = []
     rng = sim.rng.stream("pingpong-jitter")
+    tracer = _obs.TRACER
+    hist = _obs.METRICS.histogram("ring.one_way_ns")
 
     def client(sim):
-        for _ in range(n_messages):
+        for i in range(n_messages):
             stamp = _STAMP.pack(sim.now)
-            yield from ping.sender.send(stamp)
-            yield from pong.receiver.recv(poll_overhead_ns)
+            if tracer.enabled:
+                # One trace per round: the stamp rides with a trace
+                # envelope so the server's handler span joins this trace
+                # across hosts.  The 64 B NT store covers either payload
+                # size, so tracing perturbs nothing.
+                span = tracer.begin("pingpong.round", sim.now,
+                                    track="h0/app", cat="app",
+                                    args={"round": i})
+                ctx = span.context()
+                yield from ping.sender.send(wrap_trace(stamp, ctx),
+                                            ctx=ctx)
+                yield from pong.receiver.recv(poll_overhead_ns)
+                tracer.end(span, sim.now)
+            else:
+                yield from ping.sender.send(stamp)
+                yield from pong.receiver.recv(poll_overhead_ns)
             # Random think time decorrelates the poll phase between
             # iterations so the alignment term is properly sampled.
             yield sim.timeout(float(rng.uniform(50.0, 500.0)))
@@ -96,12 +114,25 @@ def run_pingpong(n_messages: int = 2000, seed: int = 0,
     def server(sim):
         for _ in range(n_messages):
             payload = yield from ping.receiver.recv(poll_overhead_ns)
+            payload, ctx = unwrap_trace(payload)
             (sent_at,) = _STAMP.unpack(payload[:_STAMP.size])
-            one_way.append(sim.now - sent_at)
+            latency = sim.now - sent_at
+            one_way.append(latency)
+            hist.observe(latency)
+            span = None
+            if tracer.enabled:
+                span = tracer.begin("pingpong.handle", sim.now,
+                                    track="h1/app", parent=ctx,
+                                    cat="app",
+                                    args={"one_way_ns": latency})
             if jitter and rng.random() < 0.02:
                 # Rare interference event (IRQ, cgroup throttle, ...).
                 yield sim.timeout(float(rng.exponential(400.0)))
-            yield from pong.sender.send(b"ack")
+            if span is not None:
+                yield from pong.sender.send(b"ack", ctx=span.context())
+                tracer.end(span, sim.now)
+            else:
+                yield from pong.sender.send(b"ack")
 
     c = sim.spawn(client(sim), name="pingpong-client")
     sim.spawn(server(sim), name="pingpong-server")

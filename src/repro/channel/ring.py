@@ -45,6 +45,7 @@ from repro.cxl.address import CACHELINE_BYTES
 from repro.cxl.coherence import SharedRegion
 from repro.cxl.device import PoisonedMemoryError
 from repro.cxl.link import LinkDownError
+from repro.obs import runtime as _obs
 from repro.sim.errors import SimError
 
 #: seq tag, payload length, CRC32 of (tag, length, payload).
@@ -203,12 +204,18 @@ class RingSender:
         """Messages in flight as of the last progress observation."""
         return self._head - self._known_consumed
 
-    def send(self, payload: bytes, poll_interval_ns: float = 50.0):
+    def send(self, payload: bytes, poll_interval_ns: float = 50.0,
+             ctx=None):
         """Process: enqueue ``payload`` (<= 57 B), blocking while full.
 
         Safe for multiple sender *processes* on the same host: the slot
         index is reserved synchronously before any yield, so concurrent
         sends never write the same slot.
+
+        ``ctx`` (a :class:`~repro.obs.context.SpanContext` or span) links
+        the slot span into the caller's trace when tracing is enabled;
+        it never touches the wire — trace propagation is the payload's
+        business (the RPC layer wraps an envelope).
         """
         if len(payload) > SLOT_PAYLOAD_BYTES:
             raise ValueError(
@@ -216,6 +223,15 @@ class RingSender:
                 f"{SLOT_PAYLOAD_BYTES} B; use the fragmentation layer"
             )
         sim = self.region.memsys.sim
+        tracer = _obs.TRACER
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "ring.send", sim.now,
+                track=f"{self.region.memsys.host_id}/ring",
+                parent=ctx, cat="ring",
+            )
+        retries_before = self.link_retries
         while True:
             if self.retired:
                 raise ChannelRetiredError(self.region.memsys.host_id)
@@ -232,7 +248,14 @@ class RingSender:
             if self._head - self._known_consumed < self.layout.n_slots:
                 continue
             yield sim.timeout(poll_interval_ns)
-        yield from self._write_slot(slot_number, payload)
+        try:
+            yield from self._write_slot(slot_number, payload)
+        finally:
+            if span is not None:
+                tracer.end(
+                    span, sim.now, slot=slot_number,
+                    link_retries=self.link_retries - retries_before,
+                )
 
     def try_send(self, payload: bytes):
         """Process: enqueue or raise :class:`RingFullError` (no blocking).
@@ -351,6 +374,7 @@ class RingReceiver:
             # Advance past the slot — the sender's next pass overwrites
             # (and thereby scrubs) the line.
             self.poison_hits += 1
+            self._trace_corruption(slot_number, "poisoned line")
             yield from self._consume_damaged()
             raise SlotCorruptionError(
                 self.region.memsys.host_id, slot_number, "poisoned line"
@@ -361,6 +385,7 @@ class RingReceiver:
         payload = bytes(raw[_HEADER.size:_HEADER.size + length])
         if length > SLOT_PAYLOAD_BYTES or _slot_crc(seq, payload) != crc:
             self.crc_rejects += 1
+            self._trace_corruption(slot_number, "CRC mismatch")
             yield from self._consume_damaged()
             raise SlotCorruptionError(
                 self.region.memsys.host_id, slot_number, "CRC mismatch"
@@ -371,6 +396,17 @@ class RingReceiver:
             self._progress_dirty = True
             yield from self._flush_progress()
         return payload
+
+    def _trace_corruption(self, slot_number: int, reason: str) -> None:
+        """Instant on the receiver's lane: chaos shows up inline."""
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            memsys = self.region.memsys
+            tracer.instant(
+                "ring.slot_corrupt", memsys.sim.now,
+                track=f"{memsys.host_id}/ring", cat="ras",
+                args={"slot": slot_number, "reason": reason},
+            )
 
     def _consume_damaged(self):
         """Advance past a damaged slot, keeping flow control honest."""

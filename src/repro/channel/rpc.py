@@ -15,8 +15,15 @@ import dataclasses
 from typing import Callable, Optional
 
 from repro.channel.messages import Message, decode_message
-from repro.channel.ring import RingReceiver, RingSender, SlotCorruptionError
+from repro.channel.ring import (
+    SLOT_PAYLOAD_BYTES,
+    RingReceiver,
+    RingSender,
+    SlotCorruptionError,
+)
 from repro.cxl.link import LinkDownError
+from repro.obs import runtime as _obs
+from repro.obs.context import unwrap_trace, wrap_trace
 from repro.sim import FilterStore, Interrupt
 
 
@@ -122,27 +129,70 @@ class RpcEndpoint:
         self._next_request_id += 1
         return rid
 
-    def send(self, message: Message):
-        """Process: fire-and-forget a message."""
-        yield from self.tx.send(message.encode())
+    @property
+    def _host_id(self) -> str:
+        return self.tx.region.memsys.host_id
+
+    def send(self, message: Message, parent=None):
+        """Process: fire-and-forget a message.
+
+        With tracing enabled the payload is wrapped in a trace envelope
+        (child of ``parent`` when given), so the receiving dispatcher
+        joins its handler span to the sender's trace.
+        """
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            span = tracer.begin(
+                f"rpc.send:{type(message).__name__}", self.sim.now,
+                track=f"{self._host_id}/rpc", parent=parent, cat="rpc",
+            )
+            payload = wrap_trace(message.encode(), span.context(),
+                                 budget=SLOT_PAYLOAD_BYTES)
+            try:
+                yield from self.tx.send(payload, ctx=span.context())
+            finally:
+                tracer.end(span, self.sim.now)
+        else:
+            yield from self.tx.send(message.encode())
         self.calls_sent += 1
 
-    def call(self, message: Message, timeout_ns: Optional[float] = None):
+    def call(self, message: Message, timeout_ns: Optional[float] = None,
+             parent=None):
         """Process: send ``message`` and wait for the matching reply.
 
         Matching is by ``request_id``; the message must carry one.  Raises
-        :class:`RpcError` on timeout.
+        :class:`RpcError` on timeout.  The span (when tracing) covers
+        send → matched reply — the full send→ack exchange.
         """
         rid = message.request_id
-        yield from self.tx.send(message.encode())
+        tracer = _obs.TRACER
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                f"rpc.call:{type(message).__name__}", self.sim.now,
+                track=f"{self._host_id}/rpc", parent=parent, cat="rpc",
+                args={"request_id": rid},
+            )
+            payload = wrap_trace(message.encode(), span.context(),
+                                 budget=SLOT_PAYLOAD_BYTES)
+            yield from self.tx.send(payload, ctx=span.context())
+        else:
+            yield from self.tx.send(message.encode())
         self.calls_sent += 1
+        started_ns = self.sim.now
         get = self._replies.get(lambda m: m.request_id == rid)
         if timeout_ns is None:
             reply = yield get
+            if span is not None:
+                tracer.end(span, self.sim.now)
+            _obs.METRICS.observe("rpc.call_ns", self.sim.now - started_ns)
             return reply
         deadline = self.sim.timeout(timeout_ns)
         result = yield get | deadline
         if get in result:
+            if span is not None:
+                tracer.end(span, self.sim.now)
+            _obs.METRICS.observe("rpc.call_ns", self.sim.now - started_ns)
             return result[get]
         # Withdraw the pending get so a late reply does not satisfy a
         # waiter that already gave up, and remember the request id: a
@@ -153,6 +203,8 @@ class RpcEndpoint:
         self._abandoned.add(rid)
         self.calls_timed_out += 1
         self._purge_abandoned()
+        if span is not None:
+            tracer.end(span, self.sim.now, outcome="timeout")
         raise RpcError(
             f"{self.name}: rpc {type(message).__name__} "
             f"(id={rid}) timed out after {timeout_ns} ns"
@@ -161,7 +213,8 @@ class RpcEndpoint:
     def call_with_retry(self, message: Message, timeout_ns: float,
                         max_attempts: int = 5,
                         backoff_base_ns: float = 100_000.0,
-                        backoff_cap_ns: float = 5_000_000.0):
+                        backoff_cap_ns: float = 5_000_000.0,
+                        parent=None):
         """Process: ``call()`` with exponential backoff and jitter.
 
         Retries transport-level failures (timeouts, dead links) with a
@@ -171,35 +224,58 @@ class RpcEndpoint:
         stream so concurrent retriers de-synchronize reproducibly.
         """
         rng = self.sim.rng.stream(f"rpc-retry:{self.name}")
-        last_error: Optional[Exception] = None
-        for attempt in range(max_attempts):
-            if attempt:
-                delay = min(backoff_cap_ns,
-                            backoff_base_ns * (2 ** (attempt - 1)))
-                delay += float(rng.uniform(0.0, delay))
-                self.retries += 1
-                self.backoff_ns_total += delay
-                yield self.sim.timeout(delay)
-            attempt_msg = dataclasses.replace(
-                message, request_id=self.next_request_id()
+        tracer = _obs.TRACER
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                f"rpc.retry_loop:{type(message).__name__}", self.sim.now,
+                track=f"{self._host_id}/rpc", parent=parent, cat="rpc",
             )
-            try:
-                reply = yield from self.call(attempt_msg,
-                                             timeout_ns=timeout_ns)
-                return reply
-            except (RpcError, LinkDownError) as exc:
-                last_error = exc
-        self.calls_gave_up += 1
-        raise RpcError(
-            f"{self.name}: rpc {type(message).__name__} failed after "
-            f"{max_attempts} attempts"
-        ) from last_error
+            parent = span
+        last_error: Optional[Exception] = None
+        attempt = 0
+        try:
+            for attempt in range(max_attempts):
+                if attempt:
+                    delay = min(backoff_cap_ns,
+                                backoff_base_ns * (2 ** (attempt - 1)))
+                    delay += float(rng.uniform(0.0, delay))
+                    self.retries += 1
+                    self.backoff_ns_total += delay
+                    if span is not None:
+                        tracer.instant(
+                            "rpc.backoff", self.sim.now,
+                            track=f"{self._host_id}/rpc", parent=span,
+                            cat="retry",
+                            args={"attempt": attempt, "delay_ns": delay},
+                        )
+                    yield self.sim.timeout(delay)
+                attempt_msg = dataclasses.replace(
+                    message, request_id=self.next_request_id()
+                )
+                try:
+                    reply = yield from self.call(attempt_msg,
+                                                 timeout_ns=timeout_ns,
+                                                 parent=parent)
+                    return reply
+                except (RpcError, LinkDownError) as exc:
+                    last_error = exc
+            self.calls_gave_up += 1
+            raise RpcError(
+                f"{self.name}: rpc {type(message).__name__} failed after "
+                f"{max_attempts} attempts"
+            ) from last_error
+        finally:
+            if span is not None:
+                tracer.end(span, self.sim.now, attempts=attempt + 1)
 
     def send_with_retry(self, message: Message, max_attempts: int = 5,
                         backoff_base_ns: float = 100_000.0,
-                        backoff_cap_ns: float = 5_000_000.0):
+                        backoff_cap_ns: float = 5_000_000.0,
+                        parent=None):
         """Process: fire-and-forget with backoff across link outages."""
         rng = self.sim.rng.stream(f"rpc-retry:{self.name}")
+        tracer = _obs.TRACER
         last_error: Optional[Exception] = None
         for attempt in range(max_attempts):
             if attempt:
@@ -208,9 +284,16 @@ class RpcEndpoint:
                 delay += float(rng.uniform(0.0, delay))
                 self.retries += 1
                 self.backoff_ns_total += delay
+                if tracer.enabled:
+                    tracer.instant(
+                        "rpc.backoff", self.sim.now,
+                        track=f"{self._host_id}/rpc", parent=parent,
+                        cat="retry",
+                        args={"attempt": attempt, "delay_ns": delay},
+                    )
                 yield self.sim.timeout(delay)
             try:
-                yield from self.send(message)
+                yield from self.send(message, parent=parent)
                 return
             except LinkDownError as exc:
                 last_error = exc
@@ -249,6 +332,12 @@ class RpcEndpoint:
                     # request id) recovers the exchange end-to-end.
                     self.slot_corruptions += 1
                     continue
+                # Trace envelopes are stripped whether or not tracing is
+                # currently enabled: the tag byte (0xFE) can never be a
+                # registered message tag, so this is unambiguous, and it
+                # keeps a receiver correct even if the sender's tracer
+                # was switched on when this one was not.
+                payload, trace_ctx = unwrap_trace(payload)
                 try:
                     message = decode_message(payload)
                 except (ValueError, IndexError):
@@ -260,7 +349,7 @@ class RpcEndpoint:
                 self.messages_handled += 1
                 handler = self._handlers.get(type(message))
                 if handler is not None:
-                    self._run_handler(handler, message)
+                    self._run_handler(handler, message, trace_ctx)
                 elif getattr(message, "request_id", 0) in self._abandoned:
                     # Straggler reply to a call that already timed out.
                     self._abandoned.discard(message.request_id)
@@ -268,7 +357,8 @@ class RpcEndpoint:
                 elif self._awaited_reply(message):
                     self._replies.put(message)
                 elif self._default_handler is not None:
-                    self._run_handler(self._default_handler, message)
+                    self._run_handler(self._default_handler, message,
+                                      trace_ctx)
                 else:
                     # Unmatched message with no handler: park it in the
                     # reply store in case a caller registers momentarily.
@@ -276,10 +366,35 @@ class RpcEndpoint:
         except Interrupt:
             return
 
-    def _run_handler(self, handler: Callable, message: Message) -> None:
+    def _run_handler(self, handler: Callable, message: Message,
+                     trace_ctx=None) -> None:
+        tracer = _obs.TRACER
+        span = None
+        if tracer.enabled:
+            # The receiver-side half of the cross-host trace: a child of
+            # the sender's span via the wire context.  Plain handlers get
+            # an instant; generator handlers get a span covering their
+            # whole process (ended by the wrapper below).
+            span = tracer.begin(
+                f"rpc.handle:{type(message).__name__}", self.sim.now,
+                track=f"{self.rx.region.memsys.host_id}/rpc",
+                parent=trace_ctx, cat="rpc",
+            )
         result = handler(message)
         if result is not None and hasattr(result, "send"):
+            if span is not None:
+                result = self._traced_handler(result, span)
             self.sim.spawn(result, name=f"rpc-handler:{self.name}")
+        elif span is not None:
+            tracer.end(span, self.sim.now)
+
+    def _traced_handler(self, gen, span):
+        """Process wrapper: end the handler span when the handler does."""
+        try:
+            result = yield from gen
+            return result
+        finally:
+            _obs.TRACER.end(span, self.sim.now)
 
     def _awaited_reply(self, message: Message) -> bool:
         """True if some in-flight call() is waiting for this message."""

@@ -8,6 +8,8 @@ Usage::
     python -m repro sqrtn           # §2.1 pooling estimate
     python -m repro cost            # §1/§3 dollars
     python -m repro torless         # §5 rack availability
+    python -m repro trace fig4      # Chrome/Perfetto trace of an experiment
+    python -m repro metrics         # Prometheus-style metrics dump
     python -m repro list            # show available experiments
 
 Each command prints the same series the corresponding benchmark (and
@@ -135,6 +137,131 @@ def _cmd_torless(args) -> None:
               f"{design.switch_cost_usd:>9,.0f}")
 
 
+def _run_doorbell_scenario(seed: int = 7, n_datagrams: int = 8) -> dict:
+    """Remote-doorbell traffic with a mid-stream MemPoison retransmit.
+
+    A client on h2 borrows h0's NIC (every doorbell is forwarded over a
+    ring channel); halfway through, one line of the device-forwarding
+    ring is poisoned so the channel's CRC/poison machinery has to detect
+    and retransmit — the recovery shows up as ``ring.slot_corrupt``
+    instants and ``rpc.backoff`` annotations in the trace.
+    """
+    from repro.core import PciePool
+    from repro.faults import FaultInjector
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=3, n_mhds=2)
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    pool.start()
+    server_vnic = pool.open_nic("h1")   # local NIC
+    client_vnic = pool.open_nic("h2")   # borrows h0's NIC: remote doorbells
+    injector = FaultInjector(pool)
+
+    def server():
+        yield from server_vnic.start()
+        sock = server_vnic.stack.bind(80)
+        for _ in range(n_datagrams):
+            yield from sock.recv()
+
+    def client():
+        yield from client_vnic.start()
+        sock = client_vnic.stack.bind(1234)
+        for i in range(n_datagrams):
+            if i == n_datagrams // 2:
+                # Poison the slot the owner-side dispatcher polls next.
+                # The poll read detects it (poison hit + lost slot), so
+                # the forwarded register read issued right after lands in
+                # a skipped slot, times out, and is retransmitted — all
+                # visible in the trace as a retry_loop span with a
+                # backoff instant.
+                from repro.pcie.device import PcieDevice
+
+                tx = client_vnic.stack.handle.endpoint.tx
+                index = tx._head % tx.layout.n_slots
+                injector.poison_memory(
+                    tx.region.base + tx.layout.slot_offset(index),
+                    n_lines=1,
+                )
+                # Let the dispatcher's next poll trip on the poison (and
+                # skip the slot) before we send into it; a send first
+                # would scrub the line with its full-line NT store.
+                yield sim.timeout(5_000.0)
+                yield from client_vnic.stack.handle.read_register(
+                    PcieDevice.REG_STATUS)
+            yield from sock.sendto(b"x" * 64, server_vnic.mac, 80)
+            yield sim.timeout(200_000.0)
+
+    s = sim.spawn(server(), name="trace-server")
+    sim.spawn(client(), name="trace-client")
+    sim.run(until=s)
+    ras = pool.export_ras_telemetry()
+    ctl = pool.export_control_plane_telemetry()
+    pool.stop()
+    return {
+        "crc_rejects": ras["ring.crc_rejects"],
+        "poison_hits": ras["ring.poison_hits"],
+        "retries": ctl["rpc.retries"],
+        "forwarded": float(client_vnic.is_remote),
+    }
+
+
+def _cmd_trace(args) -> None:
+    import json
+
+    from repro.obs import runtime as _obs
+    from repro.obs.export import export_chrome_trace, validate_chrome_trace
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer()
+    _obs.enable_tracing(tracer)
+    try:
+        if args.experiment == "fig4":
+            from repro.channel.pingpong import run_pingpong
+
+            result = run_pingpong(n_messages=args.messages, seed=0)
+            print(f"fig4: traced {args.messages} ping-pong rounds "
+                  f"(median {result.median_ns:.0f} ns)")
+        else:
+            stats = _run_doorbell_scenario()
+            print("doorbell: remote doorbell under MemPoison retransmit "
+                  f"(poison_hits={stats['poison_hits']:.0f} "
+                  f"crc_rejects={stats['crc_rejects']:.0f} "
+                  f"rpc_retries={stats['retries']:.0f})")
+    finally:
+        _obs.disable_tracing()
+    n_events = export_chrome_trace(tracer, args.out)
+    with open(args.out) as fh:
+        problems = validate_chrome_trace(json.load(fh))
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"wrote {n_events} events / {len(tracer.traces())} traces to "
+          f"{args.out} — load in https://ui.perfetto.dev")
+
+
+def _cmd_metrics(args) -> None:
+    from repro.channel.pingpong import run_pingpong
+    from repro.obs import runtime as _obs
+    from repro.obs.export import render_prometheus
+
+    _obs.reset_metrics()
+    run_pingpong(n_messages=args.messages, seed=0)
+    if not args.no_pool:
+        # A short pooled-traffic soak (with one poison event) so RAS and
+        # control-plane gauges appear alongside the latency histograms.
+        _run_doorbell_scenario()
+    text = render_prometheus(_obs.METRICS)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.out}")
+    else:
+        print(text, end="")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -170,6 +297,26 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("torless", help="§5 rack availability")
     p.add_argument("--lam", type=int, default=4)
     p.set_defaults(fn=_cmd_torless)
+
+    p = sub.add_parser(
+        "trace",
+        help="run an experiment with tracing on; export Chrome JSON",
+    )
+    p.add_argument("experiment", choices=["fig4", "doorbell"])
+    p.add_argument("--messages", type=int, default=200,
+                   help="ping-pong rounds for fig4")
+    p.add_argument("--out", default="trace.json")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run fig4 + a pooled soak; dump Prometheus-style metrics",
+    )
+    p.add_argument("--messages", type=int, default=2000)
+    p.add_argument("--no-pool", action="store_true",
+                   help="skip the pooled soak (latency histograms only)")
+    p.add_argument("--out", default=None)
+    p.set_defaults(fn=_cmd_metrics)
 
     sub.add_parser("list", help="list experiments")
 

@@ -17,6 +17,7 @@ from repro.datapath.proxy import (
     LocalDeviceHandle,
     RemoteDeviceHandle,
 )
+from repro.obs import runtime as _obs
 from repro.orchestrator import (
     Assignment,
     Orchestrator,
@@ -471,6 +472,9 @@ class PciePool:
         totals["ras.mhds_down_now"] = float(len(self._mhd_down))
         for name, value in totals.items():
             self.orchestrator.board.set_gauge(name, value)
+            # Mirror into the process-wide registry so `repro metrics`
+            # shows RAS health next to the latency histograms.
+            _obs.METRICS.gauge(name).set(value)
         return totals
 
     def export_control_plane_telemetry(self) -> dict[str, float]:
@@ -496,6 +500,7 @@ class PciePool:
                 totals["rpc.link_errors"] += item.link_errors
         for name, value in totals.items():
             self.orchestrator.board.set_gauge(name, value)
+            _obs.METRICS.gauge(name).set(value)
         return totals
 
     def __repr__(self) -> str:

@@ -25,6 +25,7 @@ from repro.channel.rpc import RpcError
 from repro.cxl.link import LinkDownError
 from repro.datapath.placement import BufferPlacement, DriverMemory
 from repro.datapath.proxy import DeviceGoneError
+from repro.obs import runtime as _obs
 from repro.pcie.device import DeviceFailedError
 from repro.pcie.fabric import ETH_HEADER_BYTES, EthernetFrame
 from repro.pcie.nic import Nic, RX_QUEUE, TX_QUEUE
@@ -185,35 +186,58 @@ class UdpStack:
                 f"datagram of {len(payload)} B exceeds buffer size "
                 f"{self.buf_bytes - header_total} B"
             )
-        yield self.sim.timeout(self.sw_overhead_ns)
-        yield self._tx_credits.get()
-        with self._tx_lock.request() as lock:
-            yield lock
-            slot = self._tx_tail % self.n_desc
-            self._tx_tail += 1
-            tail = self._tx_tail
-            buf = self.tx_bufs + slot * self.buf_bytes
-            datagram = _UDP.pack(src_port, dst_port, len(payload)) + payload
-            frame = EthernetFrame(dst_mac, self.mac, datagram).encode()
-            desc_addr = self.tx_ring + slot * DESCRIPTOR_BYTES
-            # The descriptor slot is reserved above, so the writes must be
-            # retried across a link flap: abandoning them would leave a
-            # garbage descriptor that the NIC later fetches.
-            for attempt in range(self.fault_retry_limit + 1):
-                try:
-                    yield from self.mem.write(buf, frame)
-                    yield from self.mem.write(
-                        desc_addr, Descriptor(buf, len(frame)).encode()
+        tracer = _obs.TRACER
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "udp.send", self.sim.now,
+                track=f"{self.memsys.host_id}/udp", cat="udp",
+                args={"bytes": len(payload), "dst_port": dst_port,
+                      "remote": self.handle.is_remote},
+            )
+        try:
+            yield self.sim.timeout(self.sw_overhead_ns)
+            yield self._tx_credits.get()
+            with self._tx_lock.request() as lock:
+                yield lock
+                slot = self._tx_tail % self.n_desc
+                self._tx_tail += 1
+                tail = self._tx_tail
+                buf = self.tx_bufs + slot * self.buf_bytes
+                datagram = (_UDP.pack(src_port, dst_port, len(payload))
+                            + payload)
+                frame = EthernetFrame(dst_mac, self.mac, datagram).encode()
+                desc_addr = self.tx_ring + slot * DESCRIPTOR_BYTES
+                # The descriptor slot is reserved above, so the writes
+                # must be retried across a link flap: abandoning them
+                # would leave a garbage descriptor the NIC later fetches.
+                for attempt in range(self.fault_retry_limit + 1):
+                    try:
+                        yield from self.mem.write(buf, frame)
+                        yield from self.mem.write(
+                            desc_addr, Descriptor(buf, len(frame)).encode()
+                        )
+                        yield from self.mem.fence()
+                        break
+                    except LinkDownError:
+                        if attempt >= self.fault_retry_limit:
+                            raise
+                        self.link_retries += 1
+                        yield self.sim.timeout(self.fault_retry_ns)
+                if span is not None:
+                    # DMA-visible point: descriptors published, doorbell
+                    # about to ring — the span's tail is doorbell cost.
+                    tracer.instant(
+                        "udp.doorbell", self.sim.now,
+                        track=f"{self.memsys.host_id}/udp",
+                        parent=span, cat="udp",
                     )
-                    yield from self.mem.fence()
-                    break
-                except LinkDownError:
-                    if attempt >= self.fault_retry_limit:
-                        raise
-                    self.link_retries += 1
-                    yield self.sim.timeout(self.fault_retry_ns)
-            yield from self.handle.ring_doorbell(TX_QUEUE, tail)
-        self.datagrams_sent += 1
+                yield from self.handle.ring_doorbell(TX_QUEUE, tail,
+                                                     parent=span)
+            self.datagrams_sent += 1
+        finally:
+            if span is not None:
+                tracer.end(span, self.sim.now)
 
     def _tx_cq_poller(self):
         head = 0
@@ -264,6 +288,12 @@ class UdpStack:
                 # Buffer unreadable mid-flap: the datagram is lost, like a
                 # frame dropped on a real wire.  The buffer still recycles.
                 self.datagrams_dropped_fault += 1
+                if _obs.TRACER.enabled:
+                    _obs.TRACER.instant(
+                        "udp.drop_fault", self.sim.now,
+                        track=f"{self.memsys.host_id}/udp", cat="udp",
+                        args={"slot": slot},
+                    )
         # Recycle the buffer.  Reposted descriptors are bit-identical to
         # what the ring slot already holds, so concurrent reposts cannot
         # corrupt each other, and the NIC treats doorbells as max().
@@ -286,20 +316,41 @@ class UdpStack:
         self.datagrams_dropped_fault += 1
 
     def _deliver(self, slot: int, length: int):
-        yield self.sim.timeout(self.sw_overhead_ns)
-        buf = self.rx_bufs + slot * self.buf_bytes
-        raw = yield from self.mem.read(buf, length)
-        frame = EthernetFrame.decode(raw)
-        src_port, dst_port, payload_len = _UDP.unpack_from(frame.payload, 0)
-        payload = frame.payload[
-            UDP_HEADER_BYTES:UDP_HEADER_BYTES + payload_len
-        ]
-        sock = self._sockets.get(dst_port)
-        if sock is None:
-            self.datagrams_dropped_no_socket += 1
-            return
-        self.datagrams_received += 1
-        sock._inbox.put((payload, frame.src_mac, src_port))
+        tracer = _obs.TRACER
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "udp.deliver", self.sim.now,
+                track=f"{self.memsys.host_id}/udp", cat="udp",
+                args={"bytes": length, "slot": slot},
+            )
+        try:
+            yield self.sim.timeout(self.sw_overhead_ns)
+            buf = self.rx_bufs + slot * self.buf_bytes
+            raw = yield from self.mem.read(buf, length)
+            frame = EthernetFrame.decode(raw)
+            src_port, dst_port, payload_len = _UDP.unpack_from(
+                frame.payload, 0
+            )
+            payload = frame.payload[
+                UDP_HEADER_BYTES:UDP_HEADER_BYTES + payload_len
+            ]
+            sock = self._sockets.get(dst_port)
+            if sock is None:
+                self.datagrams_dropped_no_socket += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "udp.drop_no_socket", self.sim.now,
+                        track=f"{self.memsys.host_id}/udp",
+                        parent=span, cat="udp",
+                        args={"dst_port": dst_port},
+                    )
+                return
+            self.datagrams_received += 1
+            sock._inbox.put((payload, frame.src_mac, src_port))
+        finally:
+            if span is not None:
+                tracer.end(span, self.sim.now)
 
     # -- shared CQ polling -------------------------------------------------------------------
 

@@ -22,11 +22,17 @@ from repro.channel.messages import (
 )
 from repro.channel.rpc import RpcEndpoint, RpcError
 from repro.cxl.link import LinkDownError
+from repro.obs import runtime as _obs
 from repro.pcie.device import DeviceFailedError, PcieDevice
 
 
 class LocalDeviceHandle:
-    """Driver-side handle for a device on this host: plain MMIO."""
+    """Driver-side handle for a device on this host: plain MMIO.
+
+    ``parent`` on the verbs is accepted (and ignored beyond local spans)
+    so callers can pass trace context without caring whether the device
+    ended up local or remote.
+    """
 
     def __init__(self, device: PcieDevice):
         self.device = device
@@ -36,16 +42,16 @@ class LocalDeviceHandle:
     def is_remote(self) -> bool:
         return False
 
-    def write_register(self, offset: int, value: int):
+    def write_register(self, offset: int, value: int, parent=None):
         """Process: MMIO register write."""
         yield from self.device.mmio_write(offset, value)
 
-    def read_register(self, offset: int):
+    def read_register(self, offset: int, parent=None):
         """Process: MMIO register read; returns the value."""
         value = yield from self.device.mmio_read(offset)
         return value
 
-    def ring_doorbell(self, queue_id: int, index: int):
+    def ring_doorbell(self, queue_id: int, index: int, parent=None):
         """Process: posted doorbell write."""
         yield from self.device.mmio_write(
             self.device.doorbell_register(queue_id), index
@@ -76,42 +82,74 @@ class RemoteDeviceHandle:
     def is_remote(self) -> bool:
         return True
 
-    def write_register(self, offset: int, value: int):
+    @property
+    def _track(self) -> str:
+        return f"{self.endpoint.tx.region.memsys.host_id}/mmio"
+
+    def write_register(self, offset: int, value: int, parent=None):
         """Process: forwarded register write, waits for the completion."""
-        reply = yield from self.endpoint.call_with_retry(
-            MmioWrite(
-                request_id=0,
-                device_id=self.device_id, addr=offset, value=value,
-            ),
-            timeout_ns=self.rpc_timeout_ns,
-            max_attempts=self.rpc_max_attempts,
+        sim = self.endpoint.sim
+        span = _obs.TRACER.begin(
+            "mmio.write_fwd", sim.now, track=self._track, parent=parent,
+            cat="mmio", args={"device": self.device_id, "addr": offset},
         )
+        try:
+            reply = yield from self.endpoint.call_with_retry(
+                MmioWrite(
+                    request_id=0,
+                    device_id=self.device_id, addr=offset, value=value,
+                ),
+                timeout_ns=self.rpc_timeout_ns,
+                max_attempts=self.rpc_max_attempts,
+                parent=span,
+            )
+        finally:
+            _obs.TRACER.end(span, sim.now)
         if reply.status != 0:
             raise DeviceGoneError(self.device_id, reply.status)
 
-    def read_register(self, offset: int):
+    def read_register(self, offset: int, parent=None):
         """Process: forwarded register read; returns the value."""
-        reply = yield from self.endpoint.call_with_retry(
-            MmioRead(
-                request_id=0,
-                device_id=self.device_id, addr=offset,
-            ),
-            timeout_ns=self.rpc_timeout_ns,
-            max_attempts=self.rpc_max_attempts,
+        sim = self.endpoint.sim
+        span = _obs.TRACER.begin(
+            "mmio.read_fwd", sim.now, track=self._track, parent=parent,
+            cat="mmio", args={"device": self.device_id, "addr": offset},
         )
+        try:
+            reply = yield from self.endpoint.call_with_retry(
+                MmioRead(
+                    request_id=0,
+                    device_id=self.device_id, addr=offset,
+                ),
+                timeout_ns=self.rpc_timeout_ns,
+                max_attempts=self.rpc_max_attempts,
+                parent=span,
+            )
+        finally:
+            _obs.TRACER.end(span, sim.now)
         if isinstance(reply, Completion):
             # The server answered with an error completion, not a value.
             raise DeviceGoneError(self.device_id, reply.status)
         return reply.value
 
-    def ring_doorbell(self, queue_id: int, index: int):
+    def ring_doorbell(self, queue_id: int, index: int, parent=None):
         """Process: fire-and-forget forwarded doorbell."""
-        yield from self.endpoint.send_with_retry(
-            Doorbell(
-                request_id=0, device_id=self.device_id,
-                queue_id=queue_id, index=index,
-            )
+        sim = self.endpoint.sim
+        span = _obs.TRACER.begin(
+            "doorbell.fwd", sim.now, track=self._track, parent=parent,
+            cat="mmio",
+            args={"device": self.device_id, "queue": queue_id},
         )
+        try:
+            yield from self.endpoint.send_with_retry(
+                Doorbell(
+                    request_id=0, device_id=self.device_id,
+                    queue_id=queue_id, index=index,
+                ),
+                parent=span,
+            )
+        finally:
+            _obs.TRACER.end(span, sim.now)
 
 
 class DeviceGoneError(RuntimeError):

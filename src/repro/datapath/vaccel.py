@@ -9,6 +9,7 @@ from the accelerator's output region in the pool.
 from __future__ import annotations
 
 from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.obs import runtime as _obs
 from repro.pcie.accelerator import Accelerator
 from repro.pcie.rings import (
     COMPLETION_BYTES,
@@ -83,25 +84,38 @@ class RemoteAcceleratorClient:
             raise RuntimeError(f"{self.name}: job ring full")
         index = self._tail
         self._tail += 1
-        slot = index % self.n_entries
-        in_addr = self.in_base + slot * self.max_job_bytes
-        yield from self.mem.write(in_addr, data)
-        desc_addr = self.ring_base + slot * DESCRIPTOR_BYTES
-        yield from self.mem.write(
-            desc_addr,
-            Descriptor(in_addr, len(data), flags=kernel).encode(),
+        span = _obs.TRACER.begin(
+            "vaccel.job", self.sim.now,
+            track=f"{self.memsys.host_id}/vaccel", cat="io",
+            args={"kernel": kernel, "bytes": len(data)},
         )
-        yield from self.mem.fence()
-        self._ring_written.add(index)
-        while self._ring_ready in self._ring_written:
-            self._ring_written.remove(self._ring_ready)
-            self._ring_ready += 1
-        yield from self.handle.ring_doorbell(0, self._ring_ready)
-        comp = yield from self._await(index)
-        if comp.status != CompletionEntry.STATUS_OK:
-            raise IOError(f"{self.name}: job failed (status={comp.status})")
-        out_addr = self.out_base + (comp.index % self.n_entries) * 4096
-        result = yield from self.mem.read(out_addr, min(comp.length, 4096))
+        try:
+            slot = index % self.n_entries
+            in_addr = self.in_base + slot * self.max_job_bytes
+            yield from self.mem.write(in_addr, data)
+            desc_addr = self.ring_base + slot * DESCRIPTOR_BYTES
+            yield from self.mem.write(
+                desc_addr,
+                Descriptor(in_addr, len(data), flags=kernel).encode(),
+            )
+            yield from self.mem.fence()
+            self._ring_written.add(index)
+            while self._ring_ready in self._ring_written:
+                self._ring_written.remove(self._ring_ready)
+                self._ring_ready += 1
+            yield from self.handle.ring_doorbell(0, self._ring_ready,
+                                                 parent=span)
+            comp = yield from self._await(index)
+            if comp.status != CompletionEntry.STATUS_OK:
+                raise IOError(
+                    f"{self.name}: job failed (status={comp.status})"
+                )
+            out_addr = self.out_base + (comp.index % self.n_entries) * 4096
+            result = yield from self.mem.read(
+                out_addr, min(comp.length, 4096)
+            )
+        finally:
+            _obs.TRACER.end(span, self.sim.now)
         return result
 
     def _await(self, index: int):

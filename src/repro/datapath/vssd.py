@@ -11,6 +11,7 @@ the paper treats SSDs as the easy case.
 from __future__ import annotations
 
 from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.obs import runtime as _obs
 from repro.pcie.rings import (
     COMPLETION_BYTES,
     CompletionEntry,
@@ -76,11 +77,20 @@ class RemoteSsdClient:
                 f"I/O of {len(data)} B exceeds max {self.max_io_bytes} B"
             )
         index = self._reserve()
-        buf = self.buf_base + (index % self.n_entries) * self.max_io_bytes
-        yield from self.mem.write(buf, data)
-        status = yield from self._submit(index, NvmeCommand(
-            NvmeCommand.OP_WRITE, len(data), lba=lba, buffer_addr=buf,
-        ))
+        span = _obs.TRACER.begin(
+            "vssd.write", self.sim.now,
+            track=f"{self.memsys.host_id}/vssd", cat="io",
+            args={"lba": lba, "bytes": len(data)},
+        )
+        try:
+            buf = (self.buf_base
+                   + (index % self.n_entries) * self.max_io_bytes)
+            yield from self.mem.write(buf, data)
+            status = yield from self._submit(index, NvmeCommand(
+                NvmeCommand.OP_WRITE, len(data), lba=lba, buffer_addr=buf,
+            ), parent=span)
+        finally:
+            _obs.TRACER.end(span, self.sim.now)
         return status.status
 
     def read(self, lba: int, length: int):
@@ -90,21 +100,39 @@ class RemoteSsdClient:
                 f"I/O of {length} B exceeds max {self.max_io_bytes} B"
             )
         index = self._reserve()
-        buf = self.buf_base + (index % self.n_entries) * self.max_io_bytes
-        comp = yield from self._submit(index, NvmeCommand(
-            NvmeCommand.OP_READ, length, lba=lba, buffer_addr=buf,
-        ))
-        if comp.status != CompletionEntry.STATUS_OK:
-            raise IOError(f"{self.name}: read failed (status={comp.status})")
-        data = yield from self.mem.read(buf, length)
+        span = _obs.TRACER.begin(
+            "vssd.read", self.sim.now,
+            track=f"{self.memsys.host_id}/vssd", cat="io",
+            args={"lba": lba, "bytes": length},
+        )
+        try:
+            buf = (self.buf_base
+                   + (index % self.n_entries) * self.max_io_bytes)
+            comp = yield from self._submit(index, NvmeCommand(
+                NvmeCommand.OP_READ, length, lba=lba, buffer_addr=buf,
+            ), parent=span)
+            if comp.status != CompletionEntry.STATUS_OK:
+                raise IOError(
+                    f"{self.name}: read failed (status={comp.status})"
+                )
+            data = yield from self.mem.read(buf, length)
+        finally:
+            _obs.TRACER.end(span, self.sim.now)
         return data
 
     def flush(self):
         """Process: durability barrier."""
         index = self._reserve()
-        comp = yield from self._submit(index, NvmeCommand(
-            NvmeCommand.OP_FLUSH, 0, lba=0, buffer_addr=0,
-        ))
+        span = _obs.TRACER.begin(
+            "vssd.flush", self.sim.now,
+            track=f"{self.memsys.host_id}/vssd", cat="io",
+        )
+        try:
+            comp = yield from self._submit(index, NvmeCommand(
+                NvmeCommand.OP_FLUSH, 0, lba=0, buffer_addr=0,
+            ), parent=span)
+        finally:
+            _obs.TRACER.end(span, self.sim.now)
         return comp.status
 
     # -- internals -------------------------------------------------------------
@@ -122,7 +150,7 @@ class RemoteSsdClient:
         self._tail += 1
         return index
 
-    def _submit(self, index: int, cmd: NvmeCommand):
+    def _submit(self, index: int, cmd: NvmeCommand, parent=None):
         sq_addr = (self.sq_base
                    + (index % self.n_entries) * NVME_COMMAND_BYTES)
         yield from self.mem.write(sq_addr, cmd.encode())
@@ -131,7 +159,8 @@ class RemoteSsdClient:
         while self._sq_ready in self._sq_written:
             self._sq_written.remove(self._sq_ready)
             self._sq_ready += 1
-        yield from self.handle.ring_doorbell(0, self._sq_ready)
+        yield from self.handle.ring_doorbell(0, self._sq_ready,
+                                             parent=parent)
         waiter = self.sim.event(name=f"{self.name}.cmd{index}")
         self._pending[index % (1 << 16)] = waiter
         if self._collector is None or not self._collector.is_alive:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.faults.log import FaultLog
+from repro.obs import runtime as _obs
 from repro.faults.spec import (
     AgentCrash,
     DeviceCrash,
@@ -33,17 +34,31 @@ class FaultInjector:
         self.sim = pool.sim
         self.log = log if log is not None else FaultLog()
 
+    def _record(self, kind: str, target: str, action: str) -> None:
+        """Log a fault event; mirror it as a trace instant + counter.
+
+        The FaultLog entry is written unconditionally (the chaos tests
+        compare these logs bit-for-bit); the trace/metric side effects run
+        only behind their own guards and never touch the sim clock.
+        """
+        self.log.record(self.sim.now, kind, target, action)
+        if _obs.TRACER.enabled:
+            _obs.TRACER.instant(
+                f"fault:{kind}", self.sim.now,
+                track="faults/injector", cat="fault",
+                args={"target": target, "action": action},
+            )
+        _obs.METRICS.counter("faults.injected").inc()
+
     # -- primitive verbs (immediate, also usable directly from tests) -------
 
     def crash_device(self, device_id: int) -> None:
         self.pool.device(device_id).fail()
-        self.log.record(self.sim.now, "DeviceCrash",
-                        f"device:{device_id}", "fail")
+        self._record("DeviceCrash", f"device:{device_id}", "fail")
 
     def repair_device(self, device_id: int) -> None:
         self.pool.device(device_id).repair()
-        self.log.record(self.sim.now, "DeviceCrash",
-                        f"device:{device_id}", "repair")
+        self._record("DeviceCrash", f"device:{device_id}", "repair")
 
     def _links(self, host_id: str, link_index: Optional[int]):
         links = self.pool.pod.host(host_id).port.links
@@ -55,60 +70,49 @@ class FaultInjector:
                        link_index: Optional[int] = None) -> None:
         for idx, link in self._links(host_id, link_index):
             link.fail()
-            self.log.record(self.sim.now, "LinkFlap",
-                            f"link:{host_id}/{idx}", "down")
+            self._record("LinkFlap", f"link:{host_id}/{idx}", "down")
 
     def bring_link_up(self, host_id: str,
                       link_index: Optional[int] = None) -> None:
         for idx, link in self._links(host_id, link_index):
             link.restore()
-            self.log.record(self.sim.now, "LinkFlap",
-                            f"link:{host_id}/{idx}", "up")
+            self._record("LinkFlap", f"link:{host_id}/{idx}", "up")
 
     def crash_mhd(self, mhd_index: int) -> None:
         self.pool.crash_mhd(mhd_index)
-        self.log.record(self.sim.now, "MhdCrash",
-                        f"mhd:{mhd_index}", "fail")
+        self._record("MhdCrash", f"mhd:{mhd_index}", "fail")
 
     def repair_mhd(self, mhd_index: int) -> None:
         self.pool.repair_mhd(mhd_index)
-        self.log.record(self.sim.now, "MhdCrash",
-                        f"mhd:{mhd_index}", "repair")
+        self._record("MhdCrash", f"mhd:{mhd_index}", "repair")
 
     def degrade_mhd(self, mhd_index: int, factor: float) -> None:
         self.pool.degrade_mhd(mhd_index, factor)
-        self.log.record(self.sim.now, "MhdDegrade",
-                        f"mhd:{mhd_index}", "degrade")
+        self._record("MhdDegrade", f"mhd:{mhd_index}", "degrade")
 
     def restore_mhd(self, mhd_index: int) -> None:
         self.pool.restore_mhd_bandwidth(mhd_index)
-        self.log.record(self.sim.now, "MhdDegrade",
-                        f"mhd:{mhd_index}", "restore")
+        self._record("MhdDegrade", f"mhd:{mhd_index}", "restore")
 
     def poison_memory(self, addr: int, n_lines: int = 1) -> None:
         self.pool.poison_memory(addr, n_lines)
-        self.log.record(self.sim.now, "MemPoison",
-                        f"mem:{addr:#x}+{n_lines}", "poison")
+        self._record("MemPoison", f"mem:{addr:#x}+{n_lines}", "poison")
 
     def crash_agent(self, host_id: str) -> None:
         self.pool.crash_agent(host_id)
-        self.log.record(self.sim.now, "AgentCrash",
-                        f"agent:{host_id}", "crash")
+        self._record("AgentCrash", f"agent:{host_id}", "crash")
 
     def restart_agent(self, host_id: str) -> None:
         self.pool.restart_agent(host_id)
-        self.log.record(self.sim.now, "AgentCrash",
-                        f"agent:{host_id}", "restart")
+        self._record("AgentCrash", f"agent:{host_id}", "restart")
 
     def crash_orchestrator(self) -> None:
         self.pool.crash_orchestrator()
-        self.log.record(self.sim.now, "OrchestratorCrash",
-                        "orchestrator", "crash")
+        self._record("OrchestratorCrash", "orchestrator", "crash")
 
     def restart_orchestrator(self):
         """Process: restart + resync (delegates to the pool)."""
-        self.log.record(self.sim.now, "OrchestratorCrash",
-                        "orchestrator", "restart")
+        self._record("OrchestratorCrash", "orchestrator", "restart")
         yield from self.pool.restart_orchestrator()
 
     # -- schedule execution --------------------------------------------------

@@ -1,0 +1,74 @@
+"""repro.obs — pod-wide tracing and metrics.
+
+* :mod:`repro.obs.trace` — simulated-time spans with parent/child links;
+  deterministic ids, clock always supplied by the caller (``sim.now``).
+* :mod:`repro.obs.context` — W3C-style trace context and its 17 B ring
+  envelope, propagated through RPC headers and ring slots so one remote
+  doorbell yields a single cross-host trace.
+* :mod:`repro.obs.metrics` — typed Counter/Gauge/Histogram registry
+  (fixed log buckets, p50/p95/p99).
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and
+  Prometheus-style text.
+* :mod:`repro.obs.runtime` — the process-wide TRACER/METRICS switchboard
+  used by instrumentation sites (no-op tracer by default).
+"""
+
+from repro.obs.context import (
+    TRACE_ENVELOPE_BYTES,
+    TRACE_ENVELOPE_TAG,
+    SpanContext,
+    unwrap_trace,
+    wrap_trace,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    render_prometheus,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricTypeError,
+    log_bucket_bounds,
+)
+from repro.obs.runtime import (
+    disable_tracing,
+    enable_tracing,
+    metrics,
+    reset_metrics,
+    tracer,
+    tracing_enabled,
+)
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "TRACE_ENVELOPE_BYTES",
+    "TRACE_ENVELOPE_TAG",
+    "SpanContext",
+    "unwrap_trace",
+    "wrap_trace",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "render_prometheus",
+    "validate_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricTypeError",
+    "log_bucket_bounds",
+    "disable_tracing",
+    "enable_tracing",
+    "metrics",
+    "reset_metrics",
+    "tracer",
+    "tracing_enabled",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,76 @@
+"""Trace context: identity of a span and its wire encoding.
+
+A :class:`SpanContext` is the W3C ``traceparent`` idea shrunk to what a
+57 B ring slot can afford: the 128-bit trace id becomes 64 bits, the
+version and flag bytes are folded into the envelope tag, and the whole
+context packs to 16 B (trace id + span id, little-endian).
+
+On the wire a traced payload is an *envelope*::
+
+    byte  0      : TRACE_ENVELOPE_TAG (0xFE — outside the message-tag space)
+    bytes 1..8   : trace id  (u64 LE)
+    bytes 9..16  : span id   (u64 LE, the sender's span = receiver's parent)
+    bytes 17..   : the original payload, unchanged
+
+The envelope is only applied while a real tracer is installed, so the
+default (no-op) configuration produces bit-identical wire traffic — the
+determinism guarantee the chaos soaks assert.  17 B of overhead keeps
+every existing message (max 29 B) within the slot payload budget.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+#: Envelope marker.  Message tags are small ints (1..23 today); 0xFE can
+#: never collide with a registered message type.
+TRACE_ENVELOPE_TAG = 0xFE
+
+_CONTEXT = struct.Struct("<QQ")
+
+#: Bytes a trace envelope adds to a payload (tag + packed context).
+TRACE_ENVELOPE_BYTES = 1 + _CONTEXT.size
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Identity propagated across hosts: (trace, parent span)."""
+
+    trace_id: int
+    span_id: int
+
+    def pack(self) -> bytes:
+        return _CONTEXT.pack(self.trace_id, self.span_id)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SpanContext":
+        trace_id, span_id = _CONTEXT.unpack_from(raw, 0)
+        return cls(trace_id, span_id)
+
+    def traceparent(self) -> str:
+        """W3C-style rendering (version 00, sampled)."""
+        return f"00-{self.trace_id:032x}-{self.span_id:016x}-01"
+
+
+def wrap_trace(payload: bytes, ctx: SpanContext,
+               budget: Optional[int] = None) -> bytes:
+    """Prefix ``payload`` with a trace envelope.
+
+    If ``budget`` is given and the envelope would overflow it, the
+    context is dropped and the payload returned untouched — tracing must
+    never turn a valid message into an oversized one.
+    """
+    if budget is not None and len(payload) + TRACE_ENVELOPE_BYTES > budget:
+        return payload
+    return bytes((TRACE_ENVELOPE_TAG,)) + ctx.pack() + payload
+
+
+def unwrap_trace(payload: bytes) -> tuple[bytes, Optional[SpanContext]]:
+    """Split a possibly-enveloped payload into (payload, context)."""
+    if (len(payload) >= TRACE_ENVELOPE_BYTES
+            and payload[0] == TRACE_ENVELOPE_TAG):
+        ctx = SpanContext.unpack(payload[1:TRACE_ENVELOPE_BYTES])
+        return payload[TRACE_ENVELOPE_BYTES:], ctx
+    return payload, None

@@ -1,0 +1,178 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) and
+Prometheus-style text.
+
+The Chrome export maps a span's ``track`` (``"<process>/<thread>"``) to
+the pid/tid pair of the trace-event format, emits ``M``-phase metadata
+so Perfetto labels the lanes, renders spans as complete (``X``) events
+and instants as ``i`` events, and draws flow arrows (``s``/``f``) for
+every parent→child edge that crosses tracks — that is what stitches a
+sender-side RPC span to its receiver-side handler span into one visible
+cross-host trace.
+
+Timestamps: the sim clock is nanoseconds; trace-event ``ts``/``dur`` are
+microseconds, kept as floats so sub-µs ring operations stay visible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import PHASE_INSTANT, Span, Tracer
+
+
+def _split_track(track: str) -> tuple[str, str]:
+    process, _, thread = track.partition("/")
+    return process, thread or "main"
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """Render a tracer's spans as a Chrome trace-event list."""
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    spans_by_id: dict[int, Span] = {s.span_id: s for s in tracer.spans}
+
+    def lane(track: str) -> tuple[int, int]:
+        process, thread = _split_track(track)
+        if process not in pids:
+            pids[process] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pids[process],
+                "tid": 0, "args": {"name": process},
+            })
+        key = (process, thread)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pids[process],
+                "tid": tids[key], "args": {"name": thread},
+            })
+        return pids[process], tids[key]
+
+    for span in tracer.spans:
+        pid, tid = lane(span.track)
+        args = dict(span.args) if span.args else {}
+        args["trace"] = f"{span.trace_id:016x}"
+        args["span"] = f"{span.span_id:016x}"
+        if span.parent_id:
+            args["parent"] = f"{span.parent_id:016x}"
+        if span.phase == PHASE_INSTANT:
+            events.append({
+                "ph": "i", "name": span.name, "cat": span.cat,
+                "ts": span.start_ns / 1000.0, "pid": pid, "tid": tid,
+                "s": "t", "args": args,
+            })
+            continue
+        end_ns = span.end_ns if span.end_ns is not None else span.start_ns
+        events.append({
+            "ph": "X", "name": span.name, "cat": span.cat,
+            "ts": span.start_ns / 1000.0,
+            "dur": (end_ns - span.start_ns) / 1000.0,
+            "pid": pid, "tid": tid, "args": args,
+        })
+        parent = spans_by_id.get(span.parent_id)
+        if parent is not None and parent.track != span.track:
+            # Cross-track edge: draw a flow arrow parent → child.
+            ppid, ptid = lane(parent.track)
+            events.append({
+                "ph": "s", "name": "flow", "cat": "flow",
+                "id": span.span_id, "ts": parent.start_ns / 1000.0,
+                "pid": ppid, "tid": ptid,
+            })
+            events.append({
+                "ph": "f", "name": "flow", "cat": "flow", "bp": "e",
+                "id": span.span_id, "ts": span.start_ns / 1000.0,
+                "pid": pid, "tid": tid,
+            })
+    return events
+
+
+def export_chrome_trace(tracer: Tracer,
+                        out: Union[str, IO[str]]) -> int:
+    """Write ``{"traceEvents": [...]}`` JSON; returns the event count."""
+    events = chrome_trace_events(tracer)
+    doc = {"traceEvents": events, "displayTimeUnit": "ns"}
+    if hasattr(out, "write"):
+        json.dump(doc, out)
+    else:
+        with open(out, "w") as fh:
+            json.dump(doc, fh)
+    return len(events)
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Check a parsed trace document against the trace-event schema.
+
+    Returns a list of problems (empty = valid).  Used by the CI trace
+    job so a malformed export fails the build rather than Perfetto.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M", "s", "f", "B", "E", "C"):
+            problems.append(f"event {i}: bad phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"event {i}: missing name")
+        if ph == "M":
+            continue
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(ev.get(key), (int, float)):
+                problems.append(f"event {i}: missing {key}")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"event {i}: X event without dur")
+        if ph in ("s", "f") and "id" not in ev:
+            problems.append(f"event {i}: flow event without id")
+    return problems
+
+
+# -- Prometheus-style text ---------------------------------------------------
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Flat text exposition: counters, gauges, histogram buckets+quantiles.
+
+    Metric names keep their dotted form with dots mapped to underscores
+    (Prometheus identifiers may not contain ``.``).
+    """
+    lines: list[str] = []
+    for metric in registry:
+        name = metric.name.replace(".", "_").replace("-", "_")
+        if isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for upper, count in metric.nonzero_buckets():
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(upper)}"}} {cumulative}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{name}_sum {_fmt(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+            for q in (50, 95, 99):
+                lines.append(
+                    f'{name}{{quantile="0.{q}"}} '
+                    f"{_fmt(metric.percentile(q))}"
+                )
+        else:
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.append(f"{name} {_fmt(metric.value)}")
+    return "\n".join(lines) + "\n"

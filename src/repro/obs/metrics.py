@@ -1,0 +1,252 @@
+"""Typed metrics: counters, gauges, and fixed log-bucket histograms.
+
+The registry replaces the ad-hoc string-keyed float dicts that used to
+live in ``TelemetryBoard._counters``: every name is bound to exactly one
+metric *kind*, so a ``counter`` increment on a name already used as a
+gauge raises :class:`MetricTypeError` instead of silently corrupting the
+value (the old shared-dict failure mode).
+
+Histograms use fixed logarithmic buckets — geometric boundaries
+precomputed once, bucket lookup by binary search so exact-boundary
+values land deterministically (no float-log drift).  Percentiles report
+the geometric midpoint of the selected bucket, clamped to the observed
+min/max; with the default 32 buckets per decade the worst-case
+quantization error is ``sqrt(10^(1/32)) - 1 ≈ 3.7%``, inside the 5%
+agreement budget the fig4 acceptance check demands.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, Optional, Union
+
+
+class MetricTypeError(TypeError):
+    """One name was used as two different metric kinds."""
+
+
+class Counter:
+    """Monotonic accumulator."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, delta: float = 1.0) -> None:
+        if delta < 0:
+            raise ValueError(
+                f"counter {self.name}: negative increment {delta}"
+            )
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """Last-write-wins absolute value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+def log_bucket_bounds(lo: float = 1.0, decades: int = 12,
+                      per_decade: int = 32) -> list[float]:
+    """Upper edges of geometric buckets covering ``lo .. lo*10^decades``.
+
+    Boundaries are computed as ``lo * 10^(i/per_decade)`` with one
+    rounding per edge, so the sequence is reproducible and strictly
+    increasing.
+    """
+    return [lo * 10.0 ** (i / per_decade)
+            for i in range(decades * per_decade + 1)]
+
+
+class Histogram:
+    """Fixed log-bucket histogram with exact count/sum/min/max.
+
+    Bucket ``i`` holds values ``bounds[i-1] < v <= bounds[i]`` (bucket 0
+    holds everything at or below ``bounds[0]``); values above the last
+    edge land in one overflow bucket whose representative is the
+    observed maximum.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, lo: float = 1.0, decades: int = 12,
+                 per_decade: int = 32):
+        self.name = name
+        self.bounds = log_bucket_bounds(lo, decades, per_decade)
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        if index >= len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` (0..100); 0.0 when empty.
+
+        Reports the geometric midpoint of the bucket containing the
+        rank-``ceil(q/100 * count)`` sample, clamped to the observed
+        min/max so a single-bucket population answers exactly.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"quantile {q} outside [0, 100]")
+        rank = max(1, -(-int(q * self.count) // 100))  # ceil(q% of n), >= 1
+        seen = 0
+        rep = None
+        for index, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index else upper / 10.0
+                rep = (lower * upper) ** 0.5
+                break
+        if rep is None:  # rank falls in the overflow bucket
+            rep = self.max
+        return min(self.max, max(self.min, rep))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def nonzero_buckets(self) -> list[tuple[float, int]]:
+        """(upper_edge, count) for populated buckets (export helper)."""
+        out = [(self.bounds[i], n)
+               for i, n in enumerate(self.counts) if n]
+        if self.overflow:
+            out.append((float("inf"), self.overflow))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<Histogram {self.name} n={self.count} "
+            f"p50={self.percentile(50):.1f}>"
+        )
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every named metric, typed by kind."""
+
+    def __init__(self):
+        self._metrics: dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: str) -> Optional[Metric]:
+        metric = self._metrics.get(name)
+        if metric is not None and metric.kind != kind:
+            raise MetricTypeError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get(name, "counter")
+        if metric is None:
+            metric = self._metrics[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get(name, "gauge")
+        if metric is None:
+            metric = self._metrics[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, lo: float = 1.0, decades: int = 12,
+                  per_decade: int = 32) -> Histogram:
+        metric = self._get(name, "histogram")
+        if metric is None:
+            metric = self._metrics[name] = Histogram(
+                name, lo=lo, decades=decades, per_decade=per_decade
+            )
+        return metric
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand: record one histogram sample."""
+        self.histogram(name).observe(value)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def kind_of(self, name: str) -> Optional[str]:
+        metric = self._metrics.get(name)
+        return metric.kind if metric is not None else None
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        for name in self.names():
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar view: counter/gauge value, histogram count."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return float(metric.count)
+        return metric.value
+
+    def scalars(self) -> dict[str, float]:
+        """Flat {name: value} of every counter and gauge."""
+        return {m.name: m.value for m in self
+                if not isinstance(m, Histogram)}
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry metrics={len(self._metrics)}>"

@@ -1,0 +1,55 @@
+"""Process-wide observability switchboard.
+
+Instrumentation sites across the repo read two module globals:
+
+* :data:`TRACER` — the active tracer, :data:`NULL_TRACER` by default.
+  Hot paths guard with ``if TRACER.enabled:`` so the disabled cost is
+  one attribute load and a branch, and the wire traffic is bit-identical
+  to an uninstrumented build (the chaos-determinism guarantee).
+* :data:`METRICS` — the active registry.  Metric updates never touch the
+  sim clock or rng, so the registry is always live; ``reset_metrics()``
+  gives experiments a clean slate.
+
+Enable tracing *before* building the system under test; spans are only
+recorded for operations that start after the tracer is installed.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+TRACER = NULL_TRACER
+METRICS = MetricsRegistry()
+
+
+def tracer() -> Tracer:
+    return TRACER
+
+
+def metrics() -> MetricsRegistry:
+    return METRICS
+
+
+def enable_tracing(instance: Tracer | None = None) -> Tracer:
+    """Install (and return) a live tracer as the process default."""
+    global TRACER
+    TRACER = instance if instance is not None else Tracer()
+    return TRACER
+
+
+def disable_tracing() -> None:
+    """Back to the zero-cost no-op tracer."""
+    global TRACER
+    TRACER = NULL_TRACER
+
+
+def tracing_enabled() -> bool:
+    return not isinstance(TRACER, NullTracer)
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Replace the global registry with a fresh one (and return it)."""
+    global METRICS
+    METRICS = MetricsRegistry()
+    return METRICS

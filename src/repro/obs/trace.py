@@ -1,0 +1,189 @@
+"""Simulated-time tracing: spans on the sim clock, no wall-clock ever.
+
+The tracer never reads a clock itself — every ``begin``/``end``/
+``instant`` takes ``now`` from the caller, who already holds ``sim.now``.
+Span and trace ids come from a plain counter.  Both choices are what
+make tracing deterministic: two same-seed runs produce byte-identical
+traces, and an untraced run is byte-identical to one that never imported
+this module.
+
+The default tracer is :data:`NULL_TRACER`; instrumentation sites guard
+with ``if tracer.enabled:`` so the disabled cost is one attribute read
+and a branch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.obs.context import SpanContext
+
+#: Phase markers (mirroring the Chrome trace-event phases they export to).
+PHASE_SPAN = "X"
+PHASE_INSTANT = "i"
+
+
+class Span:
+    """One timed operation on one track.
+
+    ``track`` is ``"<process>/<thread>"`` — e.g. ``"h0/ring"`` — and maps
+    to the pid/tid pair of the Chrome trace-event export, so every host
+    gets its own lane group in Perfetto.
+    """
+
+    __slots__ = ("name", "track", "cat", "trace_id", "span_id",
+                 "parent_id", "start_ns", "end_ns", "phase", "args")
+
+    def __init__(self, name: str, track: str, cat: str, trace_id: int,
+                 span_id: int, parent_id: int, start_ns: float,
+                 phase: str = PHASE_SPAN, args: Optional[dict] = None):
+        self.name = name
+        self.track = track
+        self.cat = cat
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns: Optional[float] = (
+            start_ns if phase == PHASE_INSTANT else None
+        )
+        self.phase = phase
+        self.args = args
+
+    @property
+    def duration_ns(self) -> float:
+        end = self.end_ns if self.end_ns is not None else self.start_ns
+        return end - self.start_ns
+
+    def context(self) -> SpanContext:
+        """The identity a child (possibly on another host) inherits."""
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set(self, **args) -> None:
+        """Attach key/value annotations (retry counts, slot numbers...)."""
+        if self.args is None:
+            self.args = {}
+        self.args.update(args)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name!r} track={self.track} "
+            f"trace={self.trace_id:x} [{self.start_ns}, {self.end_ns}]>"
+        )
+
+
+Parent = Union[None, Span, SpanContext]
+
+
+class Tracer:
+    """Collects spans and instants keyed off the caller-supplied clock."""
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self._next_id = 1
+
+    def _new_id(self) -> int:
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    def begin(self, name: str, now: float, *, track: str = "sim",
+              parent: Parent = None, cat: str = "op",
+              args: Optional[dict] = None) -> Span:
+        """Open a span.  With no parent, a fresh trace id is minted."""
+        span_id = self._new_id()
+        if parent is None:
+            trace_id, parent_id = span_id, 0
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(name, track, cat, trace_id, span_id, parent_id,
+                    start_ns=now, args=args)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, now: float, **args) -> None:
+        span.end_ns = now
+        if args:
+            span.set(**args)
+
+    def instant(self, name: str, now: float, *, track: str = "sim",
+                parent: Parent = None, cat: str = "event",
+                args: Optional[dict] = None) -> Span:
+        """A zero-duration event (fault injections, drops, rejects)."""
+        span_id = self._new_id()
+        if parent is None:
+            trace_id, parent_id = span_id, 0
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(name, track, cat, trace_id, span_id, parent_id,
+                    start_ns=now, phase=PHASE_INSTANT, args=args)
+        self.spans.append(span)
+        return span
+
+    # -- queries (used by tests and the CLI summary) -----------------------
+
+    def finished(self) -> list[Span]:
+        return [s for s in self.spans if s.end_ns is not None]
+
+    def by_name(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def traces(self) -> dict[int, list[Span]]:
+        """Spans grouped by trace id, each group in start order."""
+        groups: dict[int, list[Span]] = {}
+        for span in self.spans:
+            groups.setdefault(span.trace_id, []).append(span)
+        for group in groups.values():
+            group.sort(key=lambda s: (s.start_ns, s.span_id))
+        return groups
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"<Tracer spans={len(self.spans)}>"
+
+
+class NullTracer:
+    """The default: every operation is a no-op returning shared dummies.
+
+    ``enabled`` is False so hot paths skip even argument construction;
+    the methods still exist (and return :data:`NULL_SPAN`) so un-guarded
+    call sites stay correct rather than crashing.
+    """
+
+    enabled = False
+
+    def begin(self, name: str, now: float = 0.0, **kwargs) -> "Span":
+        return NULL_SPAN
+
+    def end(self, span: Span, now: float = 0.0, **args) -> None:
+        return None
+
+    def instant(self, name: str, now: float = 0.0, **kwargs) -> "Span":
+        return NULL_SPAN
+
+    def finished(self) -> list[Span]:
+        return []
+
+    def by_name(self, name: str) -> list[Span]:
+        return []
+
+    def traces(self) -> dict[int, list[Span]]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "<NullTracer>"
+
+
+#: Shared placeholder span handed out by :class:`NullTracer`.
+NULL_SPAN = Span("null", "null", "null", 0, 0, 0, 0.0)
+NULL_SPAN.end_ns = 0.0
+
+#: The process-wide default tracer (see :mod:`repro.obs.runtime`).
+NULL_TRACER = NullTracer()

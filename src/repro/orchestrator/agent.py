@@ -34,6 +34,7 @@ from repro.channel.messages import (
 )
 from repro.channel.rpc import RpcEndpoint, RpcError
 from repro.cxl.link import LinkDownError
+from repro.obs import runtime as _obs
 from repro.pcie.device import DeviceFailedError, PcieDevice
 from repro.sim import Interrupt, Simulator
 
@@ -169,25 +170,34 @@ class PoolingAgent:
 
     def announce(self):
         """Process: declaratively re-report inventory and adoptions."""
-        for device in sorted(self._devices.values(),
-                             key=lambda d: d.device_id):
-            yield from self.endpoint.send_with_retry(DeviceAnnounce(
-                request_id=0,
-                device_id=device.device_id,
-                kind_code=kind_code(_kind_of(device)),
-                healthy=0 if device.failed else 1,
-                epoch=self.epoch,
-            ))
-        for virtual_id in sorted(self._adopted):
-            device_id, kind, generation = self._adopted[virtual_id]
-            yield from self.endpoint.send_with_retry(AssignmentReport(
-                request_id=0,
-                virtual_id=virtual_id,
-                device_id=device_id,
-                kind_code=kind_code(kind),
-                generation=generation,
-                epoch=self.epoch,
-            ))
+        span = _obs.TRACER.begin(
+            "agent.announce", self.sim.now,
+            track=f"{self.host_id}/agent", cat="control",
+            args={"devices": len(self._devices),
+                  "adopted": len(self._adopted)},
+        )
+        try:
+            for device in sorted(self._devices.values(),
+                                 key=lambda d: d.device_id):
+                yield from self.endpoint.send_with_retry(DeviceAnnounce(
+                    request_id=0,
+                    device_id=device.device_id,
+                    kind_code=kind_code(_kind_of(device)),
+                    healthy=0 if device.failed else 1,
+                    epoch=self.epoch,
+                ), parent=span)
+            for virtual_id in sorted(self._adopted):
+                device_id, kind, generation = self._adopted[virtual_id]
+                yield from self.endpoint.send_with_retry(AssignmentReport(
+                    request_id=0,
+                    virtual_id=virtual_id,
+                    device_id=device_id,
+                    kind_code=kind_code(kind),
+                    generation=generation,
+                    epoch=self.epoch,
+                ), parent=span)
+        finally:
+            _obs.TRACER.end(span, self.sim.now)
 
     def _send_heartbeat(self):
         yield from self.endpoint.send_with_retry(Heartbeat(
@@ -211,6 +221,12 @@ class PoolingAgent:
                 ))
                 self._reported_failed.add(device.device_id)
                 self.failures_reported += 1
+                if _obs.TRACER.enabled:
+                    _obs.TRACER.instant(
+                        "agent.report_failure", self.sim.now,
+                        track=f"{self.host_id}/agent", cat="control",
+                        args={"device": device.device_id},
+                    )
             return
         if device.device_id in self._reported_failed:
             # The device recovered: announce it healthy so the
@@ -224,6 +240,12 @@ class PoolingAgent:
             ))
             self._reported_failed.discard(device.device_id)
             self.recoveries_reported += 1
+            if _obs.TRACER.enabled:
+                _obs.TRACER.instant(
+                    "agent.recovered", self.sim.now,
+                    track=f"{self.host_id}/agent", cat="control",
+                    args={"device": device.device_id},
+                )
         utilization = device.utilization()
         yield from self.endpoint.send_with_retry(LoadReport(
             request_id=0,
@@ -263,6 +285,10 @@ class PoolingAgent:
 def wire_control_channel(orchestrator, endpoint: RpcEndpoint,
                          host_id: str) -> None:
     """Register the orchestrator-side handlers for one agent's channel."""
+    # Wiring a channel is the declaration that this host's agent exists:
+    # from here on, silence past the heartbeat timeout counts as stale
+    # even if the agent never manages a single heartbeat.
+    orchestrator.board.expect_agent(host_id, orchestrator.sim.now)
 
     def dropped(msg) -> bool:
         """Epoch fence: discard pre-crash event notifications."""

@@ -18,9 +18,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs import runtime as _obs
 from repro.orchestrator.policy import AllocationPolicy, LocalFirstPolicy
 from repro.orchestrator.telemetry import TelemetryBoard
 from repro.sim import Interrupt, Simulator
+
+_TRACK = "orchestrator/control"
+
+
+def _instant(name: str, now: float, **args) -> None:
+    """Control-plane decisions are point events on the orchestrator track."""
+    if _obs.TRACER.enabled:
+        _obs.TRACER.instant(name, now, track=_TRACK, cat="control",
+                            args=args or None)
 
 
 class NoDeviceAvailable(RuntimeError):
@@ -135,6 +145,9 @@ class Orchestrator:
         )
         self._next_virtual_id += 1
         self._assignments[assignment.virtual_id] = assignment
+        _instant("orch.assign", self.sim.now,
+                 virtual_id=assignment.virtual_id, host=host_id,
+                 kind=kind, device=assignment.device_id)
         self._notify(assignment, old_device_id=None)
         return assignment
 
@@ -221,6 +234,7 @@ class Orchestrator:
         if mhd_index not in self._mhds_down:
             self._mhds_down.add(mhd_index)
             self.mhd_failures_seen += 1
+            _instant("orch.mhd_down", self.sim.now, mhd=mhd_index)
         self.board.set_gauge("mhd.down", float(len(self._mhds_down)))
 
     def ingest_mhd_repair(self, mhd_index: int) -> None:
@@ -230,6 +244,7 @@ class Orchestrator:
         if mhd_index in self._mhds_down:
             self._mhds_down.discard(mhd_index)
             self.mhd_repairs_seen += 1
+            _instant("orch.mhd_up", self.sim.now, mhd=mhd_index)
         self.board.set_gauge("mhd.down", float(len(self._mhds_down)))
         self._retry_pending_repairs()
 
@@ -312,6 +327,10 @@ class Orchestrator:
         assignment.since_ns = self.sim.now
         assignment.generation += 1
         self.failovers += 1
+        _instant("orch.failover", self.sim.now,
+                 virtual_id=assignment.virtual_id, old_device=old,
+                 new_device=chosen.device_id)
+        _obs.METRICS.counter("orch.failovers").inc()
         self._pending_repair.discard(assignment.virtual_id)
         self._publish_degraded()
         self._notify(assignment, old_device_id=old)
@@ -379,6 +398,10 @@ class Orchestrator:
         assignment.since_ns = self.sim.now
         assignment.generation += 1
         self.migrations += 1
+        _instant("orch.migrate", self.sim.now,
+                 virtual_id=assignment.virtual_id, old_device=old,
+                 new_device=coldest.device_id, kind=kind)
+        _obs.METRICS.counter("orch.migrations").inc()
         self._notify(assignment, old_device_id=old)
         return True
 
@@ -433,6 +456,7 @@ class Orchestrator:
                 yield self.sim.timeout(interval_ns)
                 for host in self.board.stale_agents(
                         self.sim.now, self.heartbeat_timeout_ns):
+                    _instant("orch.host_down", self.sim.now, host=host)
                     for device_id in self.board.mark_host_down(host):
                         self._failover_device(device_id)
                 # Safety net: event-driven retries (repair, registration)

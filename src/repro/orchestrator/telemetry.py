@@ -4,17 +4,30 @@ Agents report utilization and health over the control channels; the
 orchestrator keeps the latest view per device plus liveness bookkeeping
 for the agents themselves (a silent agent means a host — and all devices
 behind it — must be treated as unreachable).
+
+Named counters and gauges live on a typed
+:class:`~repro.obs.metrics.MetricsRegistry` rather than the old shared
+string-keyed float dict, so a name can no longer be silently used as
+both a counter and a gauge.  ``counter()`` / ``counters`` remain as
+deprecated read-only views over both kinds.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
 class DeviceTelemetry:
-    """Latest known state of one device."""
+    """Latest known state of one device.
+
+    ``last_report_ns`` is ``None`` until the first load report arrives —
+    distinguishing "never reported" from "reported at t=0", which the
+    old ``0.0`` default conflated.
+    """
 
     device_id: int
     owner_host: str
@@ -22,7 +35,11 @@ class DeviceTelemetry:
     utilization: float = 0.0
     queue_depth: int = 0
     healthy: bool = True
-    last_report_ns: float = 0.0
+    last_report_ns: Optional[float] = None
+
+    @property
+    def ever_reported(self) -> bool:
+        return self.last_report_ns is not None
 
     def observe(self, utilization: float, queue_depth: int,
                 now: float) -> None:
@@ -34,27 +51,38 @@ class DeviceTelemetry:
 class TelemetryBoard:
     """The orchestrator's view of the whole pod."""
 
-    def __init__(self):
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
         self._devices: dict[int, DeviceTelemetry] = {}
         self._agent_heartbeat_ns: dict[str, float] = {}
-        self._counters: dict[str, float] = {}
+        #: Hosts we expect heartbeats from, and when we started expecting
+        #: them.  A registered agent that has *never* heartbeated turns
+        #: stale once the timeout elapses from this point — previously
+        #: such agents were invisible to staleness checks forever.
+        self._agent_expected_ns: dict[str, float] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- named counters / gauges -------------------------------------------
 
     def bump(self, name: str, delta: float = 1.0) -> None:
         """Increment a named counter (created at zero on first use)."""
-        self._counters[name] = self._counters.get(name, 0.0) + delta
+        self.metrics.counter(name).inc(delta)
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set a named gauge to an absolute value."""
-        self._counters[name] = float(value)
+        self.metrics.gauge(name).set(value)
 
     def counter(self, name: str) -> float:
-        return self._counters.get(name, 0.0)
+        """Deprecated: scalar read over counters *and* gauges.
+
+        Kept for callers written against the old untyped dict; new code
+        should go through :attr:`metrics`.
+        """
+        return self.metrics.value(name)
 
     @property
     def counters(self) -> dict[str, float]:
-        return dict(self._counters)
+        """Deprecated: merged read-only {name: value} snapshot."""
+        return self.metrics.scalars()
 
     # -- devices ---------------------------------------------------------
 
@@ -102,14 +130,29 @@ class TelemetryBoard:
 
     # -- agent liveness ------------------------------------------------------
 
+    def expect_agent(self, host_id: str, now: float) -> None:
+        """Declare that ``host_id`` should be heartbeating from ``now``.
+
+        Idempotent: re-wiring a control channel does not reset the grace
+        window.
+        """
+        self._agent_expected_ns.setdefault(host_id, now)
+
     def heartbeat(self, host_id: str, now: float) -> None:
         self._agent_heartbeat_ns[host_id] = now
 
     def stale_agents(self, now: float, timeout_ns: float) -> list[str]:
-        return sorted(
+        stale = {
             host for host, last in self._agent_heartbeat_ns.items()
             if now - last > timeout_ns
-        )
+        }
+        for host, since in self._agent_expected_ns.items():
+            # An expected agent that never heartbeated is stale once its
+            # grace window expires — not invisible.
+            if (host not in self._agent_heartbeat_ns
+                    and now - since > timeout_ns):
+                stale.add(host)
+        return sorted(stale)
 
     def last_heartbeat(self, host_id: str) -> Optional[float]:
         return self._agent_heartbeat_ns.get(host_id)

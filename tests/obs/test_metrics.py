@@ -1,0 +1,138 @@
+"""Typed metrics registry: kind safety, histogram percentile math."""
+
+import numpy as np
+import pytest
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    MetricTypeError,
+    log_bucket_bounds,
+)
+
+
+def test_counter_and_gauge_basics():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    reg.counter("a").inc(2.5)
+    reg.gauge("b").set(7.0)
+    reg.gauge("b").add(-2.0)
+    assert reg.value("a") == 3.5
+    assert reg.value("b") == 5.0
+    assert reg.scalars() == {"a": 3.5, "b": 5.0}
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("a").inc(-1.0)
+
+
+def test_kind_collision_raises_instead_of_corrupting():
+    """The old shared-dict board silently let a gauge write clobber a
+    counter; the typed registry refuses."""
+    reg = MetricsRegistry()
+    reg.counter("x").inc()
+    with pytest.raises(MetricTypeError):
+        reg.gauge("x")
+    with pytest.raises(MetricTypeError):
+        reg.histogram("x")
+    # The counter survived untouched.
+    assert reg.value("x") == 1.0
+
+
+def test_log_bucket_bounds_strictly_increasing():
+    bounds = log_bucket_bounds(lo=1.0, decades=3, per_decade=8)
+    assert len(bounds) == 25
+    assert all(a < b for a, b in zip(bounds, bounds[1:]))
+    assert bounds[0] == 1.0
+    assert bounds[-1] == pytest.approx(1000.0)
+
+
+def test_histogram_exact_boundary_is_deterministic():
+    """A value exactly on a bucket edge must land in that bucket (the
+    edge is an inclusive upper bound), with no float-log drift."""
+    h = Histogram("t", lo=1.0, decades=3, per_decade=8)
+    for edge in h.bounds:
+        before = h.count
+        h.observe(edge)
+        assert h.count == before + 1
+    # Every edge landed in its own bucket exactly once.
+    assert all(n == 1 for n in h.counts)
+    assert h.overflow == 0
+
+
+def test_histogram_empty_percentiles_are_zero():
+    h = Histogram("t")
+    assert h.percentile(50) == 0.0
+    assert h.percentile(99) == 0.0
+    summary = h.summary()
+    assert summary["count"] == 0.0
+    assert summary["p99"] == 0.0
+
+
+def test_histogram_single_value_answers_exactly():
+    h = Histogram("t")
+    h.observe(600.0)
+    for q in (1, 50, 99, 100):
+        assert h.percentile(q) == 600.0
+
+
+def test_histogram_percentiles_within_quantization_budget():
+    """Against numpy on a realistic latency-shaped sample: the log
+    buckets answer within the 3.7% worst-case quantization error."""
+    rng = np.random.default_rng(7)
+    samples = 550.0 + rng.exponential(80.0, size=5000)
+    h = Histogram("lat")
+    for s in samples:
+        h.observe(float(s))
+    for q in (50, 90, 95, 99):
+        exact = float(np.percentile(samples, q))
+        assert h.percentile(q) == pytest.approx(exact, rel=0.04)
+
+
+def test_histogram_overflow_reports_max():
+    h = Histogram("t", lo=1.0, decades=1, per_decade=4)  # caps at 10
+    h.observe(5.0)
+    h.observe(1e9)
+    assert h.overflow == 1
+    assert h.percentile(99) == 1e9
+
+
+def test_histogram_min_max_clamp():
+    h = Histogram("t")
+    h.observe(500.0)
+    h.observe(510.0)
+    assert h.min == 500.0 and h.max == 510.0
+    for q in (1, 50, 99):
+        assert 500.0 <= h.percentile(q) <= 510.0
+
+
+def test_registry_observe_shorthand_and_iteration():
+    reg = MetricsRegistry()
+    reg.observe("lat", 100.0)
+    reg.observe("lat", 200.0)
+    reg.counter("n").inc()
+    assert reg.value("lat") == 2.0  # histogram scalar view = count
+    assert reg.names() == ["lat", "n"]
+    assert [m.name for m in reg] == ["lat", "n"]
+    assert reg.kind_of("lat") == "histogram"
+    reg.clear()
+    assert len(reg) == 0
+
+
+def test_prometheus_rendering():
+    reg = MetricsRegistry()
+    reg.counter("ring.sends").inc(3)
+    reg.gauge("mhd.down").set(1)
+    for v in (100.0, 200.0, 400.0):
+        reg.observe("ring.one_way_ns", v)
+    text = render_prometheus(reg)
+    assert "# TYPE ring_sends counter" in text
+    assert "ring_sends 3" in text
+    assert "mhd_down 1" in text
+    assert "# TYPE ring_one_way_ns histogram" in text
+    assert 'ring_one_way_ns_bucket{le="+Inf"} 3' in text
+    assert "ring_one_way_ns_count 3" in text
+    assert 'quantile="0.50"' in text

@@ -1,0 +1,113 @@
+"""Cross-host trace propagation and the zero-perturbation guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.channel.messages import MmioRead
+from repro.channel.pingpong import run_pingpong
+from repro.channel.rpc import RpcEndpoint
+from repro.cxl.link import LinkSpec
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.obs import runtime as _obs
+from repro.obs.trace import Tracer
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def traced():
+    tracer = Tracer()
+    _obs.enable_tracing(tracer)
+    yield tracer
+    _obs.disable_tracing()
+
+
+def make_endpoints(seed=3):
+    sim = Simulator(seed=seed)
+    pod = CxlPod(sim, PodConfig(
+        n_hosts=2, n_mhds=1, mhd_capacity=1 << 26,
+        link_spec=LinkSpec(lanes=16),
+    ))
+    a, b = RpcEndpoint.pair(pod, "h0", "h1", label="t")
+    return sim, a, b
+
+
+def test_rpc_call_joins_sender_and_receiver_in_one_trace(traced):
+    sim, a, b = make_endpoints()
+
+    def handler(msg):
+        return None  # MmioRead with no reply: the client will time out
+
+    b.on(MmioRead, handler)
+    done = {}
+
+    def client(sim):
+        try:
+            yield from a.call(
+                MmioRead(request_id=1, device_id=0, addr=0),
+                timeout_ns=300_000.0,
+            )
+        except Exception:
+            pass
+        done["ok"] = True
+
+    sim.spawn(client(sim), name="client")
+    sim.run(until=2_000_000.0)
+    assert done["ok"]
+    calls = traced.by_name("rpc.call:MmioRead")
+    handles = traced.by_name("rpc.handle:MmioRead")
+    sends = traced.by_name("ring.send")
+    assert calls and handles and sends
+    # One connected trace: sender call span -> ring slot span -> receiver
+    # handler span all share the trace id, across two hosts' tracks.
+    trace_id = calls[0].trace_id
+    assert any(s.trace_id == trace_id for s in sends)
+    assert handles[0].trace_id == trace_id
+    assert calls[0].track.startswith("h0/")
+    assert handles[0].track.startswith("h1/")
+    assert handles[0].parent_id == calls[0].span_id
+
+
+def test_pingpong_rounds_each_form_one_cross_host_trace(traced):
+    n = 20
+    run_pingpong(n_messages=n, seed=0)
+    rounds = traced.by_name("pingpong.round")
+    handles = traced.by_name("pingpong.handle")
+    assert len(rounds) == n and len(handles) == n
+    for rnd, handle in zip(rounds, handles):
+        assert handle.trace_id == rnd.trace_id
+        assert handle.parent_id == rnd.span_id
+        assert rnd.track == "h0/app" and handle.track == "h1/app"
+        # The ring slot span rides the same trace.
+        ring_spans = [s for s in traced.traces()[rnd.trace_id]
+                      if s.name == "ring.send"]
+        assert ring_spans, "round trace is missing its ring.send span"
+
+
+def test_tracing_does_not_perturb_timing():
+    """Same seed, tracing on vs off: identical latency samples.
+
+    The NT store always writes a full 64 B line, so the 17 B envelope
+    cannot change any transfer time; the tracer never reads the clock.
+    """
+    baseline = run_pingpong(n_messages=120, seed=5)
+    tracer = Tracer()
+    _obs.enable_tracing(tracer)
+    try:
+        traced_run = run_pingpong(n_messages=120, seed=5)
+    finally:
+        _obs.disable_tracing()
+    again = run_pingpong(n_messages=120, seed=5)
+    assert np.array_equal(baseline.samples_ns, traced_run.samples_ns)
+    assert np.array_equal(baseline.samples_ns, again.samples_ns)
+    assert len(tracer.by_name("pingpong.round")) == 120
+
+
+def test_histogram_agrees_with_fig4_percentiles():
+    """`repro metrics` must answer within 5% of the exact fig4 numbers."""
+    _obs.reset_metrics()
+    result = run_pingpong(n_messages=500, seed=0)
+    hist = _obs.METRICS.histogram("ring.one_way_ns")
+    assert hist.count == 500
+    for q in (50, 99):
+        assert hist.percentile(q) == pytest.approx(
+            result.percentile(q), rel=0.05)

@@ -1,0 +1,152 @@
+"""Tracer, span contexts, wire envelopes, and the Chrome export."""
+
+import json
+
+from repro.channel.messages import _REGISTRY as MESSAGE_REGISTRY
+from repro.obs.context import (
+    TRACE_ENVELOPE_BYTES,
+    TRACE_ENVELOPE_TAG,
+    SpanContext,
+    unwrap_trace,
+    wrap_trace,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.runtime import (
+    disable_tracing,
+    enable_tracing,
+    tracer,
+    tracing_enabled,
+)
+from repro.obs.trace import NULL_SPAN, NullTracer, Tracer
+
+
+def test_span_parentage_and_trace_ids():
+    t = Tracer()
+    root = t.begin("root", 100.0, track="h0/rpc")
+    child = t.begin("child", 110.0, track="h1/rpc", parent=root)
+    other = t.begin("other", 120.0)
+    assert root.parent_id == 0
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+    assert other.trace_id != root.trace_id
+    t.end(child, 130.0)
+    t.end(root, 140.0, outcome="ok")
+    assert root.duration_ns == 40.0
+    assert root.args == {"outcome": "ok"}
+    assert len(t.finished()) == 2
+    assert {s.name for s in t.traces()[root.trace_id]} == {"root", "child"}
+
+
+def test_instant_is_zero_duration():
+    t = Tracer()
+    ev = t.instant("boom", 50.0, track="faults/injector")
+    assert ev.end_ns == ev.start_ns == 50.0
+    assert ev.duration_ns == 0.0
+
+
+def test_ids_are_deterministic_counters():
+    a, b = Tracer(), Tracer()
+    for t in (a, b):
+        s1 = t.begin("x", 0.0)
+        t.begin("y", 1.0, parent=s1)
+    assert [s.span_id for s in a.spans] == [s.span_id for s in b.spans]
+
+
+def test_null_tracer_is_inert():
+    t = NullTracer()
+    assert not t.enabled
+    span = t.begin("anything", 1.0)
+    assert span is NULL_SPAN
+    t.end(span, 2.0)
+    assert len(t) == 0
+    assert t.finished() == [] and t.traces() == {}
+
+
+def test_runtime_switchboard():
+    assert not tracing_enabled()
+    live = enable_tracing()
+    try:
+        assert tracing_enabled()
+        assert tracer() is live
+    finally:
+        disable_tracing()
+    assert not tracing_enabled()
+    assert not tracer().enabled
+
+
+def test_context_pack_roundtrip_and_traceparent():
+    ctx = SpanContext(trace_id=0xDEADBEEF, span_id=42)
+    assert SpanContext.unpack(ctx.pack()) == ctx
+    parent = ctx.traceparent()
+    assert parent.startswith("00-") and parent.endswith("-01")
+    assert f"{0xDEADBEEF:032x}" in parent
+
+
+def test_wire_envelope_roundtrip():
+    ctx = SpanContext(7, 9)
+    wrapped = wrap_trace(b"payload", ctx)
+    assert wrapped[0] == TRACE_ENVELOPE_TAG
+    assert len(wrapped) == len(b"payload") + TRACE_ENVELOPE_BYTES
+    payload, got = unwrap_trace(wrapped)
+    assert payload == b"payload" and got == ctx
+
+
+def test_unwrapped_payload_passes_through():
+    payload, ctx = unwrap_trace(b"\x01plain")
+    assert payload == b"\x01plain" and ctx is None
+
+
+def test_envelope_respects_budget():
+    ctx = SpanContext(1, 2)
+    big = b"x" * 50
+    assert wrap_trace(big, ctx, budget=57) == big  # would overflow: dropped
+    small = b"x" * 40
+    assert wrap_trace(small, ctx, budget=57) != small
+
+
+def test_envelope_tag_outside_message_tag_space():
+    """0xFE must never collide with a registered message tag, or the
+    dispatcher's unconditional unwrap would eat a real message."""
+    assert TRACE_ENVELOPE_TAG not in MESSAGE_REGISTRY
+
+
+def test_chrome_export_schema_and_flows(tmp_path):
+    t = Tracer()
+    root = t.begin("rpc.send", 1000.0, track="h0/rpc", cat="rpc")
+    child = t.begin("rpc.handle", 1600.0, track="h1/rpc", parent=root)
+    t.instant("fault", 1300.0, track="faults/injector")
+    t.end(child, 1900.0)
+    t.end(root, 2000.0)
+    events = chrome_trace_events(t)
+    by_phase = {}
+    for ev in events:
+        by_phase.setdefault(ev["ph"], []).append(ev)
+    # Metadata names every process and thread lane.
+    assert {e["args"]["name"] for e in by_phase["M"]
+            if e["name"] == "process_name"} == {"h0", "h1", "faults"}
+    # The cross-track parent/child edge produced a flow arrow pair.
+    assert len(by_phase["s"]) == 1 and len(by_phase["f"]) == 1
+    assert by_phase["s"][0]["id"] == by_phase["f"][0]["id"]
+    # X events carry µs timestamps and durations.
+    x = next(e for e in by_phase["X"] if e["name"] == "rpc.send")
+    assert x["ts"] == 1.0 and x["dur"] == 1.0
+
+    out = tmp_path / "trace.json"
+    n = export_chrome_trace(t, str(out))
+    doc = json.loads(out.read_text())
+    assert len(doc["traceEvents"]) == n
+    assert validate_chrome_trace(doc) == []
+
+
+def test_validator_flags_malformed_documents():
+    assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+    bad = {"traceEvents": [{"ph": "Z", "name": "x"},
+                           {"ph": "X", "name": "x", "ts": 0.0,
+                            "pid": 1, "tid": 1}]}
+    problems = validate_chrome_trace(bad)
+    assert any("bad phase" in p for p in problems)
+    assert any("without dur" in p for p in problems)

@@ -58,3 +58,64 @@ def test_fig3_small(capsys):
                       "--requests", "60", "--loads", "2.0")
     assert rc == 0
     assert "cxl" in out.lower()
+
+
+def test_trace_fig4_emits_valid_chrome_json(capsys, tmp_path):
+    import json
+
+    from repro.obs import runtime as _obs
+    from repro.obs.export import validate_chrome_trace
+
+    out_path = tmp_path / "trace.json"
+    rc, out = run_cli(capsys, "trace", "fig4", "--messages", "30",
+                      "--out", str(out_path))
+    assert rc == 0
+    assert "perfetto" in out
+    doc = json.loads(out_path.read_text())
+    assert validate_chrome_trace(doc) == []
+    # One connected cross-host trace per round: sender app + rpc-layer
+    # spans and the receiver handler share a trace id.
+    traces = {}
+    for ev in doc["traceEvents"]:
+        trace = (ev.get("args") or {}).get("trace")
+        if trace:
+            traces.setdefault(trace, set()).add(ev["name"])
+    rounds = [names for names in traces.values()
+              if "pingpong.round" in names]
+    assert len(rounds) == 30
+    for names in rounds:
+        assert {"ring.send", "pingpong.handle"} <= names
+    # The CLI disabled tracing on the way out.
+    assert not _obs.tracing_enabled()
+
+
+def test_trace_doorbell_shows_poison_recovery(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    rc, out = run_cli(capsys, "trace", "doorbell", "--out", str(out_path))
+    assert rc == 0
+    assert "poison_hits=1" in out
+    assert "rpc_retries=1" in out
+    import json
+    names = {ev["name"]
+             for ev in json.loads(out_path.read_text())["traceEvents"]}
+    assert {"doorbell.fwd", "ring.slot_corrupt", "rpc.backoff",
+            "fault:MemPoison"} <= names
+
+
+def test_metrics_reports_latency_and_ras(capsys):
+    rc, out = run_cli(capsys, "metrics", "--messages", "200")
+    assert rc == 0
+    assert "# TYPE ring_one_way_ns histogram" in out
+    assert 'ring_one_way_ns{quantile="0.50"}' in out
+    assert "ras_poisons_injected 1" in out
+    assert "# TYPE rpc_retries gauge" in out
+
+
+def test_metrics_no_pool_writes_file(capsys, tmp_path):
+    out_path = tmp_path / "metrics.prom"
+    rc, out = run_cli(capsys, "metrics", "--messages", "100",
+                      "--no-pool", "--out", str(out_path))
+    assert rc == 0
+    text = out_path.read_text()
+    assert "ring_one_way_ns_count 100" in text
+    assert "ras_poisons_injected" not in text
