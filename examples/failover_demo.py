@@ -1,89 +1,160 @@
 #!/usr/bin/env python3
-"""Failover demo: a NIC dies mid-traffic and the pool heals itself.
+"""Failover demo: a borrowed NIC's owner dies mid-stream; the lease heals it.
 
-The paper's §2.2/§4.2 story: h2 borrows a NIC from the pool and streams
-messages to h1.  We then kill the borrowed NIC.  The pooling agent on
-the owner host detects the failure (its MMIO health probe errors), tells
-the orchestrator over the shared-memory control channel, the
-orchestrator picks the least-utilized healthy replacement, and the
-virtual NIC transparently rebuilds its datapath.  Traffic resumes
-without h2 ever owning a NIC.
+The paper's §2.2/§4.2 story, upgraded to the lease-fenced ownership
+protocol: h2 borrows a NIC from the pool and streams a numbered sequence
+of datagrams to a peer.  Mid-stream we kill the NIC *and* partition its
+owner host's control ring — the agent cannot report the failure, so the
+only detection path is the orchestrator watching the device lease lapse.
+When it does, the orchestrator fences the old epoch, grants a fresh
+fencing token on a healthy replacement, and the virtual NIC rebuilds its
+datapath.  In-flight frames that never earned a TX completion are
+replayed from the client-side journal on the successor.
+
+The final report is the point: every sequence number arrives exactly
+once.  Zero lost, zero duplicated — even though the owner died with
+traffic in flight and could never say goodbye.
 
 Run:  python examples/failover_demo.py
 """
 
 from repro.core import PciePool
-from repro.faults import DeviceCrash, FaultInjector, FaultSchedule
+from repro.faults import (
+    DeviceCrash,
+    FaultInjector,
+    FaultSchedule,
+    HostPartition,
+)
 from repro.sim import Simulator
+
+N_MESSAGES = 12
+SEND_GAP_NS = 10_000_000.0       # 10 ms between datagrams
+CRASH_AT = N_MESSAGES // 2       # owner dies right before this send
+DEADLINE_NS = 5_000_000_000.0    # demo self-destructs if it ever hangs
+SETTLE_NS = 100_000_000.0        # window to catch late duplicates
 
 
 def main() -> None:
     sim = Simulator(seed=7)
     pool = PciePool(sim, n_hosts=4)
-    pool.add_nic("h0")
-    pool.add_nic("h0")          # spare capacity on h0
     pool.add_nic("h1")
+    pool.add_nic("h0")          # healthy spare for the failover
+    pool.add_nic("h3")          # h3's local NIC, used by the peer
     pool.start()
 
-    peer = pool.open_nic("h1")
+    peer = pool.open_nic("h3")
     vnic = pool.open_nic("h2")
-    print(f"h2 assigned {vnic!r}")
+    print(f"h2 assigned {vnic!r} "
+          f"(owner {pool.owner_of(vnic.device_id)})")
     vnic.on_rebind.append(
         lambda v: print(f"[{sim.now / 1e6:8.2f} ms] ORCHESTRATOR moved "
                         f"h2 to device {v.device_id} (gen {v.generation})")
     )
-    received = []
+
+    received: list[bytes] = []
+    done = sim.event(name="demo-done")
 
     def peer_main():
         yield from peer.start()
         sock = peer.stack.bind(7)
+        want = {f"msg-{i:03d}".encode() for i in range(N_MESSAGES)}
         while True:
             payload, _mac, _port = yield from sock.recv()
             received.append(payload)
-            print(f"[{sim.now / 1e6:8.2f} ms] h1 <- {payload!r}")
+            print(f"[{sim.now / 1e6:8.2f} ms] peer <- {payload!r}")
+            if want <= set(received) and not done.triggered:
+                done.succeed("all-received")
 
     injector = FaultInjector(pool)
 
+    def send_one(i: int):
+        """Send msg i on whatever stack the vnic currently has.
+
+        During the failover window the live stack is being swapped
+        underneath us; a send can land on a half-torn-down generation.
+        The stack de-journals a frame whose submission *raised*, so a
+        retry here can never produce a wire duplicate.
+        """
+        payload = f"msg-{i:03d}".encode()
+        while True:
+            stack = vnic.stack
+            try:
+                if stack._started:
+                    yield from stack.sendto(payload, peer.mac, 7,
+                                            src_port=9)
+                    return
+            except Exception:
+                pass
+            yield sim.timeout(1_000_000.0)
+
     def client_main():
         yield from vnic.start()
-        sock = vnic.stack.bind(9)
-        yield from sock.sendto(b"message-1", peer.mac, 7)
-        yield sim.timeout(5_000_000.0)
+        vnic.stack.bind(9)
+        yield sim.timeout(1_000_000.0)   # let the peer bind its port
+        for i in range(N_MESSAGES):
+            if i == CRASH_AT:
+                victim = vnic.device_id
+                owner = pool.owner_of(victim)
+                print(f"[{sim.now / 1e6:8.2f} ms] FAULT INJECTION: "
+                      f"{pool.device(victim).name} dies and owner "
+                      f"{owner} is partitioned off the control ring")
+                injector.run(FaultSchedule((
+                    # Control-plane partition: the agent cannot report
+                    # the dead device, cannot renew its leases, and —
+                    # crucially — cannot hear the revocation either.
+                    # Detection is pure lease expiry.
+                    HostPartition(host_id=owner, at_ns=sim.now,
+                                  down_ns=1_500_000_000.0),
+                    DeviceCrash(device_id=victim, at_ns=sim.now),
+                )))
+            yield from send_one(i)
+            yield sim.timeout(SEND_GAP_NS)
 
-        # Kill the borrowed NIC through the fault subsystem: a one-entry
-        # schedule, fired relative to now.  The injector only breaks the
-        # hardware — detection and recovery are the control plane's job.
-        victim = pool.device(vnic.device_id)
-        print(f"[{sim.now / 1e6:8.2f} ms] FAULT INJECTION: "
-              f"{victim.name} dies")
-        injector.run(FaultSchedule((
-            DeviceCrash(device_id=vnic.device_id, at_ns=sim.now),
-        )))
-
-        while vnic.generation == 0:   # wait for the failover
-            yield sim.timeout(500_000.0)
-        yield sim.timeout(2_000_000.0)  # new stack finishes starting
-        sock = vnic.stack.bind(9)
-        yield from sock.sendto(b"message-2 (after failover)",
-                               peer.mac, 7)
-        yield sim.timeout(5_000_000.0)
+    def deadline():
+        yield sim.timeout(DEADLINE_NS)
+        if not done.triggered:
+            done.succeed("timeout")
 
     sim.spawn(peer_main(), name="peer")
-    main_proc = sim.spawn(client_main(), name="client")
-    sim.run(until=main_proc)
+    sim.spawn(client_main(), name="client")
+    sim.spawn(deadline(), name="deadline")
+    sim.run(until=done)
 
-    print(f"\ndelivered: {received}")
-    print(f"failovers executed by the orchestrator: "
-          f"{pool.orchestrator.failovers}")
+    # Settle window: a buggy replay would deliver duplicates *after*
+    # the last distinct message arrived.  Give it every chance.
+    def settle():
+        yield sim.timeout(SETTLE_NS)
+    sim.run(until=sim.spawn(settle(), name="settle"))
+
+    lease = pool.export_lease_telemetry()
+    sent = [f"msg-{i:03d}".encode() for i in range(N_MESSAGES)]
+    lost = sorted(set(sent) - set(received))
+    dups = sorted(p for p in set(received) if received.count(p) > 1)
+
+    print("\n===== final report =====")
+    print(f"sent:             {len(sent)}")
+    print(f"delivered:        {len(received)}")
+    print(f"lost:             {len(lost)} {lost or ''}")
+    print(f"duplicated:       {len(dups)} {dups or ''}")
+    print(f"vnic generation:  {vnic.generation}")
+    print(f"frames replayed:  {int(vnic.stack.datagrams_resent)} "
+          "(journal resends on the successor)")
+    print(f"leases expired:   {int(lease['lease.expired'])}")
+    print(f"fenced ops:       {int(lease['proxy.fenced_ops'])}")
     print("fault log:")
     for event in injector.log:
         print(f"  [{event.at_ns / 1e6:8.2f} ms] {event.fault} "
               f"{event.target} {event.action}")
-    assert received == [b"message-1", b"message-2 (after failover)"]
-    print("traffic resumed on the replacement device - no spare NIC "
-          "was ever installed in h2.")
+
+    assert not lost, f"lost datagrams: {lost}"
+    assert not dups, f"duplicated datagrams: {dups}"
+    assert len(received) == N_MESSAGES
+    assert vnic.generation >= 1, "failover never happened"
+    violations = pool.check_fencing_invariant()
+    assert not violations, f"split-brain: {violations}"
+    print("zero lost, zero duplicated - the owner died mid-stream and "
+          "no client ever noticed.")
     pool.stop()
-    sim.run()
 
 
 if __name__ == "__main__":

@@ -79,15 +79,25 @@ def decode_message(payload: bytes) -> Message:
 @_register
 @dataclass(frozen=True)
 class MmioWrite(Message):
-    """Write ``value`` to device BAR offset ``addr`` of device ``device_id``."""
+    """Write ``value`` to device BAR offset ``addr`` of device ``device_id``.
+
+    ``op_id`` is a client-assigned operation id, stable across transport
+    retries (each retry gets a fresh ``request_id`` but keeps ``op_id``),
+    so the owner's dedup journal can suppress double-applies.  ``token``
+    is the fencing token of the lease the client believes the owner
+    holds; a stale token is rejected with STATUS_FENCED.  Both default to
+    0 = "unfenced legacy caller".
+    """
 
     TAG: ClassVar[int] = 1
-    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQQQ")
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQQQII")
 
     request_id: int
     device_id: int
     addr: int
     value: int
+    op_id: int = 0
+    token: int = 0
 
 
 @_register
@@ -96,11 +106,13 @@ class MmioRead(Message):
     """Read 8 B from device BAR offset ``addr``; answered by MmioReadReply."""
 
     TAG: ClassVar[int] = 2
-    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQQ")
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQQII")
 
     request_id: int
     device_id: int
     addr: int
+    op_id: int = 0
+    token: int = 0
 
 
 @_register
@@ -124,12 +136,14 @@ class Doorbell(Message):
     """
 
     TAG: ClassVar[int] = 4
-    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQIQ")
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQIQII")
 
     request_id: int
     device_id: int
     queue_id: int
     index: int
+    op_id: int = 0
+    token: int = 0
 
 
 @_register
@@ -295,3 +309,66 @@ class AssignmentReport(Message):
     kind_code: int
     generation: int
     epoch: int = 0
+
+
+# -- lease protocol (fenced device ownership, §4.2) ---------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class LeaseRenew(Message):
+    """Agent -> orchestrator: renew (or acquire) the lease on a device.
+
+    ``token`` is the fencing token the agent currently holds, or 0 when
+    it holds none (fresh start / stepped down).  The holder host is
+    implied by the control channel the message rides.  Answered by a
+    LeaseGrant matched on ``request_id``.
+    """
+
+    TAG: ClassVar[int] = 24
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQIB")
+
+    request_id: int
+    device_id: int
+    token: int
+    epoch: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class LeaseGrant(Message):
+    """Orchestrator -> agent: lease granted/renewed (status 0) or refused.
+
+    ``expires_at_ns`` is an absolute sim timestamp; both sides share the
+    pod clock, so the owner self-fences by refusing to serve past it
+    without needing any further message exchange.
+    """
+
+    TAG: ClassVar[int] = 25
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQIQB")
+
+    request_id: int
+    device_id: int
+    token: int
+    expires_at_ns: int
+    status: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class Fenced(Message):
+    """Owner -> borrower: unsolicited nack for a fenced doorbell.
+
+    Doorbells are fire-and-forget, so a fenced one cannot be nacked with
+    a request-matched Completion; this message lets the borrower learn
+    its token is stale and re-resolve instead of waiting for the op
+    timeout.  ``token`` is the server's current token (0 if revoked).
+    """
+
+    TAG: ClassVar[int] = 26
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQII")
+
+    request_id: int
+    device_id: int
+    op_id: int
+    token: int

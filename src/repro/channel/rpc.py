@@ -31,6 +31,25 @@ class RpcError(RuntimeError):
     """Raised when an RPC cannot be completed."""
 
 
+class PartitionedError(LinkDownError):
+    """Raised when an endpoint is administratively partitioned.
+
+    Subclasses :class:`LinkDownError` so every retry loop that already
+    treats a dead link as a transient transport fault handles a network
+    partition identically — the difference is that a partition severs
+    *this endpoint* (both directions) while the ring memory itself stays
+    healthy.
+    """
+
+    def __init__(self, endpoint_name: str):
+        # Skip LinkDownError.__init__ — there is no CxlLink object here,
+        # the "link" that failed is an administrative decision.
+        Exception.__init__(
+            self, f"endpoint {endpoint_name!r} is partitioned"
+        )
+        self.link = None
+
+
 class RpcEndpoint:
     """One side of a bidirectional ring pair."""
 
@@ -48,6 +67,13 @@ class RpcEndpoint:
         # How long the dispatcher sleeps after a poll hit a dead link.
         self.link_down_backoff_ns = link_down_backoff_ns
         self._next_request_id = 1
+        self._next_op_id = 1
+        #: Administrative partition flag: outbound sends raise
+        #: PartitionedError, inbound messages are dropped after recv (the
+        #: peer's write still lands in ring memory; this host just never
+        #: processes it — the host is alive but unreachable).
+        self.partitioned = False
+        self.partition_drops = 0
         self._replies = FilterStore(sim, name=f"{name}.replies")
         self._abandoned: set[int] = set()
         self._handlers: dict[type, Callable] = {}
@@ -129,6 +155,25 @@ class RpcEndpoint:
         self._next_request_id += 1
         return rid
 
+    def alloc_op_id(self) -> int:
+        """Allocate a client operation id, unique within this endpoint.
+
+        Unlike request ids (fresh per transport attempt), an op id is
+        assigned once per logical operation and survives retries, so the
+        server's dedup journal can recognize a replay.
+        """
+        oid = self._next_op_id
+        self._next_op_id += 1
+        return oid
+
+    def partition(self) -> None:
+        """Administratively sever this endpoint (both directions)."""
+        self.partitioned = True
+
+    def heal(self) -> None:
+        """Lift an administrative partition."""
+        self.partitioned = False
+
     @property
     def _host_id(self) -> str:
         return self.tx.region.memsys.host_id
@@ -140,6 +185,8 @@ class RpcEndpoint:
         (child of ``parent`` when given), so the receiving dispatcher
         joins its handler span to the sender's trace.
         """
+        if self.partitioned:
+            raise PartitionedError(self.name)
         tracer = _obs.TRACER
         if tracer.enabled:
             span = tracer.begin(
@@ -164,6 +211,8 @@ class RpcEndpoint:
         :class:`RpcError` on timeout.  The span (when tracing) covers
         send → matched reply — the full send→ack exchange.
         """
+        if self.partitioned:
+            raise PartitionedError(self.name)
         rid = message.request_id
         tracer = _obs.TRACER
         span = None
@@ -331,6 +380,12 @@ class RpcEndpoint:
                     # detected and counted; the peer's retransmit (fresh
                     # request id) recovers the exchange end-to-end.
                     self.slot_corruptions += 1
+                    continue
+                if self.partitioned:
+                    # Partitioned hosts stay alive but unreachable: the
+                    # peer's writes land in ring memory, yet nothing is
+                    # delivered to handlers or waiting callers.
+                    self.partition_drops += 1
                     continue
                 # Trace envelopes are stripped whether or not tracing is
                 # currently enabled: the tag byte (0xFE) can never be a

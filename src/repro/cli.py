@@ -207,6 +207,59 @@ def _run_doorbell_scenario(seed: int = 7, n_datagrams: int = 8) -> dict:
     }
 
 
+def _run_failover_scenario(seed: int = 7, n_ios: int = 6) -> dict:
+    """Mid-I/O owner-host failure healed by lease-fenced failover.
+
+    A client on h2 drives a pooled SSD.  Halfway through the I/O stream
+    the owning host dies for real: its control ring is partitioned, its
+    agent crashes, and the device itself fails.  No component tells the
+    orchestrator — detection is pure lease expiry.  The in-flight write
+    that started on the dying owner completes on the successor device;
+    its single ``vssd.write`` span crosses the whole handover, with the
+    ``vssd.failover`` and ``orch.lease_expired`` events nested inside
+    the same trace.
+    """
+    from repro.core import PciePool
+    from repro.faults import FaultInjector
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=3, n_mhds=2)
+    pool.add_ssd("h0")
+    pool.add_ssd("h1")
+    pool.start()
+    injector = FaultInjector(pool)
+    client = pool.open_ssd("h2")
+    statuses: list[int] = []
+
+    def workload():
+        yield from client.setup()
+        for i in range(n_ios):
+            if i == n_ios // 2:
+                victim_id = client.handle.device_id
+                victim_owner = pool.owner_of(victim_id)
+                injector.partition_host(victim_owner)
+                injector.crash_agent(victim_owner)
+                injector.crash_device(victim_id)
+            status = yield from client.write(i, b"x" * 4096)
+            statuses.append(status)
+
+    proc = sim.spawn(workload(), name="failover-client")
+    sim.run(until=proc)
+    violations = pool.check_fencing_invariant()
+    lease = pool.export_lease_telemetry()
+    pool.stop()
+    return {
+        "completed": float(len(statuses)),
+        "submitted": float(client.ops_submitted),
+        "failovers": float(client.failovers),
+        "resubmitted": float(client.resubmitted),
+        "lease_expiries": lease["lease.expired"],
+        "fenced_ops": lease["proxy.fenced_ops"],
+        "invariant_violations": float(len(violations)),
+    }
+
+
 def _cmd_trace(args) -> None:
     import json
 
@@ -223,6 +276,20 @@ def _cmd_trace(args) -> None:
             result = run_pingpong(n_messages=args.messages, seed=0)
             print(f"fig4: traced {args.messages} ping-pong rounds "
                   f"(median {result.median_ns:.0f} ns)")
+        elif args.experiment == "failover":
+            stats = _run_failover_scenario()
+            print("failover: mid-I/O owner death healed by lease expiry "
+                  f"(completed={stats['completed']:.0f}/"
+                  f"{stats['submitted']:.0f} "
+                  f"failovers={stats['failovers']:.0f} "
+                  f"resubmitted={stats['resubmitted']:.0f} "
+                  f"lease_expiries={stats['lease_expiries']:.0f} "
+                  f"invariant_violations="
+                  f"{stats['invariant_violations']:.0f})")
+            if (stats["completed"] != stats["submitted"]
+                    or stats["invariant_violations"]):
+                raise SystemExit("failover scenario lost I/O or "
+                                 "violated the fencing invariant")
         else:
             stats = _run_doorbell_scenario()
             print("doorbell: remote doorbell under MemPoison retransmit "
@@ -302,7 +369,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace",
         help="run an experiment with tracing on; export Chrome JSON",
     )
-    p.add_argument("experiment", choices=["fig4", "doorbell"])
+    p.add_argument("experiment", choices=["fig4", "doorbell", "failover"])
     p.add_argument("--messages", type=int, default=200,
                    help="ping-pong rounds for fig4")
     p.add_argument("--out", default="trace.json")

@@ -11,9 +11,12 @@ from repro.cxl.link import LinkDownError, LinkSpec
 from repro.cxl.pod import CxlPod, PodConfig
 from repro.datapath.netstack import UdpStack
 from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.datapath.vaccel import RemoteAcceleratorClient
+from repro.datapath.vssd import RemoteSsdClient
 from repro.datapath.proxy import (
     DeviceGoneError,
     DeviceServer,
+    FencedError,
     LocalDeviceHandle,
     RemoteDeviceHandle,
 )
@@ -47,7 +50,9 @@ class PciePool:
                  policy=None,
                  ctl_poll_ns: float = 5_000.0,
                  dev_poll_ns: float = 30.0,
-                 mhd_probe_ns: float = 10_000_000.0):
+                 mhd_probe_ns: float = 10_000_000.0,
+                 lease_ttl_ns: Optional[float] = None,
+                 lease_grace_ns: Optional[float] = None):
         self.sim = sim
         # Polling cadences for the two channel classes.  Long chaos
         # campaigns relax these to keep the event budget sane; latency
@@ -59,7 +64,12 @@ class PciePool:
             link_spec=link_spec, local_dram_bytes=256 << 20,
         ))
         self.fabric = EthernetSwitch(sim)
-        self.orchestrator = Orchestrator(sim, policy=policy)
+        orch_kwargs = {}
+        if lease_ttl_ns is not None:
+            orch_kwargs["lease_ttl_ns"] = lease_ttl_ns
+        if lease_grace_ns is not None:
+            orch_kwargs["lease_grace_ns"] = lease_grace_ns
+        self.orchestrator = Orchestrator(sim, policy=policy, **orch_kwargs)
         self.orchestrator_host = orchestrator_host or self.pod.host_ids[0]
         self.agents: dict[str, PoolingAgent] = {}
         self._devices: dict[int, object] = {}
@@ -72,6 +82,16 @@ class PciePool:
         self._next_mac = 0x02_00_00_00_00_01
         self._started = False
         self._vnics: list[VirtualNic] = []
+        #: Per-borrower-host op-id counters.  One DeviceServer serves
+        #: exactly one borrower host, so host-unique ids are journal-safe
+        #: even when a handle is re-resolved onto a different owner.
+        self._op_counters: dict[str, int] = {}
+        #: Hosts currently under an administrative control partition
+        #: (re-applied when a control channel is rebuilt mid-partition).
+        self._partitioned_hosts: set[str] = set()
+        #: Datapath clients (vssd/vaccel) rebuilt on migration:
+        #: virtual_id -> client with a ``failover(new_handle)`` process.
+        self._failover_clients: dict[int, object] = {}
         # Memory RAS: MHD liveness probing + channel re-establishment.
         # The probe cadence must be well under the heartbeat timeout so a
         # dead MHD's control channels are rebuilt before stale heartbeats
@@ -159,6 +179,24 @@ class PciePool:
         self.orchestrator.register_device(device.device_id, owner_host,
                                           kind)
         self.agents[owner_host].manage(device)
+        if self._started:
+            self._bootstrap_lease(device.device_id)
+
+    def _bootstrap_lease(self, device_id: int) -> None:
+        """Grant the owner its first lease, synchronously.
+
+        Equivalent to the agent's first over-the-wire renewal (token 0 →
+        fresh grant), issued directly at registration time — the same
+        construction-time convention the rest of the pool uses.  Only
+        started pools do this: without agent loops renewing, an armed
+        lease would just expire and fence a perfectly healthy owner.
+        """
+        owner = self._owners[device_id]
+        lease = self.orchestrator.ingest_lease_renew(owner, device_id, 0)
+        if lease is not None:
+            self.agents[owner].install_lease(
+                device_id, lease.token, lease.expires_at_ns
+            )
 
     def start(self) -> None:
         """Start the orchestrator, every agent, and the MHD monitor."""
@@ -168,6 +206,8 @@ class PciePool:
         self.orchestrator.start()
         for agent in self.agents.values():
             agent.start()
+        for device_id in sorted(self._devices):
+            self._bootstrap_lease(device_id)
         self._mhd_monitor = self.sim.spawn(
             self._mhd_monitor_loop(), name="mhd-monitor"
         )
@@ -206,12 +246,41 @@ class PciePool:
             raise KeyError(f"unknown device id {device_id}")
         return owner
 
+    def next_op_id(self, borrower_host: str) -> int:
+        """Allocate an op id unique across all of a borrower's handles."""
+        value = self._op_counters.get(borrower_host, 0) + 1
+        self._op_counters[borrower_host] = value
+        return value
+
+    def _lease_resolver(self, borrower_host: str, device_id: int):
+        """Callback giving a handle the *current* (endpoint, token).
+
+        Called synchronously by a fenced handle; ownership itself does
+        not move between hosts (devices are physically attached), so
+        re-resolution refreshes the fencing token and rides the cached
+        owner<->borrower channel.
+        """
+        def resolve():
+            lease = self.orchestrator.leases.current(device_id)
+            if lease is None:
+                return None
+            owner = self._owners.get(device_id)
+            if owner is None or owner == borrower_host:
+                return None
+            wired = self._device_servers.get((owner, borrower_host))
+            if wired is None:
+                return None
+            return wired[1], lease.token
+        return resolve
+
     def handle_for(self, borrower_host: str, device_id: int):
         """A device handle usable from ``borrower_host``.
 
         Local devices get plain MMIO handles; remote ones get ring-channel
         forwarding, creating (and caching) the owner<->borrower channel
-        and device server on first use.
+        and device server on first use.  Remote handles are stamped with
+        the device's current fencing token and re-resolve it through the
+        orchestrator's lease table when fenced.
         """
         device = self.device(device_id)
         owner = self.owner_of(device_id)
@@ -229,9 +298,17 @@ class PciePool:
             self._device_servers[key] = (owner_ep, borrower_ep, server)
             wired = self._device_servers[key]
         server = wired[2]
+        # The owner's agent pushes every lease change into the server, so
+        # fencing is enforced the moment ownership state exists.
+        self.agents[owner].attach_server(server)
         if device_id not in server.exported_ids:
             server.export(device)
-        return RemoteDeviceHandle(wired[1], device_id)
+        return RemoteDeviceHandle(
+            wired[1], device_id,
+            token=self.orchestrator.leases.token_of(device_id),
+            op_id_source=lambda h=borrower_host: self.next_op_id(h),
+            resolver=self._lease_resolver(borrower_host, device_id),
+        )
 
     # -- virtual NICs ------------------------------------------------------------------
 
@@ -241,6 +318,53 @@ class PciePool:
         vnic = VirtualNic(self, assignment, n_desc=n_desc)
         self._vnics.append(vnic)
         return vnic
+
+    def open_ssd(self, host_id: str, **kwargs) -> RemoteSsdClient:
+        """Allocate a pooled SSD for ``host_id`` with failover wiring.
+
+        The client's ring geometry follows the device, its handle is
+        lease-fenced, and the pool re-establishes it (resubmitting any
+        in-flight commands) whenever the orchestrator migrates the
+        assignment.
+        """
+        assignment = self.orchestrator.request_device(host_id, KIND_SSD)
+        device = self.device(assignment.device_id)
+        kwargs.setdefault("n_entries", device.spec.n_sq_entries)
+        kwargs.setdefault("name", f"vssd{assignment.virtual_id}@{host_id}")
+        client = RemoteSsdClient(
+            self.sim, self.pod.host(host_id),
+            self.handle_for(host_id, assignment.device_id), self.pod,
+            owner_host=self.owner_of(assignment.device_id), **kwargs,
+        )
+        self.attach_failover_client(assignment.virtual_id, client)
+        return client
+
+    def open_accelerator(self, host_id: str,
+                         **kwargs) -> RemoteAcceleratorClient:
+        """Allocate a pooled accelerator for ``host_id`` (see open_ssd)."""
+        assignment = self.orchestrator.request_device(
+            host_id, KIND_ACCELERATOR
+        )
+        device = self.device(assignment.device_id)
+        kwargs.setdefault("n_entries", device.spec.n_desc)
+        kwargs.setdefault("name",
+                          f"vaccel{assignment.virtual_id}@{host_id}")
+        client = RemoteAcceleratorClient(
+            self.sim, self.pod.host(host_id),
+            self.handle_for(host_id, assignment.device_id), self.pod,
+            owner_host=self.owner_of(assignment.device_id), **kwargs,
+        )
+        self.attach_failover_client(assignment.virtual_id, client)
+        return client
+
+    def attach_failover_client(self, virtual_id: int, client) -> None:
+        """Have migrations of ``virtual_id`` drive ``client.failover``.
+
+        The client must expose a ``failover(new_handle)`` process; the
+        pool spawns it with a freshly-resolved handle each time the
+        orchestrator rebinds the assignment to a different device.
+        """
+        self._failover_clients[virtual_id] = client
 
     def _on_migration(self, assignment: Assignment,
                       old_device_id: Optional[int]) -> None:
@@ -260,6 +384,14 @@ class PciePool:
                 # Assignment objects; re-point the vnic before rebinding.
                 vnic.assignment = assignment
                 vnic._rebind()
+        client = self._failover_clients.get(assignment.virtual_id)
+        if client is not None:
+            handle = self.handle_for(assignment.borrower_host,
+                                     assignment.device_id)
+            self.sim.spawn(
+                client.failover(handle),
+                name=f"client-failover:v{assignment.virtual_id}",
+            )
 
     # -- fault injection & recovery (driven by repro.faults) -----------------
 
@@ -284,9 +416,93 @@ class PciePool:
             if a.borrower_host == host_id:
                 agent.adopt_assignment(a.virtual_id, a.device_id, a.kind,
                                        a.generation)
+        # Re-front the device servers exporting this host's devices: the
+        # restarted daemon holds no leases yet (its renewal loop
+        # re-acquires within a tick), but the servers must be reachable
+        # for the re-acquired leases to be pushed into.
+        for key in sorted(self._device_servers):
+            if key[0] == host_id:
+                wired = self._device_servers[key]
+                if len(wired) == 3:
+                    agent.attach_server(wired[2])
         agent.start()
         self.sim.spawn(agent.announce(),
                        name=f"agent-reannounce:{host_id}")
+
+    def partition_host(self, host_id: str) -> None:
+        """Network-partition ``host_id``'s management plane.
+
+        Only the *control* endpoint is severed: the host (and its device
+        servers) keeps running and would happily keep serving borrowers —
+        exactly the split-brain scenario the lease protocol must contain.
+        The partitioned owner self-fences when its lease term runs out,
+        strictly before the orchestrator's post-grace sweep reassigns.
+        """
+        self._partitioned_hosts.add(host_id)
+        agent_ep = self._device_servers[("__ctl__", host_id)][1]
+        agent_ep.partition()
+
+    def heal_partition(self, host_id: str) -> None:
+        self._partitioned_hosts.discard(host_id)
+        agent_ep = self._device_servers[("__ctl__", host_id)][1]
+        agent_ep.heal()
+
+    def expire_lease(self, device_id: int) -> None:
+        """Fault injection: force the lease on ``device_id`` to lapse.
+
+        Ordering preserves the fencing invariant: the owner steps down
+        *first* (servers fence), then the orchestrator's copy is
+        backdated so its next sweep fails borrowers over to a successor.
+        """
+        owner = self._owners.get(device_id)
+        if owner is not None:
+            self.agents[owner].drop_lease(device_id)
+        self.orchestrator.leases.force_expire(device_id, self.sim.now)
+
+    def check_fencing_invariant(self) -> list[str]:
+        """Assert "at most one unexpired lease holder serving per device".
+
+        Returns human-readable violations (empty = invariant holds).  A
+        server serving with an unexpired lease must hold the exact token
+        the orchestrator believes is current, on the recorded owner host;
+        while the orchestrator is down (no current lease) servers may
+        legitimately serve out their terms, so only structural
+        multi-holder conflicts are checkable then.
+        """
+        now = self.sim.now
+        violations: list[str] = []
+        serving: dict[int, set[str]] = {}
+        for key in sorted(self._device_servers):
+            if key[0] == "__ctl__":
+                continue
+            owner_host = key[0]
+            wired = self._device_servers[key]
+            server = wired[2]
+            for device_id, state in sorted(server.lease_snapshot().items()):
+                if state is None:
+                    continue  # revoked: fenced, cannot serve
+                token, expires_at_ns = state
+                if now > expires_at_ns:
+                    continue  # self-fenced at expiry
+                serving.setdefault(device_id, set()).add(owner_host)
+                current = self.orchestrator.leases.current(device_id)
+                if current is None:
+                    continue  # orchestrator down/restarting: term rides out
+                if (current.token != token
+                        or current.holder_host != owner_host):
+                    violations.append(
+                        f"device {device_id}: server on {owner_host} "
+                        f"serves with token {token}, orchestrator says "
+                        f"token {current.token} held by "
+                        f"{current.holder_host}"
+                    )
+        for device_id, hosts in sorted(serving.items()):
+            if len(hosts) > 1:
+                violations.append(
+                    f"device {device_id}: multiple unexpired holders "
+                    f"serving: {sorted(hosts)}"
+                )
+        return violations
 
     def crash_mhd(self, mhd_index: int) -> None:
         """A pool memory device dies: every host loses that failure domain."""
@@ -418,6 +634,8 @@ class PciePool:
         )
         wire_control_channel(self.orchestrator, orch_ep, host_id)
         self.agents[host_id].rebind_endpoint(agent_ep)
+        if host_id in self._partitioned_hosts:
+            agent_ep.partition()  # the rebuild must not lift a partition
         self._device_servers[("__ctl__", host_id)] = (orch_ep, agent_ep)
         self.channels_rebuilt += 1
 
@@ -475,6 +693,36 @@ class PciePool:
             # Mirror into the process-wide registry so `repro metrics`
             # shows RAS health next to the latency histograms.
             _obs.METRICS.gauge(name).set(value)
+        return totals
+
+    def export_lease_telemetry(self) -> dict[str, float]:
+        """Aggregate lease/fencing counters into the telemetry board."""
+        leases = self.orchestrator.leases
+        totals = {
+            "lease.active": float(leases.active()),
+            "lease.granted": float(leases.granted),
+            "lease.renewed": float(leases.renewed),
+            "lease.adopted": float(leases.adopted),
+            "lease.expired": float(self.orchestrator.lease_expiries),
+            "lease.agent_renewals": 0.0,
+            "lease.agent_losses": 0.0,
+            "proxy.fenced_ops": 0.0,
+            "proxy.dup_suppressed": 0.0,
+        }
+        for agent in self.agents.values():
+            totals["lease.agent_renewals"] += agent.lease_renewals
+            totals["lease.agent_losses"] += agent.lease_losses
+        for key, wired in self._device_servers.items():
+            if key[0] == "__ctl__" or len(wired) < 3:
+                continue
+            totals["proxy.fenced_ops"] += wired[2].fenced_ops
+            totals["proxy.dup_suppressed"] += wired[2].dup_suppressed
+        for name, value in totals.items():
+            self.orchestrator.board.set_gauge(name, value)
+            if name.startswith("lease."):
+                # The proxy.* names are live counters fed by the servers
+                # themselves; re-registering them as gauges would clash.
+                _obs.METRICS.gauge(name).set(value)
         return totals
 
     def export_control_plane_telemetry(self) -> dict[str, float]:
@@ -595,38 +843,80 @@ class VirtualNic:
         )
 
     def _rebind(self) -> None:
-        """Rebuild on the newly-assigned device (called by the pool)."""
-        self._teardown()
+        """Rebuild on the newly-assigned device (called by the pool).
+
+        The dead generation's stack and driver memory are kept alive
+        until its TX completion queue has been drained: completions the
+        old owner managed to write before dying identify frames that
+        must not be replayed on the successor.
+        """
+        old_stack = self.stack
+        old_mem = self._mem
+        if old_stack is not None:
+            old_stack.stop()
+        self._mem = None  # _build allocates the next generation's memory
         self.generation += 1
         self._build()
         self.pool.sim.spawn(
-            self._guarded_start(self.stack),
+            self._failover_start(self.stack, old_stack, old_mem),
             name=f"vnic-restart:{self.assignment.virtual_id}",
         )
         for fn in self.on_rebind:
             fn(self)
+
+    def _failover_start(self, stack: UdpStack,
+                        old_stack: Optional[UdpStack],
+                        old_mem: Optional[DriverMemory]):
+        """Process: drain the old generation, start the new, replay TX."""
+        frames: list = []
+        if old_stack is not None:
+            yield from old_stack.drain_tx_for_failover()
+            frames = old_stack.unfinished_tx()
+        if old_mem is not None:
+            old_mem.release()
+        started = yield from self._guarded_start(stack)
+        if not started or self.stack is not stack:
+            return  # a newer rebind replays from its own journal
+        for frame in frames:
+            try:
+                yield from stack.resend_frame(frame)
+            except (DeviceGoneError, DeviceFailedError,
+                    LinkDownError, RpcError):
+                return
 
     def _guarded_start(self, stack: UdpStack):
         """Process: start a rebuilt stack without crashing the sim.
 
         A rebind can race the very fault that caused it: the replacement
         device may die (give up — the orchestrator will migrate again
-        and a fresh rebind supersedes this one) or a link may still be
-        flapping (keep retrying the bring-up until it sticks).
+        and a fresh rebind supersedes this one), ownership may still be
+        settling (fenced: re-resolve the token and retry), or a link may
+        still be flapping (keep retrying the bring-up until it sticks).
+        Returns True when the stack came up.
         """
         for _ in range(200):
             try:
                 yield from stack.start()
-                return
-            except (DeviceGoneError, DeviceFailedError):
+                return True
+            except FencedError:
                 self.start_failures += 1
-                return
+                stack.stop()  # reset driver state for the retry
+                if self.stack is not stack:
+                    return False
+                stack.handle.refresh()
+                yield self.pool.sim.timeout(5_000_000.0)
+            except (DeviceGoneError, DeviceFailedError):
+                # Includes DeviceWithdrawnError: the assignment is gone
+                # and only a fresh rebind can revive this vnic.
+                self.start_failures += 1
+                return False
             except (LinkDownError, RpcError):
                 self.start_failures += 1
                 stack.stop()  # reset driver state for the retry
                 if self.stack is not stack:
-                    return  # a newer rebind owns the vnic now
+                    return False  # a newer rebind owns the vnic now
                 yield self.pool.sim.timeout(5_000_000.0)
+        return False
 
     def _teardown(self) -> None:
         if self.stack is not None:

@@ -24,7 +24,11 @@ from typing import Optional
 from repro.channel.rpc import RpcError
 from repro.cxl.link import LinkDownError
 from repro.datapath.placement import BufferPlacement, DriverMemory
-from repro.datapath.proxy import DeviceGoneError
+from repro.datapath.proxy import (
+    DeviceGoneError,
+    DeviceWithdrawnError,
+    FenceSignals,
+)
 from repro.obs import runtime as _obs
 from repro.pcie.device import DeviceFailedError
 from repro.pcie.fabric import ETH_HEADER_BYTES, EthernetFrame
@@ -116,6 +120,16 @@ class UdpStack:
         self._sockets: dict[int, UdpSocket] = {}
         self._pollers: list = []
         self._started = False
+        # TX frame journal: encoded frame per descriptor index, kept
+        # until its completion is observed.  After an owner-host failure
+        # the VirtualNic drains whatever completions the dying owner
+        # already wrote (the CQ is pool memory and outlives the owner)
+        # and resends only the still-unfinished frames on the successor
+        # stack — zero lost, zero duplicated TX completions.
+        self._tx_journal: dict[int, bytes] = {}
+        self._tx_cq_head = 0
+        self._kick_pending = False
+        self._kick_streak = 0
         # Fault tolerance: CQ pollers and repost paths survive link flaps
         # by backing off and retrying instead of dying.
         self.fault_retry_ns = 100_000.0
@@ -125,7 +139,10 @@ class UdpStack:
         self.datagrams_received = 0
         self.datagrams_dropped_no_socket = 0
         self.datagrams_dropped_fault = 0
+        self.datagrams_resent = 0
+        self.fence_kicks = 0
         self.link_retries = 0
+        self._subscribe_fence_signals()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -139,6 +156,8 @@ class UdpStack:
         # zeroes the device-side heads to match.
         self._tx_tail = 0
         self._rx_tail = 0
+        self._tx_cq_head = 0
+        self._tx_journal = {}
         # Reset the NIC's queue heads: a driver taking over a (possibly
         # previously-borrowed) device must not inherit stale ring state.
         yield from self.handle.write_register(Nic.REG_RESET, 1)
@@ -197,17 +216,31 @@ class UdpStack:
             )
         try:
             yield self.sim.timeout(self.sw_overhead_ns)
-            yield self._tx_credits.get()
-            with self._tx_lock.request() as lock:
-                yield lock
-                slot = self._tx_tail % self.n_desc
-                self._tx_tail += 1
-                tail = self._tx_tail
-                buf = self.tx_bufs + slot * self.buf_bytes
-                datagram = (_UDP.pack(src_port, dst_port, len(payload))
-                            + payload)
-                frame = EthernetFrame(dst_mac, self.mac, datagram).encode()
-                desc_addr = self.tx_ring + slot * DESCRIPTOR_BYTES
+            datagram = (_UDP.pack(src_port, dst_port, len(payload))
+                        + payload)
+            frame = EthernetFrame(dst_mac, self.mac, datagram).encode()
+            yield from self._send_frame(frame, parent=span)
+        finally:
+            if span is not None:
+                tracer.end(span, self.sim.now)
+
+    def _send_frame(self, frame: bytes, parent=None):
+        """Process: publish one encoded frame and ring the TX doorbell.
+
+        Shared between first-time sends and post-failover resends; the
+        frame is journaled until its TX completion is observed.
+        """
+        yield self._tx_credits.get()
+        with self._tx_lock.request() as lock:
+            yield lock
+            index = self._tx_tail
+            slot = index % self.n_desc
+            self._tx_tail += 1
+            tail = self._tx_tail
+            self._tx_journal[index % (1 << 16)] = frame
+            buf = self.tx_bufs + slot * self.buf_bytes
+            desc_addr = self.tx_ring + slot * DESCRIPTOR_BYTES
+            try:
                 # The descriptor slot is reserved above, so the writes
                 # must be retried across a link flap: abandoning them
                 # would leave a garbage descriptor the NIC later fetches.
@@ -215,7 +248,8 @@ class UdpStack:
                     try:
                         yield from self.mem.write(buf, frame)
                         yield from self.mem.write(
-                            desc_addr, Descriptor(buf, len(frame)).encode()
+                            desc_addr,
+                            Descriptor(buf, len(frame)).encode(),
                         )
                         yield from self.mem.fence()
                         break
@@ -224,33 +258,108 @@ class UdpStack:
                             raise
                         self.link_retries += 1
                         yield self.sim.timeout(self.fault_retry_ns)
-                if span is not None:
+                if parent is not None and _obs.TRACER.enabled:
                     # DMA-visible point: descriptors published, doorbell
                     # about to ring — the span's tail is doorbell cost.
-                    tracer.instant(
+                    _obs.TRACER.instant(
                         "udp.doorbell", self.sim.now,
                         track=f"{self.memsys.host_id}/udp",
-                        parent=span, cat="udp",
+                        parent=parent, cat="udp",
                     )
                 yield from self.handle.ring_doorbell(TX_QUEUE, tail,
-                                                     parent=span)
-            self.datagrams_sent += 1
-        finally:
-            if span is not None:
-                tracer.end(span, self.sim.now)
+                                                     parent=parent)
+            except BaseException:
+                # The caller observes this failure and owns any retry;
+                # leaving the frame journaled would make a later
+                # failover replay it a second time.
+                self._tx_journal.pop(index % (1 << 16), None)
+                raise
+        self.datagrams_sent += 1
+
+    def resend_frame(self, frame: bytes):
+        """Process: resubmit a journaled frame (post-failover path)."""
+        self.datagrams_resent += 1
+        yield from self._send_frame(frame)
+
+    def unfinished_tx(self) -> list:
+        """Journaled frames with no observed TX completion, in order."""
+        return [self._tx_journal[key] for key in sorted(self._tx_journal)]
+
+    def drain_tx_for_failover(self):
+        """Process: harvest TX completions the previous owner wrote.
+
+        Run on the *old* stack (pollers stopped, driver memory still
+        held) before its unfinished frames are replayed on a successor:
+        every completion found here is a frame that must NOT be resent.
+        """
+        yield self.sim.timeout(2_000.0)  # let in-flight CQ writes land
+        while self._tx_journal:
+            expect = seq_for_pass(self._tx_cq_head // self.n_desc)
+            addr = (self.tx_cq
+                    + (self._tx_cq_head % self.n_desc) * COMPLETION_BYTES)
+            try:
+                raw = yield from self.mem.read(addr, COMPLETION_BYTES)
+            except LinkDownError:
+                break
+            entry = CompletionEntry.decode(raw)
+            if entry.seq != expect:
+                break
+            self._tx_cq_head += 1
+            self._tx_journal.pop(entry.index % (1 << 16), None)
 
     def _tx_cq_poller(self):
-        head = 0
         try:
             while True:
                 entry = yield from self._poll_cq(
-                    self.tx_cq, head, self._tx_hint
+                    self.tx_cq, self._tx_cq_head, self._tx_hint
                 )
-                head += 1
+                self._tx_cq_head += 1
+                self._tx_journal.pop(entry.index % (1 << 16), None)
+                self._kick_streak = 0
                 # Completion frees the slot for reuse.
                 self._tx_credits.put(None)
         except Interrupt:
             return
+
+    # -- fence nacks (lease token rotated under a posted doorbell) ----------
+
+    def _subscribe_fence_signals(self) -> None:
+        endpoint = getattr(self.handle, "endpoint", None)
+        if endpoint is None:
+            return
+        FenceSignals.attach(endpoint).subscribe(
+            self.handle.device_id, self._on_fence_nack
+        )
+
+    def _on_fence_nack(self, msg) -> None:
+        if (msg.device_id != self.handle.device_id
+                or not self._started
+                or self._kick_pending
+                or self._kick_streak >= 8):
+            return
+        self._kick_pending = True
+        self.sim.spawn(self._fence_kick(), name=f"{self.name}.kick")
+
+    def _fence_kick(self, delay_ns: float = 1_000_000.0):
+        """Process: re-ring both doorbells with a refreshed token —
+        recovers doorbells dropped while the same owner's lease token
+        rotated.  Bounded by ``_kick_streak`` (reset on TX completion);
+        a genuinely-moved NIC is rebuilt by the VirtualNic instead."""
+        try:
+            yield self.sim.timeout(delay_ns)
+            if not self._started:
+                return
+            self._kick_streak += 1
+            self.fence_kicks += 1
+            _obs.METRICS.counter("udp.fence_kicks").inc()
+            self.handle.refresh()
+            yield from self.handle.ring_doorbell(TX_QUEUE, self._tx_tail)
+            yield from self.handle.ring_doorbell(RX_QUEUE, self._rx_tail)
+        except (RpcError, LinkDownError, DeviceGoneError,
+                DeviceFailedError):
+            pass
+        finally:
+            self._kick_pending = False
 
     # -- RX path --------------------------------------------------------------------------
 
@@ -308,6 +417,12 @@ class UdpStack:
                 yield from self.mem.fence()
                 yield from self.handle.ring_doorbell(RX_QUEUE,
                                                      self._rx_tail)
+                return
+            except DeviceWithdrawnError:
+                # The assignment itself is gone — nothing to retry
+                # against; the VirtualNic rebuilds the stack with a full
+                # fresh RX pool, so this slot is not leaked.
+                self.datagrams_dropped_fault += 1
                 return
             except (LinkDownError, RpcError, DeviceGoneError,
                     DeviceFailedError):

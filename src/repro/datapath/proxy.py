@@ -9,13 +9,27 @@ remote hosts to the local host").
 
 Doorbells are fire-and-forget (posted, like real MMIO writes); register
 configuration and reads are RPCs with completions.
+
+Ownership is *lease-fenced* (§4.2): the server refuses any forwarded op
+whose fencing token does not match the unexpired lease the owner agent
+installed, so a partitioned former owner can never serve against a
+reassigned device.  Forwarded ops also carry a client-assigned ``op_id``
+that is stable across transport retries; a bounded dedup journal on the
+server replays the original completion for a duplicate instead of
+re-applying the register write, turning at-least-once retries into
+exactly-once-observable semantics per serving device.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from collections import OrderedDict
+from typing import Callable, Optional
+
 from repro.channel.messages import (
     Completion,
     Doorbell,
+    Fenced,
     MmioRead,
     MmioReadReply,
     MmioWrite,
@@ -42,6 +56,10 @@ class LocalDeviceHandle:
     def is_remote(self) -> bool:
         return False
 
+    def refresh(self) -> bool:
+        """No-op (local devices have no lease to re-resolve)."""
+        return False
+
     def write_register(self, offset: int, value: int, parent=None):
         """Process: MMIO register write."""
         yield from self.device.mmio_write(offset, value)
@@ -58,100 +76,6 @@ class LocalDeviceHandle:
         )
 
 
-class RemoteDeviceHandle:
-    """Driver-side handle for a device on another pod host.
-
-    All verbs travel over the sub-µs CXL ring channel to the owner's
-    :class:`DeviceServer`.  A doorbell costs roughly one channel one-way
-    latency (~600 ns) instead of one MMIO write (~200 ns) — the modest
-    control-plane premium of pooling.
-    """
-
-    def __init__(self, endpoint: RpcEndpoint, device_id: int,
-                 rpc_timeout_ns: float = 2_000_000.0,
-                 rpc_max_attempts: int = 4):
-        self.endpoint = endpoint
-        self.device_id = device_id
-        self.rpc_timeout_ns = rpc_timeout_ns
-        # Transport-level retries (timeout / link flap); application-level
-        # rejections (DeviceGoneError) are never retried here — the
-        # orchestrator owns that decision.
-        self.rpc_max_attempts = rpc_max_attempts
-
-    @property
-    def is_remote(self) -> bool:
-        return True
-
-    @property
-    def _track(self) -> str:
-        return f"{self.endpoint.tx.region.memsys.host_id}/mmio"
-
-    def write_register(self, offset: int, value: int, parent=None):
-        """Process: forwarded register write, waits for the completion."""
-        sim = self.endpoint.sim
-        span = _obs.TRACER.begin(
-            "mmio.write_fwd", sim.now, track=self._track, parent=parent,
-            cat="mmio", args={"device": self.device_id, "addr": offset},
-        )
-        try:
-            reply = yield from self.endpoint.call_with_retry(
-                MmioWrite(
-                    request_id=0,
-                    device_id=self.device_id, addr=offset, value=value,
-                ),
-                timeout_ns=self.rpc_timeout_ns,
-                max_attempts=self.rpc_max_attempts,
-                parent=span,
-            )
-        finally:
-            _obs.TRACER.end(span, sim.now)
-        if reply.status != 0:
-            raise DeviceGoneError(self.device_id, reply.status)
-
-    def read_register(self, offset: int, parent=None):
-        """Process: forwarded register read; returns the value."""
-        sim = self.endpoint.sim
-        span = _obs.TRACER.begin(
-            "mmio.read_fwd", sim.now, track=self._track, parent=parent,
-            cat="mmio", args={"device": self.device_id, "addr": offset},
-        )
-        try:
-            reply = yield from self.endpoint.call_with_retry(
-                MmioRead(
-                    request_id=0,
-                    device_id=self.device_id, addr=offset,
-                ),
-                timeout_ns=self.rpc_timeout_ns,
-                max_attempts=self.rpc_max_attempts,
-                parent=span,
-            )
-        finally:
-            _obs.TRACER.end(span, sim.now)
-        if isinstance(reply, Completion):
-            # The server answered with an error completion, not a value.
-            raise DeviceGoneError(self.device_id, reply.status)
-        return reply.value
-
-    def ring_doorbell(self, queue_id: int, index: int, parent=None):
-        """Process: fire-and-forget forwarded doorbell."""
-        sim = self.endpoint.sim
-        span = _obs.TRACER.begin(
-            "doorbell.fwd", sim.now, track=self._track, parent=parent,
-            cat="mmio",
-            args={"device": self.device_id, "queue": queue_id},
-        )
-        try:
-            yield from self.endpoint.send_with_retry(
-                Doorbell(
-                    request_id=0, device_id=self.device_id,
-                    queue_id=queue_id, index=index,
-                ),
-                parent=span,
-            )
-        finally:
-            _obs.TRACER.end(span, sim.now)
-
-
 class DeviceGoneError(RuntimeError):
     """A forwarded operation was rejected: the device failed or moved."""
 
@@ -163,26 +87,304 @@ class DeviceGoneError(RuntimeError):
         self.status = status
 
 
+class FencedError(DeviceGoneError):
+    """Retryable rejection: ownership is changing hands.
+
+    The server saw a stale (or revoked) fencing token.  The right client
+    reaction is to re-resolve the owner/token and replay the op with the
+    same ``op_id`` — :class:`RemoteDeviceHandle` does this internally and
+    only surfaces this error once its replay budget is exhausted.
+    """
+
+
+class DeviceWithdrawnError(DeviceGoneError):
+    """Fatal rejection: the device is no longer exported to this host.
+
+    Unlike a fence (owner changing under us) there is nothing to replay
+    against — the assignment itself is gone.
+    """
+
+
+class FenceSignals:
+    """Per-endpoint dispatcher for unsolicited :class:`Fenced` nacks.
+
+    An endpoint has a single handler slot per message type, but several
+    device clients can share one endpoint; this router fans a Fenced nack
+    out to every subscriber interested in that device.
+    """
+
+    _ATTR = "_fence_signals"
+
+    def __init__(self):
+        self._subs: dict[int, list[Callable]] = {}
+
+    @classmethod
+    def attach(cls, endpoint: RpcEndpoint) -> "FenceSignals":
+        router = getattr(endpoint, cls._ATTR, None)
+        if router is None:
+            router = cls()
+            setattr(endpoint, cls._ATTR, router)
+            endpoint.on(Fenced, router._dispatch)
+        return router
+
+    def subscribe(self, device_id: int, fn: Callable) -> None:
+        listeners = self._subs.setdefault(device_id, [])
+        if fn not in listeners:
+            listeners.append(fn)
+
+    def _dispatch(self, msg: Fenced) -> None:
+        for fn in list(self._subs.get(msg.device_id, ())):
+            fn(msg)
+
+
+class RemoteDeviceHandle:
+    """Driver-side handle for a device on another pod host.
+
+    All verbs travel over the sub-µs CXL ring channel to the owner's
+    :class:`DeviceServer`.  A doorbell costs roughly one channel one-way
+    latency (~600 ns) instead of one MMIO write (~200 ns) — the modest
+    control-plane premium of pooling.
+
+    When built by the pool the handle carries the device's fencing
+    ``token`` and a ``resolver`` callback returning the *current*
+    ``(endpoint, token)`` for the device; a STATUS_FENCED rejection makes
+    the handle re-resolve and replay the same ``op_id`` (bounded, with
+    backoff), so an ownership change mid-operation is invisible to the
+    driver above.  ``op_id_source`` must allocate ids unique across every
+    endpoint the handle can be re-resolved onto (the pool uses one
+    counter per borrower host); without it the endpoint-local counter is
+    used, which is only safe for handles that never move endpoints.
+    """
+
+    def __init__(self, endpoint: RpcEndpoint, device_id: int,
+                 rpc_timeout_ns: float = 2_000_000.0,
+                 rpc_max_attempts: int = 4,
+                 token: int = 0,
+                 op_id_source: Optional[Callable[[], int]] = None,
+                 resolver: Optional[Callable] = None,
+                 fence_retry_limit: int = 64,
+                 fence_backoff_base_ns: float = 500_000.0,
+                 fence_backoff_cap_ns: float = 8_000_000.0):
+        self.endpoint = endpoint
+        self.device_id = device_id
+        self.rpc_timeout_ns = rpc_timeout_ns
+        # Transport-level retries (timeout / link flap); application-level
+        # rejections (DeviceGoneError) are never retried here — the
+        # orchestrator owns that decision.  Fences are the exception:
+        # they are replayed below after re-resolving the owner.
+        self.rpc_max_attempts = rpc_max_attempts
+        self.token = token
+        self.op_id_source = op_id_source
+        self.resolver = resolver
+        self.fence_retry_limit = fence_retry_limit
+        self.fence_backoff_base_ns = fence_backoff_base_ns
+        self.fence_backoff_cap_ns = fence_backoff_cap_ns
+        self.fence_replays = 0
+
+    @property
+    def is_remote(self) -> bool:
+        return True
+
+    @property
+    def _track(self) -> str:
+        return f"{self.endpoint.tx.region.memsys.host_id}/mmio"
+
+    def _alloc_op_id(self) -> int:
+        if self.op_id_source is not None:
+            return self.op_id_source()
+        return self.endpoint.alloc_op_id()
+
+    def refresh(self) -> bool:
+        """Re-resolve the current owner endpoint and fencing token.
+
+        Synchronous (no sim time passes).  Returns True when a current
+        owner was resolved, False when there is no resolver or the
+        device currently has no lease holder.
+        """
+        if self.resolver is None:
+            return False
+        resolved = self.resolver()
+        if resolved is None:
+            return False
+        endpoint, token = resolved
+        self.endpoint = endpoint
+        self.token = token
+        return True
+
+    def _fence_pause(self, attempt: int, parent=None):
+        """Process: back off, re-resolve; False when budget exhausted."""
+        if self.resolver is None or attempt >= self.fence_retry_limit:
+            return False
+        sim = self.endpoint.sim
+        delay = min(self.fence_backoff_cap_ns,
+                    self.fence_backoff_base_ns * (2 ** min(attempt, 5)))
+        rng = sim.rng.stream(f"fence:{self.device_id}")
+        delay += float(rng.uniform(0.0, delay / 2.0))
+        if _obs.TRACER.enabled:
+            _obs.TRACER.instant(
+                "mmio.fence_replay", sim.now, track=self._track,
+                parent=parent, cat="lease",
+                args={"device": self.device_id, "attempt": attempt},
+            )
+        yield sim.timeout(delay)
+        self.refresh()
+        self.fence_replays += 1
+        _obs.METRICS.counter("proxy.fence_replays").inc()
+        return True
+
+    def _raise_status(self, status: int):
+        """Map a terminal rejection status onto its typed error."""
+        if status == DeviceServer.STATUS_UNKNOWN_DEVICE:
+            _obs.METRICS.counter("proxy.rejects_fatal").inc()
+            raise DeviceWithdrawnError(self.device_id, status)
+        if status == DeviceServer.STATUS_FENCED:
+            _obs.METRICS.counter("proxy.rejects_retryable").inc()
+            raise FencedError(self.device_id, status)
+        _obs.METRICS.counter("proxy.rejects_failed_device").inc()
+        raise DeviceGoneError(self.device_id, status)
+
+    def write_register(self, offset: int, value: int, parent=None):
+        """Process: forwarded register write, waits for the completion.
+
+        The op id is allocated once, so transport retries *and* fence
+        replays are recognizable duplicates to the server's journal.
+        """
+        sim = self.endpoint.sim
+        op_id = self._alloc_op_id()
+        span = _obs.TRACER.begin(
+            "mmio.write_fwd", sim.now, track=self._track, parent=parent,
+            cat="mmio", args={"device": self.device_id, "addr": offset},
+        )
+        fence_attempt = 0
+        try:
+            while True:
+                reply = yield from self.endpoint.call_with_retry(
+                    MmioWrite(
+                        request_id=0,
+                        device_id=self.device_id, addr=offset, value=value,
+                        op_id=op_id, token=self.token,
+                    ),
+                    timeout_ns=self.rpc_timeout_ns,
+                    max_attempts=self.rpc_max_attempts,
+                    parent=span,
+                )
+                if reply.status == DeviceServer.STATUS_OK:
+                    return
+                if reply.status == DeviceServer.STATUS_FENCED:
+                    replay = yield from self._fence_pause(
+                        fence_attempt, parent=span
+                    )
+                    fence_attempt += 1
+                    if replay:
+                        continue
+                self._raise_status(reply.status)
+        finally:
+            _obs.TRACER.end(span, sim.now)
+
+    def read_register(self, offset: int, parent=None):
+        """Process: forwarded register read; returns the value."""
+        sim = self.endpoint.sim
+        op_id = self._alloc_op_id()
+        span = _obs.TRACER.begin(
+            "mmio.read_fwd", sim.now, track=self._track, parent=parent,
+            cat="mmio", args={"device": self.device_id, "addr": offset},
+        )
+        fence_attempt = 0
+        try:
+            while True:
+                reply = yield from self.endpoint.call_with_retry(
+                    MmioRead(
+                        request_id=0,
+                        device_id=self.device_id, addr=offset,
+                        op_id=op_id, token=self.token,
+                    ),
+                    timeout_ns=self.rpc_timeout_ns,
+                    max_attempts=self.rpc_max_attempts,
+                    parent=span,
+                )
+                if not isinstance(reply, Completion):
+                    return reply.value
+                # The server answered with an error completion, not a value.
+                if reply.status == DeviceServer.STATUS_FENCED:
+                    replay = yield from self._fence_pause(
+                        fence_attempt, parent=span
+                    )
+                    fence_attempt += 1
+                    if replay:
+                        continue
+                self._raise_status(reply.status)
+        finally:
+            _obs.TRACER.end(span, sim.now)
+
+    def ring_doorbell(self, queue_id: int, index: int, parent=None):
+        """Process: fire-and-forget forwarded doorbell.
+
+        A fenced doorbell is nacked out-of-band with a :class:`Fenced`
+        message (there is no completion to reject); subscribe via
+        :class:`FenceSignals` to react without waiting for op timeouts.
+        """
+        sim = self.endpoint.sim
+        span = _obs.TRACER.begin(
+            "doorbell.fwd", sim.now, track=self._track, parent=parent,
+            cat="mmio",
+            args={"device": self.device_id, "queue": queue_id},
+        )
+        try:
+            yield from self.endpoint.send_with_retry(
+                Doorbell(
+                    request_id=0, device_id=self.device_id,
+                    queue_id=queue_id, index=index,
+                    op_id=self._alloc_op_id(), token=self.token,
+                ),
+                parent=span,
+            )
+        finally:
+            _obs.TRACER.end(span, sim.now)
+
+
+#: Sentinel distinguishing "device never had lease state" (legacy
+#: unfenced operation, used by direct-wired tests and local tooling)
+#: from "lease revoked" (None tombstone: fence everything).
+_UNFENCED = object()
+
+
 class DeviceServer:
     """Owner-host service applying forwarded device-memory operations.
 
     One server per (owner host, peer host) ring-channel endpoint.  The
     pooling agent (§4.2) runs one of these for every host that currently
     borrows one of its devices.
+
+    Fencing is armed per device the moment the owner agent installs a
+    lease via :meth:`set_lease`; devices without any lease state keep the
+    pre-lease behaviour (always serve), so hand-wired deployments work
+    unchanged.  A device whose lease was revoked — or whose expiry has
+    passed on the shared pod clock — rejects every forwarded op: the
+    owner *self-fences* even when partitioned from the orchestrator.
     """
 
     STATUS_OK = 0
     STATUS_FAILED_DEVICE = 1
     STATUS_UNKNOWN_DEVICE = 2
+    STATUS_FENCED = 3
 
-    def __init__(self, endpoint: RpcEndpoint):
+    def __init__(self, endpoint: RpcEndpoint, journal_cap: int = 512):
         self.endpoint = endpoint
+        self.sim = endpoint.sim
         self._devices: dict[int, PcieDevice] = {}
+        #: device_id -> (token, expires_at_ns) | None (revoked tombstone).
+        self._leases: dict[int, Optional[tuple[int, float]]] = {}
+        #: Bounded FIFO dedup journal: op_id -> reply template (request_id
+        #: zeroed; the replay is re-stamped with the duplicate's id).
+        self._journal: OrderedDict[int, object] = OrderedDict()
+        self.journal_cap = journal_cap
         endpoint.on(MmioWrite, self._handle_write)
         endpoint.on(MmioRead, self._handle_read)
         endpoint.on(Doorbell, self._handle_doorbell)
         self.forwarded_ops = 0
         self.replies_lost = 0
+        self.fenced_ops = 0
+        self.dup_suppressed = 0
 
     def export(self, device: PcieDevice) -> None:
         """Make a locally-attached device reachable through this server."""
@@ -195,6 +397,49 @@ class DeviceServer:
     def exported_ids(self) -> list[int]:
         return sorted(self._devices)
 
+    # -- lease state (installed by the owner's pooling agent) ---------------
+
+    def set_lease(self, device_id: int, token: int,
+                  expires_at_ns: float) -> None:
+        """Arm (or renew) fencing for a device."""
+        self._leases[device_id] = (token, expires_at_ns)
+
+    def revoke_lease(self, device_id: int) -> None:
+        """Step down: fence every future op for the device."""
+        if device_id in self._leases:
+            self._leases[device_id] = None
+
+    def lease_snapshot(self) -> dict[int, Optional[tuple[int, float]]]:
+        """Current lease state per device (for invariant checking)."""
+        return dict(self._leases)
+
+    def _fence_check(self, msg) -> tuple[bool, int]:
+        """(should_fence, current_token) for a forwarded op."""
+        lease = self._leases.get(msg.device_id, _UNFENCED)
+        if lease is _UNFENCED:
+            return False, 0
+        if lease is None:
+            return True, 0
+        token, expires_at_ns = lease
+        if self.sim.now > expires_at_ns:
+            # Lease term ran out without a renewal reaching us: the
+            # orchestrator may already be starting a successor, so stop
+            # serving *now* — this is the self-fencing half of the
+            # split-brain guarantee and needs no message exchange.
+            return True, token
+        if msg.token != token:
+            return True, token
+        return False, token
+
+    def _journal_put(self, op_id: int, reply) -> None:
+        self._journal[op_id] = reply
+        while len(self._journal) > self.journal_cap:
+            self._journal.popitem(last=False)
+
+    def _count_fenced(self) -> None:
+        self.fenced_ops += 1
+        _obs.METRICS.counter("proxy.fenced_ops").inc()
+
     # -- handlers (run as processes by the endpoint dispatcher) ----------------
 
     def _reply(self, message):
@@ -206,21 +451,63 @@ class DeviceServer:
             self.replies_lost += 1
 
     def _handle_write(self, msg: MmioWrite):
+        fenced, _ = self._fence_check(msg)
+        if fenced:
+            self._count_fenced()
+            yield from self._reply(
+                Completion(request_id=msg.request_id,
+                           status=self.STATUS_FENCED)
+            )
+            return
+        if msg.op_id:
+            cached = self._journal.get(msg.op_id)
+            if cached is not None:
+                # Duplicate of an op we already applied (the client's
+                # first attempt succeeded but its completion was lost):
+                # replay the recorded outcome instead of re-applying.
+                self.dup_suppressed += 1
+                _obs.METRICS.counter("proxy.dup_suppressed").inc()
+                yield from self._reply(
+                    dataclasses.replace(cached, request_id=msg.request_id)
+                )
+                return
         device = self._devices.get(msg.device_id)
         status = self.STATUS_OK
+        applied = False
         if device is None:
             status = self.STATUS_UNKNOWN_DEVICE
         else:
             try:
                 yield from device.mmio_write(msg.addr, msg.value)
                 self.forwarded_ops += 1
+                applied = True
             except DeviceFailedError:
                 status = self.STATUS_FAILED_DEVICE
-        yield from self._reply(
-            Completion(request_id=msg.request_id, status=status)
-        )
+                applied = True
+        reply = Completion(request_id=msg.request_id, status=status)
+        if msg.op_id and applied:
+            self._journal_put(msg.op_id,
+                              dataclasses.replace(reply, request_id=0))
+        yield from self._reply(reply)
 
     def _handle_read(self, msg: MmioRead):
+        fenced, _ = self._fence_check(msg)
+        if fenced:
+            self._count_fenced()
+            yield from self._reply(
+                Completion(request_id=msg.request_id,
+                           status=self.STATUS_FENCED)
+            )
+            return
+        if msg.op_id:
+            cached = self._journal.get(msg.op_id)
+            if cached is not None:
+                self.dup_suppressed += 1
+                _obs.METRICS.counter("proxy.dup_suppressed").inc()
+                yield from self._reply(
+                    dataclasses.replace(cached, request_id=msg.request_id)
+                )
+                return
         device = self._devices.get(msg.device_id)
         if device is None:
             yield from self._reply(
@@ -231,17 +518,32 @@ class DeviceServer:
         try:
             value = yield from device.mmio_read(msg.addr)
         except DeviceFailedError:
-            yield from self._reply(
-                Completion(request_id=msg.request_id,
-                           status=self.STATUS_FAILED_DEVICE)
-            )
+            reply = Completion(request_id=msg.request_id,
+                               status=self.STATUS_FAILED_DEVICE)
+            if msg.op_id:
+                self._journal_put(msg.op_id,
+                                  dataclasses.replace(reply, request_id=0))
+            yield from self._reply(reply)
             return
         self.forwarded_ops += 1
-        yield from self._reply(
-            MmioReadReply(request_id=msg.request_id, value=value)
-        )
+        reply = MmioReadReply(request_id=msg.request_id, value=value)
+        if msg.op_id:
+            self._journal_put(msg.op_id,
+                              dataclasses.replace(reply, request_id=0))
+        yield from self._reply(reply)
 
     def _handle_doorbell(self, msg: Doorbell):
+        fenced, cur_token = self._fence_check(msg)
+        if fenced:
+            # Doorbells are posted, so there is no completion to reject;
+            # nack out-of-band so the borrower learns its token is stale
+            # long before its op timeout fires.
+            self._count_fenced()
+            yield from self._reply(
+                Fenced(request_id=0, device_id=msg.device_id,
+                       op_id=msg.op_id, token=cur_token)
+            )
+            return
         device = self._devices.get(msg.device_id)
         if device is None or device.failed:
             return  # posted write to a dead device: silently lost, like HW

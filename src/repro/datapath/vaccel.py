@@ -4,11 +4,28 @@ Submits jobs to an accelerator attached to another pod host: job
 descriptors and input data go into shared CXL pool memory, the job
 doorbell is forwarded over the ring channel, and results are read back
 from the accelerator's output region in the pool.
+
+Failover mirrors :mod:`repro.datapath.vssd`: jobs are journaled
+client-side until their completion is observed, completions the dying
+owner already wrote are harvested from pool memory, and only unfinished
+jobs are resubmitted against the successor.  Each journal entry pins the
+*output* address of the generation it ran under — the successor gets a
+fresh output region, so a result produced by the previous owner must be
+read from the previous region.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
+from repro.channel.rpc import RpcError
+from repro.cxl.link import LinkDownError
 from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.datapath.proxy import (
+    DeviceGoneError,
+    DeviceWithdrawnError,
+    FenceSignals,
+)
 from repro.obs import runtime as _obs
 from repro.pcie.accelerator import Accelerator
 from repro.pcie.rings import (
@@ -20,23 +37,45 @@ from repro.pcie.rings import (
 )
 
 
+@dataclasses.dataclass
+class _PendingJob:
+    """Journal entry for one in-flight job (see ``_PendingOp`` in vssd).
+
+    ``out_addr`` is rebased on every resubmission: whichever owner runs
+    the job writes its result into that owner's output region.
+    """
+
+    order: int
+    index: int
+    desc: Descriptor
+    out_addr: int
+    waiter: object
+    submitted_ns: float
+    #: The caller's job span: a failover resubmission posts under it, so
+    #: the successor-side events join the original job's trace.
+    span: object = None
+
+
 class RemoteAcceleratorClient:
     """Offload jobs to a pooled accelerator."""
 
     def __init__(self, sim, memsys, handle, pod, owner_host: str,
                  n_entries: int = 64, max_job_bytes: int = 64 << 10,
-                 name: str = "vaccel"):
+                 name: str = "vaccel",
+                 op_timeout_ns: float = 200_000_000.0):
         self.sim = sim
         self.memsys = memsys
         self.handle = handle
         self.n_entries = n_entries
         self.max_job_bytes = max_job_bytes
         self.name = name
+        self.op_timeout_ns = op_timeout_ns
         self.mem = DriverMemory(
             memsys, pod, BufferPlacement.CXL,
             owners=sorted({memsys.host_id, owner_host}),
             label=name,
         )
+        self.generation = 0
         self.ring_base = self.mem.alloc(n_entries * DESCRIPTOR_BYTES, "jobs")
         self.cq_base = self.mem.alloc(n_entries * COMPLETION_BYTES, "cq")
         self.in_base = self.mem.alloc(n_entries * max_job_bytes, "inputs")
@@ -48,10 +87,22 @@ class RemoteAcceleratorClient:
         # complete out of order across the accelerator's contexts, so
         # waiters are matched by submission index, and doorbells only
         # expose contiguously-written job descriptors.
-        self._pending: dict[int, object] = {}
+        self._pending: dict[int, _PendingJob] = {}
+        self._order = 0
         self._collector = None
+        self._watchdog_proc = None
+        self._failing_over = None
+        self._kick_pending = False
+        self._kick_streak = 0
         self._ring_written: set[int] = set()
         self._ring_ready = 0
+        self.ops_submitted = 0
+        self.ops_completed = 0
+        self.failovers = 0
+        self.resubmitted = 0
+        self.fence_kicks = 0
+        self.op_timeouts = 0
+        self._subscribe_fence_signals()
 
     def setup(self):
         """Process: reset queue state and configure the accelerator's
@@ -93,42 +144,89 @@ class RemoteAcceleratorClient:
             slot = index % self.n_entries
             in_addr = self.in_base + slot * self.max_job_bytes
             yield from self.mem.write(in_addr, data)
-            desc_addr = self.ring_base + slot * DESCRIPTOR_BYTES
-            yield from self.mem.write(
-                desc_addr,
-                Descriptor(in_addr, len(data), flags=kernel).encode(),
-            )
-            yield from self.mem.fence()
-            self._ring_written.add(index)
-            while self._ring_ready in self._ring_written:
-                self._ring_written.remove(self._ring_ready)
-                self._ring_ready += 1
-            yield from self.handle.ring_doorbell(0, self._ring_ready,
-                                                 parent=span)
-            comp = yield from self._await(index)
+            desc = Descriptor(in_addr, len(data), flags=kernel)
+            comp, op = yield from self._submit(index, desc, parent=span)
             if comp.status != CompletionEntry.STATUS_OK:
                 raise IOError(
                     f"{self.name}: job failed (status={comp.status})"
                 )
-            out_addr = self.out_base + (comp.index % self.n_entries) * 4096
             result = yield from self.mem.read(
-                out_addr, min(comp.length, 4096)
+                op.out_addr, min(comp.length, 4096)
             )
         finally:
             _obs.TRACER.end(span, self.sim.now)
         return result
 
-    def _await(self, index: int):
-        waiter = self.sim.event(name=f"{self.name}.job{index}")
-        self._pending[index % (1 << 16)] = waiter
-        if self._collector is None or not self._collector.is_alive:
-            self._collector = self.sim.spawn(
-                self._collect(), name=f"{self.name}.collector"
-            )
-        comp = yield waiter
-        return comp
+    # -- failover ------------------------------------------------------------
 
-    def _collect(self, poll_ns: float = 1_000.0):
+    def failover(self, new_handle=None):
+        """Process: re-establish the accelerator mid-job.
+
+        Same protocol as ``RemoteSsdClient.failover``: serialized, drain
+        the old CQ, adopt/re-resolve the handle, fresh per-generation
+        ring/input/output regions, resubmit unfinished jobs in order.
+        """
+        if self._failing_over is not None:
+            yield self._failing_over
+            return
+        done = self.sim.event(name=f"{self.name}.failover")
+        self._failing_over = done
+        span = _obs.TRACER.begin(
+            f"{self.name}.failover", self.sim.now,
+            track=f"{self.memsys.host_id}/vaccel", cat="lease",
+            args={"pending": len(self._pending),
+                  "generation": self.generation + 1},
+        )
+        try:
+            self.failovers += 1
+            _obs.METRICS.counter("vaccel.failovers").inc()
+            self.generation += 1
+            gen = self.generation
+            yield from self._drain_cq()
+            if new_handle is not None:
+                self.handle = new_handle
+            else:
+                self.handle.refresh()
+            self._subscribe_fence_signals()
+            self.ring_base = self.mem.alloc(
+                self.n_entries * DESCRIPTOR_BYTES, f"jobs.g{gen}")
+            self.cq_base = self.mem.alloc(
+                self.n_entries * COMPLETION_BYTES, f"cq.g{gen}")
+            self.in_base = self.mem.alloc(
+                self.n_entries * self.max_job_bytes, f"inputs.g{gen}")
+            self.out_base = self.mem.alloc(
+                self.n_entries * 4096, f"outputs.g{gen}")
+            self._tail = 0
+            self._cq_head = 0
+            self._ring_written = set()
+            self._ring_ready = 0
+            self._kick_streak = 0
+            yield from self._setup_with_retry()
+            jobs = sorted(self._pending.values(), key=lambda op: op.order)
+            self._pending = {}
+            for op in jobs:
+                index = self._tail
+                self._tail += 1
+                op.index = index
+                op.submitted_ns = self.sim.now
+                op.out_addr = (self.out_base
+                               + (index % self.n_entries) * 4096)
+                self._pending[index % (1 << 16)] = op
+                yield from self._post(index, op.desc,
+                                      parent=op.span or span)
+            self.resubmitted += len(jobs)
+            if jobs:
+                _obs.METRICS.counter("vaccel.resubmitted").inc(len(jobs))
+            self._ensure_daemons()
+        finally:
+            self._failing_over = None
+            if not done.triggered:
+                done.succeed()
+            _obs.TRACER.end(span, self.sim.now)
+
+    def _drain_cq(self):
+        """Process: harvest results the previous owner already wrote."""
+        yield self.sim.timeout(2_000.0)
         while self._pending:
             expect = seq_for_pass(self._cq_head // self.n_entries)
             addr = (self.cq_base
@@ -136,9 +234,148 @@ class RemoteAcceleratorClient:
             raw = yield from self.mem.read(addr, COMPLETION_BYTES)
             entry = CompletionEntry.decode(raw)
             if entry.seq != expect:
+                break
+            self._cq_head += 1
+            self._complete(entry)
+
+    def _setup_with_retry(self, max_attempts: int = 50,
+                          backoff_ns: float = 5_000_000.0):
+        last = None
+        for _attempt in range(max_attempts):
+            try:
+                yield from self.setup()
+                return
+            except DeviceWithdrawnError:
+                raise
+            except (RpcError, LinkDownError, DeviceGoneError) as exc:
+                last = exc
+                self.handle.refresh()
+                yield self.sim.timeout(backoff_ns)
+        raise RuntimeError(
+            f"{self.name}: could not re-establish device after failover"
+        ) from last
+
+    def _subscribe_fence_signals(self) -> None:
+        endpoint = getattr(self.handle, "endpoint", None)
+        if endpoint is None:
+            return
+        FenceSignals.attach(endpoint).subscribe(
+            self.handle.device_id, self._on_fence_nack
+        )
+
+    def _on_fence_nack(self, msg) -> None:
+        if (msg.device_id != self.handle.device_id
+                or self._kick_pending
+                or self._failing_over is not None
+                or not self._pending
+                or self._kick_streak >= 8):
+            return
+        self._kick_pending = True
+        self.sim.spawn(self._fence_kick(), name=f"{self.name}.kick")
+
+    def _fence_kick(self, delay_ns: float = 1_000_000.0):
+        try:
+            yield self.sim.timeout(delay_ns)
+            if self._failing_over is not None or not self._pending:
+                return
+            self._kick_streak += 1
+            self.fence_kicks += 1
+            _obs.METRICS.counter("vaccel.fence_kicks").inc()
+            self.handle.refresh()
+            yield from self.handle.ring_doorbell(0, self._ring_ready)
+        except (RpcError, LinkDownError, DeviceGoneError):
+            pass
+        finally:
+            self._kick_pending = False
+
+    # -- internals -----------------------------------------------------------
+
+    def _submit(self, index: int, desc: Descriptor, parent=None):
+        waiter = self.sim.event(name=f"{self.name}.job{index}")
+        op = _PendingJob(
+            order=self._order, index=index, desc=desc,
+            out_addr=self.out_base + (index % self.n_entries) * 4096,
+            waiter=waiter, submitted_ns=self.sim.now, span=parent,
+        )
+        self._order += 1
+        self._pending[index % (1 << 16)] = op
+        self.ops_submitted += 1
+        try:
+            yield from self._post(index, desc, parent=parent)
+        except BaseException:
+            # The caller observes this failure, so the job is not in
+            # flight: deregister it or the daemons would idle forever.
+            self._pending.pop(index % (1 << 16), None)
+            raise
+        self._ensure_daemons()
+        comp = yield waiter
+        return comp, op
+
+    def _post(self, index: int, desc: Descriptor, parent=None):
+        """Process: write one job descriptor and ring the job doorbell."""
+        gen = self.generation
+        desc_addr = (self.ring_base
+                     + (index % self.n_entries) * DESCRIPTOR_BYTES)
+        yield from self.mem.write(desc_addr, desc.encode())
+        yield from self.mem.fence()
+        if gen != self.generation:
+            return
+        self._ring_written.add(index)
+        while self._ring_ready in self._ring_written:
+            self._ring_written.remove(self._ring_ready)
+            self._ring_ready += 1
+        try:
+            yield from self.handle.ring_doorbell(0, self._ring_ready,
+                                                 parent=parent)
+        except (RpcError, LinkDownError, DeviceGoneError):
+            pass
+
+    def _ensure_daemons(self) -> None:
+        if self._collector is None or not self._collector.is_alive:
+            self._collector = self.sim.spawn(
+                self._collect(), name=f"{self.name}.collector"
+            )
+        if self._watchdog_proc is None or not self._watchdog_proc.is_alive:
+            self._watchdog_proc = self.sim.spawn(
+                self._watchdog(), name=f"{self.name}.watchdog",
+            )
+
+    def _complete(self, entry: CompletionEntry) -> None:
+        op = self._pending.pop(entry.index, None)
+        if op is not None and not op.waiter.triggered:
+            self.ops_completed += 1
+            self._kick_streak = 0
+            op.waiter.succeed(entry)
+
+    def _collect(self, poll_ns: float = 1_000.0):
+        while self._pending:
+            gen = self.generation
+            expect = seq_for_pass(self._cq_head // self.n_entries)
+            addr = (self.cq_base
+                    + (self._cq_head % self.n_entries) * COMPLETION_BYTES)
+            raw = yield from self.mem.read(addr, COMPLETION_BYTES)
+            if gen != self.generation:
+                continue
+            entry = CompletionEntry.decode(raw)
+            if entry.seq != expect:
                 yield self.sim.timeout(poll_ns)
                 continue
             self._cq_head += 1
-            waiter = self._pending.pop(entry.index, None)
-            if waiter is not None and not waiter.triggered:
-                waiter.succeed(entry)
+            self._complete(entry)
+
+    def _watchdog(self, poll_ns: float = 10_000_000.0):
+        while self._pending:
+            yield self.sim.timeout(poll_ns)
+            if (not self._pending
+                    or self._failing_over is not None
+                    or not self.handle.is_remote):
+                continue
+            oldest = min(op.submitted_ns for op in self._pending.values())
+            if self.sim.now - oldest <= self.op_timeout_ns:
+                continue
+            self.op_timeouts += 1
+            _obs.METRICS.counter("vaccel.op_timeouts").inc()
+            try:
+                yield from self.failover()
+            except RuntimeError:
+                continue

@@ -6,11 +6,29 @@ buffers live in shared CXL pool memory and (ii) the SQ doorbell is
 forwarded over a ring channel.  Flash latency (tens of µs) dwarfs both the
 CXL access premium and the ~600 ns doorbell forwarding cost, which is why
 the paper treats SSDs as the easy case.
+
+Failover (§4.2): every submitted command is journaled client-side until
+its completion is observed.  When the owner host dies mid-I/O the client
+(a) harvests completions the dying owner already wrote — the CQ lives in
+pool memory, which outlives the owner — then (b) re-establishes fresh
+queues against the successor and resubmits only the still-unfinished
+commands.  Callers blocked inside :meth:`write`/:meth:`read` never see
+the handover: their completion event fires exactly once, from whichever
+owner finished the command.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
+from repro.channel.rpc import RpcError
+from repro.cxl.link import LinkDownError
 from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.datapath.proxy import (
+    DeviceGoneError,
+    DeviceWithdrawnError,
+    FenceSignals,
+)
 from repro.obs import runtime as _obs
 from repro.pcie.rings import (
     COMPLETION_BYTES,
@@ -20,18 +38,40 @@ from repro.pcie.rings import (
 from repro.pcie.ssd import NVME_COMMAND_BYTES, NvmeCommand, Ssd
 
 
+@dataclasses.dataclass
+class _PendingOp:
+    """Client-side journal entry for one in-flight command.
+
+    ``order`` is fixed at first submission so failover can resubmit in
+    the original order; ``index`` is remapped onto the successor's fresh
+    submission queue.  The waiter is the caller's completion event — it
+    survives any number of failovers and fires exactly once.
+    """
+
+    order: int
+    index: int
+    cmd: NvmeCommand
+    waiter: object
+    submitted_ns: float
+    #: The caller's op span: a failover resubmission posts under it, so
+    #: the successor-side events join the original I/O's trace.
+    span: object = None
+
+
 class RemoteSsdClient:
     """Block-level read/write against a pooled SSD."""
 
     def __init__(self, sim, memsys, handle, pod, owner_host: str,
                  n_entries: int = 64, max_io_bytes: int = 128 << 10,
-                 name: str = "vssd"):
+                 name: str = "vssd",
+                 op_timeout_ns: float = 200_000_000.0):
         self.sim = sim
         self.memsys = memsys
         self.handle = handle
         self.n_entries = n_entries
         self.max_io_bytes = max_io_bytes
         self.name = name
+        self.op_timeout_ns = op_timeout_ns
         # Queues and data buffers must be visible to the SSD's host, so
         # they always live in the pool, owned by both ends.
         self.mem = DriverMemory(
@@ -39,6 +79,7 @@ class RemoteSsdClient:
             owners=sorted({memsys.host_id, owner_host}),
             label=name,
         )
+        self.generation = 0
         self.sq_base = self.mem.alloc(n_entries * NVME_COMMAND_BYTES, "sq")
         self.cq_base = self.mem.alloc(n_entries * COMPLETION_BYTES, "cq")
         self.buf_base = self.mem.alloc(n_entries * max_io_bytes, "buffers")
@@ -48,13 +89,25 @@ class RemoteSsdClient:
         # Concurrency support: completions arrive in *completion* order
         # (the SSD's flash channels run commands in parallel), so waiters
         # are matched by submission index via an on-demand collector.
-        self._pending: dict[int, object] = {}
+        self._pending: dict[int, _PendingOp] = {}
+        self._order = 0
         self._collector = None
+        self._watchdog_proc = None
+        self._failing_over = None
+        self._kick_pending = False
+        self._kick_streak = 0
         # Doorbell frontier: only contiguously-written SQ entries may be
         # exposed to the device, or a fast second submitter could make
         # the SSD fetch a slot its neighbour is still writing.
         self._sq_written: set[int] = set()
         self._sq_ready = 0
+        self.ops_submitted = 0
+        self.ops_completed = 0
+        self.failovers = 0
+        self.resubmitted = 0
+        self.fence_kicks = 0
+        self.op_timeouts = 0
+        self._subscribe_fence_signals()
 
     def setup(self):
         """Process: reset the SSD's queue state and point its queue
@@ -135,7 +188,162 @@ class RemoteSsdClient:
             _obs.TRACER.end(span, self.sim.now)
         return comp.status
 
-    # -- internals -------------------------------------------------------------
+    # -- failover ------------------------------------------------------------
+
+    def failover(self, new_handle=None):
+        """Process: re-establish the device relationship mid-I/O.
+
+        Serialized: a second caller (the pool's migration hook racing the
+        op-timeout watchdog) waits for the in-flight handover instead of
+        starting another.  Steps: harvest completions the previous owner
+        already wrote, adopt the new handle (or re-resolve through the
+        old one), carve fresh per-generation queue/buffer regions — the
+        successor starts from a clean SQ, so pre-crash entries can never
+        re-execute — then resubmit the still-unfinished commands in
+        their original order.  Old buffer addresses remain valid pool
+        memory, so resubmission copies no data.
+        """
+        if self._failing_over is not None:
+            yield self._failing_over
+            return
+        done = self.sim.event(name=f"{self.name}.failover")
+        self._failing_over = done
+        span = _obs.TRACER.begin(
+            f"{self.name}.failover", self.sim.now,
+            track=f"{self.memsys.host_id}/vssd", cat="lease",
+            args={"pending": len(self._pending),
+                  "generation": self.generation + 1},
+        )
+        try:
+            self.failovers += 1
+            _obs.METRICS.counter("vssd.failovers").inc()
+            # Invalidate in-flight posts and the collector's view of the
+            # old queues before anything else touches shared state.
+            self.generation += 1
+            gen = self.generation
+            yield from self._drain_cq()
+            if new_handle is not None:
+                self.handle = new_handle
+            else:
+                self.handle.refresh()
+            self._subscribe_fence_signals()
+            self.sq_base = self.mem.alloc(
+                self.n_entries * NVME_COMMAND_BYTES, f"sq.g{gen}")
+            self.cq_base = self.mem.alloc(
+                self.n_entries * COMPLETION_BYTES, f"cq.g{gen}")
+            self.buf_base = self.mem.alloc(
+                self.n_entries * self.max_io_bytes, f"buffers.g{gen}")
+            self._tail = 0
+            self._cq_head = 0
+            self._sq_written = set()
+            self._sq_ready = 0
+            self._kick_streak = 0
+            yield from self._setup_with_retry()
+            ops = sorted(self._pending.values(), key=lambda op: op.order)
+            self._pending = {}
+            for op in ops:
+                index = self._tail
+                self._tail += 1
+                op.index = index
+                op.submitted_ns = self.sim.now
+                self._pending[index % (1 << 16)] = op
+                yield from self._post(index, op.cmd,
+                                      parent=op.span or span)
+            self.resubmitted += len(ops)
+            if ops:
+                _obs.METRICS.counter("vssd.resubmitted").inc(len(ops))
+            self._ensure_daemons()
+        finally:
+            self._failing_over = None
+            if not done.triggered:
+                done.succeed()
+            _obs.TRACER.end(span, self.sim.now)
+
+    def _drain_cq(self):
+        """Process: harvest completions the previous owner already wrote.
+
+        Any command the device finished before dying is observably
+        complete; claiming it here — instead of resubmitting it — is
+        what keeps failover duplicate-free.
+        """
+        yield self.sim.timeout(2_000.0)  # let in-flight CQ writes land
+        while self._pending:
+            expect = seq_for_pass(self._cq_head // self.n_entries)
+            addr = (self.cq_base
+                    + (self._cq_head % self.n_entries) * COMPLETION_BYTES)
+            raw = yield from self.mem.read(addr, COMPLETION_BYTES)
+            entry = CompletionEntry.decode(raw)
+            if entry.seq != expect:
+                break
+            self._cq_head += 1
+            self._complete(entry)
+
+    def _setup_with_retry(self, max_attempts: int = 50,
+                          backoff_ns: float = 5_000_000.0):
+        """Process: run :meth:`setup` against whichever owner currently
+        holds the lease, re-resolving between attempts.
+
+        Transport loss and fences are expected while ownership settles;
+        a withdrawn assignment is not recoverable here and propagates.
+        """
+        last = None
+        for _attempt in range(max_attempts):
+            try:
+                yield from self.setup()
+                return
+            except DeviceWithdrawnError:
+                raise
+            except (RpcError, LinkDownError, DeviceGoneError) as exc:
+                last = exc
+                self.handle.refresh()
+                yield self.sim.timeout(backoff_ns)
+        raise RuntimeError(
+            f"{self.name}: could not re-establish device after failover"
+        ) from last
+
+    def _subscribe_fence_signals(self) -> None:
+        endpoint = getattr(self.handle, "endpoint", None)
+        if endpoint is None:
+            return
+        FenceSignals.attach(endpoint).subscribe(
+            self.handle.device_id, self._on_fence_nack
+        )
+
+    def _on_fence_nack(self, msg) -> None:
+        """A posted doorbell was fenced: the token rotated under us."""
+        if (msg.device_id != self.handle.device_id
+                or self._kick_pending
+                or self._failing_over is not None
+                or not self._pending
+                or self._kick_streak >= 8):
+            return
+        self._kick_pending = True
+        self.sim.spawn(self._fence_kick(), name=f"{self.name}.kick")
+
+    def _fence_kick(self, delay_ns: float = 1_000_000.0):
+        """Process: re-ring the doorbell with a refreshed token.
+
+        Covers the transient case where the *same* owner re-acquired the
+        lease under a new token: device state is intact, only the
+        doorbell was dropped.  Bounded by ``_kick_streak`` (reset on any
+        completion) so a genuinely-moved device falls through to the
+        watchdog instead of kicking forever.
+        """
+        try:
+            yield self.sim.timeout(delay_ns)
+            if self._failing_over is not None or not self._pending:
+                return
+            self._kick_streak += 1
+            self.fence_kicks += 1
+            _obs.METRICS.counter("vssd.fence_kicks").inc()
+            self.handle.refresh()
+            yield from self.handle.ring_doorbell(0, self._sq_ready)
+        except (RpcError, LinkDownError, DeviceGoneError):
+            pass
+        finally:
+            self._kick_pending = False
+
+    # -- internals -----------------------------------------------------------
 
     def _reserve(self) -> int:
         """Synchronously reserve the next submission index."""
@@ -151,25 +359,65 @@ class RemoteSsdClient:
         return index
 
     def _submit(self, index: int, cmd: NvmeCommand, parent=None):
+        waiter = self.sim.event(name=f"{self.name}.cmd{index}")
+        op = _PendingOp(order=self._order, index=index, cmd=cmd,
+                        waiter=waiter, submitted_ns=self.sim.now,
+                        span=parent)
+        self._order += 1
+        # Journal before posting: a failover racing this submission will
+        # resubmit the op on the successor even if the post below never
+        # reached the dying owner.
+        self._pending[index % (1 << 16)] = op
+        self.ops_submitted += 1
+        try:
+            yield from self._post(index, cmd, parent=parent)
+        except BaseException:
+            # The caller observes this failure, so the op is not in
+            # flight: deregister it or the daemons would idle forever.
+            self._pending.pop(index % (1 << 16), None)
+            raise
+        self._ensure_daemons()
+        comp = yield waiter
+        return comp
+
+    def _post(self, index: int, cmd: NvmeCommand, parent=None):
+        """Process: write one SQ entry and expose it via the doorbell."""
+        gen = self.generation
         sq_addr = (self.sq_base
                    + (index % self.n_entries) * NVME_COMMAND_BYTES)
         yield from self.mem.write(sq_addr, cmd.encode())
         yield from self.mem.fence()
+        if gen != self.generation:
+            return  # superseded mid-post; failover resubmits from journal
         self._sq_written.add(index)
         while self._sq_ready in self._sq_written:
             self._sq_written.remove(self._sq_ready)
             self._sq_ready += 1
-        yield from self.handle.ring_doorbell(0, self._sq_ready,
-                                             parent=parent)
-        waiter = self.sim.event(name=f"{self.name}.cmd{index}")
-        self._pending[index % (1 << 16)] = waiter
+        try:
+            yield from self.handle.ring_doorbell(0, self._sq_ready,
+                                                 parent=parent)
+        except (RpcError, LinkDownError, DeviceGoneError):
+            # The op stays journaled; the watchdog (or the pool's
+            # migration hook) recovers it on the successor.
+            pass
+
+    def _ensure_daemons(self) -> None:
         if self._collector is None or not self._collector.is_alive:
             self._collector = self.sim.spawn(
                 self._collect_completions(),
                 name=f"{self.name}.collector",
             )
-        comp = yield waiter
-        return comp
+        if self._watchdog_proc is None or not self._watchdog_proc.is_alive:
+            self._watchdog_proc = self.sim.spawn(
+                self._watchdog(), name=f"{self.name}.watchdog",
+            )
+
+    def _complete(self, entry: CompletionEntry) -> None:
+        op = self._pending.pop(entry.index, None)
+        if op is not None and not op.waiter.triggered:
+            self.ops_completed += 1
+            self._kick_streak = 0
+            op.waiter.succeed(entry)
 
     def _collect_completions(self, poll_ns: float = 2_000.0):
         """Drain CQ entries and wake the matching waiters.
@@ -177,15 +425,39 @@ class RemoteSsdClient:
         Runs only while commands are outstanding, then exits.
         """
         while self._pending:
+            gen = self.generation
             expect = seq_for_pass(self._cq_head // self.n_entries)
             addr = (self.cq_base
                     + (self._cq_head % self.n_entries) * COMPLETION_BYTES)
             raw = yield from self.mem.read(addr, COMPLETION_BYTES)
+            if gen != self.generation:
+                continue  # failover swapped the queues under this read
             entry = CompletionEntry.decode(raw)
             if entry.seq != expect:
                 yield self.sim.timeout(poll_ns)
                 continue
             self._cq_head += 1
-            waiter = self._pending.pop(entry.index, None)
-            if waiter is not None and not waiter.triggered:
-                waiter.succeed(entry)
+            self._complete(entry)
+
+    def _watchdog(self, poll_ns: float = 10_000_000.0):
+        """Process: detect a dead owner by stalled completions.
+
+        The lease layer usually migrates the device (and the pool then
+        calls :meth:`failover`) before this fires; the watchdog is the
+        backstop for doorbells lost without any fence nack.
+        """
+        while self._pending:
+            yield self.sim.timeout(poll_ns)
+            if (not self._pending
+                    or self._failing_over is not None
+                    or not self.handle.is_remote):
+                continue
+            oldest = min(op.submitted_ns for op in self._pending.values())
+            if self.sim.now - oldest <= self.op_timeout_ns:
+                continue
+            self.op_timeouts += 1
+            _obs.METRICS.counter("vssd.op_timeouts").inc()
+            try:
+                yield from self.failover()
+            except RuntimeError:
+                continue  # owner not resolvable yet; retry next tick

@@ -25,6 +25,8 @@ from repro.faults.spec import (
     DeviceCrash,
     DeviceFlap,
     FaultSchedule,
+    HostPartition,
+    LeaseExpire,
     LinkFlap,
     MemPoison,
     MhdCrash,
@@ -42,6 +44,8 @@ __all__ = [
     "FaultInjector",
     "FaultLog",
     "FaultSchedule",
+    "HostPartition",
+    "LeaseExpire",
     "LinkFlap",
     "MemPoison",
     "MhdCrash",

@@ -25,6 +25,8 @@ from repro.faults.spec import (
     AgentCrash,
     DeviceFlap,
     FaultSchedule,
+    HostPartition,
+    LeaseExpire,
     LinkFlap,
     MemPoison,
     MhdCrash,
@@ -57,6 +59,10 @@ class ChaosConfig:
     mem_poisons: int = 2
     #: Bandwidth multiplier applied by MhdDegrade faults.
     degrade_factor: float = 0.1
+    #: Lease-fencing fault counts (default 0: legacy schedules are
+    #: unchanged, their RNG draw sequence stays prefix-stable).
+    host_partitions: int = 0
+    lease_expires: int = 0
 
 
 class ChaosCampaign:
@@ -140,6 +146,24 @@ class ChaosCampaign:
                 addr=rng_range.base + line * 64,
                 at_ns=start + float(rng.uniform(0.0, span)),
                 n_lines=1,
+            ))
+        # Lease-fencing draws come last for the same prefix-stability
+        # reason: a legacy config (both counts zero) consumes exactly
+        # the draw sequence it always did.
+        for _ in range(cfg.host_partitions):
+            host_id = host_ids[int(rng.integers(len(host_ids)))]
+            faults.append(HostPartition(
+                host_id=host_id,
+                at_ns=start + float(rng.uniform(0.0, span)),
+                down_ns=down_ns(),
+            ))
+        for _ in range(cfg.lease_expires):
+            if not device_ids:
+                break
+            device_id = device_ids[int(rng.integers(len(device_ids)))]
+            faults.append(LeaseExpire(
+                device_id=device_id,
+                at_ns=start + float(rng.uniform(0.0, span)),
             ))
         return FaultSchedule(tuple(faults))
 

@@ -18,6 +18,8 @@ from repro.faults.spec import (
     DeviceCrash,
     DeviceFlap,
     FaultSchedule,
+    HostPartition,
+    LeaseExpire,
     LinkFlap,
     MemPoison,
     MhdCrash,
@@ -98,6 +100,18 @@ class FaultInjector:
         self.pool.poison_memory(addr, n_lines)
         self._record("MemPoison", f"mem:{addr:#x}+{n_lines}", "poison")
 
+    def partition_host(self, host_id: str) -> None:
+        self.pool.partition_host(host_id)
+        self._record("HostPartition", f"host:{host_id}", "partition")
+
+    def heal_partition(self, host_id: str) -> None:
+        self.pool.heal_partition(host_id)
+        self._record("HostPartition", f"host:{host_id}", "heal")
+
+    def expire_lease(self, device_id: int) -> None:
+        self.pool.expire_lease(device_id)
+        self._record("LeaseExpire", f"device:{device_id}", "expire")
+
     def crash_agent(self, host_id: str) -> None:
         self.pool.crash_agent(host_id)
         self._record("AgentCrash", f"agent:{host_id}", "crash")
@@ -170,6 +184,12 @@ class FaultInjector:
             self.restore_mhd(fault.mhd_index)
         elif isinstance(fault, MemPoison):
             self.poison_memory(fault.addr, fault.n_lines)
+        elif isinstance(fault, HostPartition):
+            self.partition_host(fault.host_id)
+            yield self.sim.timeout(fault.down_ns)
+            self.heal_partition(fault.host_id)
+        elif isinstance(fault, LeaseExpire):
+            self.expire_lease(fault.device_id)
         else:
             raise TypeError(f"unknown fault spec {fault!r}")
 

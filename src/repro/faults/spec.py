@@ -99,6 +99,34 @@ class MhdDegrade:
 
 
 @dataclass(frozen=True)
+class HostPartition:
+    """Control-plane partition: the host's control ring goes silent.
+
+    Heartbeats, announces, and lease renewals stop in *both* directions
+    while the datapath (device channels, pool memory) stays healthy —
+    the classic split-brain setup the lease fencing layer exists for.
+    Healed ``down_ns`` later.
+    """
+
+    host_id: str
+    at_ns: float
+    down_ns: float
+
+
+@dataclass(frozen=True)
+class LeaseExpire:
+    """Force one device's ownership lease to expire immediately.
+
+    Models a lost renewal burst without any transport fault: the owner
+    steps down (self-fences) and the orchestrator runs its lease-expiry
+    failover, exactly as if renewals had silently stalled past the TTL.
+    """
+
+    device_id: int
+    at_ns: float
+
+
+@dataclass(frozen=True)
 class MemPoison:
     """Uncorrectable media error: ``n_lines`` cachelines at ``addr``
     are marked poisoned.  Reads of a poisoned line raise; any write
@@ -110,7 +138,8 @@ class MemPoison:
 
 
 Fault = Union[DeviceCrash, DeviceFlap, LinkFlap, AgentCrash,
-              OrchestratorCrash, MhdCrash, MhdDegrade, MemPoison]
+              OrchestratorCrash, MhdCrash, MhdDegrade, MemPoison,
+              HostPartition, LeaseExpire]
 
 
 @dataclass(frozen=True)

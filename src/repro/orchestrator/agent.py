@@ -27,6 +27,8 @@ from repro.channel.messages import (
     DeviceAnnounce,
     DeviceFailure as DeviceFailureMsg,
     Heartbeat,
+    LeaseGrant,
+    LeaseRenew,
     LoadReport,
     Resync,
     kind_code,
@@ -69,6 +71,13 @@ class PoolingAgent:
         self._reported_failed: set[int] = set()
         #: Assignments this host borrows: vid -> (device_id, kind, gen).
         self._adopted: dict[int, tuple[int, str, int]] = {}
+        #: Ownership leases this host holds: device_id -> (token,
+        #: expires_at_ns).  Soft state: a daemon crash is a step-down.
+        self._leases: dict[int, tuple[int, float]] = {}
+        #: DeviceServers exporting this host's devices; every lease
+        #: change is pushed into them so fencing is enforced on the
+        #: datapath, not just known to the control plane.
+        self._servers: list = []
         self._loop = None
         self.reports_sent = 0
         self.failures_reported = 0
@@ -76,6 +85,9 @@ class PoolingAgent:
         self.resyncs = 0
         self.send_failures = 0
         self.link_errors = 0
+        self.lease_renewals = 0
+        self.lease_refusals = 0
+        self.lease_losses = 0
         endpoint.on(Resync, self._on_resync)
 
     def manage(self, device: PcieDevice) -> None:
@@ -103,6 +115,33 @@ class PoolingAgent:
     @property
     def adopted_assignments(self) -> dict[int, tuple[int, str, int]]:
         return dict(self._adopted)
+
+    # -- lease handling (fenced ownership, §4.2) ----------------------------
+
+    def attach_server(self, server) -> None:
+        """Enforce this agent's leases on a DeviceServer it fronts."""
+        if server in self._servers:
+            return
+        self._servers.append(server)
+        for device_id, (token, expires_at_ns) in self._leases.items():
+            server.set_lease(device_id, token, expires_at_ns)
+
+    def install_lease(self, device_id: int, token: int,
+                      expires_at_ns: float) -> None:
+        """Adopt a granted/renewed lease and arm it on every server."""
+        self._leases[device_id] = (token, expires_at_ns)
+        for server in self._servers:
+            server.set_lease(device_id, token, expires_at_ns)
+
+    def drop_lease(self, device_id: int) -> None:
+        """Step down: stop serving the device until re-granted."""
+        self._leases.pop(device_id, None)
+        for server in self._servers:
+            server.revoke_lease(device_id)
+
+    def lease_for(self, device_id: int):
+        """(token, expires_at_ns) currently held, or None."""
+        return self._leases.get(device_id)
 
     def start(self) -> None:
         if self._loop is not None:
@@ -141,6 +180,15 @@ class PoolingAgent:
         :meth:`repro.core.PciePool.restart_agent`.
         """
         self.stop()
+        # Step down from every lease first: the management daemon dying
+        # means nobody will renew, so fencing the servers *now* (rather
+        # than at expiry) keeps the owner-stops-before-successor-starts
+        # ordering even if the orchestrator reassigns quickly.
+        for device_id in sorted(self._leases):
+            for server in self._servers:
+                server.revoke_lease(device_id)
+        self._leases = {}
+        self._servers = []
         self._devices = {}
         self._reported_failed = set()
         self._adopted = {}
@@ -151,8 +199,10 @@ class PoolingAgent:
         ticks = 0
         try:
             while True:
+                self._step_down_expired()
                 try:
                     yield from self._send_heartbeat()
+                    yield from self._renew_leases()
                     for device in list(self._devices.values()):
                         yield from self._check_device(device)
                     if ticks % self.announce_every == 0:
@@ -198,6 +248,57 @@ class PoolingAgent:
                 ), parent=span)
         finally:
             _obs.TRACER.end(span, self.sim.now)
+
+    def _step_down_expired(self) -> None:
+        """Voluntarily stop serving devices whose lease term ran out.
+
+        Purely local (no messages): this is what makes a partitioned
+        owner safe — it fences itself on the shared clock before the
+        orchestrator's post-grace sweep starts a successor.
+        """
+        now = self.sim.now
+        for device_id, (_token, expires_at_ns) in list(self._leases.items()):
+            if now > expires_at_ns:
+                self.drop_lease(device_id)
+                self.lease_losses += 1
+                _obs.METRICS.counter("agent.lease_losses").inc()
+                if _obs.TRACER.enabled:
+                    _obs.TRACER.instant(
+                        "agent.lease_stepdown", now,
+                        track=f"{self.host_id}/agent", cat="lease",
+                        args={"device": device_id},
+                    )
+
+    def _renew_leases(self):
+        """Process: renew (or re-acquire) the lease on every local device.
+
+        Each device is tried independently: one refused or timed-out
+        renewal must not starve the others.  An agent that restarted (or
+        never held a lease) renews with token 0 and is granted a fresh
+        term.
+        """
+        for device_id in sorted(self._devices):
+            held = self._leases.get(device_id)
+            token = held[0] if held is not None else 0
+            try:
+                reply = yield from self.endpoint.call_with_retry(
+                    LeaseRenew(request_id=0, device_id=device_id,
+                               token=token, epoch=self.epoch),
+                    timeout_ns=2_000_000.0, max_attempts=2,
+                )
+            except (RpcError, LinkDownError):
+                # Unreachable orchestrator: keep serving on the current
+                # term and retry next tick; if the outage outlasts the
+                # term, _step_down_expired fences us.
+                self.send_failures += 1
+                continue
+            if isinstance(reply, LeaseGrant) and reply.status == 0 \
+                    and reply.token:
+                self.install_lease(device_id, reply.token,
+                                   float(reply.expires_at_ns))
+                self.lease_renewals += 1
+            else:
+                self.lease_refusals += 1
 
     def _send_heartbeat(self):
         yield from self.endpoint.send_with_retry(Heartbeat(
@@ -329,8 +430,33 @@ def wire_control_channel(orchestrator, endpoint: RpcEndpoint,
             kind_name(msg.kind_code), msg.generation,
         )
 
+    def on_lease_renew(msg: LeaseRenew):
+        # A down orchestrator sends no grant at all: the agent's call
+        # times out and its current term keeps ticking toward self-fence.
+        if orchestrator.down:
+            orchestrator.dropped_while_down += 1
+            return
+        lease = orchestrator.ingest_lease_renew(
+            host_id, msg.device_id, msg.token
+        )
+        if lease is None:
+            reply = LeaseGrant(request_id=msg.request_id,
+                               device_id=msg.device_id,
+                               token=0, expires_at_ns=0, status=1)
+        else:
+            reply = LeaseGrant(request_id=msg.request_id,
+                               device_id=msg.device_id,
+                               token=lease.token,
+                               expires_at_ns=int(lease.expires_at_ns),
+                               status=0)
+        try:
+            yield from endpoint.send_with_retry(reply)
+        except (RpcError, LinkDownError):
+            pass  # lost grant = client timeout; renewed next tick
+
     endpoint.on(Heartbeat, on_heartbeat)
     endpoint.on(LoadReport, on_load)
     endpoint.on(DeviceFailureMsg, on_failure)
     endpoint.on(DeviceAnnounce, on_announce)
     endpoint.on(AssignmentReport, on_assignment)
+    endpoint.on(LeaseRenew, on_lease_renew)

@@ -1,0 +1,140 @@
+"""Per-device ownership leases with epoch-numbered fencing tokens.
+
+Device ownership in the pool used to be a bare table entry: once the
+orchestrator reassigned a device, nothing stopped a partitioned or slow
+former owner from continuing to serve forwarded MMIO against it
+(split-brain).  A lease makes ownership *time-bounded*: the orchestrator
+grants the owner host a lease with a monotonically increasing fencing
+token and an absolute expiry; the agent renews it over the control rings
+and voluntarily steps down when it cannot.  Because every host shares
+the pod clock, a partitioned owner self-fences at expiry without any
+message exchange — it stops serving strictly before the orchestrator's
+post-grace sweep starts a successor.
+
+The table itself is deliberately sim-free (callers pass ``now``), which
+keeps it trivially unit-testable, and it is soft state: an orchestrator
+restart clears it, after which agents re-acquire by renewing with the
+token they still hold (``adopt``), so surviving borrowers keep working
+across the restart without a token bump fencing them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+#: Default lease term.  Must undercut the 50 ms heartbeat timeout so the
+#: lease path detects a dead owner before the legacy liveness path does.
+DEFAULT_TTL_NS = 30_000_000.0
+
+#: Clock-skew / in-flight-op allowance between owner self-fence (at
+#: expiry) and the orchestrator starting a successor (at expiry+grace).
+DEFAULT_GRACE_NS = 5_000_000.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted lease: ``holder_host`` may serve ``device_id`` while
+    presenting ``token``, until ``expires_at_ns`` on the shared clock."""
+
+    device_id: int
+    holder_host: str
+    token: int
+    expires_at_ns: float
+
+
+class LeaseTable:
+    """The orchestrator's view of every outstanding lease.
+
+    Tokens are per-device monotone counters.  The counter dict is the one
+    piece of *durable* state (it survives :meth:`clear`, mirroring the
+    orchestrator's durable virtual-id counter): a restarted orchestrator
+    must never re-mint a token some fenced server has already seen.
+    """
+
+    def __init__(self, ttl_ns: float = DEFAULT_TTL_NS,
+                 grace_ns: float = DEFAULT_GRACE_NS):
+        self.ttl_ns = ttl_ns
+        self.grace_ns = grace_ns
+        self._leases: Dict[int, Lease] = {}
+        self._next_token: Dict[int, int] = {}
+        self.granted = 0
+        self.renewed = 0
+        self.adopted = 0
+        self.revoked = 0
+
+    # -- grants ------------------------------------------------------------
+
+    def grant(self, device_id: int, holder_host: str, now: float) -> Lease:
+        """Mint a fresh token for ``holder_host`` and start a new term."""
+        token = self._next_token.get(device_id, 1)
+        self._next_token[device_id] = token + 1
+        lease = Lease(device_id, holder_host, token, now + self.ttl_ns)
+        self._leases[device_id] = lease
+        self.granted += 1
+        return lease
+
+    def adopt(self, device_id: int, holder_host: str, token: int,
+              now: float) -> Lease:
+        """Accept a token an agent already holds (orchestrator restart).
+
+        Agents are the source of truth across orchestrator restarts
+        (§4.2); adopting their token instead of minting a new one keeps
+        every borrower's cached token valid, so a restart alone never
+        fences the datapath.
+        """
+        lease = Lease(device_id, holder_host, token, now + self.ttl_ns)
+        self._leases[device_id] = lease
+        nxt = self._next_token.get(device_id, 1)
+        self._next_token[device_id] = max(nxt, token + 1)
+        self.adopted += 1
+        return lease
+
+    def renew(self, device_id: int, now: float) -> Lease:
+        """Extend the current term; token unchanged."""
+        lease = replace(self._leases[device_id],
+                        expires_at_ns=now + self.ttl_ns)
+        self._leases[device_id] = lease
+        self.renewed += 1
+        return lease
+
+    # -- expiry ------------------------------------------------------------
+
+    def expired(self, now: float) -> List[Lease]:
+        """Leases past expiry *plus grace* — safe to fail over."""
+        return [lease for lease in self._leases.values()
+                if now > lease.expires_at_ns + self.grace_ns]
+
+    def force_expire(self, device_id: int, now: float) -> Optional[Lease]:
+        """Backdate a lease so the next sweep treats it as expired."""
+        lease = self._leases.get(device_id)
+        if lease is None:
+            return None
+        lease = replace(lease, expires_at_ns=now - self.grace_ns - 1.0)
+        self._leases[device_id] = lease
+        return lease
+
+    def revoke(self, device_id: int) -> None:
+        lease = self._leases.pop(device_id, None)
+        if lease is not None:
+            self.revoked += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def current(self, device_id: int) -> Optional[Lease]:
+        return self._leases.get(device_id)
+
+    def token_of(self, device_id: int) -> int:
+        lease = self._leases.get(device_id)
+        return 0 if lease is None else lease.token
+
+    def active(self) -> int:
+        return len(self._leases)
+
+    def clear(self) -> None:
+        """Drop all leases (orchestrator crash); token counters survive."""
+        self._leases = {}
+
+    def __repr__(self) -> str:
+        return (f"<LeaseTable active={len(self._leases)} "
+                f"granted={self.granted} renewed={self.renewed}>")

@@ -41,7 +41,18 @@ def serialize_state(state: ConnectionState) -> bytes:
 
 
 def deserialize_state(raw: bytes) -> ConnectionState:
-    """Inverse of :func:`serialize_state`."""
+    """Inverse of :func:`serialize_state`.
+
+    Raises ``ValueError`` on a truncated payload: a partial snapshot
+    silently restored as a shorter unacked table would drop in-flight
+    segments on the migrated connection, so the channel's length framing
+    is re-checked here rather than trusted.
+    """
+    if len(raw) < _FIXED.size:
+        raise ValueError(
+            f"connection snapshot truncated: {len(raw)} B < fixed header "
+            f"{_FIXED.size} B"
+        )
     (peer_mac, peer_port, local_port, next_seq, send_base,
      recv_next, n_unacked, n_reorder) = _FIXED.unpack_from(raw, 0)
     pos = _FIXED.size
@@ -50,14 +61,28 @@ def deserialize_state(raw: bytes) -> ConnectionState:
         nonlocal pos
         table: dict[int, bytes] = {}
         for _ in range(count):
+            if pos + _ENTRY.size > len(raw):
+                raise ValueError(
+                    f"connection snapshot truncated at entry header "
+                    f"(offset {pos} of {len(raw)} B)"
+                )
             seq, length = _ENTRY.unpack_from(raw, pos)
             pos += _ENTRY.size
+            if pos + length > len(raw):
+                raise ValueError(
+                    f"connection snapshot truncated: seq {seq} declares "
+                    f"{length} B payload, {len(raw) - pos} B remain"
+                )
             table[seq] = raw[pos:pos + length]
             pos += length
         return table
 
     unacked = take(n_unacked)
     reorder = take(n_reorder)
+    if pos != len(raw):
+        raise ValueError(
+            f"connection snapshot has {len(raw) - pos} B of trailing junk"
+        )
     return ConnectionState(
         peer_mac=peer_mac, peer_port=peer_port, local_port=local_port,
         next_seq=next_seq, send_base=send_base, unacked=unacked,

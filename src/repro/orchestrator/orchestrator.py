@@ -19,6 +19,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.obs import runtime as _obs
+from repro.orchestrator.lease import (
+    DEFAULT_GRACE_NS,
+    DEFAULT_TTL_NS,
+    Lease,
+    LeaseTable,
+)
 from repro.orchestrator.policy import AllocationPolicy, LocalFirstPolicy
 from repro.orchestrator.telemetry import TelemetryBoard
 from repro.sim import Interrupt, Simulator
@@ -64,12 +70,23 @@ class Orchestrator:
     def __init__(self, sim: Simulator,
                  policy: Optional[AllocationPolicy] = None,
                  heartbeat_timeout_ns: float = 50_000_000.0,
-                 rebalance_spread: float = 0.4):
+                 rebalance_spread: float = 0.4,
+                 lease_ttl_ns: float = DEFAULT_TTL_NS,
+                 lease_grace_ns: float = DEFAULT_GRACE_NS):
         self.sim = sim
         self.policy = policy or LocalFirstPolicy()
         self.board = TelemetryBoard()
         self.heartbeat_timeout_ns = heartbeat_timeout_ns
         self.rebalance_spread = rebalance_spread
+        #: Per-device ownership leases (fencing tokens).  Soft state: an
+        #: orchestrator crash clears the table and agents re-seed it by
+        #: renewing with the tokens they still hold (adoption).
+        self.leases = LeaseTable(ttl_ns=lease_ttl_ns,
+                                 grace_ns=lease_grace_ns)
+        #: Devices currently fenced because their lease expired (owner
+        #: unreachable); un-fenced when the owner renews again.
+        self._lease_fenced: set[int] = set()
+        self.lease_expiries = 0
         self._records: dict[int, DeviceRecord] = {}
         self._assignments: dict[int, Assignment] = {}
         self._next_virtual_id = 1
@@ -106,6 +123,10 @@ class Orchestrator:
             raise ValueError(f"device {device_id} already registered")
         self._records[device_id] = DeviceRecord(device_id, owner_host, kind)
         self.board.track(device_id, owner_host, kind)
+        # No lease is granted here: fencing arms when the owner's agent
+        # first renews (the pool bootstraps that synchronously), so a
+        # hand-driven orchestrator without agents keeps the legacy
+        # unfenced behaviour.
         # New capacity may unblock assignments stranded by a failed
         # failover.
         self._retry_pending_repairs()
@@ -268,6 +289,72 @@ class Orchestrator:
         else:
             self.board.mark_unhealthy(device_id)
             self._failover_device(device_id)
+
+    def ingest_lease_renew(self, host_id: str, device_id: int,
+                           token: int) -> Optional[Lease]:
+        """An owner agent asks to renew (or re-acquire) a device lease.
+
+        Returns the lease to grant back, or None to refuse (unknown
+        device, or the requester is not the recorded owner).  Three
+        paths:
+
+        * current unexpired lease held by the same host → extend the
+          term, token unchanged (also re-delivers the token to an agent
+          that restarted and renews with ``token=0``);
+        * no lease on file but the agent presents one (``token>0``) →
+          *adopt* it: this orchestrator incarnation restarted and the
+          agents are the source of truth, so keeping their token avoids
+          fencing every borrower for no reason;
+        * otherwise (expired, revoked, or a fresh agent) → mint a new
+          term with a bumped token, fencing any straggler ops stamped
+          with the old one.
+        """
+        if self.down:
+            self.dropped_while_down += 1
+            return None
+        record = self._records.get(device_id)
+        if record is None or record.owner_host != host_id:
+            return None
+        now = self.sim.now
+        lease = self.leases.current(device_id)
+        if (lease is not None and now <= lease.expires_at_ns
+                and lease.holder_host == host_id):
+            lease = self.leases.renew(device_id, now)
+        elif lease is None and token > 0:
+            lease = self.leases.adopt(device_id, host_id, token, now)
+            self._lease_reacquired(device_id)
+        else:
+            lease = self.leases.grant(device_id, host_id, now)
+            self._lease_reacquired(device_id)
+        self.board.set_gauge("leases.active", float(self.leases.active()))
+        return lease
+
+    def _lease_reacquired(self, device_id: int) -> None:
+        """A previously-fenced owner is serving again under a new term."""
+        if device_id in self._lease_fenced:
+            self._lease_fenced.discard(device_id)
+            self.board.mark_healthy(device_id)
+            _instant("orch.lease_reacquired", self.sim.now,
+                     device=device_id)
+            self._retry_pending_repairs()
+
+    def _on_lease_expired(self, lease: Lease) -> None:
+        """Expiry sweep hit: the owner stopped renewing — fail over.
+
+        The owner self-fenced at ``expires_at_ns`` and the sweep only
+        fires after the grace period on top of that, so the successor
+        provably starts after the old owner stopped serving.
+        """
+        self.leases.revoke(lease.device_id)
+        self.lease_expiries += 1
+        _obs.METRICS.counter("orch.lease_expired").inc()
+        _instant("orch.lease_expired", self.sim.now,
+                 device=lease.device_id, holder=lease.holder_host,
+                 token=lease.token)
+        self._lease_fenced.add(lease.device_id)
+        self.board.mark_unhealthy(lease.device_id)
+        self._failover_device(lease.device_id)
+        self.board.set_gauge("leases.active", float(self.leases.active()))
 
     def ingest_assignment_report(self, host_id: str, virtual_id: int,
                                  device_id: int, kind: str,
@@ -435,6 +522,11 @@ class Orchestrator:
         self._assignments = {}
         self._pending_repair = set()
         self.board = TelemetryBoard()
+        # Leases are soft state too — but the token counters survive
+        # (durable, like the virtual id counter): a new incarnation must
+        # never re-mint a token some fenced server has already seen.
+        self.leases.clear()
+        self._lease_fenced = set()
 
     def restart(self) -> None:
         """Come back up in a new epoch with an empty table.
@@ -454,6 +546,8 @@ class Orchestrator:
         try:
             while True:
                 yield self.sim.timeout(interval_ns)
+                for lease in self.leases.expired(self.sim.now):
+                    self._on_lease_expired(lease)
                 for host in self.board.stale_agents(
                         self.sim.now, self.heartbeat_timeout_ns):
                     _instant("orch.host_down", self.sim.now, host=host)

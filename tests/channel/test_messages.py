@@ -9,7 +9,10 @@ from repro.channel.messages import (
     DeviceAnnounce,
     DeviceFailure,
     Doorbell,
+    Fenced,
     Heartbeat,
+    LeaseGrant,
+    LeaseRenew,
     LoadReport,
     Migrate,
     MmioRead,
@@ -39,6 +42,10 @@ ALL_MESSAGES = [
                    epoch=4),
     AssignmentReport(request_id=8, virtual_id=11, device_id=2,
                      kind_code=1, generation=5, epoch=4),
+    LeaseRenew(request_id=9, device_id=3, token=17, epoch=4),
+    LeaseGrant(request_id=9, device_id=3, token=18,
+               expires_at_ns=123_456_789, status=0),
+    Fenced(request_id=0, device_id=3, op_id=41, token=19),
 ]
 
 

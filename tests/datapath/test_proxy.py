@@ -2,11 +2,15 @@
 
 import pytest
 
+from repro.channel.messages import MmioWrite
 from repro.channel.rpc import RpcEndpoint
 from repro.cxl.pod import CxlPod, PodConfig
 from repro.datapath.proxy import (
     DeviceGoneError,
     DeviceServer,
+    DeviceWithdrawnError,
+    FencedError,
+    FenceSignals,
     LocalDeviceHandle,
     RemoteDeviceHandle,
 )
@@ -155,4 +159,195 @@ def test_withdraw_makes_device_unknown(setup):
     p = sim.spawn(proc())
     sim.run(until=p)
     assert p.value == DeviceServer.STATUS_UNKNOWN_DEVICE
+    teardown(sim, eps)
+
+
+# --------------------------------------------------------- error taxonomy
+
+
+def test_withdrawn_device_raises_fatal_subclass(setup):
+    """Withdrawal is permanent: clients must not retry it blindly."""
+    sim, pod, nic, server, handle, eps = setup
+    server.withdraw(1)
+
+    def proc():
+        try:
+            yield from handle.write_register(Nic.REG_TX_RING, 1)
+        except DeviceWithdrawnError:
+            return "withdrawn"
+        except DeviceGoneError:
+            return "generic"
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == "withdrawn"
+    assert issubclass(DeviceWithdrawnError, DeviceGoneError)
+    assert issubclass(FencedError, DeviceGoneError)
+    teardown(sim, eps)
+
+
+# --------------------------------------------------------------- fencing
+
+
+def test_stale_token_is_fenced(setup):
+    sim, pod, nic, server, handle, eps = setup
+    server.set_lease(1, token=5, expires_at_ns=1e15)
+    handle.token = 4          # stale epoch, no resolver to recover with
+
+    def proc():
+        try:
+            yield from handle.write_register(Nic.REG_TX_RING, 1)
+        except FencedError as exc:
+            return exc.status
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == DeviceServer.STATUS_FENCED
+    assert server.fenced_ops == 1
+    assert nic.bar.regs.get(Nic.REG_TX_RING, 0) == 0   # never applied
+    teardown(sim, eps)
+
+
+def test_expired_lease_self_fences_even_with_right_token(setup):
+    """The split-brain half: past expiry the owner refuses to serve even
+    the correct token — it cannot know whether a successor started."""
+    sim, pod, nic, server, handle, eps = setup
+    server.set_lease(1, token=5, expires_at_ns=-1.0)
+    handle.token = 5
+
+    def proc():
+        try:
+            yield from handle.write_register(Nic.REG_TX_RING, 1)
+        except FencedError:
+            return "fenced"
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == "fenced"
+    teardown(sim, eps)
+
+
+def test_revoked_lease_tombstone_fences(setup):
+    sim, pod, nic, server, handle, eps = setup
+    server.set_lease(1, token=5, expires_at_ns=1e15)
+    server.revoke_lease(1)
+    handle.token = 5
+
+    def proc():
+        try:
+            yield from handle.read_register(Nic.REG_STATUS)
+        except FencedError:
+            return "fenced"
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == "fenced"
+    assert server.lease_snapshot() == {1: None}
+    teardown(sim, eps)
+
+
+def test_unleased_device_serves_any_token(setup):
+    """Legacy / hand-wired deployments never arm fencing: a device with
+    no lease state serves regardless of the token presented."""
+    sim, pod, nic, server, handle, eps = setup
+    handle.token = 42
+
+    def proc():
+        yield from handle.write_register(Nic.REG_TX_RING, 0x9000)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert nic.bar.regs[Nic.REG_TX_RING] == 0x9000
+    assert server.fenced_ops == 0
+    teardown(sim, eps)
+
+
+def test_fence_replay_recovers_via_resolver(setup):
+    """A fenced op re-resolves the current (endpoint, token) and replays
+    the same op id — the caller never sees the fence."""
+    sim, pod, nic, server, handle, eps = setup
+    server.set_lease(1, token=7, expires_at_ns=1e15)
+    handle.token = 3
+    handle.resolver = lambda: (handle.endpoint, 7)
+
+    def proc():
+        yield from handle.write_register(Nic.REG_TX_RING, 0xabc)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert nic.bar.regs[Nic.REG_TX_RING] == 0xabc
+    assert handle.fence_replays >= 1
+    assert handle.token == 7
+    teardown(sim, eps)
+
+
+def test_fenced_doorbell_nacked_out_of_band(setup):
+    sim, pod, nic, server, handle, eps = setup
+    server.set_lease(1, token=9, expires_at_ns=1e15)
+    handle.token = 2
+    nacks = []
+    FenceSignals.attach(handle.endpoint).subscribe(
+        1, lambda msg: nacks.append(msg))
+
+    def proc():
+        yield from handle.ring_doorbell(TX_QUEUE, 3)
+        yield sim.timeout(100_000.0)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert len(nacks) == 1
+    assert nacks[0].token == 9        # carries the current epoch
+    assert Nic.REG_TX_DB not in nic.bar.regs or \
+        nic.bar.regs[Nic.REG_TX_DB] != 3
+    teardown(sim, eps)
+
+
+# ------------------------------------------------------------ dedup journal
+
+
+def test_duplicate_op_id_not_reapplied(setup):
+    sim, pod, nic, server, handle, eps = setup
+    applied = []
+    original = nic.on_mmio_write
+
+    def spy(offset, value):
+        original(offset, value)
+        applied.append((offset, value))
+
+    nic.on_mmio_write = spy
+
+    def proc():
+        msg = MmioWrite(request_id=0, device_id=1,
+                        addr=Nic.REG_TX_RING, value=0x77,
+                        op_id=1234, token=0)
+        first = yield from handle.endpoint.call_with_retry(
+            msg, timeout_ns=2_000_000.0, max_attempts=4)
+        second = yield from handle.endpoint.call_with_retry(
+            msg, timeout_ns=2_000_000.0, max_attempts=4)
+        return first.status, second.status
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == (DeviceServer.STATUS_OK, DeviceServer.STATUS_OK)
+    assert len(applied) == 1          # second delivery was suppressed
+    assert server.dup_suppressed == 1
+    teardown(sim, eps)
+
+
+def test_dedup_journal_is_bounded_fifo(setup):
+    sim, pod, nic, server, handle, eps = setup
+    server.journal_cap = 4
+
+    def proc():
+        for op_id in range(1, 8):      # 7 distinct ops through a cap of 4
+            yield from handle.endpoint.call_with_retry(
+                MmioWrite(request_id=0, device_id=1,
+                          addr=Nic.REG_TX_RING, value=op_id,
+                          op_id=op_id, token=0),
+                timeout_ns=2_000_000.0, max_attempts=4)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert len(server._journal) == 4
+    assert sorted(server._journal) == [4, 5, 6, 7]   # oldest evicted
     teardown(sim, eps)

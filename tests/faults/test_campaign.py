@@ -6,6 +6,8 @@ from repro.faults import (
     ChaosCampaign,
     ChaosConfig,
     DeviceFlap,
+    HostPartition,
+    LeaseExpire,
     LinkFlap,
     MemPoison,
     MhdCrash,
@@ -164,3 +166,40 @@ def test_ras_draws_do_not_perturb_legacy_schedule():
     a = ChaosCampaign(make_pool(11), legacy_only).schedule()
     b = ChaosCampaign(make_pool(11), with_ras).schedule()
     assert b.faults[:len(a.faults)] == a.faults
+
+
+# -- lease-protocol fault draws ---------------------------------------------
+
+
+def test_lease_fault_counts_and_validity():
+    import dataclasses
+    cfg = dataclasses.replace(CFG, host_partitions=2, lease_expires=3)
+    pool = make_pool(12)
+    schedule = ChaosCampaign(pool, cfg).schedule()
+    partitions = [f for f in schedule if isinstance(f, HostPartition)]
+    expires = [f for f in schedule if isinstance(f, LeaseExpire)]
+    assert len(partitions) == 2 and len(expires) == 3
+    host_ids = set(pool.pod.host_ids)
+    device_ids = set(pool._devices)
+    for fault in partitions:
+        assert fault.host_id in host_ids
+        assert cfg.min_down_ns <= fault.down_ns <= cfg.max_down_ns
+    for fault in expires:
+        assert fault.device_id in device_ids
+
+
+def test_lease_draws_do_not_perturb_legacy_schedule():
+    """Prefix stability: a legacy config (both lease knobs zero) draws a
+    bit-identical schedule whether or not the new fields exist — and the
+    new draws append strictly after every legacy + RAS loop."""
+    import dataclasses
+    legacy = dataclasses.replace(
+        CFG, mhd_crashes=1, mem_poisons=2,
+        host_partitions=0, lease_expires=0)
+    with_lease = dataclasses.replace(
+        legacy, host_partitions=1, lease_expires=2)
+    a = ChaosCampaign(make_pool(13), legacy).schedule()
+    b = ChaosCampaign(make_pool(13), with_lease).schedule()
+    assert b.faults[:len(a.faults)] == a.faults
+    assert all(isinstance(f, (HostPartition, LeaseExpire))
+               for f in b.faults[len(a.faults):])

@@ -7,6 +7,8 @@ from repro.faults import (
     DeviceFlap,
     FaultInjector,
     FaultSchedule,
+    HostPartition,
+    LeaseExpire,
     LinkFlap,
     MemPoison,
     MhdCrash,
@@ -172,6 +174,50 @@ def test_mem_poison_marks_line_and_logs_target():
     assert pool.pod.ras_counters()["poisons_injected"] == 2
     (event,) = injector.log.for_target(f"mem:{rng.base:#x}+2")
     assert event.action == "poison"
+    pool.stop()
+    sim.run()
+
+
+def test_host_partition_severs_and_heals_control_plane():
+    sim, pool, _nic = make_pool()
+    agent_ep = pool._device_servers[("__ctl__", "h0")][1]
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        HostPartition(host_id="h0", at_ns=1_000_000.0,
+                      down_ns=2_000_000.0),
+    )))
+    sim.run(until=sim.timeout(1_500_000.0))
+    assert agent_ep.partitioned
+    assert "h0" in pool._partitioned_hosts
+    sim.run(until=sim.timeout(2_000_000.0))  # 3.5 ms: healed
+    assert not agent_ep.partitioned
+    events = injector.log.for_target("host:h0")
+    assert [e.action for e in events] == ["partition", "heal"]
+    assert all(e.fault == "HostPartition" for e in events)
+    pool.stop()
+    sim.run()
+
+
+def test_lease_expire_fails_device_over():
+    """A forced lapse walks the real protocol: the owner steps down
+    first, then the orchestrator's sweep reassigns the borrower."""
+    sim = Simulator(seed=3)
+    pool = PciePool(sim, n_hosts=3)
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    pool.start()
+    vnic = pool.open_nic("h2")
+    original = vnic.device_id
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        LeaseExpire(device_id=original, at_ns=5_000_000.0),
+    )))
+    sim.run(until=sim.timeout(60_000_000.0))
+    assert pool.orchestrator.lease_expiries == 1
+    assert vnic.device_id != original
+    (event,) = injector.log.for_target(f"device:{original}")
+    assert event.fault == "LeaseExpire" and event.action == "expire"
+    assert pool.check_fencing_invariant() == []
     pool.stop()
     sim.run()
 

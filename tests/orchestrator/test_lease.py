@@ -1,0 +1,198 @@
+"""Lease/fencing unit tests: LeaseTable semantics and the orchestrator's
+renew → grant / adopt / expire state machine."""
+
+import pytest
+
+from repro.orchestrator import Orchestrator
+from repro.orchestrator.lease import (
+    DEFAULT_GRACE_NS,
+    DEFAULT_TTL_NS,
+    LeaseTable,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------- LeaseTable
+
+
+def test_grant_mints_monotone_tokens():
+    table = LeaseTable()
+    a = table.grant(1, "h0", now=0.0)
+    b = table.grant(1, "h1", now=10.0)
+    c = table.grant(2, "h0", now=10.0)
+    assert a.token == 1
+    assert b.token == 2          # per-device monotone
+    assert c.token == 1          # independent counter per device
+    assert table.granted == 3
+
+
+def test_renew_extends_without_token_bump():
+    table = LeaseTable(ttl_ns=100.0)
+    lease = table.grant(1, "h0", now=0.0)
+    renewed = table.renew(1, now=50.0)
+    assert renewed.token == lease.token
+    assert renewed.expires_at_ns == 150.0
+    assert table.renewed == 1
+
+
+def test_expired_only_after_grace():
+    table = LeaseTable(ttl_ns=100.0, grace_ns=20.0)
+    table.grant(1, "h0", now=0.0)
+    assert table.expired(now=100.0) == []      # at expiry: self-fenced,
+    assert table.expired(now=120.0) == []      # but sweep waits for grace
+    assert [lease.device_id for lease in table.expired(now=121.0)] == [1]
+
+
+def test_force_expire_backdates():
+    table = LeaseTable(ttl_ns=100.0, grace_ns=20.0)
+    table.grant(1, "h0", now=0.0)
+    table.force_expire(1, now=5.0)
+    assert [lease.device_id for lease in table.expired(now=5.0)] == [1]
+    assert table.force_expire(99, now=5.0) is None
+
+
+def test_adopt_keeps_token_and_advances_counter():
+    table = LeaseTable()
+    lease = table.adopt(1, "h0", token=7, now=0.0)
+    assert lease.token == 7
+    # The next mint must not reuse an adopted (already-seen) token.
+    assert table.grant(1, "h0", now=1.0).token == 8
+    assert table.adopted == 1
+
+
+def test_clear_preserves_token_counters():
+    table = LeaseTable()
+    table.grant(1, "h0", now=0.0)
+    table.clear()
+    assert table.active() == 0
+    assert table.current(1) is None
+    # A post-restart grant must still bump past every minted token, or a
+    # fenced server holding token 1 would accept stale traffic again.
+    assert table.grant(1, "h1", now=0.0).token == 2
+
+
+def test_revoke_and_token_of():
+    table = LeaseTable()
+    table.grant(1, "h0", now=0.0)
+    assert table.token_of(1) == 1
+    table.revoke(1)
+    assert table.token_of(1) == 0
+    assert table.revoked == 1
+    table.revoke(1)              # idempotent
+    assert table.revoked == 1
+
+
+def test_default_term_undercuts_heartbeat_timeout():
+    # The lease path must detect a dead owner before the 50 ms legacy
+    # heartbeat path does, or it adds nothing.
+    assert DEFAULT_TTL_NS + DEFAULT_GRACE_NS < 50_000_000.0
+
+
+# ------------------------------------------------- orchestrator state machine
+
+
+@pytest.fixture()
+def orch():
+    sim = Simulator()
+    orchestrator = Orchestrator(sim)
+    orchestrator.register_device(1, "h0", "nic")
+    orchestrator.register_device(2, "h1", "nic")
+    return sim, orchestrator
+
+
+def test_renew_from_owner_grants_then_extends(orch):
+    _sim, orchestrator = orch
+    first = orchestrator.ingest_lease_renew("h0", 1, token=0)
+    assert first is not None and first.token == 1
+    again = orchestrator.ingest_lease_renew("h0", 1, token=first.token)
+    assert again.token == first.token          # renewal, not re-grant
+    assert orchestrator.leases.renewed == 1
+
+
+def test_renew_from_non_owner_refused(orch):
+    _sim, orchestrator = orch
+    assert orchestrator.ingest_lease_renew("h9", 1, token=0) is None
+    assert orchestrator.ingest_lease_renew("h0", 99, token=0) is None
+
+
+def test_renew_while_down_refused(orch):
+    _sim, orchestrator = orch
+    orchestrator.crash()
+    assert orchestrator.ingest_lease_renew("h0", 1, token=0) is None
+
+
+def test_restarted_agent_with_zero_token_gets_current_token(orch):
+    """An agent that rebooted renews with token=0 while its lease is
+    still live: the orchestrator re-delivers the current token instead
+    of minting a new one and fencing every borrower."""
+    _sim, orchestrator = orch
+    first = orchestrator.ingest_lease_renew("h0", 1, token=0)
+    redelivered = orchestrator.ingest_lease_renew("h0", 1, token=0)
+    assert redelivered.token == first.token
+
+
+def test_orchestrator_restart_adopts_agent_token(orch):
+    _sim, orchestrator = orch
+    first = orchestrator.ingest_lease_renew("h0", 1, token=0)
+    orchestrator.crash()
+    orchestrator.restart()
+    orchestrator.register_device(1, "h0", "nic")
+    adopted = orchestrator.ingest_lease_renew("h0", 1, token=first.token)
+    assert adopted.token == first.token
+    assert orchestrator.leases.adopted == 1
+
+
+def test_expired_lease_renewal_mints_new_token(orch):
+    sim, orchestrator = orch
+    first = orchestrator.ingest_lease_renew("h0", 1, token=0)
+    orchestrator.leases.force_expire(1, sim.now)
+    again = orchestrator.ingest_lease_renew("h0", 1, token=first.token)
+    assert again.token == first.token + 1
+
+
+def test_revoked_lease_readopts_owner_token(orch):
+    """Revocation with the device still owned by the same host (no
+    replacement was available): the owner's presented token is adopted
+    rather than bumped — nothing changed hands, nothing to fence."""
+    _sim, orchestrator = orch
+    first = orchestrator.ingest_lease_renew("h0", 1, token=0)
+    orchestrator.leases.revoke(1)
+    again = orchestrator.ingest_lease_renew("h0", 1, token=first.token)
+    assert again.token == first.token
+    assert orchestrator.leases.adopted == 1
+
+
+def test_lease_expiry_triggers_failover(orch):
+    sim, orchestrator = orch
+    assignment = orchestrator.request_device("h2", "nic")
+    original = assignment.device_id
+    owner = orchestrator._records[original].owner_host
+    orchestrator.ingest_lease_renew(owner, original, token=0)
+    orchestrator.start()
+    orchestrator.leases.force_expire(original, sim.now)
+
+    def run():
+        yield sim.timeout(50_000_000.0)
+
+    sim.run(until=sim.spawn(run()))
+    assert orchestrator.lease_expiries == 1
+    assert assignment.device_id != original    # moved to the other NIC
+    assert orchestrator.leases.token_of(original) == 0
+    orchestrator.stop()
+
+
+def test_fenced_device_reacquired_on_renewal(orch):
+    sim, orchestrator = orch
+    orchestrator.ingest_lease_renew("h0", 1, token=0)
+    orchestrator.start()
+    orchestrator.leases.force_expire(1, sim.now)
+
+    def run():
+        yield sim.timeout(50_000_000.0)
+
+    sim.run(until=sim.spawn(run()))
+    assert 1 in orchestrator._lease_fenced
+    release = orchestrator.ingest_lease_renew("h0", 1, token=0)
+    assert release is not None and release.token == 2
+    assert 1 not in orchestrator._lease_fenced
+    orchestrator.stop()

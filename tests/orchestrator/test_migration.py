@@ -27,6 +27,60 @@ def test_state_serialization_roundtrip():
     assert restored == state
 
 
+def _full_state() -> ConnectionState:
+    return ConnectionState(
+        peer_mac=0xA1B2, peer_port=443, local_port=5000,
+        next_seq=17, send_base=14,
+        unacked={14: b"segment-14", 15: b"", 16: b"sixteen"},
+        recv_next=9,
+        reorder={11: b"early", 12: b"also-early"},
+    )
+
+
+def test_state_roundtrip_preserves_both_tables():
+    restored = deserialize_state(serialize_state(_full_state()))
+    assert restored.unacked == {14: b"segment-14", 15: b"", 16: b"sixteen"}
+    assert restored.reorder == {11: b"early", 12: b"also-early"}
+
+
+def test_truncated_fixed_header_rejected():
+    raw = serialize_state(_full_state())
+    with pytest.raises(ValueError, match="fixed header"):
+        deserialize_state(raw[:10])
+
+
+def test_truncated_entry_header_rejected():
+    # Cut inside an entry header: the fixed header survives, but the
+    # first table entry's (seq, length) prefix is incomplete.
+    raw = serialize_state(_full_state())
+    fixed = raw[:struct_fixed_size()]
+    with pytest.raises(ValueError, match="entry header"):
+        deserialize_state(fixed + raw[struct_fixed_size():][:3])
+
+
+def test_truncated_payload_rejected():
+    # Keep the entry header intact but starve its declared payload.
+    raw = serialize_state(_full_state())
+    with pytest.raises(ValueError, match="payload"):
+        deserialize_state(raw[:struct_fixed_size() + 6 + 4])
+
+
+def test_trailing_junk_rejected():
+    raw = serialize_state(_full_state())
+    with pytest.raises(ValueError, match="trailing junk"):
+        deserialize_state(raw + b"\x00\x01")
+
+
+def test_empty_buffer_rejected():
+    with pytest.raises(ValueError, match="truncated"):
+        deserialize_state(b"")
+
+
+def struct_fixed_size() -> int:
+    from repro.orchestrator.migration import _FIXED
+    return _FIXED.size
+
+
 def test_state_ships_over_fragment_channel():
     """A snapshot crosses hosts through shared CXL memory."""
     sim = Simulator()

@@ -102,6 +102,29 @@ def test_trace_doorbell_shows_poison_recovery(capsys, tmp_path):
             "fault:MemPoison"} <= names
 
 
+def test_trace_failover_single_trace_spans_owner_handover(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    rc, out = run_cli(capsys, "trace", "failover", "--out", str(out_path))
+    assert rc == 0
+    assert "completed=6/6" in out
+    assert "invariant_violations=0" in out
+    import json
+    evs = json.loads(out_path.read_text())["traceEvents"]
+    writes = [ev for ev in evs
+              if ev.get("ph") == "X" and ev["name"].startswith("vssd.write")]
+    # One write straddles the lease lapse (~35 ms) instead of the ~20 µs
+    # fast path: it started on the dying owner and finished after failover.
+    long_write = max(writes, key=lambda ev: ev["dur"])
+    assert long_write["dur"] > 10_000.0  # µs
+    trace_id = long_write["args"]["trace"]
+    handlers = {ev["pid"] for ev in evs
+                if ev.get("args", {}).get("trace") == trace_id
+                and ev["name"] == "rpc.handle:Doorbell"}
+    # The same trace id reaches Doorbell handlers on two different hosts:
+    # the original owner and the successor that replayed the op.
+    assert len(handlers) == 2
+
+
 def test_metrics_reports_latency_and_ras(capsys):
     rc, out = run_cli(capsys, "metrics", "--messages", "200")
     assert rc == 0
