@@ -1,0 +1,219 @@
+"""BURST — burst datapath: slot batching, coalesced doorbells.
+
+Quantifies the three batching layers this repo adds on top of the
+paper's single-slot ring channel:
+
+* ring slot throughput: ``send_burst`` + ``drain`` vs the legacy
+  per-slot ``send``/``recv`` loop (target: >= 2x),
+* vSSD write IOPS at queue depth 16: ``write_burst`` (one fence, one
+  forwarded doorbell per 16 commands) vs sequential QD1 (target: >= 2x),
+* doorbell coalescing: 16 concurrent submitters merging behind one
+  in-flight forwarded doorbell (target: >= 4 requested per forwarded).
+
+Emits ``BENCH_burst.json`` next to the working directory for CI to
+archive and gate on.
+"""
+
+import json
+
+from benchmarks.conftest import banner, run_once
+from repro.channel.ring import RingChannel
+from repro.channel.rpc import RpcEndpoint
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.datapath.proxy import DeviceServer, RemoteDeviceHandle
+from repro.datapath.vssd import RemoteSsdClient
+from repro.pcie.nic import TX_QUEUE, Nic
+from repro.pcie.ssd import Ssd
+from repro.sim import Simulator
+
+N_MESSAGES = 2048
+BATCH = 16
+N_IOS = 128
+IO_BYTES = 4096
+N_WORKERS = 16
+DB_ROUNDS = 8
+
+RESULTS: dict = {}
+
+
+def _ring_setup():
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=1, mhd_capacity=1 << 26))
+    ring = RingChannel.over_pod(pod, "h0", "h1", n_slots=64)
+    return sim, ring
+
+
+def slot_throughput_per_slot():
+    """Legacy path: one send / one recv per message."""
+    sim, ring = _ring_setup()
+    payloads = [i.to_bytes(4, "little") * 8 for i in range(N_MESSAGES)]
+
+    def sender(sim):
+        for p in payloads:
+            yield from ring.sender.send(p)
+
+    def receiver(sim):
+        for _ in payloads:
+            yield from ring.receiver.recv()
+
+    sim.spawn(sender(sim))
+    r = sim.spawn(receiver(sim))
+    sim.run(until=r)
+    return N_MESSAGES / (sim.now * 1e-9)      # messages per second
+
+
+def slot_throughput_burst():
+    """Burst path: 16-message bursts, batch-drained receiver."""
+    sim, ring = _ring_setup()
+    payloads = [i.to_bytes(4, "little") * 8 for i in range(N_MESSAGES)]
+
+    def sender(sim):
+        for i in range(0, N_MESSAGES, BATCH):
+            yield from ring.sender.send_burst(payloads[i:i + BATCH])
+
+    def receiver(sim):
+        got = 0
+        while got < N_MESSAGES:
+            batch = yield from ring.receiver.drain()
+            got += len(batch)
+            if not batch:
+                yield sim.timeout(30.0)
+
+    sim.spawn(sender(sim))
+    r = sim.spawn(receiver(sim))
+    sim.run(until=r)
+    return N_MESSAGES / (sim.now * 1e-9)
+
+
+def _vssd_setup(seed=3):
+    sim = Simulator(seed=seed)
+    pod = CxlPod(sim, PodConfig(n_hosts=3, n_mhds=2, mhd_capacity=1 << 27))
+    ssd = Ssd(sim, "ssd0", device_id=10)
+    ssd.attach(pod.host("h0"))
+    ssd.start()
+    owner_ep, borrower_ep = RpcEndpoint.pair(pod, "h0", "h2")
+    server = DeviceServer(owner_ep)
+    server.export(ssd)
+    handle = RemoteDeviceHandle(borrower_ep, device_id=10)
+    client = RemoteSsdClient(sim, pod.host("h2"), handle, pod, "h0",
+                             n_entries=ssd.spec.n_sq_entries)
+    return sim, client
+
+
+def vssd_iops_qd1():
+    """Sequential writes: one command in flight at a time."""
+    sim, client = _vssd_setup()
+    data = b"\xa5" * IO_BYTES
+
+    def proc():
+        yield from client.setup()
+        t0 = sim.now
+        for i in range(N_IOS):
+            yield from client.write(lba=i * 64, data=data)
+        return sim.now - t0
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    return N_IOS / (p.value * 1e-9)
+
+
+def vssd_iops_qd16():
+    """Queue-depth-16 waves through ``write_burst``: one fence and one
+    forwarded doorbell expose 16 commands at once, which the SSD then
+    runs across its parallel flash channels."""
+    sim, client = _vssd_setup()
+    data = b"\xa5" * IO_BYTES
+
+    def proc():
+        yield from client.setup()
+        t0 = sim.now
+        for wave in range(N_IOS // BATCH):
+            ios = [((wave * BATCH + i) * 64, data) for i in range(BATCH)]
+            yield from client.write_burst(ios)
+        return sim.now - t0
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    return N_IOS / (p.value * 1e-9)
+
+
+def doorbell_coalesce_ratio():
+    """16 concurrent workers each ring the TX doorbell 8 times; rings
+    that land while a forwarded doorbell is in flight merge into its
+    pending max."""
+    sim = Simulator(seed=5)
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=1, mhd_capacity=1 << 26))
+    nic = Nic(sim, "nic0", device_id=1, mac=0xa)
+    nic.attach(pod.host("h0"))
+    owner_ep, remote_ep = RpcEndpoint.pair(pod, "h0", "h1")
+    server = DeviceServer(owner_ep)
+    server.export(nic)
+    handle = RemoteDeviceHandle(remote_ep, device_id=1)
+
+    def worker(rnd, wid):
+        yield from handle.ring_doorbell(
+            TX_QUEUE, rnd * N_WORKERS + wid + 1
+        )
+
+    def rounds():
+        # Each round models one queue-depth burst: all 16 submitters
+        # finish posting descriptors and ring in the same instant.
+        for rnd in range(DB_ROUNDS):
+            procs = [sim.spawn(worker(rnd, wid))
+                     for wid in range(N_WORKERS)]
+            for p in procs:
+                yield p
+            yield sim.timeout(5_000.0)
+
+    p = sim.spawn(rounds())
+    sim.run(until=p)
+    sim.run(until=sim.timeout(500_000.0))
+    assert handle.doorbells_requested == N_WORKERS * DB_ROUNDS
+    return (handle.doorbells_requested, handle.doorbells_forwarded,
+            handle.doorbells_coalesced)
+
+
+def burst_experiment():
+    per_slot = slot_throughput_per_slot()
+    burst = slot_throughput_burst()
+    qd1 = vssd_iops_qd1()
+    qd16 = vssd_iops_qd16()
+    requested, forwarded, coalesced = doorbell_coalesce_ratio()
+    return {
+        "slot_msgs_per_s_per_slot": per_slot,
+        "slot_msgs_per_s_burst": burst,
+        "slot_speedup": burst / per_slot,
+        "vssd_write_iops_qd1": qd1,
+        "vssd_write_iops_qd16_burst": qd16,
+        "vssd_speedup": qd16 / qd1,
+        "doorbells_requested": requested,
+        "doorbells_forwarded": forwarded,
+        "doorbells_coalesced": coalesced,
+        "doorbell_coalesce_ratio": requested / forwarded,
+    }
+
+
+def test_burst_throughput(benchmark):
+    r = run_once(benchmark, burst_experiment)
+    RESULTS.update(r)
+    banner("BURST: batched slots, QD16 bursts, coalesced doorbells")
+    print(f"ring throughput  per-slot: {r['slot_msgs_per_s_per_slot']:>13,.0f} msg/s")
+    print(f"ring throughput  burst-16: {r['slot_msgs_per_s_burst']:>13,.0f} msg/s"
+          f"   ({r['slot_speedup']:.2f}x)")
+    print(f"vSSD write IOPS  QD1:      {r['vssd_write_iops_qd1']:>13,.0f}")
+    print(f"vSSD write IOPS  QD16:     {r['vssd_write_iops_qd16_burst']:>13,.0f}"
+          f"   ({r['vssd_speedup']:.2f}x)")
+    print(f"doorbells requested/forwarded/coalesced: "
+          f"{r['doorbells_requested']}/{r['doorbells_forwarded']}/"
+          f"{r['doorbells_coalesced']}"
+          f"   ({r['doorbell_coalesce_ratio']:.1f}:1)")
+
+    with open("BENCH_burst.json", "w") as fh:
+        json.dump(r, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote BENCH_burst.json")
+
+    # The tentpole's acceptance gates.
+    assert r["slot_speedup"] >= 2.0
+    assert r["vssd_speedup"] >= 2.0
+    assert r["doorbell_coalesce_ratio"] >= 4.0

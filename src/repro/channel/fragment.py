@@ -16,8 +16,15 @@ Fragment layout (within the 57 B slot payload)::
 from __future__ import annotations
 
 import struct
+from collections import deque
 
-from repro.channel.ring import SLOT_PAYLOAD_BYTES, RingReceiver, RingSender
+from repro.channel.ring import (
+    SLOT_PAYLOAD_BYTES,
+    RingReceiver,
+    RingSender,
+    SlotCorruptionError,
+)
+from repro.cxl.params import RECV_POLL_NS
 
 _HDR = struct.Struct("<BI")
 CHUNK_BYTES = SLOT_PAYLOAD_BYTES - _HDR.size  # 52
@@ -31,7 +38,13 @@ class ReassemblyError(RuntimeError):
 
 
 class FragmentSender:
-    """Sends arbitrary-size messages as fragment trains."""
+    """Sends arbitrary-size messages as fragment trains.
+
+    Trains ride the ring's burst path: every fragment of a message is
+    handed to :meth:`RingSender.send_burst` at once, so a 1 KB snapshot
+    goes out as two multi-line NT bursts instead of ~20 independent
+    sends, each with its own flow-control check.
+    """
 
     def __init__(self, ring: RingSender):
         self.ring = ring
@@ -39,7 +52,7 @@ class FragmentSender:
         self.messages_sent = 0
 
     def send(self, payload: bytes):
-        """Process: fragment ``payload`` and push every chunk."""
+        """Process: fragment ``payload`` and push the whole train."""
         stream_id = self._next_stream
         self._next_stream = (self._next_stream + 1) & 0xFFFFFFFF or 1
         chunks = [
@@ -47,27 +60,57 @@ class FragmentSender:
             for pos in range(0, len(payload), CHUNK_BYTES)
         ] or [b""]
         last_index = len(chunks) - 1
-        for index, chunk in enumerate(chunks):
-            flags = (_FLAG_FIRST if index == 0 else 0) | (
-                _FLAG_LAST if index == last_index else 0
-            )
-            yield from self.ring.send(_HDR.pack(flags, stream_id) + chunk)
+        frames = [
+            _HDR.pack(
+                (_FLAG_FIRST if index == 0 else 0)
+                | (_FLAG_LAST if index == last_index else 0),
+                stream_id,
+            ) + chunk
+            for index, chunk in enumerate(chunks)
+        ]
+        yield from self.ring.send_burst(frames)
         self.messages_sent += 1
 
 
 class FragmentReceiver:
-    """Reassembles fragment trains back into messages."""
+    """Reassembles fragment trains back into messages.
+
+    Slots are pulled through :meth:`RingReceiver.drain`, so one poll
+    pass buffers every ready fragment; leftovers carry over to the next
+    ``recv``.  A detected slot loss inside a drained batch surfaces as
+    :class:`SlotCorruptionError`, exactly like the per-slot path —
+    recovery is end-to-end (the train cannot be patched locally).
+    """
 
     def __init__(self, ring: RingReceiver):
         self.ring = ring
         self.messages_received = 0
+        self._pending: deque[bytes] = deque()
 
-    def recv(self, poll_overhead_ns: float = 30.0):
+    def _next_slot(self, poll_overhead_ns: float):
+        """Process: next buffered fragment, draining the ring as needed."""
+        sim = self.ring.region.memsys.sim
+        while not self._pending:
+            lost_before = self.ring.lost_slots
+            batch = yield from self.ring.drain()
+            self._pending.extend(batch)
+            if self.ring.lost_slots > lost_before:
+                # Keep any good fragments buffered, but surface the
+                # detected loss now: the current train is broken.
+                raise SlotCorruptionError(
+                    self.ring.region.memsys.host_id, self.ring._tail,
+                    "slot lost inside fragment train",
+                )
+            if not batch:
+                yield sim.timeout(poll_overhead_ns)
+        return self._pending.popleft()
+
+    def recv(self, poll_overhead_ns: float = RECV_POLL_NS):
         """Process: receive one complete (reassembled) message."""
         assembled = bytearray()
         stream_id = None
         while True:
-            slot = yield from self.ring.recv(poll_overhead_ns)
+            slot = yield from self._next_slot(poll_overhead_ns)
             if len(slot) < _HDR.size:
                 raise ReassemblyError(
                     f"fragment of {len(slot)} B shorter than header"

@@ -8,6 +8,7 @@ from repro.channel.messages import Resync
 from repro.channel.rpc import RpcEndpoint, RpcError
 from repro.cxl.device import PoisonedMemoryError
 from repro.cxl.link import LinkDownError, LinkSpec
+from repro.cxl.params import ADAPTIVE_POLL_MAX_NS
 from repro.cxl.pod import CxlPod, PodConfig
 from repro.datapath.netstack import UdpStack
 from repro.datapath.placement import BufferPlacement, DriverMemory
@@ -121,7 +122,10 @@ class PciePool:
             label=f"ctl:{host_id}",
             # Control traffic is period-10ms telemetry: lazy polling at
             # microsecond cadence costs nothing and saves polling CPU.
+            # Adaptive backoff lets an idle agent decay its poll cadence
+            # further; the ceiling stays far below the lease-renew timeout.
             poll_overhead_ns=self.ctl_poll_ns,
+            adaptive_poll_max_ns=ADAPTIVE_POLL_MAX_NS,
         )
         wire_control_channel(self.orchestrator, orch_ep, host_id)
         self.agents[host_id] = PoolingAgent(self.sim, host_id, agent_ep)
@@ -631,6 +635,7 @@ class PciePool:
             self.pod, self.orchestrator_host, host_id,
             label=f"ctl:{host_id}",
             poll_overhead_ns=self.ctl_poll_ns,
+            adaptive_poll_max_ns=ADAPTIVE_POLL_MAX_NS,
         )
         wire_control_channel(self.orchestrator, orch_ep, host_id)
         self.agents[host_id].rebind_endpoint(agent_ep)

@@ -78,6 +78,33 @@ class SharedRegion:
         data = yield from self.memsys.read_span(addr, size, uncached=True)
         return data
 
+    # -- burst verbs (streaming, for multi-line batches) -------------------------
+
+    def publish_bulk(self, offset: int, data: bytes):
+        """Process: streaming NT store of a contiguous multi-line span.
+
+        Pays one issue cost plus bandwidth-bound streaming time instead
+        of a per-line issue, and every line commits in the same resume —
+        the write-combined burst a real CPU emits for back-to-back NT
+        stores.  Single-line publishes should keep using
+        :meth:`publish`; this is the batch path.
+        """
+        addr = self._addr(offset, len(data))
+        yield from self.memsys.write_bulk(addr, data, nt=True)
+
+    def consume_uncached_bulk(self, offset: int, size: int):
+        """Process: streaming uncached read of a contiguous span.
+
+        One leading miss plus streaming time for the whole window —
+        the batch counterpart of :meth:`consume_uncached`.  Raises
+        :class:`~repro.cxl.device.PoisonedMemoryError` if *any* line in
+        the span is poisoned; callers needing per-line containment must
+        fall back to line-at-a-time consumption.
+        """
+        addr = self._addr(offset, size)
+        data = yield from self.memsys.read_bulk(addr, size, uncached=True)
+        return data
+
     # -- unsafe verbs (for the ablation: what goes wrong without discipline) -----
 
     def publish_unsafe(self, offset: int, data: bytes):

@@ -67,6 +67,51 @@ class CxlTimings:
 DEFAULT_TIMINGS = CxlTimings()
 
 
+# -- channel tuning knobs ----------------------------------------------------
+#
+# The polling/backoff cadences below used to be magic literals scattered
+# across ring.py, rpc.py, and netstack.py.  They are calibration
+# constants, not physics: the CPU work between receive polls, how hard a
+# sender hammers a full ring, and how long software backs off when the
+# CXL path under a channel flaps.
+
+#: CPU work between receive polls on a busy-polled datapath channel
+#: (branch + slot parse on top of the CXL read itself).  This is the
+#: receiver-side half of Figure 4's "slightly above the floor" gap.
+RECV_POLL_NS = 30.0
+
+#: Sender-side poll cadence while a ring is full (progress-line watch).
+RING_FULL_POLL_NS = 50.0
+
+#: Backoff between retries when the CXL path under a channel is down
+#: (link flap / MHD failover window).  Used by ring senders re-storing a
+#: reserved slot, the RPC retry/backoff ladders, and netstack fault
+#: paths — one knob, so recovery traffic stays mutually paced.
+LINK_RETRY_POLL_NS = 100_000.0
+
+#: Adaptive control-plane polling (spin -> exponentially backed-off
+#: sleep, reset on traffic): growth factor per idle poll and the sleep
+#: ceiling.  The ceiling bounds added first-message latency, so it must
+#: stay well under the smallest control-plane RPC timeout (lease renew,
+#: 2 ms) — a dispatcher sleeping at the cap still answers in time.
+ADAPTIVE_POLL_FACTOR = 2.0
+ADAPTIVE_POLL_MAX_NS = 500_000.0
+
+#: Burst-arrival prediction for adaptive pollers.  Control traffic is
+#: dominated by strictly periodic agent ticks, so the dispatcher learns
+#: the tick-to-tick period (EWMA weight below) and resumes base-rate
+#: polling inside a guard window around the predicted next arrival —
+#: first-message latency near a tick stays at the base cadence while the
+#: idle bulk of the gap still collapses to a handful of wakeups.  The
+#: guard is a fraction of the learned period, floored at the backoff
+#: ceiling (arrival timestamps are observed through polling, so they
+#: jitter by up to one ceiling) and clamped so a very long period cannot
+#: buy milliseconds of busy polling.
+ADAPTIVE_PERIOD_EWMA = 0.25
+ADAPTIVE_GUARD_FRACTION = 1.0 / 16.0
+ADAPTIVE_GUARD_MAX_NS = 1_000_000.0
+
+
 @dataclass(frozen=True)
 class BandwidthTable:
     """Per-link-width sustained CXL bandwidth (GB/s at 2:1 read:write)."""

@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.channel.rpc import RpcError
 from repro.cxl.link import LinkDownError
+from repro.cxl.params import LINK_RETRY_POLL_NS
 from repro.datapath.placement import BufferPlacement, DriverMemory
 from repro.datapath.proxy import (
     DeviceGoneError,
@@ -132,7 +133,7 @@ class UdpStack:
         self._kick_streak = 0
         # Fault tolerance: CQ pollers and repost paths survive link flaps
         # by backing off and retrying instead of dying.
-        self.fault_retry_ns = 100_000.0
+        self.fault_retry_ns = LINK_RETRY_POLL_NS
         self.fault_retry_limit = 200
         # Telemetry.
         self.datagrams_sent = 0
@@ -223,6 +224,108 @@ class UdpStack:
         finally:
             if span is not None:
                 tracer.end(span, self.sim.now)
+
+    def sendto_burst(self, payloads, dst_mac: int, dst_port: int,
+                     src_port: int = 0):
+        """Process: transmit several datagrams, ringing the doorbell once.
+
+        All descriptors of the burst are posted under one TX-lock hold
+        and one fence, then a single doorbell (carrying the final tail)
+        exposes them — N frames per forwarded MMIO op instead of one.
+        The per-datagram software cost is paid once for the batch, like
+        a sendmmsg()-style submission.  Returns the number of datagrams
+        posted (= ``len(payloads)``), matching ``RingSender.send_burst``.
+        """
+        payloads = list(payloads)
+        header_total = ETH_HEADER_BYTES + UDP_HEADER_BYTES
+        for payload in payloads:
+            if header_total + len(payload) > self.buf_bytes:
+                raise ValueError(
+                    f"datagram of {len(payload)} B exceeds buffer size "
+                    f"{self.buf_bytes - header_total} B"
+                )
+        if not payloads:
+            return 0
+        tracer = _obs.TRACER
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "udp.send_burst", self.sim.now,
+                track=f"{self.memsys.host_id}/udp", cat="udp",
+                args={"n": len(payloads), "dst_port": dst_port,
+                      "remote": self.handle.is_remote},
+            )
+        try:
+            yield self.sim.timeout(self.sw_overhead_ns)
+            frames = [
+                EthernetFrame(
+                    dst_mac, self.mac,
+                    _UDP.pack(src_port, dst_port, len(payload)) + payload,
+                ).encode()
+                for payload in payloads
+            ]
+            yield from self._send_frames(frames, parent=span)
+            return len(payloads)
+        finally:
+            if span is not None:
+                tracer.end(span, self.sim.now)
+
+    def _send_frames(self, frames: list, parent=None):
+        """Process: publish a batch of frames under one doorbell.
+
+        Mirrors :meth:`_send_frame` slot for slot — per-frame journal,
+        retried descriptor writes — but orders the whole batch with one
+        fence and exposes it with one doorbell carrying the final tail.
+        """
+        for _ in frames:
+            yield self._tx_credits.get()
+        with self._tx_lock.request() as lock:
+            yield lock
+            first = self._tx_tail
+            self._tx_tail += len(frames)
+            tail = self._tx_tail
+            journaled: list[int] = []
+            try:
+                for offset, frame in enumerate(frames):
+                    index = first + offset
+                    slot = index % self.n_desc
+                    self._tx_journal[index % (1 << 16)] = frame
+                    journaled.append(index)
+                    buf = self.tx_bufs + slot * self.buf_bytes
+                    desc_addr = self.tx_ring + slot * DESCRIPTOR_BYTES
+                    # Reserved slots: retried across flaps so the NIC
+                    # never fetches a garbage descriptor (see
+                    # _send_frame).
+                    for attempt in range(self.fault_retry_limit + 1):
+                        try:
+                            yield from self.mem.write(buf, frame)
+                            yield from self.mem.write(
+                                desc_addr,
+                                Descriptor(buf, len(frame)).encode(),
+                            )
+                            break
+                        except LinkDownError:
+                            if attempt >= self.fault_retry_limit:
+                                raise
+                            self.link_retries += 1
+                            yield self.sim.timeout(self.fault_retry_ns)
+                yield from self.mem.fence()
+                if parent is not None and _obs.TRACER.enabled:
+                    _obs.TRACER.instant(
+                        "udp.doorbell", self.sim.now,
+                        track=f"{self.memsys.host_id}/udp",
+                        parent=parent, cat="udp",
+                    )
+                yield from self.handle.ring_doorbell(TX_QUEUE, tail,
+                                                     parent=parent)
+            except BaseException:
+                # The caller observes this failure and owns any retry;
+                # leaving the frames journaled would make a later
+                # failover replay them a second time.
+                for index in journaled:
+                    self._tx_journal.pop(index % (1 << 16), None)
+                raise
+        self.datagrams_sent += len(frames)
 
     def _send_frame(self, frame: bytes, parent=None):
         """Process: publish one encoded frame and ring the TX doorbell.

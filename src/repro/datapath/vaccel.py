@@ -157,6 +157,101 @@ class RemoteAcceleratorClient:
             _obs.TRACER.end(span, self.sim.now)
         return result
 
+    def run_jobs(self, jobs):
+        """Process: run several jobs, ringing the doorbell once.
+
+        ``jobs`` is a sequence of ``(kernel, data)`` pairs; returns the
+        result bytes per job, in submission order.  Every input buffer
+        and job descriptor is written first, then one fence orders the
+        batch and one forwarded doorbell exposes all descriptors.  Jobs
+        are journaled individually, so failover mid-batch resubmits
+        only the unfinished ones.
+        """
+        if not self._configured:
+            raise RuntimeError(f"{self.name}: call setup() first")
+        jobs = list(jobs)
+        for _kernel, data in jobs:
+            if len(data) > self.max_job_bytes:
+                raise ValueError(
+                    f"job of {len(data)} B exceeds max "
+                    f"{self.max_job_bytes} B"
+                )
+        if not jobs:
+            return []
+        if self._tail - self._cq_head + len(jobs) > self.n_entries:
+            raise RuntimeError(f"{self.name}: job ring full")
+        span = _obs.TRACER.begin(
+            "vaccel.job_burst", self.sim.now,
+            track=f"{self.memsys.host_id}/vaccel", cat="io",
+            args={"n": len(jobs)},
+        )
+        ops: list[_PendingJob] = []
+        try:
+            gen = self.generation
+            try:
+                for kernel, data in jobs:
+                    index = self._tail
+                    self._tail += 1
+                    slot = index % self.n_entries
+                    in_addr = self.in_base + slot * self.max_job_bytes
+                    yield from self.mem.write(in_addr, data)
+                    desc = Descriptor(in_addr, len(data), flags=kernel)
+                    waiter = self.sim.event(
+                        name=f"{self.name}.job{index}"
+                    )
+                    op = _PendingJob(
+                        order=self._order, index=index, desc=desc,
+                        out_addr=self.out_base + slot * 4096,
+                        waiter=waiter, submitted_ns=self.sim.now,
+                        span=span,
+                    )
+                    self._order += 1
+                    # Journal before posting (see _submit): a failover
+                    # racing the batch resubmits from the journal.
+                    self._pending[index % (1 << 16)] = op
+                    self.ops_submitted += 1
+                    ops.append(op)
+                for op in ops:
+                    desc_addr = (self.ring_base
+                                 + (op.index % self.n_entries)
+                                 * DESCRIPTOR_BYTES)
+                    yield from self.mem.write(desc_addr, op.desc.encode())
+                # One fence for the whole batch, then one doorbell.
+                yield from self.mem.fence()
+            except BaseException:
+                # The caller observes this failure, so none of the batch
+                # is in flight: deregister or the daemons would idle.
+                for op in ops:
+                    self._pending.pop(op.index % (1 << 16), None)
+                raise
+            if gen == self.generation:
+                for op in ops:
+                    self._ring_written.add(op.index)
+                while self._ring_ready in self._ring_written:
+                    self._ring_written.remove(self._ring_ready)
+                    self._ring_ready += 1
+                try:
+                    yield from self.handle.ring_doorbell(
+                        0, self._ring_ready, parent=span
+                    )
+                except (RpcError, LinkDownError, DeviceGoneError):
+                    pass
+            self._ensure_daemons()
+            results = []
+            for op in ops:
+                comp = yield op.waiter
+                if comp.status != CompletionEntry.STATUS_OK:
+                    raise IOError(
+                        f"{self.name}: job failed (status={comp.status})"
+                    )
+                result = yield from self.mem.read(
+                    op.out_addr, min(comp.length, 4096)
+                )
+                results.append(result)
+            return results
+        finally:
+            _obs.TRACER.end(span, self.sim.now)
+
     # -- failover ------------------------------------------------------------
 
     def failover(self, new_handle=None):

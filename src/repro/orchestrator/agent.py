@@ -88,7 +88,21 @@ class PoolingAgent:
         self.lease_renewals = 0
         self.lease_refusals = 0
         self.lease_losses = 0
+        self.renew_timeout_ns = self._derive_renew_timeout(endpoint)
         endpoint.on(Resync, self._on_resync)
+
+    @staticmethod
+    def _derive_renew_timeout(endpoint: RpcEndpoint) -> float:
+        """Lease-renew RPC timeout, sized to the channel's poll cadence.
+
+        With adaptive polling both dispatchers may be asleep at the
+        backoff ceiling when the renew lands, so the round trip can eat
+        nearly two ceilings before the reply is even noticed.  Four
+        ceilings (or the legacy 2 ms floor, whichever is larger) keeps
+        the renewal robust without loosening the lease-safety story.
+        """
+        ceiling = getattr(endpoint, "adaptive_poll_max_ns", None) or 0.0
+        return max(2_000_000.0, 4.0 * ceiling)
 
     def manage(self, device: PcieDevice) -> None:
         """Start monitoring a locally-attached device."""
@@ -168,6 +182,7 @@ class PoolingAgent:
             self.stop()
         self.endpoint.close()
         self.endpoint = endpoint
+        self.renew_timeout_ns = self._derive_renew_timeout(endpoint)
         endpoint.on(Resync, self._on_resync)
         if running:
             self.start()
@@ -197,14 +212,23 @@ class PoolingAgent:
 
     def _monitor_loop(self):
         ticks = 0
+        # Fixed-rate ticks, not fixed-delay: the work inside a tick
+        # (renew RTTs, probe latency) must not stretch the renewal
+        # cadence, or slow control-plane round trips would silently eat
+        # into every lease term's safety margin.
+        next_tick_ns = self.sim.now
         try:
             while True:
                 self._step_down_expired()
                 try:
                     yield from self._send_heartbeat()
-                    yield from self._renew_leases()
+                    # Probe and report devices before the renew round
+                    # trips: the utilization snapshot should reflect the
+                    # tick boundary, not drift later with control-plane
+                    # RPC latency.
                     for device in list(self._devices.values()):
                         yield from self._check_device(device)
+                    yield from self._renew_leases()
                     if ticks % self.announce_every == 0:
                         yield from self.announce()
                 except LinkDownError:
@@ -214,7 +238,12 @@ class PoolingAgent:
                 except RpcError:
                     self.send_failures += 1
                 ticks += 1
-                yield self.sim.timeout(self.report_interval_ns)
+                next_tick_ns += self.report_interval_ns
+                if next_tick_ns <= self.sim.now:
+                    # A tick overran its whole interval: re-phase rather
+                    # than fire a catch-up burst.
+                    next_tick_ns = self.sim.now + self.report_interval_ns
+                yield self.sim.timeout(next_tick_ns - self.sim.now)
         except Interrupt:
             return
 
@@ -284,7 +313,7 @@ class PoolingAgent:
                 reply = yield from self.endpoint.call_with_retry(
                     LeaseRenew(request_id=0, device_id=device_id,
                                token=token, epoch=self.epoch),
-                    timeout_ns=2_000_000.0, max_attempts=2,
+                    timeout_ns=self.renew_timeout_ns, max_attempts=2,
                 )
             except (RpcError, LinkDownError):
                 # Unreachable orchestrator: keep serving on the current

@@ -1,0 +1,145 @@
+"""Adaptive polling + batch drain on the RPC dispatcher.
+
+Control-plane endpoints opt into an exponential poll backoff (capped at
+``adaptive_poll_max_ns``) so an idle pod burns a handful of wakeups per
+millisecond instead of tens of thousands — while the dispatcher's
+burst-arrival predictor phase-locks onto periodic traffic so messages
+landing near a predicted tick still see base-rate polling latency.
+Datapath endpoints (no ceiling set) keep busy-polling exactly as before.
+"""
+
+from repro.channel.messages import Heartbeat
+from repro.channel.rpc import RpcEndpoint
+from repro.cxl.params import ADAPTIVE_POLL_MAX_NS, RECV_POLL_NS
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.sim import Simulator
+
+
+def make_pair(adaptive=None):
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=1, mhd_capacity=1 << 26))
+    a, b = RpcEndpoint.pair(pod, "h0", "h1", adaptive_poll_max_ns=adaptive)
+    return sim, a, b
+
+
+def close(sim, *eps):
+    for ep in eps:
+        ep.close()
+    sim.run()
+
+
+def test_busy_poll_endpoint_never_backs_off():
+    sim, client, server = make_pair(adaptive=None)
+    got = []
+    server.on(Heartbeat, lambda msg: got.append(msg))
+
+    def proc():
+        yield sim.timeout(10_000_000.0)      # 10 ms idle
+        yield from client.send(Heartbeat(request_id=1,
+                                         timestamp_us=0, healthy=1))
+        yield sim.timeout(100_000.0)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert len(got) == 1
+    assert server.adaptive_backoffs == 0
+    close(sim, client, server)
+
+
+def test_idle_endpoint_backs_off_and_still_delivers():
+    """After a long idle stretch the dispatcher sleeps at the ceiling;
+    the next message still arrives within ~one ceiling of its send."""
+    sim, client, server = make_pair(adaptive=ADAPTIVE_POLL_MAX_NS)
+    arrivals = []
+    server.on(Heartbeat, lambda msg: arrivals.append(sim.now))
+
+    def proc():
+        yield sim.timeout(20_000_000.0)      # 20 ms idle
+        t0 = sim.now
+        yield from client.send(Heartbeat(request_id=1,
+                                         timestamp_us=0, healthy=1))
+        yield sim.timeout(2_000_000.0)
+        return t0
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert server.adaptive_backoffs > 0
+    assert len(arrivals) == 1
+    # One-way channel latency (~600 ns) plus at most one ceiling sleep.
+    assert arrivals[0] - p.value < ADAPTIVE_POLL_MAX_NS + 10_000.0
+    close(sim, client, server)
+
+
+def test_backoff_resets_on_traffic():
+    """A message resets the cadence to base rate: a second message sent
+    right after the first sees busy-poll latency, not a ceiling sleep."""
+    sim, client, server = make_pair(adaptive=ADAPTIVE_POLL_MAX_NS)
+    arrivals = []
+    server.on(Heartbeat, lambda msg: arrivals.append(sim.now))
+
+    def proc():
+        yield sim.timeout(20_000_000.0)
+        yield from client.send(Heartbeat(request_id=1,
+                                         timestamp_us=0, healthy=1))
+        yield sim.timeout(ADAPTIVE_POLL_MAX_NS + 10_000.0)
+        t1 = sim.now
+        yield from client.send(Heartbeat(request_id=2,
+                                         timestamp_us=0, healthy=1))
+        yield sim.timeout(1_000_000.0)
+        return t1
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert len(arrivals) == 2
+    # The second message lands one RECV_POLL-scale wakeup after its
+    # send, far inside the ceiling.
+    assert arrivals[1] - p.value < 100 * RECV_POLL_NS
+    close(sim, client, server)
+
+
+def test_predictor_locks_onto_periodic_traffic():
+    """Strictly periodic senders (agent ticks) teach the dispatcher the
+    period; later ticks hit the base-rate guard window."""
+    sim, client, server = make_pair(adaptive=ADAPTIVE_POLL_MAX_NS)
+    period_ns = 10_000_000.0                 # 10 ms, the agent cadence
+    arrivals = []
+    server.on(Heartbeat, lambda msg: arrivals.append(sim.now))
+    sends = []
+
+    def proc():
+        for i in range(8):
+            yield sim.timeout(period_ns)
+            sends.append(sim.now)
+            yield from client.send(Heartbeat(request_id=i,
+                                             timestamp_us=0, healthy=1))
+        yield sim.timeout(2_000_000.0)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert len(arrivals) == 8
+    assert server.poll_prediction_hits > 0
+    # Once the period is learned, ticks land inside the guard window
+    # and see base-cadence latency instead of a ceiling sleep.
+    late_lag = [a - s for a, s in zip(arrivals, sends)][4:]
+    assert max(late_lag) < 0.25 * ADAPTIVE_POLL_MAX_NS
+    close(sim, client, server)
+
+
+def test_burst_is_batch_drained_in_order():
+    """A burst of fire-and-forget messages is delivered completely and
+    in order through the dispatcher's drain pass."""
+    sim, client, server = make_pair(adaptive=ADAPTIVE_POLL_MAX_NS)
+    got = []
+    server.on(Heartbeat, lambda msg: got.append(msg.request_id))
+
+    def proc():
+        yield sim.timeout(5_000_000.0)       # let the dispatcher back off
+        for i in range(24):
+            yield from client.send(Heartbeat(request_id=i,
+                                             timestamp_us=0, healthy=1))
+        yield sim.timeout(2_000_000.0)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert got == list(range(24))
+    close(sim, client, server)
