@@ -32,6 +32,10 @@ CHUNK_BYTES = SLOT_PAYLOAD_BYTES - _HDR.size  # 52
 _FLAG_FIRST = 1
 _FLAG_LAST = 2
 
+#: Marks a lost slot's position inside the buffered fragment stream, so
+#: reassembly can never stitch two fragments across the hole.
+_LOST = object()
+
 
 class ReassemblyError(RuntimeError):
     """Fragment stream violated the protocol (missing first/last)."""
@@ -77,33 +81,43 @@ class FragmentReceiver:
 
     Slots are pulled through :meth:`RingReceiver.drain`, so one poll
     pass buffers every ready fragment; leftovers carry over to the next
-    ``recv``.  A detected slot loss inside a drained batch surfaces as
-    :class:`SlotCorruptionError`, exactly like the per-slot path —
-    recovery is end-to-end (the train cannot be patched locally).
+    ``recv``.  A slot lost inside a drained batch is buffered as a hole
+    *marker* at its exact position, so reassembly reproduces the legacy
+    per-slot behaviour: the ``recv`` that reaches the hole raises
+    :class:`SlotCorruptionError` there, orphaned continuation fragments
+    of the broken train then surface as :class:`ReassemblyError`, and a
+    message can never be stitched across the hole.  Recovery is
+    end-to-end (the train cannot be patched locally).
     """
 
     def __init__(self, ring: RingReceiver):
         self.ring = ring
         self.messages_received = 0
-        self._pending: deque[bytes] = deque()
+        self._pending: deque = deque()
 
     def _next_slot(self, poll_overhead_ns: float):
         """Process: next buffered fragment, draining the ring as needed."""
         sim = self.ring.region.memsys.sim
         while not self._pending:
-            lost_before = self.ring.lost_slots
             batch = yield from self.ring.drain()
+            losses = self.ring.last_drain_losses
+            if losses:
+                # Splice a marker into the stream wherever drain skipped
+                # a damaged slot: fragments on either side of it must
+                # never end up in the same message.
+                batch = list(batch)
+                for gap, position in enumerate(losses):
+                    batch.insert(position + gap, _LOST)
             self._pending.extend(batch)
-            if self.ring.lost_slots > lost_before:
-                # Keep any good fragments buffered, but surface the
-                # detected loss now: the current train is broken.
-                raise SlotCorruptionError(
-                    self.ring.region.memsys.host_id, self.ring._tail,
-                    "slot lost inside fragment train",
-                )
-            if not batch:
+            if not self._pending:
                 yield sim.timeout(poll_overhead_ns)
-        return self._pending.popleft()
+        fragment = self._pending.popleft()
+        if fragment is _LOST:
+            raise SlotCorruptionError(
+                self.ring.region.memsys.host_id, self.ring._tail,
+                "slot lost inside fragment train",
+            )
+        return fragment
 
     def recv(self, poll_overhead_ns: float = RECV_POLL_NS):
         """Process: receive one complete (reassembled) message."""

@@ -526,6 +526,12 @@ class RingReceiver:
         self.poison_hits = 0
         self.crc_rejects = 0
         self.lost_slots = 0
+        #: Positions of slots lost during the most recent :meth:`drain`:
+        #: entry ``i`` means a damaged slot sat between payload ``i-1``
+        #: and payload ``i`` of that drain's return value.  Ordered
+        #: callers (the fragmentation layer) use this to avoid stitching
+        #: a message across the hole.
+        self.last_drain_losses: list[int] = []
 
     def try_recv(self):
         """Process: poll the current slot once; returns payload or None.
@@ -624,10 +630,12 @@ class RingReceiver:
         that window to slot-at-a-time consumption so only the damaged
         slot is lost.  Unlike :meth:`try_recv`, drain never raises
         :class:`SlotCorruptionError` — batch callers read the loss
-        counters instead.
+        counters (and :attr:`last_drain_losses` for hole positions)
+        instead.
         """
         if self.retired:
             raise ChannelRetiredError(self.region.memsys.host_id)
+        losses = self.last_drain_losses = []
         if self._progress_dirty:
             yield from self._flush_progress()
         n = self.layout.n_slots
@@ -642,7 +650,7 @@ class RingReceiver:
         # burst ended); only a backlog of >= 2 pays for a streaming
         # window read.
         while drained < min(limit, 2):
-            if not (yield from self._drain_one(out)):
+            if not (yield from self._drain_one(out, losses)):
                 if self._progress_dirty:
                     yield from self._flush_progress()
                 return out
@@ -651,7 +659,7 @@ class RingReceiver:
             index = self._tail % n
             window = min(limit - drained, n - index)
             if window == 1:
-                if not (yield from self._drain_one(out)):
+                if not (yield from self._drain_one(out, losses)):
                     break
                 drained += 1
                 continue
@@ -665,7 +673,7 @@ class RingReceiver:
                 # slot-at-a-time so only the damaged slot is lost.
                 progressed = False
                 for _ in range(window):
-                    if not (yield from self._drain_one(out)):
+                    if not (yield from self._drain_one(out, losses)):
                         break
                     progressed = True
                     drained += 1
@@ -689,6 +697,7 @@ class RingReceiver:
                     self._trace_corruption(self._tail, "CRC mismatch")
                     self._tail += 1
                     self.lost_slots += 1
+                    losses.append(len(out))
                     drained += 1
                     if self._tail % self.progress_every == 0:
                         self._progress_dirty = True
@@ -708,16 +717,18 @@ class RingReceiver:
             yield from self._flush_progress()
         return out
 
-    def _drain_one(self, out: list) -> bool:
+    def _drain_one(self, out: list, losses: list) -> bool:
         """Process: consume one slot for :meth:`drain`.
 
-        Appends a delivered payload to ``out``.  Returns True when the
-        batch should keep going (payload delivered or damaged slot
+        Appends a delivered payload to ``out`` (a skipped damaged slot
+        records its position in ``losses`` instead).  Returns True when
+        the batch should keep going (payload delivered or damaged slot
         skipped-and-counted), False when no further slot is ready.
         """
         try:
             payload = yield from self.try_recv()
         except SlotCorruptionError:
+            losses.append(len(out))
             return True  # consumed, counted; keep draining
         if payload is None:
             return False

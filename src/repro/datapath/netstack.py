@@ -271,22 +271,50 @@ class UdpStack:
                 tracer.end(span, self.sim.now)
 
     def _send_frames(self, frames: list, parent=None):
-        """Process: publish a batch of frames under one doorbell.
+        """Process: publish a batch of frames, one doorbell per chunk.
+
+        Flow control mirrors ``RingSender.send_burst``: block for one
+        free TX slot, then take as many further credits as are free
+        *right now* (capped at the ring size) and post that chunk under
+        one fence and one doorbell.  A burst larger than the ring —
+        or racing other senders for credits — proceeds in chunks
+        instead of draining the whole credit pool up front, so it can
+        never deadlock holding credits that only completions of its
+        own unposted frames would replenish.
+        """
+        pos = 0
+        while pos < len(frames):
+            yield self._tx_credits.get()
+            take = 1
+            limit = min(len(frames) - pos, self.n_desc)
+            while take < limit and self._tx_credits.items:
+                self._tx_credits.try_get()
+                take += 1
+            yield from self._post_tx_chunk(frames[pos:pos + take], parent)
+            pos += take
+
+    def _post_tx_chunk(self, chunk: list, parent=None):
+        """Process: publish one credit-backed chunk under one doorbell.
 
         Mirrors :meth:`_send_frame` slot for slot — per-frame journal,
-        retried descriptor writes — but orders the whole batch with one
-        fence and exposes it with one doorbell carrying the final tail.
+        retried descriptor writes — but orders the chunk with one fence
+        and exposes it with one doorbell carrying the final tail.
         """
-        for _ in frames:
-            yield self._tx_credits.get()
         with self._tx_lock.request() as lock:
-            yield lock
+            try:
+                yield lock
+            except BaseException:
+                # Nothing reserved yet: hand the chunk's credits back so
+                # an abandoned wait can't leak pool capacity.
+                for _ in chunk:
+                    self._tx_credits.put(None)
+                raise
             first = self._tx_tail
-            self._tx_tail += len(frames)
+            self._tx_tail += len(chunk)
             tail = self._tx_tail
             journaled: list[int] = []
             try:
-                for offset, frame in enumerate(frames):
+                for offset, frame in enumerate(chunk):
                     index = first + offset
                     slot = index % self.n_desc
                     self._tx_journal[index % (1 << 16)] = frame
@@ -321,11 +349,13 @@ class UdpStack:
             except BaseException:
                 # The caller observes this failure and owns any retry;
                 # leaving the frames journaled would make a later
-                # failover replay them a second time.
+                # failover replay them a second time.  The chunk's
+                # credits stay consumed with their reserved slots,
+                # exactly like a failed single-frame send.
                 for index in journaled:
                     self._tx_journal.pop(index % (1 << 16), None)
                 raise
-        self.datagrams_sent += len(frames)
+        self.datagrams_sent += len(chunk)
 
     def _send_frame(self, frame: bytes, parent=None):
         """Process: publish one encoded frame and ring the TX doorbell.

@@ -362,15 +362,22 @@ class RemoteDeviceHandle:
         try:
             yield from self._forward_doorbell(queue_id, index, parent)
             # Drain whatever merged behind us while the send was in
-            # flight; each drain pass forwards the freshest max.
+            # flight; each drain pass forwards the freshest max.  The
+            # pending entry is only removed after its value has been
+            # forwarded (and only if nothing larger merged meanwhile):
+            # coalesced callers already returned success, so a carrier
+            # failure must leave their max for the next carrier — or
+            # the fence-replay / watchdog path — to forward, never
+            # silently drop it.
             while True:
-                merged = self._db_pending.pop(queue_id, None)
+                merged = self._db_pending.get(queue_id)
                 if merged is None:
                     break
                 yield from self._forward_doorbell(queue_id, merged, parent)
+                if self._db_pending.get(queue_id) == merged:
+                    self._db_pending.pop(queue_id, None)
         finally:
             self._db_inflight.discard(queue_id)
-            self._db_pending.pop(queue_id, None)
 
     def _forward_doorbell(self, queue_id: int, index: int, parent=None):
         """Process: one forwarded doorbell message to the owner host."""

@@ -180,6 +180,12 @@ class RemoteAcceleratorClient:
             return []
         if self._tail - self._cq_head + len(jobs) > self.n_entries:
             raise RuntimeError(f"{self.name}: job ring full")
+        # Reserve the whole batch synchronously (no yield between the
+        # depth check and the reservation): concurrent submitters can
+        # neither oversubscribe the ring nor interleave into the batch's
+        # contiguous index range.
+        first = self._tail
+        self._tail += len(jobs)
         span = _obs.TRACER.begin(
             "vaccel.job_burst", self.sim.now,
             track=f"{self.memsys.host_id}/vaccel", cat="io",
@@ -189,9 +195,8 @@ class RemoteAcceleratorClient:
         try:
             gen = self.generation
             try:
-                for kernel, data in jobs:
-                    index = self._tail
-                    self._tail += 1
+                for offset, (kernel, data) in enumerate(jobs):
+                    index = first + offset
                     slot = index % self.n_entries
                     in_addr = self.in_base + slot * self.max_job_bytes
                     yield from self.mem.write(in_addr, data)
@@ -223,6 +228,22 @@ class RemoteAcceleratorClient:
                 # is in flight: deregister or the daemons would idle.
                 for op in ops:
                     self._pending.pop(op.index % (1 << 16), None)
+                if gen == self.generation:
+                    if self._tail == first + len(jobs):
+                        # No later reservation: unwind the whole batch
+                        # so the doorbell frontier never sees it.
+                        self._tail = first
+                    else:
+                        # Concurrent submitters reserved past us: the
+                        # abandoned indices must be neutralized or
+                        # _ring_ready could never advance past them and
+                        # later doorbells would expose nothing new.
+                        self.sim.spawn(
+                            self._neutralize_abandoned(
+                                first, len(jobs), gen
+                            ),
+                            name=f"{self.name}.neutralize",
+                        )
                 raise
             if gen == self.generation:
                 for op in ops:
@@ -424,6 +445,45 @@ class RemoteAcceleratorClient:
                                                  parent=parent)
         except (RpcError, LinkDownError, DeviceGoneError):
             pass
+
+    def _neutralize_abandoned(self, first: int, count: int, gen: int):
+        """Process: unwedge the doorbell frontier after a failed burst.
+
+        The failed burst's indices were reserved but never entered
+        ``_ring_written``, so ``_ring_ready`` would stall at ``first``
+        forever while later submitters' jobs sit unexposed.  Fill the
+        abandoned descriptor slots with a zero-length identity job —
+        the accelerator completes it without side effects and the
+        collector ignores the unknown index — then advance the frontier
+        and re-ring so the stalled jobs become visible.  Best effort:
+        if the link is still down, the op-timeout watchdog's failover
+        remains the backstop.
+        """
+        noop = Descriptor(self.in_base, 0, flags=0).encode()
+        try:
+            for index in range(first, first + count):
+                if gen != self.generation:
+                    return  # failover rebuilt the ring; nothing to fix
+                desc_addr = (self.ring_base
+                             + (index % self.n_entries) * DESCRIPTOR_BYTES)
+                yield from self.mem.write(desc_addr, noop)
+            yield from self.mem.fence()
+        except (RpcError, LinkDownError):
+            return
+        if gen != self.generation:
+            return
+        for index in range(first, first + count):
+            self._ring_written.add(index)
+        advanced = False
+        while self._ring_ready in self._ring_written:
+            self._ring_written.remove(self._ring_ready)
+            self._ring_ready += 1
+            advanced = True
+        if advanced and self._pending:
+            try:
+                yield from self.handle.ring_doorbell(0, self._ring_ready)
+            except (RpcError, LinkDownError, DeviceGoneError):
+                pass
 
     def _ensure_daemons(self) -> None:
         if self._collector is None or not self._collector.is_alive:

@@ -155,9 +155,13 @@ class RemoteSsdClient:
         and one forwarded doorbell exposes every command — N descriptors
         per channel message instead of one, exactly how a real NVMe
         driver submits a queue-depth burst.  The batch must fit the free
-        SQ depth; each command is journaled individually, so failover
-        mid-burst resubmits only the unfinished ones.
+        SQ depth (checked before anything is reserved, like ``run_jobs``
+        on the accelerator client); each command is journaled
+        individually, so failover mid-burst resubmits only the
+        unfinished ones.
         """
+        if not self._configured:
+            raise RuntimeError(f"{self.name}: call setup() first")
         ios = list(ios)
         for _lba, data in ios:
             if len(data) > self.max_io_bytes:
@@ -167,6 +171,18 @@ class RemoteSsdClient:
                 )
         if not ios:
             return []
+        if self._tail - self._cq_head + len(ios) > self.n_entries:
+            raise RuntimeError(
+                f"{self.name}: burst of {len(ios)} exceeds free "
+                f"submission-queue depth "
+                f"({self.n_entries - (self._tail - self._cq_head)} free)"
+            )
+        # Reserve the whole batch synchronously: no yield separates the
+        # depth check from the reservation, so a concurrent submitter
+        # can neither oversubscribe the queue nor interleave into the
+        # batch's contiguous index range.
+        first = self._tail
+        self._tail += len(ios)
         span = _obs.TRACER.begin(
             "vssd.write_burst", self.sim.now,
             track=f"{self.memsys.host_id}/vssd", cat="io",
@@ -176,8 +192,8 @@ class RemoteSsdClient:
         try:
             gen = self.generation
             try:
-                for lba, data in ios:
-                    index = self._reserve()
+                for offset, (lba, data) in enumerate(ios):
+                    index = first + offset
                     buf = (self.buf_base
                            + (index % self.n_entries) * self.max_io_bytes)
                     yield from self.mem.write(buf, data)
@@ -212,6 +228,22 @@ class RemoteSsdClient:
                 # is in flight: deregister or the daemons would idle.
                 for op in ops:
                     self._pending.pop(op.index % (1 << 16), None)
+                if gen == self.generation:
+                    if self._tail == first + len(ios):
+                        # No later reservation: the whole batch unwinds
+                        # and the doorbell frontier never sees it.
+                        self._tail = first
+                    else:
+                        # Concurrent submitters reserved past us, so the
+                        # abandoned indices must be neutralized or
+                        # _sq_ready could never advance past them and
+                        # every later doorbell would expose nothing new.
+                        self.sim.spawn(
+                            self._neutralize_abandoned(
+                                first, len(ios), gen
+                            ),
+                            name=f"{self.name}.neutralize",
+                        )
                 raise
             if gen == self.generation:
                 for op in ops:
@@ -490,6 +522,45 @@ class RemoteSsdClient:
             # The op stays journaled; the watchdog (or the pool's
             # migration hook) recovers it on the successor.
             pass
+
+    def _neutralize_abandoned(self, first: int, count: int, gen: int):
+        """Process: unwedge the doorbell frontier after a failed burst.
+
+        The failed burst's indices were reserved but never entered
+        ``_sq_written``, so ``_sq_ready`` would stall at ``first``
+        forever while later submitters' commands sit unexposed.  Fill
+        the abandoned SQ slots with a reserved-opcode command — the SSD
+        completes it as STATUS_ERROR without touching media, and the
+        collector ignores the unknown index — then advance the frontier
+        and re-ring so the stalled commands become visible.  Best
+        effort: if the link is still down, the op-timeout watchdog's
+        failover remains the backstop.
+        """
+        noop = NvmeCommand(0, 0, lba=0, buffer_addr=0).encode()
+        try:
+            for index in range(first, first + count):
+                if gen != self.generation:
+                    return  # failover rebuilt the queues; nothing to fix
+                sq_addr = (self.sq_base
+                           + (index % self.n_entries) * NVME_COMMAND_BYTES)
+                yield from self.mem.write(sq_addr, noop)
+            yield from self.mem.fence()
+        except (RpcError, LinkDownError):
+            return
+        if gen != self.generation:
+            return
+        for index in range(first, first + count):
+            self._sq_written.add(index)
+        advanced = False
+        while self._sq_ready in self._sq_written:
+            self._sq_written.remove(self._sq_ready)
+            self._sq_ready += 1
+            advanced = True
+        if advanced and self._pending:
+            try:
+                yield from self.handle.ring_doorbell(0, self._sq_ready)
+            except (RpcError, LinkDownError, DeviceGoneError):
+                pass
 
     def _ensure_daemons(self) -> None:
         if self._collector is None or not self._collector.is_alive:

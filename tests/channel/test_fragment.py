@@ -10,7 +10,7 @@ from repro.channel.fragment import (
     FragmentSender,
     ReassemblyError,
 )
-from repro.channel.ring import RingChannel
+from repro.channel.ring import RingChannel, SlotCorruptionError
 from repro.cxl.pod import CxlPod, PodConfig
 from repro.sim import Simulator
 
@@ -105,6 +105,47 @@ def test_continuation_without_first_rejected():
     sim.run(until=c)
     sim.run()
     assert "before a first fragment" in c.value
+
+
+def test_lost_mid_train_fragment_surfaces_and_never_stitches():
+    """Regression: a slot lost inside a drained batch must surface at
+    the hole — SlotCorruptionError for the broken train, then
+    ReassemblyError for its orphaned continuation — never a silently
+    reassembled message with a missing chunk.  Trains after the hole
+    still deliver intact."""
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=1, mhd_capacity=1 << 26))
+    ring = RingChannel.over_pod(pod, "h0", "h1", n_slots=16)
+    sender = FragmentSender(ring.sender)
+    receiver = FragmentReceiver(ring.receiver)
+    first = bytes(range(150))           # 3 fragments: slots 0, 1, 2
+    second = b"intact-after-the-hole"   # 1 fragment: slot 3
+    outcomes = []
+
+    def proc():
+        yield from sender.send(first)
+        yield from sender.send(second)
+        yield sim.timeout(1_000.0)      # let the NT stores commit
+        # Damage the middle fragment of the first train (slot 1): the
+        # drained batch now has a hole with no FIRST/LAST flags around
+        # it to betray the loss.
+        pod.pool_write(
+            ring.alloc.range.base + ring.layout.slot_offset(1) + 8,
+            b"\xff",
+        )
+        for _ in range(3):
+            try:
+                outcomes.append((yield from receiver.recv()))
+            except SlotCorruptionError:
+                outcomes.append("corrupt")
+            except ReassemblyError:
+                outcomes.append("orphan")
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    sim.run()
+    assert outcomes == ["corrupt", "orphan", second]
+    assert ring.receiver.lost_slots == 1
 
 
 @settings(max_examples=15, deadline=None)

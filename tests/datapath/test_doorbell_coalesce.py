@@ -114,6 +114,50 @@ def test_distinct_queues_do_not_merge(setup):
     teardown(sim, eps)
 
 
+def test_carrier_failure_keeps_merged_doorbell_pending(setup):
+    """Regression: callers that merged behind an in-flight doorbell have
+    already returned success, so a carrier whose forward dies must leave
+    their pending max for the next carrier to deliver — not silently
+    drop it."""
+    sim, pod, nic, server, handle, eps = setup
+    from repro.channel.rpc import RpcError
+
+    real_forward = handle._forward_doorbell
+    state = {"failed": False}
+
+    def flaky_forward(queue_id, index, parent=None):
+        if not state["failed"]:
+            state["failed"] = True
+            # Stay in flight long enough for the second caller to merge,
+            # then die like a retired/partitioned channel would.
+            yield sim.timeout(5_000.0)
+            raise RpcError("carrier lost mid-forward")
+        yield from real_forward(queue_id, index, parent)
+
+    handle._forward_doorbell = flaky_forward
+
+    def doomed_carrier():
+        try:
+            yield from handle.ring_doorbell(TX_QUEUE, 1)
+        except RpcError:
+            return "failed"
+
+    carrier = sim.spawn(doomed_carrier())
+    merged = sim.spawn(handle.ring_doorbell(TX_QUEUE, 5))
+    sim.run(until=carrier)
+    sim.run(until=merged)
+    assert carrier.value == "failed"
+    # The merged caller's index survived the carrier's death...
+    assert handle._db_pending.get(TX_QUEUE) == 5
+    # ...and the next doorbell to the queue delivers it.
+    p = sim.spawn(handle.ring_doorbell(TX_QUEUE, 2))
+    sim.run(until=p)
+    sim.run(until=sim.timeout(200_000.0))
+    assert nic.bar.regs[Nic.REG_TX_DB] == 5
+    assert handle._db_pending == {}
+    teardown(sim, eps)
+
+
 def test_coalesced_doorbell_replays_across_lease_fence():
     """A burst's single doorbell dropped by a token rotation is nacked
     out-of-band and replayed with a refreshed token; every journaled

@@ -1,0 +1,127 @@
+"""TX burst flow control: bursts must chunk to the ring, not deadlock.
+
+``sendto_burst`` acquires TX credits like ``RingSender.send_burst``
+acquires slots — block for one, then take what is free right now — so a
+burst larger than the descriptor ring (or racing senders for credits)
+proceeds in chunks instead of draining the whole credit pool before
+posting anything, which could never complete.
+"""
+
+import pytest
+
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.datapath.netstack import UdpStack
+from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.datapath.proxy import LocalDeviceHandle
+from repro.pcie.fabric import EthernetSwitch
+from repro.pcie.nic import Nic, NicSpec
+from repro.sim import Simulator
+
+SRC_MAC = 0xA1
+DST_MAC = 0xB2
+
+
+@pytest.fixture()
+def lan():
+    sim = Simulator(seed=7)
+    pod = CxlPod(sim, PodConfig(
+        n_hosts=2, n_mhds=1, mhd_capacity=1 << 26,
+        local_dram_bytes=32 << 20,
+    ))
+    switch = EthernetSwitch(sim)
+
+    # Deliberately tiny TX ring on the sender: a 10-frame burst cannot
+    # fit it all at once.
+    nic_tx = Nic(sim, "nic-tx", device_id=1, mac=SRC_MAC,
+                 spec=NicSpec(n_desc=4))
+    nic_tx.attach(pod.host("h0"))
+    nic_tx.plug_into(switch)
+    nic_tx.start()
+    nic_rx = Nic(sim, "nic-rx", device_id=2, mac=DST_MAC,
+                 spec=NicSpec(n_desc=64))
+    nic_rx.attach(pod.host("h1"))
+    nic_rx.plug_into(switch)
+    nic_rx.start()
+
+    tx_stack = UdpStack(
+        sim, pod.host("h0"), LocalDeviceHandle(nic_tx),
+        DriverMemory(pod.host("h0"), pod, BufferPlacement.LOCAL,
+                     label="tx-stack"),
+        mac=SRC_MAC, n_desc=4, name="stack-tx",
+        tx_hint=nic_tx.tx_cq_hint, rx_hint=nic_tx.rx_cq_hint,
+    )
+    rx_stack = UdpStack(
+        sim, pod.host("h1"), LocalDeviceHandle(nic_rx),
+        DriverMemory(pod.host("h1"), pod, BufferPlacement.LOCAL,
+                     label="rx-stack"),
+        mac=DST_MAC, n_desc=64, name="stack-rx",
+        tx_hint=nic_rx.tx_cq_hint, rx_hint=nic_rx.rx_cq_hint,
+    )
+    yield sim, (tx_stack, rx_stack)
+    tx_stack.stop()
+    rx_stack.stop()
+    nic_tx.stop()
+    nic_rx.stop()
+    sim.run()
+
+
+def test_burst_larger_than_ring_chunks_instead_of_deadlocking(lan):
+    """Regression: a burst of 10 through a 4-deep TX ring used to drain
+    the credit pool and wait forever for completions of frames it had
+    not posted.  It must now complete, delivering every datagram."""
+    sim, (tx_stack, rx_stack) = lan
+    payloads = [f"chunked-{i}".encode() for i in range(10)]
+    got = []
+
+    def rx_main():
+        yield from rx_stack.start()
+        sock = rx_stack.bind(9)
+        while len(got) < len(payloads):
+            payload, _mac, _port = yield from sock.recv()
+            got.append(payload)
+
+    def tx_main():
+        yield from tx_stack.start()
+        sent = yield from tx_stack.sendto_burst(payloads, DST_MAC, 9)
+        return sent
+
+    r = sim.spawn(rx_main())
+    t = sim.spawn(tx_main())
+    sim.run(until=t)
+    sim.run(until=r)
+    assert t.value == len(payloads)
+    assert sorted(got) == sorted(payloads)
+    assert tx_stack.datagrams_sent == len(payloads)
+
+
+def test_concurrent_bursts_share_the_credit_pool(lan):
+    """Regression: two concurrent ring-sized bursts used to deadlock
+    holding partial credit sets.  Chunked acquisition never holds
+    credits while blocked, so both complete."""
+    sim, (tx_stack, rx_stack) = lan
+    a = [f"a-{i}".encode() for i in range(4)]
+    b = [f"b-{i}".encode() for i in range(4)]
+    got = []
+
+    def rx_main():
+        yield from rx_stack.start()
+        sock = rx_stack.bind(9)
+        while len(got) < len(a) + len(b):
+            payload, _mac, _port = yield from sock.recv()
+            got.append(payload)
+
+    def tx_burst(payloads):
+        yield from tx_stack.sendto_burst(payloads, DST_MAC, 9)
+
+    def tx_main():
+        yield from tx_stack.start()
+
+    r = sim.spawn(rx_main())
+    t = sim.spawn(tx_main())
+    sim.run(until=t)
+    pa = sim.spawn(tx_burst(a))
+    pb = sim.spawn(tx_burst(b))
+    sim.run(until=pa)
+    sim.run(until=pb)
+    sim.run(until=r)
+    assert sorted(got) == sorted(a + b)

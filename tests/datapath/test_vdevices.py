@@ -159,3 +159,81 @@ def test_many_hosts_share_one_accelerator(pod3):
     for ep in eps1 + eps2:
         ep.close()
     sim.run()
+
+
+def test_write_burst_exceeding_free_depth_rejected_upfront(pod3):
+    """Regression: a burst that does not fit the free SQ depth must be
+    refused before anything is reserved — a mid-batch reservation
+    failure would leave holes the doorbell frontier can never pass —
+    and the client must remain fully usable afterwards."""
+    sim, pod = pod3
+    ssd = Ssd(sim, "ssd0", device_id=10)
+    ssd.attach(pod.host("h0"))
+    ssd.start()
+    handle, _server, eps = wire_remote(sim, pod, ssd, "h0", "h2")
+    client = RemoteSsdClient(sim, pod.host("h2"), handle, pod, "h0",
+                             n_entries=8)
+
+    def proc():
+        yield from client.setup()
+        try:
+            yield from client.write_burst(
+                [(i * 4096, bytes([i]) * 64) for i in range(9)]
+            )
+        except RuntimeError as exc:
+            err = str(exc)
+        else:
+            return "no-error"
+        assert client._tail == 0            # nothing was reserved
+        statuses = yield from client.write_burst(
+            [(i * 4096, bytes([i]) * 64) for i in range(8)]
+        )
+        return err, statuses
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    err, statuses = p.value
+    assert "exceeds free" in err
+    assert statuses == [0] * 8
+    assert client.ops_submitted == 8
+    ssd.stop()
+    for ep in eps:
+        ep.close()
+    sim.run()
+
+
+def test_run_jobs_full_ring_rejected_without_reserving(pod3):
+    """The accelerator burst path makes the same upfront promise."""
+    sim, pod = pod3
+    accel = Accelerator(sim, "accel0", device_id=20)
+    accel.attach(pod.host("h0"))
+    accel.start()
+    handle, _server, eps = wire_remote(sim, pod, accel, "h0", "h1")
+    client = RemoteAcceleratorClient(sim, pod.host("h1"), handle, pod,
+                                     "h0", n_entries=4)
+
+    def proc():
+        yield from client.setup()
+        try:
+            yield from client.run_jobs(
+                [(KERNEL_COMPRESS, b"z" * 32)] * 5
+            )
+        except RuntimeError as exc:
+            err = str(exc)
+        else:
+            return "no-error"
+        assert client._tail == 0            # nothing was reserved
+        results = yield from client.run_jobs(
+            [(KERNEL_COMPRESS, b"z" * 32)] * 4
+        )
+        return err, results
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    err, results = p.value
+    assert "ring full" in err
+    assert [zlib.decompress(r) for r in results] == [b"z" * 32] * 4
+    accel.stop()
+    for ep in eps:
+        ep.close()
+    sim.run()
