@@ -1,0 +1,238 @@
+"""Gray-failure chaos soak: fail-slow media + a stalled agent mid-run.
+
+Fail-stop chaos (``test_chaos.py``, ``test_lease_chaos.py``) proves the
+pool heals when components *die*.  This soak proves it copes when they
+*lie*: one MHD answers every probe 10x slower (``MhdSlow``) and one
+agent keeps heartbeating while its device work silently stops
+(``AgentStall``).  Neither fault trips a crash detector — the
+health-scoring / quarantine layer has to find both from latency and
+work-silence signals alone.
+
+Gates (the PR's acceptance criteria):
+
+* both gray components are detected and quarantined within a bounded
+  sim-time of their fault onset;
+* the p99 latency of *well-behaved* ops — those whose lifetime never
+  overlaps a fault-to-containment window — stays within 2x the
+  fault-free baseline p99 (quarantine contains the blast radius);
+* zero lost and zero duplicated ops (hedges and failovers stay
+  exactly-once-observable through the dedup journal);
+* the fault log is bit-identical across same-seed reruns.
+
+Emits ``BENCH_gray.json`` for CI to archive.  ``CHAOS_SEED`` selects
+the seed (CI runs a small matrix).
+"""
+
+import json
+import os
+
+from repro.core import PciePool
+from repro.faults import (
+    AgentStall,
+    FaultInjector,
+    FaultLog,
+    FaultSchedule,
+    MhdSlow,
+)
+from repro.sim import Simulator
+
+from .conftest import banner, run_once
+
+SEED = int(os.environ.get("CHAOS_SEED", "17"))
+
+DURATION_NS = 3_000_000_000.0       # 3 sim-seconds
+SLOW_MHD = 2
+SLOW_AT_NS = 800_000_000.0
+SLOW_DOWN_NS = 1_200_000_000.0      # restored at 2.0 s
+SLOW_FACTOR = 10.0
+STALL_HOST = "h0"
+STALL_AT_NS = 1_500_000_000.0
+STALL_DOWN_NS = 800_000_000.0       # unstalled at 2.3 s
+DETECT_BOUND_NS = 150_000_000.0     # detection gate for both faults
+CONTAIN_MARGIN_NS = 100_000_000.0   # re-home / lease-runout tail
+SSD_OPS = 300
+OP_GAP_NS = 8_000_000.0
+
+
+def p99(samples):
+    ordered = sorted(samples)
+    return ordered[int(0.99 * (len(ordered) - 1))]
+
+
+def run_soak(seed: int, faulty: bool) -> dict:
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=4, n_mhds=3,
+                    ctl_poll_ns=200_000.0, dev_poll_ns=50_000.0)
+    # An SSD per candidate owner: quarantining h0 leaves successors.
+    pool.add_ssd("h0")
+    pool.add_ssd("h1")
+    pool.add_ssd("h3")
+    pool.start()
+    # Small I/O ceiling: per-generation queue regions must fit a single
+    # MHD's RAS window once gray quarantine confines new placements.
+    ssd = pool.open_ssd("h2", max_io_bytes=16384)
+
+    violations: list[str] = []
+
+    def invariant_watch():
+        while True:
+            violations.extend(pool.check_fencing_invariant())
+            yield sim.timeout(2_000_000.0)
+
+    sim.spawn(invariant_watch(), name="invariant-watch")
+
+    log = FaultLog()
+    injector = FaultInjector(pool, log=log)
+    if faulty:
+        injector.run(FaultSchedule((
+            MhdSlow(mhd_index=SLOW_MHD, at_ns=SLOW_AT_NS,
+                    down_ns=SLOW_DOWN_NS, latency_factor=SLOW_FACTOR),
+            AgentStall(host_id=STALL_HOST, at_ns=STALL_AT_NS,
+                       down_ns=STALL_DOWN_NS),
+        )))
+
+    ops: list[tuple[float, float]] = []     # (submitted_ns, latency_ns)
+
+    def workload():
+        yield from ssd.setup()
+        for i in range(SSD_OPS):
+            t0 = sim.now
+            yield from ssd.write((i % 64) * 4096, b"g" * 4096)
+            ops.append((t0, sim.now - t0))
+            yield sim.timeout(OP_GAP_NS)
+
+    work = sim.spawn(workload(), name="gray-workload")
+    sim.run(until=work)
+    sim.run(until=sim.timeout(max(0.0, DURATION_NS - sim.now)))
+
+    orch = pool.orchestrator
+    result = {
+        "signature": log.signature(),
+        "events": [e.line() for e in log],
+        "violations": list(violations),
+        "ops": list(ops),
+        "ssd": {
+            "submitted": ssd.ops_submitted,
+            "completed": ssd.ops_completed,
+            "failovers": ssd.failovers,
+            "hedges": ssd.hedges,
+            "pending": len(ssd._pending),
+        },
+        "mhd_gray_log": list(pool.mhd_gray_log),
+        "gray_now": sorted(pool.gray_mhds),
+        "stall_quarantine_log": list(orch.stall_quarantine_log),
+        "hosts_quarantined": orch.hosts_quarantined,
+        "hosts_reinstated": orch.hosts_reinstated,
+        "quarantine_refusals": orch.quarantine_refusals,
+        "mhd_reinstates_seen": orch.mhd_reinstates_seen,
+        "burst_demotions": pool.burst_demotions,
+    }
+    pool.stop()
+    return result
+
+
+def affected_windows(result: dict) -> list[tuple[float, float]]:
+    """Fault onset → containment (detection + re-home/lease-runout)."""
+    windows = []
+    for _idx, detected_ns in result["mhd_gray_log"]:
+        windows.append((SLOW_AT_NS, detected_ns + CONTAIN_MARGIN_NS))
+    for _host, detected_ns in result["stall_quarantine_log"]:
+        windows.append((STALL_AT_NS, detected_ns + CONTAIN_MARGIN_NS))
+    return windows
+
+
+def well_behaved_latencies(result: dict) -> list[float]:
+    windows = affected_windows(result)
+    out = []
+    for submitted, latency in result["ops"]:
+        span = (submitted, submitted + latency)
+        if any(span[0] < hi and lo < span[1] for lo, hi in windows):
+            continue
+        out.append(latency)
+    return out
+
+
+def check(result: dict, baseline: dict) -> None:
+    # Both gray components were detected within the bound.
+    assert [idx for idx, _ in result["mhd_gray_log"]] == [SLOW_MHD]
+    (_, mhd_detected) = result["mhd_gray_log"][0]
+    assert mhd_detected - SLOW_AT_NS < DETECT_BOUND_NS
+    assert [h for h, _ in result["stall_quarantine_log"]] == [STALL_HOST]
+    (_, stall_detected) = result["stall_quarantine_log"][0]
+    assert stall_detected - STALL_AT_NS < DETECT_BOUND_NS
+    assert result["quarantine_refusals"] > 0
+    # Both served probation and were reinstated before the run ended.
+    assert result["gray_now"] == []
+    assert result["mhd_reinstates_seen"] == 1
+    assert result["hosts_reinstated"] == 1
+    # Zero lost, zero duplicated (and all workload returns observed).
+    assert result["ssd"]["completed"] == result["ssd"]["submitted"]
+    assert len(result["ops"]) == SSD_OPS
+    assert result["ssd"]["pending"] == 0
+    assert result["violations"] == []
+    # p99 containment: ops that never overlapped a fault-to-containment
+    # window pay at most 2x the fault-free p99.
+    well = well_behaved_latencies(result)
+    assert len(well) > SSD_OPS // 2          # windows are bounded
+    base = [lat for _t, lat in baseline["ops"]]
+    assert p99(well) <= 2.0 * p99(base)
+
+
+def test_gray_chaos_soak(benchmark):
+    baseline = run_soak(SEED, faulty=False)
+    result = run_once(benchmark, run_soak, SEED, faulty=True)
+
+    banner(f"Gray-failure chaos soak (seed={SEED})")
+    print(f"{'fault log':<24}{len(result['events'])} events, "
+          f"signature {result['signature'][:16]}…")
+    for line in result["events"]:
+        at_ns, fault, target, action = line.split("|")
+        print(f"  [{float(at_ns) / 1e6:9.2f} ms] {fault:<18} "
+              f"{target:<14} {action}")
+    (_, mhd_detected) = result["mhd_gray_log"][0]
+    (_, stall_detected) = result["stall_quarantine_log"][0]
+    print(f"{'MhdSlow detection':<24}"
+          f"{(mhd_detected - SLOW_AT_NS) / 1e6:.1f} ms after onset")
+    print(f"{'AgentStall detection':<24}"
+          f"{(stall_detected - STALL_AT_NS) / 1e6:.1f} ms after onset")
+    well = well_behaved_latencies(result)
+    base = [lat for _t, lat in baseline["ops"]]
+    print(f"{'p99 well-behaved':<24}{p99(well) / 1e3:.1f} us "
+          f"(baseline {p99(base) / 1e3:.1f} us, "
+          f"all-ops {p99([l for _t, l in result['ops']]) / 1e3:.1f} us)")
+    row = result["ssd"]
+    print(f"{'ssd ops':<24}{row['completed']}/{row['submitted']} "
+          f"completed, {row['failovers']} failovers, "
+          f"{row['hedges']} hedges")
+    print(f"{'quarantines':<24}hosts {result['hosts_quarantined']}/"
+          f"{result['hosts_reinstated']} (in/out), "
+          f"refusals {result['quarantine_refusals']}, "
+          f"burst demotions {result['burst_demotions']}")
+
+    check(result, baseline)
+
+    rerun = run_soak(SEED, faulty=True)
+    assert rerun["signature"] == result["signature"]
+    assert rerun["events"] == result["events"]
+    check(rerun, baseline)
+    print("determinism          same-seed rerun: fault log identical")
+
+    payload = {
+        "seed": SEED,
+        "mhd_detect_ms": (mhd_detected - SLOW_AT_NS) / 1e6,
+        "stall_detect_ms": (stall_detected - STALL_AT_NS) / 1e6,
+        "p99_well_us": p99(well) / 1e3,
+        "p99_baseline_us": p99(base) / 1e3,
+        "p99_all_us": p99([lat for _t, lat in result["ops"]]) / 1e3,
+        "ssd": result["ssd"],
+        "hosts_quarantined": result["hosts_quarantined"],
+        "hosts_reinstated": result["hosts_reinstated"],
+        "quarantine_refusals": result["quarantine_refusals"],
+        "burst_demotions": result["burst_demotions"],
+        "fault_signature": result["signature"],
+        "events": result["events"],
+    }
+    with open("BENCH_gray.json", "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote BENCH_gray.json")

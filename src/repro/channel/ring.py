@@ -217,6 +217,11 @@ class RingSender:
         self.poison_hits = 0
         #: Set when the channel's memory is freed: all sends must fail.
         self.retired = False
+        #: Gray-failure demotion: while set, bursts degrade to the
+        #: slot-at-a-time path.  On fail-slow media a multi-line NT store
+        #: serializes behind every stretched line; single-slot stores
+        #: keep per-message tail latency bounded at the cost of batching.
+        self.degraded = False
         # Scratch cacheline for slot encode: the header is packed in
         # place instead of allocating a fresh bytearray per message.  The
         # published frame is still snapshotted immutable before the first
@@ -336,10 +341,12 @@ class RingSender:
                 )
         if not payloads:
             return 0
-        if len(payloads) == 1:
-            yield from self.send(payloads[0],
-                                 poll_interval_ns=poll_interval_ns, ctx=ctx)
-            return 1
+        if len(payloads) == 1 or self.degraded:
+            for payload in payloads:
+                yield from self.send(payload,
+                                     poll_interval_ns=poll_interval_ns,
+                                     ctx=ctx)
+            return len(payloads)
         sim = self.region.memsys.sim
         tracer = _obs.TRACER
         span = None
@@ -522,6 +529,10 @@ class RingReceiver:
         self.deferred_progress = 0
         #: Set when the channel's memory is freed: all receives must fail.
         self.retired = False
+        #: Gray-failure demotion: while set, :meth:`drain` consumes
+        #: slot-at-a-time instead of streaming window reads (see
+        #: :attr:`RingSender.degraded`).
+        self.degraded = False
         # RAS telemetry: detected-and-discarded slots.
         self.poison_hits = 0
         self.crc_rejects = 0
@@ -644,6 +655,15 @@ class RingReceiver:
             return []
         out: list[bytes] = []
         drained = 0
+        if self.degraded:
+            # Demoted: no streaming window reads over fail-slow media.
+            while drained < limit:
+                if not (yield from self._drain_one(out, losses)):
+                    break
+                drained += 1
+            if self._progress_dirty:
+                yield from self._flush_progress()
+            return out
         # Probe slot-at-a-time until two messages are in hand: the
         # common empty and one-deep wakeups cost what the legacy
         # single-slot poll costs (plus one miss probe to learn the

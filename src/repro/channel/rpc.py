@@ -156,6 +156,16 @@ class RpcEndpoint:
         return {ring.mhd_index for ring in self.rings
                 if ring.mhd_index is not None}
 
+    def demote_bursts(self) -> None:
+        """Gray media: degrade both halves to slot-at-a-time transfers."""
+        self.tx.degraded = True
+        self.rx.degraded = True
+
+    def promote_bursts(self) -> None:
+        """Healthy again: re-enable the multi-slot burst paths."""
+        self.tx.degraded = False
+        self.rx.degraded = False
+
     def on(self, message_type: type, handler: Callable) -> None:
         """Register ``handler(message)`` for unsolicited messages.
 

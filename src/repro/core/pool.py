@@ -8,7 +8,7 @@ from repro.channel.messages import Resync
 from repro.channel.rpc import RpcEndpoint, RpcError
 from repro.cxl.device import PoisonedMemoryError
 from repro.cxl.link import LinkDownError, LinkSpec
-from repro.cxl.params import ADAPTIVE_POLL_MAX_NS
+from repro.cxl.params import ADAPTIVE_POLL_MAX_NS, JOURNAL_CAP_DEFAULT
 from repro.cxl.pod import CxlPod, PodConfig
 from repro.datapath.netstack import UdpStack
 from repro.datapath.placement import BufferPlacement, DriverMemory
@@ -21,6 +21,7 @@ from repro.datapath.proxy import (
     LocalDeviceHandle,
     RemoteDeviceHandle,
 )
+from repro.health import HealthScorer
 from repro.obs import runtime as _obs
 from repro.orchestrator import (
     Assignment,
@@ -53,7 +54,8 @@ class PciePool:
                  dev_poll_ns: float = 30.0,
                  mhd_probe_ns: float = 10_000_000.0,
                  lease_ttl_ns: Optional[float] = None,
-                 lease_grace_ns: Optional[float] = None):
+                 lease_grace_ns: Optional[float] = None,
+                 journal_cap: int = JOURNAL_CAP_DEFAULT):
         self.sim = sim
         # Polling cadences for the two channel classes.  Long chaos
         # campaigns relax these to keep the event budget sane; latency
@@ -101,6 +103,21 @@ class PciePool:
         self._mhd_monitor = None
         self._mhd_down: set[int] = set()
         self.channels_rebuilt = 0
+        #: Op-dedup journal depth handed to every DeviceServer.
+        self.journal_cap = journal_cap
+        # Gray-failure detection: the monitor times its RAS probes and
+        # feeds a peer-relative scorer.  A demoted (gray) MHD is alive
+        # but slow, so it is *quarantined* rather than declared dead:
+        # message channels are rebuilt off it, new placements avoid it,
+        # and channels stuck on it fall back to slot-at-a-time bursts.
+        self._mhd_health = HealthScorer()
+        for idx in range(len(self.pod.mhds)):
+            self._mhd_health.track(f"mhd:{idx}")
+        self._mhd_gray: set[int] = set()
+        #: (mhd_index, detected_at_ns) per demotion, in detection order.
+        self.mhd_gray_log: list = []
+        self.burst_demotions = 0
+        self.burst_promotions = 0
         # Integrity counters of endpoints retired during channel rebuilds
         # (their live counters vanish with the endpoint objects).
         self._retired_integrity: dict[str, float] = {
@@ -298,7 +315,7 @@ class PciePool:
                 label=f"dev:{owner}->{borrower_host}",
                 poll_overhead_ns=self.dev_poll_ns,
             )
-            server = DeviceServer(owner_ep)
+            server = DeviceServer(owner_ep, journal_cap=self.journal_cap)
             self._device_servers[key] = (owner_ep, borrower_ep, server)
             wired = self._device_servers[key]
         server = wired[2]
@@ -522,6 +539,20 @@ class PciePool:
     def restore_mhd_bandwidth(self, mhd_index: int) -> None:
         self.pod.restore_mhd_bandwidth(mhd_index)
 
+    def slow_mhd(self, mhd_index: int, factor: float) -> None:
+        """Fail-slow: multiply one MHD's media latency (it stays up)."""
+        self.pod.slow_mhd(mhd_index, factor)
+
+    def restore_mhd_latency(self, mhd_index: int) -> None:
+        self.pod.restore_mhd_latency(mhd_index)
+
+    def stall_agent(self, host_id: str) -> None:
+        """Gray agent: heartbeats and renewals continue, work does not."""
+        self.agents[host_id].stall()
+
+    def unstall_agent(self, host_id: str) -> None:
+        self.agents[host_id].unstall()
+
     def poison_memory(self, addr: int, n_lines: int = 1) -> None:
         """Poison pool cachelines (uncorrectable media error)."""
         self.pod.poison(addr, n_lines)
@@ -564,6 +595,7 @@ class PciePool:
             while True:
                 yield self.sim.timeout(self.mhd_probe_ns)
                 for idx in range(len(self.pod.mhds)):
+                    probe_start = self.sim.now
                     alive = yield from self._probe_mhd(memsys, idx)
                     if not alive and idx not in self._mhd_down:
                         self._mhd_down.add(idx)
@@ -572,6 +604,17 @@ class PciePool:
                     elif alive and idx in self._mhd_down:
                         self._mhd_down.discard(idx)
                         self.orchestrator.ingest_mhd_repair(idx)
+                    if alive:
+                        # The probe RTT doubles as the gray signal: a
+                        # fail-slow MHD answers, just 10x later.
+                        self._mhd_health.observe(
+                            f"mhd:{idx}", self.sim.now - probe_start)
+                for key, transition in self._mhd_health.evaluate():
+                    idx = int(key.split(":", 1)[1])
+                    if transition == "demote":
+                        self._on_mhd_gray(idx)
+                    else:
+                        self._on_mhd_reinstated(idx)
         except Interrupt:
             return
 
@@ -585,6 +628,55 @@ class PciePool:
             return False
         return True
 
+    def _on_mhd_gray(self, idx: int) -> None:
+        """Quarantine a fail-slow MHD (it is alive — no data is lost).
+
+        Same rebuild machinery as MHD death moves the message channels
+        and striped driver buffers onto healthy media, but placements are
+        merely *steered away* (``avoid_mhd``), not forbidden: with no
+        healthy alternative the allocator still falls back to the gray
+        device, and whatever lands there runs demoted to slot-at-a-time.
+        """
+        if idx in self._mhd_gray or idx in self._mhd_down:
+            return
+        self._mhd_gray.add(idx)
+        self.mhd_gray_log.append((idx, self.sim.now))
+        self.pod.avoid_mhd(idx)
+        self.orchestrator.ingest_mhd_gray(idx)
+        self._recover_from_mhd_loss(idx)
+        self._refresh_burst_mode()
+
+    def _on_mhd_reinstated(self, idx: int) -> None:
+        """A quarantined MHD served a clean probation: trust it again."""
+        if idx not in self._mhd_gray:
+            return
+        self._mhd_gray.discard(idx)
+        self.pod.allow_mhd(idx)
+        self.orchestrator.ingest_mhd_reinstated(idx)
+        self._refresh_burst_mode()
+
+    def _refresh_burst_mode(self) -> None:
+        """Match every channel's burst mode to the gray set.
+
+        Channels still footprinted on gray media (the allocator had no
+        healthy fallback) degrade to slot-at-a-time transfers — no
+        multi-slot streaming window reads over fail-slow media, which
+        keeps individual op latency bounded; everything else runs full
+        bursts.
+        """
+        gray = self._mhd_gray
+        for wired in self._device_servers.values():
+            for item in wired:
+                if not isinstance(item, RpcEndpoint):
+                    continue
+                on_gray = bool(gray & set(item.mhd_footprint()))
+                if on_gray and not item.tx.degraded:
+                    item.demote_bursts()
+                    self.burst_demotions += 1
+                elif not on_gray and item.tx.degraded:
+                    item.promote_bursts()
+                    self.burst_promotions += 1
+
     def _recover_from_mhd_loss(self, dead_mhd: int) -> None:
         """Re-establish everything that lived on a crashed MHD.
 
@@ -596,6 +688,7 @@ class PciePool:
         datapath caller retransmits idempotent requests with fresh ids.
         """
         rebind_vnics: dict[int, VirtualNic] = {}
+        torn_down: set[tuple[str, str]] = set()
         for key in sorted(self._device_servers):
             wired = self._device_servers[key]
             endpoints = [x for x in wired if isinstance(x, RpcEndpoint)]
@@ -611,6 +704,7 @@ class PciePool:
             self._free_channel_memory(endpoints[0])
             del self._device_servers[key]
             self.channels_rebuilt += 1
+            torn_down.add((owner, borrower))
             for vnic in self._vnics:
                 if (vnic.host_id == borrower
                         and self.owner_of(vnic.device_id) == owner):
@@ -622,6 +716,23 @@ class PciePool:
                 rebind_vnics[vnic.assignment.virtual_id] = vnic
         for virtual_id in sorted(rebind_vnics):
             rebind_vnics[virtual_id]._rebind()
+        # Datapath clients (vssd/vaccel) wired over a torn-down channel
+        # hold a dead endpoint: refresh() alone cannot revive it, so
+        # every op would ride the timeout->failover loop forever.  Drive
+        # their failover with a freshly resolved handle — handle_for
+        # lazily rebuilds the channel on healthy (non-avoided) media.
+        for virtual_id in sorted(self._failover_clients):
+            client = self._failover_clients[virtual_id]
+            device_id = client.handle.device_id
+            owner = self.owner_of(device_id)
+            borrower = client.memsys.host_id
+            if owner is None or (owner, borrower) not in torn_down:
+                continue
+            handle = self.handle_for(borrower, device_id)
+            self.sim.spawn(
+                client.failover(handle),
+                name=f"client-rehome:v{virtual_id}",
+            )
 
     def _rebuild_ctl_channel(self, host_id: str) -> None:
         """Re-pair one agent's control channel on healthy media."""
@@ -693,6 +804,9 @@ class PciePool:
             memsys.stores_dropped for memsys in self.pod.hosts.values()))
         totals["ras.channels_rebuilt"] = float(self.channels_rebuilt)
         totals["ras.mhds_down_now"] = float(len(self._mhd_down))
+        totals["ras.mhds_gray_now"] = float(len(self._mhd_gray))
+        totals["ras.burst_demotions"] = float(self.burst_demotions)
+        totals["ras.burst_promotions"] = float(self.burst_promotions)
         for name, value in totals.items():
             self.orchestrator.board.set_gauge(name, value)
             # Mirror into the process-wide registry so `repro metrics`
@@ -755,6 +869,15 @@ class PciePool:
             self.orchestrator.board.set_gauge(name, value)
             _obs.METRICS.gauge(name).set(value)
         return totals
+
+    @property
+    def gray_mhds(self) -> set:
+        """MHD indices currently quarantined as fail-slow."""
+        return set(self._mhd_gray)
+
+    @property
+    def mhd_health(self) -> HealthScorer:
+        return self._mhd_health
 
     def __repr__(self) -> str:
         return (

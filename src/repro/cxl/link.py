@@ -72,6 +72,16 @@ class CxlLink:
         self.times_degraded = 0
         self.downtime_ns = 0.0
         self._down_since: float | None = None
+        #: Fail-slow media latency multiplier (>= 1): the link stays up
+        #: and correct, every line op just takes ``slow_factor`` times
+        #: longer — the MhdSlow gray-failure mode.
+        self.slow_factor = 1.0
+        self.times_slowed = 0
+        #: Fail-slow per-op jitter (LinkDegrade): each line op pays an
+        #: extra uniform(0, jitter_ns) draw from ``_jitter_rng``.
+        self.jitter_ns = 0.0
+        self._jitter_rng = None
+        self.times_jittered = 0
 
     # -- health ----------------------------------------------------------
 
@@ -110,6 +120,53 @@ class CxlLink:
     def degraded(self) -> bool:
         return self.bandwidth < self.nominal_bandwidth
 
+    def slow(self, factor: float) -> None:
+        """Fail-slow: multiply every line-op latency by ``factor``.
+
+        The link stays up and lossless — the gray-failure mode crash
+        detectors cannot see.  Bulk bandwidth is untouched (that is what
+        :meth:`degrade` models); line ops are what rings, probes, and CQ
+        polls ride on, so this is the latency signal health scoring
+        must catch.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1, got {factor}")
+        if self.slow_factor == 1.0 and factor > 1.0:
+            self.times_slowed += 1
+        self.slow_factor = factor
+
+    def restore_latency(self) -> None:
+        """End a fail-slow window: line ops back to nominal latency."""
+        self.slow_factor = 1.0
+
+    @property
+    def slowed(self) -> bool:
+        return self.slow_factor > 1.0
+
+    def set_jitter(self, jitter_ns: float, rng) -> None:
+        """Fail-slow: add uniform(0, ``jitter_ns``) to every line op.
+
+        ``rng`` must be a dedicated named stream so the per-op draws
+        stay deterministic without perturbing any schedule RNG.
+        """
+        if jitter_ns < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {jitter_ns}")
+        if self.jitter_ns == 0.0 and jitter_ns > 0.0:
+            self.times_jittered += 1
+        self.jitter_ns = jitter_ns
+        self._jitter_rng = rng
+
+    def clear_jitter(self) -> None:
+        """End a jitter window."""
+        self.jitter_ns = 0.0
+        self._jitter_rng = None
+
+    def _line_extra_ns(self) -> float:
+        """Fail-slow additions to one line op's latency."""
+        if self.jitter_ns > 0.0 and self._jitter_rng is not None:
+            return float(self._jitter_rng.uniform(0.0, self.jitter_ns))
+        return 0.0
+
     def _check_up(self) -> None:
         if not self.up:
             raise LinkDownError(self)
@@ -121,14 +178,16 @@ class CxlLink:
         self._check_up()
         self.line_ops += 1
         self.bytes_read += 64
-        return self.timings.cxl_load_ns
+        return (self.timings.cxl_load_ns * self.slow_factor
+                + self._line_extra_ns())
 
     def store_latency(self) -> float:
         """Visibility latency of one non-temporal cacheline store."""
         self._check_up()
         self.line_ops += 1
         self.bytes_written += 64
-        return self.timings.cxl_store_ns
+        return (self.timings.cxl_store_ns * self.slow_factor
+                + self._line_extra_ns())
 
     # -- bulk transfers ----------------------------------------------------
 

@@ -65,6 +65,7 @@ class MultiHeadedDevice:
         #: True while the whole device is crashed (all heads unreachable).
         self.failed = False
         self.times_failed = 0
+        self.times_slowed = 0
 
     @property
     def capacity(self) -> int:
@@ -94,6 +95,26 @@ class MultiHeadedDevice:
     def restore_bandwidth(self) -> None:
         for link in self._links.values():
             link.restore_bandwidth()
+
+    def slow(self, factor: float) -> None:
+        """Fail-slow: media latency multiplies on every head.
+
+        The device stays up and lossless — the gray-failure mode.  Every
+        host sees line ops to this MHD stretch by ``factor``.
+        """
+        if not self.failed and factor > 1.0:
+            self.times_slowed += 1
+        for link in self._links.values():
+            link.slow(factor)
+
+    def restore_latency(self) -> None:
+        """End a fail-slow window on every head."""
+        for link in self._links.values():
+            link.restore_latency()
+
+    @property
+    def slowed(self) -> bool:
+        return any(link.slowed for link in self._links.values())
 
     def check_alive(self) -> None:
         if self.failed:

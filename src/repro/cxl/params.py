@@ -112,6 +112,69 @@ ADAPTIVE_GUARD_FRACTION = 1.0 / 16.0
 ADAPTIVE_GUARD_MAX_NS = 1_000_000.0
 
 
+# -- robustness knobs --------------------------------------------------------
+#
+# Control-plane liveness and gray-failure constants.  Ordering matters
+# more than the absolute values: lease TTL < heartbeat timeout (the lease
+# path must detect a dead owner first), work-silence timeout >= several
+# agent report intervals (one missed report is noise, five is a stall),
+# and hedge deadlines sit well under the op-timeout watchdogs so a hedge
+# fires long before the failover hammer does.
+
+#: Silence past this marks an agent (and its host's devices) dead.
+HEARTBEAT_TIMEOUT_NS = 50_000_000.0
+
+#: Orchestrator monitor sweep cadence (lease expiry, stale agents,
+#: pending repairs, rebalancing).
+MONITOR_CHECK_INTERVAL_NS = 10_000_000.0
+
+#: Pool-side MHD liveness/latency probe cadence.
+MHD_PROBE_INTERVAL_NS = 10_000_000.0
+
+#: Lease term and successor-start grace (mirrored from
+#: repro.orchestrator.lease so every robustness constant reads from one
+#: table; the lease module remains the source of truth).
+LEASE_TTL_NS = 30_000_000.0
+LEASE_GRACE_NS = 5_000_000.0
+
+#: An agent whose heartbeats stay fresh but whose devices report nothing
+#: for this long is *stalled* (gray): heartbeating, not working.  Five
+#: agent report intervals — one lost report is transport noise.
+WORK_SILENCE_TIMEOUT_NS = 50_000_000.0
+
+#: Datapath hedge deadline: an op outstanding this long gets its
+#: doorbell re-rung against the freshest owner resolution.  An order of
+#: magnitude under the 200 ms op-timeout watchdog, so hedges run (and
+#: usually win) long before the failover hammer.
+HEDGE_DEADLINE_NS = 20_000_000.0
+
+#: Netstack TX hedge deadline: no TX completion progress for this long
+#: with frames journaled re-rings the TX doorbell.
+HEDGE_TX_DEADLINE_NS = 10_000_000.0
+
+#: Consecutive hedges without an intervening completion before the
+#: hedger stands down and leaves recovery to the watchdog/failover.
+HEDGE_STREAK_LIMIT = 8
+
+#: Server-side op-dedup journal depth (per borrower channel).  Must
+#: comfortably exceed the deepest client queue (64 entries) times the
+#: hedge amplification, or hedged retries could outrun dedup.
+JOURNAL_CAP_DEFAULT = 512
+
+#: Health scoring (see repro.health): rolling window length per
+#: component, samples required before a verdict, peer-relative outlier
+#: factor (gray when p99 > factor x median of peers' p99), an absolute
+#: floor below which nothing is gray, and the hysteresis depths —
+#: consecutive gray assessments to demote, consecutive clean ones on
+#: probation to reinstate.
+HEALTH_WINDOW = 32
+HEALTH_MIN_SAMPLES = 8
+HEALTH_OUTLIER_FACTOR = 3.0
+HEALTH_FLOOR_NS = 1_000.0
+HEALTH_GRAY_TICKS = 3
+HEALTH_PROBATION_TICKS = 8
+
+
 @dataclass(frozen=True)
 class BandwidthTable:
     """Per-link-width sustained CXL bandwidth (GB/s at 2:1 read:write)."""

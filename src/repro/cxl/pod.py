@@ -179,6 +179,8 @@ class CxlPod:
         #: alloc base -> (confining mhd index or None, inner allocation).
         self._inner_allocs: dict[int, tuple[int | None, Allocation]] = {}
         self._ras_rr = 0
+        #: Gray-quarantined MHDs: alive, but skipped for new placements.
+        self._avoid_mhds: set[int] = set()
         self.pool_range = AddressRange(POOL_BASE, config.pool_capacity)
         self.hosts: dict[str, HostMemorySystem] = {}
         for idx in range(config.n_hosts):
@@ -350,6 +352,33 @@ class CxlPod:
     def restore_mhd_bandwidth(self, index: int) -> None:
         self._mhd(index).restore_bandwidth()
 
+    def slow_mhd(self, index: int, factor: float) -> None:
+        """Fail-slow one MHD: line-op latency multiplies on every head."""
+        self._mhd(index).slow(factor)
+
+    def restore_mhd_latency(self, index: int) -> None:
+        """End one MHD's fail-slow window."""
+        self._mhd(index).restore_latency()
+
+    def avoid_mhd(self, index: int) -> None:
+        """Quarantine one MHD from *new* confined placements.
+
+        Unlike :meth:`fail_mhd` the device stays readable — existing
+        allocations keep working (slowly) — but :meth:`pick_ras_mhd`
+        skips it, so channel rebuilds and fresh placements land on
+        healthy failure domains.
+        """
+        self._mhd(index)
+        self._avoid_mhds.add(index)
+
+    def allow_mhd(self, index: int) -> None:
+        """Reinstate a quarantined MHD as a placement target."""
+        self._avoid_mhds.discard(index)
+
+    @property
+    def avoided_mhds(self) -> set[int]:
+        return set(self._avoid_mhds)
+
     def poison(self, addr: int, n_lines: int = 1) -> None:
         """Poison ``n_lines`` consecutive cachelines starting at ``addr``."""
         base = line_base(addr)
@@ -400,7 +429,11 @@ class CxlPod:
         automatically falls back to a healthy confined window (degraded
         bandwidth, no dependence on the dead device).
         """
-        if mhd_index is None and any(mhd.failed for mhd in self.mhds):
+        if mhd_index is None and (any(mhd.failed for mhd in self.mhds)
+                                  or self._avoid_mhds):
+            # A failed MHD makes striping impossible; a gray-quarantined
+            # one makes it *slow* — either way new placements confine to
+            # a healthy, non-quarantined window.
             mhd_index = self.pick_ras_mhd()
         if mhd_index is not None:
             return self.allocate_confined(size, owners, label, mhd_index)
@@ -450,8 +483,19 @@ class CxlPod:
             media.clear_line(dev_addr)
 
     def pick_ras_mhd(self) -> int:
-        """Next healthy MHD in round-robin order (λ-redundant spreading)."""
+        """Next healthy MHD in round-robin order (λ-redundant spreading).
+
+        Gray-quarantined MHDs (see :meth:`avoid_mhd`) are skipped while
+        any non-quarantined healthy device exists; if every healthy MHD
+        is quarantined, a slow placement beats no placement and the
+        avoid set is ignored.
+        """
         n = len(self.mhds)
+        for off in range(n):
+            idx = (self._ras_rr + off) % n
+            if not self.mhds[idx].failed and idx not in self._avoid_mhds:
+                self._ras_rr = (idx + 1) % n
+                return idx
         for off in range(n):
             idx = (self._ras_rr + off) % n
             if not self.mhds[idx].failed:

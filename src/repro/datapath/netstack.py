@@ -23,7 +23,11 @@ from typing import Optional
 
 from repro.channel.rpc import RpcError
 from repro.cxl.link import LinkDownError
-from repro.cxl.params import LINK_RETRY_POLL_NS
+from repro.cxl.params import (
+    HEDGE_STREAK_LIMIT,
+    HEDGE_TX_DEADLINE_NS,
+    LINK_RETRY_POLL_NS,
+)
 from repro.datapath.placement import BufferPlacement, DriverMemory
 from repro.datapath.proxy import (
     DeviceGoneError,
@@ -81,7 +85,8 @@ class UdpStack:
                  poll_ns: float = 100.0, name: str = "udp-stack",
                  tx_hint: Optional[Store] = None,
                  rx_hint: Optional[Store] = None,
-                 sw_overhead_ns: float = 1800.0):
+                 sw_overhead_ns: float = 1800.0,
+                 hedge_tx_deadline_ns: float = HEDGE_TX_DEADLINE_NS):
         self.sim = sim
         self.memsys = memsys
         self.handle = handle
@@ -131,6 +136,14 @@ class UdpStack:
         self._tx_cq_head = 0
         self._kick_pending = False
         self._kick_streak = 0
+        #: TX completions silent for this long while frames are
+        #: journaled → the hedge watchdog re-rings both doorbells.
+        #: Doorbells are max()-semantics and journaled frames are only
+        #: resent through the failover dedup path, so a hedge racing a
+        #: slow-but-alive owner cannot duplicate a datagram.
+        self.hedge_tx_deadline_ns = hedge_tx_deadline_ns
+        self._tx_progress_ns = 0.0
+        self._hedge_streak = 0
         # Fault tolerance: CQ pollers and repost paths survive link flaps
         # by backing off and retrying instead of dying.
         self.fault_retry_ns = LINK_RETRY_POLL_NS
@@ -142,6 +155,7 @@ class UdpStack:
         self.datagrams_dropped_fault = 0
         self.datagrams_resent = 0
         self.fence_kicks = 0
+        self.hedges = 0
         self.link_retries = 0
         self._subscribe_fence_signals()
 
@@ -177,6 +191,8 @@ class UdpStack:
         self._pollers = [
             self.sim.spawn(self._tx_cq_poller(), name=f"{self.name}.txcq"),
             self.sim.spawn(self._rx_cq_poller(), name=f"{self.name}.rxcq"),
+            self.sim.spawn(self._tx_hedge_watchdog(),
+                           name=f"{self.name}.hedge"),
         ]
 
     def stop(self) -> None:
@@ -317,6 +333,9 @@ class UdpStack:
                 for offset, frame in enumerate(chunk):
                     index = first + offset
                     slot = index % self.n_desc
+                    if not self._tx_journal:
+                        # Hedge clock starts when work becomes pending.
+                        self._tx_progress_ns = self.sim.now
                     self._tx_journal[index % (1 << 16)] = frame
                     journaled.append(index)
                     buf = self.tx_bufs + slot * self.buf_bytes
@@ -370,6 +389,9 @@ class UdpStack:
             slot = index % self.n_desc
             self._tx_tail += 1
             tail = self._tx_tail
+            if not self._tx_journal:
+                # Hedge clock starts when work becomes pending.
+                self._tx_progress_ns = self.sim.now
             self._tx_journal[index % (1 << 16)] = frame
             buf = self.tx_bufs + slot * self.buf_bytes
             desc_addr = self.tx_ring + slot * DESCRIPTOR_BYTES
@@ -449,6 +471,8 @@ class UdpStack:
                 self._tx_cq_head += 1
                 self._tx_journal.pop(entry.index % (1 << 16), None)
                 self._kick_streak = 0
+                self._hedge_streak = 0
+                self._tx_progress_ns = self.sim.now
                 # Completion frees the slot for reuse.
                 self._tx_credits.put(None)
         except Interrupt:
@@ -493,6 +517,41 @@ class UdpStack:
             pass
         finally:
             self._kick_pending = False
+
+    def _tx_hedge_watchdog(self):
+        """Process: deadline-hedge a silent TX completion queue.
+
+        When frames sit journaled past the hedge deadline with no TX
+        completion progress, the owner is likely alive-but-slow (gray):
+        re-ring both doorbells with a refreshed token rather than wait
+        for the VirtualNic's full failover.  Streak-bounded like
+        ``_fence_kick`` (reset on any TX completion) so a dead owner
+        still falls through to the failover path.
+        """
+        try:
+            while True:
+                yield self.sim.timeout(self.hedge_tx_deadline_ns)
+                if (not self._started
+                        or not self._tx_journal
+                        or self._hedge_streak >= HEDGE_STREAK_LIMIT):
+                    continue
+                if (self.sim.now - self._tx_progress_ns
+                        <= self.hedge_tx_deadline_ns):
+                    continue
+                self._hedge_streak += 1
+                self.hedges += 1
+                _obs.METRICS.counter("udp.hedges").inc()
+                self.handle.refresh()
+                try:
+                    yield from self.handle.ring_doorbell(
+                        TX_QUEUE, self._tx_tail)
+                    yield from self.handle.ring_doorbell(
+                        RX_QUEUE, self._rx_tail)
+                except (RpcError, LinkDownError, DeviceGoneError,
+                        DeviceFailedError):
+                    pass
+        except Interrupt:
+            return
 
     # -- RX path --------------------------------------------------------------------------
 

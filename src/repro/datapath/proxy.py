@@ -36,6 +36,7 @@ from repro.channel.messages import (
 )
 from repro.channel.rpc import RpcEndpoint, RpcError
 from repro.cxl.link import LinkDownError
+from repro.cxl.params import JOURNAL_CAP_DEFAULT
 from repro.obs import runtime as _obs
 from repro.pcie.device import DeviceFailedError, PcieDevice
 
@@ -428,7 +429,10 @@ class DeviceServer:
     STATUS_UNKNOWN_DEVICE = 2
     STATUS_FENCED = 3
 
-    def __init__(self, endpoint: RpcEndpoint, journal_cap: int = 512):
+    def __init__(self, endpoint: RpcEndpoint,
+                 journal_cap: int = JOURNAL_CAP_DEFAULT):
+        if journal_cap < 1:
+            raise ValueError(f"journal cap must be >= 1, got {journal_cap}")
         self.endpoint = endpoint
         self.sim = endpoint.sim
         self._devices: dict[int, PcieDevice] = {}
@@ -445,6 +449,14 @@ class DeviceServer:
         self.replies_lost = 0
         self.fenced_ops = 0
         self.dup_suppressed = 0
+        #: Entries the FIFO cap pushed out.  A nonzero rate during an
+        #: active hedge storm means the journal is sized too small: a
+        #: hedged duplicate arriving after its entry was evicted would be
+        #: re-applied (doorbells stay safe — max() semantics — but the
+        #: exactly-once-observable window shrinks).
+        self.journal_evictions = 0
+        _obs.METRICS.counter("proxy.journal_evictions")
+        _obs.METRICS.gauge("proxy.journal.occupancy")
 
     def export(self, device: PcieDevice) -> None:
         """Make a locally-attached device reachable through this server."""
@@ -495,6 +507,15 @@ class DeviceServer:
         self._journal[op_id] = reply
         while len(self._journal) > self.journal_cap:
             self._journal.popitem(last=False)
+            self.journal_evictions += 1
+            _obs.METRICS.counter("proxy.journal_evictions").inc()
+        _obs.METRICS.gauge("proxy.journal.occupancy").set(
+            len(self._journal)
+        )
+
+    @property
+    def journal_occupancy(self) -> int:
+        return len(self._journal)
 
     def _count_fenced(self) -> None:
         self.fenced_ops += 1

@@ -23,6 +23,7 @@ import dataclasses
 
 from repro.channel.rpc import RpcError
 from repro.cxl.link import LinkDownError
+from repro.cxl.params import HEDGE_DEADLINE_NS, HEDGE_STREAK_LIMIT
 from repro.datapath.placement import BufferPlacement, DriverMemory
 from repro.datapath.proxy import (
     DeviceGoneError,
@@ -64,7 +65,8 @@ class RemoteSsdClient:
     def __init__(self, sim, memsys, handle, pod, owner_host: str,
                  n_entries: int = 64, max_io_bytes: int = 128 << 10,
                  name: str = "vssd",
-                 op_timeout_ns: float = 200_000_000.0):
+                 op_timeout_ns: float = 200_000_000.0,
+                 hedge_deadline_ns: float = HEDGE_DEADLINE_NS):
         self.sim = sim
         self.memsys = memsys
         self.handle = handle
@@ -72,6 +74,13 @@ class RemoteSsdClient:
         self.max_io_bytes = max_io_bytes
         self.name = name
         self.op_timeout_ns = op_timeout_ns
+        # Deadline hedging: an op older than this (but younger than the
+        # full op timeout) gets its doorbell re-rung with a refreshed
+        # token.  Doorbells are max()-semantics MMIO and forwarded ops
+        # carry journal-dedup'd op ids, so a hedge can never duplicate
+        # work — the cost of hedging a gray (slow-but-alive) owner is one
+        # extra channel message.
+        self.hedge_deadline_ns = hedge_deadline_ns
         # Queues and data buffers must be visible to the SSD's host, so
         # they always live in the pool, owned by both ends.
         self.mem = DriverMemory(
@@ -107,6 +116,8 @@ class RemoteSsdClient:
         self.resubmitted = 0
         self.fence_kicks = 0
         self.op_timeouts = 0
+        self.hedges = 0
+        self._hedge_streak = 0
         self._subscribe_fence_signals()
 
     def setup(self):
@@ -360,6 +371,7 @@ class RemoteSsdClient:
             self._sq_written = set()
             self._sq_ready = 0
             self._kick_streak = 0
+            self._hedge_streak = 0
             yield from self._setup_with_retry()
             ops = sorted(self._pending.values(), key=lambda op: op.order)
             self._pending = {}
@@ -578,6 +590,7 @@ class RemoteSsdClient:
         if op is not None and not op.waiter.triggered:
             self.ops_completed += 1
             self._kick_streak = 0
+            self._hedge_streak = 0
             op.waiter.succeed(entry)
 
     def _collect_completions(self, poll_ns: float = 2_000.0):
@@ -606,6 +619,16 @@ class RemoteSsdClient:
         The lease layer usually migrates the device (and the pool then
         calls :meth:`failover`) before this fires; the watchdog is the
         backstop for doorbells lost without any fence nack.
+
+        Between the hedge deadline and the op timeout sits the *gray*
+        band: the owner is alive but slow, so destroying the queues via
+        failover would only add recovery latency.  There the watchdog
+        hedges instead — it re-rings the SQ doorbell at the current
+        frontier.  Doorbells carry max() semantics and every command is
+        journaled server-side by op id, so a hedge that races the
+        original delivery is absorbed without duplicating work; the
+        streak bound keeps a permanently wedged owner from being hedged
+        forever instead of failed over.
         """
         while self._pending:
             yield self.sim.timeout(poll_ns)
@@ -614,7 +637,20 @@ class RemoteSsdClient:
                     or not self.handle.is_remote):
                 continue
             oldest = min(op.submitted_ns for op in self._pending.values())
-            if self.sim.now - oldest <= self.op_timeout_ns:
+            age = self.sim.now - oldest
+            if age <= self.hedge_deadline_ns:
+                continue
+            if age <= self.op_timeout_ns:
+                if self._hedge_streak >= HEDGE_STREAK_LIMIT:
+                    continue  # hedges aren't landing; wait for timeout
+                self._hedge_streak += 1
+                self.hedges += 1
+                _obs.METRICS.counter("vssd.hedges").inc()
+                self.handle.refresh()
+                try:
+                    yield from self.handle.ring_doorbell(0, self._sq_ready)
+                except (RpcError, LinkDownError, DeviceGoneError):
+                    pass
                 continue
             self.op_timeouts += 1
             _obs.METRICS.counter("vssd.op_timeouts").inc()

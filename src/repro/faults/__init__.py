@@ -22,20 +22,24 @@ from repro.faults.injector import FaultInjector
 from repro.faults.log import FaultEvent, FaultLog
 from repro.faults.spec import (
     AgentCrash,
+    AgentStall,
     DeviceCrash,
     DeviceFlap,
     FaultSchedule,
     HostPartition,
     LeaseExpire,
+    LinkDegrade,
     LinkFlap,
     MemPoison,
     MhdCrash,
     MhdDegrade,
+    MhdSlow,
     OrchestratorCrash,
 )
 
 __all__ = [
     "AgentCrash",
+    "AgentStall",
     "ChaosCampaign",
     "ChaosConfig",
     "DeviceCrash",
@@ -46,9 +50,11 @@ __all__ = [
     "FaultSchedule",
     "HostPartition",
     "LeaseExpire",
+    "LinkDegrade",
     "LinkFlap",
     "MemPoison",
     "MhdCrash",
     "MhdDegrade",
+    "MhdSlow",
     "OrchestratorCrash",
 ]

@@ -23,14 +23,17 @@ from dataclasses import dataclass
 
 from repro.faults.spec import (
     AgentCrash,
+    AgentStall,
     DeviceFlap,
     FaultSchedule,
     HostPartition,
     LeaseExpire,
+    LinkDegrade,
     LinkFlap,
     MemPoison,
     MhdCrash,
     MhdDegrade,
+    MhdSlow,
     OrchestratorCrash,
 )
 
@@ -63,6 +66,15 @@ class ChaosConfig:
     #: unchanged, their RNG draw sequence stays prefix-stable).
     host_partitions: int = 0
     lease_expires: int = 0
+    #: Gray (fail-slow) fault counts — default 0 for the same
+    #: prefix-stability reason.
+    mhd_slows: int = 0
+    link_degrades: int = 0
+    agent_stalls: int = 0
+    #: Latency multiplier applied by MhdSlow faults.
+    slow_factor: float = 10.0
+    #: Per-line-op jitter ceiling applied by LinkDegrade faults (ns).
+    degrade_jitter_ns: float = 2_000.0
 
 
 class ChaosCampaign:
@@ -164,6 +176,33 @@ class ChaosCampaign:
             faults.append(LeaseExpire(
                 device_id=device_id,
                 at_ns=start + float(rng.uniform(0.0, span)),
+            ))
+        # Gray (fail-slow) draws come last of all: a config with every
+        # gray count at zero consumes exactly the draw sequence the
+        # previous generation of campaigns did.
+        for _ in range(cfg.mhd_slows):
+            faults.append(MhdSlow(
+                mhd_index=int(rng.integers(n_mhds)),
+                at_ns=start + float(rng.uniform(0.0, 0.5)) * span,
+                down_ns=down_ns(),
+                latency_factor=cfg.slow_factor,
+            ))
+        for _ in range(cfg.link_degrades):
+            host_id = host_ids[int(rng.integers(len(host_ids)))]
+            links = self.pool.pod.host(host_id).port.links
+            faults.append(LinkDegrade(
+                host_id=host_id,
+                at_ns=start + float(rng.uniform(0.0, span)),
+                down_ns=down_ns(),
+                jitter_ns=cfg.degrade_jitter_ns,
+                link_index=int(rng.integers(len(links))),
+            ))
+        for _ in range(cfg.agent_stalls):
+            host_id = host_ids[int(rng.integers(len(host_ids)))]
+            faults.append(AgentStall(
+                host_id=host_id,
+                at_ns=start + float(rng.uniform(0.0, 0.5)) * span,
+                down_ns=down_ns(),
             ))
         return FaultSchedule(tuple(faults))
 

@@ -15,15 +15,18 @@ from repro.faults.log import FaultLog
 from repro.obs import runtime as _obs
 from repro.faults.spec import (
     AgentCrash,
+    AgentStall,
     DeviceCrash,
     DeviceFlap,
     FaultSchedule,
     HostPartition,
     LeaseExpire,
+    LinkDegrade,
     LinkFlap,
     MemPoison,
     MhdCrash,
     MhdDegrade,
+    MhdSlow,
     OrchestratorCrash,
 )
 
@@ -95,6 +98,37 @@ class FaultInjector:
     def restore_mhd(self, mhd_index: int) -> None:
         self.pool.restore_mhd_bandwidth(mhd_index)
         self._record("MhdDegrade", f"mhd:{mhd_index}", "restore")
+
+    def slow_mhd(self, mhd_index: int, factor: float) -> None:
+        self.pool.slow_mhd(mhd_index, factor)
+        self._record("MhdSlow", f"mhd:{mhd_index}", "slow")
+
+    def restore_mhd_latency(self, mhd_index: int) -> None:
+        self.pool.restore_mhd_latency(mhd_index)
+        self._record("MhdSlow", f"mhd:{mhd_index}", "restore")
+
+    def degrade_link(self, host_id: str, jitter_ns: float,
+                     link_index: Optional[int] = None) -> None:
+        for idx, link in self._links(host_id, link_index):
+            link.set_jitter(
+                jitter_ns,
+                self.sim.rng.stream(f"link-jitter:{host_id}/{idx}"),
+            )
+            self._record("LinkDegrade", f"link:{host_id}/{idx}", "jitter")
+
+    def restore_link_latency(self, host_id: str,
+                             link_index: Optional[int] = None) -> None:
+        for idx, link in self._links(host_id, link_index):
+            link.clear_jitter()
+            self._record("LinkDegrade", f"link:{host_id}/{idx}", "clear")
+
+    def stall_agent(self, host_id: str) -> None:
+        self.pool.stall_agent(host_id)
+        self._record("AgentStall", f"agent:{host_id}", "stall")
+
+    def unstall_agent(self, host_id: str) -> None:
+        self.pool.unstall_agent(host_id)
+        self._record("AgentStall", f"agent:{host_id}", "unstall")
 
     def poison_memory(self, addr: int, n_lines: int = 1) -> None:
         self.pool.poison_memory(addr, n_lines)
@@ -190,6 +224,19 @@ class FaultInjector:
             self.heal_partition(fault.host_id)
         elif isinstance(fault, LeaseExpire):
             self.expire_lease(fault.device_id)
+        elif isinstance(fault, MhdSlow):
+            self.slow_mhd(fault.mhd_index, fault.latency_factor)
+            yield self.sim.timeout(fault.down_ns)
+            self.restore_mhd_latency(fault.mhd_index)
+        elif isinstance(fault, LinkDegrade):
+            self.degrade_link(fault.host_id, fault.jitter_ns,
+                              fault.link_index)
+            yield self.sim.timeout(fault.down_ns)
+            self.restore_link_latency(fault.host_id, fault.link_index)
+        elif isinstance(fault, AgentStall):
+            self.stall_agent(fault.host_id)
+            yield self.sim.timeout(fault.down_ns)
+            self.unstall_agent(fault.host_id)
         else:
             raise TypeError(f"unknown fault spec {fault!r}")
 

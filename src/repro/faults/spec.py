@@ -137,9 +137,59 @@ class MemPoison:
     n_lines: int = 1
 
 
+@dataclass(frozen=True)
+class MhdSlow:
+    """Fail-slow media: one MHD's line-op latency multiplies.
+
+    The gray failure crash detectors cannot see — every head link stays
+    up and every access succeeds, just ``latency_factor`` slower.  Only
+    peer-relative latency scoring (see :mod:`repro.health`) catches it.
+    Restored to nominal ``down_ns`` later.
+    """
+
+    mhd_index: int
+    at_ns: float
+    down_ns: float
+    latency_factor: float = 10.0
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Fail-slow link: per-message latency jitter on one host port.
+
+    Models a flaky cable retrying at the physical layer — every line op
+    over the link pays an extra uniform(0, ``jitter_ns``) draw from a
+    dedicated RNG stream.  ``link_index=None`` jitters every link of the
+    port.  Cleared ``down_ns`` later.
+    """
+
+    host_id: str
+    at_ns: float
+    down_ns: float
+    jitter_ns: float = 2_000.0
+    link_index: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AgentStall:
+    """Gray agent: heartbeats and lease renewals continue, work doesn't.
+
+    The pooling agent keeps its liveness traffic flowing (so neither the
+    heartbeat timeout nor lease expiry fires) but stops probing and
+    reporting its devices — the classic stuck-worker-thread failure.
+    Only work-silence detection (fresh heartbeat, stale load reports)
+    catches it.  Unstalled ``down_ns`` later.
+    """
+
+    host_id: str
+    at_ns: float
+    down_ns: float
+
+
 Fault = Union[DeviceCrash, DeviceFlap, LinkFlap, AgentCrash,
               OrchestratorCrash, MhdCrash, MhdDegrade, MemPoison,
-              HostPartition, LeaseExpire]
+              HostPartition, LeaseExpire, MhdSlow, LinkDegrade,
+              AgentStall]
 
 
 @dataclass(frozen=True)

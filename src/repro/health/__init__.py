@@ -1,0 +1,23 @@
+"""Latency health scoring for gray-failure detection.
+
+See :mod:`repro.health.scoring` for the model: rolling per-component
+latency windows, peer-relative p99 outlier verdicts, and a hysteresis
+state machine (HEALTHY / GRAY / PROBATION) that drives quarantine and
+reinstatement decisions in the control plane.
+"""
+
+from repro.health.scoring import (
+    GRAY,
+    HEALTHY,
+    PROBATION,
+    HealthConfig,
+    HealthScorer,
+)
+
+__all__ = [
+    "GRAY",
+    "HEALTHY",
+    "PROBATION",
+    "HealthConfig",
+    "HealthScorer",
+]

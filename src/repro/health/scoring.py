@@ -1,0 +1,210 @@
+"""Peer-relative latency health scoring (gray-failure detection).
+
+Crash detectors — heartbeat timeouts, link-down errors, lease expiry —
+are blind to *fail-slow* components: an MHD whose media got 10x slower
+still answers every probe, a stalled agent still heartbeats.  The only
+reliable signal is latency **relative to peers**: gray means "this
+component's tail diverges from the pod median", not "latency crossed an
+absolute constant" (which would misfire on every workload shift).
+
+:class:`HealthScorer` keeps a rolling window of latency samples per
+component key, computes each key's p99 exactly over the window, and
+compares it against the median p99 of the *other* keys.  Excluding self
+from the reference matters in small pods: with two MHDs, a
+median-including-self would be dragged halfway toward the slow outlier
+and mask the divergence.
+
+Verdicts feed a hysteresis state machine per key::
+
+    HEALTHY --(gray_ticks consecutive gray)--> GRAY      "demote"
+    GRAY    --(one clean tick)---------------> PROBATION
+    PROBATION --(gray tick)------------------> GRAY
+    PROBATION --(probation_ticks clean)------> HEALTHY   "reinstate"
+
+so one jittery sample never quarantines anything, and a quarantined
+component must string together a full probation of clean ticks before
+it is trusted again.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cxl.params import (
+    HEALTH_GRAY_TICKS,
+    HEALTH_FLOOR_NS,
+    HEALTH_MIN_SAMPLES,
+    HEALTH_OUTLIER_FACTOR,
+    HEALTH_PROBATION_TICKS,
+    HEALTH_WINDOW,
+)
+
+#: State-machine states (plain strings: cheap, printable, JSON-safe).
+HEALTHY = "healthy"
+GRAY = "gray"
+PROBATION = "probation"
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Knobs of one scorer; defaults from :mod:`repro.cxl.params`."""
+
+    #: Rolling samples kept per key.
+    window: int = HEALTH_WINDOW
+    #: Keys with fewer samples than this never get a verdict.
+    min_samples: int = HEALTH_MIN_SAMPLES
+    #: Gray iff p99 exceeds this multiple of the peer-median p99.
+    outlier_factor: float = HEALTH_OUTLIER_FACTOR
+    #: Absolute floor: tails below this are never gray, however far
+    #: they diverge relatively (guards against flagging noise when the
+    #: whole pod is idling at sub-microsecond latencies).
+    floor_ns: float = HEALTH_FLOOR_NS
+    #: Consecutive gray verdicts before a HEALTHY key is demoted.
+    gray_ticks: int = HEALTH_GRAY_TICKS
+    #: Consecutive clean verdicts before a demoted key is reinstated.
+    probation_ticks: int = HEALTH_PROBATION_TICKS
+
+
+class _KeyHealth:
+    """Rolling window + state machine for one component key."""
+
+    __slots__ = ("samples", "state", "gray_streak", "clean_streak")
+
+    def __init__(self, window: int):
+        self.samples: deque = deque(maxlen=window)
+        self.state = HEALTHY
+        self.gray_streak = 0
+        self.clean_streak = 0
+
+    def p99(self) -> float:
+        """Exact rank-based p99 over the current window."""
+        ordered = sorted(self.samples)
+        rank = max(1, -(-99 * len(ordered) // 100))  # ceil(0.99 n), >= 1
+        return ordered[rank - 1]
+
+
+def _median(values: list) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class HealthScorer:
+    """Per-key rolling latency scores with peer-relative gray verdicts.
+
+    Keys are opaque strings (``"mhd:0"``, ``"agent:hostA"``); peers are
+    every *other* key tracked by the same scorer, so one scorer instance
+    should cover exactly one comparable population.
+    """
+
+    def __init__(self, config: HealthConfig = HealthConfig()):
+        self.config = config
+        self._keys: dict[str, _KeyHealth] = {}
+
+    # -- sample intake -----------------------------------------------------
+
+    def track(self, key: str) -> None:
+        """Pre-register a key (so it shows up in reports while empty)."""
+        if key not in self._keys:
+            self._keys[key] = _KeyHealth(self.config.window)
+
+    def observe(self, key: str, latency_ns: float) -> None:
+        self.track(key)
+        self._keys[key].samples.append(float(latency_ns))
+
+    # -- verdicts ----------------------------------------------------------
+
+    def p99(self, key: str):
+        entry = self._keys.get(key)
+        if entry is None or not entry.samples:
+            return None
+        return entry.p99()
+
+    def state_of(self, key: str) -> str:
+        entry = self._keys.get(key)
+        return entry.state if entry is not None else HEALTHY
+
+    def _verdicts(self) -> dict[str, bool]:
+        """{key: is_gray} for every key with enough samples this tick."""
+        cfg = self.config
+        tails = {
+            key: entry.p99() for key, entry in self._keys.items()
+            if len(entry.samples) >= cfg.min_samples
+        }
+        verdicts: dict[str, bool] = {}
+        for key, tail in tails.items():
+            peers = [t for k, t in tails.items() if k != key]
+            if tail <= cfg.floor_ns:
+                verdicts[key] = False
+            elif peers:
+                verdicts[key] = tail > cfg.outlier_factor * _median(peers)
+            else:
+                # No reference population: the floor is all we have.
+                verdicts[key] = True
+        return verdicts
+
+    def evaluate(self) -> list:
+        """Run one scoring tick; returns ``[(key, transition), ...]``.
+
+        Transitions are ``"demote"`` (HEALTHY -> GRAY after hysteresis)
+        and ``"reinstate"`` (PROBATION -> HEALTHY after a clean
+        probation).  Keys are visited in sorted order so the event
+        sequence is deterministic.
+        """
+        cfg = self.config
+        verdicts = self._verdicts()
+        events: list = []
+        for key in sorted(self._keys):
+            if key not in verdicts:
+                continue  # not enough samples: no state movement
+            entry = self._keys[key]
+            gray = verdicts[key]
+            if entry.state == HEALTHY:
+                entry.gray_streak = entry.gray_streak + 1 if gray else 0
+                if entry.gray_streak >= cfg.gray_ticks:
+                    entry.state = GRAY
+                    entry.gray_streak = 0
+                    entry.clean_streak = 0
+                    events.append((key, "demote"))
+            elif entry.state == GRAY:
+                if not gray:
+                    entry.state = PROBATION
+                    entry.clean_streak = 1
+            else:  # PROBATION
+                if gray:
+                    entry.state = GRAY
+                    entry.clean_streak = 0
+                else:
+                    entry.clean_streak += 1
+                    if entry.clean_streak >= cfg.probation_ticks:
+                        entry.state = HEALTHY
+                        entry.gray_streak = 0
+                        entry.clean_streak = 0
+                        events.append((key, "reinstate"))
+        return events
+
+    # -- reporting ---------------------------------------------------------
+
+    def gray_keys(self) -> list:
+        """Keys currently demoted (GRAY or still on PROBATION)."""
+        return sorted(k for k, e in self._keys.items()
+                      if e.state != HEALTHY)
+
+    def report(self) -> dict:
+        """{key: {state, samples, p99}} snapshot for telemetry export."""
+        out: dict = {}
+        for key in sorted(self._keys):
+            entry = self._keys[key]
+            out[key] = {
+                "state": entry.state,
+                "samples": float(len(entry.samples)),
+                "p99": entry.p99() if entry.samples else 0.0,
+            }
+        return out
+
+    def __repr__(self) -> str:
+        gray = len(self.gray_keys())
+        return f"<HealthScorer keys={len(self._keys)} gray={gray}>"

@@ -79,6 +79,11 @@ class PoolingAgent:
         #: datapath, not just known to the control plane.
         self._servers: list = []
         self._loop = None
+        #: Gray-failure injection: while set, the agent's *work* (device
+        #: probes, load reports, announces) stops but its liveness
+        #: traffic (heartbeats, lease renewals) keeps flowing — the
+        #: stuck-worker-thread failure heartbeat detectors cannot see.
+        self.stalled = False
         self.reports_sent = 0
         self.failures_reported = 0
         self.recoveries_reported = 0
@@ -187,6 +192,13 @@ class PoolingAgent:
         if running:
             self.start()
 
+    def stall(self) -> None:
+        """Fault injection: the worker half wedges (see :attr:`stalled`)."""
+        self.stalled = True
+
+    def unstall(self) -> None:
+        self.stalled = False
+
     def crash(self) -> None:
         """Fault injection: the agent daemon dies, losing soft state.
 
@@ -225,11 +237,15 @@ class PoolingAgent:
                     # Probe and report devices before the renew round
                     # trips: the utilization snapshot should reflect the
                     # tick boundary, not drift later with control-plane
-                    # RPC latency.
-                    for device in list(self._devices.values()):
-                        yield from self._check_device(device)
+                    # RPC latency.  A stalled agent skips exactly this
+                    # work (and the announces) while its liveness traffic
+                    # continues — the gray signature work-silence
+                    # detection keys on.
+                    if not self.stalled:
+                        for device in list(self._devices.values()):
+                            yield from self._check_device(device)
                     yield from self._renew_leases()
-                    if ticks % self.announce_every == 0:
+                    if not self.stalled and ticks % self.announce_every == 0:
                         yield from self.announce()
                 except LinkDownError:
                     # Control channel unreachable this tick; report again

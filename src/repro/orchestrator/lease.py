@@ -23,13 +23,17 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
+from repro.cxl.params import LEASE_GRACE_NS, LEASE_TTL_NS
+
 #: Default lease term.  Must undercut the 50 ms heartbeat timeout so the
 #: lease path detects a dead owner before the legacy liveness path does.
-DEFAULT_TTL_NS = 30_000_000.0
+#: (Value hoisted to :mod:`repro.cxl.params` with the other robustness
+#: timing constants; these aliases keep the historical import path.)
+DEFAULT_TTL_NS = LEASE_TTL_NS
 
 #: Clock-skew / in-flight-op allowance between owner self-fence (at
 #: expiry) and the orchestrator starting a successor (at expiry+grace).
-DEFAULT_GRACE_NS = 5_000_000.0
+DEFAULT_GRACE_NS = LEASE_GRACE_NS
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.cxl.params import (
+    HEALTH_GRAY_TICKS,
+    HEALTH_PROBATION_TICKS,
+    HEARTBEAT_TIMEOUT_NS,
+    MONITOR_CHECK_INTERVAL_NS,
+    WORK_SILENCE_TIMEOUT_NS,
+)
 from repro.obs import runtime as _obs
 from repro.orchestrator.lease import (
     DEFAULT_GRACE_NS,
@@ -69,10 +76,11 @@ class Orchestrator:
 
     def __init__(self, sim: Simulator,
                  policy: Optional[AllocationPolicy] = None,
-                 heartbeat_timeout_ns: float = 50_000_000.0,
+                 heartbeat_timeout_ns: float = HEARTBEAT_TIMEOUT_NS,
                  rebalance_spread: float = 0.4,
                  lease_ttl_ns: float = DEFAULT_TTL_NS,
-                 lease_grace_ns: float = DEFAULT_GRACE_NS):
+                 lease_grace_ns: float = DEFAULT_GRACE_NS,
+                 work_silence_timeout_ns: float = WORK_SILENCE_TIMEOUT_NS):
         self.sim = sim
         self.policy = policy or LocalFirstPolicy()
         self.board = TelemetryBoard()
@@ -94,7 +102,7 @@ class Orchestrator:
         #: an assignment is (re)bound; old_device_id None on first bind.
         self._migration_subscribers: list[Callable] = []
         self._monitor = None
-        self._check_interval_ns = 10_000_000.0
+        self._check_interval_ns = MONITOR_CHECK_INTERVAL_NS
         #: virtual ids whose failover found no target; retried on device
         #: repair, on new registrations, and every monitor tick.
         self._pending_repair: set[int] = set()
@@ -113,6 +121,24 @@ class Orchestrator:
         self.mhd_failures_seen = 0
         self.mhd_repairs_seen = 0
         self._mhds_down: set[int] = set()
+        # Gray-failure containment: fail-slow MHDs reported by the pool's
+        # health-scored monitor, and work-silent (stalled) agents caught
+        # by the work-silence check below.
+        self._mhds_gray: set[int] = set()
+        self.mhd_grays_seen = 0
+        self.mhd_reinstates_seen = 0
+        self.work_silence_timeout_ns = work_silence_timeout_ns
+        #: Hosts whose agents look stalled: lease renewals are refused so
+        #: their terms lapse and devices fail over with fencing intact.
+        self._quarantined_hosts: set[str] = set()
+        self._stall_suspect_ticks: dict[str, int] = {}
+        self._stall_clean_ticks: dict[str, int] = {}
+        self.hosts_quarantined = 0
+        self.hosts_reinstated = 0
+        self.quarantine_refusals = 0
+        #: (host, sim_now) per quarantine event — detection-time probes
+        #: for the gray chaos soak.
+        self.stall_quarantine_log: list = []
 
     # -- registry --------------------------------------------------------------
 
@@ -269,6 +295,33 @@ class Orchestrator:
         self.board.set_gauge("mhd.down", float(len(self._mhds_down)))
         self._retry_pending_repairs()
 
+    def ingest_mhd_gray(self, mhd_index: int) -> None:
+        """The pool's health monitor demoted a fail-slow MHD.
+
+        Like :meth:`ingest_mhd_failure` this is bookkeeping — the channel
+        rebuilds and placement avoidance are the pool layer's mechanism —
+        but keeping the gray set here makes pod availability (down vs
+        merely slow) queryable from one place.
+        """
+        if self.down:
+            self.dropped_while_down += 1
+            return
+        if mhd_index not in self._mhds_gray:
+            self._mhds_gray.add(mhd_index)
+            self.mhd_grays_seen += 1
+            _instant("orch.mhd_gray", self.sim.now, mhd=mhd_index)
+        self.board.set_gauge("mhd.gray", float(len(self._mhds_gray)))
+
+    def ingest_mhd_reinstated(self, mhd_index: int) -> None:
+        if self.down:
+            self.dropped_while_down += 1
+            return
+        if mhd_index in self._mhds_gray:
+            self._mhds_gray.discard(mhd_index)
+            self.mhd_reinstates_seen += 1
+            _instant("orch.mhd_reinstated", self.sim.now, mhd=mhd_index)
+        self.board.set_gauge("mhd.gray", float(len(self._mhds_gray)))
+
     def ingest_device_announce(self, host_id: str, device_id: int,
                                kind: str, healthy: bool) -> None:
         """Declarative device report from an agent (resync/recovery path).
@@ -311,6 +364,14 @@ class Orchestrator:
         """
         if self.down:
             self.dropped_while_down += 1
+            return None
+        if host_id in self._quarantined_hosts:
+            # Quarantined (work-silent) owner: refuse the renewal so its
+            # current term simply runs out.  The owner self-fences at
+            # expiry and the post-grace sweep starts a successor — the
+            # one ordering that is safe when the remote daemon cannot be
+            # told to step down.
+            self.quarantine_refusals += 1
             return None
         record = self._records.get(device_id)
         if record is None or record.owner_host != host_id:
@@ -494,7 +555,8 @@ class Orchestrator:
 
     # -- monitoring loop -----------------------------------------------------------------
 
-    def start(self, check_interval_ns: float = 10_000_000.0) -> None:
+    def start(self,
+              check_interval_ns: float = MONITOR_CHECK_INTERVAL_NS) -> None:
         """Start the periodic monitor (dead agents, rebalancing)."""
         if self._monitor is not None:
             raise RuntimeError("orchestrator already started")
@@ -527,6 +589,13 @@ class Orchestrator:
         # never re-mint a token some fenced server has already seen.
         self.leases.clear()
         self._lease_fenced = set()
+        # Quarantine decisions are soft state too: the new incarnation
+        # re-derives them from fresh telemetry (a still-stalled host goes
+        # work-silent again within a few ticks).
+        self._quarantined_hosts = set()
+        self._stall_suspect_ticks = {}
+        self._stall_clean_ticks = {}
+        self._mhds_gray = set()
 
     def restart(self) -> None:
         """Come back up in a new epoch with an empty table.
@@ -553,6 +622,7 @@ class Orchestrator:
                     _instant("orch.host_down", self.sim.now, host=host)
                     for device_id in self.board.mark_host_down(host):
                         self._failover_device(device_id)
+                self._check_work_silence()
                 # Safety net: event-driven retries (repair, registration)
                 # can race an outage, so sweep the pending queue each tick.
                 if self._pending_repair:
@@ -561,6 +631,89 @@ class Orchestrator:
                     self.rebalance_once(kind)
         except Interrupt:
             return
+
+    # -- gray agents: work-silence quarantine --------------------------------------------
+
+    def _check_work_silence(self) -> None:
+        """One quarantine tick: catch agents that heartbeat but do no work.
+
+        A *stalled* agent is invisible to the crash detectors — its
+        heartbeats and renewals keep flowing — so the signal is work
+        silence: every healthy device the host owns stopped sending load
+        reports for longer than ``work_silence_timeout_ns`` while the
+        heartbeat stayed fresh.  Hysteresis on both edges: a host is
+        quarantined only after ``HEALTH_GRAY_TICKS`` consecutive silent
+        ticks, and reinstated only after ``HEALTH_PROBATION_TICKS``
+        consecutive ticks with reports flowing again.
+        """
+        now = self.sim.now
+        for host in self.board.agent_hosts():
+            last_hb = self.board.last_heartbeat(host)
+            if last_hb is None or now - last_hb > self.heartbeat_timeout_ns:
+                # Dead-agent territory: the stale-heartbeat sweep owns it.
+                self._stall_suspect_ticks.pop(host, None)
+                self._stall_clean_ticks.pop(host, None)
+                continue
+            watched = [
+                t for t in self.board.devices_owned_by(host)
+                if t.ever_reported
+                and (t.healthy or host in self._quarantined_hosts)
+            ]
+            if not watched:
+                self._stall_suspect_ticks.pop(host, None)
+                continue
+            silent = all(
+                now - t.last_report_ns > self.work_silence_timeout_ns
+                for t in watched
+            )
+            if host in self._quarantined_hosts:
+                if silent:
+                    self._stall_clean_ticks[host] = 0
+                else:
+                    clean = self._stall_clean_ticks.get(host, 0) + 1
+                    self._stall_clean_ticks[host] = clean
+                    if clean >= HEALTH_PROBATION_TICKS:
+                        self._reinstate_host(host)
+            else:
+                if silent:
+                    streak = self._stall_suspect_ticks.get(host, 0) + 1
+                    self._stall_suspect_ticks[host] = streak
+                    if streak >= HEALTH_GRAY_TICKS:
+                        self._quarantine_host(host)
+                else:
+                    self._stall_suspect_ticks[host] = 0
+        self.board.set_gauge("hosts.quarantined",
+                             float(len(self._quarantined_hosts)))
+
+    def _quarantine_host(self, host: str) -> None:
+        self._quarantined_hosts.add(host)
+        self._stall_suspect_ticks.pop(host, None)
+        self._stall_clean_ticks[host] = 0
+        self.hosts_quarantined += 1
+        self.stall_quarantine_log.append((host, self.sim.now))
+        _obs.METRICS.counter("orch.hosts_quarantined").inc()
+        _instant("orch.host_quarantined", self.sim.now, host=host)
+        # No force-expiry: the orchestrator cannot make the remote (and
+        # by hypothesis wedged) daemon drop its leases first, so the only
+        # fencing-safe demotion is refusing renewals (ingest_lease_renew)
+        # and letting each term lapse — owner self-fence at expiry, sweep
+        # failover at expiry + grace.
+
+    def _reinstate_host(self, host: str) -> None:
+        self._quarantined_hosts.discard(host)
+        self._stall_clean_ticks.pop(host, None)
+        self._stall_suspect_ticks.pop(host, None)
+        self.hosts_reinstated += 1
+        _obs.METRICS.counter("orch.hosts_reinstated").inc()
+        _instant("orch.host_reinstated", self.sim.now, host=host)
+
+    @property
+    def quarantined_hosts(self) -> list:
+        return sorted(self._quarantined_hosts)
+
+    @property
+    def gray_mhds(self) -> list:
+        return sorted(self._mhds_gray)
 
     # -- internals ----------------------------------------------------------------------------
 

@@ -157,6 +157,18 @@ class TelemetryBoard:
     def last_heartbeat(self, host_id: str) -> Optional[float]:
         return self._agent_heartbeat_ns.get(host_id)
 
+    def agent_hosts(self) -> list[str]:
+        """Every host we expect liveness traffic from."""
+        return sorted(set(self._agent_expected_ns)
+                      | set(self._agent_heartbeat_ns))
+
+    def devices_owned_by(self, host_id: str) -> list[DeviceTelemetry]:
+        return sorted(
+            (t for t in self._devices.values()
+             if t.owner_host == host_id),
+            key=lambda t: t.device_id,
+        )
+
     def __repr__(self) -> str:
         healthy = sum(1 for t in self._devices.values() if t.healthy)
         return (

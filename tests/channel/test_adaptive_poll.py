@@ -125,6 +125,37 @@ def test_predictor_locks_onto_periodic_traffic():
     close(sim, client, server)
 
 
+def test_predictor_tolerates_jittered_tick_arrivals():
+    """Ticks arriving with bounded jitter around the period (the
+    degraded-link case: each message pays an extra random delay) must
+    not break the lock — the predictor's guard window has to absorb
+    jitter well under the period, and latency stays far below a
+    worst-case ceiling sleep."""
+    sim, client, server = make_pair(adaptive=ADAPTIVE_POLL_MAX_NS)
+    period_ns = 10_000_000.0
+    jitter = sim.rng.stream("tick-jitter")
+    arrivals = []
+    server.on(Heartbeat, lambda msg: arrivals.append(sim.now))
+    sends = []
+
+    def proc():
+        for i in range(12):
+            yield sim.timeout(period_ns
+                              + float(jitter.uniform(0.0, 50_000.0)))
+            sends.append(sim.now)
+            yield from client.send(Heartbeat(request_id=i,
+                                             timestamp_us=0, healthy=1))
+        yield sim.timeout(2_000_000.0)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert len(arrivals) == 12
+    # Even jittered, later ticks must not pay a full ceiling sleep.
+    late_lag = [a - s for a, s in zip(arrivals, sends)][6:]
+    assert max(late_lag) < 0.5 * ADAPTIVE_POLL_MAX_NS
+    close(sim, client, server)
+
+
 def test_burst_is_batch_drained_in_order():
     """A burst of fire-and-forget messages is delivered completely and
     in order through the dispatcher's drain pass."""

@@ -1,0 +1,93 @@
+"""Pool-level gray-MHD quarantine: detect, demote, rebuild, reinstate.
+
+The MHD monitor's liveness probe doubles as the latency signal: a
+fail-slow MHD answers every probe, just 10x later.  The health scorer
+flags it as a peer-relative outlier, and the pool then runs the same
+rebuild machinery as MHD *death* — channels and striped buffers move to
+healthy media — except nothing is lost and the device can earn its way
+back through probation once the slowness clears.
+"""
+
+from repro.core import PciePool
+from repro.faults import FaultInjector, FaultSchedule, MhdSlow
+from repro.health import HealthConfig, HealthScorer
+from repro.sim import Simulator
+
+
+def make_pool(seed=0, scorer=None):
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=2, n_mhds=2)
+    if scorer is not None:
+        pool._mhd_health = scorer
+        for idx in range(len(pool.pod.mhds)):
+            scorer.track(f"mhd:{idx}")
+    pool.add_nic("h0")
+    pool.start()
+    return sim, pool
+
+
+def test_slow_mhd_is_detected_and_quarantined():
+    sim, pool = make_pool()
+    vnic = pool.open_nic("h1")
+    injector = FaultInjector(pool)
+    fault_at = 150_000_000.0                 # after the 8-probe warmup
+    injector.run(FaultSchedule((
+        MhdSlow(mhd_index=1, at_ns=fault_at, down_ns=1_000_000_000.0,
+                latency_factor=10.0),
+    )))
+    rebuilt_before = pool.channels_rebuilt
+    sim.run(until=sim.timeout(300_000_000.0))
+    # Detected as gray — not dead: the probe never failed.
+    assert pool.gray_mhds == {1}
+    assert 1 not in pool._mhd_down
+    (idx, detected_ns) = pool.mhd_gray_log[0]
+    assert idx == 1
+    assert detected_ns - fault_at < 100_000_000.0
+    # Quarantine steers placements away and re-homes the channels.
+    assert pool.pod.avoided_mhds == {1}
+    assert pool.orchestrator.gray_mhds == [1]
+    assert pool.channels_rebuilt > rebuilt_before
+    assert pool.check_fencing_invariant() == []
+    # The datapath survived the re-home: the vNIC still has a device.
+    assert vnic.device_id is not None
+    assert pool.export_ras_telemetry()["ras.mhds_gray_now"] == 1
+    pool.stop()
+    sim.run()
+
+
+def test_recovered_mhd_serves_probation_then_reinstated():
+    """A tighter scorer keeps the round trip inside a short sim: after
+    the slow window clears and the sample window flushes, a clean
+    probation re-admits the MHD for placements."""
+    scorer = HealthScorer(HealthConfig(
+        window=8, min_samples=4, gray_ticks=2, probation_ticks=2))
+    sim, pool = make_pool(seed=1, scorer=scorer)
+    pool.open_nic("h1")
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        MhdSlow(mhd_index=1, at_ns=80_000_000.0, down_ns=120_000_000.0,
+                latency_factor=10.0),
+    )))
+    sim.run(until=sim.timeout(180_000_000.0))
+    assert pool.gray_mhds == {1}             # quarantined while slow
+    # Restored at 200 ms; the 8-sample window flushes in ~80 ms of
+    # probes, then two clean ticks of probation reinstate it.
+    sim.run(until=sim.timeout(220_000_000.0))
+    assert pool.gray_mhds == set()
+    assert pool.pod.avoided_mhds == set()
+    assert pool.orchestrator.gray_mhds == []
+    assert pool.orchestrator.mhd_reinstates_seen == 1
+    assert pool.check_fencing_invariant() == []
+    pool.stop()
+    sim.run()
+
+
+def test_healthy_pool_never_grays_an_mhd():
+    sim, pool = make_pool(seed=2)
+    pool.open_nic("h1")
+    sim.run(until=sim.timeout(300_000_000.0))
+    assert pool.gray_mhds == set()
+    assert pool.mhd_gray_log == []
+    assert pool.export_ras_telemetry()["ras.mhds_gray_now"] == 0
+    pool.stop()
+    sim.run()

@@ -1,0 +1,234 @@
+"""Deadline-hedged retries on the gray band of the datapath clients.
+
+Between the hedge deadline and the op timeout the owner is *alive but
+slow*: tearing the queues down via failover would only add recovery
+latency.  The client watchdogs instead re-ring the doorbell at the
+current frontier.  Doorbells carry max() semantics and every command is
+journaled server-side by op id, so a hedge that races the original
+delivery is absorbed without duplicating device work — the op completes
+exactly once, just later than the deadline hoped.
+
+These tests slow the pool media mid-op (the MhdSlow gray fault, applied
+directly) and assert the hedge path fires *instead of* failover, with
+zero duplicated or lost operations.
+"""
+
+import zlib
+
+from repro.channel.rpc import RpcEndpoint
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.datapath.netstack import UdpStack
+from repro.datapath.placement import BufferPlacement, DriverMemory
+from repro.datapath.proxy import (
+    DeviceServer,
+    LocalDeviceHandle,
+    RemoteDeviceHandle,
+)
+from repro.datapath.vaccel import RemoteAcceleratorClient
+from repro.datapath.vssd import RemoteSsdClient
+from repro.pcie.accelerator import KERNEL_COMPRESS, Accelerator
+from repro.pcie.fabric import EthernetSwitch
+from repro.pcie.nic import Nic, NicSpec
+from repro.pcie.ssd import Ssd
+from repro.sim import Simulator
+
+SLOW_FACTOR = 50_000.0         # pool accesses go from ~200 ns to ~10 ms
+HEDGE_DEADLINE = 5_000_000.0   # 5 ms — under the 10 ms watchdog tick
+
+
+def make_pod(seed=2):
+    sim = Simulator(seed=seed)
+    pod = CxlPod(sim, PodConfig(n_hosts=3, n_mhds=2, mhd_capacity=1 << 27))
+    return sim, pod
+
+
+def wire_remote(sim, pod, device, owner, borrower):
+    owner_ep, borrower_ep = RpcEndpoint.pair(pod, owner, borrower)
+    server = DeviceServer(owner_ep)
+    server.export(device)
+    handle = RemoteDeviceHandle(borrower_ep, device_id=device.device_id)
+    return handle, server, (owner_ep, borrower_ep)
+
+
+def slow_pool(pod):
+    for mhd in pod.mhds:
+        mhd.slow(SLOW_FACTOR)
+
+
+def restore_pool(pod):
+    for mhd in pod.mhds:
+        mhd.restore_latency()
+
+
+def test_slow_media_hedges_ssd_op_without_failover():
+    sim, pod = make_pod()
+    ssd = Ssd(sim, "ssd0", device_id=10)
+    ssd.attach(pod.host("h0"))
+    ssd.start()
+    handle, _server, eps = wire_remote(sim, pod, ssd, "h0", "h2")
+    client = RemoteSsdClient(sim, pod.host("h2"), handle, pod, "h0",
+                             hedge_deadline_ns=HEDGE_DEADLINE)
+    payload = b"gray-band-block!" * 64          # 1 KiB = 16 line ops
+
+    def proc():
+        yield from client.setup()
+        slow_pool(pod)                           # fail-slow, not fail-stop
+        status = yield from client.write(lba=256, data=payload)
+        assert status == 0
+        restore_pool(pod)
+        data = yield from client.read(lba=256, length=len(payload))
+        return data
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value == payload
+    # The op crossed the hedge deadline, so the watchdog re-rang the
+    # doorbell — but never escalated to queue teardown.
+    assert client.hedges >= 1
+    assert client.failovers == 0
+    assert client.op_timeouts == 0
+    # Exactly-once: hedged doorbells are idempotent (max() semantics +
+    # server journal), so no command ran twice and none was lost.
+    assert client.ops_submitted == 2
+    assert client.ops_completed == 2
+    assert ssd.commands_completed == 2
+    ssd.stop()
+    for ep in eps:
+        ep.close()
+    sim.run()
+
+
+def test_recovered_media_stops_hedging():
+    """After the gray window clears, subsequent ops complete inside the
+    deadline: the hedge counter stays put and the streak is reset."""
+    sim, pod = make_pod(seed=3)
+    ssd = Ssd(sim, "ssd0", device_id=10)
+    ssd.attach(pod.host("h0"))
+    ssd.start()
+    handle, _server, eps = wire_remote(sim, pod, ssd, "h0", "h2")
+    client = RemoteSsdClient(sim, pod.host("h2"), handle, pod, "h0",
+                             hedge_deadline_ns=HEDGE_DEADLINE)
+
+    def proc():
+        yield from client.setup()
+        slow_pool(pod)
+        yield from client.write(lba=0, data=b"a" * 1024)
+        restore_pool(pod)
+        # Let the last hedge's carrier (issued at the slowed latency)
+        # drain, or the next doorbell coalesces behind the straggler.
+        yield sim.timeout(20_000_000.0)
+        hedges_after_gray = client.hedges
+        yield from client.write(lba=8, data=b"b" * 1024)
+        return hedges_after_gray
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert p.value >= 1                      # the gray op did hedge
+    assert client.hedges == p.value          # the healthy op did not
+    assert client._hedge_streak == 0         # completion reset the streak
+    assert client.failovers == 0
+    ssd.stop()
+    for ep in eps:
+        ep.close()
+    sim.run()
+
+
+def test_slow_media_hedges_accelerator_job():
+    sim, pod = make_pod()
+    accel = Accelerator(sim, "accel0", device_id=20)
+    accel.attach(pod.host("h0"))
+    accel.start()
+    handle, _server, eps = wire_remote(sim, pod, accel, "h0", "h2")
+    client = RemoteAcceleratorClient(sim, pod.host("h2"), handle, pod, "h0",
+                                     hedge_deadline_ns=HEDGE_DEADLINE)
+    data = b"compress through the gray band " * 40
+
+    def proc():
+        yield from client.setup()
+        slow_pool(pod)
+        out = yield from client.run_job(KERNEL_COMPRESS, data)
+        restore_pool(pod)
+        return out
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    assert zlib.decompress(p.value) == data
+    assert client.hedges >= 1
+    assert client.failovers == 0
+    assert accel.jobs_completed == 1         # the hedge duplicated nothing
+    accel.stop()
+    for ep in eps:
+        ep.close()
+    sim.run()
+
+
+def test_udp_tx_hedge_under_slow_pool():
+    """The remote NIC stack hedges stalled TX completions: a frame whose
+    DMA crawls through slowed pool media gets its doorbells re-rung, is
+    transmitted exactly once, and arrives intact."""
+    sim, pod = make_pod(seed=1)
+    switch = EthernetSwitch(sim)
+    nic_a = Nic(sim, "nic-a", device_id=1, mac=0xAA,
+                spec=NicSpec(n_desc=64))
+    nic_a.attach(pod.host("h0"))
+    nic_a.plug_into(switch)
+    nic_a.start()
+    nic_b = Nic(sim, "nic-b", device_id=2, mac=0xBB,
+                spec=NicSpec(n_desc=64))
+    nic_b.attach(pod.host("h1"))
+    nic_b.plug_into(switch)
+    nic_b.start()
+    owner_ep, borrower_ep = RpcEndpoint.pair(pod, "h0", "h2")
+    server = DeviceServer(owner_ep)
+    server.export(nic_a)
+    remote_stack = UdpStack(
+        sim, pod.host("h2"),
+        RemoteDeviceHandle(borrower_ep, device_id=1),
+        DriverMemory(pod.host("h2"), pod, BufferPlacement.CXL,
+                     owners=["h0", "h2"], label="remote-stack"),
+        mac=0xAA, n_desc=64, name="stack-h2",
+        tx_hint=nic_a.tx_cq_hint, rx_hint=nic_a.rx_cq_hint,
+    )
+    local_stack = UdpStack(
+        sim, pod.host("h1"),
+        LocalDeviceHandle(nic_b),
+        DriverMemory(pod.host("h1"), pod, BufferPlacement.LOCAL,
+                     label="local-stack"),
+        mac=0xBB, n_desc=64, name="stack-h1",
+        tx_hint=nic_b.tx_cq_hint, rx_hint=nic_b.rx_cq_hint,
+    )
+    payload = b"g" * 1400                    # ~22 line ops of frame DMA
+    received = {}
+
+    def h1_main():
+        yield from local_stack.start()
+        sock = local_stack.bind(7)
+        data, src_mac, _port = yield from sock.recv()
+        received.update(payload=data, src_mac=src_mac)
+
+    def h2_main():
+        yield from remote_stack.start()
+        sock = remote_stack.bind(8)
+        slow_pool(pod)
+        yield from sock.sendto(payload, 0xBB, 7)
+
+    def medic():
+        yield sim.timeout(150_000_000.0)
+        restore_pool(pod)
+
+    r = sim.spawn(h1_main())
+    sim.spawn(h2_main())
+    sim.spawn(medic())
+    sim.run(until=r)
+    assert received["payload"] == payload
+    assert received["src_mac"] == 0xAA
+    assert remote_stack.hedges >= 1
+    assert nic_a.frames_sent == 1            # hedges never retransmit
+    assert nic_b.frames_received == 1
+    remote_stack.stop()
+    local_stack.stop()
+    nic_a.stop()
+    nic_b.stop()
+    owner_ep.close()
+    borrower_ep.close()
+    sim.run()

@@ -351,3 +351,27 @@ def test_dedup_journal_is_bounded_fifo(setup):
     assert len(server._journal) == 4
     assert sorted(server._journal) == [4, 5, 6, 7]   # oldest evicted
     teardown(sim, eps)
+
+
+def test_journal_cap_is_constructor_configurable(setup):
+    sim, pod, nic, server, handle, eps = setup
+    with pytest.raises(ValueError):
+        DeviceServer(server.endpoint, journal_cap=0)
+    server.journal_cap = 3
+
+    def proc():
+        for op_id in range(1, 6):      # 5 ops through a cap of 3
+            yield from handle.endpoint.call_with_retry(
+                MmioWrite(request_id=0, device_id=1,
+                          addr=Nic.REG_TX_RING, value=op_id,
+                          op_id=op_id, token=0),
+                timeout_ns=2_000_000.0, max_attempts=4)
+
+    p = sim.spawn(proc())
+    sim.run(until=p)
+    # Occupancy tracks the journal, and every overflow is counted: an
+    # eviction rate racing active hedges means the cap is sized too
+    # small to keep hedged replays recognizable.
+    assert server.journal_occupancy == 3
+    assert server.journal_evictions == 2
+    teardown(sim, eps)

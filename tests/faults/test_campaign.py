@@ -3,15 +3,18 @@
 from repro.core import PciePool
 from repro.faults import (
     AgentCrash,
+    AgentStall,
     ChaosCampaign,
     ChaosConfig,
     DeviceFlap,
     HostPartition,
     LeaseExpire,
+    LinkDegrade,
     LinkFlap,
     MemPoison,
     MhdCrash,
     MhdDegrade,
+    MhdSlow,
     OrchestratorCrash,
 )
 from repro.sim import Simulator
@@ -186,6 +189,53 @@ def test_lease_fault_counts_and_validity():
         assert cfg.min_down_ns <= fault.down_ns <= cfg.max_down_ns
     for fault in expires:
         assert fault.device_id in device_ids
+
+
+def test_gray_fault_counts_and_validity():
+    import dataclasses
+    cfg = dataclasses.replace(CFG, mhd_slows=2, link_degrades=2,
+                              agent_stalls=1, slow_factor=8.0,
+                              degrade_jitter_ns=1_500.0)
+    pool = make_pool(14)
+    schedule = ChaosCampaign(pool, cfg).schedule()
+    slows = [f for f in schedule if isinstance(f, MhdSlow)]
+    degrades = [f for f in schedule if isinstance(f, LinkDegrade)]
+    stalls = [f for f in schedule if isinstance(f, AgentStall)]
+    assert len(slows) == 2 and len(degrades) == 2 and len(stalls) == 1
+    n_mhds = pool.pod.config.n_mhds
+    host_ids = set(pool.pod.host_ids)
+    for fault in slows:
+        assert 0 <= fault.mhd_index < n_mhds
+        assert fault.latency_factor == 8.0
+    for fault in degrades:
+        assert fault.host_id in host_ids
+        assert fault.jitter_ns == 1_500.0
+        links = pool.pod.host(fault.host_id).port.links
+        assert 0 <= fault.link_index < len(links)
+    for fault in stalls:
+        assert fault.host_id in host_ids
+    # Slow/stall faults need runway for detection + probation, so they
+    # draw from the first half of the active window.
+    start = 0.05 * cfg.duration_ns
+    span = cfg.duration_ns - cfg.settle_ns - start
+    for fault in slows + stalls:
+        assert fault.at_ns <= start + 0.5 * span
+
+
+def test_gray_draws_do_not_perturb_legacy_schedule():
+    """Prefix stability: gray draws append strictly after every legacy,
+    RAS, and lease loop, so legacy schedules are bit-identical."""
+    import dataclasses
+    legacy = dataclasses.replace(
+        CFG, mhd_crashes=1, mem_poisons=2, host_partitions=1,
+        lease_expires=1, mhd_slows=0, link_degrades=0, agent_stalls=0)
+    with_gray = dataclasses.replace(
+        legacy, mhd_slows=1, link_degrades=1, agent_stalls=1)
+    a = ChaosCampaign(make_pool(15), legacy).schedule()
+    b = ChaosCampaign(make_pool(15), with_gray).schedule()
+    assert b.faults[:len(a.faults)] == a.faults
+    assert all(isinstance(f, (MhdSlow, LinkDegrade, AgentStall))
+               for f in b.faults[len(a.faults):])
 
 
 def test_lease_draws_do_not_perturb_legacy_schedule():

@@ -1,0 +1,138 @@
+"""Gray (fail-slow) fault specs: MhdSlow, LinkDegrade, AgentStall.
+
+These faults are invisible to every crash detector — links stay up,
+accesses succeed, heartbeats keep flowing — which is exactly the point:
+they exercise the health-scoring / quarantine layer instead of the
+fail-stop recovery paths.
+"""
+
+from repro.core import PciePool
+from repro.faults import (
+    AgentStall,
+    FaultInjector,
+    FaultSchedule,
+    LinkDegrade,
+    MhdSlow,
+)
+from repro.sim import Simulator
+
+
+def make_pool(seed=0, n_hosts=2):
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=n_hosts)
+    pnic = pool.add_nic("h0")
+    pool.start()
+    return sim, pool, pool.device(pnic.device_id)
+
+
+def test_mhd_slow_multiplies_latency_then_restores():
+    sim, pool, _nic = make_pool()
+    mhd = pool.pod.mhds[0]
+    nominal = mhd.links[0].load_latency()
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        MhdSlow(mhd_index=0, at_ns=1_000_000.0, down_ns=3_000_000.0,
+                latency_factor=10.0),
+    )))
+    sim.run(until=sim.timeout(2_000_000.0))
+    assert mhd.slowed
+    assert all(link.up for link in mhd.links)      # gray, not dead
+    assert mhd.links[0].load_latency() == 10.0 * nominal
+    sim.run(until=sim.timeout(5_000_000.0))
+    assert not mhd.slowed
+    assert mhd.links[0].load_latency() == nominal
+    events = injector.log.for_target("mhd:0")
+    assert [e.action for e in events] == ["slow", "restore"]
+    assert all(e.fault == "MhdSlow" for e in events)
+    pool.stop()
+    sim.run()
+
+
+def test_link_degrade_jitters_one_link_then_clears():
+    sim, pool, _nic = make_pool()
+    links = pool.pod.host("h1").port.links
+    nominal = links[0].load_latency()
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        LinkDegrade(host_id="h1", at_ns=1_000_000.0, down_ns=2_000_000.0,
+                    jitter_ns=2_000.0, link_index=0),
+    )))
+    sim.run(until=sim.timeout(1_500_000.0))
+    jittered = [links[0].load_latency() for _ in range(32)]
+    assert all(nominal <= lat <= nominal + 2_000.0 for lat in jittered)
+    assert len(set(jittered)) > 1                  # actually random
+    assert all(link.up for link in links)          # degraded, not down
+    sim.run(until=sim.timeout(2_000_000.0))
+    assert links[0].load_latency() == nominal
+    events = injector.log.for_target("link:h1/0")
+    assert [e.action for e in events] == ["jitter", "clear"]
+    pool.stop()
+    sim.run()
+
+
+def test_link_degrade_all_links_logs_each():
+    sim, pool, _nic = make_pool()
+    links = pool.pod.host("h1").port.links
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        LinkDegrade(host_id="h1", at_ns=1_000_000.0, down_ns=1_000_000.0),
+    )))
+    sim.run(until=sim.timeout(3_000_000.0))
+    assert len(injector.log.actions("jitter")) == len(links)
+    assert len(injector.log.actions("clear")) == len(links)
+    pool.stop()
+    sim.run()
+
+
+def test_agent_stall_keeps_heartbeats_stops_reports():
+    """The stalled agent's liveness traffic continues — no heartbeat
+    timeout, no lease expiry — but its device reports go silent."""
+    sim, pool, _nic = make_pool()
+    agent = pool.agents["h0"]
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        AgentStall(host_id="h0", at_ns=20_000_000.0,
+                   down_ns=100_000_000.0),
+    )))
+    board = pool.orchestrator.board
+    sim.run(until=sim.timeout(25_000_000.0))
+    assert agent.stalled
+    hb_mid = board.last_heartbeat("h0")
+    reports_mid = agent.reports_sent
+    sim.run(until=sim.timeout(60_000_000.0))       # 85 ms, still stalled
+    assert board.last_heartbeat("h0") > hb_mid     # liveness continues
+    assert agent.reports_sent == reports_mid       # work does not
+    # The heartbeat path never declared the host stale.
+    assert board.stale_agents(sim.now, 50_000_000.0) == []
+    sim.run(until=sim.timeout(60_000_000.0))       # past unstall
+    assert not agent.stalled
+    assert agent.reports_sent > reports_mid        # work resumed
+    events = injector.log.for_target("agent:h0")
+    assert [e.action for e in events] == ["stall", "unstall"]
+    pool.stop()
+    sim.run()
+
+
+def gray_signature(seed):
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=2)
+    pool.add_nic("h0")
+    pool.start()
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        MhdSlow(mhd_index=0, at_ns=2_000_000.0, down_ns=4_000_000.0),
+        LinkDegrade(host_id="h1", at_ns=3_000_000.0, down_ns=3_000_000.0,
+                    jitter_ns=1_500.0),
+        AgentStall(host_id="h0", at_ns=5_000_000.0, down_ns=4_000_000.0),
+    )))
+    sim.run(until=sim.timeout(20_000_000.0))
+    pool.stop()
+    sim.run()
+    return injector.log.signature()
+
+
+def test_same_seed_same_gray_fault_log():
+    """Bit-identical fault logs across same-seed reruns: the per-op
+    jitter draws come from dedicated streams, so injecting them never
+    perturbs the schedule or the log."""
+    assert gray_signature(42) == gray_signature(42)

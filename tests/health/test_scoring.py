@@ -1,0 +1,138 @@
+"""HealthScorer: peer-relative gray verdicts + hysteresis state machine."""
+
+from repro.health import GRAY, HEALTHY, PROBATION, HealthConfig, HealthScorer
+
+CFG = HealthConfig(window=16, min_samples=4, outlier_factor=3.0,
+                   floor_ns=1000.0, gray_ticks=3, probation_ticks=4)
+
+
+def feed(scorer, key, value, n=1):
+    for _ in range(n):
+        scorer.observe(key, value)
+
+
+def make_population(slow_key="mhd:2", slow_ns=20_000.0):
+    """Three keys: two healthy at ~2 us, one at ``slow_ns``."""
+    scorer = HealthScorer(CFG)
+    feed(scorer, "mhd:0", 2_000.0, n=8)
+    feed(scorer, "mhd:1", 2_100.0, n=8)
+    feed(scorer, slow_key, slow_ns, n=8)
+    return scorer
+
+
+def test_outlier_diverging_from_peer_median_goes_gray():
+    scorer = make_population()
+    events = []
+    for _ in range(CFG.gray_ticks):
+        events.extend(scorer.evaluate())
+    assert events == [("mhd:2", "demote")]
+    assert scorer.state_of("mhd:2") == GRAY
+    assert scorer.state_of("mhd:0") == HEALTHY
+    assert scorer.state_of("mhd:1") == HEALTHY
+
+
+def test_no_verdict_below_min_samples():
+    scorer = HealthScorer(CFG)
+    feed(scorer, "mhd:0", 90_000.0, n=CFG.min_samples - 1)
+    feed(scorer, "mhd:1", 90_000.0, n=CFG.min_samples - 1)
+    for _ in range(10):
+        assert scorer.evaluate() == []
+    assert scorer.state_of("mhd:0") == HEALTHY
+    assert scorer.state_of("mhd:1") == HEALTHY
+
+
+def test_lone_key_falls_back_to_floor():
+    """With no reference population the floor is the only gate: a lone
+    key above it is gray, below it is clean."""
+    scorer = HealthScorer(CFG)
+    feed(scorer, "mhd:0", 5_000.0, n=CFG.min_samples)
+    for _ in range(CFG.gray_ticks):
+        events = scorer.evaluate()
+    assert events == [("mhd:0", "demote")]
+
+
+def test_floor_gates_idle_pod_noise():
+    """Sub-floor tails never go gray, however large the relative skew."""
+    scorer = HealthScorer(CFG)
+    feed(scorer, "mhd:0", 10.0, n=8)
+    feed(scorer, "mhd:1", 12.0, n=8)
+    feed(scorer, "mhd:2", 900.0, n=8)    # 75x peers, still under floor
+    for _ in range(10):
+        assert scorer.evaluate() == []
+
+
+def test_uniformly_slow_population_is_not_gray():
+    """Peer-relative: a workload shift that slows *everyone* must not
+    quarantine anything (an absolute threshold would misfire here)."""
+    scorer = HealthScorer(CFG)
+    for key in ("mhd:0", "mhd:1", "mhd:2"):
+        feed(scorer, key, 50_000.0, n=8)
+    for _ in range(10):
+        assert scorer.evaluate() == []
+
+
+def test_reference_median_excludes_self():
+    """Two keys only: with self included the median would sit halfway
+    to the outlier and mask it; excluding self must still detect."""
+    scorer = HealthScorer(CFG)
+    feed(scorer, "mhd:0", 2_000.0, n=8)
+    feed(scorer, "mhd:1", 20_000.0, n=8)
+    for _ in range(CFG.gray_ticks):
+        events = scorer.evaluate()
+    assert events == [("mhd:1", "demote")]
+
+
+def test_hysteresis_requires_consecutive_gray_ticks():
+    """A gray streak broken by one clean tick starts over."""
+    scorer = make_population()
+    scorer.evaluate()
+    scorer.evaluate()                            # 2 gray ticks
+    # The slow key recovers enough to look clean for one tick.
+    feed(scorer, "mhd:2", 2_000.0, n=CFG.window)
+    scorer.evaluate()                            # clean: streak resets
+    feed(scorer, "mhd:2", 20_000.0, n=CFG.window)
+    scorer.evaluate()
+    scorer.evaluate()                            # only 2 new gray ticks
+    assert scorer.state_of("mhd:2") == HEALTHY
+    assert scorer.evaluate() == [("mhd:2", "demote")]
+
+
+def test_probation_round_trip_and_relapse():
+    scorer = make_population()
+    for _ in range(CFG.gray_ticks):
+        scorer.evaluate()
+    assert scorer.state_of("mhd:2") == GRAY
+    # Recovery: the window refills with healthy samples.
+    feed(scorer, "mhd:2", 2_000.0, n=CFG.window)
+    scorer.evaluate()
+    assert scorer.state_of("mhd:2") == PROBATION
+    assert "mhd:2" in scorer.gray_keys()         # probation != trusted
+    # A relapse mid-probation goes straight back to GRAY.
+    feed(scorer, "mhd:2", 20_000.0, n=CFG.window)
+    scorer.evaluate()
+    assert scorer.state_of("mhd:2") == GRAY
+    # Full clean probation reinstates.
+    feed(scorer, "mhd:2", 2_000.0, n=CFG.window)
+    events = []
+    for _ in range(CFG.probation_ticks):
+        events.extend(scorer.evaluate())
+    assert ("mhd:2", "reinstate") in events
+    assert scorer.state_of("mhd:2") == HEALTHY
+    assert scorer.gray_keys() == []
+
+
+def test_p99_is_exact_rank_over_window():
+    scorer = HealthScorer(CFG)
+    for v in range(1, 11):                       # 1..10
+        scorer.observe("k", float(v))
+    assert scorer.p99("k") == 10.0               # ceil(0.99*10) = 10th
+    assert scorer.p99("missing") is None
+
+
+def test_report_snapshot_shape():
+    scorer = make_population()
+    report = scorer.report()
+    assert sorted(report) == ["mhd:0", "mhd:1", "mhd:2"]
+    assert report["mhd:2"]["state"] == HEALTHY
+    assert report["mhd:2"]["p99"] == 20_000.0
+    assert report["mhd:2"]["samples"] == 8.0

@@ -1,0 +1,124 @@
+"""Work-silence quarantine: gray agents are demoted, not declared dead.
+
+A stalled agent heartbeats and renews on time, so neither the heartbeat
+timeout nor lease expiry fires on its own.  The orchestrator's monitor
+cross-checks liveness against *work*: fresh heartbeat + every owned
+device silent past the work-silence timeout = quarantine.  Quarantine
+refuses lease renewals (it never force-expires): the wedged owner
+self-fences when its current term runs out — strictly before the
+post-grace sweep starts a successor — preserving the fencing invariant
+without any cooperation from the stuck daemon.
+"""
+
+from repro.core import PciePool
+from repro.faults import AgentStall, FaultInjector, FaultSchedule
+from repro.sim import Simulator
+
+
+def make_pool(seed=0):
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=3)
+    pool.add_nic("h0")
+    pool.add_nic("h1")
+    pool.start()
+    return sim, pool
+
+
+def test_stalled_agent_is_quarantined_and_failed_over():
+    sim, pool = make_pool()
+    vnic = pool.open_nic("h2")
+    original = vnic.device_id
+    assert pool.owner_of(original) == "h0"
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        AgentStall(host_id="h0", at_ns=20_000_000.0,
+                   down_ns=200_000_000.0),
+    )))
+    orch = pool.orchestrator
+    # Before the silence window closes: no quarantine.
+    sim.run(until=sim.timeout(60_000_000.0))
+    assert orch.quarantined_hosts == []
+    # Silence (50 ms) + hysteresis (3 ticks) + lease runout (30 ms TTL
+    # + 5 ms grace) + sweep: the borrower is on the successor by 250 ms.
+    sim.run(until=sim.timeout(190_000_000.0))
+    assert orch.hosts_quarantined == 1
+    assert orch.quarantine_refusals > 0
+    assert vnic.device_id != original
+    assert pool.owner_of(vnic.device_id) == "h1"
+    assert pool.check_fencing_invariant() == []
+    # Detection time is bounded: silence timeout + a few monitor ticks.
+    (host, detected_ns) = orch.stall_quarantine_log[0]
+    assert host == "h0"
+    assert detected_ns - 20_000_000.0 < 120_000_000.0
+    pool.stop()
+    sim.run()
+
+
+def test_unstalled_agent_serves_probation_then_reinstated():
+    sim, pool = make_pool()
+    pool.open_nic("h2")
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        AgentStall(host_id="h0", at_ns=20_000_000.0,
+                   down_ns=200_000_000.0),
+    )))
+    sim.run(until=sim.timeout(250_000_000.0))
+    assert pool.orchestrator.hosts_quarantined == 1
+    # Unstalled at 220 ms: reports resume, and after a full clean
+    # probation (8 monitor ticks) the host earns renewals back.
+    sim.run(until=sim.timeout(250_000_000.0))
+    assert pool.orchestrator.hosts_reinstated == 1
+    assert pool.orchestrator.quarantined_hosts == []
+    assert pool.check_fencing_invariant() == []
+    pool.stop()
+    sim.run()
+
+
+def test_healthy_pool_never_quarantines():
+    sim, pool = make_pool()
+    pool.open_nic("h2")
+    sim.run(until=sim.timeout(300_000_000.0))
+    assert pool.orchestrator.hosts_quarantined == 0
+    assert pool.orchestrator.quarantine_refusals == 0
+    pool.stop()
+    sim.run()
+
+
+def test_dead_agent_stays_on_the_crash_path():
+    """A *crashed* agent (heartbeats stop) is the stale-heartbeat
+    sweep's job; work-silence quarantine must not double-claim it."""
+    sim, pool = make_pool()
+    pool.open_nic("h2")
+    sim.run(until=sim.timeout(50_000_000.0))
+    pool.crash_agent("h0")
+    sim.run(until=sim.timeout(250_000_000.0))
+    assert pool.orchestrator.hosts_quarantined == 0
+    pool.stop()
+    sim.run()
+
+
+def test_mhd_gray_bookkeeping():
+    sim, pool = make_pool()
+    orch = pool.orchestrator
+    orch.ingest_mhd_gray(1)
+    assert orch.gray_mhds == [1]
+    assert orch.mhd_grays_seen == 1
+    orch.ingest_mhd_gray(1)                  # idempotent
+    assert orch.mhd_grays_seen == 1
+    orch.ingest_mhd_reinstated(1)
+    assert orch.gray_mhds == []
+    assert orch.mhd_reinstates_seen == 1
+    pool.stop()
+    sim.run()
+
+
+def test_quarantine_state_cleared_on_orchestrator_crash():
+    sim, pool = make_pool()
+    orch = pool.orchestrator
+    orch._quarantine_host("h0")
+    orch.ingest_mhd_gray(0)
+    orch.crash()
+    assert orch.quarantined_hosts == []
+    assert orch.gray_mhds == []
+    pool.stop()
+    sim.run()
