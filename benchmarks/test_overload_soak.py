@@ -1,0 +1,285 @@
+"""Overload soak: open-loop 2x load must shed, not collapse.
+
+Phase 1 calibrates the pod's saturated capacity with closed-loop
+clients (offered load == completed load, by construction).  Phase 2
+offers an *open-loop* arrival stream at twice that capacity — the
+regime where an unprotected system queues without bound, watchdogs
+fire on queueing delay, and retry amplification turns a busy pod into
+a dead one.  Mid-phase an ``OverloadStorm`` fault floods a second
+forwarding path through the admission-controlled device server.
+
+Gates (the PR's acceptance criteria):
+
+* goodput under 2x offered load stays >= 80% of calibrated capacity —
+  the excess is *shed* (client-edge rejections), not absorbed as
+  unbounded queue;
+* p99 latency of admitted ops is bounded by the queue-limit sojourn
+  (2 * limit / capacity) — far under the 200 ms op-timeout watchdog,
+  so overload causes zero spurious failovers;
+* zero quarantines, zero lease lapses, zero fencing violations: the
+  overload never masquerades as failure anywhere in the control plane;
+* the fault log and every headline counter are bit-identical across
+  same-seed reruns.
+
+Emits ``BENCH_overload.json`` for CI to archive.  ``CHAOS_SEED``
+selects the seed (CI runs a small matrix).
+"""
+
+import json
+import os
+
+from repro.channel.ring import RingSaturatedError
+from repro.channel.rpc import RetryBudgetExhausted
+from repro.core import PciePool
+from repro.faults import FaultInjector, FaultLog
+from repro.health import OverloadError
+from repro.pcie.ssd import SsdSpec
+from repro.sim import Simulator
+
+from .conftest import banner, run_once
+
+SEED = int(os.environ.get("CHAOS_SEED", "17"))
+
+#: Deliberately slow media so the soak saturates at a low event rate:
+#: ~2 channels x ~800 us/write -> capacity ~2.5 ops/ms.
+SOAK_SSD = SsdSpec(write_latency_ns=800_000.0, n_channels=2)
+IO_BYTES = 4096
+CAL_WORKERS = 16                     # closed-loop calibration clients
+CAL_NS = 200_000_000.0               # calibration window (0.2 s)
+LOAD_NS = 600_000_000.0              # open-loop window (0.6 s)
+OVERLOAD_FACTOR = 2.0                # offered load vs calibrated capacity
+QUEUE_LIMIT = 96                     # client-edge admission: shed beyond
+STORM_AFTER_NS = 100_000_000.0       # storm onset within the load phase
+STORM_DURATION_NS = 150_000_000.0
+STORM_DEPTH = 12
+SETTLE_NS = 120_000_000.0
+GOODPUT_FLOOR = 0.80
+P99_SOJOURN_FACTOR = 2.0
+
+
+def p99(samples):
+    ordered = sorted(samples)
+    return ordered[int(0.99 * (len(ordered) - 1))]
+
+
+def run_soak(seed: int) -> dict:
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=4, n_mhds=3,
+                    ctl_poll_ns=200_000.0, dev_poll_ns=50_000.0)
+    ssd_a = pool.add_ssd("h0", spec=SOAK_SSD)     # the measured path
+    ssd_b = pool.add_ssd("h1")                    # the stormed path
+    # Pin the measured assignment: the load balancer would (correctly)
+    # migrate off the deliberately slow device the moment its
+    # utilization spread opens up, destroying the controlled 2x-load
+    # experiment.  Overload protection, not placement, is under test.
+    pool.orchestrator.rebalance_spread = 2.0
+    pool.start()
+    vssd = pool.open_ssd("h2", max_io_bytes=16384)
+    # Materialize the storm path and shrink its admission cap so the
+    # storm saturates a queue instead of a whole device.
+    pool.handle_for("h3", ssd_b.device_id)
+    storm_server = pool._device_servers[("h1", "h3")][2]
+    storm_server.max_inflight = 1
+
+    violations: list[str] = []
+
+    def invariant_watch():
+        while True:
+            violations.extend(pool.check_fencing_invariant())
+            yield sim.timeout(2_000_000.0)
+
+    sim.spawn(invariant_watch(), name="invariant-watch")
+
+    log = FaultLog()
+    injector = FaultInjector(pool, log=log)
+    data = b"o" * IO_BYTES
+    stats = {"cal_done": 0, "admitted": 0, "completed": 0,
+             "rejected": 0, "errors": 0, "inflight": 0}
+    latencies: list[float] = []
+
+    def driver():
+        yield from vssd.setup()
+        # -- phase 1: closed-loop capacity calibration ------------------
+        calibrating = {"on": True}
+
+        def closed_worker(k):
+            i = 0
+            while calibrating["on"]:
+                lba = ((k * 997 + i) % 256) * 8
+                yield from vssd.write(lba, data)
+                stats["cal_done"] += 1
+                i += 1
+
+        workers = [sim.spawn(closed_worker(k), name=f"cal.{k}")
+                   for k in range(CAL_WORKERS)]
+        t_cal = sim.now
+        yield sim.timeout(CAL_NS)
+        calibrating["on"] = False
+        capacity = stats["cal_done"] / (sim.now - t_cal)  # ops/ns
+        for w in workers:
+            if w.is_alive:
+                yield w                            # drain the last op each
+        stats["capacity_per_ms"] = capacity * 1e6
+
+        # -- phase 2: open-loop at OVERLOAD_FACTOR x capacity -----------
+        interarrival = 1.0 / (OVERLOAD_FACTOR * capacity)
+        t_load = sim.now
+        storm_fired = False
+        i = 0
+
+        def one_op(lba):
+            t0 = sim.now
+            try:
+                status = yield from vssd.write(lba, data)
+            except (OverloadError, RetryBudgetExhausted,
+                    RingSaturatedError):
+                stats["errors"] += 1
+            else:
+                assert status == 0
+                if sim.now - t_load <= LOAD_NS:
+                    stats["completed"] += 1
+                    latencies.append(sim.now - t0)
+            finally:
+                stats["inflight"] -= 1
+
+        while sim.now - t_load < LOAD_NS:
+            if not storm_fired and sim.now - t_load >= STORM_AFTER_NS:
+                storm_fired = True
+                injector.overload_storm(
+                    "h3", ssd_b.device_id,
+                    duration_ns=STORM_DURATION_NS, depth=STORM_DEPTH)
+            if stats["inflight"] >= QUEUE_LIMIT:
+                stats["rejected"] += 1             # client-edge shedding
+            else:
+                stats["inflight"] += 1
+                stats["admitted"] += 1
+                sim.spawn(one_op((i % 256) * 8), name=f"op.{i}")
+            i += 1
+            yield sim.timeout(interarrival)
+        stats["offered"] = i
+        stats["load_ns"] = sim.now - t_load
+
+    work = sim.spawn(driver(), name="overload-driver")
+    sim.run(until=work)
+    sim.run(until=sim.timeout(SETTLE_NS))
+
+    orch = pool.orchestrator
+    overload = pool.export_overload_telemetry()
+    result = {
+        "signature": log.signature(),
+        "events": [e.line() for e in log],
+        "violations": list(violations),
+        "stats": dict(stats),
+        "latencies": list(latencies),
+        "vssd": {
+            "submitted": vssd.ops_submitted,
+            "completed": vssd.ops_completed,
+            "failovers": vssd.failovers,
+            "hedges": vssd.hedges,
+            "pending": len(vssd._pending),
+        },
+        "overload": overload,
+        "storm_rejects": storm_server.admission_rejects,
+        "hosts_quarantined": orch.hosts_quarantined,
+        "quarantine_refusals": orch.quarantine_refusals,
+        "owner_a": pool.owner_of(ssd_a.device_id),
+        "owner_b": pool.owner_of(ssd_b.device_id),
+        "brownout_level_end": pool.brownout.level,
+        "pacing_waits": pool.pacer_for(
+            "h2", ssd_a.device_id).paced_waits,
+    }
+    pool.stop()
+    return result
+
+
+def check(result: dict) -> None:
+    stats = result["stats"]
+    capacity_per_ns = stats["capacity_per_ms"] / 1e6
+    # Goodput >= 80% of saturated capacity despite 2x offered load.
+    goodput = stats["completed"] / stats["load_ns"]
+    assert goodput >= GOODPUT_FLOOR * capacity_per_ns
+    # The other half of the offered load was *shed*, not queued.
+    assert stats["rejected"] > 0
+    assert stats["admitted"] + stats["rejected"] == stats["offered"]
+    # Bounded p99 for admitted ops: at most the full queue-limit
+    # sojourn — nowhere near the 200 ms op-timeout watchdog.
+    sojourn_bound = P99_SOJOURN_FACTOR * QUEUE_LIMIT / capacity_per_ns
+    assert p99(result["latencies"]) <= sojourn_bound
+    # Overload never masqueraded as failure.
+    assert result["vssd"]["failovers"] == 0
+    assert result["vssd"]["pending"] == 0
+    assert result["hosts_quarantined"] == 0
+    assert result["quarantine_refusals"] == 0
+    assert result["owner_a"] == "h0"
+    assert result["owner_b"] == "h1"
+    assert result["violations"] == []
+    assert result["brownout_level_end"] == 0      # relaxed by run end
+    # The storm really exercised bounded admission on its path.
+    assert result["storm_rejects"] >= 5
+    assert len(result["events"]) == 1             # one storm log entry
+
+
+def test_overload_soak(benchmark):
+    result = run_once(benchmark, run_soak, SEED)
+
+    stats = result["stats"]
+    banner(f"Overload soak: open-loop 2x capacity (seed={SEED})")
+    print(f"{'capacity (phase 1)':<24}"
+          f"{stats['capacity_per_ms']:.2f} ops/ms "
+          f"({stats['cal_done']} ops, {CAL_WORKERS} closed workers)")
+    goodput_ms = stats["completed"] / stats["load_ns"] * 1e6
+    print(f"{'offered (phase 2)':<24}"
+          f"{OVERLOAD_FACTOR:.0f}x capacity, {stats['offered']} arrivals")
+    print(f"{'goodput':<24}{goodput_ms:.2f} ops/ms "
+          f"({100.0 * goodput_ms / stats['capacity_per_ms']:.1f}% of "
+          f"capacity; floor {100 * GOODPUT_FLOOR:.0f}%)")
+    print(f"{'shed at client edge':<24}{stats['rejected']} "
+          f"({100.0 * stats['rejected'] / stats['offered']:.1f}% of "
+          f"offered)")
+    lat = result["latencies"]
+    print(f"{'admitted p50/p99':<24}"
+          f"{sorted(lat)[len(lat) // 2] / 1e6:.2f} / "
+          f"{p99(lat) / 1e6:.2f} ms "
+          f"(bound {P99_SOJOURN_FACTOR * QUEUE_LIMIT / (stats['capacity_per_ms'] / 1e6) / 1e6:.1f} ms)")
+    print(f"{'storm path':<24}{result['storm_rejects']} admission "
+          f"rejects, depth {STORM_DEPTH}, cap 1")
+    print(f"{'pacing waits':<24}{result['pacing_waits']}")
+    print(f"{'false failures':<24}failovers "
+          f"{result['vssd']['failovers']}, quarantines "
+          f"{result['hosts_quarantined']}, violations "
+          f"{len(result['violations'])}, brownout end level "
+          f"{result['brownout_level_end']}")
+
+    check(result)
+
+    rerun = run_soak(SEED)
+    assert rerun["signature"] == result["signature"]
+    assert rerun["events"] == result["events"]
+    assert rerun["stats"] == result["stats"]
+    assert rerun["latencies"] == result["latencies"]
+    check(rerun)
+    print("determinism          same-seed rerun: fault log and every "
+          "headline counter identical")
+
+    payload = {
+        "seed": SEED,
+        "capacity_per_ms": stats["capacity_per_ms"],
+        "goodput_per_ms": goodput_ms,
+        "goodput_fraction": goodput_ms / stats["capacity_per_ms"],
+        "offered": stats["offered"],
+        "admitted": stats["admitted"],
+        "rejected": stats["rejected"],
+        "p99_admitted_ms": p99(lat) / 1e6,
+        "storm_rejects": result["storm_rejects"],
+        "pacing_waits": result["pacing_waits"],
+        "vssd": result["vssd"],
+        "hosts_quarantined": result["hosts_quarantined"],
+        "brownout_level_end": result["brownout_level_end"],
+        "overload_telemetry": result["overload"],
+        "fault_signature": result["signature"],
+        "events": result["events"],
+    }
+    with open("BENCH_overload.json", "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote BENCH_overload.json")

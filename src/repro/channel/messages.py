@@ -149,13 +149,22 @@ class Doorbell(Message):
 @_register
 @dataclass(frozen=True)
 class Completion(Message):
-    """Generic acknowledgement carrying a status code."""
+    """Generic acknowledgement carrying a status code.
+
+    ``occupancy_permille`` piggybacks the replier's queue occupancy
+    (in-flight / capacity, per-mille) on every ack — the cooperative
+    backpressure signal clients feed their AIMD pacing windows.
+    Appended after the legacy fields with a 0 = "no pressure" default,
+    so constructors predating the field still encode correctly and old
+    decoders (which slice their struct's prefix) ignore it.
+    """
 
     TAG: ClassVar[int] = 5
-    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQ")
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQH")
 
     request_id: int
     status: int
+    occupancy_permille: int = 0
 
 
 # -- control plane (orchestrator <-> agents) ----------------------------------
@@ -352,6 +361,31 @@ class LeaseGrant(Message):
     token: int
     expires_at_ns: int
     status: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class BusyNack(Message):
+    """Server -> client: op refused at admission — queue full, try later.
+
+    The bounded-admission answer to silent queue growth: a server whose
+    per-queue in-flight cap is reached refuses new work *immediately*
+    with this nack instead of letting it pile up behind the channel.
+    ``retry_after_ns`` is the server's pacing hint (a relative delay);
+    ``occupancy_permille`` is the same backpressure signal Completion
+    piggybacks, here reading at or near 1000.  Request-matched ops
+    (MMIO read/write) receive it as their reply; for fire-and-forget
+    doorbells it arrives unsolicited with ``request_id`` 0, like
+    :class:`Fenced`.
+    """
+
+    TAG: ClassVar[int] = 27
+    _FMT: ClassVar[struct.Struct] = struct.Struct("<IQQH")
+
+    request_id: int
+    device_id: int
+    retry_after_ns: int
+    occupancy_permille: int = 1000
 
 
 @_register

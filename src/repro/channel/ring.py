@@ -86,6 +86,26 @@ class RingFullError(RuntimeError):
     """Raised by non-blocking sends when the ring has no free slot."""
 
 
+class RingSaturatedError(RuntimeError):
+    """A bounded blocking send waited past its deadline on a full ring.
+
+    Distinct from :class:`RingFullError` (an instantaneous refusal) and
+    deliberately *not* a :class:`LinkDownError` subclass: a saturated
+    ring is overload, not a transport fault, and must never feed the
+    link-retry ladders that would amplify it.  Callers shed the work or
+    surface a typed overload failure instead.  Only raised when the
+    caller opted in with ``deadline_ns``; control rings keep the
+    unbounded default.
+    """
+
+    def __init__(self, ring_name: str, deadline_ns: float):
+        super().__init__(
+            f"ring {ring_name}: still full at deadline "
+            f"{deadline_ns:.0f} ns"
+        )
+        self.deadline_ns = deadline_ns
+
+
 class ChannelRetiredError(LinkDownError):
     """The ring's backing memory was freed; this half is permanently dead.
 
@@ -229,6 +249,11 @@ class RingSender:
         self._scratch = bytearray(CACHELINE_BYTES)
         # Ring-full stalls observed (blocking sends) / refusals (try_send).
         self.full_events = 0
+        # Bounded sends that hit their deadline while still full —
+        # counted apart from full_events (a stall that *resolved* is
+        # congestion; a stall that hit its deadline is saturation).
+        self.saturated_events = 0
+        _obs.METRICS.counter("ring.saturated_events")
 
     @property
     def backlog(self) -> int:
@@ -236,7 +261,8 @@ class RingSender:
         return self._head - self._known_consumed
 
     def send(self, payload: bytes,
-             poll_interval_ns: float = RING_FULL_POLL_NS, ctx=None):
+             poll_interval_ns: float = RING_FULL_POLL_NS, ctx=None,
+             deadline_ns: float | None = None):
         """Process: enqueue ``payload`` (<= 57 B), blocking while full.
 
         Safe for multiple sender *processes* on the same host: the slot
@@ -247,6 +273,12 @@ class RingSender:
         the slot span into the caller's trace when tracing is enabled;
         it never touches the wire — trace propagation is the payload's
         business (the RPC layer wraps an envelope).
+
+        ``deadline_ns`` (absolute sim time) bounds the ring-full wait:
+        past it the send raises :class:`RingSaturatedError` instead of
+        waiting forever.  Only the *wait* is bounded — once a slot is
+        reserved the store always completes (abandoning a reserved slot
+        would wedge the receiver's FIFO seq expectations).
         """
         if len(payload) > SLOT_PAYLOAD_BYTES:
             raise ValueError(
@@ -274,6 +306,11 @@ class RingSender:
             if not stalled:
                 stalled = True
                 self._note_full()
+            if deadline_ns is not None and sim.now >= deadline_ns:
+                self._note_saturated()
+                raise RingSaturatedError(
+                    self.region.memsys.host_id, deadline_ns
+                )
             try:
                 yield from self._refresh_progress()
             except LinkDownError:
@@ -317,7 +354,8 @@ class RingSender:
         yield from self._write_slot(slot_number, payload)
 
     def send_burst(self, payloads,
-                   poll_interval_ns: float = RING_FULL_POLL_NS, ctx=None):
+                   poll_interval_ns: float = RING_FULL_POLL_NS, ctx=None,
+                   deadline_ns: float | None = None):
         """Process: enqueue several payloads, batching the per-slot costs.
 
         Each contiguous chunk of the burst pays *one* flow-control check
@@ -331,6 +369,11 @@ class RingSender:
         A burst of one degenerates to :meth:`send` exactly, so its wire
         bytes and timing are bit-identical to the legacy single-slot
         path.  Returns the number of messages sent (= ``len(payloads)``).
+
+        ``deadline_ns`` bounds every chunk's ring-full wait like
+        :meth:`send`; a mid-burst :class:`RingSaturatedError` leaves the
+        already-reserved chunks published (the return value is never
+        partial — the exception is the only signal).
         """
         payloads = list(payloads)
         for payload in payloads:
@@ -345,7 +388,7 @@ class RingSender:
             for payload in payloads:
                 yield from self.send(payload,
                                      poll_interval_ns=poll_interval_ns,
-                                     ctx=ctx)
+                                     ctx=ctx, deadline_ns=deadline_ns)
             return len(payloads)
         sim = self.region.memsys.sim
         tracer = _obs.TRACER
@@ -374,6 +417,11 @@ class RingSender:
                     if not stalled:
                         stalled = True
                         self._note_full()
+                    if deadline_ns is not None and sim.now >= deadline_ns:
+                        self._note_saturated()
+                        raise RingSaturatedError(
+                            self.region.memsys.host_id, deadline_ns
+                        )
                     try:
                         yield from self._refresh_progress()
                     except LinkDownError:
@@ -448,6 +496,10 @@ class RingSender:
     def _note_full(self) -> None:
         self.full_events += 1
         _obs.METRICS.counter("ring.full_events").inc()
+
+    def _note_saturated(self) -> None:
+        self.saturated_events += 1
+        _obs.METRICS.counter("ring.saturated_events").inc()
 
     def _note_occupancy(self) -> None:
         _obs.METRICS.gauge("ring.occupancy").set(

@@ -39,6 +39,17 @@ class RpcError(RuntimeError):
     """Raised when an RPC cannot be completed."""
 
 
+class RetryBudgetExhausted(RpcError):
+    """A retry was denied because the caller's retry budget ran dry.
+
+    Deliberately *not* a transport error: the transport may be fine —
+    the pod is overloaded, and this client has already spent its
+    recovery allowance.  Callers treat it like a failed op (and must
+    de-journal any op id they journaled before posting; see
+    DESIGN.md §12.3).
+    """
+
+
 class PartitionedError(LinkDownError):
     """Raised when an endpoint is administratively partitioned.
 
@@ -110,6 +121,7 @@ class RpcEndpoint:
         self.backoff_ns_total = 0.0
         self.calls_timed_out = 0
         self.calls_gave_up = 0
+        self.retry_deadline_exhausted = 0
         self.late_replies_dropped = 0
         self.link_errors = 0
         # Integrity telemetry: detected-and-contained corruption.  Every
@@ -298,14 +310,30 @@ class RpcEndpoint:
                         max_attempts: int = 5,
                         backoff_base_ns: float = LINK_RETRY_POLL_NS,
                         backoff_cap_ns: float = 5_000_000.0,
-                        parent=None):
-        """Process: ``call()`` with exponential backoff and jitter.
+                        retry_deadline_ns: float | None = None,
+                        budget=None, parent=None):
+        """Process: ``call()`` with decorrelated-jitter backoff.
 
         Retries transport-level failures (timeouts, dead links) with a
         fresh request id per attempt; application-level error replies are
-        returned/raised untouched.  Backoff doubles per attempt up to
-        ``backoff_cap_ns``, plus uniform jitter from a deterministic named
-        stream so concurrent retriers de-synchronize reproducibly.
+        returned/raised untouched.  Backoff uses *decorrelated jitter*
+        (``delay = uniform(base, 3 * prev_delay)``, capped): unlike
+        exponential-plus-jitter, consecutive delays share no common
+        base-times-2^k spine, so a fleet of clients whose first failures
+        coincided (one server blip) cannot phase-lock into synchronized
+        retry waves against the recovering server.  The stream is the
+        deterministic named RNG, so runs stay reproducible.
+
+        ``retry_deadline_ns`` caps *cumulative* retry time: once
+        ``sim.now`` passes ``start + retry_deadline_ns`` no further
+        attempt is made even if ``max_attempts`` remain (without it, the
+        worst case is max_attempts stacked timeouts plus backoffs —
+        far past any caller's patience during an overload).
+
+        ``budget`` (any object with ``try_spend(cost) -> bool``, see
+        :class:`repro.health.overload.RetryBudget`) charges one token
+        per *retry* — the first attempt is goodput and rides free.  A
+        denied spend raises :class:`RetryBudgetExhausted` immediately.
         """
         rng = self.sim.rng.stream(f"rpc-retry:{self.name}")
         tracer = _obs.TRACER
@@ -316,14 +344,36 @@ class RpcEndpoint:
                 track=f"{self._host_id}/rpc", parent=parent, cat="rpc",
             )
             parent = span
+        started_ns = self.sim.now
         last_error: Optional[Exception] = None
+        delay = float(backoff_base_ns)
         attempt = 0
         try:
             for attempt in range(max_attempts):
                 if attempt:
-                    delay = min(backoff_cap_ns,
-                                backoff_base_ns * (2 ** (attempt - 1)))
-                    delay += float(rng.uniform(0.0, delay))
+                    if (retry_deadline_ns is not None
+                            and self.sim.now - started_ns
+                            >= retry_deadline_ns):
+                        self.retry_deadline_exhausted += 1
+                        _obs.METRICS.counter(
+                            "rpc.retry_deadline_exhausted"
+                        ).inc()
+                        self.calls_gave_up += 1
+                        raise RpcError(
+                            f"{self.name}: rpc {type(message).__name__} "
+                            f"retry deadline ({retry_deadline_ns} ns) "
+                            f"exhausted after {attempt} attempts"
+                        ) from last_error
+                    if budget is not None and not budget.try_spend(1.0):
+                        self.calls_gave_up += 1
+                        raise RetryBudgetExhausted(
+                            f"{self.name}: rpc {type(message).__name__} "
+                            f"retry denied by budget after {attempt} "
+                            f"attempts"
+                        ) from last_error
+                    delay = float(rng.uniform(backoff_base_ns,
+                                              3.0 * delay))
+                    delay = min(float(backoff_cap_ns), delay)
                     self.retries += 1
                     self.backoff_ns_total += delay
                     if span is not None:
@@ -357,15 +407,21 @@ class RpcEndpoint:
                         backoff_base_ns: float = LINK_RETRY_POLL_NS,
                         backoff_cap_ns: float = 5_000_000.0,
                         parent=None):
-        """Process: fire-and-forget with backoff across link outages."""
+        """Process: fire-and-forget with backoff across link outages.
+
+        Uses the same decorrelated-jitter ladder as
+        :meth:`call_with_retry` so posted and call traffic recovering
+        from one outage stay mutually de-synchronized.
+        """
         rng = self.sim.rng.stream(f"rpc-retry:{self.name}")
         tracer = _obs.TRACER
         last_error: Optional[Exception] = None
+        delay = float(backoff_base_ns)
         for attempt in range(max_attempts):
             if attempt:
-                delay = min(backoff_cap_ns,
-                            backoff_base_ns * (2 ** (attempt - 1)))
-                delay += float(rng.uniform(0.0, delay))
+                delay = min(float(backoff_cap_ns),
+                            float(rng.uniform(backoff_base_ns,
+                                              3.0 * delay)))
                 self.retries += 1
                 self.backoff_ns_total += delay
                 if tracer.enabled:

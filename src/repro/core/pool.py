@@ -8,7 +8,14 @@ from repro.channel.messages import Resync
 from repro.channel.rpc import RpcEndpoint, RpcError
 from repro.cxl.device import PoisonedMemoryError
 from repro.cxl.link import LinkDownError, LinkSpec
-from repro.cxl.params import ADAPTIVE_POLL_MAX_NS, JOURNAL_CAP_DEFAULT
+from repro.cxl.params import (
+    ADAPTIVE_POLL_MAX_NS,
+    ADMISSION_RETRY_AFTER_NS,
+    BROWNOUT_PRESSURE_NORM,
+    BROWNOUT_PROBE_STRETCH,
+    BROWNOUT_TICK_NS,
+    JOURNAL_CAP_DEFAULT,
+)
 from repro.cxl.pod import CxlPod, PodConfig
 from repro.datapath.netstack import UdpStack
 from repro.datapath.placement import BufferPlacement, DriverMemory
@@ -21,7 +28,15 @@ from repro.datapath.proxy import (
     LocalDeviceHandle,
     RemoteDeviceHandle,
 )
-from repro.health import HealthScorer
+from repro.health import (
+    BROWNOUT_DEMOTE,
+    BROWNOUT_SHED,
+    AimdWindow,
+    BrownoutController,
+    HealthScorer,
+    OverloadError,
+    RetryBudget,
+)
 from repro.obs import runtime as _obs
 from repro.orchestrator import (
     Assignment,
@@ -118,6 +133,20 @@ class PciePool:
         self.mhd_gray_log: list = []
         self.burst_demotions = 0
         self.burst_promotions = 0
+        # Overload control: one retry budget per borrower host (RPC
+        # retries, failover replays, and hedges all draw on it) and one
+        # AIMD pacing window per borrower<->device path (busy nacks and
+        # piggybacked occupancy from both the RPC and CQ planes feed
+        # the same window).  The brownout controller turns pod-wide
+        # overload-event rates into shed levels; `_brownout_loop`
+        # applies each rung's actions.
+        self._budgets: dict[str, RetryBudget] = {}
+        self._pacers: dict[tuple[str, int], AimdWindow] = {}
+        self.brownout = BrownoutController()
+        self._brownout_proc = None
+        self._last_overload_events = 0.0
+        self.overload_storms = 0
+        _obs.METRICS.gauge("overload.pressure")
         # Integrity counters of endpoints retired during channel rebuilds
         # (their live counters vanish with the endpoint objects).
         self._retired_integrity: dict[str, float] = {
@@ -232,12 +261,18 @@ class PciePool:
         self._mhd_monitor = self.sim.spawn(
             self._mhd_monitor_loop(), name="mhd-monitor"
         )
+        self._brownout_proc = self.sim.spawn(
+            self._brownout_loop(), name="brownout-monitor"
+        )
 
     def stop(self) -> None:
         self.orchestrator.stop()
         if self._mhd_monitor is not None and self._mhd_monitor.is_alive:
             self._mhd_monitor.interrupt(cause="pool stopped")
         self._mhd_monitor = None
+        if self._brownout_proc is not None and self._brownout_proc.is_alive:
+            self._brownout_proc.interrupt(cause="pool stopped")
+        self._brownout_proc = None
         for agent in self.agents.values():
             agent.stop()
         for vnic in self._vnics:
@@ -272,6 +307,29 @@ class PciePool:
         value = self._op_counters.get(borrower_host, 0) + 1
         self._op_counters[borrower_host] = value
         return value
+
+    def budget_for(self, host_id: str) -> RetryBudget:
+        """The per-client-host retry budget (created on first use).
+
+        One bucket per borrower host: every recovery action that host
+        takes — RPC retries, busy-nack re-submissions, hedges, failover
+        replays — draws from the same pool, so the host's *combined*
+        recovery amplification is what the ratio bounds.
+        """
+        budget = self._budgets.get(host_id)
+        if budget is None:
+            budget = RetryBudget(f"budget:{host_id}")
+            self._budgets[host_id] = budget
+        return budget
+
+    def pacer_for(self, borrower_host: str, device_id: int) -> AimdWindow:
+        """The AIMD window for one borrower<->device path."""
+        key = (borrower_host, device_id)
+        pacer = self._pacers.get(key)
+        if pacer is None:
+            pacer = AimdWindow(f"pace:{borrower_host}:dev{device_id}")
+            self._pacers[key] = pacer
+        return pacer
 
     def _lease_resolver(self, borrower_host: str, device_id: int):
         """Callback giving a handle the *current* (endpoint, token).
@@ -329,6 +387,8 @@ class PciePool:
             token=self.orchestrator.leases.token_of(device_id),
             op_id_source=lambda h=borrower_host: self.next_op_id(h),
             resolver=self._lease_resolver(borrower_host, device_id),
+            budget=self.budget_for(borrower_host),
+            pacer=self.pacer_for(borrower_host, device_id),
         )
 
     # -- virtual NICs ------------------------------------------------------------------
@@ -352,6 +412,9 @@ class PciePool:
         device = self.device(assignment.device_id)
         kwargs.setdefault("n_entries", device.spec.n_sq_entries)
         kwargs.setdefault("name", f"vssd{assignment.virtual_id}@{host_id}")
+        kwargs.setdefault("budget", self.budget_for(host_id))
+        kwargs.setdefault(
+            "pacer", self.pacer_for(host_id, assignment.device_id))
         client = RemoteSsdClient(
             self.sim, self.pod.host(host_id),
             self.handle_for(host_id, assignment.device_id), self.pod,
@@ -370,6 +433,7 @@ class PciePool:
         kwargs.setdefault("n_entries", device.spec.n_desc)
         kwargs.setdefault("name",
                           f"vaccel{assignment.virtual_id}@{host_id}")
+        kwargs.setdefault("budget", self.budget_for(host_id))
         client = RemoteAcceleratorClient(
             self.sim, self.pod.host(host_id),
             self.handle_for(host_id, assignment.device_id), self.pod,
@@ -593,7 +657,7 @@ class PciePool:
         memsys = self.pod.host(self.orchestrator_host)
         try:
             while True:
-                yield self.sim.timeout(self.mhd_probe_ns)
+                yield self.sim.timeout(self._probe_interval_ns())
                 for idx in range(len(self.pod.mhds)):
                     probe_start = self.sim.now
                     alive = yield from self._probe_mhd(memsys, idx)
@@ -617,6 +681,18 @@ class PciePool:
                         self._on_mhd_reinstated(idx)
         except Interrupt:
             return
+
+    def _probe_interval_ns(self) -> float:
+        """MHD probe cadence, stretched while the pod is browning out.
+
+        Probes are background work: under overload they are the first
+        thing shed (level >= 1), freeing channel and memory bandwidth
+        for admitted ops and lease renewals.  The stretch keeps the
+        cadence bounded — detection slows, it does not stop.
+        """
+        if self.brownout.level >= BROWNOUT_SHED:
+            return self.mhd_probe_ns * BROWNOUT_PROBE_STRETCH
+        return self.mhd_probe_ns
 
     def _probe_mhd(self, memsys, idx: int):
         """Process: one uncached read against an MHD's RAS window."""
@@ -656,26 +732,148 @@ class PciePool:
         self._refresh_burst_mode()
 
     def _refresh_burst_mode(self) -> None:
-        """Match every channel's burst mode to the gray set.
+        """Match every channel's burst mode to the gray set and brownout.
 
         Channels still footprinted on gray media (the allocator had no
         healthy fallback) degrade to slot-at-a-time transfers — no
         multi-slot streaming window reads over fail-slow media, which
         keeps individual op latency bounded; everything else runs full
-        bursts.
+        bursts.  A level-2 brownout demotes *every* channel the same
+        way: under overload, slot-at-a-time transfers spread channel
+        occupancy so lease renewals and admitted ops interleave instead
+        of queueing behind multi-slot streams.
         """
         gray = self._mhd_gray
+        demote_all = self.brownout.level >= BROWNOUT_DEMOTE
         for wired in self._device_servers.values():
             for item in wired:
                 if not isinstance(item, RpcEndpoint):
                     continue
                 on_gray = bool(gray & set(item.mhd_footprint()))
-                if on_gray and not item.tx.degraded:
+                degrade = on_gray or demote_all
+                if degrade and not item.tx.degraded:
                     item.demote_bursts()
                     self.burst_demotions += 1
-                elif not on_gray and item.tx.degraded:
+                elif not degrade and item.tx.degraded:
                     item.promote_bursts()
                     self.burst_promotions += 1
+
+    # -- overload: brownout ladder + storm injection ---------------------------
+
+    def _brownout_loop(self):
+        """Process: evaluate overload pressure and apply the ladder.
+
+        Pressure is the pod-wide rate of *refusals*: admission rejects
+        at device servers, retry-budget denials, and bounded ring-wait
+        saturations, normalized per tick.  These are exactly the events
+        that exist only when some queue is full — an idle or merely busy
+        pod reads 0.0 and the ladder stays at NORMAL forever.
+        """
+        try:
+            while True:
+                yield self.sim.timeout(BROWNOUT_TICK_NS)
+                total = self._overload_events()
+                delta = max(0.0, total - self._last_overload_events)
+                self._last_overload_events = total
+                pressure = min(1.0, delta / BROWNOUT_PRESSURE_NORM)
+                _obs.METRICS.gauge("overload.pressure").set(pressure)
+                prev = self.brownout.level
+                level = self.brownout.update(pressure, self.sim.now)
+                if level != prev:
+                    self._apply_brownout(prev, level)
+        except Interrupt:
+            return
+
+    def _overload_events(self) -> float:
+        """Cumulative count of overload refusals across the pod."""
+        total = 0.0
+        for wired in self._device_servers.values():
+            for item in wired:
+                if isinstance(item, DeviceServer):
+                    total += item.admission_rejects
+                elif isinstance(item, RpcEndpoint):
+                    total += item.tx.saturated_events
+        for budget in self._budgets.values():
+            total += budget.denied
+        return total
+
+    def _apply_brownout(self, prev: int, level: int) -> None:
+        """Apply one rung transition's actions.
+
+        Level >= 1 sheds background work: agents stop announcing and
+        probing (lease renewals keep running — they are the one thing
+        overload must never delay), and the MHD probe cadence
+        stretches.  Level 2 additionally demotes burst batching on
+        every channel.  Descending undoes each in reverse.
+        """
+        for host_id in sorted(self.agents):
+            self.agents[host_id].set_shed_level(level)
+        if (level >= BROWNOUT_DEMOTE) != (prev >= BROWNOUT_DEMOTE):
+            self._refresh_burst_mode()
+
+    def overload_storm(self, borrower_host: str, device_id: int,
+                       duration_ns: float, depth: int = 32) -> None:
+        """Fault injection: flood one borrower->device forwarding path.
+
+        Spawns ``depth`` open-loop workers that hammer forwarded
+        register reads until the deadline — enough concurrency to pin
+        the device server at its admission cap.  The workers ride the
+        normal client machinery (busy-nack pacing, retry budget), so
+        the storm exercises the full overload-control stack rather
+        than bypassing it.
+        """
+        self.overload_storms += 1
+        _obs.METRICS.counter("faults.overload_storms").inc()
+        handle = self.handle_for(borrower_host, device_id)
+        deadline = self.sim.now + duration_ns
+        for i in range(depth):
+            self.sim.spawn(
+                self._storm_worker(handle, deadline),
+                name=f"storm:{borrower_host}:d{device_id}.{i}",
+            )
+
+    def _storm_worker(self, handle, deadline_ns: float):
+        """Process: one open-loop storm client (see overload_storm)."""
+        while self.sim.now < deadline_ns:
+            try:
+                yield from handle.read_register(0x18)
+            except (OverloadError, RpcError, LinkDownError,
+                    DeviceGoneError, DeviceFailedError):
+                # Refused or failed: an open-loop source does not slow
+                # down — that is what makes it a storm.  The pause is
+                # the admission layer's retry-after hint, nothing more.
+                yield self.sim.timeout(ADMISSION_RETRY_AFTER_NS)
+
+    def export_overload_telemetry(self) -> dict[str, float]:
+        """Aggregate overload-control counters into the telemetry board."""
+        totals = {
+            "overload.admission_rejects": 0.0,
+            "overload.ring_saturations": 0.0,
+            "overload.retry_denials": 0.0,
+            "overload.hedges_suppressed_total": 0.0,
+            "overload.pacing_decreases": 0.0,
+            "overload.brownout_level": float(self.brownout.level),
+            "overload.brownout_transitions": float(
+                len(self.brownout.transitions)),
+        }
+        for wired in self._device_servers.values():
+            for item in wired:
+                if isinstance(item, DeviceServer):
+                    totals["overload.admission_rejects"] += (
+                        item.admission_rejects)
+                elif isinstance(item, RpcEndpoint):
+                    totals["overload.ring_saturations"] += (
+                        item.tx.saturated_events)
+        for budget in self._budgets.values():
+            totals["overload.retry_denials"] += budget.denied
+            totals["overload.hedges_suppressed_total"] += (
+                budget.hedges_suppressed)
+        for pacer in self._pacers.values():
+            totals["overload.pacing_decreases"] += pacer.decreases
+        for name, value in totals.items():
+            self.orchestrator.board.set_gauge(name, value)
+            _obs.METRICS.gauge(name).set(value)
+        return totals
 
     def _recover_from_mhd_loss(self, dead_mhd: int) -> None:
         """Re-establish everything that lived on a crashed MHD.
@@ -968,6 +1166,7 @@ class VirtualNic:
             mac=device.mac, n_desc=self.n_desc,
             name=f"vnic{self.assignment.virtual_id}@{self.host_id}",
             tx_hint=device.tx_cq_hint, rx_hint=device.rx_cq_hint,
+            budget=pool.budget_for(self.host_id),
         )
 
     def _rebind(self) -> None:

@@ -175,6 +175,64 @@ HEALTH_GRAY_TICKS = 3
 HEALTH_PROBATION_TICKS = 8
 
 
+# -- overload-control knobs --------------------------------------------------
+#
+# Admission, retry-budget, pacing, and brownout constants (see
+# repro.health.overload and DESIGN.md §12).  Ordering again matters more
+# than the absolute values: the busy-nack retry-after must exceed the
+# ring-full poll cadence (a nacked client must not out-spin the ring
+# watch), the retry-budget refill ratio is the classic ~10%-of-goodput
+# rule, and the AIMD window *starts at its ceiling* so the uncontended
+# fast path is untouched until the first pressure signal arrives.
+
+#: Per-borrower-queue in-flight cap at a DeviceServer.  Ops beyond this
+#: are busy-nacked instead of queueing silently behind the channel.
+ADMISSION_MAX_INFLIGHT = 64
+
+#: Retry-after hint carried on a busy nack.  Several ring-full polls —
+#: long enough for the server to drain, short enough that an admitted
+#: retry lands within the same scheduling epoch.
+ADMISSION_RETRY_AFTER_NS = 200_000.0
+
+#: Busy-nack retries a client absorbs (paced by the retry-after hint)
+#: before surfacing a typed OverloadError to the caller.
+OVERLOAD_RETRY_LIMIT = 8
+
+#: Retry-budget token bucket: refill fraction per successful op (~10% of
+#: goodput funds retries/hedges/replays), bucket depth, and the level
+#: below which hedging is suppressed (hedges are an optimization; paying
+#: the last tokens for them starves correctness-critical replays).
+RETRY_BUDGET_RATIO = 0.1
+RETRY_BUDGET_BURST = 32.0
+RETRY_BUDGET_HEDGE_MIN = 4.0
+
+#: AIMD submission window: bounds, additive increase per clean
+#: completion, multiplicative decrease on a pressure signal, the CQ/nack
+#: occupancy (permille) that counts as pressure, and the cooldown
+#: between decreases (one congestion event must not collapse the window
+#: once per completion it marked).
+AIMD_WINDOW_MIN = 2.0
+AIMD_WINDOW_MAX = 64.0
+AIMD_INCREASE = 1.0
+AIMD_DECREASE_FACTOR = 0.5
+AIMD_PRESSURE_PERMILLE = 750
+AIMD_DECREASE_COOLDOWN_NS = 1_000_000.0
+
+#: Brownout ladder (0 = normal, 1 = shed background, 2 = demote bursts):
+#: evaluation cadence, the pressure that climbs one rung, the pressure
+#: below which a descent *tick* is earned, consecutive calm ticks to
+#: descend one rung (hysteresis), and the probe-pacing stretch applied
+#: at level >= 1.
+BROWNOUT_TICK_NS = 5_000_000.0
+BROWNOUT_ENTER_PRESSURE = 0.5
+BROWNOUT_EXIT_PRESSURE = 0.125
+BROWNOUT_CALM_TICKS = 4
+BROWNOUT_PROBE_STRETCH = 4.0
+#: Overload events (admission rejects + budget denials + ring
+#: saturations) per brownout tick that map to pressure 1.0.
+BROWNOUT_PRESSURE_NORM = 50.0
+
+
 @dataclass(frozen=True)
 class BandwidthTable:
     """Per-link-width sustained CXL bandwidth (GB/s at 2:1 read:write)."""

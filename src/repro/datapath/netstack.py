@@ -86,8 +86,13 @@ class UdpStack:
                  tx_hint: Optional[Store] = None,
                  rx_hint: Optional[Store] = None,
                  sw_overhead_ns: float = 1800.0,
-                 hedge_tx_deadline_ns: float = HEDGE_TX_DEADLINE_NS):
+                 hedge_tx_deadline_ns: float = HEDGE_TX_DEADLINE_NS,
+                 budget=None):
         self.sim = sim
+        #: Per-client-host retry budget (optional): TX hedges draw from
+        #: it softly, failover resends drain it unconditionally, and
+        #: every TX completion deposits the goodput dividend.
+        self.budget = budget
         self.memsys = memsys
         self.handle = handle
         self.mem = driver_mem
@@ -434,6 +439,10 @@ class UdpStack:
     def resend_frame(self, frame: bytes):
         """Process: resubmit a journaled frame (post-failover path)."""
         self.datagrams_resent += 1
+        if self.budget is not None:
+            # Correctness traffic: never refused, but accounted, so
+            # discretionary hedges stand down behind the replay.
+            self.budget.spend_forced(1.0)
         yield from self._send_frame(frame)
 
     def unfinished_tx(self) -> list:
@@ -473,6 +482,8 @@ class UdpStack:
                 self._kick_streak = 0
                 self._hedge_streak = 0
                 self._tx_progress_ns = self.sim.now
+                if self.budget is not None:
+                    self.budget.on_success()
                 # Completion frees the slot for reuse.
                 self._tx_credits.put(None)
         except Interrupt:
@@ -538,6 +549,9 @@ class UdpStack:
                 if (self.sim.now - self._tx_progress_ns
                         <= self.hedge_tx_deadline_ns):
                     continue
+                if (self.budget is not None
+                        and not self.budget.try_spend_hedge(1.0)):
+                    continue  # budget low: hedges stand down first
                 self._hedge_streak += 1
                 self.hedges += 1
                 _obs.METRICS.counter("udp.hedges").inc()

@@ -27,6 +27,7 @@ from collections import OrderedDict
 from typing import Callable, Optional
 
 from repro.channel.messages import (
+    BusyNack,
     Completion,
     Doorbell,
     Fenced,
@@ -36,7 +37,13 @@ from repro.channel.messages import (
 )
 from repro.channel.rpc import RpcEndpoint, RpcError
 from repro.cxl.link import LinkDownError
-from repro.cxl.params import JOURNAL_CAP_DEFAULT
+from repro.cxl.params import (
+    ADMISSION_MAX_INFLIGHT,
+    ADMISSION_RETRY_AFTER_NS,
+    JOURNAL_CAP_DEFAULT,
+    OVERLOAD_RETRY_LIMIT,
+)
+from repro.health.overload import OverloadError
 from repro.obs import runtime as _obs
 from repro.pcie.device import DeviceFailedError, PcieDevice
 
@@ -166,7 +173,9 @@ class RemoteDeviceHandle:
                  fence_retry_limit: int = 64,
                  fence_backoff_base_ns: float = 500_000.0,
                  fence_backoff_cap_ns: float = 8_000_000.0,
-                 coalesce_doorbells: bool = True):
+                 coalesce_doorbells: bool = True,
+                 budget=None, pacer=None,
+                 overload_retry_limit: int = OVERLOAD_RETRY_LIMIT):
         self.endpoint = endpoint
         self.device_id = device_id
         self.rpc_timeout_ns = rpc_timeout_ns
@@ -193,10 +202,23 @@ class RemoteDeviceHandle:
         self.doorbells_requested = 0
         self.doorbells_forwarded = 0
         self.doorbells_coalesced = 0
-        # Pre-register so the pair renders in metric dumps even before
-        # (or without) any coalescing — a missing counter is ambiguous.
+        # Overload handling: a BusyNack reply paces this handle by the
+        # server's retry-after hint.  ``budget`` (a RetryBudget) funds
+        # both transport retries and busy re-submissions; ``pacer`` (an
+        # AimdWindow) is fed the occupancy piggybacked on completions
+        # and nacks so the client above slows *before* hard rejection.
+        self.budget = budget
+        self.pacer = pacer
+        self.overload_retry_limit = overload_retry_limit
+        self.busy_nacks = 0
+        self.overload_errors = 0
+        # Pre-register so the group renders in metric dumps even before
+        # (or without) any coalescing/overload — a missing counter is
+        # ambiguous.
         _obs.METRICS.counter("proxy.doorbells_forwarded")
         _obs.METRICS.counter("proxy.doorbells_coalesced")
+        _obs.METRICS.counter("proxy.busy_nacks")
+        _obs.METRICS.counter("proxy.overload_errors")
 
     @property
     def is_remote(self) -> bool:
@@ -249,6 +271,51 @@ class RemoteDeviceHandle:
         _obs.METRICS.counter("proxy.fence_replays").inc()
         return True
 
+    def _note_ack(self, reply) -> None:
+        """Feed a completion's piggybacked occupancy to the pacer."""
+        if self.pacer is not None:
+            self.pacer.on_ack(getattr(reply, "occupancy_permille", 0),
+                              self.endpoint.sim.now)
+
+    def _busy_pause(self, attempt: int, nack: BusyNack, parent=None):
+        """Process: absorb one busy nack.  False when patience ran out.
+
+        Pacing is the server's retry-after hint plus deterministic
+        jitter (named stream — concurrent nacked clients de-synchronize
+        reproducibly).  Each re-submission past the first spends a
+        retry-budget token: paced resubmits against a saturated server
+        are recovery traffic like any other retry.
+        """
+        self.busy_nacks += 1
+        _obs.METRICS.counter("proxy.busy_nacks").inc()
+        if self.pacer is not None:
+            self.pacer.on_busy(self.endpoint.sim.now)
+        if attempt >= self.overload_retry_limit:
+            return False
+        if (attempt and self.budget is not None
+                and not self.budget.try_spend(1.0)):
+            return False
+        sim = self.endpoint.sim
+        base = float(nack.retry_after_ns) or ADMISSION_RETRY_AFTER_NS
+        rng = sim.rng.stream(f"overload:{self.device_id}")
+        delay = base + float(rng.uniform(0.0, base))
+        if _obs.TRACER.enabled:
+            _obs.TRACER.instant(
+                "mmio.busy_pause", sim.now, track=self._track,
+                parent=parent, cat="overload",
+                args={"device": self.device_id, "attempt": attempt},
+            )
+        yield sim.timeout(delay)
+        return True
+
+    def _raise_overload(self, nack: BusyNack):
+        self.overload_errors += 1
+        _obs.METRICS.counter("proxy.overload_errors").inc()
+        raise OverloadError(
+            f"device {self.device_id} forwarded op",
+            retry_after_ns=float(nack.retry_after_ns),
+        )
+
     def _raise_status(self, status: int):
         """Map a terminal rejection status onto its typed error."""
         if status == DeviceServer.STATUS_UNKNOWN_DEVICE:
@@ -273,6 +340,7 @@ class RemoteDeviceHandle:
             cat="mmio", args={"device": self.device_id, "addr": offset},
         )
         fence_attempt = 0
+        busy_attempt = 0
         try:
             while True:
                 reply = yield from self.endpoint.call_with_retry(
@@ -283,9 +351,19 @@ class RemoteDeviceHandle:
                     ),
                     timeout_ns=self.rpc_timeout_ns,
                     max_attempts=self.rpc_max_attempts,
+                    budget=self.budget,
                     parent=span,
                 )
+                if isinstance(reply, BusyNack):
+                    again = yield from self._busy_pause(
+                        busy_attempt, reply, parent=span
+                    )
+                    busy_attempt += 1
+                    if again:
+                        continue
+                    self._raise_overload(reply)
                 if reply.status == DeviceServer.STATUS_OK:
+                    self._note_ack(reply)
                     return
                 if reply.status == DeviceServer.STATUS_FENCED:
                     replay = yield from self._fence_pause(
@@ -307,6 +385,7 @@ class RemoteDeviceHandle:
             cat="mmio", args={"device": self.device_id, "addr": offset},
         )
         fence_attempt = 0
+        busy_attempt = 0
         try:
             while True:
                 reply = yield from self.endpoint.call_with_retry(
@@ -317,8 +396,17 @@ class RemoteDeviceHandle:
                     ),
                     timeout_ns=self.rpc_timeout_ns,
                     max_attempts=self.rpc_max_attempts,
+                    budget=self.budget,
                     parent=span,
                 )
+                if isinstance(reply, BusyNack):
+                    again = yield from self._busy_pause(
+                        busy_attempt, reply, parent=span
+                    )
+                    busy_attempt += 1
+                    if again:
+                        continue
+                    self._raise_overload(reply)
                 if not isinstance(reply, Completion):
                     return reply.value
                 # The server answered with an error completion, not a value.
@@ -430,9 +518,15 @@ class DeviceServer:
     STATUS_FENCED = 3
 
     def __init__(self, endpoint: RpcEndpoint,
-                 journal_cap: int = JOURNAL_CAP_DEFAULT):
+                 journal_cap: int = JOURNAL_CAP_DEFAULT,
+                 max_inflight: int = ADMISSION_MAX_INFLIGHT,
+                 retry_after_ns: float = ADMISSION_RETRY_AFTER_NS):
         if journal_cap < 1:
             raise ValueError(f"journal cap must be >= 1, got {journal_cap}")
+        if max_inflight < 1:
+            raise ValueError(
+                f"admission cap must be >= 1, got {max_inflight}"
+            )
         self.endpoint = endpoint
         self.sim = endpoint.sim
         self._devices: dict[int, PcieDevice] = {}
@@ -455,8 +549,21 @@ class DeviceServer:
         #: re-applied (doorbells stay safe — max() semantics — but the
         #: exactly-once-observable window shrinks).
         self.journal_evictions = 0
+        # Bounded admission: at most ``max_inflight`` forwarded ops may
+        # be executing concurrently on this (owner, borrower) queue.
+        # MMIO RPCs beyond the cap are busy-nacked with a retry-after
+        # hint; doorbells are never refused (they carry no payload,
+        # coalesce by max(), and dropping one would turn overload into a
+        # lost submission) but do count toward the occupancy every reply
+        # piggybacks.
+        self.max_inflight = max_inflight
+        self.retry_after_ns = retry_after_ns
+        self._inflight = 0
+        self.admission_rejects = 0
         _obs.METRICS.counter("proxy.journal_evictions")
         _obs.METRICS.gauge("proxy.journal.occupancy")
+        _obs.METRICS.counter("proxy.admission_rejects")
+        _obs.METRICS.gauge("proxy.inflight")
 
     def export(self, device: PcieDevice) -> None:
         """Make a locally-attached device reachable through this server."""
@@ -521,6 +628,33 @@ class DeviceServer:
         self.fenced_ops += 1
         _obs.METRICS.counter("proxy.fenced_ops").inc()
 
+    # -- admission (bounded in-flight, cooperative backpressure) ------------
+
+    def occupancy_permille(self) -> int:
+        """In-flight / cap, per-mille — piggybacked on every reply."""
+        return min(1000, (1000 * self._inflight) // self.max_inflight)
+
+    def _admit(self) -> bool:
+        """Reserve one admission slot, or refuse (caller busy-nacks)."""
+        if self._inflight >= self.max_inflight:
+            self.admission_rejects += 1
+            _obs.METRICS.counter("proxy.admission_rejects").inc()
+            return False
+        self._inflight += 1
+        _obs.METRICS.gauge("proxy.inflight").set(self._inflight)
+        return True
+
+    def _release(self) -> None:
+        self._inflight -= 1
+        _obs.METRICS.gauge("proxy.inflight").set(self._inflight)
+
+    def _busy_nack(self, request_id: int, device_id: int):
+        return BusyNack(
+            request_id=request_id, device_id=device_id,
+            retry_after_ns=int(self.retry_after_ns),
+            occupancy_permille=self.occupancy_permille(),
+        )
+
     # -- handlers (run as processes by the endpoint dispatcher) ----------------
 
     def _reply(self, message):
@@ -552,24 +686,37 @@ class DeviceServer:
                     dataclasses.replace(cached, request_id=msg.request_id)
                 )
                 return
-        device = self._devices.get(msg.device_id)
-        status = self.STATUS_OK
-        applied = False
-        if device is None:
-            status = self.STATUS_UNKNOWN_DEVICE
-        else:
-            try:
-                yield from device.mmio_write(msg.addr, msg.value)
-                self.forwarded_ops += 1
-                applied = True
-            except DeviceFailedError:
-                status = self.STATUS_FAILED_DEVICE
-                applied = True
-        reply = Completion(request_id=msg.request_id, status=status)
-        if msg.op_id and applied:
-            self._journal_put(msg.op_id,
-                              dataclasses.replace(reply, request_id=0))
-        yield from self._reply(reply)
+        if not self._admit():
+            yield from self._reply(
+                self._busy_nack(msg.request_id, msg.device_id)
+            )
+            return
+        try:
+            device = self._devices.get(msg.device_id)
+            status = self.STATUS_OK
+            applied = False
+            if device is None:
+                status = self.STATUS_UNKNOWN_DEVICE
+            else:
+                try:
+                    yield from device.mmio_write(msg.addr, msg.value)
+                    self.forwarded_ops += 1
+                    applied = True
+                except DeviceFailedError:
+                    status = self.STATUS_FAILED_DEVICE
+                    applied = True
+            reply = Completion(
+                request_id=msg.request_id, status=status,
+                occupancy_permille=self.occupancy_permille(),
+            )
+            if msg.op_id and applied:
+                self._journal_put(
+                    msg.op_id,
+                    dataclasses.replace(reply, request_id=0),
+                )
+            yield from self._reply(reply)
+        finally:
+            self._release()
 
     def _handle_read(self, msg: MmioRead):
         fenced, _ = self._fence_check(msg)
@@ -589,29 +736,45 @@ class DeviceServer:
                     dataclasses.replace(cached, request_id=msg.request_id)
                 )
                 return
-        device = self._devices.get(msg.device_id)
-        if device is None:
+        if not self._admit():
             yield from self._reply(
-                Completion(request_id=msg.request_id,
-                           status=self.STATUS_UNKNOWN_DEVICE)
+                self._busy_nack(msg.request_id, msg.device_id)
             )
             return
         try:
-            value = yield from device.mmio_read(msg.addr)
-        except DeviceFailedError:
-            reply = Completion(request_id=msg.request_id,
-                               status=self.STATUS_FAILED_DEVICE)
+            device = self._devices.get(msg.device_id)
+            if device is None:
+                yield from self._reply(
+                    Completion(request_id=msg.request_id,
+                               status=self.STATUS_UNKNOWN_DEVICE,
+                               occupancy_permille=self.occupancy_permille())
+                )
+                return
+            try:
+                value = yield from device.mmio_read(msg.addr)
+            except DeviceFailedError:
+                reply = Completion(
+                    request_id=msg.request_id,
+                    status=self.STATUS_FAILED_DEVICE,
+                    occupancy_permille=self.occupancy_permille(),
+                )
+                if msg.op_id:
+                    self._journal_put(
+                        msg.op_id,
+                        dataclasses.replace(reply, request_id=0),
+                    )
+                yield from self._reply(reply)
+                return
+            self.forwarded_ops += 1
+            reply = MmioReadReply(request_id=msg.request_id, value=value)
             if msg.op_id:
-                self._journal_put(msg.op_id,
-                                  dataclasses.replace(reply, request_id=0))
+                self._journal_put(
+                    msg.op_id,
+                    dataclasses.replace(reply, request_id=0),
+                )
             yield from self._reply(reply)
-            return
-        self.forwarded_ops += 1
-        reply = MmioReadReply(request_id=msg.request_id, value=value)
-        if msg.op_id:
-            self._journal_put(msg.op_id,
-                              dataclasses.replace(reply, request_id=0))
-        yield from self._reply(reply)
+        finally:
+            self._release()
 
     def _handle_doorbell(self, msg: Doorbell):
         fenced, cur_token = self._fence_check(msg)
@@ -628,9 +791,16 @@ class DeviceServer:
         device = self._devices.get(msg.device_id)
         if device is None or device.failed:
             return  # posted write to a dead device: silently lost, like HW
+        # Doorbells bypass the admission gate (see __init__) but still
+        # occupy a slot, so MMIO admission and piggybacked occupancy see
+        # doorbell pressure too.
+        self._inflight += 1
+        _obs.METRICS.gauge("proxy.inflight").set(self._inflight)
         try:
             reg = device.doorbell_register(msg.queue_id)
             yield from device.mmio_write(reg, msg.index)
             self.forwarded_ops += 1
         except (DeviceFailedError, ValueError):
             return
+        finally:
+            self._release()

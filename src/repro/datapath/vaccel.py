@@ -64,7 +64,8 @@ class RemoteAcceleratorClient:
                  n_entries: int = 64, max_job_bytes: int = 64 << 10,
                  name: str = "vaccel",
                  op_timeout_ns: float = 200_000_000.0,
-                 hedge_deadline_ns: float = HEDGE_DEADLINE_NS):
+                 hedge_deadline_ns: float = HEDGE_DEADLINE_NS,
+                 budget=None):
         self.sim = sim
         self.memsys = memsys
         self.handle = handle
@@ -72,6 +73,12 @@ class RemoteAcceleratorClient:
         self.max_job_bytes = max_job_bytes
         self.name = name
         self.op_timeout_ns = op_timeout_ns
+        #: Per-client-host retry budget (optional): hedges draw from it
+        #: softly, failover replays drain it unconditionally, and every
+        #: completion deposits the goodput dividend.  Jobs are too
+        #: coarse-grained to AIMD-pace — the budget alone bounds this
+        #: client's recovery-traffic amplification.
+        self.budget = budget
         #: A job older than this but younger than the op timeout is in
         #: the gray band: the owner looks alive-but-slow, so the
         #: watchdog hedges (re-rings the journaled doorbell) instead of
@@ -343,6 +350,10 @@ class RemoteAcceleratorClient:
             self.resubmitted += len(jobs)
             if jobs:
                 _obs.METRICS.counter("vaccel.resubmitted").inc(len(jobs))
+                if self.budget is not None:
+                    # Correctness traffic: never refused, but accounted,
+                    # so hedges/retries stand down behind the replay.
+                    self.budget.spend_forced(float(len(jobs)))
             self._ensure_daemons()
         finally:
             self._failing_over = None
@@ -511,6 +522,8 @@ class RemoteAcceleratorClient:
             self.ops_completed += 1
             self._kick_streak = 0
             self._hedge_streak = 0
+            if self.budget is not None:
+                self.budget.on_success()
             op.waiter.succeed(entry)
 
     def _collect(self, poll_ns: float = 1_000.0):
@@ -545,6 +558,9 @@ class RemoteAcceleratorClient:
                 # (idempotent — max() doorbells + server op-id journal).
                 if self._hedge_streak >= HEDGE_STREAK_LIMIT:
                     continue
+                if (self.budget is not None
+                        and not self.budget.try_spend_hedge(1.0)):
+                    continue  # budget low: hedges stand down first
                 self._hedge_streak += 1
                 self.hedges += 1
                 _obs.METRICS.counter("vaccel.hedges").inc()

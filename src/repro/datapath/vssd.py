@@ -57,6 +57,9 @@ class _PendingOp:
     #: The caller's op span: a failover resubmission posts under it, so
     #: the successor-side events join the original I/O's trace.
     span: object = None
+    #: Whether this op holds an AIMD pacer slot (released exactly once,
+    #: at completion or when the op is de-journaled).
+    paced: bool = False
 
 
 class RemoteSsdClient:
@@ -66,7 +69,8 @@ class RemoteSsdClient:
                  n_entries: int = 64, max_io_bytes: int = 128 << 10,
                  name: str = "vssd",
                  op_timeout_ns: float = 200_000_000.0,
-                 hedge_deadline_ns: float = HEDGE_DEADLINE_NS):
+                 hedge_deadline_ns: float = HEDGE_DEADLINE_NS,
+                 budget=None, pacer=None):
         self.sim = sim
         self.memsys = memsys
         self.handle = handle
@@ -74,6 +78,15 @@ class RemoteSsdClient:
         self.max_io_bytes = max_io_bytes
         self.name = name
         self.op_timeout_ns = op_timeout_ns
+        # Overload control (both optional; None = pre-overload behavior).
+        # ``budget`` is the per-client-host retry budget: hedges draw
+        # from it softly, failover replays drain it unconditionally, and
+        # every completion deposits the goodput dividend.  ``pacer`` is
+        # the AIMD window fed by occupancy piggybacked on CQ entries;
+        # submissions wait for a window slot *before* journaling, so a
+        # paced-out op never leaves a journal entry behind.
+        self.budget = budget
+        self.pacer = pacer
         # Deadline hedging: an op older than this (but younger than the
         # full op timeout) gets its doorbell re-rung with a refreshed
         # token.  Doorbells are max()-semantics MMIO and forwarded ops
@@ -140,7 +153,17 @@ class RemoteSsdClient:
             raise ValueError(
                 f"I/O of {len(data)} B exceeds max {self.max_io_bytes} B"
             )
-        index = self._reserve()
+        # Pace *before* reserving (like write_burst): a paced-out
+        # submitter holding an SQ slot would wedge the doorbell frontier
+        # behind its unwritten entry, while its window slot waits on
+        # completions that can only come from entries past the wedge —
+        # deadlock until the op-timeout watchdog fails over.
+        paced = yield from self._pace()
+        try:
+            index = self._reserve()
+        except BaseException:
+            self._release_pacing(paced)
+            raise
         span = _obs.TRACER.begin(
             "vssd.write", self.sim.now,
             track=f"{self.memsys.host_id}/vssd", cat="io",
@@ -149,10 +172,14 @@ class RemoteSsdClient:
         try:
             buf = (self.buf_base
                    + (index % self.n_entries) * self.max_io_bytes)
-            yield from self.mem.write(buf, data)
+            try:
+                yield from self.mem.write(buf, data)
+            except BaseException:
+                self._release_pacing(paced)
+                raise
             status = yield from self._submit(index, NvmeCommand(
                 NvmeCommand.OP_WRITE, len(data), lba=lba, buffer_addr=buf,
-            ), parent=span)
+            ), parent=span, paced=paced)
         finally:
             _obs.TRACER.end(span, self.sim.now)
         return status.status
@@ -182,7 +209,19 @@ class RemoteSsdClient:
                 )
         if not ios:
             return []
+        # Pace the whole batch before reserving anything: window slots
+        # are claimed up front so none of the batch is journaled (or
+        # even depth-checked) while the pod is pushing back.
+        batch_paced = False
+        if self.pacer is not None:
+            for _ in ios:
+                yield from self.pacer.wait_for_slot(self.sim)
+                self.pacer.acquire()
+            batch_paced = True
         if self._tail - self._cq_head + len(ios) > self.n_entries:
+            if batch_paced:
+                for _ in ios:
+                    self.pacer.release()
             raise RuntimeError(
                 f"{self.name}: burst of {len(ios)} exceeds free "
                 f"submission-queue depth "
@@ -218,7 +257,7 @@ class RemoteSsdClient:
                     op = _PendingOp(
                         order=self._order, index=index, cmd=cmd,
                         waiter=waiter, submitted_ns=self.sim.now,
-                        span=span,
+                        span=span, paced=batch_paced,
                     )
                     self._order += 1
                     # Journal before posting, like _submit: a failover
@@ -239,6 +278,11 @@ class RemoteSsdClient:
                 # is in flight: deregister or the daemons would idle.
                 for op in ops:
                     self._pending.pop(op.index % (1 << 16), None)
+                    self._release_slot(op)
+                if batch_paced:
+                    # Slots claimed for ios that never became ops.
+                    for _ in range(len(ios) - len(ops)):
+                        self.pacer.release()
                 if gen == self.generation:
                     if self._tail == first + len(ios):
                         # No later reservation: the whole batch unwinds
@@ -285,7 +329,12 @@ class RemoteSsdClient:
             raise ValueError(
                 f"I/O of {length} B exceeds max {self.max_io_bytes} B"
             )
-        index = self._reserve()
+        paced = yield from self._pace()       # before _reserve; see write
+        try:
+            index = self._reserve()
+        except BaseException:
+            self._release_pacing(paced)
+            raise
         span = _obs.TRACER.begin(
             "vssd.read", self.sim.now,
             track=f"{self.memsys.host_id}/vssd", cat="io",
@@ -296,7 +345,7 @@ class RemoteSsdClient:
                    + (index % self.n_entries) * self.max_io_bytes)
             comp = yield from self._submit(index, NvmeCommand(
                 NvmeCommand.OP_READ, length, lba=lba, buffer_addr=buf,
-            ), parent=span)
+            ), parent=span, paced=paced)
             if comp.status != CompletionEntry.STATUS_OK:
                 raise IOError(
                     f"{self.name}: read failed (status={comp.status})"
@@ -308,7 +357,12 @@ class RemoteSsdClient:
 
     def flush(self):
         """Process: durability barrier."""
-        index = self._reserve()
+        paced = yield from self._pace()       # before _reserve; see write
+        try:
+            index = self._reserve()
+        except BaseException:
+            self._release_pacing(paced)
+            raise
         span = _obs.TRACER.begin(
             "vssd.flush", self.sim.now,
             track=f"{self.memsys.host_id}/vssd", cat="io",
@@ -316,7 +370,7 @@ class RemoteSsdClient:
         try:
             comp = yield from self._submit(index, NvmeCommand(
                 NvmeCommand.OP_FLUSH, 0, lba=0, buffer_addr=0,
-            ), parent=span)
+            ), parent=span, paced=paced)
         finally:
             _obs.TRACER.end(span, self.sim.now)
         return comp.status
@@ -386,6 +440,11 @@ class RemoteSsdClient:
             self.resubmitted += len(ops)
             if ops:
                 _obs.METRICS.counter("vssd.resubmitted").inc(len(ops))
+                if self.budget is not None:
+                    # Replays are correctness traffic: never refused,
+                    # but they drain the budget so discretionary
+                    # retries and hedges stand down behind them.
+                    self.budget.spend_forced(float(len(ops)))
             self._ensure_daemons()
         finally:
             self._failing_over = None
@@ -492,11 +551,17 @@ class RemoteSsdClient:
         self._tail += 1
         return index
 
-    def _submit(self, index: int, cmd: NvmeCommand, parent=None):
+    def _submit(self, index: int, cmd: NvmeCommand, parent=None,
+                paced: bool = False):
+        # The caller paced (and only then reserved ``index``) before
+        # entering here, so a window refusal never holds an SQ slot; any
+        # budget refusal below still happens before the journal entry
+        # exists, so an op refused here leaves nothing for failover to
+        # replay (the journal-before-post invariant's converse).
         waiter = self.sim.event(name=f"{self.name}.cmd{index}")
         op = _PendingOp(order=self._order, index=index, cmd=cmd,
                         waiter=waiter, submitted_ns=self.sim.now,
-                        span=parent)
+                        span=parent, paced=paced)
         self._order += 1
         # Journal before posting: a failover racing this submission will
         # resubmit the op on the successor even if the post below never
@@ -508,11 +573,36 @@ class RemoteSsdClient:
         except BaseException:
             # The caller observes this failure, so the op is not in
             # flight: deregister it or the daemons would idle forever.
+            # This covers typed overload refusals (OverloadError,
+            # RetryBudgetExhausted) exactly like transport errors: a
+            # budget-denied post must de-journal its op id, or failover
+            # would replay an op whose caller already saw it fail.
             self._pending.pop(index % (1 << 16), None)
+            self._release_slot(op)
             raise
         self._ensure_daemons()
         comp = yield waiter
         return comp
+
+    def _pace(self):
+        """Process: wait for an AIMD window slot and claim it."""
+        if self.pacer is None:
+            return False
+        yield from self.pacer.wait_for_slot(self.sim)
+        self.pacer.acquire()
+        return True
+
+    def _release_slot(self, op: _PendingOp) -> None:
+        """Return ``op``'s pacer slot exactly once."""
+        if op.paced:
+            op.paced = False
+            if self.pacer is not None:
+                self.pacer.release()
+
+    def _release_pacing(self, paced: bool) -> None:
+        """Return a pacer slot claimed before an op object existed."""
+        if paced and self.pacer is not None:
+            self.pacer.release()
 
     def _post(self, index: int, cmd: NvmeCommand, parent=None):
         """Process: write one SQ entry and expose it via the doorbell."""
@@ -591,6 +681,13 @@ class RemoteSsdClient:
             self.ops_completed += 1
             self._kick_streak = 0
             self._hedge_streak = 0
+            self._release_slot(op)
+            if self.pacer is not None:
+                # Devices piggyback SQ occupancy in the spare ``value``
+                # field; fold it into the AIMD window.
+                self.pacer.on_ack(entry.value, self.sim.now)
+            if self.budget is not None:
+                self.budget.on_success()
             op.waiter.succeed(entry)
 
     def _collect_completions(self, poll_ns: float = 2_000.0):
@@ -643,6 +740,9 @@ class RemoteSsdClient:
             if age <= self.op_timeout_ns:
                 if self._hedge_streak >= HEDGE_STREAK_LIMIT:
                     continue  # hedges aren't landing; wait for timeout
+                if (self.budget is not None
+                        and not self.budget.try_spend_hedge(1.0)):
+                    continue  # budget low: hedges stand down first
                 self._hedge_streak += 1
                 self.hedges += 1
                 _obs.METRICS.counter("vssd.hedges").inc()

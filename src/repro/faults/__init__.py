@@ -35,6 +35,7 @@ from repro.faults.spec import (
     MhdDegrade,
     MhdSlow,
     OrchestratorCrash,
+    OverloadStorm,
 )
 
 __all__ = [
@@ -57,4 +58,5 @@ __all__ = [
     "MhdDegrade",
     "MhdSlow",
     "OrchestratorCrash",
+    "OverloadStorm",
 ]

@@ -35,6 +35,7 @@ from repro.faults.spec import (
     MhdDegrade,
     MhdSlow,
     OrchestratorCrash,
+    OverloadStorm,
 )
 
 
@@ -75,6 +76,10 @@ class ChaosConfig:
     slow_factor: float = 10.0
     #: Per-line-op jitter ceiling applied by LinkDegrade faults (ns).
     degrade_jitter_ns: float = 2_000.0
+    #: Overload-storm count — default 0, prefix-stable like the rest.
+    overload_storms: int = 0
+    #: Open-loop clients each storm pins on its borrower->device path.
+    storm_depth: int = 32
 
 
 class ChaosCampaign:
@@ -203,6 +208,26 @@ class ChaosCampaign:
                 host_id=host_id,
                 at_ns=start + float(rng.uniform(0.0, 0.5)) * span,
                 down_ns=down_ns(),
+            ))
+        # Overload-storm draws come after every failure draw: a config
+        # with overload_storms=0 (every pre-existing one) consumes the
+        # exact draw sequence it always did.
+        for _ in range(cfg.overload_storms):
+            if not device_ids:
+                break
+            device_id = device_ids[int(rng.integers(len(device_ids)))]
+            # Storm from a *borrower*: the owner's handle is local MMIO
+            # and would bypass the forwarding path under test.
+            owner = self.pool.owner_of(device_id)
+            borrowers = [h for h in host_ids if h != owner]
+            if not borrowers:
+                break
+            faults.append(OverloadStorm(
+                borrower_host=borrowers[int(rng.integers(len(borrowers)))],
+                device_id=device_id,
+                at_ns=start + float(rng.uniform(0.0, 0.75)) * span,
+                duration_ns=down_ns(),
+                depth=cfg.storm_depth,
             ))
         return FaultSchedule(tuple(faults))
 

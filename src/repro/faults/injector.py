@@ -28,6 +28,7 @@ from repro.faults.spec import (
     MhdDegrade,
     MhdSlow,
     OrchestratorCrash,
+    OverloadStorm,
 )
 
 
@@ -146,6 +147,20 @@ class FaultInjector:
         self.pool.expire_lease(device_id)
         self._record("LeaseExpire", f"device:{device_id}", "expire")
 
+    def overload_storm(self, borrower_host: str, device_id: int,
+                       duration_ns: float, depth: int = 32) -> None:
+        """Start an open-loop request flood on one borrower->device path.
+
+        Unlike the other verbs this breaks nothing — it spawns ``depth``
+        storm clients (see :meth:`PciePool.overload_storm`) that stop on
+        their own at ``now + duration_ns``.  One log entry marks the
+        start; the storm's end is implicit in the duration.
+        """
+        self.pool.overload_storm(borrower_host, device_id,
+                                 duration_ns, depth=depth)
+        self._record("OverloadStorm",
+                     f"path:{borrower_host}->device:{device_id}", "storm")
+
     def crash_agent(self, host_id: str) -> None:
         self.pool.crash_agent(host_id)
         self._record("AgentCrash", f"agent:{host_id}", "crash")
@@ -237,6 +252,9 @@ class FaultInjector:
             self.stall_agent(fault.host_id)
             yield self.sim.timeout(fault.down_ns)
             self.unstall_agent(fault.host_id)
+        elif isinstance(fault, OverloadStorm):
+            self.overload_storm(fault.borrower_host, fault.device_id,
+                                fault.duration_ns, fault.depth)
         else:
             raise TypeError(f"unknown fault spec {fault!r}")
 

@@ -186,10 +186,29 @@ class AgentStall:
     down_ns: float
 
 
+@dataclass(frozen=True)
+class OverloadStorm:
+    """Open-loop overload: flood one borrower->device forwarding path.
+
+    ``depth`` storm clients hammer forwarded register reads for
+    ``duration_ns`` without closed-loop pacing — a misbehaving tenant or
+    retry stampede.  Nothing breaks: the fault is that *demand* exceeds
+    capacity, and the overload-control stack (admission nacks, retry
+    budgets, AIMD pacing, brownout shedding) must keep goodput up and
+    must not let the pressure masquerade as device/owner failure.
+    """
+
+    borrower_host: str
+    device_id: int
+    at_ns: float
+    duration_ns: float
+    depth: int = 32
+
+
 Fault = Union[DeviceCrash, DeviceFlap, LinkFlap, AgentCrash,
               OrchestratorCrash, MhdCrash, MhdDegrade, MemPoison,
               HostPartition, LeaseExpire, MhdSlow, LinkDegrade,
-              AgentStall]
+              AgentStall, OverloadStorm]
 
 
 @dataclass(frozen=True)

@@ -1,11 +1,26 @@
-"""Latency health scoring for gray-failure detection.
+"""Latency health scoring and overload control.
 
-See :mod:`repro.health.scoring` for the model: rolling per-component
-latency windows, peer-relative p99 outlier verdicts, and a hysteresis
-state machine (HEALTHY / GRAY / PROBATION) that drives quarantine and
-reinstatement decisions in the control plane.
+See :mod:`repro.health.scoring` for the gray-failure model: rolling
+per-component latency windows, peer-relative p99 outlier verdicts, and
+a hysteresis state machine (HEALTHY / GRAY / PROBATION) that drives
+quarantine and reinstatement decisions in the control plane.
+
+See :mod:`repro.health.overload` for the overload-protection layer:
+retry budgets (token buckets funding recovery traffic from goodput),
+AIMD submission pacing fed by piggybacked queue occupancy, and the
+brownout ladder that sheds background work before overload can
+masquerade as failure.
 """
 
+from repro.health.overload import (
+    BROWNOUT_DEMOTE,
+    BROWNOUT_NORMAL,
+    BROWNOUT_SHED,
+    AimdWindow,
+    BrownoutController,
+    OverloadError,
+    RetryBudget,
+)
 from repro.health.scoring import (
     GRAY,
     HEALTHY,
@@ -15,9 +30,16 @@ from repro.health.scoring import (
 )
 
 __all__ = [
+    "BROWNOUT_DEMOTE",
+    "BROWNOUT_NORMAL",
+    "BROWNOUT_SHED",
     "GRAY",
     "HEALTHY",
     "PROBATION",
+    "AimdWindow",
+    "BrownoutController",
     "HealthConfig",
     "HealthScorer",
+    "OverloadError",
+    "RetryBudget",
 ]

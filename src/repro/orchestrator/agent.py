@@ -84,6 +84,21 @@ class PoolingAgent:
         #: traffic (heartbeats, lease renewals) keeps flowing — the
         #: stuck-worker-thread failure heartbeat detectors cannot see.
         self.stalled = False
+        #: Brownout shed level (set by the pool): at >= 1 the agent
+        #: sheds background work — announces stop and device probes run
+        #: every :attr:`shed_probe_stride`-th tick — while lease
+        #: renewals move to the *front* of the tick, ahead of any probe
+        #: or report traffic.  The stride is chosen so stretched load
+        #: reports (3 ticks = 30 ms) stay inside the orchestrator's
+        #: work-silence timeout (50 ms): shedding must never read as a
+        #: stalled agent, or brownout would manufacture the very
+        #: quarantines it exists to prevent.
+        self.shed_level = 0
+        self.shed_probe_stride = 3
+        self.announces_shed = 0
+        self.probes_shed = 0
+        _obs.METRICS.counter("agent.announces_shed")
+        _obs.METRICS.counter("agent.probes_shed")
         self.reports_sent = 0
         self.failures_reported = 0
         self.recoveries_reported = 0
@@ -192,6 +207,10 @@ class PoolingAgent:
         if running:
             self.start()
 
+    def set_shed_level(self, level: int) -> None:
+        """Adopt the pool's brownout level (see :attr:`shed_level`)."""
+        self.shed_level = level
+
     def stall(self) -> None:
         """Fault injection: the worker half wedges (see :attr:`stalled`)."""
         self.stalled = True
@@ -232,8 +251,15 @@ class PoolingAgent:
         try:
             while True:
                 self._step_down_expired()
+                shedding = self.shed_level >= 1
                 try:
                     yield from self._send_heartbeat()
+                    if shedding:
+                        # Brownout: renewals jump the queue.  Probe and
+                        # report RTTs must not delay the renew while the
+                        # control channel is congested — an overloaded
+                        # pod must never manufacture a lease lapse.
+                        yield from self._renew_leases()
                     # Probe and report devices before the renew round
                     # trips: the utilization snapshot should reflect the
                     # tick boundary, not drift later with control-plane
@@ -242,11 +268,25 @@ class PoolingAgent:
                     # continues — the gray signature work-silence
                     # detection keys on.
                     if not self.stalled:
-                        for device in list(self._devices.values()):
-                            yield from self._check_device(device)
-                    yield from self._renew_leases()
+                        if (not shedding
+                                or ticks % self.shed_probe_stride == 0):
+                            for device in list(self._devices.values()):
+                                yield from self._check_device(device)
+                        else:
+                            self.probes_shed += 1
+                            _obs.METRICS.counter("agent.probes_shed").inc()
+                    if not shedding:
+                        yield from self._renew_leases()
                     if not self.stalled and ticks % self.announce_every == 0:
-                        yield from self.announce()
+                        if shedding:
+                            # Announces are the eventual-consistency
+                            # backstop: deferring them is free, their
+                            # next firing reasserts the same state.
+                            self.announces_shed += 1
+                            _obs.METRICS.counter(
+                                "agent.announces_shed").inc()
+                        else:
+                            yield from self.announce()
                 except LinkDownError:
                     # Control channel unreachable this tick; report again
                     # next interval (retry layers already backed off).

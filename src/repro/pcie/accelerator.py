@@ -142,11 +142,15 @@ class Accelerator(PcieDevice):
         )
         cq_index = self._cq_index
         self._cq_index += 1
+        # Piggyback job-queue occupancy in the spare ``value`` field
+        # (cooperative backpressure, same convention as the SSD).
+        inflight = max(0, self._job_head - self.jobs_completed)
         entry = CompletionEntry(
             seq=seq_for_pass(cq_index // cq.n_entries),
             status=CompletionEntry.STATUS_OK,
             index=index % (1 << 16),
             length=len(result),
+            value=min(1000, (1000 * inflight) // self.spec.n_desc),
         )
         yield from self.dma_write(cq.entry_addr(cq_index), entry.encode())
         self.jobs_completed += 1

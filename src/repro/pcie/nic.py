@@ -333,11 +333,18 @@ class Nic(PcieDevice):
         # completions must never write the same entry.
         cq_index = getattr(self, counter_attr)
         setattr(self, counter_attr, cq_index + 1)
+        # Piggyback queue occupancy (dispatched minus completed on this
+        # CQ's queue, per-mille of the ring) in the spare ``value``
+        # field — cooperative backpressure, same convention as the SSD.
+        head = (self._tx_head if cq_reg == self.REG_TX_CQ
+                else self._rx_head)
+        inflight = max(0, head - cq_index)
         entry = CompletionEntry(
             seq=seq_for_pass(cq_index // cq.n_entries),
             status=status,
             index=desc_index % (1 << 16),
             length=length,
+            value=min(1000, (1000 * inflight) // self.spec.n_desc),
         )
         # The completion write is retried hard: a lost entry would leave a
         # seq hole that wedges the driver's CQ poller forever.

@@ -192,9 +192,15 @@ class Ssd(PcieDevice):
         )
         cq_index = self._cq_index
         self._cq_index += 1
+        # Cooperative backpressure: piggyback the device's SQ occupancy
+        # (dispatched minus completed, per-mille of the queue) in the
+        # otherwise-unused ``value`` field.  Same 16 B wire format;
+        # clients that ignore value behave as before.
+        inflight = max(0, self._sq_head - self.commands_completed)
         entry = CompletionEntry(
             seq=seq_for_pass(cq_index // cq.n_entries),
             status=status, index=index % (1 << 16), length=length,
+            value=min(1000, (1000 * inflight) // self.spec.n_sq_entries),
         )
         yield from self.dma_write(cq.entry_addr(cq_index), entry.encode())
         self.commands_completed += 1

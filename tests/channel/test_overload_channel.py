@@ -1,0 +1,232 @@
+"""Overload behaviour at the channel layer.
+
+Satellite coverage for PR 7: bounded ring-full waits (``deadline_ns`` ->
+``RingSaturatedError``, counted apart from plain congestion stalls) and
+the retry ladder's overload guards (retry-budget charging, cumulative
+retry deadline).
+"""
+
+import pytest
+
+from repro.channel.ring import RingChannel, RingSaturatedError
+from repro.channel.messages import MmioRead, MmioReadReply
+from repro.channel.rpc import RetryBudgetExhausted, RpcEndpoint, RpcError
+from repro.cxl.pod import CxlPod, PodConfig
+from repro.health import RetryBudget
+from repro.sim import Simulator
+
+
+def make_ring(n_slots=4):
+    sim = Simulator()
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=1, mhd_capacity=1 << 26))
+    ring = RingChannel.over_pod(pod, "h0", "h1", n_slots=n_slots)
+    return sim, pod, ring
+
+
+def make_pair(seed=0):
+    sim = Simulator(seed=seed)
+    pod = CxlPod(sim, PodConfig(n_hosts=2, n_mhds=1, mhd_capacity=1 << 26))
+    a, b = RpcEndpoint.pair(pod, "h0", "h1")
+    return sim, pod, a, b
+
+
+def finish(sim, *endpoints):
+    for ep in endpoints:
+        ep.close()
+    sim.run()
+
+
+# ------------------------------------------------- bounded ring-full waits
+
+
+def test_send_deadline_raises_saturated_when_ring_stays_full():
+    sim, _pod, ring = make_ring(n_slots=4)
+
+    def sender():
+        for i in range(4):                        # fill; nobody receives
+            yield from ring.sender.send(b"x%d" % i)
+        with pytest.raises(RingSaturatedError):
+            yield from ring.sender.send(
+                b"doomed", deadline_ns=sim.now + 100_000.0)
+        return sim.now
+
+    p = sim.spawn(sender())
+    sim.run(until=p)
+    # A deadlined stall is *saturation*, counted apart from the plain
+    # full_events congestion stat (a stall that resolves).
+    assert ring.sender.saturated_events == 1
+    assert ring.sender.full_events == 1
+    sim.run()
+
+
+def test_send_deadline_is_a_bound_not_a_penalty():
+    """If the receiver drains in time, the bounded send completes and
+    the saturation counter stays put."""
+    sim, _pod, ring = make_ring(n_slots=4)
+    got = []
+
+    def sender():
+        for i in range(4):
+            yield from ring.sender.send(b"m%d" % i)
+        yield from ring.sender.send(b"last",
+                                    deadline_ns=sim.now + 10_000_000.0)
+
+    def receiver():
+        yield sim.timeout(50_000.0)               # drain late but in time
+        for _ in range(5):
+            got.append((yield from ring.receiver.recv()))
+
+    sim.spawn(sender())
+    r = sim.spawn(receiver())
+    sim.run(until=r)
+    assert got[-1] == b"last"
+    assert ring.sender.saturated_events == 0
+    assert ring.sender.full_events == 1
+    sim.run()
+
+
+def test_send_burst_honours_deadline():
+    sim, _pod, ring = make_ring(n_slots=4)
+
+    def sender():
+        yield from ring.sender.send_burst(
+            [b"a", b"b", b"c", b"d"])             # fills the ring
+        with pytest.raises(RingSaturatedError):
+            yield from ring.sender.send_burst(
+                [b"e", b"f"], deadline_ns=sim.now + 50_000.0)
+
+    p = sim.spawn(sender())
+    sim.run(until=p)
+    assert ring.sender.saturated_events == 1
+    sim.run()
+
+
+def test_unbounded_send_still_waits_forever_semantics():
+    """Control rings keep the wait-forever default: no deadline, no
+    RingSaturatedError, the send completes whenever space appears."""
+    sim, _pod, ring = make_ring(n_slots=2)
+    done = {}
+
+    def sender():
+        for i in range(3):
+            yield from ring.sender.send(b"%d" % i)
+        done["at"] = sim.now
+
+    def receiver():
+        yield sim.timeout(2_000_000.0)            # a long stall
+        yield from ring.receiver.recv()
+
+    sim.spawn(receiver())
+    p = sim.spawn(sender())
+    sim.run(until=p)
+    assert done["at"] >= 2_000_000.0
+    assert ring.sender.saturated_events == 0
+    sim.run()
+
+
+# ------------------------------------------------ retry budget and deadline
+
+
+def test_retry_budget_charges_retries_not_first_attempts():
+    sim, _pod, client, server = make_pair()
+    budget = RetryBudget("client", burst=8.0, hedge_min=0.0)
+    dropped = []
+
+    def handle_read(msg):
+        if len(dropped) < 2:
+            dropped.append(msg.request_id)
+            return
+        return server.send(
+            MmioReadReply(request_id=msg.request_id, value=7))
+
+    server.on(MmioRead, handle_read)
+
+    def caller():
+        reply = yield from client.call_with_retry(
+            MmioRead(request_id=0, device_id=1, addr=0),
+            timeout_ns=50_000.0, budget=budget)
+        return reply.value
+
+    p = sim.spawn(caller())
+    sim.run(until=p)
+    assert p.value == 7
+    assert budget.spent == 2              # two retries; attempt 1 rode free
+    assert budget.tokens == 6.0
+    finish(sim, client, server)
+
+
+def test_drained_budget_denies_the_retry_with_typed_error():
+    sim, _pod, client, server = make_pair()
+    budget = RetryBudget("client", burst=1.0, hedge_min=0.0)
+    budget.tokens = 0.0
+    server.on(MmioRead, lambda msg: None)         # black hole
+
+    def caller():
+        with pytest.raises(RetryBudgetExhausted):
+            yield from client.call_with_retry(
+                MmioRead(request_id=0, device_id=1, addr=0),
+                timeout_ns=30_000.0, budget=budget)
+        return sim.now
+
+    p = sim.spawn(caller())
+    sim.run(until=p)
+    # Exactly one attempt went out (the free one); the denial happened
+    # before any backoff sleep, so no retry wave was fed.
+    assert client.retries == 0
+    assert budget.denied == 1
+    assert isinstance(RetryBudgetExhausted("x"), RpcError)
+    finish(sim, client, server)
+
+
+def test_cumulative_retry_deadline_caps_stacked_timeouts():
+    sim, _pod, client, server = make_pair()
+    server.on(MmioRead, lambda msg: None)
+
+    def caller():
+        t0 = sim.now
+        with pytest.raises(RpcError, match="retry deadline"):
+            yield from client.call_with_retry(
+                MmioRead(request_id=0, device_id=1, addr=0),
+                timeout_ns=40_000.0, max_attempts=50,
+                retry_deadline_ns=150_000.0)
+        return sim.now - t0
+
+    p = sim.spawn(caller())
+    sim.run(until=p)
+    # Without the deadline this would be 50 stacked timeouts (2 ms+);
+    # with it, the loop stops at the first attempt boundary past 150 us.
+    assert p.value < 300_000.0
+    assert client.retry_deadline_exhausted == 1
+    assert client.calls_gave_up == 1
+    finish(sim, client, server)
+
+
+def test_decorrelated_jitter_is_bounded_and_deterministic():
+    """Backoff delays stay within [base, cap] and replay identically
+    for the same seed — decorrelated jitter, not unbounded wandering."""
+
+    def run_once():
+        sim, _pod, client, server = make_pair(seed=11)
+        times = []
+        server.on(MmioRead, lambda msg: times.append(sim.now))
+
+        def caller():
+            try:
+                yield from client.call_with_retry(
+                    MmioRead(request_id=0, device_id=1, addr=0),
+                    timeout_ns=20_000.0, max_attempts=5,
+                    backoff_base_ns=1_000.0, backoff_cap_ns=64_000.0)
+            except RpcError:
+                pass
+
+        p = sim.spawn(caller())
+        sim.run(until=p)
+        finish(sim, client, server)
+        return times
+
+    first = run_once()
+    assert first == run_once()            # seeded named stream
+    gaps = [b - a for a, b in zip(first, first[1:], strict=False)]
+    for gap in gaps:
+        backoff = gap - 20_000.0          # subtract the call timeout
+        assert 1_000.0 <= backoff <= 64_000.0

@@ -1,0 +1,205 @@
+"""Brownout ladder and load shedding at the pool/agent level.
+
+Overload must never masquerade as failure: shedding slows background
+work (MHD probes, agent device probes, announces) but lease renewals
+keep their cadence and the stretched probe stride stays inside the
+work-silence timeout — a pod in brownout loses no leases and
+quarantines no healthy hosts.
+"""
+
+from repro.core import PciePool
+from repro.cxl.params import (
+    BROWNOUT_PROBE_STRETCH,
+    WORK_SILENCE_TIMEOUT_NS,
+)
+from repro.health import BROWNOUT_SHED
+from repro.sim import Simulator
+
+
+def make_pool(seed=5, n_hosts=4):
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=n_hosts)
+    return sim, pool
+
+
+def run_for(sim, ns):
+    sim.run(until=sim.timeout(ns))
+
+
+# ------------------------------------------------------------------ wiring
+
+
+def test_pool_wires_budget_and_pacer_into_remote_handles():
+    sim, pool = make_pool()
+    ssd = pool.add_ssd("h0")
+    handle = pool.handle_for("h2", ssd.device_id)
+    # One budget per borrower host, one pacer per (borrower, device)
+    # path — shared with every other client of the same path.
+    assert handle.budget is pool.budget_for("h2")
+    assert handle.pacer is pool.pacer_for("h2", ssd.device_id)
+    assert pool.budget_for("h2") is pool.budget_for("h2")
+    assert pool.budget_for("h1") is not pool.budget_for("h2")
+    pool.stop()
+    sim.run()
+
+
+def test_probe_interval_stretches_while_shedding():
+    sim, pool = make_pool()
+    nominal = pool._probe_interval_ns()
+    pool.brownout.level = BROWNOUT_SHED
+    stretched = pool._probe_interval_ns()
+    assert stretched == nominal * BROWNOUT_PROBE_STRETCH
+    # The stretched stride must still fit inside the work-silence
+    # window with margin, or brownout itself would read as a stall.
+    assert stretched < WORK_SILENCE_TIMEOUT_NS
+    pool.brownout.level = 0
+    assert pool._probe_interval_ns() == nominal
+    pool.stop()
+    sim.run()
+
+
+# ------------------------------------------------------------- the ladder
+
+
+def test_refusal_pressure_climbs_the_ladder_and_calm_descends():
+    sim, pool = make_pool()
+    pool.add_ssd("h0")
+    pool.start()
+    run_for(sim, 12_000_000.0)                     # warm: pressure 0
+    assert pool.brownout.level == 0
+    # A refusal burst (here: budget denials; admission rejects and ring
+    # saturations feed the same sum) lands between two ticks...
+    pool.budget_for("h1").denied += 100
+    run_for(sim, 6_000_000.0)                      # next 5 ms tick fires
+    assert pool.brownout.level == BROWNOUT_SHED
+    for agent in pool.agents.values():
+        assert agent.shed_level == BROWNOUT_SHED
+    # ...and with the burst over, four consecutive calm ticks walk the
+    # ladder back down and restore the agents.
+    run_for(sim, 30_000_000.0)
+    assert pool.brownout.level == 0
+    for agent in pool.agents.values():
+        assert agent.shed_level == 0
+    assert [lvl for _, lvl in pool.brownout.transitions] == [1, 0]
+    pool.stop()
+    sim.run()
+
+
+def test_busy_but_not_overloaded_pod_reads_zero_pressure():
+    """Goodput is not pressure: a pod doing real work without refusals
+    must never brown out."""
+    sim, pool = make_pool()
+    ssd = pool.add_ssd("h0")
+    pool.start()
+    vssd = pool.open_ssd("h2")
+    payload = b"busy-not-burned" * 64
+
+    def traffic():
+        yield from vssd.setup()
+        for i in range(20):
+            status = yield from vssd.write(lba=i * 8, data=payload)
+            assert status == 0
+
+    p = sim.spawn(traffic())
+    sim.run(until=p)
+    run_for(sim, 12_000_000.0)                     # let ticks evaluate
+    assert pool.brownout.level == 0
+    assert pool.brownout.transitions == []
+    assert pool._overload_events() == 0.0
+    pool.stop()
+    sim.run()
+
+
+# ----------------------------------------- shedding never looks like failure
+
+
+def test_shedding_agents_keep_leases_and_avoid_quarantine():
+    sim, pool = make_pool()
+    ssd = pool.add_ssd("h0")
+    pool.start()
+    run_for(sim, 20_000_000.0)
+    pool._apply_brownout(0, BROWNOUT_SHED)
+    # Four work-silence windows at shed level 1: probes are strided,
+    # announces deferred, renewals untouched.
+    run_for(sim, 4 * WORK_SILENCE_TIMEOUT_NS)
+    orch = pool.orchestrator
+    assert orch.quarantined_hosts == []
+    assert orch.hosts_quarantined == 0
+    assert pool.owner_of(ssd.device_id) == "h0"    # lease never lapsed
+    agent = pool.agents["h0"]
+    assert agent.probes_shed > 0                   # probes really strided
+    assert agent.announces_shed > 0                # announces really shed
+    pool._apply_brownout(BROWNOUT_SHED, 0)
+    run_for(sim, 20_000_000.0)
+    assert orch.quarantined_hosts == []
+    pool.stop()
+    sim.run()
+
+
+def test_renewals_jump_the_queue_while_shedding():
+    """Satellite: under a saturated control plane the renewal RPCs must
+    go first each tick — probe RTTs must not eat the lease margin."""
+    sim, pool = make_pool()
+    pool.add_ssd("h0")
+    agent = pool.agents["h0"]
+    calls = []
+    orig_renew, orig_check = agent._renew_leases, agent._check_device
+
+    def renew_spy():
+        calls.append("renew")
+        return orig_renew()
+
+    def check_spy(device):
+        calls.append("probe")
+        return orig_check(device)
+
+    agent._renew_leases = renew_spy
+    agent._check_device = check_spy
+    pool.start()
+    run_for(sim, 35_000_000.0)
+    baseline = list(calls)
+    # Normal order: probes first, renewals after.
+    first_probe = baseline.index("probe")
+    assert "renew" not in baseline[:first_probe]
+    calls.clear()
+    agent.set_shed_level(BROWNOUT_SHED)
+    run_for(sim, 65_000_000.0)
+    shed = list(calls)
+    assert "renew" in shed
+    # Shedding order: every probe that still runs (the strided ones)
+    # happens only after that tick's renewals went out.
+    first_probe = shed.index("probe") if "probe" in shed else len(shed)
+    assert "renew" in shed[:first_probe]
+    pool.stop()
+    sim.run()
+
+
+# --------------------------------------------------------- overload storms
+
+
+def test_overload_storm_sheds_load_without_manufacturing_failures():
+    sim, pool = make_pool()
+    ssd = pool.add_ssd("h0")
+    pool.start()
+    handle = pool.handle_for("h1", ssd.device_id)  # materialize the server
+    server = pool._device_servers[("h0", "h1")][2]
+    server.max_inflight = 2                        # tiny cap: storm saturates
+    run_for(sim, 10_000_000.0)
+    pool.overload_storm("h1", ssd.device_id, duration_ns=30_000_000.0,
+                        depth=8)
+    run_for(sim, 60_000_000.0)                     # storm + settle
+    stats = pool.export_overload_telemetry()
+    assert stats["overload.admission_rejects"] > 0
+    assert pool.overload_storms == 1
+    # The overload stack absorbed it: no quarantine, no ownership churn.
+    assert pool.orchestrator.quarantined_hosts == []
+    assert pool.owner_of(ssd.device_id) == "h0"
+
+    def after():                                   # path still serves
+        value = yield from handle.read_register(0x18)
+        return value
+
+    p = sim.spawn(after())
+    sim.run(until=p)
+    pool.stop()
+    sim.run()

@@ -1,0 +1,80 @@
+"""OverloadStorm fault: spec, injector drive, and campaign draws."""
+
+import dataclasses
+
+from repro.core import PciePool
+from repro.faults import (
+    ChaosCampaign,
+    ChaosConfig,
+    FaultInjector,
+    FaultSchedule,
+    OverloadStorm,
+)
+from repro.sim import Simulator
+
+CFG = ChaosConfig(
+    duration_ns=1_000_000_000.0,
+    device_flaps=3,
+    link_flaps=2,
+    agent_crashes=1,
+    orchestrator_restarts=1,
+    min_down_ns=1_000_000.0,
+    max_down_ns=10_000_000.0,
+    settle_ns=200_000_000.0,
+)
+
+
+def make_pool(seed, n_hosts=3):
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=n_hosts)
+    pool.add_nic("h0")
+    pool.add_ssd("h1")
+    return pool
+
+
+def test_injector_drives_storm_at_the_scheduled_time():
+    pool = make_pool(seed=9)
+    sim = pool.sim
+    started = []
+    pool.overload_storm = lambda *a, **kw: started.append((sim.now, a, kw))
+    injector = FaultInjector(pool)
+    injector.run(FaultSchedule((
+        OverloadStorm(borrower_host="h2", device_id=1,
+                      at_ns=5_000_000.0, duration_ns=20_000_000.0,
+                      depth=16),
+    )))
+    sim.run(until=sim.timeout(10_000_000.0))
+    assert len(started) == 1
+    at, args, _kw = started[0]
+    assert at == 5_000_000.0
+    assert args == ("h2", 1, 20_000_000.0)
+    # One bit-comparable log entry marks the storm start.
+    events = [e for e in injector.log if e.fault == "OverloadStorm"]
+    assert len(events) == 1
+    assert events[0].target == "path:h2->device:1"
+
+
+def test_campaign_draws_storms_against_borrowers_only():
+    cfg = dataclasses.replace(CFG, overload_storms=4, storm_depth=48)
+    pool = make_pool(seed=3)
+    schedule = ChaosCampaign(pool, cfg).schedule()
+    storms = [f for f in schedule if isinstance(f, OverloadStorm)]
+    assert len(storms) == 4
+    for storm in storms:
+        assert storm.depth == 48
+        # The owner's handle would be local MMIO — no forwarding path,
+        # nothing to storm.
+        assert storm.borrower_host != pool.owner_of(storm.device_id)
+        assert cfg.min_down_ns <= storm.duration_ns <= cfg.max_down_ns
+
+
+def test_storm_draws_append_after_legacy_prefix():
+    """Prefix stability: enabling storms must not perturb the schedule
+    an older config drew from the same seed."""
+    legacy = ChaosCampaign(make_pool(seed=7), CFG).schedule()
+    extended = ChaosCampaign(
+        make_pool(seed=7),
+        dataclasses.replace(CFG, overload_storms=2),
+    ).schedule()
+    assert extended.faults[: len(legacy.faults)] == legacy.faults
+    assert len(extended.faults) == len(legacy.faults) + 2
