@@ -11,7 +11,59 @@ experiment is recorded through pytest-benchmark (rounds=1: these are
 simulations, not microbenchmarks).
 """
 
+import os
+import re
+
 import pytest
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Expose each phase's report on the item so fixtures can see
+    whether the test body failed (used by ``flight_postmortem``)."""
+    outcome = yield
+    rep = outcome.get_result()
+    setattr(item, "rep_" + rep.when, rep)
+
+
+@pytest.fixture(autouse=True)
+def flight_postmortem(request):
+    """Opt-in post-mortem bundles for failing soaks.
+
+    When ``FLIGHT_POSTMORTEM`` names a directory, every benchmark runs
+    with tracing and an always-on flight recorder attached; if the test
+    body fails, the recorder's bundle (recent spans per host, pinned
+    tail exemplars, metrics snapshot) is dumped there so CI can upload
+    it as an artifact.  Without the variable this fixture is a no-op —
+    the recorder costs nothing on the ordinary path.
+    """
+    out_dir = os.environ.get("FLIGHT_POSTMORTEM")
+    if not out_dir:
+        yield
+        return
+    from repro.obs import runtime as _obs
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.trace import Tracer
+
+    recorder = FlightRecorder()
+    had_tracer = _obs.tracing_enabled()
+    if not had_tracer:
+        _obs.enable_tracing(Tracer())
+    _obs.enable_flight_recorder(recorder)
+    try:
+        yield
+    finally:
+        rep = getattr(request.node, "rep_call", None)
+        if rep is not None and rep.failed:
+            os.makedirs(out_dir, exist_ok=True)
+            recorder.trip("test_failure", 0.0,
+                          detail=request.node.nodeid)
+            slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+            recorder.dump(os.path.join(out_dir, f"postmortem-{slug}.json"),
+                          metrics=_obs.METRICS)
+        _obs.disable_flight_recorder()
+        if not had_tracer:
+            _obs.disable_tracing()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

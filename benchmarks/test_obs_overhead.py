@@ -16,6 +16,8 @@ from repro.channel.pingpong import run_pingpong
 from repro.core.pool import PciePool
 from repro.faults import ChaosCampaign, ChaosConfig, FaultInjector, FaultLog
 from repro.obs import runtime as _obs
+from repro.obs.attribution import attribute_tracer
+from repro.obs.flight import FlightRecorder
 from repro.obs.trace import Tracer
 from repro.sim import Simulator
 
@@ -38,21 +40,44 @@ def test_tracing_overhead_and_identical_results(benchmark):
     finally:
         _obs.disable_tracing()
 
+    # Third configuration: tracing + always-on flight recorder, plus
+    # the attribution post-pass — the full PR-8 observability stack.
+    full_tracer = Tracer()
+    recorder = FlightRecorder(cap_bytes=64 * 1024)
+    _obs.enable_tracing(full_tracer)
+    _obs.enable_flight_recorder(recorder)
+    try:
+        recorded, recorded_wall = _timed_pingpong()
+        breakdown = attribute_tracer(full_tracer, registry=False)
+    finally:
+        _obs.disable_flight_recorder()
+        _obs.disable_tracing()
+
     banner("Observability: tracing overhead on the fig4 ping-pong")
-    print(f"{'':>12} {'p50 (sim ns)':>14} {'wall (s)':>10}")
-    print(f"{'disabled':>12} {baseline.median_ns:>14.0f} "
+    print(f"{'':>14} {'p50 (sim ns)':>14} {'wall (s)':>10}")
+    print(f"{'disabled':>14} {baseline.median_ns:>14.0f} "
           f"{base_wall:>10.3f}")
-    print(f"{'enabled':>12} {traced.median_ns:>14.0f} "
+    print(f"{'enabled':>14} {traced.median_ns:>14.0f} "
           f"{traced_wall:>10.3f}")
-    print(f"spans recorded: {len(tracer.spans)}")
+    print(f"{'trace+flight':>14} {recorded.median_ns:>14.0f} "
+          f"{recorded_wall:>10.3f}")
+    print(f"spans recorded: {len(tracer.spans)}; flight buffer "
+          f"{recorder.buffer_bytes()} B; attributed {breakdown.n_ops} ops")
 
     # Simulated time must be bit-identical — tracing never touches the
     # clock.  (Stronger than the 10% CI guard, and implies it.)
     assert np.array_equal(baseline.samples_ns, traced.samples_ns)
+    assert np.array_equal(baseline.samples_ns, recorded.samples_ns)
     assert abs(traced.median_ns - baseline.median_ns) \
+        <= 0.10 * baseline.median_ns
+    # The full stack (phase tags + recorder + attribution) stays inside
+    # the same guard: all of it runs off the simulated clock.
+    assert abs(recorded.median_ns - baseline.median_ns) \
         <= 0.10 * baseline.median_ns
     # And the tracer actually saw the run.
     assert len(tracer.by_name("pingpong.round")) == N_MESSAGES
+    assert breakdown.n_ops == N_MESSAGES
+    assert breakdown.reconciliation_error() <= 0.01
 
 
 def test_chaos_fault_log_identical_with_tracing():
@@ -88,3 +113,13 @@ def test_chaos_fault_log_identical_with_tracing():
         _obs.disable_tracing()
     assert plain_lines and plain_lines == traced_lines
     assert plain_sig == traced_sig
+    # The flight recorder rides the tracer; it must be equally inert.
+    _obs.enable_tracing(Tracer())
+    _obs.enable_flight_recorder(FlightRecorder(cap_bytes=32 * 1024))
+    try:
+        recorded_sig, recorded_lines = run_soak()
+    finally:
+        _obs.disable_flight_recorder()
+        _obs.disable_tracing()
+    assert plain_lines == recorded_lines
+    assert plain_sig == recorded_sig

@@ -1,0 +1,96 @@
+"""SIMCORE — kernel profiling baseline for the speed overhaul.
+
+ROADMAP item 2 wants the simulator core made dramatically faster; this
+benchmark records the *before* numbers that refactor will be judged
+against: events per wall-second, simulated seconds bought per
+wall-second, and the components that burn the wall clock.  It also
+proves the profiler's central invariant — a profiled run is
+bit-identical (in simulated terms) to an unprofiled one, because
+``perf_counter_ns`` readings never leave the profiler.
+
+Emits ``BENCH_simcore.json`` for CI to archive; the CI profiler smoke
+step validates its schema via ``validate_bench_doc``.
+"""
+
+import json
+
+from benchmarks.conftest import banner, run_once
+from repro.channel.pingpong import run_pingpong
+from repro.sim.profile import (
+    BENCH_SCHEMA_KEYS,
+    KernelProfiler,
+    profiled,
+    validate_bench_doc,
+)
+
+N_MESSAGES = 1500
+
+
+def _workload():
+    result = run_pingpong(n_messages=N_MESSAGES, seed=0)
+    return result
+
+
+def test_simcore_profile_baseline(benchmark):
+    plain = _workload()
+
+    profiler = KernelProfiler()
+    with profiled(profiler):
+        measured = run_once(benchmark, _workload)
+
+    report = profiler.report()
+    banner("SIMCORE: kernel profiling baseline (ROADMAP item 2)")
+    print(profiler.render())
+
+    # Profiling must not perturb the simulation: wall-clock readings
+    # stay inside the profiler, so the sim results are bit-identical.
+    assert list(plain.samples_ns) == list(measured.samples_ns)
+
+    # The report carries the two headline rates the overhaul gates on.
+    assert report["bench"] == "simcore"
+    assert report["events"] > 0
+    assert report["events_per_sec"] > 0.0
+    assert report["sim_s_per_wall_s"] > 0.0
+    assert report["components"], "process plane saw no resumptions"
+    assert report["event_sources"], "kernel plane saw no events"
+    # The ping-pong client must be visible as a named component.
+    names = {row["name"] for row in report["components"]}
+    assert any("pingpong" in n for n in names), names
+
+    problems = validate_bench_doc(report)
+    assert problems == [], problems
+    assert set(BENCH_SCHEMA_KEYS) <= set(report)
+
+    with open("BENCH_simcore.json", "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote BENCH_simcore.json")
+
+
+def test_profiler_detached_costs_one_branch():
+    """Without a profiler the kernel takes the fast path — and two
+    same-seed runs (one profiled, one not) agree event for event."""
+    from repro.sim import Simulator
+
+    profiler = KernelProfiler()
+    with profiled(profiler):
+        sim = Simulator(seed=3)
+        assert sim._profiler is profiler
+    sim2 = Simulator(seed=3)
+    assert sim2._profiler is None
+
+    def ticker(sim, log):
+        for _ in range(50):
+            yield sim.timeout(1000.0)
+            log.append(sim.now)
+
+    log_profiled: list = []
+    with profiled(KernelProfiler()):
+        s = Simulator(seed=9)
+        p = s.spawn(ticker(s, log_profiled), name="tick")
+        s.run(until=p)
+    log_plain: list = []
+    s = Simulator(seed=9)
+    p = s.spawn(ticker(s, log_plain), name="tick")
+    s.run(until=p)
+    assert log_profiled == log_plain

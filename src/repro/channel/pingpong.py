@@ -21,6 +21,7 @@ import numpy as np
 from repro.channel.ring import RingChannel
 from repro.cxl.link import LinkSpec
 from repro.cxl.pod import CxlPod, PodConfig
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.obs.context import unwrap_trace, wrap_trace
 from repro.sim import Simulator
@@ -86,7 +87,7 @@ def run_pingpong(n_messages: int = 2000, seed: int = 0,
     one_way: list[float] = []
     rng = sim.rng.stream("pingpong-jitter")
     tracer = _obs.TRACER
-    hist = _obs.METRICS.histogram("ring.one_way_ns")
+    hist = _obs.METRICS.histogram(_names.RING_ONE_WAY_NS)
 
     def client(sim):
         for i in range(n_messages):

@@ -61,6 +61,7 @@ from repro.cxl.params import (
     RECV_POLL_NS,
     RING_FULL_POLL_NS,
 )
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.sim.errors import SimError
 
@@ -253,7 +254,7 @@ class RingSender:
         # counted apart from full_events (a stall that *resolved* is
         # congestion; a stall that hit its deadline is saturation).
         self.saturated_events = 0
-        _obs.METRICS.counter("ring.saturated_events")
+        _obs.METRICS.counter(_names.RING_SATURATED_EVENTS)
 
     @property
     def backlog(self) -> int:
@@ -321,6 +322,10 @@ class RingSender:
                 continue
             yield sim.timeout(poll_interval_ns)
         self._note_occupancy()
+        if span is not None and sim.now > span.start_ns:
+            # Time stalled on a full ring before the slot was reserved:
+            # queueing, not transit, for the phase attributor.
+            span.set(ph_queueing_ns=sim.now - span.start_ns)
         try:
             yield from self._write_slot(slot_number, payload)
         finally:
@@ -401,10 +406,12 @@ class RingSender:
             )
         sent = 0
         stalled = False
+        wait_ns = 0.0
         try:
             while sent < len(payloads):
                 # One flow-control check per chunk: block until at least
                 # one slot frees, then take as many as fit.
+                chunk_entered_ns = sim.now
                 while True:
                     if self.retired:
                         raise ChannelRetiredError(
@@ -432,6 +439,7 @@ class RingSender:
                             - (self._head - self._known_consumed)) > 0:
                         continue
                     yield sim.timeout(poll_interval_ns)
+                wait_ns += sim.now - chunk_entered_ns
                 take = min(free, len(payloads) - sent)
                 first = self._head
                 self._head += take  # reserve the whole chunk before yielding
@@ -442,6 +450,8 @@ class RingSender:
                 sent += take
         finally:
             if span is not None:
+                if wait_ns > 0.0:
+                    span.set(ph_queueing_ns=wait_ns)
                 tracer.end(span, sim.now, sent=sent)
         return sent
 
@@ -495,14 +505,14 @@ class RingSender:
 
     def _note_full(self) -> None:
         self.full_events += 1
-        _obs.METRICS.counter("ring.full_events").inc()
+        _obs.METRICS.counter(_names.RING_FULL_EVENTS).inc()
 
     def _note_saturated(self) -> None:
         self.saturated_events += 1
-        _obs.METRICS.counter("ring.saturated_events").inc()
+        _obs.METRICS.counter(_names.RING_SATURATED_EVENTS).inc()
 
     def _note_occupancy(self) -> None:
-        _obs.METRICS.gauge("ring.occupancy").set(
+        _obs.METRICS.gauge(_names.RING_OCCUPANCY).set(
             self._head - self._known_consumed
         )
 

@@ -30,6 +30,7 @@ from repro.cxl.params import (
     LINK_RETRY_POLL_NS,
     RECV_POLL_NS,
 )
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.obs.context import unwrap_trace, wrap_trace
 from repro.sim import FilterStore, Interrupt
@@ -281,14 +282,14 @@ class RpcEndpoint:
             reply = yield get
             if span is not None:
                 tracer.end(span, self.sim.now)
-            _obs.METRICS.observe("rpc.call_ns", self.sim.now - started_ns)
+            _obs.METRICS.observe(_names.RPC_CALL_NS, self.sim.now - started_ns)
             return reply
         deadline = self.sim.timeout(timeout_ns)
         result = yield get | deadline
         if get in result:
             if span is not None:
                 tracer.end(span, self.sim.now)
-            _obs.METRICS.observe("rpc.call_ns", self.sim.now - started_ns)
+            _obs.METRICS.observe(_names.RPC_CALL_NS, self.sim.now - started_ns)
             return result[get]
         # Withdraw the pending get so a late reply does not satisfy a
         # waiter that already gave up, and remember the request id: a
@@ -356,7 +357,7 @@ class RpcEndpoint:
                             >= retry_deadline_ns):
                         self.retry_deadline_exhausted += 1
                         _obs.METRICS.counter(
-                            "rpc.retry_deadline_exhausted"
+                            _names.RPC_RETRY_DEADLINE_EXHAUSTED
                         ).inc()
                         self.calls_gave_up += 1
                         raise RpcError(
@@ -383,6 +384,8 @@ class RpcEndpoint:
                             cat="retry",
                             args={"attempt": attempt, "delay_ns": delay},
                         )
+                        prior = (span.args or {}).get("ph_retry_ns", 0.0)
+                        span.set(ph_retry_ns=prior + delay)
                     yield self.sim.timeout(delay)
                 attempt_msg = dataclasses.replace(
                     message, request_id=self.next_request_id()

@@ -9,6 +9,8 @@ Usage::
     python -m repro cost            # §1/§3 dollars
     python -m repro torless         # §5 rack availability
     python -m repro trace fig4      # Chrome/Perfetto trace of an experiment
+    python -m repro attribute fig4  # per-phase critical-path breakdown
+    python -m repro profile         # sim-kernel profiler (events/s)
     python -m repro metrics         # Prometheus-style metrics dump
     python -m repro list            # show available experiments
 
@@ -260,6 +262,124 @@ def _run_failover_scenario(seed: int = 7, n_ios: int = 6) -> dict:
     }
 
 
+def _run_overload_scenario(seed: int = 7, n_ios: int = 12,
+                           storm_ns: float = 30_000_000.0) -> dict:
+    """Pooled-SSD writes competing with an open-loop overload storm.
+
+    A client on h2 drives h0's pooled SSD while an open-loop storm on
+    the *same* borrower host floods the shared forwarding path with
+    register reads.  The storm and the client contend for the one
+    h2->h0 device server, whose admission cap is tightened so busy
+    nacks actually fire; the client rides the full overload-control
+    stack (AIMD pacing, retry budget, busy-nack pauses), so its
+    ``vssd.write`` spans carry real admission/pacing/retry phases for
+    the attributor to break down.
+    """
+    from repro.core import PciePool
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=seed)
+    pool = PciePool(sim, n_hosts=3, n_mhds=2)
+    pool.add_ssd("h0")
+    pool.start()
+    client = pool.open_ssd("h2")
+    # Tiny admission cap (as in tests/core/test_brownout.py): a depth-8
+    # storm saturates it, so contention is real rather than nominal.
+    server = pool._device_servers[("h0", "h2")][2]
+    server.max_inflight = 4
+    statuses: list[int] = []
+
+    def workload():
+        yield from client.setup()
+        # First write warms the path before the storm begins.
+        status = yield from client.write(0, b"x" * 4096)
+        statuses.append(status)
+        pool.overload_storm("h2", client.handle.device_id,
+                            duration_ns=storm_ns, depth=8)
+        for i in range(1, n_ios):
+            status = yield from client.write(i, b"x" * 4096)
+            statuses.append(status)
+
+    proc = sim.spawn(workload(), name="overload-client")
+    sim.run(until=proc)
+    sim.run(until=sim.now + storm_ns)  # let the storm drain
+    stats = {
+        "completed": float(len(statuses)),
+        "submitted": float(client.ops_submitted),
+        "storms": float(pool.overload_storms),
+    }
+    pool.stop()
+    return stats
+
+
+def _cmd_attribute(args) -> None:
+    import json
+
+    from repro.obs import runtime as _obs
+    from repro.obs.attribution import attribute_tracer, render_breakdown
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer()
+    _obs.enable_tracing(tracer)
+    try:
+        if args.experiment == "fig4":
+            from repro.channel.pingpong import run_pingpong
+
+            result = run_pingpong(n_messages=args.messages, seed=0)
+            title = (f"fig4: {args.messages} ping-pong rounds "
+                     f"(median {result.median_ns:.0f} ns)")
+        else:
+            stats = _run_overload_scenario()
+            title = (f"overload: {stats['completed']:.0f} writes under "
+                     f"{stats['storms']:.0f} storm(s)")
+    finally:
+        _obs.disable_tracing()
+    breakdown = attribute_tracer(tracer)
+    print(render_breakdown(breakdown, title))
+    error = breakdown.reconciliation_error()
+    if error > 0.01:
+        raise SystemExit(
+            f"phase sum diverges from op sum by {error:.2%} (> 1%)"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(breakdown.to_dict(), fh, indent=1, sort_keys=True)
+        print(f"wrote breakdown to {args.out}")
+
+
+def _cmd_profile(args) -> None:
+    from repro.obs import names as _names
+    from repro.obs import runtime as _obs
+    from repro.sim.profile import (
+        KernelProfiler,
+        profiled,
+        validate_bench_doc,
+        write_bench,
+    )
+
+    profiler = KernelProfiler()
+    with profiled(profiler):
+        from repro.channel.pingpong import run_pingpong
+
+        run_pingpong(n_messages=args.messages, seed=0)
+        if not args.no_pool:
+            _run_doorbell_scenario()
+    report = profiler.report()
+    print(profiler.render())
+    _obs.METRICS.gauge(_names.PROFILE_EVENTS_PER_SEC).set(
+        report["events_per_sec"])
+    _obs.METRICS.gauge(_names.PROFILE_SIM_PER_WALL).set(
+        report["sim_s_per_wall_s"])
+    if args.out:
+        problems = validate_bench_doc(report)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            raise SystemExit(1)
+        write_bench(report, args.out)
+        print(f"wrote {args.out}")
+
+
 def _cmd_trace(args) -> None:
     import json
 
@@ -311,10 +431,14 @@ def _cmd_trace(args) -> None:
 
 def _cmd_metrics(args) -> None:
     from repro.channel.pingpong import run_pingpong
+    from repro.obs import names as _names
     from repro.obs import runtime as _obs
     from repro.obs.export import render_prometheus
 
     _obs.reset_metrics()
+    # Pre-register the whole catalog so every series renders (at zero)
+    # even when the scenario below never exercises its subsystem.
+    _names.preregister(_obs.METRICS)
     run_pingpong(n_messages=args.messages, seed=0)
     if not args.no_pool:
         # A short pooled-traffic soak (with one poison event) so RAS and
@@ -374,6 +498,30 @@ def main(argv: list[str] | None = None) -> int:
                    help="ping-pong rounds for fig4")
     p.add_argument("--out", default="trace.json")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "attribute",
+        help="run an experiment with tracing on; print the per-phase "
+             "critical-path latency breakdown",
+    )
+    p.add_argument("experiment", choices=["fig4", "overload"])
+    p.add_argument("--messages", type=int, default=200,
+                   help="ping-pong rounds for fig4")
+    p.add_argument("--out", default=None,
+                   help="also write the breakdown as JSON")
+    p.set_defaults(fn=_cmd_attribute)
+
+    p = sub.add_parser(
+        "profile",
+        help="run experiments under the sim-kernel profiler; print "
+             "events/s and per-component wall-time attribution",
+    )
+    p.add_argument("--messages", type=int, default=2000)
+    p.add_argument("--no-pool", action="store_true",
+                   help="profile the ping-pong workload only")
+    p.add_argument("--out", default=None,
+                   help="write a BENCH_simcore.json document")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
         "metrics",

@@ -37,6 +37,7 @@ from repro.health import (
     OverloadError,
     RetryBudget,
 )
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.orchestrator import (
     Assignment,
@@ -146,7 +147,7 @@ class PciePool:
         self._brownout_proc = None
         self._last_overload_events = 0.0
         self.overload_storms = 0
-        _obs.METRICS.gauge("overload.pressure")
+        _obs.METRICS.gauge(_names.OVERLOAD_PRESSURE)
         # Integrity counters of endpoints retired during channel rebuilds
         # (their live counters vanish with the endpoint objects).
         self._retired_integrity: dict[str, float] = {
@@ -776,7 +777,7 @@ class PciePool:
                 delta = max(0.0, total - self._last_overload_events)
                 self._last_overload_events = total
                 pressure = min(1.0, delta / BROWNOUT_PRESSURE_NORM)
-                _obs.METRICS.gauge("overload.pressure").set(pressure)
+                _obs.METRICS.gauge(_names.OVERLOAD_PRESSURE).set(pressure)
                 prev = self.brownout.level
                 level = self.brownout.update(pressure, self.sim.now)
                 if level != prev:
@@ -806,6 +807,14 @@ class PciePool:
         stretches.  Level 2 additionally demotes burst batching on
         every channel.  Descending undoes each in reverse.
         """
+        if level > prev and _obs.RECORDER.enabled:
+            # Escalation (never descent) is a post-mortem moment: the
+            # recorder latches the spans of the ops that drove pressure
+            # up so a bundle explains why load shedding kicked in.
+            _obs.RECORDER.trip(
+                "brownout_escalation", self.sim.now,
+                detail=f"level={prev}->{level}",
+            )
         for host_id in sorted(self.agents):
             self.agents[host_id].set_shed_level(level)
         if (level >= BROWNOUT_DEMOTE) != (prev >= BROWNOUT_DEMOTE):
@@ -823,7 +832,7 @@ class PciePool:
         than bypassing it.
         """
         self.overload_storms += 1
-        _obs.METRICS.counter("faults.overload_storms").inc()
+        _obs.METRICS.counter(_names.FAULTS_OVERLOAD_STORMS).inc()
         handle = self.handle_for(borrower_host, device_id)
         deadline = self.sim.now + duration_ns
         for i in range(depth):

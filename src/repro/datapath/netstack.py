@@ -34,6 +34,7 @@ from repro.datapath.proxy import (
     DeviceWithdrawnError,
     FenceSignals,
 )
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.pcie.device import DeviceFailedError
 from repro.pcie.fabric import ETH_HEADER_BYTES, EthernetFrame
@@ -519,7 +520,7 @@ class UdpStack:
                 return
             self._kick_streak += 1
             self.fence_kicks += 1
-            _obs.METRICS.counter("udp.fence_kicks").inc()
+            _obs.METRICS.counter(_names.UDP_FENCE_KICKS).inc()
             self.handle.refresh()
             yield from self.handle.ring_doorbell(TX_QUEUE, self._tx_tail)
             yield from self.handle.ring_doorbell(RX_QUEUE, self._rx_tail)
@@ -554,9 +555,16 @@ class UdpStack:
                     continue  # budget low: hedges stand down first
                 self._hedge_streak += 1
                 self.hedges += 1
-                _obs.METRICS.counter("udp.hedges").inc()
-                self.handle.refresh()
+                _obs.METRICS.counter(_names.UDP_HEDGES).inc()
+                # Root span (no parent): the attributor's udp.hedge
+                # residual rule bills its self time to the hedge phase.
+                hspan = _obs.TRACER.begin(
+                    "udp.hedge", self.sim.now,
+                    track=f"{self.memsys.host_id}/udp", cat="io",
+                    args={"journaled": len(self._tx_journal)},
+                )
                 try:
+                    self.handle.refresh()
                     yield from self.handle.ring_doorbell(
                         TX_QUEUE, self._tx_tail)
                     yield from self.handle.ring_doorbell(
@@ -564,6 +572,8 @@ class UdpStack:
                 except (RpcError, LinkDownError, DeviceGoneError,
                         DeviceFailedError):
                     pass
+                finally:
+                    _obs.TRACER.end(hspan, self.sim.now)
         except Interrupt:
             return
 

@@ -44,6 +44,7 @@ from repro.cxl.params import (
     OVERLOAD_RETRY_LIMIT,
 )
 from repro.health.overload import OverloadError
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.pcie.device import DeviceFailedError, PcieDevice
 
@@ -215,10 +216,10 @@ class RemoteDeviceHandle:
         # Pre-register so the group renders in metric dumps even before
         # (or without) any coalescing/overload — a missing counter is
         # ambiguous.
-        _obs.METRICS.counter("proxy.doorbells_forwarded")
-        _obs.METRICS.counter("proxy.doorbells_coalesced")
-        _obs.METRICS.counter("proxy.busy_nacks")
-        _obs.METRICS.counter("proxy.overload_errors")
+        _obs.METRICS.counter(_names.PROXY_DOORBELLS_FORWARDED)
+        _obs.METRICS.counter(_names.PROXY_DOORBELLS_COALESCED)
+        _obs.METRICS.counter(_names.PROXY_BUSY_NACKS)
+        _obs.METRICS.counter(_names.PROXY_OVERLOAD_ERRORS)
 
     @property
     def is_remote(self) -> bool:
@@ -265,10 +266,15 @@ class RemoteDeviceHandle:
                 parent=parent, cat="lease",
                 args={"device": self.device_id, "attempt": attempt},
             )
+            if parent is not None:
+                # Fence-replay backoff is recovery overhead: bill it to
+                # the retry phase, not the admission residue.
+                prior = (parent.args or {}).get("ph_retry_ns", 0.0)
+                parent.set(ph_retry_ns=prior + delay)
         yield sim.timeout(delay)
         self.refresh()
         self.fence_replays += 1
-        _obs.METRICS.counter("proxy.fence_replays").inc()
+        _obs.METRICS.counter(_names.PROXY_FENCE_REPLAYS).inc()
         return True
 
     def _note_ack(self, reply) -> None:
@@ -287,7 +293,7 @@ class RemoteDeviceHandle:
         are recovery traffic like any other retry.
         """
         self.busy_nacks += 1
-        _obs.METRICS.counter("proxy.busy_nacks").inc()
+        _obs.METRICS.counter(_names.PROXY_BUSY_NACKS).inc()
         if self.pacer is not None:
             self.pacer.on_busy(self.endpoint.sim.now)
         if attempt >= self.overload_retry_limit:
@@ -305,12 +311,15 @@ class RemoteDeviceHandle:
                 parent=parent, cat="overload",
                 args={"device": self.device_id, "attempt": attempt},
             )
+            if parent is not None:
+                prior = (parent.args or {}).get("ph_admission_ns", 0.0)
+                parent.set(ph_admission_ns=prior + delay)
         yield sim.timeout(delay)
         return True
 
     def _raise_overload(self, nack: BusyNack):
         self.overload_errors += 1
-        _obs.METRICS.counter("proxy.overload_errors").inc()
+        _obs.METRICS.counter(_names.PROXY_OVERLOAD_ERRORS).inc()
         raise OverloadError(
             f"device {self.device_id} forwarded op",
             retry_after_ns=float(nack.retry_after_ns),
@@ -319,12 +328,12 @@ class RemoteDeviceHandle:
     def _raise_status(self, status: int):
         """Map a terminal rejection status onto its typed error."""
         if status == DeviceServer.STATUS_UNKNOWN_DEVICE:
-            _obs.METRICS.counter("proxy.rejects_fatal").inc()
+            _obs.METRICS.counter(_names.PROXY_REJECTS_FATAL).inc()
             raise DeviceWithdrawnError(self.device_id, status)
         if status == DeviceServer.STATUS_FENCED:
-            _obs.METRICS.counter("proxy.rejects_retryable").inc()
+            _obs.METRICS.counter(_names.PROXY_REJECTS_RETRYABLE).inc()
             raise FencedError(self.device_id, status)
-        _obs.METRICS.counter("proxy.rejects_failed_device").inc()
+        _obs.METRICS.counter(_names.PROXY_REJECTS_FAILED_DEVICE).inc()
         raise DeviceGoneError(self.device_id, status)
 
     def write_register(self, offset: int, value: int, parent=None):
@@ -445,7 +454,7 @@ class RemoteDeviceHandle:
                 index if pending is None else max(pending, index)
             )
             self.doorbells_coalesced += 1
-            _obs.METRICS.counter("proxy.doorbells_coalesced").inc()
+            _obs.METRICS.counter(_names.PROXY_DOORBELLS_COALESCED).inc()
             return
         self._db_inflight.add(queue_id)
         try:
@@ -486,7 +495,7 @@ class RemoteDeviceHandle:
                 parent=span,
             )
             self.doorbells_forwarded += 1
-            _obs.METRICS.counter("proxy.doorbells_forwarded").inc()
+            _obs.METRICS.counter(_names.PROXY_DOORBELLS_FORWARDED).inc()
         finally:
             _obs.TRACER.end(span, sim.now)
 
@@ -560,10 +569,10 @@ class DeviceServer:
         self.retry_after_ns = retry_after_ns
         self._inflight = 0
         self.admission_rejects = 0
-        _obs.METRICS.counter("proxy.journal_evictions")
-        _obs.METRICS.gauge("proxy.journal.occupancy")
-        _obs.METRICS.counter("proxy.admission_rejects")
-        _obs.METRICS.gauge("proxy.inflight")
+        _obs.METRICS.counter(_names.PROXY_JOURNAL_EVICTIONS)
+        _obs.METRICS.gauge(_names.PROXY_JOURNAL_OCCUPANCY)
+        _obs.METRICS.counter(_names.PROXY_ADMISSION_REJECTS)
+        _obs.METRICS.gauge(_names.PROXY_INFLIGHT)
 
     def export(self, device: PcieDevice) -> None:
         """Make a locally-attached device reachable through this server."""
@@ -615,8 +624,8 @@ class DeviceServer:
         while len(self._journal) > self.journal_cap:
             self._journal.popitem(last=False)
             self.journal_evictions += 1
-            _obs.METRICS.counter("proxy.journal_evictions").inc()
-        _obs.METRICS.gauge("proxy.journal.occupancy").set(
+            _obs.METRICS.counter(_names.PROXY_JOURNAL_EVICTIONS).inc()
+        _obs.METRICS.gauge(_names.PROXY_JOURNAL_OCCUPANCY).set(
             len(self._journal)
         )
 
@@ -626,7 +635,15 @@ class DeviceServer:
 
     def _count_fenced(self) -> None:
         self.fenced_ops += 1
-        _obs.METRICS.counter("proxy.fenced_ops").inc()
+        _obs.METRICS.counter(_names.PROXY_FENCED_OPS).inc()
+        if _obs.RECORDER.enabled:
+            # An owner rejecting a stale borrower is a post-mortem-worthy
+            # moment: latch it so a bundle dumped later shows the fence.
+            _obs.RECORDER.trip(
+                "owner_fenced", self.sim.now,
+                detail=(f"server={self.endpoint.name} "
+                        f"fenced_ops={self.fenced_ops}"),
+            )
 
     # -- admission (bounded in-flight, cooperative backpressure) ------------
 
@@ -638,15 +655,15 @@ class DeviceServer:
         """Reserve one admission slot, or refuse (caller busy-nacks)."""
         if self._inflight >= self.max_inflight:
             self.admission_rejects += 1
-            _obs.METRICS.counter("proxy.admission_rejects").inc()
+            _obs.METRICS.counter(_names.PROXY_ADMISSION_REJECTS).inc()
             return False
         self._inflight += 1
-        _obs.METRICS.gauge("proxy.inflight").set(self._inflight)
+        _obs.METRICS.gauge(_names.PROXY_INFLIGHT).set(self._inflight)
         return True
 
     def _release(self) -> None:
         self._inflight -= 1
-        _obs.METRICS.gauge("proxy.inflight").set(self._inflight)
+        _obs.METRICS.gauge(_names.PROXY_INFLIGHT).set(self._inflight)
 
     def _busy_nack(self, request_id: int, device_id: int):
         return BusyNack(
@@ -681,7 +698,7 @@ class DeviceServer:
                 # first attempt succeeded but its completion was lost):
                 # replay the recorded outcome instead of re-applying.
                 self.dup_suppressed += 1
-                _obs.METRICS.counter("proxy.dup_suppressed").inc()
+                _obs.METRICS.counter(_names.PROXY_DUP_SUPPRESSED).inc()
                 yield from self._reply(
                     dataclasses.replace(cached, request_id=msg.request_id)
                 )
@@ -731,7 +748,7 @@ class DeviceServer:
             cached = self._journal.get(msg.op_id)
             if cached is not None:
                 self.dup_suppressed += 1
-                _obs.METRICS.counter("proxy.dup_suppressed").inc()
+                _obs.METRICS.counter(_names.PROXY_DUP_SUPPRESSED).inc()
                 yield from self._reply(
                     dataclasses.replace(cached, request_id=msg.request_id)
                 )
@@ -795,7 +812,7 @@ class DeviceServer:
         # occupy a slot, so MMIO admission and piggybacked occupancy see
         # doorbell pressure too.
         self._inflight += 1
-        _obs.METRICS.gauge("proxy.inflight").set(self._inflight)
+        _obs.METRICS.gauge(_names.PROXY_INFLIGHT).set(self._inflight)
         try:
             reg = device.doorbell_register(msg.queue_id)
             yield from device.mmio_write(reg, msg.index)

@@ -27,7 +27,9 @@ from repro.datapath.proxy import (
     DeviceWithdrawnError,
     FenceSignals,
 )
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
+from repro.obs.trace import add_phase_ns
 from repro.pcie.accelerator import Accelerator
 from repro.pcie.rings import (
     COMPLETION_BYTES,
@@ -159,16 +161,20 @@ class RemoteAcceleratorClient:
         try:
             slot = index % self.n_entries
             in_addr = self.in_base + slot * self.max_job_bytes
+            t_link = self.sim.now
             yield from self.mem.write(in_addr, data)
+            add_phase_ns(span, "ph_link_ns", self.sim.now - t_link)
             desc = Descriptor(in_addr, len(data), flags=kernel)
             comp, op = yield from self._submit(index, desc, parent=span)
             if comp.status != CompletionEntry.STATUS_OK:
                 raise IOError(
                     f"{self.name}: job failed (status={comp.status})"
                 )
+            t_link = self.sim.now
             result = yield from self.mem.read(
                 op.out_addr, min(comp.length, 4096)
             )
+            add_phase_ns(span, "ph_link_ns", self.sim.now - t_link)
         finally:
             _obs.TRACER.end(span, self.sim.now)
         return result
@@ -211,6 +217,7 @@ class RemoteAcceleratorClient:
         try:
             gen = self.generation
             try:
+                t_link = self.sim.now
                 for offset, (kernel, data) in enumerate(jobs):
                     index = first + offset
                     slot = index % self.n_entries
@@ -232,6 +239,8 @@ class RemoteAcceleratorClient:
                     self._pending[index % (1 << 16)] = op
                     self.ops_submitted += 1
                     ops.append(op)
+                add_phase_ns(span, "ph_link_ns", self.sim.now - t_link)
+                t_queue = self.sim.now
                 for op in ops:
                     desc_addr = (self.ring_base
                                  + (op.index % self.n_entries)
@@ -239,6 +248,8 @@ class RemoteAcceleratorClient:
                     yield from self.mem.write(desc_addr, op.desc.encode())
                 # One fence for the whole batch, then one doorbell.
                 yield from self.mem.fence()
+                add_phase_ns(span, "ph_queueing_ns",
+                             self.sim.now - t_queue)
             except BaseException:
                 # The caller observes this failure, so none of the batch
                 # is in flight: deregister or the daemons would idle.
@@ -276,14 +287,19 @@ class RemoteAcceleratorClient:
             self._ensure_daemons()
             results = []
             for op in ops:
+                t_device = self.sim.now
                 comp = yield op.waiter
+                add_phase_ns(span, "ph_device_ns",
+                             self.sim.now - t_device)
                 if comp.status != CompletionEntry.STATUS_OK:
                     raise IOError(
                         f"{self.name}: job failed (status={comp.status})"
                     )
+                t_link = self.sim.now
                 result = yield from self.mem.read(
                     op.out_addr, min(comp.length, 4096)
                 )
+                add_phase_ns(span, "ph_link_ns", self.sim.now - t_link)
                 results.append(result)
             return results
         finally:
@@ -311,7 +327,7 @@ class RemoteAcceleratorClient:
         )
         try:
             self.failovers += 1
-            _obs.METRICS.counter("vaccel.failovers").inc()
+            _obs.METRICS.counter(_names.VACCEL_FAILOVERS).inc()
             self.generation += 1
             gen = self.generation
             yield from self._drain_cq()
@@ -349,7 +365,7 @@ class RemoteAcceleratorClient:
                                       parent=op.span or span)
             self.resubmitted += len(jobs)
             if jobs:
-                _obs.METRICS.counter("vaccel.resubmitted").inc(len(jobs))
+                _obs.METRICS.counter(_names.VACCEL_RESUBMITTED).inc(len(jobs))
                 if self.budget is not None:
                     # Correctness traffic: never refused, but accounted,
                     # so hedges/retries stand down behind the replay.
@@ -417,7 +433,7 @@ class RemoteAcceleratorClient:
                 return
             self._kick_streak += 1
             self.fence_kicks += 1
-            _obs.METRICS.counter("vaccel.fence_kicks").inc()
+            _obs.METRICS.counter(_names.VACCEL_FENCE_KICKS).inc()
             self.handle.refresh()
             yield from self.handle.ring_doorbell(0, self._ring_ready)
         except (RpcError, LinkDownError, DeviceGoneError):
@@ -445,7 +461,9 @@ class RemoteAcceleratorClient:
             self._pending.pop(index % (1 << 16), None)
             raise
         self._ensure_daemons()
+        t_device = self.sim.now
         comp = yield waiter
+        add_phase_ns(op.span, "ph_device_ns", self.sim.now - t_device)
         return comp, op
 
     def _post(self, index: int, desc: Descriptor, parent=None):
@@ -453,8 +471,11 @@ class RemoteAcceleratorClient:
         gen = self.generation
         desc_addr = (self.ring_base
                      + (index % self.n_entries) * DESCRIPTOR_BYTES)
+        t_queue = self.sim.now
         yield from self.mem.write(desc_addr, desc.encode())
         yield from self.mem.fence()
+        if parent is not None and hasattr(parent, "set"):
+            add_phase_ns(parent, "ph_queueing_ns", self.sim.now - t_queue)
         if gen != self.generation:
             return
         self._ring_written.add(index)
@@ -549,8 +570,9 @@ class RemoteAcceleratorClient:
                     or self._failing_over is not None
                     or not self.handle.is_remote):
                 continue
-            oldest = min(op.submitted_ns for op in self._pending.values())
-            age = self.sim.now - oldest
+            stalled = min(self._pending.values(),
+                          key=lambda op: op.submitted_ns)
+            age = self.sim.now - stalled.submitted_ns
             if age <= self.hedge_deadline_ns:
                 continue
             if age <= self.op_timeout_ns:
@@ -563,15 +585,33 @@ class RemoteAcceleratorClient:
                     continue  # budget low: hedges stand down first
                 self._hedge_streak += 1
                 self.hedges += 1
-                _obs.METRICS.counter("vaccel.hedges").inc()
-                self.handle.refresh()
+                _obs.METRICS.counter(_names.VACCEL_HEDGES).inc()
+                # Bill the hedge's transit to the stalled job's trace so
+                # the attributor surfaces it under the hedge phase.
+                hspan = _obs.TRACER.begin(
+                    "vaccel.hedge", self.sim.now,
+                    track=f"{self.memsys.host_id}/vaccel", cat="io",
+                    parent=stalled.span,
+                    args={"age_ns": age},
+                )
                 try:
+                    self.handle.refresh()
                     yield from self.handle.ring_doorbell(0, self._ring_ready)
                 except (RpcError, LinkDownError, DeviceGoneError):
                     pass
+                finally:
+                    _obs.TRACER.end(hspan, self.sim.now)
                 continue
             self.op_timeouts += 1
-            _obs.METRICS.counter("vaccel.op_timeouts").inc()
+            _obs.METRICS.counter(_names.VACCEL_OP_TIMEOUTS).inc()
+            if _obs.RECORDER.enabled:
+                # A stalled job crossing the timeout is exactly the
+                # post-mortem moment the flight recorder exists for.
+                _obs.RECORDER.trip(
+                    "watchdog_op_timeout", self.sim.now,
+                    detail=(f"client={self.name} age_ns={age:.0f} "
+                            f"pending={len(self._pending)}"),
+                )
             try:
                 yield from self.failover()
             except RuntimeError:

@@ -30,7 +30,9 @@ from repro.datapath.proxy import (
     DeviceWithdrawnError,
     FenceSignals,
 )
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
+from repro.obs.trace import add_phase_ns
 from repro.pcie.rings import (
     COMPLETION_BYTES,
     CompletionEntry,
@@ -153,27 +155,32 @@ class RemoteSsdClient:
             raise ValueError(
                 f"I/O of {len(data)} B exceeds max {self.max_io_bytes} B"
             )
-        # Pace *before* reserving (like write_burst): a paced-out
-        # submitter holding an SQ slot would wedge the doorbell frontier
-        # behind its unwritten entry, while its window slot waits on
-        # completions that can only come from entries past the wedge —
-        # deadlock until the op-timeout watchdog fails over.
-        paced = yield from self._pace()
-        try:
-            index = self._reserve()
-        except BaseException:
-            self._release_pacing(paced)
-            raise
         span = _obs.TRACER.begin(
             "vssd.write", self.sim.now,
             track=f"{self.memsys.host_id}/vssd", cat="io",
             args={"lba": lba, "bytes": len(data)},
         )
         try:
+            # Pace *before* reserving (like write_burst): a paced-out
+            # submitter holding an SQ slot would wedge the doorbell
+            # frontier behind its unwritten entry, while its window slot
+            # waits on completions that can only come from entries past
+            # the wedge — deadlock until the op-timeout watchdog fails
+            # over.
+            t_pace = self.sim.now
+            paced = yield from self._pace()
+            add_phase_ns(span, "ph_pacing_ns", self.sim.now - t_pace)
+            try:
+                index = self._reserve()
+            except BaseException:
+                self._release_pacing(paced)
+                raise
             buf = (self.buf_base
                    + (index % self.n_entries) * self.max_io_bytes)
             try:
+                t_link = self.sim.now
                 yield from self.mem.write(buf, data)
+                add_phase_ns(span, "ph_link_ns", self.sim.now - t_link)
             except BaseException:
                 self._release_pacing(paced)
                 raise
@@ -209,39 +216,44 @@ class RemoteSsdClient:
                 )
         if not ios:
             return []
-        # Pace the whole batch before reserving anything: window slots
-        # are claimed up front so none of the batch is journaled (or
-        # even depth-checked) while the pod is pushing back.
-        batch_paced = False
-        if self.pacer is not None:
-            for _ in ios:
-                yield from self.pacer.wait_for_slot(self.sim)
-                self.pacer.acquire()
-            batch_paced = True
-        if self._tail - self._cq_head + len(ios) > self.n_entries:
-            if batch_paced:
-                for _ in ios:
-                    self.pacer.release()
-            raise RuntimeError(
-                f"{self.name}: burst of {len(ios)} exceeds free "
-                f"submission-queue depth "
-                f"({self.n_entries - (self._tail - self._cq_head)} free)"
-            )
-        # Reserve the whole batch synchronously: no yield separates the
-        # depth check from the reservation, so a concurrent submitter
-        # can neither oversubscribe the queue nor interleave into the
-        # batch's contiguous index range.
-        first = self._tail
-        self._tail += len(ios)
         span = _obs.TRACER.begin(
             "vssd.write_burst", self.sim.now,
             track=f"{self.memsys.host_id}/vssd", cat="io",
             args={"n": len(ios)},
         )
-        ops: list[_PendingOp] = []
         try:
+            # Pace the whole batch before reserving anything: window
+            # slots are claimed up front so none of the batch is
+            # journaled (or even depth-checked) while the pod is
+            # pushing back.
+            batch_paced = False
+            if self.pacer is not None:
+                t_pace = self.sim.now
+                for _ in ios:
+                    yield from self.pacer.wait_for_slot(self.sim)
+                    self.pacer.acquire()
+                batch_paced = True
+                add_phase_ns(span, "ph_pacing_ns", self.sim.now - t_pace)
+            if self._tail - self._cq_head + len(ios) > self.n_entries:
+                if batch_paced:
+                    for _ in ios:
+                        self.pacer.release()
+                raise RuntimeError(
+                    f"{self.name}: burst of {len(ios)} exceeds free "
+                    f"submission-queue depth "
+                    f"({self.n_entries - (self._tail - self._cq_head)} "
+                    f"free)"
+                )
+            # Reserve the whole batch synchronously: no yield separates
+            # the depth check from the reservation, so a concurrent
+            # submitter can neither oversubscribe the queue nor
+            # interleave into the batch's contiguous index range.
+            first = self._tail
+            self._tail += len(ios)
+            ops: list[_PendingOp] = []
             gen = self.generation
             try:
+                t_link = self.sim.now
                 for offset, (lba, data) in enumerate(ios):
                     index = first + offset
                     buf = (self.buf_base
@@ -265,6 +277,8 @@ class RemoteSsdClient:
                     self._pending[index % (1 << 16)] = op
                     self.ops_submitted += 1
                     ops.append(op)
+                add_phase_ns(span, "ph_link_ns", self.sim.now - t_link)
+                t_queue = self.sim.now
                 for op in ops:
                     sq_addr = (self.sq_base
                                + (op.index % self.n_entries)
@@ -273,6 +287,8 @@ class RemoteSsdClient:
                 # One fence orders every buffer and SQ entry of the
                 # batch before the single doorbell below exposes them.
                 yield from self.mem.fence()
+                add_phase_ns(span, "ph_queueing_ns",
+                             self.sim.now - t_queue)
             except BaseException:
                 # The caller observes this failure, so none of the batch
                 # is in flight: deregister or the daemons would idle.
@@ -316,9 +332,11 @@ class RemoteSsdClient:
                     pass
             self._ensure_daemons()
             statuses = []
+            t_device = self.sim.now
             for op in ops:
                 comp = yield op.waiter
                 statuses.append(comp.status)
+            add_phase_ns(span, "ph_device_ns", self.sim.now - t_device)
             return statuses
         finally:
             _obs.TRACER.end(span, self.sim.now)
@@ -329,18 +347,20 @@ class RemoteSsdClient:
             raise ValueError(
                 f"I/O of {length} B exceeds max {self.max_io_bytes} B"
             )
-        paced = yield from self._pace()       # before _reserve; see write
-        try:
-            index = self._reserve()
-        except BaseException:
-            self._release_pacing(paced)
-            raise
         span = _obs.TRACER.begin(
             "vssd.read", self.sim.now,
             track=f"{self.memsys.host_id}/vssd", cat="io",
             args={"lba": lba, "bytes": length},
         )
         try:
+            t_pace = self.sim.now
+            paced = yield from self._pace()   # before _reserve; see write
+            add_phase_ns(span, "ph_pacing_ns", self.sim.now - t_pace)
+            try:
+                index = self._reserve()
+            except BaseException:
+                self._release_pacing(paced)
+                raise
             buf = (self.buf_base
                    + (index % self.n_entries) * self.max_io_bytes)
             comp = yield from self._submit(index, NvmeCommand(
@@ -350,24 +370,28 @@ class RemoteSsdClient:
                 raise IOError(
                     f"{self.name}: read failed (status={comp.status})"
                 )
+            t_link = self.sim.now
             data = yield from self.mem.read(buf, length)
+            add_phase_ns(span, "ph_link_ns", self.sim.now - t_link)
         finally:
             _obs.TRACER.end(span, self.sim.now)
         return data
 
     def flush(self):
         """Process: durability barrier."""
-        paced = yield from self._pace()       # before _reserve; see write
-        try:
-            index = self._reserve()
-        except BaseException:
-            self._release_pacing(paced)
-            raise
         span = _obs.TRACER.begin(
             "vssd.flush", self.sim.now,
             track=f"{self.memsys.host_id}/vssd", cat="io",
         )
         try:
+            t_pace = self.sim.now
+            paced = yield from self._pace()   # before _reserve; see write
+            add_phase_ns(span, "ph_pacing_ns", self.sim.now - t_pace)
+            try:
+                index = self._reserve()
+            except BaseException:
+                self._release_pacing(paced)
+                raise
             comp = yield from self._submit(index, NvmeCommand(
                 NvmeCommand.OP_FLUSH, 0, lba=0, buffer_addr=0,
             ), parent=span, paced=paced)
@@ -403,7 +427,7 @@ class RemoteSsdClient:
         )
         try:
             self.failovers += 1
-            _obs.METRICS.counter("vssd.failovers").inc()
+            _obs.METRICS.counter(_names.VSSD_FAILOVERS).inc()
             # Invalidate in-flight posts and the collector's view of the
             # old queues before anything else touches shared state.
             self.generation += 1
@@ -439,7 +463,7 @@ class RemoteSsdClient:
                                       parent=op.span or span)
             self.resubmitted += len(ops)
             if ops:
-                _obs.METRICS.counter("vssd.resubmitted").inc(len(ops))
+                _obs.METRICS.counter(_names.VSSD_RESUBMITTED).inc(len(ops))
                 if self.budget is not None:
                     # Replays are correctness traffic: never refused,
                     # but they drain the budget so discretionary
@@ -528,7 +552,7 @@ class RemoteSsdClient:
                 return
             self._kick_streak += 1
             self.fence_kicks += 1
-            _obs.METRICS.counter("vssd.fence_kicks").inc()
+            _obs.METRICS.counter(_names.VSSD_FENCE_KICKS).inc()
             self.handle.refresh()
             yield from self.handle.ring_doorbell(0, self._sq_ready)
         except (RpcError, LinkDownError, DeviceGoneError):
@@ -581,7 +605,9 @@ class RemoteSsdClient:
             self._release_slot(op)
             raise
         self._ensure_daemons()
+        t_device = self.sim.now
         comp = yield waiter
+        add_phase_ns(op.span, "ph_device_ns", self.sim.now - t_device)
         return comp
 
     def _pace(self):
@@ -609,8 +635,11 @@ class RemoteSsdClient:
         gen = self.generation
         sq_addr = (self.sq_base
                    + (index % self.n_entries) * NVME_COMMAND_BYTES)
+        t_queue = self.sim.now
         yield from self.mem.write(sq_addr, cmd.encode())
         yield from self.mem.fence()
+        if parent is not None and hasattr(parent, "set"):
+            add_phase_ns(parent, "ph_queueing_ns", self.sim.now - t_queue)
         if gen != self.generation:
             return  # superseded mid-post; failover resubmits from journal
         self._sq_written.add(index)
@@ -733,8 +762,9 @@ class RemoteSsdClient:
                     or self._failing_over is not None
                     or not self.handle.is_remote):
                 continue
-            oldest = min(op.submitted_ns for op in self._pending.values())
-            age = self.sim.now - oldest
+            stalled = min(self._pending.values(),
+                          key=lambda op: op.submitted_ns)
+            age = self.sim.now - stalled.submitted_ns
             if age <= self.hedge_deadline_ns:
                 continue
             if age <= self.op_timeout_ns:
@@ -745,15 +775,33 @@ class RemoteSsdClient:
                     continue  # budget low: hedges stand down first
                 self._hedge_streak += 1
                 self.hedges += 1
-                _obs.METRICS.counter("vssd.hedges").inc()
-                self.handle.refresh()
+                _obs.METRICS.counter(_names.VSSD_HEDGES).inc()
+                # Bill the hedge's transit to the stalled op's trace so
+                # the attributor surfaces it under the hedge phase.
+                hspan = _obs.TRACER.begin(
+                    "vssd.hedge", self.sim.now,
+                    track=f"{self.memsys.host_id}/vssd", cat="io",
+                    parent=stalled.span,
+                    args={"age_ns": age},
+                )
                 try:
+                    self.handle.refresh()
                     yield from self.handle.ring_doorbell(0, self._sq_ready)
                 except (RpcError, LinkDownError, DeviceGoneError):
                     pass
+                finally:
+                    _obs.TRACER.end(hspan, self.sim.now)
                 continue
             self.op_timeouts += 1
-            _obs.METRICS.counter("vssd.op_timeouts").inc()
+            _obs.METRICS.counter(_names.VSSD_OP_TIMEOUTS).inc()
+            if _obs.RECORDER.enabled:
+                # A stalled op crossing the timeout is exactly the
+                # post-mortem moment the flight recorder exists for.
+                _obs.RECORDER.trip(
+                    "watchdog_op_timeout", self.sim.now,
+                    detail=(f"client={self.name} age_ns={age:.0f} "
+                            f"pending={len(self._pending)}"),
+                )
             try:
                 yield from self.failover()
             except RuntimeError:

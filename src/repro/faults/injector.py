@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.faults.log import FaultLog
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.faults.spec import (
     AgentCrash,
@@ -54,7 +55,7 @@ class FaultInjector:
                 track="faults/injector", cat="fault",
                 args={"target": target, "action": action},
             )
-        _obs.METRICS.counter("faults.injected").inc()
+        _obs.METRICS.counter(_names.FAULTS_INJECTED).inc()
 
     # -- primitive verbs (immediate, also usable directly from tests) -------
 

@@ -41,6 +41,7 @@ from repro.cxl.params import (
     RETRY_BUDGET_HEDGE_MIN,
     RETRY_BUDGET_RATIO,
 )
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.sim.errors import SimError
 
@@ -98,9 +99,9 @@ class RetryBudget:
         self.spent = 0
         self.denied = 0
         self.hedges_suppressed = 0
-        _obs.METRICS.counter("overload.retry_denied")
-        _obs.METRICS.counter("overload.hedges_suppressed")
-        self._gauge = _obs.METRICS.gauge("overload.retry_budget")
+        _obs.METRICS.counter(_names.OVERLOAD_RETRY_DENIED)
+        _obs.METRICS.counter(_names.OVERLOAD_HEDGES_SUPPRESSED)
+        self._gauge = _obs.METRICS.gauge(_names.OVERLOAD_RETRY_BUDGET)
         self._gauge.set(self.tokens)
 
     def on_success(self) -> None:
@@ -117,7 +118,7 @@ class RetryBudget:
             self._gauge.set(self.tokens)
             return True
         self.denied += 1
-        _obs.METRICS.counter("overload.retry_denied").inc()
+        _obs.METRICS.counter(_names.OVERLOAD_RETRY_DENIED).inc()
         return False
 
     def spend_forced(self, cost: float = 1.0) -> None:
@@ -136,7 +137,7 @@ class RetryBudget:
         """Like :meth:`try_spend`, but suppressed while the bucket is low."""
         if self.tokens - cost < self.hedge_min:
             self.hedges_suppressed += 1
-            _obs.METRICS.counter("overload.hedges_suppressed").inc()
+            _obs.METRICS.counter(_names.OVERLOAD_HEDGES_SUPPRESSED).inc()
             return False
         return self.try_spend(cost)
 
@@ -190,8 +191,8 @@ class AimdWindow:
         self.decreases = 0
         self.paced_waits = 0
         self._last_decrease_ns = float("-inf")
-        _obs.METRICS.counter("overload.pacing_waits")
-        self._gauge = _obs.METRICS.gauge("overload.pacing_window")
+        _obs.METRICS.counter(_names.OVERLOAD_PACING_WAITS)
+        self._gauge = _obs.METRICS.gauge(_names.OVERLOAD_PACING_WINDOW)
         self._gauge.set(self.window)
 
     def can_submit(self) -> bool:
@@ -208,7 +209,7 @@ class AimdWindow:
         if self.can_submit():
             return
         self.paced_waits += 1
-        _obs.METRICS.counter("overload.pacing_waits").inc()
+        _obs.METRICS.counter(_names.OVERLOAD_PACING_WAITS).inc()
         while not self.can_submit():
             yield sim.timeout(poll_ns)
 
@@ -268,7 +269,7 @@ class BrownoutController:
         self.level = BROWNOUT_NORMAL
         self.calm_streak = 0
         self.transitions: list[tuple[float, int]] = []
-        self._gauge = _obs.METRICS.gauge("overload.brownout_state")
+        self._gauge = _obs.METRICS.gauge(_names.OVERLOAD_BROWNOUT_STATE)
         self._gauge.set(self.level)
 
     def update(self, pressure: float, now: float) -> int:

@@ -13,12 +13,25 @@
   used by instrumentation sites (no-op tracer by default).
 """
 
+from repro.obs import names
+from repro.obs.attribution import (
+    PHASES,
+    PhaseBreakdown,
+    attribute_spans,
+    attribute_tracer,
+    render_breakdown,
+)
 from repro.obs.context import (
     TRACE_ENVELOPE_BYTES,
     TRACE_ENVELOPE_TAG,
     SpanContext,
     unwrap_trace,
     wrap_trace,
+)
+from repro.obs.flight import (
+    NULL_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
 )
 from repro.obs.export import (
     chrome_trace_events,
@@ -35,16 +48,41 @@ from repro.obs.metrics import (
     log_bucket_bounds,
 )
 from repro.obs.runtime import (
+    disable_flight_recorder,
     disable_tracing,
+    enable_flight_recorder,
     enable_tracing,
+    flight_recorder,
+    flight_recording_enabled,
     metrics,
     reset_metrics,
     tracer,
     tracing_enabled,
 )
-from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    add_phase_ns,
+)
 
 __all__ = [
+    "names",
+    "add_phase_ns",
+    "PHASES",
+    "PhaseBreakdown",
+    "attribute_spans",
+    "attribute_tracer",
+    "render_breakdown",
+    "NULL_RECORDER",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "disable_flight_recorder",
+    "enable_flight_recorder",
+    "flight_recorder",
+    "flight_recording_enabled",
     "TRACE_ENVELOPE_BYTES",
     "TRACE_ENVELOPE_TAG",
     "SpanContext",

@@ -1,0 +1,260 @@
+"""Critical-path latency attribution: where did the p99 actually go?
+
+Walks a completed op's cross-host span tree and partitions the root
+span's wall (sim) time into named *phases* — admission wait, AIMD
+pacing, SQ/slot queueing, link transit, device service, CQ/reply drain,
+retry backoff, hedge overhead, client residue.
+
+The partition is exact by construction, which is what makes the
+"phase sum reconciles with end-to-end duration" acceptance property
+hold to float precision rather than approximately:
+
+* each span's **self time** is its duration minus the union of its
+  children's intervals (children clipped to the parent, overlapping
+  siblings linearized first-wins), computed as a telescoping sum of the
+  same floats — so over a whole tree the self times add up to exactly
+  the root duration;
+* hot paths may re-bucket part of their self time with explicit
+  ``ph_<phase>_ns`` span annotations (e.g. the vSSD client annotates
+  its AIMD pacing wait); annotations are clamped to the available self
+  time so a stale annotation can never mint time;
+* whatever self time remains falls to the span's *residual phase*,
+  a per-span-name mapping (``ring.send`` → link, ``rpc.retry_loop`` →
+  retry, ``pingpong.round`` → reply drain, ...).
+
+Pure post-processing: nothing here runs while the simulation does, so
+attribution adds zero cost to traced runs and nothing at all to
+untraced ones (the PR 3 NullTracer invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.obs import names
+from repro.obs.trace import PHASE_SPAN, Span, Tracer
+
+PHASE_ADMISSION = "admission"
+PHASE_PACING = "pacing"
+PHASE_QUEUEING = "queueing"
+PHASE_LINK = "link"
+PHASE_DEVICE = "device"
+PHASE_CQ_DRAIN = "cq_drain"
+PHASE_RETRY = "retry"
+PHASE_HEDGE = "hedge"
+PHASE_CLIENT = "client"
+
+#: Deterministic phase order — annotation draw order and report order.
+PHASES = (
+    PHASE_ADMISSION, PHASE_PACING, PHASE_QUEUEING, PHASE_LINK,
+    PHASE_DEVICE, PHASE_CQ_DRAIN, PHASE_RETRY, PHASE_HEDGE, PHASE_CLIENT,
+)
+
+#: Span-arg keys hot paths use to re-bucket self time.
+ANNOTATION_KEYS = {phase: f"ph_{phase}_ns" for phase in PHASES}
+
+_PHASE_HISTOGRAMS = {
+    PHASE_ADMISSION: names.ATTR_PHASE_ADMISSION_NS,
+    PHASE_PACING: names.ATTR_PHASE_PACING_NS,
+    PHASE_QUEUEING: names.ATTR_PHASE_QUEUEING_NS,
+    PHASE_LINK: names.ATTR_PHASE_LINK_NS,
+    PHASE_DEVICE: names.ATTR_PHASE_DEVICE_NS,
+    PHASE_CQ_DRAIN: names.ATTR_PHASE_CQ_DRAIN_NS,
+    PHASE_RETRY: names.ATTR_PHASE_RETRY_NS,
+    PHASE_HEDGE: names.ATTR_PHASE_HEDGE_NS,
+    PHASE_CLIENT: names.ATTR_PHASE_CLIENT_NS,
+}
+
+#: Longest-prefix span-name → residual-phase rules.  A span not matched
+#: by any rule keeps its self time in the ``client`` residue, which is
+#: also how an unmapped new span name shows up in a breakdown (a large
+#: ``client`` share is the cue to add a rule, never silent loss).
+_RESIDUAL_RULES: tuple[tuple[str, str], ...] = (
+    ("pingpong.round", PHASE_CQ_DRAIN),   # self = reply poll-in
+    ("pingpong.handle", PHASE_DEVICE),
+    ("ring.send", PHASE_LINK),            # also ring.send_burst
+    ("rpc.send", PHASE_LINK),
+    ("rpc.call", PHASE_CQ_DRAIN),         # self = reply transit + drain
+    ("rpc.retry_loop", PHASE_RETRY),      # self = backoff sleeps
+    ("rpc.handle", PHASE_DEVICE),
+    ("mmio.write_fwd", PHASE_ADMISSION),  # self = busy/fence pauses
+    ("mmio.read_fwd", PHASE_ADMISSION),
+    ("doorbell.fwd", PHASE_LINK),
+    ("udp.", PHASE_LINK),
+    ("udp.hedge", PHASE_HEDGE),
+    ("vssd.", PHASE_CLIENT),
+    ("vssd.hedge", PHASE_HEDGE),
+    ("vaccel.", PHASE_CLIENT),
+    ("vaccel.hedge", PHASE_HEDGE),
+)
+
+#: Root spans the default extraction treats as "ops" — datapath
+#: operations whose end-to-end latency the paper argues about.  Control
+#: traffic (lease renewals, probes) also produces parentless spans; it
+#: is deliberately not an op.
+DEFAULT_ROOT_PREFIXES = (
+    "pingpong.round", "vssd.", "vaccel.", "mmio.", "udp.",
+)
+
+
+def residual_phase(name: str) -> str:
+    best = PHASE_CLIENT
+    best_len = -1
+    for prefix, phase in _RESIDUAL_RULES:
+        if len(prefix) > best_len and name.startswith(prefix):
+            best, best_len = phase, len(prefix)
+    return best
+
+
+class PhaseBreakdown:
+    """Aggregated per-phase totals plus per-op rows."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {p: 0.0 for p in PHASES}
+        #: One ``(root_name, duration_ns, {phase: ns})`` per attributed op.
+        self.ops: list[tuple[str, float, dict[str, float]]] = []
+        self.total_op_ns = 0.0
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def phase_sum_ns(self) -> float:
+        return sum(self.totals.values())
+
+    def reconciliation_error(self) -> float:
+        """|phase sum - op sum| as a fraction of the op sum (0 when idle)."""
+        if self.total_op_ns == 0.0:
+            return 0.0
+        return abs(self.phase_sum_ns - self.total_op_ns) / self.total_op_ns
+
+    def to_dict(self) -> dict:
+        return {
+            "ops": self.n_ops,
+            "total_op_ns": self.total_op_ns,
+            "phase_sum_ns": self.phase_sum_ns,
+            "reconciliation_error": self.reconciliation_error(),
+            "totals_ns": dict(self.totals),
+        }
+
+
+def _walk(span: Span, lo: float, hi: float,
+          children: dict[int, list[Span]],
+          op_totals: dict[str, float]) -> None:
+    """Attribute ``span``'s window ``[lo, hi]`` into ``op_totals``.
+
+    Children are clipped to the window and linearized in ``(start,
+    span_id)`` order: an overlapping later sibling only owns the part of
+    its interval past the earlier sibling's end, so sibling intervals
+    never double-count and the segment boundaries telescope exactly.
+    """
+    cursor = lo
+    self_time = 0.0
+    for kid in children.get(span.span_id, ()):
+        k_lo = min(max(kid.start_ns, cursor), hi)
+        k_hi = min(max(kid.end_ns, k_lo), hi)
+        self_time += k_lo - cursor
+        _walk(kid, k_lo, k_hi, children, op_totals)
+        cursor = k_hi
+    self_time += hi - cursor
+
+    remaining = self_time
+    args = span.args
+    if args:
+        for phase in PHASES:
+            if remaining <= 0.0:
+                break
+            value = args.get(ANNOTATION_KEYS[phase])
+            if not value:
+                continue
+            take = min(remaining, float(value))
+            op_totals[phase] = op_totals.get(phase, 0.0) + take
+            remaining -= take
+    phase = residual_phase(span.name)
+    op_totals[phase] = op_totals.get(phase, 0.0) + remaining
+
+
+def attribute_spans(spans: Iterable[Span],
+                    root_prefixes: Sequence[str] = DEFAULT_ROOT_PREFIXES,
+                    registry=None) -> PhaseBreakdown:
+    """Extract a :class:`PhaseBreakdown` from finished spans.
+
+    ``root_prefixes`` selects which parentless spans count as ops.
+    When ``registry`` is given (or the process registry, by default),
+    each op's per-phase nanoseconds are observed into the
+    ``attr.phase_ns.*`` histograms and ``attr.op_ns``/``attr.ops``.
+    Pass ``registry=False`` to skip metric publication entirely.
+    """
+    if registry is None:
+        from repro.obs import runtime as _rt
+        registry = _rt.METRICS
+
+    children: dict[int, list[Span]] = {}
+    roots: list[Span] = []
+    for span in spans:
+        if span.end_ns is None or span.phase != PHASE_SPAN:
+            continue  # unfinished or instant: no interval to attribute
+        if span.parent_id:
+            children.setdefault(span.parent_id, []).append(span)
+        elif any(span.name.startswith(p) for p in root_prefixes):
+            roots.append(span)
+    for group in children.values():
+        group.sort(key=lambda s: (s.start_ns, s.span_id))
+    roots.sort(key=lambda s: (s.start_ns, s.span_id))
+
+    breakdown = PhaseBreakdown()
+    for root in roots:
+        op_totals: dict[str, float] = {}
+        _walk(root, root.start_ns, root.end_ns, children, op_totals)
+        duration = root.end_ns - root.start_ns
+        breakdown.ops.append((root.name, duration, op_totals))
+        breakdown.total_op_ns += duration
+        for phase, ns in op_totals.items():
+            breakdown.totals[phase] += ns
+        if registry is not False:
+            registry.counter(names.ATTR_OPS).inc()
+            registry.observe(names.ATTR_OP_NS, duration)
+            for phase, ns in op_totals.items():
+                if ns > 0.0:
+                    registry.observe(_PHASE_HISTOGRAMS[phase], ns)
+    return breakdown
+
+
+def attribute_tracer(tracer: Tracer,
+                     root_prefixes: Sequence[str] = DEFAULT_ROOT_PREFIXES,
+                     registry=None) -> PhaseBreakdown:
+    return attribute_spans(tracer.spans, root_prefixes, registry)
+
+
+def render_breakdown(breakdown: PhaseBreakdown,
+                     title: Optional[str] = None) -> str:
+    """Human-readable per-phase table with the reconciliation line."""
+    lines = []
+    if title:
+        lines.append(title)
+    total = breakdown.phase_sum_ns or 1.0
+    per_op: dict[str, list[float]] = {p: [] for p in PHASES}
+    for _name, _dur, totals in breakdown.ops:
+        for phase in PHASES:
+            per_op[phase].append(totals.get(phase, 0.0))
+    lines.append(f"{'phase':<10} {'total':>12} {'share':>7} "
+                 f"{'mean/op':>10} {'max/op':>10}")
+    for phase in PHASES:
+        ns = breakdown.totals[phase]
+        if ns == 0.0:
+            continue
+        samples = per_op[phase]
+        mean = ns / len(samples) if samples else 0.0
+        peak = max(samples) if samples else 0.0
+        lines.append(
+            f"{phase:<10} {ns / 1000.0:>10.1f}us {ns / total:>6.1%} "
+            f"{mean / 1000.0:>8.2f}us {peak / 1000.0:>8.2f}us"
+        )
+    err = breakdown.reconciliation_error()
+    lines.append(
+        f"{breakdown.n_ops} ops, {breakdown.total_op_ns / 1000.0:.1f}us "
+        f"end-to-end; phase sum {breakdown.phase_sum_ns / 1000.0:.1f}us "
+        f"(reconciliation error {err:.4%})"
+    )
+    return "\n".join(lines)

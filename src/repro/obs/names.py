@@ -1,0 +1,208 @@
+"""Canonical metric series names: one constant per series, one kind each.
+
+Every instrumentation site imports its series name from here instead of
+spelling the string inline — a typo'd name now fails at import (NameError)
+instead of silently creating a parallel series that dashboards and tests
+never see.  :data:`SERIES` maps every name to its kind so the whole
+catalog can be pre-registered at zero (:func:`preregister`), which is how
+``python -m repro metrics`` renders series for subsystems the scenario
+never happened to exercise.
+
+``tests/obs/test_names.py`` scans the source tree: a metric call with a
+string literal outside this module is a test failure.
+"""
+
+from __future__ import annotations
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+# -- ring channels ---------------------------------------------------------
+
+RING_FULL_EVENTS = "ring.full_events"
+RING_SATURATED_EVENTS = "ring.saturated_events"
+RING_OCCUPANCY = "ring.occupancy"
+RING_ONE_WAY_NS = "ring.one_way_ns"
+
+# -- rpc -------------------------------------------------------------------
+
+RPC_CALL_NS = "rpc.call_ns"
+RPC_RETRY_DEADLINE_EXHAUSTED = "rpc.retry_deadline_exhausted"
+
+# -- forwarded-device proxy (borrower side + owner-side server) ------------
+
+PROXY_DOORBELLS_FORWARDED = "proxy.doorbells_forwarded"
+PROXY_DOORBELLS_COALESCED = "proxy.doorbells_coalesced"
+PROXY_BUSY_NACKS = "proxy.busy_nacks"
+PROXY_OVERLOAD_ERRORS = "proxy.overload_errors"
+PROXY_FENCE_REPLAYS = "proxy.fence_replays"
+PROXY_REJECTS_FATAL = "proxy.rejects_fatal"
+PROXY_REJECTS_RETRYABLE = "proxy.rejects_retryable"
+PROXY_REJECTS_FAILED_DEVICE = "proxy.rejects_failed_device"
+PROXY_JOURNAL_EVICTIONS = "proxy.journal_evictions"
+#: Owner-side dedup-journal fill level.  (Historically registered as
+#: ``proxy.journal.occupancy`` — the one dotted name in an underscore
+#: family, i.e. exactly the drift this module exists to prevent.)
+PROXY_JOURNAL_OCCUPANCY = "proxy.journal_occupancy"
+PROXY_ADMISSION_REJECTS = "proxy.admission_rejects"
+PROXY_FENCED_OPS = "proxy.fenced_ops"
+PROXY_DUP_SUPPRESSED = "proxy.dup_suppressed"
+PROXY_INFLIGHT = "proxy.inflight"
+
+# -- virtual devices -------------------------------------------------------
+
+VSSD_FAILOVERS = "vssd.failovers"
+VSSD_RESUBMITTED = "vssd.resubmitted"
+VSSD_FENCE_KICKS = "vssd.fence_kicks"
+VSSD_HEDGES = "vssd.hedges"
+VSSD_OP_TIMEOUTS = "vssd.op_timeouts"
+
+VACCEL_FAILOVERS = "vaccel.failovers"
+VACCEL_RESUBMITTED = "vaccel.resubmitted"
+VACCEL_FENCE_KICKS = "vaccel.fence_kicks"
+VACCEL_HEDGES = "vaccel.hedges"
+VACCEL_OP_TIMEOUTS = "vaccel.op_timeouts"
+
+UDP_FENCE_KICKS = "udp.fence_kicks"
+UDP_HEDGES = "udp.hedges"
+
+# -- overload control ------------------------------------------------------
+
+OVERLOAD_RETRY_DENIED = "overload.retry_denied"
+OVERLOAD_HEDGES_SUPPRESSED = "overload.hedges_suppressed"
+OVERLOAD_RETRY_BUDGET = "overload.retry_budget"
+OVERLOAD_PACING_WAITS = "overload.pacing_waits"
+OVERLOAD_PACING_WINDOW = "overload.pacing_window"
+OVERLOAD_BROWNOUT_STATE = "overload.brownout_state"
+OVERLOAD_PRESSURE = "overload.pressure"
+
+# -- control plane ---------------------------------------------------------
+
+ORCH_LEASE_EXPIRED = "orch.lease_expired"
+ORCH_FAILOVERS = "orch.failovers"
+ORCH_MIGRATIONS = "orch.migrations"
+ORCH_HOSTS_QUARANTINED = "orch.hosts_quarantined"
+ORCH_HOSTS_REINSTATED = "orch.hosts_reinstated"
+
+AGENT_ANNOUNCES_SHED = "agent.announces_shed"
+AGENT_PROBES_SHED = "agent.probes_shed"
+AGENT_LEASE_LOSSES = "agent.lease_losses"
+
+FAULTS_INJECTED = "faults.injected"
+FAULTS_OVERLOAD_STORMS = "faults.overload_storms"
+
+# -- latency attribution (PR 8) --------------------------------------------
+#
+# One histogram per phase; each completed root op contributes its
+# per-phase nanoseconds (see repro.obs.attribution).
+
+ATTR_OPS = "attr.ops"
+ATTR_OP_NS = "attr.op_ns"
+ATTR_PHASE_ADMISSION_NS = "attr.phase_ns.admission"
+ATTR_PHASE_PACING_NS = "attr.phase_ns.pacing"
+ATTR_PHASE_QUEUEING_NS = "attr.phase_ns.queueing"
+ATTR_PHASE_LINK_NS = "attr.phase_ns.link"
+ATTR_PHASE_DEVICE_NS = "attr.phase_ns.device"
+ATTR_PHASE_CQ_DRAIN_NS = "attr.phase_ns.cq_drain"
+ATTR_PHASE_RETRY_NS = "attr.phase_ns.retry"
+ATTR_PHASE_HEDGE_NS = "attr.phase_ns.hedge"
+ATTR_PHASE_CLIENT_NS = "attr.phase_ns.client"
+
+# -- flight recorder (PR 8) ------------------------------------------------
+
+FLIGHT_RECORDS = "flight.records"
+FLIGHT_EVICTIONS = "flight.evictions"
+FLIGHT_TRIPS = "flight.trips"
+FLIGHT_EXEMPLARS_PINNED = "flight.exemplars_pinned"
+FLIGHT_BUNDLES = "flight.bundles"
+FLIGHT_BUFFER_BYTES = "flight.buffer_bytes"
+
+# -- sim-kernel profiler (PR 8) --------------------------------------------
+
+PROFILE_EVENTS_PER_SEC = "profile.events_per_sec"
+PROFILE_SIM_PER_WALL = "profile.sim_per_wall"
+
+#: Every registered series and its kind.  Kind collisions are caught by
+#: the registry itself (MetricTypeError); this table catches a *name*
+#: drifting between modules.
+SERIES: dict[str, str] = {
+    RING_FULL_EVENTS: COUNTER,
+    RING_SATURATED_EVENTS: COUNTER,
+    RING_OCCUPANCY: GAUGE,
+    RING_ONE_WAY_NS: HISTOGRAM,
+    RPC_CALL_NS: HISTOGRAM,
+    RPC_RETRY_DEADLINE_EXHAUSTED: COUNTER,
+    PROXY_DOORBELLS_FORWARDED: COUNTER,
+    PROXY_DOORBELLS_COALESCED: COUNTER,
+    PROXY_BUSY_NACKS: COUNTER,
+    PROXY_OVERLOAD_ERRORS: COUNTER,
+    PROXY_FENCE_REPLAYS: COUNTER,
+    PROXY_REJECTS_FATAL: COUNTER,
+    PROXY_REJECTS_RETRYABLE: COUNTER,
+    PROXY_REJECTS_FAILED_DEVICE: COUNTER,
+    PROXY_JOURNAL_EVICTIONS: COUNTER,
+    PROXY_JOURNAL_OCCUPANCY: GAUGE,
+    PROXY_ADMISSION_REJECTS: COUNTER,
+    PROXY_FENCED_OPS: COUNTER,
+    PROXY_DUP_SUPPRESSED: COUNTER,
+    PROXY_INFLIGHT: GAUGE,
+    VSSD_FAILOVERS: COUNTER,
+    VSSD_RESUBMITTED: COUNTER,
+    VSSD_FENCE_KICKS: COUNTER,
+    VSSD_HEDGES: COUNTER,
+    VSSD_OP_TIMEOUTS: COUNTER,
+    VACCEL_FAILOVERS: COUNTER,
+    VACCEL_RESUBMITTED: COUNTER,
+    VACCEL_FENCE_KICKS: COUNTER,
+    VACCEL_HEDGES: COUNTER,
+    VACCEL_OP_TIMEOUTS: COUNTER,
+    UDP_FENCE_KICKS: COUNTER,
+    UDP_HEDGES: COUNTER,
+    OVERLOAD_RETRY_DENIED: COUNTER,
+    OVERLOAD_HEDGES_SUPPRESSED: COUNTER,
+    OVERLOAD_RETRY_BUDGET: GAUGE,
+    OVERLOAD_PACING_WAITS: COUNTER,
+    OVERLOAD_PACING_WINDOW: GAUGE,
+    OVERLOAD_BROWNOUT_STATE: GAUGE,
+    OVERLOAD_PRESSURE: GAUGE,
+    ORCH_LEASE_EXPIRED: COUNTER,
+    ORCH_FAILOVERS: COUNTER,
+    ORCH_MIGRATIONS: COUNTER,
+    ORCH_HOSTS_QUARANTINED: COUNTER,
+    ORCH_HOSTS_REINSTATED: COUNTER,
+    AGENT_ANNOUNCES_SHED: COUNTER,
+    AGENT_PROBES_SHED: COUNTER,
+    AGENT_LEASE_LOSSES: COUNTER,
+    FAULTS_INJECTED: COUNTER,
+    FAULTS_OVERLOAD_STORMS: COUNTER,
+    ATTR_OPS: COUNTER,
+    ATTR_OP_NS: HISTOGRAM,
+    ATTR_PHASE_ADMISSION_NS: HISTOGRAM,
+    ATTR_PHASE_PACING_NS: HISTOGRAM,
+    ATTR_PHASE_QUEUEING_NS: HISTOGRAM,
+    ATTR_PHASE_LINK_NS: HISTOGRAM,
+    ATTR_PHASE_DEVICE_NS: HISTOGRAM,
+    ATTR_PHASE_CQ_DRAIN_NS: HISTOGRAM,
+    ATTR_PHASE_RETRY_NS: HISTOGRAM,
+    ATTR_PHASE_HEDGE_NS: HISTOGRAM,
+    ATTR_PHASE_CLIENT_NS: HISTOGRAM,
+    FLIGHT_RECORDS: COUNTER,
+    FLIGHT_EVICTIONS: COUNTER,
+    FLIGHT_TRIPS: COUNTER,
+    FLIGHT_EXEMPLARS_PINNED: COUNTER,
+    FLIGHT_BUNDLES: COUNTER,
+    FLIGHT_BUFFER_BYTES: GAUGE,
+    PROFILE_EVENTS_PER_SEC: GAUGE,
+    PROFILE_SIM_PER_WALL: GAUGE,
+}
+
+
+def preregister(registry) -> None:
+    """Create every catalogued series at zero in ``registry``.
+
+    Registration is get-or-create, so calling this over a registry that
+    already holds live values changes nothing but the missing series.
+    """
+    for name, kind in SERIES.items():
+        getattr(registry, kind)(name)

@@ -16,11 +16,13 @@ recorded for operations that start after the tracer is installed.
 
 from __future__ import annotations
 
+from repro.obs.flight import NULL_RECORDER, FlightRecorder, NullFlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 TRACER = NULL_TRACER
 METRICS = MetricsRegistry()
+RECORDER = NULL_RECORDER
 
 
 def tracer() -> Tracer:
@@ -31,10 +33,16 @@ def metrics() -> MetricsRegistry:
     return METRICS
 
 
+def flight_recorder() -> FlightRecorder | NullFlightRecorder:
+    return RECORDER
+
+
 def enable_tracing(instance: Tracer | None = None) -> Tracer:
     """Install (and return) a live tracer as the process default."""
     global TRACER
     TRACER = instance if instance is not None else Tracer()
+    if RECORDER.enabled:
+        TRACER.recorder = RECORDER
     return TRACER
 
 
@@ -46,6 +54,32 @@ def disable_tracing() -> None:
 
 def tracing_enabled() -> bool:
     return not isinstance(TRACER, NullTracer)
+
+
+def enable_flight_recorder(
+    instance: FlightRecorder | None = None,
+) -> FlightRecorder:
+    """Install a flight recorder; attach it to the live tracer, if any.
+
+    Order-independent with :func:`enable_tracing` — whichever is enabled
+    second completes the hookup.
+    """
+    global RECORDER
+    RECORDER = instance if instance is not None else FlightRecorder()
+    if not isinstance(TRACER, NullTracer):
+        TRACER.recorder = RECORDER
+    return RECORDER
+
+
+def disable_flight_recorder() -> None:
+    global RECORDER
+    RECORDER = NULL_RECORDER
+    if not isinstance(TRACER, NullTracer):
+        TRACER.recorder = None
+
+
+def flight_recording_enabled() -> bool:
+    return RECORDER.enabled
 
 
 def reset_metrics() -> MetricsRegistry:

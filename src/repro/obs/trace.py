@@ -75,6 +75,20 @@ class Span:
 Parent = Union[None, Span, SpanContext]
 
 
+def add_phase_ns(span: Optional[Span], key: str, delta: float) -> None:
+    """Accumulate a ``ph_<phase>_ns`` annotation on ``span``.
+
+    Used by hot paths to re-bucket part of a span's self time for the
+    critical-path attributor (:mod:`repro.obs.attribution`).  No-op for
+    non-positive deltas, missing spans, and the shared NULL_SPAN (so an
+    unguarded call under a disabled tracer cannot pollute it).
+    """
+    if delta <= 0.0 or span is None or span.span_id == 0:
+        return
+    prior = span.args.get(key, 0.0) if span.args else 0.0
+    span.set(**{key: prior + delta})
+
+
 class Tracer:
     """Collects spans and instants keyed off the caller-supplied clock."""
 
@@ -83,6 +97,9 @@ class Tracer:
     def __init__(self):
         self.spans: list[Span] = []
         self._next_id = 1
+        #: Optional flight recorder fed every finished span/instant
+        #: (see :mod:`repro.obs.flight`); None keeps end() allocation-free.
+        self.recorder = None
 
     def _new_id(self) -> int:
         nid = self._next_id
@@ -107,6 +124,9 @@ class Tracer:
         span.end_ns = now
         if args:
             span.set(**args)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.on_span(span)
 
     def instant(self, name: str, now: float, *, track: str = "sim",
                 parent: Parent = None, cat: str = "event",
@@ -120,6 +140,9 @@ class Tracer:
         span = Span(name, track, cat, trace_id, span_id, parent_id,
                     start_ns=now, phase=PHASE_INSTANT, args=args)
         self.spans.append(span)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.on_span(span)
         return span
 
     # -- queries (used by tests and the CLI summary) -----------------------

@@ -36,6 +36,7 @@ from repro.channel.messages import (
 )
 from repro.channel.rpc import RpcEndpoint, RpcError
 from repro.cxl.link import LinkDownError
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.pcie.device import DeviceFailedError, PcieDevice
 from repro.sim import Interrupt, Simulator
@@ -97,8 +98,8 @@ class PoolingAgent:
         self.shed_probe_stride = 3
         self.announces_shed = 0
         self.probes_shed = 0
-        _obs.METRICS.counter("agent.announces_shed")
-        _obs.METRICS.counter("agent.probes_shed")
+        _obs.METRICS.counter(_names.AGENT_ANNOUNCES_SHED)
+        _obs.METRICS.counter(_names.AGENT_PROBES_SHED)
         self.reports_sent = 0
         self.failures_reported = 0
         self.recoveries_reported = 0
@@ -274,7 +275,7 @@ class PoolingAgent:
                                 yield from self._check_device(device)
                         else:
                             self.probes_shed += 1
-                            _obs.METRICS.counter("agent.probes_shed").inc()
+                            _obs.METRICS.counter(_names.AGENT_PROBES_SHED).inc()
                     if not shedding:
                         yield from self._renew_leases()
                     if not self.stalled and ticks % self.announce_every == 0:
@@ -346,7 +347,7 @@ class PoolingAgent:
             if now > expires_at_ns:
                 self.drop_lease(device_id)
                 self.lease_losses += 1
-                _obs.METRICS.counter("agent.lease_losses").inc()
+                _obs.METRICS.counter(_names.AGENT_LEASE_LOSSES).inc()
                 if _obs.TRACER.enabled:
                     _obs.TRACER.instant(
                         "agent.lease_stepdown", now,

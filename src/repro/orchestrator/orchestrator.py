@@ -25,6 +25,7 @@ from repro.cxl.params import (
     MONITOR_CHECK_INTERVAL_NS,
     WORK_SILENCE_TIMEOUT_NS,
 )
+from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.orchestrator.lease import (
     DEFAULT_GRACE_NS,
@@ -408,7 +409,7 @@ class Orchestrator:
         """
         self.leases.revoke(lease.device_id)
         self.lease_expiries += 1
-        _obs.METRICS.counter("orch.lease_expired").inc()
+        _obs.METRICS.counter(_names.ORCH_LEASE_EXPIRED).inc()
         _instant("orch.lease_expired", self.sim.now,
                  device=lease.device_id, holder=lease.holder_host,
                  token=lease.token)
@@ -478,7 +479,7 @@ class Orchestrator:
         _instant("orch.failover", self.sim.now,
                  virtual_id=assignment.virtual_id, old_device=old,
                  new_device=chosen.device_id)
-        _obs.METRICS.counter("orch.failovers").inc()
+        _obs.METRICS.counter(_names.ORCH_FAILOVERS).inc()
         self._pending_repair.discard(assignment.virtual_id)
         self._publish_degraded()
         self._notify(assignment, old_device_id=old)
@@ -549,7 +550,7 @@ class Orchestrator:
         _instant("orch.migrate", self.sim.now,
                  virtual_id=assignment.virtual_id, old_device=old,
                  new_device=coldest.device_id, kind=kind)
-        _obs.METRICS.counter("orch.migrations").inc()
+        _obs.METRICS.counter(_names.ORCH_MIGRATIONS).inc()
         self._notify(assignment, old_device_id=old)
         return True
 
@@ -691,8 +692,17 @@ class Orchestrator:
         self._stall_clean_ticks[host] = 0
         self.hosts_quarantined += 1
         self.stall_quarantine_log.append((host, self.sim.now))
-        _obs.METRICS.counter("orch.hosts_quarantined").inc()
+        _obs.METRICS.counter(_names.ORCH_HOSTS_QUARANTINED).inc()
         _instant("orch.host_quarantined", self.sim.now, host=host)
+        if _obs.RECORDER.enabled:
+            # Quarantining an agent means gray failure was confirmed:
+            # latch the flight recorder so a later bundle shows the
+            # spans leading up to the demotion.
+            _obs.RECORDER.trip(
+                "host_quarantined", self.sim.now,
+                detail=f"host={host} "
+                       f"quarantined={len(self._quarantined_hosts)}",
+            )
         # No force-expiry: the orchestrator cannot make the remote (and
         # by hypothesis wedged) daemon drop its leases first, so the only
         # fencing-safe demotion is refusing renewals (ingest_lease_renew)
@@ -704,7 +714,7 @@ class Orchestrator:
         self._stall_clean_ticks.pop(host, None)
         self._stall_suspect_ticks.pop(host, None)
         self.hosts_reinstated += 1
-        _obs.METRICS.counter("orch.hosts_reinstated").inc()
+        _obs.METRICS.counter(_names.ORCH_HOSTS_REINSTATED).inc()
         _instant("orch.host_reinstated", self.sim.now, host=host)
 
     @property

@@ -12,6 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Optional, Union
 
+from repro.sim import profile as _profile
 from repro.sim.errors import DeadSimulationError, SimError, StopSimulation
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
@@ -36,6 +37,10 @@ class Simulator:
         self._active_process: Optional[Process] = None
         self._dead = False
         self.rng = RandomStreams(seed)
+        # Wall-clock profiler (repro.sim.profile); None keeps the hot
+        # loop to a single extra branch.  Measurements never feed back
+        # into simulated state, so profiled runs stay deterministic.
+        self._profiler = _profile.DEFAULT_PROFILER
 
     # -- clock ----------------------------------------------------------
 
@@ -48,6 +53,11 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         """The process currently being stepped, if any."""
         return self._active_process
+
+    def attach_profiler(self, profiler) -> "object":
+        """Install a :class:`repro.sim.profile.KernelProfiler` (or None)."""
+        self._profiler = profiler
+        return profiler
 
     # -- event creation -------------------------------------------------
 
@@ -87,7 +97,16 @@ class Simulator:
             raise SimError("step() on an empty event queue")
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
-        event._process()
+        profiler = self._profiler
+        if profiler is None:
+            event._process()
+            return
+        start = _profile.perf_counter_ns()
+        try:
+            event._process()
+        finally:
+            end = _profile.perf_counter_ns()
+            profiler.on_event(event, when, end - start, end)
 
     # -- run loop -------------------------------------------------------
 

@@ -12,6 +12,7 @@ processes can wait on each other simply by yielding them.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Any, Generator, Optional
 
 from repro.sim.errors import Interrupt, SimError
@@ -87,6 +88,20 @@ class Process(Event):
         self._step(event)
 
     def _step(self, event: Event) -> None:
+        # The generator resumption below is where model code actually
+        # runs; when a kernel profiler is attached, bill its wall time
+        # to this process's component (see repro.sim.profile).
+        profiler = self.sim._profiler
+        if profiler is None:
+            self._step_inner(event)
+            return
+        start = perf_counter_ns()
+        try:
+            self._step_inner(event)
+        finally:
+            profiler.on_process(self.name, perf_counter_ns() - start)
+
+    def _step_inner(self, event: Event) -> None:
         sim = self.sim
         sim._active_process = self
         try:

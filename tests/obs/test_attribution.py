@@ -1,0 +1,167 @@
+"""Latency attribution: exact partition, clamped annotations, fig4 e2e."""
+
+from repro.channel.pingpong import run_pingpong
+from repro.obs import runtime as _obs
+from repro.obs.attribution import (
+    DEFAULT_ROOT_PREFIXES,
+    PHASES,
+    attribute_spans,
+    attribute_tracer,
+    render_breakdown,
+    residual_phase,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _tree(tracer, spec, parent=None):
+    """Build spans from ``(name, start, end, args, children)`` tuples."""
+    name, start, end, args, kids = spec
+    span = tracer.begin(name, start, parent=parent, args=args or None)
+    for kid in kids:
+        _tree(tracer, kid, parent=span)
+    tracer.end(span, end)
+    return span
+
+
+def test_phase_sum_equals_root_duration_exactly():
+    tracer = Tracer()
+    _tree(tracer, (
+        "vssd.write", 0.0, 1000.0, None, [
+            ("ring.send", 100.0, 300.0, None, []),
+            ("rpc.call", 300.0, 900.0, None, [
+                ("rpc.handle", 400.0, 700.0, None, []),
+            ]),
+        ],
+    ))
+    b = attribute_spans(tracer.spans, registry=False)
+    assert b.n_ops == 1
+    assert b.total_op_ns == 1000.0
+    assert b.phase_sum_ns == b.total_op_ns
+    assert b.reconciliation_error() == 0.0
+    # ring.send self -> link; rpc.call self -> cq_drain; handle -> device;
+    # vssd.* residue -> client.
+    _name, _dur, totals = b.ops[0]
+    assert totals["link"] == 200.0
+    assert totals["cq_drain"] == 300.0
+    assert totals["device"] == 300.0
+    assert totals["client"] == 200.0
+
+
+def test_overlapping_siblings_never_double_count():
+    tracer = Tracer()
+    _tree(tracer, (
+        "vssd.write", 0.0, 100.0, None, [
+            ("ring.send", 10.0, 60.0, None, []),
+            ("rpc.handle", 40.0, 80.0, None, []),  # overlaps the first
+        ],
+    ))
+    b = attribute_spans(tracer.spans, registry=False)
+    _name, _dur, totals = b.ops[0]
+    # First-wins linearization: ring.send owns [10,60], the overlapping
+    # sibling only the part past it ([60,80]).
+    assert totals["link"] == 50.0
+    assert totals["device"] == 20.0
+    assert totals["client"] == 30.0
+    assert b.phase_sum_ns == 100.0
+
+
+def test_child_clipped_to_parent_window():
+    tracer = Tracer()
+    _tree(tracer, (
+        "vssd.write", 0.0, 100.0, None, [
+            ("ring.send", 50.0, 300.0, None, []),  # runs past the parent
+        ],
+    ))
+    b = attribute_spans(tracer.spans, registry=False)
+    _name, _dur, totals = b.ops[0]
+    assert totals["link"] == 50.0
+    assert totals["client"] == 50.0
+    assert b.phase_sum_ns == 100.0
+
+
+def test_annotations_rebucket_self_time_and_are_clamped():
+    tracer = Tracer()
+    _tree(tracer, (
+        "vssd.write", 0.0, 100.0,
+        {"ph_pacing_ns": 30.0, "ph_queueing_ns": 20.0}, [],
+    ))
+    b = attribute_spans(tracer.spans, registry=False)
+    _name, _dur, totals = b.ops[0]
+    assert totals["pacing"] == 30.0
+    assert totals["queueing"] == 20.0
+    assert totals["client"] == 50.0
+
+    # A stale/overstated annotation cannot mint time beyond the span.
+    tracer = Tracer()
+    _tree(tracer, ("vssd.write", 0.0, 100.0, {"ph_pacing_ns": 1e9}, []))
+    b = attribute_spans(tracer.spans, registry=False)
+    _name, _dur, totals = b.ops[0]
+    assert totals["pacing"] == 100.0
+    assert totals.get("client", 0.0) == 0.0
+    assert b.phase_sum_ns == 100.0
+
+
+def test_roots_filtered_by_prefix_and_instants_skipped():
+    tracer = Tracer()
+    _tree(tracer, ("lease.renew", 0.0, 500.0, None, []))  # control traffic
+    tracer.instant("faults.injected", 10.0)
+    open_span = tracer.begin("vssd.write", 0.0)  # never ends
+    assert open_span.end_ns is None
+    _tree(tracer, ("vssd.read", 0.0, 50.0, None, []))
+    b = attribute_spans(tracer.spans, registry=False)
+    assert b.n_ops == 1
+    assert b.ops[0][0] == "vssd.read"
+
+
+def test_hedge_spans_bill_to_hedge_phase():
+    assert residual_phase("vssd.hedge") == "hedge"
+    assert residual_phase("vaccel.hedge") == "hedge"
+    assert residual_phase("udp.hedge") == "hedge"
+    assert residual_phase("vssd.write") == "client"
+    assert residual_phase("udp.sendto") == "link"
+    tracer = Tracer()
+    _tree(tracer, (
+        "vssd.write", 0.0, 100.0, None, [
+            ("vssd.hedge", 60.0, 90.0, None, []),
+        ],
+    ))
+    b = attribute_spans(tracer.spans, registry=False)
+    _name, _dur, totals = b.ops[0]
+    assert totals["hedge"] == 30.0
+    assert totals["client"] == 70.0
+
+
+def test_publishes_attr_metrics_to_registry():
+    tracer = Tracer()
+    _tree(tracer, ("vssd.write", 0.0, 100.0, {"ph_pacing_ns": 40.0}, []))
+    registry = MetricsRegistry()
+    attribute_spans(tracer.spans, registry=registry)
+    scalars = registry.scalars()
+    assert scalars["attr.ops"] == 1.0
+    assert registry.histogram("attr.op_ns").summary()["count"] == 1
+    assert registry.histogram("attr.phase_ns.pacing").summary()["sum"] \
+        == 40.0
+
+
+def test_fig4_end_to_end_reconciles_within_one_percent():
+    tracer = Tracer()
+    _obs.enable_tracing(tracer)
+    try:
+        run_pingpong(n_messages=60, seed=0)
+    finally:
+        _obs.disable_tracing()
+    b = attribute_tracer(tracer, registry=False)
+    assert b.n_ops == 60
+    assert b.reconciliation_error() <= 0.01
+    # The poll-based reply drain dominates a ping-pong round.
+    assert b.totals["cq_drain"] > 0.5 * b.phase_sum_ns
+    text = render_breakdown(b, "fig4")
+    assert "reconciliation error" in text
+    assert "cq_drain" in text
+
+
+def test_default_roots_cover_every_datapath():
+    for prefix in ("pingpong.round", "vssd.", "vaccel.", "mmio.", "udp."):
+        assert prefix in DEFAULT_ROOT_PREFIXES
+    assert len(PHASES) == 9

@@ -1,0 +1,175 @@
+"""Flight recorder: hard byte bounds, deterministic bundles, trips."""
+
+import gc
+import json
+
+from repro.core import PciePool
+from repro.obs import runtime as _obs
+from repro.obs.flight import NULL_RECORDER, FlightRecorder
+from repro.obs.trace import Tracer
+from repro.sim import Simulator
+
+
+class _BoundCheckingRecorder(FlightRecorder):
+    """Asserts the per-host byte cap after every single ingest."""
+
+    def on_span(self, span):
+        super().on_span(span)
+        for host in self.hosts():
+            assert self.buffer_bytes(host) <= self.cap_bytes, \
+                f"{host}: {self.buffer_bytes(host)} > {self.cap_bytes}"
+
+
+def _run_storm_scenario(recorder, seed=7, storms=2,
+                        storm_ns=20_000_000.0):
+    """Pooled-SSD writes under ``storms`` overload storms, recorded."""
+    tracer = Tracer()
+    _obs.enable_tracing(tracer)
+    _obs.enable_flight_recorder(recorder)
+    try:
+        sim = Simulator(seed=seed)
+        pool = PciePool(sim, n_hosts=3, n_mhds=2)
+        pool.add_ssd("h0")
+        pool.start()
+        client = pool.open_ssd("h2")
+        server = pool._device_servers[("h0", "h2")][2]
+        server.max_inflight = 4
+
+        def workload():
+            yield from client.setup()
+            for wave in range(storms):
+                pool.overload_storm("h2", client.handle.device_id,
+                                    duration_ns=storm_ns, depth=8)
+                for i in range(4):
+                    yield from client.write(wave * 4 + i, b"x" * 4096)
+                # Outlast the storm deadline by a wide margin so every
+                # open-loop read finishes and closes its span inside the
+                # run — a span still open at pool.stop() would otherwise
+                # be closed by generator finalization, whose timing is
+                # GC-dependent and would break bundle determinism.
+                yield sim.timeout(storm_ns + 30_000_000.0)
+
+        proc = sim.spawn(workload(), name="storm-client")
+        sim.run(until=proc)
+        pool.stop()
+    finally:
+        _obs.disable_flight_recorder()
+        _obs.disable_tracing()
+        # Storm workers are open-loop: some are still mid-flight when
+        # the run ends.  Finalize their generators now, while tracing is
+        # off, so their ``finally: TRACER.end(...)`` blocks cannot leak
+        # spans into a *later* run's recorder.
+        gc.collect()
+    return recorder
+
+
+def test_byte_cap_never_exceeded_under_storm():
+    recorder = _BoundCheckingRecorder(cap_bytes=8 * 1024)
+    _run_storm_scenario(recorder)
+    # The storm produced far more spans than the ring can hold: the cap
+    # held (asserted on every ingest) because eviction did real work.
+    assert recorder.evictions_total > 0
+    assert recorder.records_total > recorder.evictions_total
+    for host in recorder.hosts():
+        assert recorder.buffer_bytes(host) <= recorder.cap_bytes
+
+
+def test_same_seed_runs_produce_identical_bundles():
+    bundles = []
+    for _ in range(2):
+        _obs.reset_metrics()
+        recorder = FlightRecorder(cap_bytes=16 * 1024,
+                                  tail_threshold_ns=100_000.0)
+        _run_storm_scenario(recorder, seed=11, storms=1)
+        bundles.append(json.dumps(recorder.bundle(), sort_keys=True))
+    assert bundles[0] == bundles[1]
+
+
+def test_tail_exemplar_selection_is_stable_and_bounded():
+    recorder = FlightRecorder(cap_bytes=64 * 1024,
+                              tail_threshold_ns=50.0, max_exemplars=2)
+    tracer = Tracer()
+    tracer.recorder = recorder
+    # Five roots with distinct durations; only the slowest two stay,
+    # slowest first, regardless of completion order.
+    for start, dur in ((0.0, 60.0), (100.0, 400.0), (600.0, 80.0),
+                       (700.0, 900.0), (1700.0, 200.0)):
+        span = tracer.begin("vssd.write", start, track="h2/vssd")
+        child = tracer.begin("ring.send", start + 1.0, track="h2/vssd",
+                             parent=span)
+        tracer.end(child, start + 2.0)
+        tracer.end(span, start + dur)
+    exemplars = recorder.exemplars()
+    assert [e["duration_ns"] for e in exemplars] == [900.0, 400.0]
+    assert all(e["root"]["name"] == "vssd.write" for e in exemplars)
+    # The pinned trace carries the whole span tree, in (start, id) order.
+    assert [s["name"] for s in exemplars[0]["spans"]] \
+        == ["vssd.write", "ring.send"]
+    # A fast op (below threshold) never pins.
+    assert recorder.pinned_total >= 2
+
+
+def test_trip_log_is_bounded_and_ordered():
+    recorder = FlightRecorder(max_trips=3)
+    for i in range(5):
+        recorder.trip("watchdog_op_timeout", float(i), detail=f"t{i}")
+    trips = list(recorder.trips)
+    assert len(trips) == 3
+    assert [t["detail"] for t in trips] == ["t2", "t3", "t4"]
+
+
+def test_bundle_carries_metrics_and_fault_log_tail():
+    from repro.faults import FaultLog
+
+    recorder = FlightRecorder()
+    tracer = Tracer()
+    tracer.recorder = recorder
+    span = tracer.begin("vssd.write", 0.0, track="h2/vssd")
+    tracer.end(span, 10.0)
+    log = FaultLog()
+    log.record(1000.0, "link_down", "h0", "flap")
+    from repro.obs.metrics import MetricsRegistry
+    registry = MetricsRegistry()
+    registry.counter("x.count").inc(3)
+    registry.histogram("x.ns").observe(5.0)
+    doc = recorder.bundle(metrics=registry, fault_log=log)
+    assert doc["hosts"]["h2"]["records"][0]["name"] == "vssd.write"
+    assert doc["metrics"]["scalars"]["x.count"] == 3.0
+    assert doc["metrics"]["histograms"]["x.ns"]["count"] == 1
+    assert len(doc["fault_log_tail"]) == 1
+    json.dumps(doc, sort_keys=True)  # JSON-safe throughout
+
+
+def test_runtime_wiring_is_order_independent():
+    # recorder first, then tracer
+    recorder = FlightRecorder()
+    _obs.enable_flight_recorder(recorder)
+    tracer = Tracer()
+    _obs.enable_tracing(tracer)
+    try:
+        assert tracer.recorder is recorder
+        span = tracer.begin("vssd.write", 0.0, track="h0/vssd")
+        tracer.end(span, 5.0)
+        assert recorder.records_total == 1
+    finally:
+        _obs.disable_tracing()
+        _obs.disable_flight_recorder()
+    assert _obs.RECORDER is NULL_RECORDER
+    # tracer first, then recorder
+    tracer = Tracer()
+    _obs.enable_tracing(tracer)
+    recorder = FlightRecorder()
+    _obs.enable_flight_recorder(recorder)
+    try:
+        assert tracer.recorder is recorder
+    finally:
+        _obs.disable_flight_recorder()
+        _obs.disable_tracing()
+    assert tracer.recorder is None
+
+
+def test_null_recorder_is_inert():
+    assert NULL_RECORDER.enabled is False
+    NULL_RECORDER.trip("anything", 0.0)
+    NULL_RECORDER.on_span(None)
+    assert NULL_RECORDER.bundle() == {}

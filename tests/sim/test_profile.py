@@ -1,0 +1,117 @@
+"""Kernel profiler: attribution planes, schema, and sim transparency."""
+
+from repro.sim import Simulator
+from repro.sim.profile import (
+    DEFAULT_PROFILER,
+    KernelProfiler,
+    normalize,
+    profiled,
+    validate_bench_doc,
+)
+
+
+def _ticker(sim, log, n=20, step=500.0):
+    for _ in range(n):
+        yield sim.timeout(step)
+        log.append(sim.now)
+
+
+def test_normalize_collapses_instance_identity():
+    assert normalize("vssd0@h2.cmd17") == "vssd#@h#.cmd#"
+    assert normalize("vssd0@h2.cmd18") == "vssd#@h#.cmd#"
+    assert normalize("init:pingpong-client") == "init"
+    assert normalize("plain") == "plain"
+    assert normalize("") == "<anonymous>"
+    assert normalize("123") == "#"
+
+
+def test_attach_profiler_counts_events_and_components():
+    profiler = KernelProfiler()
+    sim = Simulator(seed=1)
+    sim.attach_profiler(profiler)
+    log: list = []
+    proc = sim.spawn(_ticker(sim, log), name="tick:0")
+    sim.run(until=proc)
+    assert len(log) == 20
+    assert profiler.events > 0
+    # Kernel plane: the Timeout events are the dominant source.
+    assert "Timeout" in profiler.event_sources
+    assert profiler.event_sources["Timeout"][0] >= 20
+    # Process plane: the ticker's component (name head, digits folded).
+    assert "tick" in profiler.components
+    assert profiler.components["tick"][0] >= 20
+    assert profiler.sim_ns == 20 * 500.0
+
+
+def test_profiled_context_sets_and_restores_default():
+    assert DEFAULT_PROFILER is None
+    profiler = KernelProfiler()
+    with profiled(profiler):
+        sim = Simulator(seed=2)
+        assert sim._profiler is profiler
+    from repro.sim import profile
+    assert profile.DEFAULT_PROFILER is None
+    assert Simulator(seed=2)._profiler is None
+
+
+def test_profiling_never_perturbs_the_simulation():
+    def run(with_profiler):
+        log: list = []
+        if with_profiler:
+            with profiled(KernelProfiler()):
+                sim = Simulator(seed=5)
+                proc = sim.spawn(_ticker(sim, log, n=200), name="t")
+                sim.run(until=proc)
+        else:
+            sim = Simulator(seed=5)
+            proc = sim.spawn(_ticker(sim, log, n=200), name="t")
+            sim.run(until=proc)
+        return log, sim.now
+
+    plain = run(False)
+    measured = run(True)
+    assert plain == measured
+
+
+def test_report_and_schema_validation():
+    profiler = KernelProfiler()
+    sim = Simulator(seed=3)
+    sim.attach_profiler(profiler)
+    proc = sim.spawn(_ticker(sim, []), name="tick")
+    sim.run(until=proc)
+    doc = profiler.report(top=5)
+    assert validate_bench_doc(doc) == []
+    assert doc["events"] == profiler.events
+    assert doc["events_per_sec"] > 0.0
+    assert doc["sim_s_per_wall_s"] > 0.0
+    assert len(doc["components"]) <= 5
+    shares = [row["share"] for row in doc["components"]]
+    assert all(0.0 <= s <= 1.0 for s in shares)
+    text = profiler.render()
+    assert "events/s" in text and "tick" in text
+
+
+def test_validate_bench_doc_flags_problems():
+    assert validate_bench_doc({}) != []
+    good = KernelProfiler()
+    sim = Simulator(seed=4)
+    sim.attach_profiler(good)
+    proc = sim.spawn(_ticker(sim, []), name="t")
+    sim.run(until=proc)
+    doc = good.report()
+    assert validate_bench_doc(doc) == []
+    bad = dict(doc, bench="other")
+    assert any("bench" in p for p in validate_bench_doc(bad))
+    bad = dict(doc, events=0)
+    assert any("events" in p for p in validate_bench_doc(bad))
+    bad = dict(doc, components=[])
+    assert any("components" in p for p in validate_bench_doc(bad))
+
+
+def test_empty_profiler_reports_zeroes_without_dividing():
+    profiler = KernelProfiler()
+    doc = profiler.report()
+    assert doc["events"] == 0
+    assert doc["events_per_sec"] == 0.0
+    assert doc["sim_s_per_wall_s"] == 0.0
+    assert validate_bench_doc(doc) != []  # zero-event docs fail CI schema

@@ -125,6 +125,59 @@ def test_trace_failover_single_trace_spans_owner_handover(capsys, tmp_path):
     assert len(handlers) == 2
 
 
+def test_attribute_fig4_reconciles_and_writes_json(capsys, tmp_path):
+    import json
+
+    from repro.obs import runtime as _obs
+
+    out_path = tmp_path / "attr.json"
+    rc, out = run_cli(capsys, "attribute", "fig4", "--messages", "60",
+                      "--out", str(out_path))
+    assert rc == 0
+    assert "reconciliation error 0.0000%" in out
+    assert "cq_drain" in out and "60 ops" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["ops"] == 60
+    assert doc["reconciliation_error"] <= 0.01
+    assert abs(sum(doc["totals_ns"].values()) - doc["total_op_ns"]) \
+        <= 0.01 * doc["total_op_ns"]
+    assert not _obs.tracing_enabled()
+
+
+def test_attribute_overload_surfaces_admission_wait(capsys):
+    rc, out = run_cli(capsys, "attribute", "overload")
+    assert rc == 0
+    assert "admission" in out
+    assert "reconciliation error 0.0000%" in out
+
+
+def test_profile_writes_valid_bench_doc(capsys, tmp_path):
+    import json
+
+    from repro.sim.profile import validate_bench_doc
+
+    out_path = tmp_path / "BENCH_simcore.json"
+    rc, out = run_cli(capsys, "profile", "--messages", "300", "--no-pool",
+                      "--out", str(out_path))
+    assert rc == 0
+    assert "events/s" in out
+    assert "pingpong-client" in out
+    doc = json.loads(out_path.read_text())
+    assert validate_bench_doc(doc) == []
+    assert doc["bench"] == "simcore"
+
+
+def test_metrics_preregisters_new_series_at_zero(capsys):
+    rc, out = run_cli(capsys, "metrics", "--messages", "100", "--no-pool")
+    assert rc == 0
+    assert "attr_ops 0" in out
+    assert "flight_records 0" in out
+    assert "profile_events_per_sec 0" in out
+    # The drift fix: the journal gauge is underscore-flat.
+    assert "proxy_journal_occupancy 0" in out
+    assert "proxy_journal_occupancy_bucket" not in out
+
+
 def test_metrics_reports_latency_and_ras(capsys):
     rc, out = run_cli(capsys, "metrics", "--messages", "200")
     assert rc == 0
