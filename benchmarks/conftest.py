@@ -53,6 +53,19 @@ def flight_postmortem(request):
     try:
         yield
     finally:
+        # Scenario cells dump their own bundles at the cell boundary
+        # (the recorder must be tripped while the cell's spans are still
+        # hot, not at teardown) — surface those paths, tagged with each
+        # cell's axis values, so CI logs point straight at the artifact.
+        from repro.scenarios.runner import consume_failed_cells
+
+        for cell in consume_failed_cells():
+            axes = " ".join(f"{k}={v}"
+                            for k, v in sorted(cell["axes"].items()))
+            print(f"\n[flight-postmortem] scenario cell failed: "
+                  f"{cell['runbook']}/{cell['cell_id']} "
+                  f"({axes} seed={cell['seed']}) "
+                  f"bundle={cell['bundle'] or '<recorder disabled>'}")
         rep = getattr(request.node, "rep_call", None)
         if rep is not None and rep.failed:
             os.makedirs(out_dir, exist_ok=True)

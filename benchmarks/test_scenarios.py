@@ -1,0 +1,81 @@
+"""Scenario matrix: every checked-in runbook, every cell, all invariants.
+
+The three hand-written soaks (``test_chaos.py``, ``test_gray_chaos.py``,
+``test_overload_soak.py``) are also checked in as declarative runbooks
+(``repro/scenarios/runbooks/``).  This benchmark expands each runbook
+into its matrix, runs every cell on the sim kernel under the always-on
+invariant auditors, and gates on all of them passing — then re-runs one
+cell per runbook to prove same-seed determinism (bit-identical fault
+logs).
+
+``CHAOS_SEED`` overrides the seed axis for the gray and overload
+runbooks (their fault schedules are pinned explicitly, so any seed must
+pass); the chaos runbook keeps its own seed — its campaign is *drawn*,
+and seed 11 is the schedule the original soak's assertions were
+calibrated against.
+
+Emits ``BENCH_scenarios.json`` and ``SCEN_matrix.md`` (the aggregated
+EXPERIMENTS.md-style table) for CI to archive.
+"""
+
+import json
+import os
+
+from repro.scenarios import resolve_runbook, run_cell, run_matrix
+
+from .conftest import banner, run_once
+
+SEED = os.environ.get("CHAOS_SEED")
+
+#: runbook name -> does CHAOS_SEED override its seed axis?
+RUNBOOKS = {"chaos": False, "gray": True, "overload": True}
+
+
+def run_all_matrices():
+    results = {}
+    for name, reseedable in RUNBOOKS.items():
+        seeds = [int(SEED)] if (SEED and reseedable) else None
+        results[name] = run_matrix(resolve_runbook(name), seeds=seeds)
+    return results
+
+
+def test_scenario_matrices(benchmark):
+    results = run_once(benchmark, run_all_matrices)
+
+    tables = []
+    for name, matrix in results.items():
+        banner(f"Scenario matrix: {name}")
+        table = matrix.render_table()
+        print(table)
+        tables.append(f"## {name}\n\n{matrix.description}\n\n{table}")
+        for cell in matrix.cells:
+            assert cell.ok, (
+                f"{name}/{cell.cell_id}: "
+                f"violations={cell.violations} "
+                f"expect_failures={cell.expect_failures} "
+                f"error={cell.error}")
+
+    # Same-seed determinism: one cell per runbook re-runs bit-identical.
+    for name, matrix in results.items():
+        first = matrix.cells[0]
+        runbook = resolve_runbook(name)
+        cell = next(c for c in runbook.expand(
+            seeds=[first.seed]) if c.cell_id == first.cell_id)
+        rerun = run_cell(cell, label=name)
+        assert rerun.signature == first.signature, name
+        assert rerun.events == first.events, name
+        assert rerun.summary == first.summary, name
+        print(f"determinism: {name}/{first.cell_id} rerun bit-identical "
+              f"(sig {first.signature[:16]}…)")
+
+    payload = {
+        "chaos_seed": SEED,
+        "matrices": {name: matrix.to_dict()
+                     for name, matrix in results.items()},
+    }
+    with open("BENCH_scenarios.json", "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with open("SCEN_matrix.md", "w") as fh:
+        fh.write("# Scenario matrices\n\n" + "\n\n".join(tables) + "\n")
+    print("wrote BENCH_scenarios.json, SCEN_matrix.md")

@@ -12,6 +12,8 @@ Usage::
     python -m repro attribute fig4  # per-phase critical-path breakdown
     python -m repro profile         # sim-kernel profiler (events/s)
     python -m repro metrics         # Prometheus-style metrics dump
+    python -m repro scenario list   # show checked-in runbooks
+    python -m repro scenario run gray   # run a runbook matrix
     python -m repro list            # show available experiments
 
 Each command prints the same series the corresponding benchmark (and
@@ -453,6 +455,70 @@ def _cmd_metrics(args) -> None:
         print(text, end="")
 
 
+def _cmd_scenario_list(args) -> None:
+    from repro.scenarios import builtin_runbooks, load_runbook
+
+    runbooks = builtin_runbooks()
+    if not runbooks:
+        print("no runbooks checked in")
+        return
+    for name in sorted(runbooks):
+        runbook = load_runbook(runbooks[name])
+        cells = runbook.expand()
+        print(f"{name:<10} {len(cells):>2} cells  "
+              f"seeds={list(runbook.seeds)}")
+        print(f"           {runbook.description}")
+        for cell in cells:
+            print(f"           - {cell.cell_id}")
+
+
+def _cmd_scenario_run(args) -> None:
+    import json
+    import os
+
+    from repro.obs import runtime as _obs
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.trace import Tracer
+    from repro.scenarios import resolve_runbook, run_matrix
+
+    runbook = resolve_runbook(args.runbook)
+    # Mirror benchmarks/conftest.py: with FLIGHT_POSTMORTEM set, a
+    # failing cell dumps its flight-recorder bundle for CI to upload.
+    postmortem = os.environ.get("FLIGHT_POSTMORTEM")
+    had_tracer = _obs.tracing_enabled()
+    if postmortem:
+        if not had_tracer:
+            _obs.enable_tracing(Tracer())
+        _obs.enable_flight_recorder(FlightRecorder())
+    try:
+        result = run_matrix(runbook, seeds=args.seed or None)
+    finally:
+        if postmortem:
+            _obs.disable_flight_recorder()
+            if not had_tracer:
+                _obs.disable_tracing()
+    table = result.render_table()
+    print(table)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.table:
+        with open(args.table, "w") as fh:
+            fh.write(table + "\n")
+        print(f"wrote {args.table}")
+    failed = result.failed_cells
+    if failed:
+        for cell in failed:
+            for line in cell.violations + cell.expect_failures:
+                print(f"FAIL {cell.cell_id}: {line}", file=sys.stderr)
+            if cell.error:
+                print(f"FAIL {cell.cell_id}: {cell.error}",
+                      file=sys.stderr)
+        raise SystemExit(1)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -532,6 +598,30 @@ def main(argv: list[str] | None = None) -> int:
                    help="skip the pooled soak (latency histograms only)")
     p.add_argument("--out", default=None)
     p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser(
+        "scenario",
+        help="declarative runbooks: expand a scenario matrix, run every "
+             "cell under the invariant auditors",
+    )
+    scen_sub = p.add_subparsers(dest="scenario_command", required=True)
+    sp = scen_sub.add_parser("list", help="list checked-in runbooks")
+    sp.set_defaults(fn=_cmd_scenario_list)
+    sp = scen_sub.add_parser(
+        "run",
+        help="run a runbook by name (checked-in) or path (.json)",
+    )
+    sp.add_argument("runbook",
+                    help="runbook name (see 'scenario list') or a path "
+                         "to a runbook JSON file")
+    sp.add_argument("--seed", type=int, action="append", default=[],
+                    help="override the runbook's seed axis "
+                         "(repeatable)")
+    sp.add_argument("--out", default=None,
+                    help="write the aggregated matrix as JSON")
+    sp.add_argument("--table", default=None,
+                    help="write the aggregated matrix as markdown")
+    sp.set_defaults(fn=_cmd_scenario_run)
 
     sub.add_parser("list", help="list experiments")
 

@@ -99,6 +99,13 @@ class RetryBudget:
         self.spent = 0
         self.denied = 0
         self.hedges_suppressed = 0
+        # Conservation ledger: every token entering or leaving the bucket
+        # is accounted here, so an auditor can assert
+        # ``tokens == burst + credited_total - debited_total`` exactly
+        # (clamped deposits and floored forced spends record the *actual*
+        # delta, not the requested one).
+        self.credited_total = 0.0
+        self.debited_total = 0.0
         _obs.METRICS.counter(_names.OVERLOAD_RETRY_DENIED)
         _obs.METRICS.counter(_names.OVERLOAD_HEDGES_SUPPRESSED)
         self._gauge = _obs.METRICS.gauge(_names.OVERLOAD_RETRY_BUDGET)
@@ -107,7 +114,9 @@ class RetryBudget:
     def on_success(self) -> None:
         """Deposit the goodput dividend for one completed op."""
         self.deposits += 1
-        self.tokens = min(self.burst, self.tokens + self.ratio)
+        deposited = min(self.burst - self.tokens, self.ratio)
+        self.credited_total += deposited
+        self.tokens += deposited
         self._gauge.set(self.tokens)
 
     def try_spend(self, cost: float = 1.0) -> bool:
@@ -115,6 +124,7 @@ class RetryBudget:
         if self.tokens >= cost:
             self.tokens -= cost
             self.spent += 1
+            self.debited_total += cost
             self._gauge.set(self.tokens)
             return True
         self.denied += 1
@@ -129,7 +139,9 @@ class RetryBudget:
         withdrawal still drains the bucket, so discretionary retries
         and hedges stand down while a replay storm is in flight.
         """
-        self.tokens = max(0.0, self.tokens - cost)
+        withdrawn = min(self.tokens, cost)
+        self.debited_total += withdrawn
+        self.tokens -= withdrawn
         self.spent += 1
         self._gauge.set(self.tokens)
 

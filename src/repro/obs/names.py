@@ -123,6 +123,18 @@ FLIGHT_BUFFER_BYTES = "flight.buffer_bytes"
 PROFILE_EVENTS_PER_SEC = "profile.events_per_sec"
 PROFILE_SIM_PER_WALL = "profile.sim_per_wall"
 
+# -- scenario harness (PR 9) -----------------------------------------------
+#
+# One matrix cell = one deterministic sim run; the invariant auditors
+# (repro.scenarios.invariants) are asserted for every cell.
+
+SCEN_CELLS_RUN = "scen.cells_run"
+SCEN_CELLS_FAILED = "scen.cells_failed"
+SCEN_INVARIANT_CHECKS = "scen.invariant_checks"
+SCEN_INVARIANT_VIOLATIONS = "scen.invariant_violations"
+SCEN_EXPECT_FAILURES = "scen.expect_failures"
+SCEN_CELL_SIM_NS = "scen.cell_sim_ns"
+
 #: Every registered series and its kind.  Kind collisions are caught by
 #: the registry itself (MetricTypeError); this table catches a *name*
 #: drifting between modules.
@@ -195,6 +207,12 @@ SERIES: dict[str, str] = {
     FLIGHT_BUFFER_BYTES: GAUGE,
     PROFILE_EVENTS_PER_SEC: GAUGE,
     PROFILE_SIM_PER_WALL: GAUGE,
+    SCEN_CELLS_RUN: COUNTER,
+    SCEN_CELLS_FAILED: COUNTER,
+    SCEN_INVARIANT_CHECKS: COUNTER,
+    SCEN_INVARIANT_VIOLATIONS: COUNTER,
+    SCEN_EXPECT_FAILURES: COUNTER,
+    SCEN_CELL_SIM_NS: HISTOGRAM,
 }
 
 

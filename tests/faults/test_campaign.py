@@ -253,3 +253,53 @@ def test_lease_draws_do_not_perturb_legacy_schedule():
     assert b.faults[:len(a.faults)] == a.faults
     assert all(isinstance(f, (HostPartition, LeaseExpire))
                for f in b.faults[len(a.faults):])
+
+
+# -- multi-family composition (runbook campaigns) ---------------------------
+
+
+def test_multi_family_composition_is_prefix_stable():
+    """A runbook campaign composes every fault family in one config.
+    Enabling families one at a time must only ever *append* draws: each
+    richer config's schedule starts with the previous one bit-identical,
+    so no family's stream perturbs another's."""
+    import dataclasses
+
+    from repro.faults import OverloadStorm
+
+    legacy = dataclasses.replace(
+        CFG, mhd_crashes=0, mhd_degrades=0, mem_poisons=0,
+        host_partitions=0, lease_expires=0, mhd_slows=0,
+        link_degrades=0, agent_stalls=0, overload_storms=0)
+    ras = dataclasses.replace(legacy, mhd_crashes=1, mhd_degrades=1,
+                              mem_poisons=2)
+    lease = dataclasses.replace(ras, host_partitions=1, lease_expires=1)
+    gray = dataclasses.replace(lease, mhd_slows=1, link_degrades=1,
+                               agent_stalls=1)
+    full = dataclasses.replace(gray, overload_storms=2)
+
+    ladder = [legacy, ras, lease, gray, full]
+    schedules = [ChaosCampaign(make_pool(21), cfg).schedule()
+                 for cfg in ladder]
+    for smaller, larger in zip(schedules, schedules[1:], strict=False):
+        assert larger.faults[:len(smaller.faults)] == smaller.faults
+    # The final rung really drew every family.
+    by_type = {type(f) for f in schedules[-1]}
+    for cls in (DeviceFlap, LinkFlap, AgentCrash, OrchestratorCrash,
+                MhdCrash, MhdDegrade, MemPoison, HostPartition,
+                LeaseExpire, MhdSlow, LinkDegrade, AgentStall,
+                OverloadStorm):
+        assert cls in by_type, f"{cls.__name__} never drawn"
+
+
+def test_multi_family_composition_same_seed_identical():
+    """The fully composed campaign is itself deterministic per seed."""
+    import dataclasses
+
+    full = dataclasses.replace(
+        CFG, mhd_crashes=1, mhd_degrades=1, mem_poisons=2,
+        host_partitions=1, lease_expires=1, mhd_slows=1,
+        link_degrades=1, agent_stalls=1, overload_storms=2)
+    a = ChaosCampaign(make_pool(22), full).schedule()
+    b = ChaosCampaign(make_pool(22), full).schedule()
+    assert a.faults == b.faults

@@ -1,0 +1,13 @@
+"""Shared fixtures for the scenario-harness tests."""
+
+import pytest
+
+from repro.scenarios.runner import consume_failed_cells
+
+
+@pytest.fixture(autouse=True)
+def drain_failed_cells():
+    """Mutation tests fail cells on purpose; don't leak the registry."""
+    consume_failed_cells()
+    yield
+    consume_failed_cells()

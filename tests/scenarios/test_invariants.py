@@ -1,0 +1,141 @@
+"""Mutation tests: every auditor trips on its seeded violation.
+
+Each test corrupts live pool state mid-run through the runner's
+test-only ``sabotage`` hook and asserts that exactly the auditor owning
+that property reports a violation.  An auditor that stays green under
+its own mutation is a tautology, not a safety net.
+"""
+
+from repro.scenarios import build_auditors, run_cell
+from repro.scenarios.invariants import AUDITORS
+from repro.scenarios.schema import Cell, merge, scenario_from_dict
+
+import pytest
+
+ZERO_DRAWS = {c: 0 for c in (
+    "device_flaps", "link_flaps", "agent_crashes",
+    "orchestrator_restarts", "mhd_degrades", "mem_poisons")}
+
+
+def quiet_cell(seed=5, **overrides):
+    d = {
+        "duration_ns": 200e6,
+        "pod": {"n_hosts": 3, "n_mhds": 2,
+                "devices": [{"kind": "ssd", "owner": "h0"},
+                            {"kind": "ssd", "owner": "h1"}]},
+        "workloads": [{"driver": "vssd", "host": "h2", "mode": "closed",
+                       "ops": 20, "gap_ns": 1e6}],
+        "campaign": {"config": dict(ZERO_DRAWS)},
+    }
+    spec = scenario_from_dict(merge(d, overrides))
+    return Cell(cell_id=f"mutation/seed={seed}", axes={}, seed=seed,
+                scenario=spec)
+
+
+def run_sabotaged(mutate, at_ns=120e6, **overrides):
+    """Run the quiet cell with one mid-run state corruption."""
+    return run_cell(quiet_cell(**overrides), label="mutation",
+                    sabotage=(at_ns, mutate))
+
+
+def tripped(result):
+    """The set of auditor names that reported violations."""
+    names = set()
+    for violation in result.violations:
+        body = violation.split("] ", 1)[1]
+        names.add(body.split(":", 1)[0])
+    return names
+
+
+def test_control_no_mutation_no_violations():
+    """The sabotage-free cell is green — mutations, not noise, trip."""
+    result = run_sabotaged(lambda ctx: None)
+    assert result.ok, (result.violations, result.error)
+
+
+def test_exactly_once_trips_on_double_completion():
+    def double_complete(ctx):
+        _label, client = ctx.op_clients()[0]
+        client.ops_completed += 1
+
+    result = run_sabotaged(double_complete)
+    assert not result.ok
+    assert tripped(result) == {"exactly_once"}
+
+
+def test_no_lost_assignments_trips_on_dropped_vid():
+    def drop_assignment(ctx):
+        orch = ctx.pool.orchestrator
+        vid = next(iter(orch._assignments))
+        orch._assignments.pop(vid)
+
+    result = run_sabotaged(drop_assignment)
+    assert not result.ok
+    assert "no_lost_assignments" in tripped(result)
+
+
+def test_no_undetected_corruption_trips_on_unlogged_poison():
+    def poison_behind_the_logs_back(ctx):
+        rng = next(r for _idx, r, label in ctx.pool.pod.ras_allocations()
+                   if label.startswith("rpc:ctl:"))
+        ctx.pool.poison_memory(rng.base, 1)
+
+    result = run_sabotaged(poison_behind_the_logs_back)
+    assert not result.ok
+    assert tripped(result) == {"no_undetected_corruption"}
+
+
+def test_fencing_safety_trips_on_epoch_jump():
+    def jump_epoch(ctx):
+        orch = ctx.pool.orchestrator
+        orch.epoch = (orch.epoch + 5) % 256
+
+    result = run_sabotaged(jump_epoch)
+    assert not result.ok
+    assert "fencing_safety" in tripped(result)
+    assert any("epoch jumped" in v for v in result.violations)
+
+
+def test_lease_safety_trips_on_grant_to_quarantined_host():
+    def grant_to_quarantined(ctx):
+        orch = ctx.pool.orchestrator
+        assigned = {device for _b, _k, device
+                    in orch.assignment_table().values()}
+        device_id = next(d for d in sorted(ctx.pool._devices)
+                         if d not in assigned)
+        orch._quarantined_hosts.add("h1")
+        orch.leases.grant(device_id, "h1", ctx.pool.sim.now)
+
+    result = run_sabotaged(grant_to_quarantined)
+    assert not result.ok
+    assert "lease_safety_under_quarantine" in tripped(result)
+
+
+def test_retry_budget_trips_on_counterfeit_tokens():
+    def counterfeit_tokens(ctx):
+        ctx.pool.budget_for("h2").tokens += 5.0
+
+    result = run_sabotaged(counterfeit_tokens)
+    assert not result.ok
+    assert tripped(result) == {"retry_budget_conservation"}
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_registry_covers_the_issue_invariants():
+    assert set(AUDITORS) == {
+        "exactly_once", "no_lost_assignments", "no_undetected_corruption",
+        "fencing_safety", "lease_safety_under_quarantine",
+        "retry_budget_conservation"}
+
+
+def test_build_auditors_defaults_to_all():
+    assert {a.name for a in build_auditors()} == set(AUDITORS)
+
+
+def test_build_auditors_subset_and_unknown():
+    chosen = build_auditors(["fencing_safety"])
+    assert [a.name for a in chosen] == ["fencing_safety"]
+    with pytest.raises(ValueError, match="unknown invariant"):
+        build_auditors(["fencing_safty"])

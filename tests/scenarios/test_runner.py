@@ -1,0 +1,151 @@
+"""Cell runner: determinism, summaries, expect gates, aggregation."""
+
+from repro.scenarios import run_cell, run_matrix, runbook_from_dict
+from repro.scenarios.runner import consume_failed_cells
+from repro.scenarios.schema import Cell, merge, scenario_from_dict
+
+ZERO_DRAWS = {c: 0 for c in (
+    "device_flaps", "link_flaps", "agent_crashes",
+    "orchestrator_restarts", "mhd_degrades", "mem_poisons")}
+
+
+def tiny_scenario(**overrides):
+    d = {
+        "duration_ns": 200e6,
+        "pod": {"n_hosts": 3, "n_mhds": 2,
+                "devices": [{"kind": "ssd", "owner": "h0"},
+                            {"kind": "ssd", "owner": "h1"}]},
+        "workloads": [{"driver": "vssd", "host": "h2", "mode": "closed",
+                       "ops": 20, "gap_ns": 1e6}],
+        "campaign": {"config": dict(ZERO_DRAWS)},
+    }
+    return scenario_from_dict(merge(d, overrides))
+
+
+def tiny_cell(seed=5, **overrides):
+    return Cell(cell_id=f"seed={seed}", axes={}, seed=seed,
+                scenario=tiny_scenario(**overrides))
+
+
+def test_quiet_cell_passes_every_auditor():
+    result = run_cell(tiny_cell())
+    assert result.ok, (result.violations, result.expect_failures,
+                       result.error)
+    assert result.violations == []
+    assert result.summary["w0.vssd.ok"] == 20
+    assert result.summary["w0.vssd.pending"] == 0
+
+
+def test_same_seed_bit_identical_fault_log():
+    spec_faults = {"campaign": {"faults": [
+        {"kind": "DeviceFlap", "device": 0, "at_ns": 30e6,
+         "down_ns": 10e6},
+        {"kind": "AgentStall", "host_id": "h0", "at_ns": 60e6,
+         "down_ns": 20e6},
+    ]}}
+    a = run_cell(tiny_cell(**spec_faults))
+    b = run_cell(tiny_cell(**spec_faults))
+    assert a.signature == b.signature
+    assert a.events == b.events
+    assert a.summary == b.summary
+
+
+def test_different_seed_different_drawn_campaign():
+    draws = {"campaign": {"config": {
+        **ZERO_DRAWS, "device_flaps": 2, "link_flaps": 1,
+        "min_down_ns": 1e6, "max_down_ns": 5e6, "settle_ns": 50e6}}}
+    a = run_cell(tiny_cell(seed=5, **draws))
+    b = run_cell(tiny_cell(seed=6, **draws))
+    assert a.signature != b.signature
+
+
+def test_explicit_fault_lands_in_the_log():
+    result = run_cell(tiny_cell(**{"campaign": {"faults": [
+        {"kind": "MhdSlow", "mhd_index": 1, "at_ns": 20e6,
+         "down_ns": 30e6, "latency_factor": 10.0}]}}))
+    assert any("MhdSlow" in line for line in result.events)
+
+
+def test_expect_failure_fails_the_cell():
+    result = run_cell(tiny_cell(
+        **{"expect": {"w0.vssd.ok": ["==", 21]}}))
+    assert not result.ok
+    assert any("w0.vssd.ok" in f for f in result.expect_failures)
+    consume_failed_cells()
+
+
+def test_expect_unknown_key_fails_the_cell():
+    result = run_cell(tiny_cell(
+        **{"expect": {"no.such.key": [">=", 0]}}))
+    assert not result.ok
+    assert any("no such summary key" in f for f in result.expect_failures)
+    consume_failed_cells()
+
+
+def test_failed_cell_lands_in_the_postmortem_registry():
+    consume_failed_cells()
+    run_cell(Cell(cell_id="load=hi/seed=5", axes={"load": "hi"}, seed=5,
+                  scenario=tiny_scenario(
+                      **{"expect": {"w0.vssd.ok": ["==", 0]}})),
+             label="reg-test")
+    cells = consume_failed_cells()
+    assert len(cells) == 1
+    assert cells[0]["runbook"] == "reg-test"
+    assert cells[0]["axes"] == {"load": "hi"}
+    assert cells[0]["bundle"] is None  # recorder not armed
+    assert consume_failed_cells() == []  # drained
+
+
+def test_run_matrix_aggregates_and_renders():
+    runbook = runbook_from_dict({
+        "name": "tiny",
+        "description": "runner test",
+        "seeds": [5],
+        "base": {
+            "duration_ns": 200e6,
+            "pod": {"n_hosts": 3, "n_mhds": 2,
+                    "devices": [{"kind": "ssd", "owner": "h0"}]},
+            "workloads": [{"driver": "vssd", "host": "h2", "ops": 10,
+                           "gap_ns": 1e6}],
+            "campaign": {"config": dict(ZERO_DRAWS)},
+        },
+        "axes": {"load": [{"name": "lo", "patch": {}},
+                          {"name": "hi", "patch": {"workloads": [
+                              {"driver": "vssd", "host": "h2",
+                               "ops": 20, "gap_ns": 1e6}]}}]},
+    })
+    result = run_matrix(runbook)
+    assert result.ok
+    assert [c.cell_id for c in result.cells] == ["load=lo/seed=5",
+                                                 "load=hi/seed=5"]
+    table = result.render_table()
+    assert "| load |" in table.splitlines()[0]
+    assert table.count("PASS") == 2
+    doc = result.to_dict()
+    assert doc["ok"] and len(doc["cells"]) == 2
+
+
+def test_vaccel_driver_runs():
+    result = run_cell(tiny_cell(**{
+        "pod": {"devices": [{"kind": "accelerator", "owner": "h0"}]},
+        "workloads": [{"driver": "vaccel", "host": "h1", "ops": 5,
+                       "gap_ns": 1e6, "io_bytes": 256}],
+    }))
+    assert result.ok, (result.violations, result.error)
+    assert result.summary["w0.vaccel.ok"] == 5
+
+
+def test_netstack_after_probe_round_trips():
+    result = run_cell(tiny_cell(**{
+        "duration_ns": 50e6,
+        "pod": {"devices": [{"kind": "nic", "owner": "h0", "count": 2}]},
+        "workloads": [
+            {"driver": "netstack", "host": "h1", "peer": "h2",
+             "phase": "after", "ops": 2},
+            {"driver": "netstack", "host": "h2", "peer": "h1",
+             "phase": "after", "ops": 2},
+        ],
+    }))
+    assert result.ok, (result.violations, result.error)
+    assert result.summary["w0.netstack.received"] == 2
+    assert result.summary["w1.netstack.received"] == 2

@@ -173,6 +173,9 @@ def test_metrics_preregisters_new_series_at_zero(capsys):
     assert "attr_ops 0" in out
     assert "flight_records 0" in out
     assert "profile_events_per_sec 0" in out
+    # Scenario-harness series exist before any runbook ever runs.
+    assert "scen_cells_run 0" in out
+    assert "scen_invariant_violations 0" in out
     # The drift fix: the journal gauge is underscore-flat.
     assert "proxy_journal_occupancy 0" in out
     assert "proxy_journal_occupancy_bucket" not in out
@@ -195,3 +198,73 @@ def test_metrics_no_pool_writes_file(capsys, tmp_path):
     text = out_path.read_text()
     assert "ring_one_way_ns_count 100" in text
     assert "ras_poisons_injected" not in text
+
+
+def test_scenario_list_names_runbooks(capsys):
+    rc, out = run_cli(capsys, "scenario", "list")
+    assert rc == 0
+    assert "chaos" in out and "gray" in out and "overload" in out
+    assert "lambda=2/seed=11" in out
+
+
+def test_scenario_run_runbook_file(capsys, tmp_path):
+    import json
+
+    doc = {
+        "name": "cli-tiny",
+        "description": "cli smoke",
+        "seeds": [5],
+        "base": {
+            "duration_ns": 100e6,
+            "pod": {"n_hosts": 3, "n_mhds": 2,
+                    "devices": [{"kind": "ssd", "owner": "h0"}]},
+            "workloads": [{"driver": "vssd", "host": "h2", "ops": 5,
+                           "gap_ns": 1e6}],
+            "campaign": {"config": {
+                "device_flaps": 0, "link_flaps": 0, "agent_crashes": 0,
+                "orchestrator_restarts": 0, "mhd_degrades": 0,
+                "mem_poisons": 0}},
+            "expect": {"w0.vssd.ok": ["==", 5]},
+        },
+    }
+    rb_path = tmp_path / "tiny.json"
+    rb_path.write_text(json.dumps(doc))
+    out_path = tmp_path / "matrix.json"
+    table_path = tmp_path / "matrix.md"
+    rc, out = run_cli(capsys, "scenario", "run", str(rb_path),
+                      "--out", str(out_path), "--table", str(table_path))
+    assert rc == 0
+    assert "PASS" in out
+    result = json.loads(out_path.read_text())
+    assert result["ok"] and result["runbook"] == "cli-tiny"
+    assert "| PASS |" in table_path.read_text()
+
+
+def test_scenario_run_failure_exits_nonzero(capsys, tmp_path):
+    import json
+
+    doc = {
+        "name": "cli-fail",
+        "description": "cli failure smoke",
+        "seeds": [5],
+        "base": {
+            "duration_ns": 100e6,
+            "pod": {"n_hosts": 3, "n_mhds": 2,
+                    "devices": [{"kind": "ssd", "owner": "h0"}]},
+            "workloads": [{"driver": "vssd", "host": "h2", "ops": 5,
+                           "gap_ns": 1e6}],
+            "campaign": {"config": {
+                "device_flaps": 0, "link_flaps": 0, "agent_crashes": 0,
+                "orchestrator_restarts": 0, "mhd_degrades": 0,
+                "mem_poisons": 0}},
+            "expect": {"w0.vssd.ok": ["==", 6]},
+        },
+    }
+    rb_path = tmp_path / "fail.json"
+    rb_path.write_text(json.dumps(doc))
+    with pytest.raises(SystemExit):
+        main(["scenario", "run", str(rb_path)])
+    err = capsys.readouterr().err
+    assert "w0.vssd.ok" in err
+    from repro.scenarios.runner import consume_failed_cells
+    consume_failed_cells()
