@@ -35,6 +35,11 @@ class PingPongResult:
 
     samples_ns: np.ndarray
     poll_overhead_ns: float
+    #: Kernel events processed by the run's simulator (cheap counter,
+    #: populated with or without a profiler attached) and the simulated
+    #: span covered — the simcore bench reads throughput from these.
+    events_processed: int = 0
+    sim_ns: float = 0.0
 
     @property
     def median_ns(self) -> float:
@@ -140,5 +145,6 @@ def run_pingpong(n_messages: int = 2000, seed: int = 0,
     sim.run(until=c)
     sim.run()
     return PingPongResult(
-        samples_ns=np.asarray(one_way), poll_overhead_ns=poll_overhead_ns
+        samples_ns=np.asarray(one_way), poll_overhead_ns=poll_overhead_ns,
+        events_processed=sim.events_processed, sim_ns=sim.now,
     )

@@ -77,10 +77,23 @@ _PROGRESS = struct.Struct("<Q")
 #: Immutable zero line used to blank the tail of a reused slot scratch.
 _ZEROS = bytes(CACHELINE_BYTES)
 
+#: CRC32 of the 3-byte (seq, length) header prefix, memoized per
+#: ``(seq << 6) | length`` — seq cycles 1..250 and length <= 57, so the
+#: table tops out at a few thousand small ints.  Chaining the payload
+#: through ``zlib.crc32(payload, prefix)`` makes the per-slot checksum
+#: allocation-free: no ``bytes((seq,)) + ... + payload`` concatenation.
+_CRC_PREFIX: dict[int, int] = {}
+_PREFIX_PACK = struct.Struct("<BH").pack
+
 
 def _slot_crc(seq: int, payload: bytes) -> int:
-    return zlib.crc32(bytes((seq,)) + len(payload).to_bytes(2, "little")
-                      + payload)
+    key = (seq << 6) | len(payload)
+    prefix = _CRC_PREFIX.get(key)
+    if prefix is None:
+        prefix = _CRC_PREFIX[key] = zlib.crc32(
+            _PREFIX_PACK(seq, len(payload))
+        )
+    return zlib.crc32(payload, prefix)
 
 
 class RingFullError(RuntimeError):
@@ -248,6 +261,10 @@ class RingSender:
         # published frame is still snapshotted immutable before the first
         # yield — concurrent sender processes share this scratch.
         self._scratch = bytearray(CACHELINE_BYTES)
+        # Poll-elision rendezvous: both halves of a ring derive the same
+        # key from the shared allocation base, so a sender can wake a
+        # parked receiver through ``sim.notify`` (see repro.channel.rpc).
+        self.notify_key = ("ring", region.base)
         # Ring-full stalls observed (blocking sends) / refusals (try_send).
         self.full_events = 0
         # Bounded sends that hit their deadline while still full —
@@ -502,6 +519,11 @@ class RingSender:
                 self.link_retries += 1
                 yield sim.timeout(self.link_retry_poll_ns)
         self.sent += len(payloads)
+        # Wake a parked receiver.  The burst is *committed* but lands at
+        # the media one store latency later; the published count rides
+        # along so an awake receiver knows not to park across that
+        # window.
+        sim.notify(self.notify_key, self.sent)
 
     def _note_full(self) -> None:
         self.full_events += 1
@@ -550,6 +572,9 @@ class RingSender:
                 self.link_retries += 1
                 yield sim.timeout(self.link_retry_poll_ns)
         self.sent += 1
+        # Wake a parked receiver (poll elision); a receiver that is not
+        # parked sees no waiter list and the call is two dict probes.
+        sim.notify(self.notify_key, self.sent)
 
     def _refresh_progress(self):
         try:
@@ -589,6 +614,10 @@ class RingReceiver:
         # a flap can never deadlock a sender waiting for ring space.
         self._progress_dirty = False
         self.deferred_progress = 0
+        #: Poll-elision rendezvous key (mirror of the sender's): a parked
+        #: dispatcher registers under this key and the sender's publish
+        #: fires its watchdog timeout early.
+        self.notify_key = ("ring", region.base)
         #: Set when the channel's memory is freed: all receives must fail.
         self.retired = False
         #: Gray-failure demotion: while set, :meth:`drain` consumes
@@ -605,6 +634,16 @@ class RingReceiver:
         #: callers (the fragmentation layer) use this to avoid stitching
         #: a message across the hole.
         self.last_drain_losses: list[int] = []
+
+    @property
+    def consumed(self) -> int:
+        """Slots consumed so far (delivered + damaged-and-skipped).
+
+        Compared against the sender's published count (via the notify
+        state) by parking pollers: sender ahead means a message is in
+        flight or ready, so parking would strand it until the watchdog.
+        """
+        return self._tail
 
     def try_recv(self):
         """Process: poll the current slot once; returns payload or None.

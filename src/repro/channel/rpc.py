@@ -12,6 +12,7 @@ talk to the orchestrator (§4.2).
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Callable, Optional
 
 from repro.channel.messages import Message, decode_message
@@ -27,6 +28,7 @@ from repro.cxl.params import (
     ADAPTIVE_GUARD_MAX_NS,
     ADAPTIVE_PERIOD_EWMA,
     ADAPTIVE_POLL_FACTOR,
+    ADAPTIVE_POLL_MAX_NS,
     LINK_RETRY_POLL_NS,
     RECV_POLL_NS,
 )
@@ -34,6 +36,11 @@ from repro.obs import names as _names
 from repro.obs import runtime as _obs
 from repro.obs.context import unwrap_trace, wrap_trace
 from repro.sim import FilterStore, Interrupt
+
+#: Kill switch for event-driven dispatcher wakeups (poll elision): set
+#: ``REPRO_RPC_POLL_ELISION=0`` to restore the poll-grid dispatcher.
+#: Exists for A/B timing comparisons; elision never changes fault logs.
+_POLL_ELISION = os.environ.get("REPRO_RPC_POLL_ELISION", "1") != "0"
 
 
 class RpcError(RuntimeError):
@@ -94,6 +101,17 @@ class RpcEndpoint:
         self.adaptive_poll_max_ns = adaptive_poll_max_ns
         self.adaptive_backoffs = 0
         self.poll_prediction_hits = 0
+        # Poll elision: when the rx half exposes a notify key, the idle
+        # dispatcher parks on one watchdog timeout instead of walking a
+        # poll grid, and the peer's sender fires it early on publish.
+        self.notify_elision = _POLL_ELISION
+        self.empty_polls = 0
+        self.parks = 0
+        self.notify_wakeups = 0
+        #: Empty-poll events *not* scheduled while parked, estimated
+        #: against the base poll cadence (what a busy-poll dispatcher
+        #: would have burned over the same idle span).
+        self.polls_elided = 0
         # Burst-arrival predictor state: control traffic arrives in
         # periodic bursts (agent ticks), so track when each burst starts
         # and keep an EWMA of the burst-to-burst period.
@@ -458,7 +476,18 @@ class RpcEndpoint:
     # -- dispatcher -----------------------------------------------------------
 
     def _dispatch_loop(self):
-        poll_ns = self.poll_overhead_ns
+        sim = self.sim
+        base = self.poll_overhead_ns
+        poll_ns = base
+        # Event-driven wakeups: park on one watchdog timeout per idle
+        # span and let the peer's RingSender fire it early on publish
+        # (sim.notify) — an idle endpoint schedules zero empty-poll
+        # events.  The adaptive-poll predictor stays as the fallback for
+        # rx halves with no in-sim notify edge (mocks, custom channels).
+        notify_key = (getattr(self.rx, "notify_key", None)
+                      if self.notify_elision else None)
+        watchdog_ns = self.adaptive_poll_max_ns or ADAPTIVE_POLL_MAX_NS
+        notify_state = sim.notify_state
         try:
             while True:
                 try:
@@ -469,11 +498,44 @@ class RpcEndpoint:
                     # window reads instead of per-slot misses).
                     first = yield from self.rx.try_recv()
                     if first is None:
-                        sleep_ns = poll_ns
-                        if self.adaptive_poll_max_ns is not None:
-                            sleep_ns, poll_ns = self._idle_cadence(poll_ns)
+                        self.empty_polls += 1
+                        if notify_key is None:
+                            sleep_ns = poll_ns
+                            if self.adaptive_poll_max_ns is not None:
+                                sleep_ns, poll_ns = self._idle_cadence(
+                                    poll_ns
+                                )
+                            self._rx_idle = True
+                            yield sim.timeout(sleep_ns)
+                            continue
+                        published = notify_state.get(notify_key)
+                        if (published is not None
+                                and published > self.rx.consumed):
+                            # A publish committed but its NT store has
+                            # not landed at the media yet (or the slot
+                            # was damaged mid-flight): keep base-rate
+                            # polling instead of parking, because the
+                            # notify already fired while we were awake.
+                            yield sim.timeout(base)
+                            continue
                         self._rx_idle = True
-                        yield self.sim.timeout(sleep_ns)
+                        parked_at = sim.now
+                        park = sim.timeout(watchdog_ns)
+                        waiters = sim.notify_waiters.setdefault(
+                            notify_key, []
+                        )
+                        waiters.append(park)
+                        self.parks += 1
+                        try:
+                            yield park
+                        finally:
+                            if park in waiters:
+                                waiters.remove(park)
+                        if sim.now - parked_at < watchdog_ns:
+                            self.notify_wakeups += 1
+                        self.polls_elided += max(
+                            0, int((sim.now - parked_at) / base) - 1
+                        )
                         continue
                 except LinkDownError:
                     # The CXL path under the ring is flapping.  Keep the

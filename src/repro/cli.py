@@ -363,11 +363,13 @@ def _cmd_profile(args) -> None:
     with profiled(profiler):
         from repro.channel.pingpong import run_pingpong
 
+        profiler.mark_phase("pingpong")
         run_pingpong(n_messages=args.messages, seed=0)
         if not args.no_pool:
+            profiler.mark_phase("doorbell")
             _run_doorbell_scenario()
-    report = profiler.report()
-    print(profiler.render())
+    report = profiler.report(top=args.top)
+    print(profiler.render(top=args.top))
     _obs.METRICS.gauge(_names.PROFILE_EVENTS_PER_SEC).set(
         report["events_per_sec"])
     _obs.METRICS.gauge(_names.PROFILE_SIM_PER_WALL).set(
@@ -491,7 +493,8 @@ def _cmd_scenario_run(args) -> None:
             _obs.enable_tracing(Tracer())
         _obs.enable_flight_recorder(FlightRecorder())
     try:
-        result = run_matrix(runbook, seeds=args.seed or None)
+        result = run_matrix(runbook, seeds=args.seed or None,
+                            workers=args.workers)
     finally:
         if postmortem:
             _obs.disable_flight_recorder()
@@ -585,6 +588,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--messages", type=int, default=2000)
     p.add_argument("--no-pool", action="store_true",
                    help="profile the ping-pong workload only")
+    p.add_argument("--top", type=int, default=12,
+                   help="rows per attribution table")
     p.add_argument("--out", default=None,
                    help="write a BENCH_simcore.json document")
     p.set_defaults(fn=_cmd_profile)
@@ -617,6 +622,10 @@ def main(argv: list[str] | None = None) -> int:
     sp.add_argument("--seed", type=int, action="append", default=[],
                     help="override the runbook's seed axis "
                          "(repeatable)")
+    sp.add_argument("--workers", type=int, default=1,
+                    help="run matrix cells in N parallel processes "
+                         "(cells are independent sims; results merge "
+                         "identically to a serial run)")
     sp.add_argument("--out", default=None,
                     help="write the aggregated matrix as JSON")
     sp.add_argument("--table", default=None,

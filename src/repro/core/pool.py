@@ -582,12 +582,12 @@ class PciePool:
                         f"token {current.token} held by "
                         f"{current.holder_host}"
                     )
-        for device_id, hosts in sorted(serving.items()):
-            if len(hosts) > 1:
-                violations.append(
-                    f"device {device_id}: multiple unexpired holders "
-                    f"serving: {sorted(hosts)}"
-                )
+        violations.extend(
+            f"device {device_id}: multiple unexpired holders "
+            f"serving: {sorted(hosts)}"
+            for device_id, hosts in sorted(serving.items())
+            if len(hosts) > 1
+        )
         return violations
 
     def crash_mhd(self, mhd_index: int) -> None:

@@ -83,9 +83,15 @@ class MemoryMedium:
 
     def read_line(self, addr: int) -> bytes:
         """Read the 64 B cacheline at ``addr`` (must be line-aligned)."""
-        self._require_aligned(addr)
-        self._check(addr)
-        self._check_poison(addr)
+        # Hot path (pollers re-read the same line at ns cadence): one
+        # arithmetic guard, and the poison set is only probed when any
+        # poison exists at all — the helpers run only to raise nicely.
+        if addr % CACHELINE_BYTES or addr < 0 \
+                or addr + CACHELINE_BYTES > self.capacity:
+            self._require_aligned(addr)
+            self._check(addr)
+        if self.poisoned_lines:
+            self._check_poison(addr)
         return self._lines.get(addr, _ZERO_LINE)
 
     def clear_line(self, addr: int) -> None:
@@ -104,13 +110,16 @@ class MemoryMedium:
 
     def write_line(self, addr: int, data: bytes) -> None:
         """Write a full 64 B cacheline at ``addr``."""
-        self._require_aligned(addr)
-        self._check(addr)
+        if addr % CACHELINE_BYTES or addr < 0 \
+                or addr + CACHELINE_BYTES > self.capacity:
+            self._require_aligned(addr)
+            self._check(addr)
         if len(data) != CACHELINE_BYTES:
             raise ValueError(
                 f"line write must be {CACHELINE_BYTES} B, got {len(data)}"
             )
-        self._scrub(addr)
+        if self.poisoned_lines:
+            self._scrub(addr)
         self._lines[addr] = bytes(data)
 
     # -- arbitrary spans (DMA) ----------------------------------------------
@@ -121,11 +130,13 @@ class MemoryMedium:
         out = bytearray()
         cur = addr
         remaining = size
+        poisoned = self.poisoned_lines
         while remaining > 0:
             base = line_base(cur)
             off = cur - base
             take = min(CACHELINE_BYTES - off, remaining)
-            self._check_poison(base)
+            if poisoned:
+                self._check_poison(base)
             out += self._lines.get(base, _ZERO_LINE)[off:off + take]
             cur += take
             remaining -= take

@@ -26,6 +26,7 @@ from repro.cxl.address import CACHELINE_BYTES, line_range
 from repro.cxl.cache import CpuCache
 from repro.cxl.device import PoisonedMemoryError
 from repro.cxl.link import LinkDownError
+from repro.cxl.mhd import MhdFailedError
 from repro.sim import AllOf
 
 _ZERO_LINE = bytes(CACHELINE_BYTES)
@@ -61,6 +62,14 @@ class HostMemorySystem:
         # dropped — exactly what real posted stores to dead media do — and
         # counted so soaks can prove no loss went unobserved.
         self.stores_dropped = 0
+        # Route memoization: the pool address map is static (interleave
+        # stripes and RAS windows never move, and MHD/link/media objects
+        # survive fail/repair), so line -> (mhd, media, dev_addr, link) is
+        # a pure function worth caching — pollers hit the same line every
+        # few tens of ns.  Liveness is still checked per access.
+        self._pool_base = pod.pool_range.base
+        self._pool_top = pod.pool_range.base + pod.pool_range.size
+        self._route_cache: dict[int, tuple] = {}
 
     def alloc_local(self, size: int, label: str = "") -> int:
         """Reserve ``size`` bytes of local DRAM; returns the base address.
@@ -84,23 +93,37 @@ class HostMemorySystem:
     # -- routing helpers -------------------------------------------------------
 
     def _is_pool(self, addr: int) -> bool:
-        return self.pod.is_pool_address(addr)
+        return self._pool_base <= addr < self._pool_top
+
+    def _route_cached(self, addr: int) -> tuple:
+        """Memoized route of a pool address: (mhd, media, dev_addr, link)."""
+        entry = self._route_cache.get(addr)
+        if entry is None:
+            idx, media, dev = self.pod.route(addr)
+            entry = (self.pod.mhds[idx], media, dev, self.port.links[idx])
+            cache = self._route_cache
+            if len(cache) >= 65536:
+                # Bulk sweeps over huge buffers must not pin memory.
+                cache.clear()
+            cache[addr] = entry
+        return entry
 
     def _link_for(self, addr: int):
-        mhd_idx, _media, _dev = self.pod.route(addr)
-        return self.port.links[mhd_idx]
+        return self._route_cached(addr)[3]
 
     def _medium_read_line(self, addr: int) -> bytes:
-        if self._is_pool(addr):
-            idx, media, dev = self.pod.route(addr)
-            self.pod.mhds[idx].check_alive()
+        if self._pool_base <= addr < self._pool_top:
+            mhd, media, dev, _link = self._route_cached(addr)
+            if mhd.failed:
+                raise MhdFailedError(mhd)
             return media.read_line(dev)
         return self.port.local_dram.read_line(addr)
 
     def _medium_write_line(self, addr: int, data: bytes) -> None:
-        if self._is_pool(addr):
-            idx, media, dev = self.pod.route(addr)
-            self.pod.mhds[idx].check_alive()
+        if self._pool_base <= addr < self._pool_top:
+            mhd, media, dev, _link = self._route_cached(addr)
+            if mhd.failed:
+                raise MhdFailedError(mhd)
             media.write_line(dev, data)
         else:
             self.port.local_dram.write_line(addr, data)
@@ -420,13 +443,13 @@ class HostMemorySystem:
     # -- internals ---------------------------------------------------------------
 
     def _miss_latency(self, addr: int) -> float:
-        if self._is_pool(addr):
-            return self._link_for(addr).load_latency()
+        if self._pool_base <= addr < self._pool_top:
+            return self._route_cached(addr)[3].load_latency()
         return self.timings.ddr5_load_ns
 
     def _store_latency(self, addr: int) -> float:
-        if self._is_pool(addr):
-            return self._link_for(addr).store_latency()
+        if self._pool_base <= addr < self._pool_top:
+            return self._route_cached(addr)[3].store_latency()
         return self.timings.ddr5_store_ns
 
     def _delayed_line_write(self, addr: int, data: bytes, delay: float):

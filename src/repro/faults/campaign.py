@@ -129,11 +129,13 @@ class ChaosCampaign:
                 at_ns=start + float(rng.uniform(0.25, 0.40)) * span,
                 restart_after_ns=down_ns(),
             ))
-        for _ in range(cfg.orchestrator_restarts):
-            faults.append(OrchestratorCrash(
+        faults.extend(
+            OrchestratorCrash(
                 at_ns=start + float(rng.uniform(0.55, 0.70)) * span,
                 restart_after_ns=down_ns(),
-            ))
+            )
+            for _ in range(cfg.orchestrator_restarts)
+        )
         # Memory-RAS draws come after every legacy loop, so adding them
         # never perturbs the schedule an older seed produced.
         n_mhds = self.pool.pod.config.n_mhds
@@ -145,13 +147,15 @@ class ChaosCampaign:
                 at_ns=start + float(rng.uniform(0.45, 0.55)) * span,
                 repair_after_ns=None,
             ))
-        for _ in range(cfg.mhd_degrades):
-            faults.append(MhdDegrade(
+        faults.extend(
+            MhdDegrade(
                 mhd_index=int(rng.integers(n_mhds)),
                 at_ns=start + float(rng.uniform(0.0, span)),
                 down_ns=down_ns(),
                 bandwidth_factor=cfg.degrade_factor,
-            ))
+            )
+            for _ in range(cfg.mhd_degrades)
+        )
         poison_targets = self._poison_targets()
         for _ in range(cfg.mem_poisons):
             if not poison_targets:
@@ -185,13 +189,15 @@ class ChaosCampaign:
         # Gray (fail-slow) draws come last of all: a config with every
         # gray count at zero consumes exactly the draw sequence the
         # previous generation of campaigns did.
-        for _ in range(cfg.mhd_slows):
-            faults.append(MhdSlow(
+        faults.extend(
+            MhdSlow(
                 mhd_index=int(rng.integers(n_mhds)),
                 at_ns=start + float(rng.uniform(0.0, 0.5)) * span,
                 down_ns=down_ns(),
                 latency_factor=cfg.slow_factor,
-            ))
+            )
+            for _ in range(cfg.mhd_slows)
+        )
         for _ in range(cfg.link_degrades):
             host_id = host_ids[int(rng.integers(len(host_ids)))]
             links = self.pool.pod.host(host_id).port.links

@@ -188,13 +188,13 @@ class FaultInjector:
         (if the spec says so) sleeps again and undoes it.  Drivers are
         independent, so overlapping faults compose naturally.
         """
-        procs = []
-        for index, fault in enumerate(schedule.sorted()):
-            procs.append(self.sim.spawn(
+        return [
+            self.sim.spawn(
                 self._drive(fault),
                 name=f"fault:{index}:{type(fault).__name__}",
-            ))
-        return procs
+            )
+            for index, fault in enumerate(schedule.sorted())
+        ]
 
     def _drive(self, fault):
         delay = fault.at_ns - self.sim.now

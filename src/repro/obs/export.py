@@ -126,9 +126,9 @@ def validate_chrome_trace(doc: dict) -> list[str]:
             problems.append(f"event {i}: missing name")
         if ph == "M":
             continue
-        for key in ("ts", "pid", "tid"):
-            if not isinstance(ev.get(key), (int, float)):
-                problems.append(f"event {i}: missing {key}")
+        problems.extend(
+            f"event {i}: missing {key}" for key in ("ts", "pid", "tid")
+            if not isinstance(ev.get(key), (int, float)))
         if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
             problems.append(f"event {i}: X event without dur")
         if ph in ("s", "f") and "id" not in ev:
@@ -167,11 +167,11 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
             lines.append(f"{name}_sum {_fmt(metric.sum)}")
             lines.append(f"{name}_count {metric.count}")
-            for q in (50, 95, 99):
-                lines.append(
-                    f'{name}{{quantile="0.{q}"}} '
-                    f"{_fmt(metric.percentile(q))}"
-                )
+            lines.extend(
+                f'{name}{{quantile="0.{q}"}} '
+                f"{_fmt(metric.percentile(q))}"
+                for q in (50, 95, 99)
+            )
         else:
             lines.append(f"# TYPE {name} {metric.kind}")
             lines.append(f"{name} {_fmt(metric.value)}")

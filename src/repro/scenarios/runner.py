@@ -326,9 +326,9 @@ def run_cell(cell: Cell, label: str = "scenario",
         while True:
             for auditor in auditors:
                 _obs.METRICS.counter(_names.SCEN_INVARIANT_CHECKS).inc()
-                for violation in auditor.sample(ctx):
-                    violations.append(
-                        f"[{sim.now / 1e6:.2f} ms] {violation}")
+                violations.extend(
+                    f"[{sim.now / 1e6:.2f} ms] {violation}"
+                    for violation in auditor.sample(ctx))
             yield sim.timeout(spec.audit_interval_ns)
 
     sim.spawn(audit_loop(), name="scen-audit")
@@ -393,8 +393,8 @@ def run_cell(cell: Cell, label: str = "scenario",
         error = f"{type(exc).__name__}: {exc}"
 
     for auditor in auditors:
-        for violation in auditor.finish(ctx):
-            violations.append(f"[final] {violation}")
+        violations.extend(f"[final] {violation}"
+                          for violation in auditor.finish(ctx))
 
     summary = _summarize(pool, log, clients, ledgers)
     expect_failures = _check_expect(spec.expect, summary)
@@ -548,9 +548,50 @@ class MatrixResult:
         return "\n".join(lines)
 
 
-def run_matrix(runbook: Runbook, seeds=None) -> MatrixResult:
-    """Expand and run every cell of ``runbook``; never raises per-cell."""
+def _run_cell_job(payload):
+    """Module-level worker for :func:`run_matrix` (must be picklable).
+
+    Returns the cell's result together with any failed-cell records the
+    child accumulated, so the parent can merge its registry — a child
+    process mutating its own copy of :data:`FAILED_CELLS` would
+    otherwise be invisible.
+    """
+    cell, label = payload
+    result = run_cell(cell, label=label)
+    return result, consume_failed_cells()
+
+
+def run_matrix(runbook: Runbook, seeds=None,
+               workers: int = 1) -> MatrixResult:
+    """Expand and run every cell of ``runbook``; never raises per-cell.
+
+    ``workers > 1`` runs cells in a process pool: every cell is an
+    independent simulation (its own :class:`Simulator` built from
+    ``cell.seed``), so parallel execution cannot perturb determinism —
+    results are merged in expansion order and the table/JSON artifact
+    is byte-identical to a serial run.  Process-global metric counters
+    (``scen.cells_run`` etc.) tick in the children, not the parent;
+    everything a caller checks lives in the returned results.
+    """
     cells = runbook.expand(seeds=seeds)
-    results = [run_cell(cell, label=runbook.name) for cell in cells]
+    if workers > 1 and len(cells) > 1:
+        import multiprocessing as mp
+
+        # Fork keeps imports warm and inherits the parent's runbook
+        # state; fall back to the platform default where unavailable.
+        method = ("fork" if "fork" in mp.get_all_start_methods()
+                  else None)
+        ctx = mp.get_context(method)
+        with ctx.Pool(processes=min(workers, len(cells))) as pool:
+            outcomes = pool.map(
+                _run_cell_job,
+                [(cell, runbook.name) for cell in cells],
+            )
+        results = []
+        for result, failed in outcomes:
+            results.append(result)
+            FAILED_CELLS.extend(failed)
+    else:
+        results = [run_cell(cell, label=runbook.name) for cell in cells]
     return MatrixResult(runbook=runbook.name,
                         description=runbook.description, cells=results)

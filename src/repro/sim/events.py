@@ -30,7 +30,16 @@ class Event:
     triggered with :meth:`succeed` or :meth:`fail`.  Callbacks registered
     before processing run, in registration order, when the simulator pops
     the event off its queue.
+
+    Events carry ``__slots__``: they are the single most-allocated object
+    in the simulator, and slot storage keeps them dict-free on the hot
+    path.  Subclasses must declare their own ``__slots__`` too.
     """
+
+    __slots__ = (
+        "sim", "name", "callbacks", "_value", "_exception", "_defused",
+        "_sched_seq", "_sched_time",
+    )
 
     def __init__(self, sim, name: str = ""):
         self.sim = sim
@@ -42,6 +51,10 @@ class Event:
         # failures are re-raised at the end of the run so they never pass
         # silently.
         self._defused = False
+        # Queue bookkeeping written by Simulator.schedule: the live entry's
+        # sequence number and absolute time (used by fire_early tombstones).
+        self._sched_seq: Optional[int] = None
+        self._sched_time = 0.0
 
     # -- state ----------------------------------------------------------
 
@@ -149,15 +162,27 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after a fixed delay."""
+    """An event that fires automatically after a fixed delay.
+
+    The constructor is the hottest allocation site in the simulator, so it
+    initialises every field inline instead of chaining ``Event.__init__``.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim, delay: float, value: Any = None, name: str = ""):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay}")
-        super().__init__(sim, name=name)
-        self.delay = delay
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
         self._value = value
-        self.sim.schedule(self, delay=delay)
+        self._exception = None
+        self._defused = False
+        self._sched_seq = None
+        self._sched_time = 0.0
+        self.delay = delay
+        sim.schedule(self, delay=delay)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at t={self.sim.now}>"
@@ -165,6 +190,8 @@ class Timeout(Event):
 
 class Condition(Event):
     """Base for composite events (:class:`AllOf` / :class:`AnyOf`)."""
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, sim, events: Iterable[Event]):
         super().__init__(sim)
@@ -199,6 +226,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when *all* child events have fired; fails fast on any failure."""
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
@@ -213,6 +242,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Fires when *any* child event fires (or fails, propagating the error)."""
+
+    __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:

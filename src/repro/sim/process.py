@@ -22,6 +22,8 @@ from repro.sim.events import Event
 class Process(Event):
     """A running simulation process (coroutine driven by events)."""
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim, generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")

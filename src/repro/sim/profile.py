@@ -62,6 +62,9 @@ class KernelProfiler:
         self.event_sources: dict[str, list] = {}
         #: process component -> [resumptions, wall_ns]
         self.components: dict[str, list] = {}
+        #: Closed phases: {name, events, wall_ns (span), self_ns}.
+        self.phases: list[dict] = []
+        self._phase: Optional[list] = None
         self._first_wall_ns: Optional[int] = None
         self._last_wall_ns = 0
         self._sim_first_ns: Optional[float] = None
@@ -97,6 +100,34 @@ class KernelProfiler:
             cell[0] += 1
             cell[1] += wall_ns
 
+    # -- phase marking -----------------------------------------------------
+
+    def mark_phase(self, name: str) -> None:
+        """Open a named phase; the previous phase (if any) closes now.
+
+        A phase groups everything profiled between two marks (e.g. one
+        bench workload), with two times per phase: **span** wall time —
+        mark to mark, including kernel bookkeeping between events — and
+        **self** time, the wall time actually spent inside event
+        ``_process()`` calls.  A large span-minus-self gap on a phase
+        points at queue overhead, not model code.
+        """
+        now = perf_counter_ns()
+        self._close_phase(now)
+        self._phase = [name, self.events, self.event_wall_ns, now]
+
+    def _close_phase(self, now: int) -> None:
+        if self._phase is None:
+            return
+        name, events0, self0, wall0 = self._phase
+        self.phases.append({
+            "name": name,
+            "events": self.events - events0,
+            "wall_ns": now - wall0,
+            "self_ns": self.event_wall_ns - self0,
+        })
+        self._phase = None
+
     # -- reporting ---------------------------------------------------------
 
     @property
@@ -114,6 +145,7 @@ class KernelProfiler:
         return self._sim_last_ns - self._sim_first_ns
 
     def report(self, top: int = 12) -> dict:
+        self._close_phase(perf_counter_ns())
         wall_s = self.wall_ns / 1e9
         events_per_sec = self.events / wall_s if wall_s > 0 else 0.0
         sim_per_wall = (self.sim_ns / 1e9) / wall_s if wall_s > 0 else 0.0
@@ -141,6 +173,7 @@ class KernelProfiler:
                 {"name": name, "count": count, "wall_ns": ns}
                 for name, (count, ns) in sources
             ],
+            "phases": [dict(phase) for phase in self.phases],
         }
 
     def render(self, top: int = 12) -> str:
@@ -155,15 +188,28 @@ class KernelProfiler:
             f"{'component':<28} {'resumptions':>12} {'wall ms':>9} "
             f"{'share':>6}",
         ]
-        for row in doc["components"]:
-            lines.append(
-                f"{row['name']:<28} {row['calls']:>12,} "
-                f"{row['wall_ns'] / 1e6:>9.1f} {row['share']:>6.1%}"
-            )
+        lines.extend(
+            f"{row['name']:<28} {row['calls']:>12,} "
+            f"{row['wall_ns'] / 1e6:>9.1f} {row['share']:>6.1%}"
+            for row in doc["components"]
+        )
         lines.append("")
         lines.append(f"{'event source':<28} {'events':>12}")
-        for row in doc["event_sources"]:
-            lines.append(f"{row['name']:<28} {row['count']:>12,}")
+        lines.extend(f"{row['name']:<28} {row['count']:>12,}"
+                     for row in doc["event_sources"])
+        if doc["phases"]:
+            lines.append("")
+            lines.append(
+                f"{'phase':<28} {'events':>12} {'span ms':>9} "
+                f"{'self ms':>9} {'self':>6}"
+            )
+            lines.extend(
+                f"{row['name']:<28} {row['events']:>12,} "
+                f"{row['wall_ns'] / 1e6:>9.1f} "
+                f"{row['self_ns'] / 1e6:>9.1f} "
+                f"{row['self_ns'] / (row['wall_ns'] or 1):>6.1%}"
+                for row in doc["phases"]
+            )
         return "\n".join(lines)
 
 
@@ -175,12 +221,13 @@ def validate_bench_doc(doc: dict) -> list[str]:
         return problems
     if doc["bench"] != "simcore":
         problems.append(f"bench is {doc['bench']!r}, expected 'simcore'")
-    for key in ("events",):
-        if not isinstance(doc[key], int) or doc[key] <= 0:
-            problems.append(f"{key} must be a positive int")
-    for key in ("wall_s", "events_per_sec", "sim_ns", "sim_s_per_wall_s"):
-        if not isinstance(doc[key], (int, float)) or doc[key] <= 0:
-            problems.append(f"{key} must be a positive number")
+    problems.extend(
+        f"{key} must be a positive int" for key in ("events",)
+        if not isinstance(doc[key], int) or doc[key] <= 0)
+    problems.extend(
+        f"{key} must be a positive number"
+        for key in ("wall_s", "events_per_sec", "sim_ns", "sim_s_per_wall_s")
+        if not isinstance(doc[key], (int, float)) or doc[key] <= 0)
     for key in ("components", "event_sources"):
         rows = doc[key]
         if not isinstance(rows, list) or not rows:
@@ -190,6 +237,27 @@ def validate_bench_doc(doc: dict) -> list[str]:
             if not isinstance(row, dict) or "name" not in row:
                 problems.append(f"{key} rows must be dicts with a name")
                 break
+    # Optional keys (the headline bench writes them; a bare
+    # ``python -m repro profile`` report does not): validated if present.
+    problems.extend(
+        f"{key} must be a positive number"
+        for key in ("baseline_events_per_sec", "speedup")
+        if key in doc and (not isinstance(doc[key], (int, float))
+                           or doc[key] <= 0))
+    if "polls_elided" in doc and (not isinstance(doc["polls_elided"], int)
+                                  or doc["polls_elided"] < 0):
+        problems.append("polls_elided must be a non-negative int")
+    if "phases" in doc:
+        rows = doc["phases"]
+        if not isinstance(rows, list):
+            problems.append("phases must be a list")
+        else:
+            for row in rows:
+                if (not isinstance(row, dict) or "name" not in row
+                        or "events" not in row):
+                    problems.append(
+                        "phases rows must be dicts with name and events")
+                    break
     return problems
 
 

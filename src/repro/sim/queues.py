@@ -19,6 +19,8 @@ from repro.sim.events import Event
 
 
 class StorePut(Event):
+    __slots__ = ("item", "_store")
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.sim, name="store-put")
         self.item = item
@@ -34,6 +36,8 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
+    __slots__ = ("predicate", "_store")
+
     def __init__(self, store: "Store",
                  predicate: Optional[Callable[[Any], bool]] = None):
         super().__init__(store.sim, name="store-get")

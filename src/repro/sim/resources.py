@@ -13,8 +13,7 @@ control-plane traffic precedence over bulk transfers.
 
 from __future__ import annotations
 
-import heapq
-from typing import Optional
+from heapq import heapify, heappop, heappush
 
 from repro.sim.errors import SimError
 from repro.sim.events import Event
@@ -31,11 +30,15 @@ class Request(Event):
         # released automatically
     """
 
+    __slots__ = ("resource", "priority", "_released", "_withdrawn")
+
     def __init__(self, resource: "Resource", priority: float = 0.0):
         super().__init__(resource.sim, name=f"request:{resource.name}")
         self.resource = resource
         self.priority = priority
         self._released = False
+        # Lazily-canceled (tombstoned) while still sitting in the heap.
+        self._withdrawn = False
 
     def __enter__(self) -> "Request":
         return self
@@ -68,6 +71,8 @@ class Resource:
         self._users: list[Request] = []
         self._heap: list[tuple[float, int, Request]] = []
         self._seq = 0
+        # Withdrawn requests still occupying heap entries (lazy cancel).
+        self._tombstones = 0
 
     # -- public API -----------------------------------------------------
 
@@ -79,12 +84,15 @@ class Resource:
     @property
     def queued(self) -> int:
         """Number of requests waiting for a slot."""
-        return sum(1 for _, _, r in self._heap if not r.triggered)
+        return sum(
+            1 for _, _, r in self._heap
+            if not r.triggered and not r._withdrawn
+        )
 
     def request(self, priority: float = 0.0) -> Request:
         """Ask for one slot; the returned event fires when granted."""
         req = Request(self, priority=self._key(priority))
-        heapq.heappush(self._heap, (req.priority, self._seq, req))
+        heappush(self._heap, (req.priority, self._seq, req))
         self._seq += 1
         self._grant()
         return req
@@ -109,16 +117,33 @@ class Resource:
         return priority
 
     def _cancel(self, request: Request) -> None:
+        """Withdraw a queued request via a lazy tombstone.
+
+        Cancellation is O(1): the heap entry stays put, flagged, and is
+        discarded when :meth:`_grant` pops it.  Heavy hedge/budget-denial
+        churn (PR 7) cancels far more requests than it grants, so the old
+        filter-and-``heapify`` rebuild was O(n) per withdrawal; now a
+        compaction runs only when tombstones outnumber live entries.
+        """
         if request.triggered:
             raise SimError("cannot cancel a granted request; release it")
-        self._heap = [
-            (p, s, r) for (p, s, r) in self._heap if r is not request
-        ]
-        heapq.heapify(self._heap)
+        if request._withdrawn:
+            return
+        request._withdrawn = True
+        self._tombstones += 1
+        if self._tombstones > 64 and self._tombstones * 2 > len(self._heap):
+            self._heap = [
+                entry for entry in self._heap if not entry[2]._withdrawn
+            ]
+            heapify(self._heap)
+            self._tombstones = 0
 
     def _grant(self) -> None:
         while self._heap and len(self._users) < self.capacity:
-            _p, _s, req = heapq.heappop(self._heap)
+            _p, _s, req = heappop(self._heap)
+            if req._withdrawn:
+                self._tombstones -= 1
+                continue
             if req.triggered:
                 continue
             self._users.append(req)

@@ -50,6 +50,9 @@ def test_idle_endpoint_backs_off_and_still_delivers():
     """After a long idle stretch the dispatcher sleeps at the ceiling;
     the next message still arrives within ~one ceiling of its send."""
     sim, client, server = make_pair(adaptive=ADAPTIVE_POLL_MAX_NS)
+    # Exercise the fallback cadence: with notify elision on, the parked
+    # dispatcher never consults the backoff ladder at all.
+    server.notify_elision = False
     arrivals = []
     server.on(Heartbeat, lambda msg: arrivals.append(sim.now))
 
@@ -101,6 +104,8 @@ def test_predictor_locks_onto_periodic_traffic():
     """Strictly periodic senders (agent ticks) teach the dispatcher the
     period; later ticks hit the base-rate guard window."""
     sim, client, server = make_pair(adaptive=ADAPTIVE_POLL_MAX_NS)
+    # Predictor is the no-notify-edge fallback; pin that path on.
+    server.notify_elision = False
     period_ns = 10_000_000.0                 # 10 ms, the agent cadence
     arrivals = []
     server.on(Heartbeat, lambda msg: arrivals.append(sim.now))
